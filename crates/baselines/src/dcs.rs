@@ -1,0 +1,333 @@
+//! Dyadic Count Sketch (§5.2.3): the best *turnstile* quantile algorithm
+//! in Luo et al.'s study — supports deletions, at the price of a larger
+//! memory footprint and prior knowledge of the value universe (the two
+//! reasons the paper excludes it from its main evaluation).
+//!
+//! DCS "maintains log(u) dyadic levels in increasing order where the iᵗʰ
+//! level has u/2ⁱ intervals of size 2ⁱ"; a Count-Sketch per level tracks
+//! interval frequencies, and the rank of `x` is recovered by summing the
+//! O(log u) dyadic intervals decomposing `[0, x)`. Quantile queries binary
+//! search the rank estimator.
+
+use qsketch_core::sketch::{
+    check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};
+
+/// One Count-Sketch (Charikar–Chen–Farach-Colton): `d` rows of `w`
+/// signed counters with pairwise-independent hash/sign functions.
+#[derive(Debug, Clone)]
+struct CountSketch {
+    d: usize,
+    w: usize,
+    counters: Vec<i64>,
+    /// Per-row hash seeds.
+    seeds: Vec<u64>,
+}
+
+impl CountSketch {
+    fn new(d: usize, w: usize, seed: u64) -> Self {
+        Self {
+            d,
+            w,
+            counters: vec![0; d * w],
+            seeds: (0..d as u64)
+                .map(|r| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(r.wrapping_mul(0x517C_C1B7_2722_0A95)))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn hash(seed: u64, id: u64) -> u64 {
+        // SplitMix64 finalizer: cheap, well-mixed.
+        let mut z = id.wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn update(&mut self, id: u64, delta: i64) {
+        for r in 0..self.d {
+            let h = Self::hash(self.seeds[r], id);
+            let col = (h >> 1) as usize % self.w;
+            let sign = if h & 1 == 1 { 1 } else { -1 };
+            self.counters[r * self.w + col] += sign * delta;
+        }
+    }
+
+    fn estimate(&self, id: u64) -> i64 {
+        let mut row_estimates: Vec<i64> = (0..self.d)
+            .map(|r| {
+                let h = Self::hash(self.seeds[r], id);
+                let col = (h >> 1) as usize % self.w;
+                let sign = if h & 1 == 1 { 1 } else { -1 };
+                sign * self.counters[r * self.w + col]
+            })
+            .collect();
+        row_estimates.sort_unstable();
+        row_estimates[self.d / 2]
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+    }
+}
+
+/// Dyadic Count Sketch over the integer universe `[0, 2^log_universe)`.
+///
+/// Incoming `f64` values are rounded and clamped into the universe — DCS
+/// requires the domain up front ("its larger memory footprint requiring
+/// prior knowledge of size", §5.2.3).
+#[derive(Debug, Clone)]
+pub struct DyadicCountSketch {
+    log_universe: u32,
+    /// One Count-Sketch per dyadic level `1..=log_universe`; level 0
+    /// (unit intervals) is included, the top level (whole universe) is
+    /// not needed.
+    levels: Vec<CountSketch>,
+    /// Live count (inserts − deletes).
+    count: i64,
+    seed: u64,
+    d: usize,
+    w: usize,
+}
+
+impl DyadicCountSketch {
+    /// Create a DCS over `[0, 2^log_universe)` with `d × w` Count-Sketch
+    /// tables per level.
+    pub fn new(log_universe: u32, d: usize, w: usize) -> Self {
+        Self::with_seed(log_universe, d, w, 0xDC5)
+    }
+
+    /// Create with an explicit hash seed.
+    pub fn with_seed(log_universe: u32, d: usize, w: usize, seed: u64) -> Self {
+        assert!((2..=40).contains(&log_universe), "universe out of range");
+        assert!(d >= 1 && d % 2 == 1, "need an odd number of rows for the median");
+        assert!(w >= 2, "need at least two columns");
+        Self {
+            log_universe,
+            levels: (0..log_universe)
+                .map(|l| CountSketch::new(d, w, seed ^ (u64::from(l) << 32)))
+                .collect(),
+            count: 0,
+            seed,
+            d,
+            w,
+        }
+    }
+
+    fn clamp_to_universe(&self, value: f64) -> u64 {
+        let top = (1u64 << self.log_universe) - 1;
+        if value <= 0.0 {
+            0
+        } else {
+            (value.round() as u64).min(top)
+        }
+    }
+
+    fn update(&mut self, value: f64, delta: i64) {
+        let x = self.clamp_to_universe(value);
+        for (level, cs) in self.levels.iter_mut().enumerate() {
+            cs.update(x >> level, delta);
+        }
+        self.count += delta;
+    }
+
+    /// Record a deletion (turnstile model, §5.1).
+    pub fn delete(&mut self, value: f64) {
+        self.update(value, -1);
+    }
+
+    /// Estimated number of live elements `< x`.
+    pub fn rank(&self, x: f64) -> i64 {
+        let x = self.clamp_to_universe(x);
+        let mut rank = 0i64;
+        for level in 0..self.log_universe {
+            if (x >> level) & 1 == 1 {
+                let id = (x >> (level + 1)) << 1;
+                rank += self.levels[level as usize].estimate(id);
+            }
+        }
+        rank
+    }
+
+    /// Number of allocated counters (the footprint axis of §5.2.3).
+    pub fn allocated_counters(&self) -> usize {
+        self.levels.len() * self.d * self.w
+    }
+}
+
+impl QuantileSketch for DyadicCountSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into DCS");
+        self.update(value, 1);
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.count <= 0 {
+            return Err(QueryError::Empty);
+        }
+        let target = (q * self.count as f64).ceil() as i64;
+        // Binary search the smallest x with rank(x) >= target, i.e. at
+        // least `target` elements < x; the quantile is x - 1's bucket.
+        let mut lo = 0u64;
+        let mut hi = 1u64 << self.log_universe;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.rank(mid as f64) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok((lo.saturating_sub(1)) as f64)
+    }
+
+    fn count(&self) -> u64 {
+        self.count.max(0) as u64
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.allocated_counters() * std::mem::size_of::<i64>()
+            + self.levels.len() * self.d * std::mem::size_of::<u64>()
+            + 4 * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "DCS"
+    }
+}
+
+impl MergeableSketch for DyadicCountSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.log_universe != other.log_universe
+            || self.d != other.d
+            || self.w != other.w
+            || self.seed != other.seed
+        {
+            return Err(MergeError::IncompatibleParameters(
+                "DCS universe/table/seed mismatch".into(),
+            ));
+        }
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.absorb(b);
+        }
+        self.count += other.count;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64, seed: u64) -> DyadicCountSketch {
+        let mut s = DyadicCountSketch::with_seed(20, 5, 1024, seed);
+        for i in 0..n {
+            s.insert(((i * 2_654_435_761) % n) as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let s = DyadicCountSketch::new(16, 5, 64);
+        assert_eq!(s.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn rank_estimates_close_on_uniform_integers() {
+        let n = 100_000u64;
+        let s = filled(n, 3);
+        for x in [10_000u64, 50_000, 90_000] {
+            let est = s.rank(x as f64);
+            let err = (est - x as i64).abs() as f64 / n as f64;
+            assert!(err < 0.02, "rank({x}) = {est}, err {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_close_on_uniform_integers() {
+        let n = 100_000u64;
+        let s = filled(n, 5);
+        for q in [0.25, 0.5, 0.9] {
+            let est = s.query(q).unwrap();
+            let rank_err = (est / n as f64 - q).abs();
+            assert!(rank_err < 0.02, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn turnstile_deletions_shift_quantiles() {
+        let n = 50_000u64;
+        let mut s = DyadicCountSketch::with_seed(20, 5, 1024, 7);
+        for i in 0..n {
+            s.insert(i as f64);
+        }
+        for i in 0..n / 2 {
+            s.delete(i as f64);
+        }
+        assert_eq!(s.count(), n / 2);
+        let est = s.query(0.5).unwrap();
+        // Live data is [n/2, n): median ~ 3n/4.
+        let truth = 3.0 * n as f64 / 4.0;
+        assert!(
+            (est - truth).abs() / (n as f64) < 0.05,
+            "median after deletes {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn footprint_larger_than_kll_at_comparable_accuracy() {
+        // §5.2.3: "Due to its larger memory footprint ... and being
+        // outperformed by KLL Sketch, DCS is not included".
+        use qsketch_kll::KllSketch;
+        let dcs = filled(100_000, 9);
+        let mut kll = KllSketch::with_seed(350, 9);
+        for i in 0..100_000u64 {
+            QuantileSketch::insert(&mut kll, i as f64);
+        }
+        assert!(
+            dcs.memory_footprint() > 10 * kll.memory_footprint(),
+            "DCS {} vs KLL {}",
+            dcs.memory_footprint(),
+            kll.memory_footprint()
+        );
+    }
+
+    #[test]
+    fn merge_combines_live_counts() {
+        let mut a = DyadicCountSketch::with_seed(18, 5, 256, 11);
+        let mut b = DyadicCountSketch::with_seed(18, 5, 256, 11);
+        for i in 0..10_000 {
+            a.insert(f64::from(i));
+            b.insert(f64::from(i + 10_000));
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 20_000);
+        let est = a.query(0.5).unwrap();
+        assert!((est - 10_000.0).abs() / 20_000.0_f64 < 0.03, "median {est}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = DyadicCountSketch::with_seed(18, 5, 256, 1);
+        let b = DyadicCountSketch::with_seed(18, 5, 256, 2);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_universe_values_clamped() {
+        let mut s = DyadicCountSketch::new(10, 5, 64);
+        s.insert(-5.0);
+        s.insert(1e9);
+        assert_eq!(s.count(), 2);
+        let est = s.query(1.0).unwrap();
+        assert!(est <= 1024.0);
+    }
+}

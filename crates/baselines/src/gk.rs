@@ -1,0 +1,215 @@
+//! Greenwald–Khanna ε-approximate quantile summary (SIGMOD'01).
+
+use qsketch_core::sketch::{check_quantile, QuantileSketch, QueryError};
+
+/// One GK tuple: a stored value with its rank uncertainty.
+#[derive(Debug, Clone, Copy)]
+struct Tuple {
+    /// Stored stream value.
+    v: f64,
+    /// Gap: `r_min(vᵢ) − r_min(vᵢ₋₁)`.
+    g: u64,
+    /// Rank spread: `r_max(vᵢ) − r_min(vᵢ)`.
+    delta: u64,
+}
+
+/// The Greenwald–Khanna summary: a sorted list of `(v, g, Δ)` tuples
+/// guaranteeing ε·n additive rank error using `O((1/ε)·log(εn))` space.
+///
+/// This is a *cash register* algorithm (insert-only) per the taxonomy of
+/// §5.1, included as the classical deterministic baseline the evaluated
+/// sketches descend from.
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    count: u64,
+    /// Inserts since the last compression sweep.
+    since_compress: u64,
+}
+
+impl GkSketch {
+    /// Create a summary with additive rank-error bound `epsilon` ∈ (0, 1).
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must lie in (0,1), got {epsilon}"
+        );
+        Self {
+            epsilon,
+            tuples: Vec::new(),
+            count: 0,
+            since_compress: 0,
+        }
+    }
+
+    /// The configured ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of retained tuples.
+    pub fn retained(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Remove tuples whose combined uncertainty stays under the 2εn band
+    /// (the COMPRESS operation of the GK paper).
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        out.push(self.tuples[0]);
+        // Walk middle tuples, merging each into its successor when the
+        // merged uncertainty fits the band. The last tuple (max) is kept
+        // verbatim.
+        for i in 1..self.tuples.len() {
+            let t = self.tuples[i];
+            let keep_min = out.len() == 1; // never merge into the min tuple
+            let prev = out.last_mut().expect("out is non-empty");
+            let mergeable = !keep_min && prev.g + t.g + t.delta <= threshold;
+            if mergeable {
+                // Merge prev into t: t absorbs prev's gap.
+                let merged = Tuple {
+                    v: t.v,
+                    g: prev.g + t.g,
+                    delta: t.delta,
+                };
+                *prev = merged;
+            } else {
+                out.push(t);
+            }
+        }
+        self.tuples = out;
+    }
+}
+
+impl QuantileSketch for GkSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into GK sketch");
+        self.count += 1;
+        // Find insertion position in the sorted tuple list.
+        let pos = self.tuples.partition_point(|t| t.v < value);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            // New min or max: known exactly.
+            0
+        } else {
+            (2.0 * self.epsilon * self.count as f64).floor() as u64
+        };
+        self.tuples.insert(
+            pos,
+            Tuple {
+                v: value,
+                g: 1,
+                delta,
+            },
+        );
+        self.since_compress += 1;
+        // Compress every ⌊1/(2ε)⌋ inserts, as in the original paper.
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let bound = (self.epsilon * self.count as f64) as u64;
+        let mut r_min = 0u64;
+        for t in &self.tuples {
+            r_min += t.g;
+            // First tuple whose max possible rank covers target + slack.
+            if r_min + t.delta >= target.saturating_sub(bound).max(1)
+                && r_min >= target.saturating_sub(bound)
+            {
+                return Ok(t.v);
+            }
+        }
+        Ok(self.tuples.last().expect("non-empty").v)
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.tuples.len() * std::mem::size_of::<Tuple>() + 3 * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "GK"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_query_errors() {
+        let s = GkSketch::new(0.01);
+        assert_eq!(s.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn rank_error_within_epsilon() {
+        let eps = 0.01;
+        let mut s = GkSketch::new(eps);
+        let n = 100_000u64;
+        for i in 0..n {
+            s.insert(((i * 2_654_435_761) % n) as f64);
+        }
+        for q in [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            let est = s.query(q).unwrap();
+            let rank_err = ((est + 1.0) / n as f64 - q).abs();
+            assert!(rank_err <= 2.0 * eps, "q={q} rank err {rank_err}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut s = GkSketch::new(0.01);
+        for i in 0..200_000 {
+            s.insert(f64::from(i));
+        }
+        assert!(
+            s.retained() < 4_000,
+            "GK retained {} tuples for 200k inserts",
+            s.retained()
+        );
+    }
+
+    #[test]
+    fn min_and_max_exact() {
+        let mut s = GkSketch::new(0.05);
+        for i in 0..10_000 {
+            s.insert(f64::from(i));
+        }
+        assert_eq!(s.query(1.0).unwrap(), 9_999.0);
+        // The minimum tuple is never merged away.
+        let low = s.query(0.0001).unwrap();
+        assert!(low <= 10_000.0 * 0.05 * 2.0, "low {low}");
+    }
+
+    #[test]
+    fn small_stream_exact() {
+        let mut s = GkSketch::new(0.01);
+        for v in [3.0, 6.0, 8.0, 9.0, 11.0, 15.0, 16.0, 18.0, 30.0, 51.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.query(0.5).unwrap(), 11.0);
+        assert_eq!(s.query(0.9).unwrap(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        GkSketch::new(0.0);
+    }
+}

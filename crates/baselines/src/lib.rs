@@ -1,0 +1,34 @@
+//! Related-work baselines from §5.2 of the paper.
+//!
+//! The paper's evaluation covers five sketches; its related-work section
+//! positions them against older/adjacent algorithms, all of which are
+//! implemented here so the harness can run extended comparisons:
+//!
+//! * [`GkSketch`] — the Greenwald–Khanna deterministic summary
+//!   (SIGMOD'01), ancestor of the additive-rank-error line that KLL
+//!   optimises (§5.1 discusses its GKAdaptive/GKArray descendants),
+//! * [`RandomSketch`] — the MRL buffer-collapse sampler of §5.2.1, the
+//!   direct ancestor KLL improves upon,
+//! * [`HdrHistogram`] — the high-dynamic-range histogram of §5.2.2 that
+//!   DDSketch was originally evaluated against,
+//! * [`DyadicCountSketch`] — the best *turnstile* algorithm per §5.2.3
+//!   (insertions *and* deletions via Count-Sketches over dyadic levels),
+//! * [`TDigest`] — Dunning & Ertl's t-digest (§5.2.4), the
+//!   value-clustering sketch ReqSketch was originally compared against.
+//!
+//! All implement the same [`qsketch_core::QuantileSketch`] trait as the
+//! five paper sketches; the experiment binaries include GK and t-digest
+//! behind `--with-baselines`, and `benches/related_work.rs` reproduces the
+//! §5.2 comparisons.
+
+mod dcs;
+mod gk;
+mod hdr;
+mod random;
+mod tdigest;
+
+pub use dcs::DyadicCountSketch;
+pub use gk::GkSketch;
+pub use hdr::HdrHistogram;
+pub use random::RandomSketch;
+pub use tdigest::TDigest;

@@ -1,0 +1,287 @@
+//! t-digest (Dunning & Ertl), the merging variant with the `k₁` scale
+//! function.
+
+use qsketch_core::sketch::{
+    check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};
+
+/// A weighted centroid: mean of the clustered values and their count.
+#[derive(Debug, Clone, Copy)]
+struct Centroid {
+    mean: f64,
+    weight: u64,
+}
+
+/// The merging t-digest (§5.2.4 of the paper): incoming values buffer up
+/// and periodically merge into a sorted list of centroids whose maximum
+/// size is governed by the scale function
+/// `k(q) = (δ/2π)·asin(2q−1)` — clusters near the extremes stay tiny, so
+/// tail quantiles are accurate, while mid quantiles use coarser clusters.
+///
+/// t-digest "does not provide a theoretical bound on its estimation error
+/// and its merging algorithm can weaken the accuracy of the original
+/// sketches" (§5.2.4) — it is included here as the empirical comparator
+/// ReqSketch was originally evaluated against.
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl TDigest {
+    /// Create a digest with compression parameter `δ` (typical: 100–500;
+    /// larger means more centroids and better accuracy).
+    pub fn new(compression: f64) -> Self {
+        assert!(compression >= 10.0, "compression must be >= 10");
+        let buffer_cap = (compression as usize) * 5;
+        Self {
+            compression,
+            centroids: Vec::new(),
+            buffer: Vec::with_capacity(buffer_cap),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The compression parameter δ.
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Number of centroids currently held (after flushing the buffer).
+    pub fn num_centroids(&mut self) -> usize {
+        self.flush();
+        self.centroids.len()
+    }
+
+    /// Scale function `k₁(q) = (δ/2π)·asin(2q−1)`.
+    fn k_scale(&self, q: f64) -> f64 {
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+    }
+
+    /// Merge buffered values into the centroid list.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut incoming: Vec<Centroid> = std::mem::take(&mut self.buffer)
+            .into_iter()
+            .map(|v| Centroid { mean: v, weight: 1 })
+            .collect();
+        incoming.extend_from_slice(&self.centroids);
+        incoming.sort_unstable_by(|a, b| a.mean.partial_cmp(&b.mean).expect("NaN in digest"));
+
+        let total: u64 = incoming.iter().map(|c| c.weight).sum();
+        let mut merged: Vec<Centroid> = Vec::with_capacity(self.centroids.len() + 16);
+        let mut seen = 0u64;
+        let mut acc = incoming[0];
+        let mut k_lower = self.k_scale(0.0);
+
+        for c in &incoming[1..] {
+            let q_if_merged = (seen + acc.weight + c.weight) as f64 / total as f64;
+            if self.k_scale(q_if_merged) - k_lower <= 1.0 {
+                // Weighted-mean merge.
+                let w = acc.weight + c.weight;
+                acc.mean = (acc.mean * acc.weight as f64 + c.mean * c.weight as f64) / w as f64;
+                acc.weight = w;
+            } else {
+                seen += acc.weight;
+                merged.push(acc);
+                k_lower = self.k_scale(seen as f64 / total as f64);
+                acc = *c;
+            }
+        }
+        merged.push(acc);
+        self.centroids = merged;
+    }
+}
+
+impl QuantileSketch for TDigest {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into t-digest");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buffer.push(value);
+        if self.buffer.len() >= self.buffer.capacity() {
+            self.flush();
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        // Queries take &self: flush into a scratch clone when the buffer is
+        // dirty (querying is not t-digest's hot path).
+        if !self.buffer.is_empty() {
+            let mut scratch = self.clone();
+            scratch.flush();
+            return scratch.query(q);
+        }
+
+        let total = self.count as f64;
+        let target = q * total;
+        let mut seen = 0.0;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let w = c.weight as f64;
+            if seen + w >= target {
+                // Interpolate within the centroid against its neighbours.
+                let frac = ((target - seen) / w).clamp(0.0, 1.0);
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    (self.centroids[i - 1].mean + c.mean) / 2.0
+                };
+                let hi = if i + 1 == self.centroids.len() {
+                    self.max
+                } else {
+                    (c.mean + self.centroids[i + 1].mean) / 2.0
+                };
+                return Ok((lo + (hi - lo) * frac).clamp(self.min, self.max));
+            }
+            seen += w;
+        }
+        Ok(self.max)
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.centroids.len() * std::mem::size_of::<Centroid>()
+            + self.buffer.len() * std::mem::size_of::<f64>()
+            + 4 * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "t-digest"
+    }
+}
+
+impl MergeableSketch for TDigest {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if (self.compression - other.compression).abs() > 1e-12 {
+            return Err(MergeError::IncompatibleParameters(format!(
+                "compression mismatch: {} vs {}",
+                self.compression, other.compression
+            )));
+        }
+        // Append the other's centroids as weighted inputs and re-cluster —
+        // the accuracy-weakening merge §5.2.4 refers to.
+        self.flush();
+        let mut scratch = other.clone();
+        scratch.flush();
+        self.centroids.extend_from_slice(&scratch.centroids);
+        self.centroids
+            .sort_unstable_by(|a, b| a.mean.partial_cmp(&b.mean).expect("NaN in digest"));
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        // Re-cluster via an empty-buffer flush trick: force one merge pass.
+        self.buffer.push(self.centroids[0].mean);
+        self.centroids[0].weight -= 1;
+        if self.centroids[0].weight == 0 {
+            self.centroids.remove(0);
+        }
+        self.flush();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64, compression: f64) -> TDigest {
+        let mut t = TDigest::new(compression);
+        for i in 0..n {
+            t.insert(((i * 2_654_435_761) % n) as f64);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let t = TDigest::new(100.0);
+        assert_eq!(t.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn tail_quantiles_tight() {
+        let n = 200_000u64;
+        let t = filled(n, 200.0);
+        for q in [0.01, 0.99] {
+            let est = t.query(q).unwrap();
+            let rank_err = (est / n as f64 - q).abs();
+            assert!(rank_err < 0.005, "q={q} rank err {rank_err}");
+        }
+    }
+
+    #[test]
+    fn mid_quantiles_reasonable() {
+        let n = 200_000u64;
+        let t = filled(n, 200.0);
+        for q in [0.25, 0.5, 0.75] {
+            let est = t.query(q).unwrap();
+            let rank_err = (est / n as f64 - q).abs();
+            assert!(rank_err < 0.02, "q={q} rank err {rank_err}");
+        }
+    }
+
+    #[test]
+    fn centroid_count_bounded_by_compression() {
+        let mut t = filled(500_000, 100.0);
+        let c = t.num_centroids();
+        assert!(c <= 200, "centroids {c} exceed ~2δ");
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let t = filled(50_000, 100.0);
+        assert_eq!(t.query(1.0).unwrap(), 49_999.0);
+        assert_eq!(t.min, 0.0);
+    }
+
+    #[test]
+    fn merge_combines_mass() {
+        let mut a = TDigest::new(100.0);
+        let mut b = TDigest::new(100.0);
+        for i in 0..50_000 {
+            a.insert(f64::from(i));
+            b.insert(f64::from(i + 50_000));
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 100_000);
+        let est = a.query(0.5).unwrap();
+        assert!((est / 100_000.0 - 0.5).abs() < 0.02, "median {est}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_compression() {
+        let mut a = TDigest::new(100.0);
+        let b = TDigest::new(200.0);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+    }
+
+    #[test]
+    fn query_with_dirty_buffer() {
+        let mut t = TDigest::new(100.0);
+        for i in 0..10 {
+            t.insert(f64::from(i));
+        }
+        // Buffer not yet flushed; query must still answer.
+        let est = t.query(0.5).unwrap();
+        assert!((0.0..=9.0).contains(&est));
+    }
+}

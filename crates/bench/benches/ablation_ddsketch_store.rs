@@ -1,0 +1,104 @@
+//! Ablation: DDSketch's dense-array store vs the bounded collapsing store,
+//! and vs UDDSketch's map store — the §4.3/§4.4 claim that the store
+//! representation (array vs map) is what separates DDSketch's and
+//! UDDSketch's runtimes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{FixedPareto, ValueStream};
+use qsketch_ddsketch::store::SparseStore;
+use qsketch_ddsketch::DdSketch;
+use qsketch_uddsketch::UddSketch;
+use std::time::Duration;
+
+const BATCH: usize = 10_000;
+
+fn bench_stores(c: &mut Criterion) {
+    let mut gen = FixedPareto::paper_speed_workload(42);
+    let values: Vec<f64> = (0..BATCH).map(|_| gen.next_value()).collect();
+
+    let mut group = c.benchmark_group("ablation/store_insert");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("dds_unbounded_dense", |b| {
+        b.iter_batched(
+            || DdSketch::unbounded(0.01),
+            |mut s| {
+                for &v in &values {
+                    s.insert(v);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dds_collapsing_1024", |b| {
+        b.iter_batched(
+            || DdSketch::collapsing(0.01, 1024),
+            |mut s| {
+                for &v in &values {
+                    s.insert(v);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dds_sparse_hash", |b| {
+        b.iter_batched(
+            || DdSketch::with_store(0.01, SparseStore::new(), SparseStore::new()),
+            |mut s| {
+                for &v in &values {
+                    s.insert(v);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("udds_map_store", |b| {
+        b.iter_batched(
+            || UddSketch::new(0.01, 1024),
+            |mut s| {
+                for &v in &values {
+                    s.insert(v);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // Query-side comparison at equal alpha.
+    let mut filled_dds = DdSketch::unbounded(0.01);
+    let mut filled_col = DdSketch::collapsing(0.01, 1024);
+    let mut filled_udd = UddSketch::new(0.01, 4096);
+    let mut gen = FixedPareto::paper_speed_workload(43);
+    for _ in 0..1_000_000 {
+        let v = gen.next_value();
+        filled_dds.insert(v);
+        filled_col.insert(v);
+        filled_udd.insert(v);
+    }
+    let mut group = c.benchmark_group("ablation/store_query");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("dds_unbounded_dense", |b| {
+        b.iter(|| std::hint::black_box(filled_dds.query(0.99).unwrap()))
+    });
+    group.bench_function("dds_collapsing_1024", |b| {
+        b.iter(|| std::hint::black_box(filled_col.query(0.99).unwrap()))
+    });
+    group.bench_function("udds_map_store", |b| {
+        b.iter(|| std::hint::black_box(filled_udd.query(0.99).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stores);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: the index-mapping choice inside DDSketch-family sketches —
+//! transcendental `ln` (the paper's configuration) vs IEEE-754
+//! bit-interpolated log2 (the DataDog production trick). Faster indexing
+//! buys insertion speed at ~1.44× the bucket count.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qsketch_datagen::{FixedPareto, ValueStream};
+use qsketch_ddsketch::{IndexMapping, LinearInterpolatedMapping, LogarithmicMapping};
+use std::time::Duration;
+
+const BATCH: usize = 100_000;
+
+fn bench_mappings(c: &mut Criterion) {
+    let mut gen = FixedPareto::paper_speed_workload(42);
+    let values: Vec<f64> = (0..BATCH).map(|_| gen.next_value()).collect();
+
+    let mut group = c.benchmark_group("ablation/mapping_index");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+
+    let log_m = LogarithmicMapping::new(0.01);
+    group.bench_function("logarithmic", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &v in &values {
+                acc += i64::from(log_m.index(v));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    let lin_m = LinearInterpolatedMapping::new(0.01);
+    group.bench_function("linear_interpolated", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &v in &values {
+                acc += i64::from(IndexMapping::index(&lin_m, v));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappings);
+criterion_main!(benches);

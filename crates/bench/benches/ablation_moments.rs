@@ -1,0 +1,74 @@
+//! Ablations for the Moments sketch:
+//!
+//! * `arcsinh` compression on/off (the §4.2 log transform) — insertion
+//!   cost of the extra transform vs the numerical-stability payoff,
+//! * solver grid size (the §4.5.5 accuracy/query-time dial).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{FixedPareto, ValueStream};
+use qsketch_moments::solver::SolverConfig;
+use qsketch_moments::MomentsSketch;
+use std::time::Duration;
+
+const BATCH: usize = 10_000;
+
+fn bench_moments(c: &mut Criterion) {
+    let mut gen = FixedPareto::paper_speed_workload(42);
+    let values: Vec<f64> = (0..BATCH).map(|_| gen.next_value()).collect();
+
+    let mut group = c.benchmark_group("ablation/moments_insert");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("raw", |b| {
+        b.iter_batched(
+            || MomentsSketch::new(12),
+            |mut s| {
+                for &v in &values {
+                    s.insert(v);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("arcsinh_compressed", |b| {
+        b.iter_batched(
+            || MomentsSketch::with_compression(12),
+            |mut s| {
+                for &v in &values {
+                    s.insert(v);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // Grid-size sweep on query cost (paper default 1024).
+    let mut group = c.benchmark_group("ablation/moments_grid");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for grid in [256usize, 1024, 4096] {
+        let config = SolverConfig {
+            grid_size: grid,
+            ..SolverConfig::default()
+        };
+        let mut sketch = MomentsSketch::with_options(12, true, config);
+        let mut gen = FixedPareto::paper_speed_workload(7);
+        for _ in 0..200_000 {
+            sketch.insert(gen.next_value());
+        }
+        group.bench_function(format!("grid_{grid}"), |b| {
+            b.iter(|| std::hint::black_box(sketch.query(0.99).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_moments);
+criterion_main!(benches);

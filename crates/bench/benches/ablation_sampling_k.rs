@@ -1,0 +1,85 @@
+//! Ablation over the sampling sketches' size parameters: KLL's
+//! `max_compactor_size` and ReqSketch's `num_sections` trade retained
+//! samples (space, §4.3) against insertion cost — the dial §6 recommends
+//! for buying accuracy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{FixedPareto, ValueStream};
+use qsketch_kll::KllSketch;
+use qsketch_req::{RankAccuracy, ReqSketch};
+use std::time::Duration;
+
+const BATCH: usize = 10_000;
+
+fn bench_sampling_parameters(c: &mut Criterion) {
+    let mut gen = FixedPareto::paper_speed_workload(42);
+    let values: Vec<f64> = (0..BATCH).map(|_| gen.next_value()).collect();
+
+    let mut group = c.benchmark_group("ablation/kll_k");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+    for k in [100u16, 350, 800] {
+        group.bench_function(format!("k_{k}"), |b| {
+            b.iter_batched(
+                || KllSketch::with_seed(k, 1),
+                |mut s| {
+                    for &v in &values {
+                        s.insert(v);
+                    }
+                    s
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/req_sections");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+    for k in [10usize, 30, 60] {
+        group.bench_function(format!("sections_{k}"), |b| {
+            b.iter_batched(
+                || ReqSketch::with_seed(k, RankAccuracy::High, 1),
+                |mut s| {
+                    for &v in &values {
+                        s.insert(v);
+                    }
+                    s
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // HRA vs LRA orientation has identical cost structure; verify.
+    let mut group = c.benchmark_group("ablation/req_orientation");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+    for (name, acc) in [("hra", RankAccuracy::High), ("lra", RankAccuracy::Low)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || ReqSketch::with_seed(30, acc, 1),
+                |mut s| {
+                    for &v in &values {
+                        s.insert(v);
+                    }
+                    s
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling_parameters);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion companion to Fig. 5a: per-element insertion cost of each
+//! sketch on the Pareto speed workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qsketch_bench::SketchKind;
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{FixedPareto, ValueStream};
+use std::time::Duration;
+
+/// Values inserted per measured batch.
+const BATCH: usize = 10_000;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert/pareto");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+
+    let mut gen = FixedPareto::paper_speed_workload(42);
+    let values: Vec<f64> = (0..BATCH).map(|_| gen.next_value()).collect();
+
+    for kind in SketchKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || kind.build(42, true),
+                |mut sketch| {
+                    for &v in &values {
+                        sketch.insert(v);
+                    }
+                    sketch
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

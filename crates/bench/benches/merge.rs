@@ -1,0 +1,53 @@
+//! Criterion companion to Fig. 5c: pairwise merge cost per sketch (shards
+//! fed the §4.1 uniform/binomial/Zipf workloads).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qsketch_bench::{AnySketch, SketchKind};
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{BinomialGen, FixedUniform, ValueStream, ZipfGen};
+use std::time::Duration;
+
+/// Events per shard sketch before merging.
+const SHARD_EVENTS: usize = 100_000;
+
+fn shard(kind: SketchKind, which: usize) -> AnySketch {
+    let mut sketch = kind.build(42 + which as u64, false);
+    let mut gen: Box<dyn ValueStream> = match which % 3 {
+        0 => Box::new(FixedUniform::new(7 + which as u64, 30.0, 100.0)),
+        1 => Box::new(BinomialGen::new(7 + which as u64, 100, 0.2)),
+        _ => Box::new(ZipfGen::new(7 + which as u64, 20, 0.6)),
+    };
+    for _ in 0..SHARD_EVENTS {
+        sketch.insert(gen.next_value());
+    }
+    sketch
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge/pairwise");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for kind in SketchKind::ALL {
+        if kind == SketchKind::Gk {
+            continue; // GK defines no merge (§5.2 baseline)
+        }
+        let a = shard(kind, 0);
+        let b = shard(kind, 1);
+        group.bench_function(kind.label(), |bch| {
+            bch.iter_batched(
+                || a.clone(),
+                |mut acc| {
+                    acc.merge_same(&b).expect("same-kind merge");
+                    acc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

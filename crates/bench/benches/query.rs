@@ -1,0 +1,41 @@
+//! Criterion companion to Fig. 5b: quantile-query cost per sketch at two
+//! fill sizes (the paper's size-dependence axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsketch_bench::SketchKind;
+use qsketch_core::quantiles::QUERIED;
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{FixedPareto, ValueStream};
+use std::time::Duration;
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/pareto");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &n in &[100_000u64, 1_000_000] {
+        for kind in SketchKind::ALL {
+            let mut sketch = kind.build(42, true);
+            let mut gen = FixedPareto::paper_speed_workload(42);
+            for _ in 0..n {
+                sketch.insert(gen.next_value());
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), n),
+                &sketch,
+                |b, sketch| {
+                    b.iter(|| {
+                        for &q in &QUERIED {
+                            std::hint::black_box(sketch.query(q).ok());
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

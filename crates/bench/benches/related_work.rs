@@ -1,0 +1,102 @@
+//! §5.2 related-work comparisons: the head-to-heads the paper cites as
+//! grounds for its algorithm selection.
+//!
+//! * HDR histogram vs DDSketch — "comparable ... on accuracy and
+//!   insertion speed but performed worse on merge speed and total sketch
+//!   size" (§5.2.2),
+//! * Random vs KLL — KLL "extends Random to outperform" it (§3, §5.2.1),
+//! * DCS vs KLL — "KLL outperforms DCS in terms of memory usage, speed
+//!   and accuracy" (§5.2.3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qsketch_baselines::{DyadicCountSketch, HdrHistogram, RandomSketch};
+use qsketch_core::sketch::MergeableSketch;
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{FixedUniform, ValueStream};
+use qsketch_ddsketch::DdSketch;
+use qsketch_kll::KllSketch;
+use std::time::Duration;
+
+const BATCH: usize = 10_000;
+
+fn workload() -> Vec<f64> {
+    let mut gen = FixedUniform::new(42, 1.0, 1_000_000.0);
+    (0..BATCH).map(|_| gen.next_value()).collect()
+}
+
+fn bench_insert_comparisons(c: &mut Criterion) {
+    let values = workload();
+    let mut group = c.benchmark_group("related_work/insert");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+
+    macro_rules! bench {
+        ($name:expr, $make:expr) => {
+            group.bench_function($name, |b| {
+                b.iter_batched(
+                    || $make,
+                    |mut s| {
+                        for &v in &values {
+                            s.insert(v);
+                        }
+                        s
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        };
+    }
+    bench!("ddsketch", DdSketch::unbounded(0.0078));
+    bench!("hdr_histogram", HdrHistogram::new(7, 100_000_000));
+    bench!("kll", KllSketch::with_seed(350, 1));
+    bench!("random_mrl", RandomSketch::with_seed(350, 8, 1));
+    bench!("dcs", DyadicCountSketch::with_seed(20, 5, 512, 1));
+    group.finish();
+}
+
+fn bench_merge_comparisons(c: &mut Criterion) {
+    let values = workload();
+    let mut group = c.benchmark_group("related_work/merge");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    // §5.2.2: HDR merges slower than DDSketch (whole pre-allocated array
+    // vs occupied buckets).
+    let mut dd_a = DdSketch::unbounded(0.0078);
+    let mut dd_b = DdSketch::unbounded(0.0078);
+    let mut hdr_a = HdrHistogram::new(7, 100_000_000);
+    let mut hdr_b = HdrHistogram::new(7, 100_000_000);
+    for &v in &values {
+        dd_a.insert(v);
+        dd_b.insert(v * 1.7);
+        hdr_a.insert(v);
+        hdr_b.insert(v * 1.7);
+    }
+    group.bench_function("ddsketch", |b| {
+        b.iter_batched(
+            || dd_a.clone(),
+            |mut s| {
+                s.merge(&dd_b).expect("same gamma");
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("hdr_histogram", |b| {
+        b.iter_batched(
+            || hdr_a.clone(),
+            |mut s| {
+                s.merge(&hdr_b).expect("same precision");
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_comparisons, bench_merge_comparisons);
+criterion_main!(benches);

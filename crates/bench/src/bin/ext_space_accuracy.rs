@@ -1,0 +1,7 @@
+//! Extension experiment: the space/accuracy frontier of every sketch
+//! (makes §6's "sample size can be increased" concrete).
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    print!("{}", qsketch_bench::experiments::ext_space_accuracy::run(&args));
+}

@@ -1,0 +1,7 @@
+//! Extension experiment: bounded-out-of-orderness watermark lag vs
+//! late-data loss and accuracy (extends the paper's §4.6).
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    print!("{}", qsketch_bench::experiments::ext_watermark_lag::run(&args));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4 (data-set histograms) as text plots. `--full` uses
+//! a larger sample; `--quick` (default) is near-instant.
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    print!("{}", qsketch_bench::experiments::fig4_datasets::run(&args));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper experiment implemented in
+//! `qsketch_bench::experiments::fig6_accuracy`. Run with `--full` for the
+//! paper's stream sizes, `--quick` (default) for a scaled-down run.
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    print!("{}", qsketch_bench::experiments::fig6_accuracy::run(&args));
+}

@@ -1,0 +1,30 @@
+//! Runs every experiment of the paper in sequence (Tables 3–4,
+//! Figs. 5a–8, §4.6–4.7) at the selected scale.
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    use qsketch_bench::experiments as e;
+    type Experiment = fn(&qsketch_bench::cli::Args) -> String;
+    let runs: [(&str, Experiment); 13] = [
+        ("fig4_datasets", e::fig4_datasets::run),
+        ("table3_memory", e::table3_memory::run),
+        ("fig5a_insertion", e::fig5a_insertion::run),
+        ("fig5b_query", e::fig5b_query::run),
+        ("fig5c_merge", e::fig5c_merge::run),
+        ("fig6_accuracy", e::fig6_accuracy::run),
+        ("fig7_kurtosis", e::fig7_kurtosis::run),
+        ("fig8_adaptability", e::fig8_adaptability::run),
+        ("sec46_late_data", e::sec46_late_data::run),
+        ("sec47_window_size", e::sec47_window_size::run),
+        ("table4_summary", e::table4_summary::run),
+        ("ext_watermark_lag", e::ext_watermark_lag::run),
+        ("ext_space_accuracy", e::ext_space_accuracy::run),
+    ];
+    for (name, run) in runs {
+        println!("================================================================");
+        println!("== {name}");
+        println!("================================================================");
+        print!("{}", run(&args));
+        println!();
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper experiment implemented in
+//! `qsketch_bench::experiments::sec47_window_size`. Run with `--full` for the
+//! paper's stream sizes, `--quick` (default) for a scaled-down run.
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    print!("{}", qsketch_bench::experiments::sec47_window_size::run(&args));
+}

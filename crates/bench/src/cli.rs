@@ -1,0 +1,150 @@
+//! The tiny argument convention shared by every experiment binary.
+//!
+//! * `--quick` (default): paper experiment scaled down to finish on a
+//!   laptop in seconds-to-minutes,
+//! * `--full`: the paper's §4.2 stream sizes (minutes-to-hours),
+//! * `--with-baselines`: additionally run the §5.2 GK / t-digest
+//!   baselines,
+//! * `--seed <n>`: override the base seed (default 42),
+//! * `--runs <n>`: override the number of independent runs.
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minute streams for smoke tests (used by the integration tests,
+    /// which run unoptimised builds).
+    Tiny,
+    /// Scaled-down streams for fast iteration.
+    Quick,
+    /// The paper's stream sizes.
+    Full,
+}
+
+/// Parsed common arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Quick or full scale.
+    pub scale: Scale,
+    /// Include GK/t-digest baselines.
+    pub with_baselines: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Independent-runs override (None = experiment default).
+    pub runs: Option<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Quick,
+            with_baselines: false,
+            seed: 42,
+            runs: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from an iterator of argument strings (exposed for testing).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.scale = Scale::Quick,
+                "--tiny" => out.scale = Scale::Tiny,
+                "--full" => out.scale = Scale::Full,
+                "--with-baselines" => out.with_baselines = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                }
+                "--runs" => {
+                    let v = it.next().ok_or("--runs needs a value")?;
+                    out.runs = Some(v.parse().map_err(|_| format!("bad runs: {v}"))?);
+                }
+                "--help" | "-h" => {
+                    return Err(concat!(
+                        "usage: <experiment> [--tiny|--quick|--full] [--with-baselines] ",
+                        "[--seed N] [--runs N]"
+                    )
+                    .to_string())
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Number of runs: the explicit override, otherwise `quick_default`
+    /// under `--quick` and the paper's 10 under `--full`.
+    pub fn runs_or(&self, quick_default: usize) -> usize {
+        self.runs.unwrap_or(match self.scale {
+            Scale::Tiny => 1,
+            Scale::Quick => quick_default,
+            Scale::Full => 10,
+        })
+    }
+
+    /// The sketch set to run: the paper's five, plus baselines on demand.
+    pub fn sketches(&self) -> Vec<crate::SketchKind> {
+        if self.with_baselines {
+            crate::SketchKind::ALL.to_vec()
+        } else {
+            crate::SketchKind::PAPER_FIVE.to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Quick);
+        assert!(!a.with_baselines);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.runs_or(3), 3);
+    }
+
+    #[test]
+    fn full_scale_and_runs() {
+        let a = parse(&["--full", "--seed", "7"]).unwrap();
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.runs_or(3), 10);
+        let b = parse(&["--full", "--runs", "2"]).unwrap();
+        assert_eq!(b.runs_or(3), 2);
+    }
+
+    #[test]
+    fn baselines_flag() {
+        let a = parse(&["--with-baselines"]).unwrap();
+        assert_eq!(a.sketches().len(), 7);
+        assert_eq!(parse(&[]).unwrap().sketches().len(), 5);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 4: histogram representations of the four data sets, rendered as
+//! text — the visual sanity check that the synthetic stand-ins have the
+//! paper's shapes (long Pareto tail, flat Uniform, spiked NYT fares,
+//! bimodal Power).
+
+use crate::cli::Args;
+use qsketch_core::exact::ExactQuantiles;
+use qsketch_core::stats::MomentsAccumulator;
+use qsketch_datagen::DataSet;
+
+/// Sample size per data set.
+fn sample_size(scale: crate::cli::Scale) -> usize {
+    match scale {
+        crate::cli::Scale::Tiny => 20_000,
+        _ => 500_000,
+    }
+}
+
+/// Histogram bins per data set.
+const BINS: usize = 48;
+/// Bar glyph budget for the densest bin.
+const BAR_WIDTH: usize = 60;
+
+/// Run: one text histogram per data set (Fig. 4a–4d), clipped at the 99th
+/// percentile so the Pareto tail does not flatten the plot.
+pub fn run(args: &Args) -> String {
+    let n = sample_size(args.scale);
+    let mut out = String::from("Fig. 4: histogram representations of data sets used\n");
+
+    for ds in DataSet::ALL {
+        let mut gen = ds.generator(args.seed, 50);
+        let mut values = Vec::with_capacity(n);
+        let mut acc = MomentsAccumulator::new();
+        for _ in 0..n {
+            let v = gen.next_value();
+            acc.insert(v);
+            values.push(v);
+        }
+        let mut oracle = ExactQuantiles::with_capacity(n);
+        oracle.extend(values.iter().copied());
+        let clip_hi = oracle.query(0.99).expect("non-empty");
+        let lo = acc.min();
+
+        let mut bins = vec![0u64; BINS];
+        let width = ((clip_hi - lo) / BINS as f64).max(f64::MIN_POSITIVE);
+        for &v in &values {
+            let b = (((v - lo) / width) as usize).min(BINS - 1);
+            bins[b] += 1;
+        }
+        let peak = bins.iter().copied().max().unwrap_or(1).max(1);
+
+        out.push_str(&format!(
+            "\n--- {} ---  n={n}  min={:.3}  p99={:.3}  max={:.3}  mean={:.3}  kurtosis={:.1}\n",
+            ds.label(),
+            lo,
+            clip_hi,
+            acc.max(),
+            acc.mean(),
+            acc.excess_kurtosis(),
+        ));
+        for (b, &count) in bins.iter().enumerate() {
+            let bar = "#".repeat((count as usize * BAR_WIDTH / peak as usize).max(usize::from(count > 0)));
+            out.push_str(&format!(
+                "{:>10.2} |{bar}\n",
+                lo + (b as f64 + 0.5) * width
+            ));
+        }
+    }
+    out.push_str(
+        "\nPaper (Fig. 4): Pareto collapses into its first bin with an extreme tail;\n\
+         Uniform is a flat band around [1000, 2000]; NYT shows discrete fare spikes\n\
+         over a lognormal body; Power is bimodal on [0, 11].\n",
+    );
+    out
+}

@@ -1,0 +1,146 @@
+//! One module per table/figure of the paper. Every module exposes
+//! `run(&Args) -> String`, and the `bin/` wrappers just print that —
+//! which also lets the integration tests execute the real experiment code
+//! at reduced scale.
+
+pub mod ext_space_accuracy;
+pub mod ext_watermark_lag;
+pub mod fig4_datasets;
+pub mod fig5a_insertion;
+pub mod fig5b_query;
+pub mod fig5c_merge;
+pub mod fig6_accuracy;
+pub mod fig7_kurtosis;
+pub mod fig8_adaptability;
+pub mod sec46_late_data;
+pub mod sec47_window_size;
+pub mod table3_memory;
+pub mod table4_summary;
+
+use crate::cli::{Args, Scale};
+use qsketch_core::error::ErrorStats;
+use qsketch_core::quantiles::QuantileGroup;
+use qsketch_datagen::DataSet;
+use qsketch_streamsim::{AccuracyConfig, NetworkDelay};
+
+/// Shared accuracy-experiment driver: run `runs` independent seeded runs
+/// of `cfg` for one sketch kind on one data set and fold all per-window
+/// errors into per-quantile [`ErrorStats`].
+pub(crate) fn accuracy_stats(
+    kind: crate::SketchKind,
+    dataset: DataSet,
+    cfg: &AccuracyConfig,
+    runs: usize,
+    base_seed: u64,
+) -> AccuracyOutcome {
+    let mut per_q: Vec<(f64, ErrorStats)> = cfg
+        .quantiles
+        .iter()
+        .map(|&q| (q, ErrorStats::new()))
+        .collect();
+    let mut dropped = 0u64;
+    let mut total = 0u64;
+    let mut failed = 0u64;
+    for run in 0..runs {
+        let seed = base_seed
+            .wrapping_add(run as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (kind.label().len() as u64);
+        let values = dataset.generator(seed, qsketch_datagen::PAPER_EVENTS_PER_UPDATE);
+        let summary = qsketch_streamsim::harness::run_accuracy(
+            || kind.build_for(seed, dataset),
+            values,
+            cfg,
+            seed,
+        );
+        for w in &summary.windows {
+            for &(q, err) in &w.errors {
+                if let Some((_, stats)) = per_q.iter_mut().find(|(pq, _)| *pq == q) {
+                    stats.record(err);
+                }
+            }
+        }
+        dropped += summary.dropped_late;
+        total += summary.total_events;
+        failed += summary.failed_queries;
+    }
+    AccuracyOutcome {
+        per_q,
+        dropped,
+        total,
+        failed,
+    }
+}
+
+/// Folded accuracy result for one (sketch, data set) cell.
+pub(crate) struct AccuracyOutcome {
+    pub per_q: Vec<(f64, ErrorStats)>,
+    pub dropped: u64,
+    pub total: u64,
+    #[allow(dead_code)]
+    pub failed: u64,
+}
+
+impl AccuracyOutcome {
+    /// Mean relative error over a reporting group (mid / upper / p99).
+    pub fn group_mean(&self, group: QuantileGroup) -> f64 {
+        let mut folded = ErrorStats::new();
+        for (q, stats) in &self.per_q {
+            if group.members().contains(q) {
+                folded.absorb(stats);
+            }
+        }
+        if folded.is_empty() {
+            f64::NAN
+        } else {
+            folded.mean()
+        }
+    }
+
+    /// Mean relative error of one specific quantile.
+    pub fn q_mean(&self, q: f64) -> f64 {
+        self.per_q
+            .iter()
+            .find(|(pq, _)| *pq == q)
+            .map(|(_, s)| if s.is_empty() { f64::NAN } else { s.mean() })
+            .unwrap_or(f64::NAN)
+    }
+
+    /// 95 % CI half-width of one quantile's error.
+    pub fn q_ci(&self, q: f64) -> f64 {
+        self.per_q
+            .iter()
+            .find(|(pq, _)| *pq == q)
+            .map(|(_, s)| s.ci95_half_width())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Late-loss fraction across all runs.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.total as f64
+        }
+    }
+}
+
+/// The windowed configuration for an experiment at the chosen scale:
+/// `--full` is the paper's 1 M-event windows; `--quick` shrinks the rate
+/// (100 k-event windows) and keeps everything else identical so
+/// delay-to-window ratios are preserved.
+pub(crate) fn scaled_config(args: &Args, delay: NetworkDelay) -> AccuracyConfig {
+    match args.scale {
+        Scale::Full => AccuracyConfig::paper(delay),
+        Scale::Quick => {
+            let mut cfg = AccuracyConfig::paper_scaled(delay, 10);
+            cfg.num_windows = 6; // 5 measured + 1 discarded
+            cfg
+        }
+        Scale::Tiny => {
+            let mut cfg = AccuracyConfig::paper_scaled(delay, 500);
+            cfg.num_windows = 3;
+            cfg
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! §4.6: the Fig. 6 accuracy experiments re-run with late-arriving data —
+//! an exponential network delay (mean 150 ms) with late events dropped.
+
+use crate::cli::Args;
+use crate::experiments::{accuracy_stats, scaled_config};
+use crate::table::{fmt_pct, Table};
+use qsketch_core::quantiles::QuantileGroup;
+use qsketch_datagen::DataSet;
+use qsketch_streamsim::{NetworkDelay, PAPER_MEAN_DELAY_MS};
+
+/// Run the experiment: side-by-side error with and without late drops,
+/// plus the measured loss fraction (paper: ≈ 2 % per window).
+pub fn run(args: &Args) -> String {
+    let delay = NetworkDelay::ExponentialMs(PAPER_MEAN_DELAY_MS);
+    let cfg_late = scaled_config(args, delay);
+    let cfg_clean = scaled_config(args, NetworkDelay::None);
+    let runs = args.runs_or(3);
+    let sketches = args.sketches();
+
+    let mut out = format!(
+        "Sec. 4.6: late-arriving data (exponential delay, mean {PAPER_MEAN_DELAY_MS} ms, \
+         late events dropped)\n\n"
+    );
+
+    for dataset in DataSet::ALL {
+        out.push_str(&format!("--- {} ---\n", dataset.label()));
+        let mut header: Vec<String> = vec!["sketch".into()];
+        for g in QuantileGroup::ALL {
+            header.push(format!("{} clean", g.label()));
+            header.push(format!("{} late", g.label()));
+        }
+        header.push("loss".into());
+        let mut table = Table::new(header);
+
+        for &kind in &sketches {
+            let clean = accuracy_stats(kind, dataset, &cfg_clean, runs, args.seed);
+            let late = accuracy_stats(kind, dataset, &cfg_late, runs, args.seed);
+            let mut row = vec![kind.label().to_string()];
+            for g in QuantileGroup::ALL {
+                row.push(fmt_pct(clean.group_mean(g)));
+                row.push(fmt_pct(late.group_mean(g)));
+            }
+            row.push(format!("{:.2}%", late.loss_fraction() * 100.0));
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+
+    out.push_str(
+        "Paper (Sec. 4.6): ~2% of a window's events drop as late; error is only\n\
+         slightly higher than the no-late runs and the Fig. 6 analysis is unchanged —\n\
+         an accurate summary is insensitive to losing a small data fraction.\n",
+    );
+    out
+}

@@ -1,0 +1,22 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each table/figure has a dedicated binary (see DESIGN.md's experiment
+//! index); this library provides what they share:
+//!
+//! * [`registry`] — a uniform handle ([`registry::AnySketch`]) over the
+//!   five evaluated sketches (plus the §5.2 baselines), constructed with
+//!   the paper's §4.2 parameters,
+//! * [`table`] — plain-text table rendering for experiment output,
+//! * [`cli`] — the `--quick` / `--full` scale switch shared by all
+//!   binaries (quick keeps laptop runtimes; full uses the paper's stream
+//!   sizes),
+//! * [`timing`] — monotonic timing helpers for the speed experiments
+//!   (§4.4), which the paper runs single-threaded and standalone.
+
+pub mod cli;
+pub mod experiments;
+pub mod registry;
+pub mod table;
+pub mod timing;
+
+pub use registry::{AnySketch, SketchKind};

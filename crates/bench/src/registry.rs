@@ -1,0 +1,284 @@
+//! A uniform handle over every sketch in the study, parameterised exactly
+//! as in §4.2.
+
+use qsketch_baselines::{GkSketch, TDigest};
+use qsketch_core::sketch::{MergeError, QuantileSketch, QueryError};
+use qsketch_datagen::DataSet;
+use qsketch_ddsketch::DdSketch;
+use qsketch_kll::KllSketch;
+use qsketch_moments::MomentsSketch;
+use qsketch_req::{RankAccuracy, ReqSketch};
+use qsketch_uddsketch::UddSketch;
+
+/// The sketches of the study. The first five are the paper's subjects;
+/// [`SketchKind::Gk`] and [`SketchKind::TDigest`] are the §5.2 baselines
+/// available behind `--with-baselines`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SketchKind {
+    /// ReqSketch, HRA, `num_sections = 30`.
+    Req,
+    /// KLL, `max_compactor_size = 350`.
+    Kll,
+    /// UDDSketch, 1024 buckets, 12 anticipated collapses, final α = 0.01.
+    Udds,
+    /// DDSketch, unbounded dense store, α = 0.01.
+    Dds,
+    /// Moments sketch, 12 moments (arcsinh-compressed on Pareto/Power).
+    Moments,
+    /// Greenwald–Khanna, ε = 0.01 (§5.2 baseline).
+    Gk,
+    /// t-digest, δ = 200 (§5.2 baseline).
+    TDigest,
+}
+
+impl SketchKind {
+    /// The paper's five sketches in its reporting order
+    /// (REQ, KLL, UDDS, DDS, Moments — the column order of Table 3).
+    pub const PAPER_FIVE: [SketchKind; 5] = [
+        SketchKind::Req,
+        SketchKind::Kll,
+        SketchKind::Udds,
+        SketchKind::Dds,
+        SketchKind::Moments,
+    ];
+
+    /// Paper sketches plus the §5.2 baselines.
+    pub const ALL: [SketchKind; 7] = [
+        SketchKind::Req,
+        SketchKind::Kll,
+        SketchKind::Udds,
+        SketchKind::Dds,
+        SketchKind::Moments,
+        SketchKind::Gk,
+        SketchKind::TDigest,
+    ];
+
+    /// Column label (matches Table 3's headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            SketchKind::Req => "REQ",
+            SketchKind::Kll => "KLL",
+            SketchKind::Udds => "UDDS",
+            SketchKind::Dds => "DDS",
+            SketchKind::Moments => "Moments",
+            SketchKind::Gk => "GK",
+            SketchKind::TDigest => "t-digest",
+        }
+    }
+
+    /// Build this sketch with the §4.2 parameters. `seed` drives the
+    /// randomised sketches (KLL, REQ); `compress_moments` applies the log
+    /// transform §4.2 prescribes for the Pareto and Power data sets.
+    pub fn build(self, seed: u64, compress_moments: bool) -> AnySketch {
+        match self {
+            SketchKind::Req => AnySketch::Req(ReqSketch::with_seed(
+                qsketch_req::PAPER_K,
+                RankAccuracy::High,
+                seed,
+            )),
+            SketchKind::Kll => {
+                AnySketch::Kll(KllSketch::with_seed(qsketch_kll::PAPER_K, seed))
+            }
+            SketchKind::Udds => AnySketch::Udds(UddSketch::paper_configuration()),
+            SketchKind::Dds => AnySketch::Dds(DdSketch::paper_configuration()),
+            SketchKind::Moments => AnySketch::Moments(if compress_moments {
+                MomentsSketch::with_compression(qsketch_moments::PAPER_NUM_MOMENTS)
+            } else {
+                MomentsSketch::paper_configuration()
+            }),
+            SketchKind::Gk => AnySketch::Gk(GkSketch::new(0.01)),
+            SketchKind::TDigest => AnySketch::TDigest(TDigest::new(200.0)),
+        }
+    }
+
+    /// Build with the compression choice §4.2 makes for `dataset`.
+    pub fn build_for(self, seed: u64, dataset: DataSet) -> AnySketch {
+        self.build(seed, dataset.moments_needs_compression())
+    }
+}
+
+/// A type-erased sketch: one enum over every implementation so experiment
+/// loops can treat them uniformly (and still merge same-kind pairs, which
+/// a `dyn QuantileSketch` could not express).
+#[derive(Debug, Clone)]
+pub enum AnySketch {
+    /// ReqSketch.
+    Req(ReqSketch),
+    /// KLL.
+    Kll(KllSketch),
+    /// UDDSketch.
+    Udds(UddSketch),
+    /// DDSketch (unbounded dense store).
+    Dds(DdSketch),
+    /// Moments sketch.
+    Moments(MomentsSketch),
+    /// Greenwald–Khanna baseline.
+    Gk(GkSketch),
+    /// t-digest baseline.
+    TDigest(TDigest),
+}
+
+impl AnySketch {
+    /// Which kind this sketch is.
+    pub fn kind(&self) -> SketchKind {
+        match self {
+            AnySketch::Req(_) => SketchKind::Req,
+            AnySketch::Kll(_) => SketchKind::Kll,
+            AnySketch::Udds(_) => SketchKind::Udds,
+            AnySketch::Dds(_) => SketchKind::Dds,
+            AnySketch::Moments(_) => SketchKind::Moments,
+            AnySketch::Gk(_) => SketchKind::Gk,
+            AnySketch::TDigest(_) => SketchKind::TDigest,
+        }
+    }
+
+    /// Merge a same-kind sketch into this one (§2.4). GK has no merge
+    /// operation (it is a §5.2 baseline outside the mergeability study).
+    pub fn merge_same(&mut self, other: &AnySketch) -> Result<(), MergeError> {
+        use qsketch_core::sketch::MergeableSketch;
+        match (self, other) {
+            (AnySketch::Req(a), AnySketch::Req(b)) => a.merge(b),
+            (AnySketch::Kll(a), AnySketch::Kll(b)) => a.merge(b),
+            (AnySketch::Udds(a), AnySketch::Udds(b)) => a.merge(b),
+            (AnySketch::Dds(a), AnySketch::Dds(b)) => a.merge(b),
+            (AnySketch::Moments(a), AnySketch::Moments(b)) => a.merge(b),
+            (AnySketch::TDigest(a), AnySketch::TDigest(b)) => a.merge(b),
+            _ => Err(MergeError::IncompatibleParameters(
+                "cannot merge different sketch kinds".into(),
+            )),
+        }
+    }
+}
+
+impl QuantileSketch for AnySketch {
+    fn insert(&mut self, value: f64) {
+        match self {
+            AnySketch::Req(s) => s.insert(value),
+            AnySketch::Kll(s) => s.insert(value),
+            AnySketch::Udds(s) => s.insert(value),
+            AnySketch::Dds(s) => s.insert(value),
+            AnySketch::Moments(s) => s.insert(value),
+            AnySketch::Gk(s) => s.insert(value),
+            AnySketch::TDigest(s) => s.insert(value),
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        match self {
+            AnySketch::Req(s) => s.query(q),
+            AnySketch::Kll(s) => s.query(q),
+            AnySketch::Udds(s) => s.query(q),
+            AnySketch::Dds(s) => s.query(q),
+            AnySketch::Moments(s) => s.query(q),
+            AnySketch::Gk(s) => s.query(q),
+            AnySketch::TDigest(s) => s.query(q),
+        }
+    }
+
+    fn query_many(&self, qs: &[f64]) -> Result<Vec<f64>, QueryError> {
+        match self {
+            AnySketch::Req(s) => s.query_many(qs),
+            AnySketch::Kll(s) => s.query_many(qs),
+            AnySketch::Udds(s) => s.query_many(qs),
+            AnySketch::Dds(s) => s.query_many(qs),
+            AnySketch::Moments(s) => s.query_many(qs),
+            AnySketch::Gk(s) => s.query_many(qs),
+            AnySketch::TDigest(s) => s.query_many(qs),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            AnySketch::Req(s) => s.count(),
+            AnySketch::Kll(s) => s.count(),
+            AnySketch::Udds(s) => s.count(),
+            AnySketch::Dds(s) => s.count(),
+            AnySketch::Moments(s) => s.count(),
+            AnySketch::Gk(s) => s.count(),
+            AnySketch::TDigest(s) => s.count(),
+        }
+    }
+
+    fn memory_footprint(&self) -> usize {
+        match self {
+            AnySketch::Req(s) => s.memory_footprint(),
+            AnySketch::Kll(s) => s.memory_footprint(),
+            AnySketch::Udds(s) => s.memory_footprint(),
+            AnySketch::Dds(s) => s.memory_footprint(),
+            AnySketch::Moments(s) => s.memory_footprint(),
+            AnySketch::Gk(s) => s.memory_footprint(),
+            AnySketch::TDigest(s) => s.memory_footprint(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.kind().label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_answers() {
+        for kind in SketchKind::ALL {
+            let mut s = kind.build(42, false);
+            for i in 1..=10_000 {
+                s.insert(i as f64);
+            }
+            assert_eq!(s.count(), 10_000);
+            let est = s.query(0.5).unwrap();
+            assert!(
+                (est - 5_000.0).abs() / 10_000.0 < 0.05,
+                "{}: median {est}",
+                kind.label()
+            );
+            assert!(s.memory_footprint() > 0);
+        }
+    }
+
+    #[test]
+    fn merge_same_kind_works_for_mergeable() {
+        for kind in SketchKind::PAPER_FIVE {
+            let mut a = kind.build(1, false);
+            let mut b = kind.build(2, false);
+            for i in 1..=5_000 {
+                a.insert(i as f64);
+                b.insert((i + 5_000) as f64);
+            }
+            a.merge_same(&b).unwrap();
+            assert_eq!(a.count(), 10_000, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn merge_cross_kind_rejected() {
+        let mut a = SketchKind::Kll.build(1, false);
+        let b = SketchKind::Dds.build(1, false);
+        assert!(a.merge_same(&b).is_err());
+    }
+
+    #[test]
+    fn labels_match_table3_columns() {
+        let labels: Vec<&str> = SketchKind::PAPER_FIVE.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["REQ", "KLL", "UDDS", "DDS", "Moments"]);
+    }
+
+    #[test]
+    fn moments_compression_per_dataset() {
+        use qsketch_datagen::DataSet;
+        let compressed = SketchKind::Moments.build_for(1, DataSet::Pareto);
+        if let AnySketch::Moments(m) = compressed {
+            assert!(m.is_compressed());
+        } else {
+            panic!("expected Moments");
+        }
+        let plain = SketchKind::Moments.build_for(1, DataSet::Uniform);
+        if let AnySketch::Moments(m) = plain {
+            assert!(!m.is_compressed());
+        } else {
+            panic!("expected Moments");
+        }
+    }
+}

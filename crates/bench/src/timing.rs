@@ -1,0 +1,91 @@
+//! Timing helpers for the speed experiments (§4.4), run single-threaded as
+//! the paper prescribes.
+
+use std::time::Instant;
+
+/// Time `f` once, returning `(result, elapsed nanoseconds)`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos() as f64)
+}
+
+/// Mean and 95 % CI half-width of nanosecond samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Mean nanoseconds.
+    pub mean_ns: f64,
+    /// 1.96·σ/√n half-width.
+    pub ci95_ns: f64,
+}
+
+/// Run `f` `reps` times (after `warmup` unmeasured executions) and
+/// aggregate.
+pub fn time_reps(warmup: usize, reps: usize, mut f: impl FnMut()) -> Timing {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    summarize(&samples)
+}
+
+/// Summarise nanosecond samples into mean ± CI.
+pub fn summarize(samples: &[f64]) -> Timing {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    Timing {
+        mean_ns: mean,
+        ci95_ns: 1.96 * var.sqrt() / n.sqrt(),
+    }
+}
+
+/// A black-box hint preventing the optimiser from deleting a value the
+/// benchmark only computes for its side cost.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_measures_something() {
+        let (v, ns) = time_once(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn summarize_mean() {
+        let t = summarize(&[100.0, 200.0, 300.0]);
+        assert!((t.mean_ns - 200.0).abs() < 1e-9);
+        assert!(t.ci95_ns > 0.0);
+    }
+
+    #[test]
+    fn summarize_single_sample() {
+        let t = summarize(&[500.0]);
+        assert_eq!(t.mean_ns, 500.0);
+        assert_eq!(t.ci95_ns, 0.0);
+    }
+
+    #[test]
+    fn time_reps_runs_function() {
+        let mut count = 0;
+        let t = time_reps(2, 5, || count += 1);
+        assert_eq!(count, 7);
+        assert!(t.mean_ns >= 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Compact binary wire format for sketches.
+//!
+//! Mergeability (§2.4) is only useful in a distributed setting if the
+//! sketch can travel: "the partitioned data can be summarized locally so
+//! that only the sketch summaries need to be merged across different
+//! machines". This module provides the shared encoding primitives every
+//! sketch's `encode`/`decode` pair is built from: little-endian scalars,
+//! LEB128 varints for counts, and a header with a per-sketch magic byte
+//! and format version so decoding a foreign or stale payload fails loudly
+//! instead of corrupting state.
+
+use std::fmt;
+
+/// Errors produced when decoding a sketch payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the declared content.
+    UnexpectedEnd,
+    /// Magic byte did not match the expected sketch type.
+    WrongMagic {
+        /// Magic expected by the decoder.
+        expected: u8,
+        /// Magic found in the payload.
+        found: u8,
+    },
+    /// Format version not understood by this build.
+    UnsupportedVersion(u8),
+    /// A decoded field violated an invariant (e.g. NaN min, count
+    /// mismatch).
+    Corrupt(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "payload truncated"),
+            CodecError::WrongMagic { expected, found } => {
+                write!(f, "wrong sketch magic: expected {expected:#x}, found {found:#x}")
+            }
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::Corrupt(why) => write!(f, "corrupt payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A sketch that can round-trip through a compact byte representation.
+pub trait SketchCodec: Sized {
+    /// Serialise to bytes.
+    fn encode(&self) -> Vec<u8>;
+    /// Deserialise, validating magic/version/invariants.
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError>;
+}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start a payload with the sketch's magic byte and format version.
+    pub fn with_header(magic: u8, version: u8) -> Self {
+        let mut w = Self { buf: Vec::with_capacity(64) };
+        w.buf.push(magic);
+        w.buf.push(version);
+        w
+    }
+
+    /// Finish and take the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a LEB128 varint (space-efficient for counts and lengths).
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Write a length-prefixed `f64` slice.
+    pub fn f64_slice(&mut self, values: &[f64]) {
+        self.varint(values.len() as u64);
+        for &v in values {
+            self.f64(v);
+        }
+    }
+}
+
+/// Cursor-based decoder.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a payload and validate its `(magic, version)` header against
+    /// the expectations; returns the reader positioned after the header.
+    pub fn with_header(bytes: &'a [u8], magic: u8, max_version: u8) -> Result<Self, CodecError> {
+        let mut r = Self { bytes, pos: 0 };
+        let found = r.u8()?;
+        if found != magic {
+            return Err(CodecError::WrongMagic {
+                expected: magic,
+                found,
+            });
+        }
+        let version = r.u8()?;
+        if version == 0 || version > max_version {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, CodecError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(CodecError::Corrupt("varint overflow".into()));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a length-prefixed `f64` vector; `max_len` bounds allocation
+    /// against hostile payloads.
+    pub fn f64_vec(&mut self, max_len: u64) -> Result<Vec<f64>, CodecError> {
+        let len = self.varint()?;
+        if len > max_len {
+            return Err(CodecError::Corrupt(format!(
+                "declared length {len} exceeds limit {max_len}"
+            )));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// True once the whole payload was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Fail unless the payload was fully consumed (catches mismatched
+    /// encoders/decoders early).
+    pub fn expect_exhausted(&self) -> Result<(), CodecError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(CodecError::Corrupt(format!(
+                "{} trailing bytes",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = Writer::with_header(0xAB, 1);
+        w.u64(123456789);
+        w.i32(-42);
+        w.f64(3.25);
+        w.u8(7);
+        let bytes = w.finish();
+        let mut r = Reader::with_header(&bytes, 0xAB, 1).unwrap();
+        assert_eq!(r.u64().unwrap(), 123456789);
+        assert_eq!(r.i32().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 3.25);
+        assert_eq!(r.u8().unwrap(), 7);
+        r.expect_exhausted().unwrap();
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX];
+        let mut w = Writer::with_header(1, 1);
+        for &v in &values {
+            w.varint(v);
+        }
+        let bytes = w.finish();
+        let mut r = Reader::with_header(&bytes, 1, 1).unwrap();
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_compactness() {
+        let mut w = Writer::with_header(1, 1);
+        w.varint(5);
+        assert_eq!(w.finish().len(), 3); // header + 1 byte
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut w = Writer::with_header(2, 1);
+        w.f64_slice(&[1.5, -2.5, 0.0]);
+        let bytes = w.finish();
+        let mut r = Reader::with_header(&bytes, 2, 1).unwrap();
+        assert_eq!(r.f64_vec(100).unwrap(), vec![1.5, -2.5, 0.0]);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let bytes = Writer::with_header(0x10, 1).finish();
+        let err = Reader::with_header(&bytes, 0x20, 1).unwrap_err();
+        assert!(matches!(err, CodecError::WrongMagic { .. }));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let bytes = Writer::with_header(0x10, 9).finish();
+        let err = Reader::with_header(&bytes, 0x10, 1).unwrap_err();
+        assert_eq!(err, CodecError::UnsupportedVersion(9));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::with_header(0x10, 1);
+        w.u64(42);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = Reader::with_header(&bytes, 0x10, 1).unwrap();
+        assert_eq!(r.u64().unwrap_err(), CodecError::UnexpectedEnd);
+    }
+
+    #[test]
+    fn hostile_length_bounded() {
+        let mut w = Writer::with_header(0x10, 1);
+        w.varint(u64::MAX);
+        let bytes = w.finish();
+        let mut r = Reader::with_header(&bytes, 0x10, 1).unwrap();
+        assert!(matches!(r.f64_vec(1024), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::with_header(0x10, 1);
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.finish();
+        let mut r = Reader::with_header(&bytes, 0x10, 1).unwrap();
+        let _ = r.u8().unwrap();
+        assert!(r.expect_exhausted().is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! The two error measures contrasted in §2.2 of the paper.
+//!
+//! The paper evaluates *relative error* throughout, because rank error
+//! understates the practical error at the tail of long-tailed distributions
+//! (Fig. 1). Both measures are provided so experiments and tests can report
+//! either.
+
+use crate::rank::rank_of;
+
+/// Relative error of an estimate `x̂_q` against the true quantile value
+/// `x_q` (§2.2):
+///
+/// ```text
+/// |x_q - x̂_q| / x_q
+/// ```
+///
+/// The paper's worked example: true 0.9-quantile 30, estimate 18 →
+/// relative error 0.4.
+#[inline]
+pub fn relative_error(true_value: f64, estimate: f64) -> f64 {
+    if true_value == 0.0 {
+        // Degenerate but possible with synthetic data; fall back to the
+        // absolute error so a perfect estimate still scores 0.
+        return (true_value - estimate).abs();
+    }
+    ((true_value - estimate) / true_value).abs()
+}
+
+/// Rank error of an estimate for the `q`-quantile (§2.2):
+///
+/// ```text
+/// |q - Rank(x̂_q)/N|
+/// ```
+///
+/// `sorted` must be the fully sorted data set.
+///
+/// The paper's worked example: on Table 1's data, estimating 18 for the
+/// 0.9-quantile is a rank error of 0.1.
+#[inline]
+pub fn rank_error(sorted: &[f64], q: f64, estimate: f64) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "rank error over empty data set");
+    (q - rank_of(sorted, estimate) as f64 / n as f64).abs()
+}
+
+/// Aggregates relative errors over repeated measurements, exposing the mean
+/// and the half-width of a 95 % confidence interval — the error bars the
+/// paper draws on every accuracy graph (§4.2).
+#[derive(Debug, Clone, Default)]
+pub struct ErrorStats {
+    samples: Vec<f64>,
+}
+
+impl ErrorStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one error observation.
+    pub fn record(&mut self, err: f64) {
+        self.samples.push(err);
+    }
+
+    /// Number of observations recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean error.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation (Bessel-corrected).
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Half-width of the 95 % confidence interval around the mean, using the
+    /// normal approximation (1.96 σ/√n) as is standard for the paper's 10
+    /// independent runs.
+    pub fn ci95_half_width(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (n as f64).sqrt()
+    }
+
+    /// Merge another accumulator's observations into this one.
+    pub fn absorb(&mut self, other: &ErrorStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE1: [f64; 10] = [3.0, 6.0, 8.0, 9.0, 11.0, 15.0, 16.0, 18.0, 30.0, 51.0];
+
+    #[test]
+    fn paper_worked_example_relative() {
+        assert!((relative_error(30.0, 18.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_worked_example_rank() {
+        assert!((rank_error(&TABLE1, 0.9, 18.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_is_symmetric_in_sign() {
+        assert_eq!(relative_error(10.0, 12.0), relative_error(10.0, 8.0));
+    }
+
+    #[test]
+    fn relative_error_zero_for_exact_estimate() {
+        assert_eq!(relative_error(7.5, 7.5), 0.0);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_with_zero_truth_uses_absolute() {
+        assert_eq!(relative_error(0.0, 0.25), 0.25);
+    }
+
+    #[test]
+    fn rank_error_zero_when_rank_matches() {
+        // 30 is rank 9 out of 10 -> exactly the 0.9 quantile.
+        assert_eq!(rank_error(&TABLE1, 0.9, 30.0), 0.0);
+    }
+
+    #[test]
+    fn error_stats_mean_and_ci() {
+        let mut s = ErrorStats::new();
+        for e in [0.01, 0.02, 0.03, 0.02, 0.02] {
+            s.record(e);
+        }
+        assert!((s.mean() - 0.02).abs() < 1e-12);
+        assert!(s.ci95_half_width() > 0.0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn error_stats_degenerate_cases() {
+        let s = ErrorStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        let mut one = ErrorStats::new();
+        one.record(0.5);
+        assert_eq!(one.mean(), 0.5);
+        assert_eq!(one.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn error_stats_absorb() {
+        let mut a = ErrorStats::new();
+        a.record(1.0);
+        let mut b = ErrorStats::new();
+        b.record(3.0);
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Exact quantile oracle used as ground truth in every accuracy experiment.
+//!
+//! Unlike the sketches, the oracle stores the entire stream; it exists only
+//! so that measured errors are against the *true* per-window quantile, the
+//! same methodology the paper uses inside its Flink jobs.
+
+use crate::rank::{inverse_quantile, quantile_of, rank_of};
+use crate::sketch::{check_quantile, QuantileSketch, QueryError};
+
+/// Stores all observed values and answers exact quantile queries by sorting
+/// lazily on first query.
+#[derive(Debug, Clone, Default)]
+pub struct ExactQuantiles {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl ExactQuantiles {
+    /// Create an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an oracle with pre-reserved capacity for `n` values.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            values: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Insert one value.
+    pub fn insert(&mut self, value: f64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Insert many values.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        self.values.extend(values);
+        self.sorted = false;
+    }
+
+    /// Number of stored values.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in data stream"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact `q`-quantile (rank `⌈qN⌉`, §2.1). Requires `0 < q ≤ 1`.
+    pub fn query(&mut self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.values.is_empty() {
+            return Err(QueryError::Empty);
+        }
+        self.ensure_sorted();
+        Ok(quantile_of(&self.values, q))
+    }
+
+    /// Exact rank of `x` (number of stored elements ≤ x).
+    pub fn rank(&mut self, x: f64) -> usize {
+        self.ensure_sorted();
+        rank_of(&self.values, x)
+    }
+
+    /// `Quantile⁻¹(x) = Rank(x)/N`.
+    pub fn inverse_quantile(&mut self, x: f64) -> f64 {
+        self.ensure_sorted();
+        inverse_quantile(&self.values, x)
+    }
+
+    /// Borrow the sorted data (sorting first if necessary).
+    pub fn sorted_values(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.values
+    }
+}
+
+/// The oracle also implements [`QuantileSketch`] so it can run through the
+/// same harness code paths as the real sketches (e.g. as the "exact"
+/// baseline column of an experiment). Queries require interior sorting, so
+/// the trait implementation keeps a sorted copy up to date eagerly on
+/// `query`.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSketch {
+    inner: ExactQuantiles,
+}
+
+impl ExactSketch {
+    /// Create an empty exact "sketch".
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl QuantileSketch for ExactSketch {
+    fn insert(&mut self, value: f64) {
+        self.inner.insert(value);
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.inner.is_empty() {
+            return Err(QueryError::Empty);
+        }
+        // The trait takes &self; clone-and-sort keeps the API uniform. This
+        // type is a test/ground-truth vehicle, not a performance subject.
+        let mut sorted: Vec<f64> = self.inner.values.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in data stream"));
+        Ok(quantile_of(&sorted, q))
+    }
+
+    fn count(&self) -> u64 {
+        self.inner.count() as u64
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.inner.values.len() * std::mem::size_of::<f64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_on_table1() {
+        let mut o = ExactQuantiles::new();
+        o.extend([3.0, 6.0, 8.0, 9.0, 11.0, 15.0, 16.0, 18.0, 30.0, 51.0]);
+        assert_eq!(o.query(0.1).unwrap(), 3.0);
+        assert_eq!(o.query(0.5).unwrap(), 11.0);
+        assert_eq!(o.query(0.9).unwrap(), 30.0);
+        assert_eq!(o.query(1.0).unwrap(), 51.0);
+    }
+
+    #[test]
+    fn oracle_empty_query_errors() {
+        let mut o = ExactQuantiles::new();
+        assert_eq!(o.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn oracle_invalid_quantile_errors() {
+        let mut o = ExactQuantiles::new();
+        o.insert(1.0);
+        assert_eq!(o.query(0.0), Err(QueryError::InvalidQuantile));
+        assert_eq!(o.query(1.5), Err(QueryError::InvalidQuantile));
+    }
+
+    #[test]
+    fn oracle_interleaved_inserts_and_queries() {
+        let mut o = ExactQuantiles::new();
+        o.extend([5.0, 1.0, 3.0]);
+        assert_eq!(o.query(0.5).unwrap(), 3.0);
+        o.insert(0.5);
+        o.insert(10.0);
+        assert_eq!(o.query(1.0).unwrap(), 10.0);
+        assert_eq!(o.query(0.2).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn exact_sketch_trait_roundtrip() {
+        let mut s = ExactSketch::new();
+        assert!(s.is_empty());
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.query(0.5).unwrap(), 4.0);
+        assert_eq!(s.query(1.0).unwrap(), 8.0);
+        assert_eq!(s.name(), "Exact");
+        assert_eq!(s.memory_footprint(), 4 * 8);
+    }
+
+    #[test]
+    fn oracle_rank_and_inverse() {
+        let mut o = ExactQuantiles::new();
+        o.extend([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(o.rank(25.0), 2);
+        assert!((o.inverse_quantile(20.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Common foundation for the quantile-sketch evaluation suite.
+//!
+//! This crate defines everything the individual sketch implementations and
+//! the benchmark harness share:
+//!
+//! * the [`QuantileSketch`] and [`MergeableSketch`] traits every sketch
+//!   implements,
+//! * the error model of the paper — [`error::relative_error`] and
+//!   [`error::rank_error`] (§2.2),
+//! * an exact, sort-based quantile oracle ([`exact::ExactQuantiles`]) used as
+//!   ground truth in every accuracy experiment,
+//! * streaming statistics such as excess [`stats::kurtosis`] (§2.3),
+//! * the quantile sets and groupings used throughout the paper's evaluation
+//!   ([`quantiles`], §4.2).
+//!
+//! # Example
+//!
+//! ```
+//! use qsketch_core::exact::ExactQuantiles;
+//! use qsketch_core::error::relative_error;
+//!
+//! // Table 1 of the paper.
+//! let data = [3.0, 6.0, 8.0, 9.0, 11.0, 15.0, 16.0, 18.0, 30.0, 51.0];
+//! let mut oracle = ExactQuantiles::new();
+//! oracle.extend(data);
+//! assert_eq!(oracle.query(0.9).unwrap(), 30.0);
+//! // The paper's worked example: estimating 18 for the 0.9-quantile is a
+//! // 40% relative error.
+//! assert!((relative_error(30.0, 18.0) - 0.4).abs() < 1e-12);
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod exact;
+pub mod profile;
+pub mod quantiles;
+pub mod rank;
+pub mod rng;
+pub mod sketch;
+pub mod stats;
+
+pub use error::{rank_error, relative_error};
+pub use exact::ExactQuantiles;
+pub use profile::Profile;
+pub use sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};

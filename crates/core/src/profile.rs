@@ -1,0 +1,127 @@
+//! One-call distribution snapshots: the "give me the whole percentile
+//! profile" convenience that monitoring code wants from a sketch (the
+//! paper's motivating applications — response-time dashboards, §1 —
+//! query a grid of quantiles at once).
+
+use std::fmt;
+
+use crate::quantiles::QUERIED;
+use crate::sketch::{QuantileSketch, QueryError};
+
+/// A materialised quantile profile: the paper's eight-quantile grid (or a
+/// custom one) evaluated against a sketch at a point in time.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Stream length at snapshot time.
+    pub count: u64,
+    /// `(q, estimate)` pairs, ascending in `q`.
+    pub entries: Vec<(f64, f64)>,
+}
+
+impl Profile {
+    /// Snapshot `sketch` at the paper's §4.2 quantile grid.
+    pub fn standard<S: QuantileSketch>(sketch: &S) -> Result<Self, QueryError> {
+        Self::at(sketch, &QUERIED)
+    }
+
+    /// Snapshot `sketch` at a custom ascending quantile grid.
+    pub fn at<S: QuantileSketch>(sketch: &S, qs: &[f64]) -> Result<Self, QueryError> {
+        let mut entries = Vec::with_capacity(qs.len());
+        for &q in qs {
+            entries.push((q, sketch.query(q)?));
+        }
+        Ok(Self {
+            count: sketch.count(),
+            entries,
+        })
+    }
+
+    /// The estimate for quantile `q`, if it was part of the grid.
+    pub fn get(&self, q: f64) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(pq, _)| *pq == q)
+            .map(|(_, v)| *v)
+    }
+
+    /// Largest relative difference against another profile on the shared
+    /// grid — a cheap drift detector between window snapshots.
+    pub fn max_relative_shift(&self, other: &Profile) -> f64 {
+        let mut worst = 0.0f64;
+        for (q, v) in &self.entries {
+            if let Some(o) = other.get(*q) {
+                let denom = v.abs().max(f64::MIN_POSITIVE);
+                worst = worst.max((v - o).abs() / denom);
+            }
+        }
+        worst
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "n={}", self.count)?;
+        for (q, v) in &self.entries {
+            writeln!(f, "  p{:<5} {v}", q * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSketch;
+
+    fn ramp(n: u64) -> ExactSketch {
+        let mut s = ExactSketch::new();
+        for i in 1..=n {
+            s.insert(i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn standard_profile_uses_paper_grid() {
+        let s = ramp(1000);
+        let p = Profile::standard(&s).unwrap();
+        assert_eq!(p.count, 1000);
+        assert_eq!(p.entries.len(), 8);
+        assert_eq!(p.get(0.5), Some(500.0));
+        assert_eq!(p.get(0.99), Some(990.0));
+        assert_eq!(p.get(0.123), None);
+    }
+
+    #[test]
+    fn custom_grid() {
+        let s = ramp(100);
+        let p = Profile::at(&s, &[0.1, 1.0]).unwrap();
+        assert_eq!(p.entries, vec![(0.1, 10.0), (1.0, 100.0)]);
+    }
+
+    #[test]
+    fn empty_sketch_propagates_error() {
+        let s = ExactSketch::new();
+        assert!(Profile::standard(&s).is_err());
+    }
+
+    #[test]
+    fn shift_detector() {
+        let a = Profile::standard(&ramp(1000)).unwrap();
+        let mut shifted = ramp(1000);
+        for _ in 0..1000 {
+            shifted.insert(10_000.0);
+        }
+        let b = Profile::standard(&shifted).unwrap();
+        assert!(a.max_relative_shift(&a) < 1e-12);
+        assert!(a.max_relative_shift(&b) > 1.0, "upper quantiles exploded");
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let p = Profile::standard(&ramp(10)).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("n=10"));
+        assert!(text.contains("p99"));
+    }
+}

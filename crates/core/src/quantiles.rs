@@ -1,0 +1,103 @@
+//! The quantile sets and groupings used throughout the paper's evaluation
+//! (§4.2): queried quantiles {0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99},
+//! grouped into *mid*, *upper*, and the separately reported 0.99.
+
+/// All quantiles queried in the paper's experiments, ascending.
+pub const QUERIED: [f64; 8] = [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99];
+
+/// The *mid* group: 0.05, 0.25, 0.5, 0.75, 0.9 (§4.2).
+pub const MID: [f64; 5] = [0.05, 0.25, 0.5, 0.75, 0.9];
+
+/// The *upper* group: 0.95 and 0.98 (§4.2).
+pub const UPPER: [f64; 2] = [0.95, 0.98];
+
+/// The separately reported 0.99 quantile (§4.2).
+pub const P99: f64 = 0.99;
+
+/// Which reporting group a quantile belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantileGroup {
+    /// 0.05 … 0.9.
+    Mid,
+    /// 0.95 and 0.98.
+    Upper,
+    /// 0.99, reported on its own.
+    P99,
+}
+
+impl QuantileGroup {
+    /// Group label as printed in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuantileGroup::Mid => "mid",
+            QuantileGroup::Upper => "upper",
+            QuantileGroup::P99 => "p99",
+        }
+    }
+
+    /// All groups in reporting order.
+    pub const ALL: [QuantileGroup; 3] =
+        [QuantileGroup::Mid, QuantileGroup::Upper, QuantileGroup::P99];
+
+    /// The quantiles belonging to this group.
+    pub fn members(self) -> &'static [f64] {
+        match self {
+            QuantileGroup::Mid => &MID,
+            QuantileGroup::Upper => &UPPER,
+            QuantileGroup::P99 => std::slice::from_ref(&P99),
+        }
+    }
+}
+
+/// Classify one of the paper's queried quantiles into its reporting group.
+///
+/// Panics if `q` is not one of the eight queried quantiles — grouping other
+/// quantiles would silently mis-bucket results.
+pub fn group_of(q: f64) -> QuantileGroup {
+    if MID.contains(&q) {
+        QuantileGroup::Mid
+    } else if UPPER.contains(&q) {
+        QuantileGroup::Upper
+    } else if q == P99 {
+        QuantileGroup::P99
+    } else {
+        panic!("{q} is not one of the paper's queried quantiles");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_partition_the_queried_set() {
+        let mut covered: Vec<f64> = QuantileGroup::ALL
+            .iter()
+            .flat_map(|g| g.members().iter().copied())
+            .collect();
+        covered.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(covered, QUERIED.to_vec());
+    }
+
+    #[test]
+    fn group_of_matches_paper_definitions() {
+        assert_eq!(group_of(0.05), QuantileGroup::Mid);
+        assert_eq!(group_of(0.9), QuantileGroup::Mid);
+        assert_eq!(group_of(0.95), QuantileGroup::Upper);
+        assert_eq!(group_of(0.98), QuantileGroup::Upper);
+        assert_eq!(group_of(0.99), QuantileGroup::P99);
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of the paper's queried quantiles")]
+    fn group_of_rejects_unknown_quantile() {
+        group_of(0.42);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QuantileGroup::Mid.label(), "mid");
+        assert_eq!(QuantileGroup::Upper.label(), "upper");
+        assert_eq!(QuantileGroup::P99.label(), "p99");
+    }
+}

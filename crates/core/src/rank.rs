@@ -1,0 +1,106 @@
+//! Rank and quantile definitions over concrete (small) data sets, exactly as
+//! laid out in §2.1 and Table 1 of the paper.
+//!
+//! These helpers are deliberately simple and operate on sorted slices; they
+//! back the exact oracle and the unit tests that pin the paper's worked
+//! examples.
+
+/// Rank of `x` within sorted `data`: the number of elements `≤ x`.
+///
+/// This matches the paper's reading of rank ("the number of elements less
+/// than or equal to x"). Ranks are 1-based: the smallest element of a
+/// 10-element set has rank 1, the largest rank 10.
+pub fn rank_of(sorted: &[f64], x: f64) -> usize {
+    // partition_point returns the first index whose element is > x, which is
+    // exactly the count of elements <= x.
+    sorted.partition_point(|&v| v <= x)
+}
+
+/// The `q`-quantile of sorted `data`: the element whose rank is `⌈qN⌉`
+/// (§2.1). Requires `0 < q ≤ 1` and non-empty data.
+pub fn quantile_of(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data set");
+    assert!(q > 0.0 && q <= 1.0, "q must lie in (0,1], got {q}");
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// `Quantile⁻¹(x)`: the value `q` such that the `q`-quantile query returns
+/// `x`'s position, i.e. `Rank(x)/N` (§2.1, Table 1).
+pub fn inverse_quantile(sorted: &[f64], x: f64) -> f64 {
+    assert!(!sorted.is_empty(), "inverse quantile of empty data set");
+    rank_of(sorted, x) as f64 / sorted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The data set of Table 1 in the paper.
+    const TABLE1: [f64; 10] = [3.0, 6.0, 8.0, 9.0, 11.0, 15.0, 16.0, 18.0, 30.0, 51.0];
+
+    #[test]
+    fn table1_ranks() {
+        for (i, &x) in TABLE1.iter().enumerate() {
+            assert_eq!(rank_of(&TABLE1, x), i + 1, "rank of {x}");
+        }
+    }
+
+    #[test]
+    fn table1_inverse_quantiles() {
+        let expected = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+        for (&x, &q) in TABLE1.iter().zip(expected.iter()) {
+            assert!((inverse_quantile(&TABLE1, x) - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table1_quantiles_round_trip() {
+        // q-quantile -> x and Quantile^{-1}(x) -> q are inverse on the grid.
+        for i in 1..=10 {
+            let q = i as f64 / 10.0;
+            let x = quantile_of(&TABLE1, q);
+            assert_eq!(x, TABLE1[i - 1]);
+            assert!((inverse_quantile(&TABLE1, x) - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_running_example_09_quantile() {
+        // §2.2: the true 0.9-quantile of Table 1 is 30.
+        assert_eq!(quantile_of(&TABLE1, 0.9), 30.0);
+        // and 18 has rank 8.
+        assert_eq!(rank_of(&TABLE1, 18.0), 8);
+    }
+
+    #[test]
+    fn rank_of_value_between_elements() {
+        // Rank counts elements <= x even when x is absent from the data.
+        assert_eq!(rank_of(&TABLE1, 10.0), 4);
+        assert_eq!(rank_of(&TABLE1, 2.0), 0);
+        assert_eq!(rank_of(&TABLE1, 100.0), 10);
+    }
+
+    #[test]
+    fn quantile_of_ties() {
+        let data = [1.0, 2.0, 2.0, 2.0, 5.0];
+        assert_eq!(quantile_of(&data, 0.4), 2.0);
+        assert_eq!(quantile_of(&data, 0.6), 2.0);
+        assert_eq!(quantile_of(&data, 1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_of_single_element() {
+        let data = [42.0];
+        for q in [0.01, 0.5, 1.0] {
+            assert_eq!(quantile_of(&data, q), 42.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        quantile_of(&[], 0.5);
+    }
+}

@@ -1,0 +1,178 @@
+//! The traits implemented by every quantile sketch in the suite.
+
+use std::fmt;
+
+/// Error returned by [`QuantileSketch::query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The sketch has not consumed any values yet.
+    Empty,
+    /// The requested quantile is outside `(0, 1]`.
+    InvalidQuantile,
+    /// The sketch's estimation procedure failed to converge (only the
+    /// Moments sketch's maximum-entropy solver can report this).
+    EstimationFailed(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Empty => write!(f, "sketch is empty"),
+            QueryError::InvalidQuantile => write!(f, "quantile must lie in (0, 1]"),
+            QueryError::EstimationFailed(why) => write!(f, "estimation failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Error returned by [`MergeableSketch::merge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two sketches were configured with incompatible parameters
+    /// (e.g. different γ for DDSketch/UDDSketch, different number of
+    /// moments for the Moments sketch).
+    IncompatibleParameters(String),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::IncompatibleParameters(why) => {
+                write!(f, "incompatible sketch parameters: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A single-pass summary of a stream of `f64` values that can answer
+/// approximate quantile queries.
+///
+/// The trait mirrors the operations measured in the paper: `insert`
+/// (§4.4.1), `query` (§4.4.2), and — through [`MergeableSketch`] —
+/// `merge` (§4.4.3). [`memory_footprint`](QuantileSketch::memory_footprint)
+/// supports the data-structure analysis of §4.3 / Table 3.
+pub trait QuantileSketch {
+    /// Consume one value from the stream.
+    fn insert(&mut self, value: f64);
+
+    /// Estimate the `q`-quantile of everything inserted so far.
+    ///
+    /// `q` must lie in `(0, 1]`; per §2.1 the `q`-quantile is the element of
+    /// rank `⌈qN⌉` in the sorted stream.
+    fn query(&self, q: f64) -> Result<f64, QueryError>;
+
+    /// Number of values inserted so far.
+    fn count(&self) -> u64;
+
+    /// Bytes of state retained by the sketch (the quantity reported in
+    /// Table 3). This counts the numbers the summary stores — counters,
+    /// retained samples, bucket counts — not transient allocation slack.
+    fn memory_footprint(&self) -> usize;
+
+    /// Short human-readable name used in experiment output
+    /// (`"KLL"`, `"Moments"`, `"DDS"`, `"UDDS"`, `"REQ"`).
+    fn name(&self) -> &'static str;
+
+    /// Estimate several quantiles at once. The default loops over
+    /// [`query`](QuantileSketch::query); implementations with per-query
+    /// setup cost (the sampling sketches build a sorted view, the Moments
+    /// sketch runs its solver) override this to pay that cost once —
+    /// the paper's harness queries eight quantiles per window (§4.2).
+    fn query_many(&self, qs: &[f64]) -> Result<Vec<f64>, QueryError> {
+        qs.iter().map(|&q| self.query(q)).collect()
+    }
+
+    /// Convenience: insert every value of an iterator.
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I)
+    where
+        Self: Sized,
+    {
+        for v in values {
+            self.insert(v);
+        }
+    }
+
+    /// True if nothing has been inserted.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
+/// A sketch that can absorb another sketch of the same type such that the
+/// result summarises the union of both streams (§2.4).
+pub trait MergeableSketch: QuantileSketch {
+    /// Merge `other` into `self`.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
+}
+
+/// Validate a quantile argument, shared by all implementations.
+///
+/// The paper (§2.1) defines the `q`-quantile for `0 < q ≤ 1`.
+#[inline]
+pub fn check_quantile(q: f64) -> Result<(), QueryError> {
+    if q.is_nan() || q <= 0.0 || q > 1.0 {
+        Err(QueryError::InvalidQuantile)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_quantile_accepts_paper_range() {
+        for q in [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99, 1.0] {
+            assert!(check_quantile(q).is_ok(), "q={q} should be valid");
+        }
+    }
+
+    #[test]
+    fn check_quantile_rejects_zero_and_above_one() {
+        assert_eq!(check_quantile(0.0), Err(QueryError::InvalidQuantile));
+        assert_eq!(check_quantile(-0.1), Err(QueryError::InvalidQuantile));
+        assert_eq!(check_quantile(1.0001), Err(QueryError::InvalidQuantile));
+        assert_eq!(check_quantile(f64::NAN), Err(QueryError::InvalidQuantile));
+    }
+
+    #[test]
+    fn query_many_default_loops() {
+        struct Fixed;
+        impl QuantileSketch for Fixed {
+            fn insert(&mut self, _: f64) {}
+            fn query(&self, q: f64) -> Result<f64, QueryError> {
+                check_quantile(q)?;
+                Ok(q * 100.0)
+            }
+            fn count(&self) -> u64 {
+                1
+            }
+            fn memory_footprint(&self) -> usize {
+                0
+            }
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+        }
+        let s = Fixed;
+        assert_eq!(s.query_many(&[0.1, 0.5]).unwrap(), vec![10.0, 50.0]);
+        assert!(s.query_many(&[0.1, 2.0]).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(QueryError::Empty.to_string(), "sketch is empty");
+        assert!(QueryError::EstimationFailed("solver diverged".into())
+            .to_string()
+            .contains("solver diverged"));
+        assert!(
+            MergeError::IncompatibleParameters("gamma mismatch".into())
+                .to_string()
+                .contains("gamma mismatch")
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Streaming summary statistics, most importantly excess kurtosis (§2.3),
+//! which the paper uses to order data sets by tail weight in Fig. 7.
+
+/// One-pass accumulator for mean, variance, skewness, and excess kurtosis
+/// using numerically stable central-moment updates (Welford/Pébay).
+#[derive(Debug, Clone, Default)]
+pub struct MomentsAccumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MomentsAccumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Consume one value.
+    pub fn insert(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Consume many values.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.insert(v);
+        }
+    }
+
+    /// Number of consumed values.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Skewness `m3 / m2^{3/2}` (population form).
+    pub fn skewness(&self) -> f64 {
+        if self.n == 0 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Excess kurtosis `m4·n / m2² − 3` (§2.3): the normal distribution
+    /// scores 0, heavier tails score higher.
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.n == 0 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n * self.m4) / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Smallest consumed value, `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest consumed value, `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Excess kurtosis of a full slice (§2.3) in one call.
+pub fn kurtosis(data: &[f64]) -> f64 {
+    let mut acc = MomentsAccumulator::new();
+    acc.extend(data.iter().copied());
+    acc.excess_kurtosis()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_neutral() {
+        let acc = MomentsAccumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.excess_kurtosis(), 0.0);
+        assert_eq!(acc.skewness(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let mut acc = MomentsAccumulator::new();
+        acc.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.variance() - 4.0).abs() < 1e-12);
+        assert!((acc.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn uniform_data_has_negative_excess_kurtosis() {
+        // A continuous uniform distribution has excess kurtosis -1.2 (§4.5.6
+        // treats uniform as "kurtosis close to 0", i.e. no tail).
+        let data: Vec<f64> = (0..100_000).map(|i| i as f64 / 100_000.0).collect();
+        let k = kurtosis(&data);
+        assert!((k + 1.2).abs() < 0.01, "uniform kurtosis {k}");
+    }
+
+    #[test]
+    fn symmetric_two_point_mass() {
+        // {-1, +1} repeated: kurtosis of a Bernoulli(+-1) is -2.
+        let data: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!((kurtosis(&data) + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_tail_scores_higher_than_uniform() {
+        // Deterministic Pareto-like tail via inverse transform of a uniform
+        // grid: x = (1-u)^{-1/3} has a heavy right tail.
+        let heavy: Vec<f64> = (0..50_000)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 50_000.0;
+                (1.0 - u).powf(-1.0 / 3.0)
+            })
+            .collect();
+        let uniform: Vec<f64> = (0..50_000).map(|i| i as f64).collect();
+        assert!(kurtosis(&heavy) > kurtosis(&uniform) + 1.0);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        let right_skewed = [1.0, 1.0, 1.0, 1.0, 10.0];
+        let mut acc = MomentsAccumulator::new();
+        acc.extend(right_skewed);
+        assert!(acc.skewness() > 0.0);
+    }
+
+    #[test]
+    fn constant_data_degenerate() {
+        let mut acc = MomentsAccumulator::new();
+        acc.extend([5.0; 100]);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.excess_kurtosis(), 0.0);
+    }
+}

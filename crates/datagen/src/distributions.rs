@@ -1,0 +1,292 @@
+//! Synthetic distributions: fixed-parameter streams for the speed
+//! experiments and drifting-parameter streams for the accuracy experiments
+//! (§4.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Binomial, Distribution, Normal, Pareto, Uniform, Zipf};
+
+use crate::{seeded_rng, ValueStream};
+
+/// Pareto with fixed shape/scale — the insertion/query workload
+/// (`α = 1`, `X_m = 1`, §4.1).
+#[derive(Debug, Clone)]
+pub struct FixedPareto {
+    rng: StdRng,
+    dist: Pareto<f64>,
+}
+
+impl FixedPareto {
+    /// Create with scale `x_m` and shape `alpha`.
+    pub fn new(seed: u64, x_m: f64, alpha: f64) -> Self {
+        Self {
+            rng: seeded_rng(seed),
+            dist: Pareto::new(x_m, alpha).expect("valid Pareto parameters"),
+        }
+    }
+
+    /// The paper's speed-workload parameters (§4.1): `α = 1`, `X_m = 1`.
+    pub fn paper_speed_workload(seed: u64) -> Self {
+        Self::new(seed, 1.0, 1.0)
+    }
+}
+
+impl ValueStream for FixedPareto {
+    fn next_value(&mut self) -> f64 {
+        self.dist.sample(&mut self.rng)
+    }
+}
+
+/// Uniform on `[lo, hi)` with fixed bounds — the merge workload uses
+/// `U(30, 100)` (§4.1).
+#[derive(Debug, Clone)]
+pub struct FixedUniform {
+    rng: StdRng,
+    dist: Uniform<f64>,
+}
+
+impl FixedUniform {
+    /// Create with bounds `[lo, hi)`.
+    pub fn new(seed: u64, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo, "empty uniform range");
+        Self {
+            rng: seeded_rng(seed),
+            dist: Uniform::new(lo, hi),
+        }
+    }
+}
+
+impl ValueStream for FixedUniform {
+    fn next_value(&mut self) -> f64 {
+        self.dist.sample(&mut self.rng)
+    }
+}
+
+/// Binomial counts as `f64` — merge workload `B(100, 0.2)`, adaptability
+/// first half `B(30, 0.4)` (§4.1).
+#[derive(Debug, Clone)]
+pub struct BinomialGen {
+    rng: StdRng,
+    dist: Binomial,
+}
+
+impl BinomialGen {
+    /// Create with `n` trials of probability `p`.
+    pub fn new(seed: u64, n: u64, p: f64) -> Self {
+        Self {
+            rng: seeded_rng(seed),
+            dist: Binomial::new(n, p).expect("valid binomial parameters"),
+        }
+    }
+}
+
+impl ValueStream for BinomialGen {
+    fn next_value(&mut self) -> f64 {
+        self.dist.sample(&mut self.rng) as f64
+    }
+}
+
+/// Zipf-distributed ranks as `f64` — merge workload: 20 elements,
+/// exponent 0.6 (§4.1).
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    rng: StdRng,
+    dist: Zipf<f64>,
+}
+
+impl ZipfGen {
+    /// Create with `num_elements` and `exponent`.
+    pub fn new(seed: u64, num_elements: u64, exponent: f64) -> Self {
+        Self {
+            rng: seeded_rng(seed),
+            dist: Zipf::new(num_elements, exponent).expect("valid Zipf parameters"),
+        }
+    }
+}
+
+impl ValueStream for ZipfGen {
+    fn next_value(&mut self) -> f64 {
+        self.dist.sample(&mut self.rng)
+    }
+}
+
+/// Pareto whose shape α and scale `X_m` are redrawn from `N(1, 0.05)`
+/// every `events_per_update` events — the paper's millisecond-drift
+/// emulation of real-world data (§4.1).
+#[derive(Debug, Clone)]
+pub struct DriftingPareto {
+    rng: StdRng,
+    param_dist: Normal<f64>,
+    current: Pareto<f64>,
+    events_per_update: u32,
+    until_update: u32,
+}
+
+impl DriftingPareto {
+    /// Create the drifting stream (`events_per_update` per §4.1 is 50 at
+    /// the paper's 50 k events/s rate).
+    pub fn new(seed: u64, events_per_update: u32) -> Self {
+        assert!(events_per_update >= 1);
+        let mut rng = seeded_rng(seed);
+        let param_dist = Normal::new(1.0, 0.05).expect("valid normal");
+        let current = Self::draw(&mut rng, &param_dist);
+        Self {
+            rng,
+            param_dist,
+            current,
+            events_per_update,
+            until_update: events_per_update,
+        }
+    }
+
+    fn draw(rng: &mut StdRng, param_dist: &Normal<f64>) -> Pareto<f64> {
+        // Clamp away from zero so the occasional far-left normal draw
+        // cannot produce an invalid (or absurdly heavy) distribution.
+        let alpha = param_dist.sample(rng).max(0.05);
+        let x_m = param_dist.sample(rng).max(0.05);
+        Pareto::new(x_m, alpha).expect("valid Pareto parameters")
+    }
+}
+
+impl ValueStream for DriftingPareto {
+    fn next_value(&mut self) -> f64 {
+        if self.until_update == 0 {
+            self.current = Self::draw(&mut self.rng, &self.param_dist);
+            self.until_update = self.events_per_update;
+        }
+        self.until_update -= 1;
+        self.current.sample(&mut self.rng)
+    }
+}
+
+/// Uniform whose minimum is redrawn from `N(1000, 100)` every
+/// `events_per_update` events (§4.1); the width is held at 1000.
+#[derive(Debug, Clone)]
+pub struct DriftingUniform {
+    rng: StdRng,
+    min_dist: Normal<f64>,
+    current_min: f64,
+    width: f64,
+    events_per_update: u32,
+    until_update: u32,
+}
+
+impl DriftingUniform {
+    /// Create the drifting uniform stream.
+    pub fn new(seed: u64, events_per_update: u32) -> Self {
+        assert!(events_per_update >= 1);
+        let mut rng = seeded_rng(seed);
+        let min_dist = Normal::new(1000.0, 100.0).expect("valid normal");
+        let current_min = min_dist.sample(&mut rng);
+        Self {
+            rng,
+            min_dist,
+            current_min,
+            width: 1000.0,
+            events_per_update,
+            until_update: events_per_update,
+        }
+    }
+}
+
+impl ValueStream for DriftingUniform {
+    fn next_value(&mut self) -> f64 {
+        if self.until_update == 0 {
+            self.current_min = self.min_dist.sample(&mut self.rng);
+            self.until_update = self.events_per_update;
+        }
+        self.until_update -= 1;
+        self.current_min + self.rng.gen::<f64>() * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsketch_core::stats::MomentsAccumulator;
+
+    #[test]
+    fn fixed_pareto_respects_scale() {
+        let mut g = FixedPareto::paper_speed_workload(1);
+        for _ in 0..10_000 {
+            assert!(g.next_value() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fixed_pareto_has_heavy_tail() {
+        let mut g = FixedPareto::paper_speed_workload(2);
+        let max = (0..100_000).map(|_| g.next_value()).fold(0.0, f64::max);
+        // alpha=1 Pareto over 100k draws essentially always exceeds 1000.
+        assert!(max > 1_000.0, "max {max}");
+    }
+
+    #[test]
+    fn fixed_uniform_bounds() {
+        let mut g = FixedUniform::new(3, 30.0, 100.0);
+        for _ in 0..10_000 {
+            let v = g.next_value();
+            assert!((30.0..100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn binomial_support() {
+        let mut g = BinomialGen::new(4, 100, 0.2);
+        let mut acc = MomentsAccumulator::new();
+        for _ in 0..50_000 {
+            let v = g.next_value();
+            assert!((0.0..=100.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+            acc.insert(v);
+        }
+        assert!((acc.mean() - 20.0).abs() < 0.5, "mean {}", acc.mean());
+    }
+
+    #[test]
+    fn zipf_support_and_skew() {
+        let mut g = ZipfGen::new(5, 20, 0.6);
+        let mut ones = 0;
+        for _ in 0..10_000 {
+            let v = g.next_value();
+            assert!((1.0..=20.0).contains(&v));
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        // Rank 1 is the most probable element.
+        assert!(ones > 1_000, "rank-1 frequency {ones}");
+    }
+
+    #[test]
+    fn drifting_pareto_parameters_change() {
+        let mut g = DriftingPareto::new(6, 10);
+        // Collect minima of consecutive blocks: with X_m drifting, block
+        // minima vary around 1.0.
+        let mut block_minima = Vec::new();
+        for _ in 0..50 {
+            let m = (0..10).map(|_| g.next_value()).fold(f64::MAX, f64::min);
+            block_minima.push(m);
+        }
+        let distinct = {
+            let mut v = block_minima.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct > 40, "minima should vary: {distinct}");
+    }
+
+    #[test]
+    fn drifting_uniform_range() {
+        let mut g = DriftingUniform::new(7, 50);
+        let mut acc = MomentsAccumulator::new();
+        for _ in 0..100_000 {
+            acc.insert(g.next_value());
+        }
+        // Centre of mass near 1000 + 500.
+        assert!((acc.mean() - 1500.0).abs() < 30.0, "mean {}", acc.mean());
+        // Near-uniform: excess kurtosis close to -1.2.
+        assert!(acc.excess_kurtosis() < -0.9, "kurtosis {}", acc.excess_kurtosis());
+    }
+}

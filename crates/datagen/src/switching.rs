@@ -1,0 +1,101 @@
+//! The adaptability workload (§4.5.7): a stream whose distribution switches
+//! mid-way.
+
+use crate::ValueStream;
+
+/// Emits `switch_at` values from the first stream, then switches to the
+/// second — the §4.5.7 experiment uses 1 M of Binomial(30, 0.4) followed by
+/// 1 M of U(30, 100) (Fig. 8a).
+pub struct SwitchingStream<A, B> {
+    first: A,
+    second: B,
+    switch_at: u64,
+    emitted: u64,
+}
+
+impl<A: ValueStream, B: ValueStream> SwitchingStream<A, B> {
+    /// Create the switching stream.
+    pub fn new(first: A, second: B, switch_at: u64) -> Self {
+        Self {
+            first,
+            second,
+            switch_at,
+            emitted: 0,
+        }
+    }
+
+    /// True once the switch point has been passed.
+    pub fn has_switched(&self) -> bool {
+        self.emitted >= self.switch_at
+    }
+}
+
+impl<A: ValueStream, B: ValueStream> ValueStream for SwitchingStream<A, B> {
+    fn next_value(&mut self) -> f64 {
+        let v = if self.emitted < self.switch_at {
+            self.first.next_value()
+        } else {
+            self.second.next_value()
+        };
+        self.emitted += 1;
+        v
+    }
+}
+
+/// The paper's adaptability workload (§4.5.7): Binomial(30, 0.4) for
+/// `half` events, then U(30, 100) for the rest.
+pub fn paper_adaptability_stream(
+    seed: u64,
+    half: u64,
+) -> SwitchingStream<crate::BinomialGen, crate::FixedUniform> {
+    SwitchingStream::new(
+        crate::BinomialGen::new(seed, 30, 0.4),
+        crate::FixedUniform::new(seed ^ 0xA5A5_A5A5, 30.0, 100.0),
+        half,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinomialGen, FixedUniform};
+    use qsketch_core::exact::ExactQuantiles;
+
+    #[test]
+    fn switches_at_the_right_point() {
+        let mut s = SwitchingStream::new(
+            BinomialGen::new(1, 30, 0.4),
+            FixedUniform::new(2, 30.0, 100.0),
+            100,
+        );
+        for _ in 0..100 {
+            let v = s.next_value();
+            // Binomial(30, .4) support: 0..=30.
+            assert!((0.0..=30.0).contains(&v));
+        }
+        assert!(s.has_switched());
+        for _ in 0..100 {
+            let v = s.next_value();
+            assert!((30.0..100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn median_sits_at_the_fragment_boundary() {
+        // §4.5.7/Fig. 8a: with equal halves, the 0.5 quantile lies at the
+        // exact end of the binomial section.
+        let mut s = paper_adaptability_stream(3, 50_000);
+        let mut oracle = ExactQuantiles::with_capacity(100_000);
+        for _ in 0..100_000 {
+            oracle.insert(s.next_value());
+        }
+        let median = oracle.query(0.5).unwrap();
+        // The largest binomial values cluster at <= 30, the uniform
+        // section starts at 30: the median is the top of the binomial
+        // fragment.
+        assert!((10.0..=30.0).contains(&median), "median {median}");
+        // 0.75 quantile is deep inside the uniform fragment.
+        let q75 = oracle.query(0.75).unwrap();
+        assert!(q75 > 30.0, "q75 {q75}");
+    }
+}

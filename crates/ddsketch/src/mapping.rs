@@ -1,0 +1,371 @@
+//! The logarithmic index mapping at the heart of DDSketch and UDDSketch.
+
+/// Maps positive values to bucket indices via `i = ⌈log_γ(x)⌉` and back to
+/// the bucket midpoint `2γ^i/(γ+1)` (§3.3).
+///
+/// Bucket `i` covers `(γ^{i-1}, γ^i]`; the midpoint estimate is within
+/// relative error `α` of any value in the bucket because
+/// `γ = (1+α)/(1-α)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogarithmicMapping {
+    alpha: f64,
+    gamma: f64,
+    /// 1 / ln(γ), cached: indexing is the hot path of every insert.
+    inv_ln_gamma: f64,
+}
+
+impl LogarithmicMapping {
+    /// Build a mapping with maximum relative error `alpha` ∈ (0, 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "relative accuracy must lie in (0,1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            alpha,
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+        }
+    }
+
+    /// Build a mapping from an explicit `γ` (used when merging sketches that
+    /// must agree on γ, and by UDDSketch whose collapses square γ).
+    pub fn with_gamma(gamma: f64) -> Self {
+        assert!(gamma > 1.0, "gamma must exceed 1, got {gamma}");
+        // Invert γ = (1+α)/(1-α).
+        let alpha = (gamma - 1.0) / (gamma + 1.0);
+        Self {
+            alpha,
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+        }
+    }
+
+    /// The maximum relative error α.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The bucket-width base γ.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Bucket index of a positive value: `⌈log_γ(x)⌉`.
+    #[inline]
+    pub fn index(&self, x: f64) -> i32 {
+        debug_assert!(x > 0.0, "logarithmic mapping requires positive values");
+        (x.ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// Midpoint estimate `2γ^i/(γ+1)` for bucket `i` (§3.3).
+    #[inline]
+    pub fn value(&self, index: i32) -> f64 {
+        2.0 * self.gamma.powi(index) / (self.gamma + 1.0)
+    }
+
+    /// Lower edge `γ^{i-1}` of bucket `i`.
+    #[inline]
+    pub fn lower_bound(&self, index: i32) -> f64 {
+        self.gamma.powi(index - 1)
+    }
+
+    /// Upper edge `γ^i` of bucket `i`.
+    #[inline]
+    pub fn upper_bound(&self, index: i32) -> f64 {
+        self.gamma.powi(index)
+    }
+
+    /// True if two mappings share γ closely enough to merge bucket-for-bucket.
+    pub fn is_mergeable_with(&self, other: &Self) -> bool {
+        (self.gamma - other.gamma).abs() < 1e-12 * self.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gamma_value() {
+        // §4.2: α = 0.01 gives γ = 1.0202.
+        let m = LogarithmicMapping::new(0.01);
+        assert!((m.gamma() - 1.0202).abs() < 1e-4, "gamma {}", m.gamma());
+    }
+
+    #[test]
+    fn index_covers_half_open_interval() {
+        let m = LogarithmicMapping::new(0.01);
+        for i in [-10, -1, 0, 1, 5, 100] {
+            let lo = m.lower_bound(i);
+            let hi = m.upper_bound(i);
+            // Just above the lower edge and at the upper edge map to i.
+            assert_eq!(m.index(lo * 1.000000001), i, "just above lower edge of {i}");
+            assert_eq!(m.index(hi * 0.999999999), i, "just below upper edge of {i}");
+        }
+    }
+
+    #[test]
+    fn midpoint_within_alpha_of_bucket_contents() {
+        // §3.3: both worst cases (value at either bucket edge) err < α.
+        for alpha in [0.001, 0.01, 0.05, 0.2] {
+            let m = LogarithmicMapping::new(alpha);
+            for i in [-50, -1, 0, 1, 7, 200] {
+                let est = m.value(i);
+                let lo = m.lower_bound(i);
+                let hi = m.upper_bound(i);
+                let err_lo = (est - lo) / lo;
+                let err_hi = (hi - est) / hi;
+                assert!(err_lo <= alpha + 1e-12, "alpha {alpha} i {i} lo err {err_lo}");
+                assert!(err_hi <= alpha + 1e-12, "alpha {alpha} i {i} hi err {err_hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_error_bounded() {
+        let m = LogarithmicMapping::new(0.01);
+        let mut x = 1e-6;
+        while x < 1e12 {
+            let est = m.value(m.index(x));
+            assert!(((est - x) / x).abs() <= 0.01 + 1e-9, "x={x} est={est}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn paper_range_claim_2048_buckets() {
+        // §4.8: 2048 contiguous positive buckets support values up to
+        // ~6.13e17 at α = 0.01.
+        let m = LogarithmicMapping::new(0.01);
+        let top = m.upper_bound(2048);
+        assert!(
+            (5.0e17..7.0e17).contains(&top),
+            "2048-bucket range {top:e}"
+        );
+    }
+
+    #[test]
+    fn paper_range_claim_1024_buckets() {
+        // §4.3: 1024 buckets accept values in [1, 7.69e8] at α = 0.01.
+        let m = LogarithmicMapping::new(0.01);
+        let top = m.upper_bound(1024);
+        assert!((7.0e8..9.0e8).contains(&top), "1024-bucket range {top:e}");
+    }
+
+    #[test]
+    fn with_gamma_round_trips_alpha() {
+        let m = LogarithmicMapping::new(0.01);
+        let m2 = LogarithmicMapping::with_gamma(m.gamma());
+        assert!((m2.alpha() - 0.01).abs() < 1e-12);
+        assert!(m.is_mergeable_with(&m2));
+    }
+
+    #[test]
+    fn different_alphas_not_mergeable() {
+        let a = LogarithmicMapping::new(0.01);
+        let b = LogarithmicMapping::new(0.02);
+        assert!(!a.is_mergeable_with(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "relative accuracy")]
+    fn rejects_alpha_of_one() {
+        LogarithmicMapping::new(1.0);
+    }
+
+    #[test]
+    fn index_is_monotone() {
+        let m = LogarithmicMapping::new(0.05);
+        let mut prev = i32::MIN;
+        let mut x = 1e-3;
+        while x < 1e6 {
+            let i = m.index(x);
+            assert!(i >= prev);
+            prev = i;
+            x *= 1.31;
+        }
+    }
+}
+
+/// A bucket-index mapping: the exchangeable component of DDSketch-family
+/// sketches (the reference implementation ships logarithmic,
+/// linearly-interpolated, and cubically-interpolated variants).
+pub trait IndexMapping {
+    /// Bucket index of a positive value.
+    fn index(&self, x: f64) -> i32;
+    /// Representative estimate for a bucket, within the accuracy
+    /// guarantee of every value the bucket can contain.
+    fn value(&self, index: i32) -> f64;
+    /// The guaranteed maximum relative error.
+    fn alpha(&self) -> f64;
+}
+
+impl IndexMapping for LogarithmicMapping {
+    fn index(&self, x: f64) -> i32 {
+        LogarithmicMapping::index(self, x)
+    }
+    fn value(&self, index: i32) -> f64 {
+        LogarithmicMapping::value(self, index)
+    }
+    fn alpha(&self) -> f64 {
+        LogarithmicMapping::alpha(self)
+    }
+}
+
+/// Linearly-interpolated logarithm mapping: replaces the `ln` call of the
+/// logarithmic mapping with IEEE-754 bit extraction plus a linear
+/// interpolation of `log2` between powers of two — the trick the DataDog
+/// implementation uses to cut insertion cost.
+///
+/// The interpolated "log" grows between `1×` and `2×` as fast as the true
+/// natural log within each octave, so bucket widths of `ln γ`
+/// interpolated-log2 units guarantee every bucket spans a value ratio
+/// ≤ γ, preserving the α relative-error bound at the cost of
+/// `1/ln 2 ≈ 1.44×` more buckets for the same α (measured in the
+/// `ablation_mapping` bench and asserted in tests below).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterpolatedMapping {
+    alpha: f64,
+    /// Bucket width in interpolated-log2 units: `ln γ`.
+    bucket_width: f64,
+    inv_bucket_width: f64,
+}
+
+impl LinearInterpolatedMapping {
+    /// Build a mapping with maximum relative error `alpha` ∈ (0, 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "relative accuracy must lie in (0,1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let bucket_width = gamma.ln();
+        Self {
+            alpha,
+            bucket_width,
+            inv_bucket_width: 1.0 / bucket_width,
+        }
+    }
+
+    /// `e + (m − 1)` for `x = m · 2^e`, `m ∈ [1, 2)`: piecewise-linear,
+    /// strictly increasing, agrees with `log2` at powers of two. Pure bit
+    /// arithmetic — no transcendental call.
+    #[inline]
+    fn interpolated_log2(x: f64) -> f64 {
+        debug_assert!(x > 0.0 && x.is_finite());
+        let bits = x.to_bits();
+        let exponent = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        // Mantissa with the exponent field forced to 0 => m in [1, 2).
+        let mantissa = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+        exponent as f64 + (mantissa - 1.0)
+    }
+
+    /// Inverse of [`Self::interpolated_log2`].
+    #[inline]
+    fn inv_interpolated_log2(y: f64) -> f64 {
+        let k = y.floor();
+        let frac = y - k;
+        (1.0 + frac) * 2f64.powi(k as i32)
+    }
+}
+
+impl IndexMapping for LinearInterpolatedMapping {
+    #[inline]
+    fn index(&self, x: f64) -> i32 {
+        (Self::interpolated_log2(x) * self.inv_bucket_width).ceil() as i32
+    }
+
+    fn value(&self, index: i32) -> f64 {
+        // Arithmetic midpoint of the bucket's value edges: relative error
+        // (v2−v1)/(v2+v1) ≤ (e^w − 1)/(e^w + 1) = α.
+        let lo = Self::inv_interpolated_log2((f64::from(index) - 1.0) * self.bucket_width);
+        let hi = Self::inv_interpolated_log2(f64::from(index) * self.bucket_width);
+        (lo + hi) / 2.0
+    }
+
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod interp_tests {
+    use super::*;
+
+    #[test]
+    fn interpolated_log2_exact_at_powers_of_two() {
+        for e in [-10i32, -1, 0, 1, 7, 30] {
+            let x = 2f64.powi(e);
+            assert_eq!(LinearInterpolatedMapping::interpolated_log2(x), f64::from(e));
+        }
+    }
+
+    #[test]
+    fn interpolated_log2_monotone_and_close_to_log2() {
+        let mut prev = f64::NEG_INFINITY;
+        let mut x = 1e-6;
+        while x < 1e9 {
+            let a = LinearInterpolatedMapping::interpolated_log2(x);
+            assert!(a >= prev);
+            prev = a;
+            // Interpolation error of log2 between octaves is < 0.0861.
+            assert!((a - x.log2()).abs() < 0.0861, "x={x}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let mut x = 1e-5;
+        while x < 1e8 {
+            let y = LinearInterpolatedMapping::interpolated_log2(x);
+            let back = LinearInterpolatedMapping::inv_interpolated_log2(y);
+            assert!((back - x).abs() / x < 1e-12, "x={x} back={back}");
+            x *= 1.77;
+        }
+    }
+
+    #[test]
+    fn guarantee_holds_across_magnitudes() {
+        for alpha in [0.005, 0.01, 0.05] {
+            let m = LinearInterpolatedMapping::new(alpha);
+            let mut x = 1e-6;
+            while x < 1e9 {
+                let est = m.value(m.index(x));
+                let rel = ((est - x) / x).abs();
+                assert!(rel <= alpha + 1e-12, "alpha={alpha} x={x} rel={rel}");
+                x *= 1.083;
+            }
+        }
+    }
+
+    #[test]
+    fn costs_more_buckets_than_logarithmic() {
+        // The price of the fast index: ~1/ln2 more buckets per decade.
+        let log_m = LogarithmicMapping::new(0.01);
+        let lin_m = LinearInterpolatedMapping::new(0.01);
+        let log_buckets = log_m.index(1e6) - log_m.index(1.0);
+        let lin_buckets = IndexMapping::index(&lin_m, 1e6) - IndexMapping::index(&lin_m, 1.0);
+        let ratio = f64::from(lin_buckets) / f64::from(log_buckets);
+        assert!(
+            (1.3..1.6).contains(&ratio),
+            "bucket ratio {ratio} (expected ~1/ln2 = 1.44)"
+        );
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mappings: Vec<Box<dyn IndexMapping>> = vec![
+            Box::new(LogarithmicMapping::new(0.01)),
+            Box::new(LinearInterpolatedMapping::new(0.01)),
+        ];
+        for m in &mappings {
+            let est = m.value(m.index(123.456));
+            assert!(((est - 123.456) / 123.456).abs() <= m.alpha() + 1e-12);
+        }
+    }
+}

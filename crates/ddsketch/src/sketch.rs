@@ -1,0 +1,630 @@
+//! The DDSketch front-end: index mapping + bucket stores + zero/negative
+//! handling.
+
+use qsketch_core::sketch::{
+    check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};
+
+use crate::mapping::LogarithmicMapping;
+use crate::store::{BucketStore, CollapsingLowestDenseStore, UnboundedDenseStore};
+
+/// DDSketch over `f64` values, generic in the bucket store.
+///
+/// Positive values land in `positives`, negative values are mirrored into
+/// `negatives` (indexed by `⌈log_γ(−x)⌉`), and exact zeros are counted
+/// separately — the scheme used by the reference implementation the paper
+/// benchmarks. All of the paper's data sets are positive, but the mirrored
+/// store keeps the sketch total.
+#[derive(Debug, Clone)]
+pub struct DdSketch<S: BucketStore = UnboundedDenseStore> {
+    mapping: LogarithmicMapping,
+    positives: S,
+    negatives: S,
+    zero_count: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl DdSketch<UnboundedDenseStore> {
+    /// DDSketch with an unbounded dense store — the paper's primary
+    /// configuration (§4.2).
+    pub fn unbounded(alpha: f64) -> Self {
+        Self::with_store(alpha, UnboundedDenseStore::new(), UnboundedDenseStore::new())
+    }
+
+    /// The exact configuration of §4.2: α = 0.01, unbounded dense store.
+    pub fn paper_configuration() -> Self {
+        Self::unbounded(crate::PAPER_ALPHA)
+    }
+}
+
+impl DdSketch<CollapsingLowestDenseStore> {
+    /// DDSketch with a bounded, collapsing-lowest dense store — the
+    /// 1024-bucket variant compared in §4.5.5.
+    pub fn collapsing(alpha: f64, max_buckets: usize) -> Self {
+        Self::with_store(
+            alpha,
+            CollapsingLowestDenseStore::new(max_buckets),
+            CollapsingLowestDenseStore::new(max_buckets),
+        )
+    }
+}
+
+impl<S: BucketStore> DdSketch<S> {
+    /// Build a sketch from explicit stores (used by the ablation benches).
+    pub fn with_store(alpha: f64, positives: S, negatives: S) -> Self {
+        Self {
+            mapping: LogarithmicMapping::new(alpha),
+            positives,
+            negatives,
+            zero_count: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The index mapping (γ, α).
+    pub fn mapping(&self) -> &LogarithmicMapping {
+        &self.mapping
+    }
+
+    /// Maximum relative error parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.mapping.alpha()
+    }
+
+    /// Number of non-empty buckets across both stores (§4.3's reported
+    /// bucket counts).
+    pub fn non_empty_buckets(&self) -> usize {
+        self.positives.non_empty_buckets() + self.negatives.non_empty_buckets()
+    }
+
+    /// Smallest inserted value (exact), `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest inserted value (exact), `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Insert `count` occurrences of `value` at once — pre-aggregated
+    /// ingestion (e.g. rollups) costs one bucket update regardless of
+    /// weight, an advantage histogram sketches have over sampling
+    /// sketches.
+    pub fn insert_n(&mut self, value: f64, count: u64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into DDSketch");
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value > 0.0 {
+            self.positives.add(self.mapping.index(value), count);
+        } else if value < 0.0 {
+            self.negatives.add(self.mapping.index(-value), count);
+        } else {
+            self.zero_count += count;
+        }
+    }
+
+    /// Estimated rank of `x`: the number of inserted values `≤ x`, read
+    /// off the bucket counts (the CDF query dual to `query`).
+    pub fn rank(&self, x: f64) -> u64 {
+        let mut cum = 0u64;
+        if x >= 0.0 {
+            // All negatives are <= x.
+            cum += self.negatives.total();
+            if x > 0.0 || self.zero_count > 0 {
+                cum += self.zero_count;
+            }
+            if x > 0.0 {
+                let xi = self.mapping.index(x);
+                for (i, c) in self.positives.iter_ascending() {
+                    if i > xi {
+                        break;
+                    }
+                    cum += c;
+                }
+            }
+        } else {
+            let xi = self.mapping.index(-x);
+            // Negative values <= x are those with mirrored index >= xi.
+            for (i, c) in self.negatives.iter_ascending() {
+                if i >= xi {
+                    cum += c;
+                }
+            }
+        }
+        cum
+    }
+
+    /// Estimated CDF at `x`: `rank(x) / count`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.rank(x) as f64 / self.count as f64
+    }
+
+    /// The quantile value implied by walking buckets in ascending value
+    /// order until the cumulative count reaches `rank` (1-based).
+    fn value_at_rank(&self, rank: u64) -> f64 {
+        let mut cum = 0u64;
+
+        // Negative buckets: most-negative values have the *largest* mirrored
+        // index, so walk descending.
+        let mut neg: Vec<(i32, u64)> = self.negatives.iter_ascending().collect();
+        neg.reverse();
+        for (i, c) in neg {
+            cum += c;
+            if cum >= rank {
+                return -self.mapping.value(i);
+            }
+        }
+
+        cum += self.zero_count;
+        if cum >= rank {
+            return 0.0;
+        }
+
+        for (i, c) in self.positives.iter_ascending() {
+            cum += c;
+            if cum >= rank {
+                return self.mapping.value(i);
+            }
+        }
+
+        // rank beyond total (can only happen through clamping): largest
+        // estimate available.
+        self.max
+    }
+}
+
+impl<S: BucketStore> QuantileSketch for DdSketch<S> {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into DDSketch");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value > 0.0 {
+            self.positives.add(self.mapping.index(value), 1);
+        } else if value < 0.0 {
+            self.negatives.add(self.mapping.index(-value), 1);
+        } else {
+            self.zero_count += 1;
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let est = self.value_at_rank(rank);
+        // Clamp into the observed range: the bucket midpoint of the extreme
+        // buckets can poke past the true min/max.
+        Ok(est.clamp(self.min, self.max))
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn memory_footprint(&self) -> usize {
+        // Allocated count slots plus the scalar state (offsets, min/max
+        // indices, counts) — the accounting behind Table 3's 1.84–5.42 KB.
+        (self.positives.allocated_buckets() + self.negatives.allocated_buckets())
+            * std::mem::size_of::<u64>()
+            + 6 * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "DDS"
+    }
+}
+
+impl<S: BucketStore + Clone> MergeableSketch for DdSketch<S> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if !self.mapping.is_mergeable_with(&other.mapping) {
+            return Err(MergeError::IncompatibleParameters(format!(
+                "gamma mismatch: {} vs {}",
+                self.mapping.gamma(),
+                other.mapping.gamma()
+            )));
+        }
+        for (i, c) in other.positives.iter_ascending() {
+            self.positives.add(i, c);
+        }
+        for (i, c) in other.negatives.iter_ascending() {
+            self.negatives.add(i, c);
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_query_errors() {
+        let s = DdSketch::unbounded(0.01);
+        assert_eq!(s.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn relative_error_guarantee_on_sequential_data() {
+        let mut s = DdSketch::unbounded(0.01);
+        let n = 100_000;
+        for i in 1..=n {
+            s.insert(i as f64);
+        }
+        for q in [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99] {
+            let truth = (q * n as f64).ceil();
+            let est = s.query(q).unwrap();
+            let rel = ((est - truth) / truth).abs();
+            assert!(rel <= 0.01 + 1e-9, "q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn relative_error_guarantee_across_magnitudes() {
+        // Values spanning 12 decades still answer within alpha.
+        let mut s = DdSketch::unbounded(0.01);
+        let mut values = Vec::new();
+        let mut x = 1e-6;
+        while x < 1e6 {
+            values.push(x);
+            x *= 1.003;
+        }
+        for &v in &values {
+            s.insert(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.01, 0.5, 0.99] {
+            let truth = values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+            let est = s.query(q).unwrap();
+            let rel = ((est - truth) / truth).abs();
+            assert!(rel <= 0.01 + 1e-9, "q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn handles_zeros_and_negatives() {
+        let mut s = DdSketch::unbounded(0.01);
+        for v in [-100.0, -10.0, 0.0, 0.0, 10.0, 100.0, 1000.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.count(), 7);
+        // rank ceil(0.3*7)=3 -> the first zero.
+        assert_eq!(s.query(0.3).unwrap(), 0.0);
+        // Lowest quantile is negative, within 1% of -100.
+        let low = s.query(0.1).unwrap();
+        assert!(((low + 100.0) / 100.0).abs() <= 0.01 + 1e-9, "low {low}");
+        // Upper within 1% of 1000.
+        let hi = s.query(1.0).unwrap();
+        assert!(((hi - 1000.0) / 1000.0).abs() <= 0.01 + 1e-9, "hi {hi}");
+    }
+
+    #[test]
+    fn merge_preserves_guarantee() {
+        let mut a = DdSketch::unbounded(0.01);
+        let mut b = DdSketch::unbounded(0.01);
+        for i in 1..=50_000 {
+            a.insert(i as f64);
+            b.insert((i + 50_000) as f64);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 100_000);
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            let truth = (q * 100_000.0_f64).ceil();
+            let est = a.query(q).unwrap();
+            assert!(((est - truth) / truth).abs() <= 0.01 + 1e-9, "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_gamma_mismatch() {
+        let mut a = DdSketch::unbounded(0.01);
+        let b = DdSketch::unbounded(0.02);
+        a.insert(1.0);
+        let err = a.merge(&b).unwrap_err();
+        assert!(matches!(err, MergeError::IncompatibleParameters(_)));
+    }
+
+    #[test]
+    fn merge_is_count_exact() {
+        // Histogram merge adds counts exactly — unlike sampling sketches
+        // there is no randomness (§2.4).
+        let mut a = DdSketch::unbounded(0.01);
+        let mut b = DdSketch::unbounded(0.01);
+        for i in 1..=1000 {
+            a.insert(i as f64);
+            b.insert(i as f64);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        for q in [0.1, 0.5, 0.9] {
+            // Same distribution twice: quantiles unchanged.
+            assert_eq!(merged.query(q).unwrap(), a.query(q).unwrap(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn collapsing_store_preserves_upper_quantiles() {
+        // §4.5.5: with 1024 buckets the collapsing store stays close to the
+        // unbounded store for upper quantiles.
+        let mut unbounded = DdSketch::unbounded(0.01);
+        let mut bounded = DdSketch::collapsing(0.01, 128);
+        let mut x = 1.0;
+        for _ in 0..200_000 {
+            x = if x > 1e8 { 1.0 } else { x * 1.0001 };
+            unbounded.insert(x);
+            bounded.insert(x);
+        }
+        let u = unbounded.query(0.99).unwrap();
+        let b = bounded.query(0.99).unwrap();
+        assert!(((u - b) / u).abs() < 0.05, "unbounded {u} vs bounded {b}");
+    }
+
+    #[test]
+    fn bucket_count_depends_on_range_not_size(){
+        // §4.3: bucket count is independent of stream length.
+        let mut small = DdSketch::unbounded(0.01);
+        let mut large = DdSketch::unbounded(0.01);
+        for i in 0..1_000 {
+            small.insert(1.0 + (i % 100) as f64);
+        }
+        for i in 0..100_000 {
+            large.insert(1.0 + (i % 100) as f64);
+        }
+        assert_eq!(small.non_empty_buckets(), large.non_empty_buckets());
+    }
+
+    #[test]
+    fn single_value_stream() {
+        let mut s = DdSketch::unbounded(0.01);
+        for _ in 0..100 {
+            s.insert(42.0);
+        }
+        for q in [0.01, 0.5, 1.0] {
+            let est = s.query(q).unwrap();
+            assert!(((est - 42.0) / 42.0).abs() <= 0.01 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn insert_n_equals_repeated_inserts() {
+        let mut a = DdSketch::unbounded(0.01);
+        let mut b = DdSketch::unbounded(0.01);
+        for (v, n) in [(3.5, 100u64), (42.0, 17), (0.0, 5), (-2.0, 3)] {
+            a.insert_n(v, n);
+            for _ in 0..n {
+                b.insert(v);
+            }
+        }
+        assert_eq!(a.count(), b.count());
+        for q in [0.1, 0.5, 0.9] {
+            assert_eq!(a.query(q).unwrap(), b.query(q).unwrap(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn rank_and_cdf_track_true_ranks() {
+        let mut s = DdSketch::unbounded(0.01);
+        let n = 10_000;
+        for i in 1..=n {
+            s.insert(i as f64);
+        }
+        for x in [100.0, 2_500.0, 9_999.0] {
+            let est = s.rank(x) as f64;
+            assert!(
+                (est - x).abs() / (n as f64) < 0.02,
+                "rank({x}) = {est}"
+            );
+        }
+        assert_eq!(s.rank(0.0), 0);
+        assert_eq!(s.rank(1e12), n);
+        assert!((s.cdf(5_000.0) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn rank_with_negatives_and_zero() {
+        let mut s = DdSketch::unbounded(0.01);
+        for v in [-10.0, -1.0, 0.0, 1.0, 10.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.rank(-20.0), 0);
+        assert_eq!(s.rank(-0.5), 2);
+        assert_eq!(s.rank(0.0), 3);
+        assert_eq!(s.rank(100.0), 5);
+    }
+
+    #[test]
+    fn query_results_are_monotone_in_q() {
+        let mut s = DdSketch::unbounded(0.02);
+        let mut x = 0.5;
+        for _ in 0..10_000 {
+            x = (x * 1103.515245 + 1.2345) % 1000.0 + 0.001;
+            s.insert(x);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..=100 {
+            let q = i as f64 / 100.0;
+            let v = s.query(q).unwrap();
+            assert!(v >= prev, "quantiles must be monotone: q={q}");
+            prev = v;
+        }
+    }
+}
+
+/// Wire format: magic `0xD0`, version 1. Encodes γ, scalar state, and the
+/// non-empty buckets of both stores as `(index, count)` pairs. Only the
+/// unbounded-store sketch is encodable — a collapsed store has already
+/// discarded information that the receiving side could not validate.
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+
+    const MAGIC: u8 = 0xD0;
+    const VERSION: u8 = 1;
+    /// Upper bound on buckets accepted from a payload (a 2048-bucket
+    /// sketch already spans 17 decades at α = 0.01, §4.8).
+    const MAX_BUCKETS: u64 = 1 << 22;
+
+    fn write_store(w: &mut Writer, store: &UnboundedDenseStore) {
+        let buckets: Vec<(i32, u64)> = store.iter_ascending().collect();
+        w.varint(buckets.len() as u64);
+        for (i, c) in buckets {
+            w.i32(i);
+            w.varint(c);
+        }
+    }
+
+    fn read_store(r: &mut Reader<'_>) -> Result<UnboundedDenseStore, CodecError> {
+        let n = r.varint()?;
+        if n > MAX_BUCKETS {
+            return Err(CodecError::Corrupt(format!("{n} buckets exceeds limit")));
+        }
+        let mut store = UnboundedDenseStore::new();
+        for _ in 0..n {
+            let i = r.i32()?;
+            // The dense store allocates the whole index *span*: a hostile
+            // index pair like (i32::MIN, i32::MAX) would demand a 16 GiB
+            // count array. Bound the index magnitude before adding; 2^22
+            // buckets at alpha = 0.01 already cover tens of thousands of
+            // decades, far past any real payload.
+            if u64::from(i.unsigned_abs()) > MAX_BUCKETS {
+                return Err(CodecError::Corrupt(format!("bucket index {i} out of range")));
+            }
+            let c = r.varint()?;
+            store.add(i, c);
+        }
+        Ok(store)
+    }
+
+    impl SketchCodec for DdSketch<UnboundedDenseStore> {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, VERSION);
+            w.f64(self.mapping.alpha());
+            w.varint(self.zero_count);
+            w.varint(self.count);
+            w.f64(self.min);
+            w.f64(self.max);
+            write_store(&mut w, &self.positives);
+            write_store(&mut w, &self.negatives);
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            let alpha = r.f64()?;
+            if !(alpha > 0.0 && alpha < 1.0) {
+                return Err(CodecError::Corrupt(format!("alpha {alpha} out of range")));
+            }
+            let zero_count = r.varint()?;
+            let count = r.varint()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            if min.is_nan() || max.is_nan() {
+                return Err(CodecError::Corrupt("NaN extremes".into()));
+            }
+            let positives = read_store(&mut r)?;
+            let negatives = read_store(&mut r)?;
+            r.expect_exhausted()?;
+            let stored = positives.total() + negatives.total() + zero_count;
+            if stored != count {
+                return Err(CodecError::Corrupt(format!(
+                    "bucket totals {stored} disagree with count {count}"
+                )));
+            }
+            Ok(Self {
+                mapping: LogarithmicMapping::new(alpha),
+                positives,
+                negatives,
+                zero_count,
+                count,
+                min,
+                max,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use qsketch_core::sketch::MergeableSketch;
+
+        #[test]
+        fn round_trip_preserves_queries() {
+            let mut s = DdSketch::unbounded(0.01);
+            for i in 1..=50_000 {
+                s.insert(i as f64 * 0.37);
+            }
+            s.insert(-5.0);
+            s.insert(0.0);
+            let bytes = s.encode();
+            let restored = DdSketch::decode(&bytes).unwrap();
+            assert_eq!(restored.count(), s.count());
+            for q in [0.05, 0.5, 0.99, 1.0] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap(), "q={q}");
+            }
+        }
+
+        #[test]
+        fn decoded_sketch_still_merges_and_inserts() {
+            let mut a = DdSketch::unbounded(0.01);
+            let mut b = DdSketch::unbounded(0.01);
+            for i in 1..=10_000 {
+                a.insert(i as f64);
+                b.insert((i + 10_000) as f64);
+            }
+            let mut restored = DdSketch::decode(&a.encode()).unwrap();
+            restored.merge(&b).unwrap();
+            restored.insert(123.0);
+            assert_eq!(restored.count(), 20_001);
+        }
+
+        #[test]
+        fn empty_sketch_round_trips() {
+            let s = DdSketch::unbounded(0.02);
+            let restored = DdSketch::decode(&s.encode()).unwrap();
+            assert_eq!(restored.count(), 0);
+            assert!(restored.query(0.5).is_err());
+        }
+
+        #[test]
+        fn corrupt_count_rejected() {
+            let mut s = DdSketch::unbounded(0.01);
+            s.insert(1.0);
+            let mut bytes = s.encode();
+            // Count is the varint after alpha+zero_count: flip a bucket
+            // count byte at the tail instead (last byte is a bucket count).
+            let last = bytes.len() - 1;
+            bytes[last] = bytes[last].wrapping_add(1);
+            assert!(DdSketch::decode(&bytes).is_err());
+        }
+
+        #[test]
+        fn payload_is_compact() {
+            let mut s = DdSketch::unbounded(0.01);
+            for i in 1..=1_000_000 {
+                s.insert(i as f64);
+            }
+            let bytes = s.encode();
+            // ~700 non-empty buckets x ~7 bytes + header: far below the
+            // dense in-memory footprint.
+            assert!(bytes.len() < 16 * 1024, "payload {} bytes", bytes.len());
+        }
+    }
+}

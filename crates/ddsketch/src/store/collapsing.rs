@@ -1,0 +1,233 @@
+//! The bounded dense store that collapses its lowest buckets when full.
+
+use super::BucketStore;
+
+/// A dense store limited to `max_buckets` slots. When an insert would
+/// exceed the limit, the lowest buckets are folded into the lowest retained
+/// bucket (§3.3: "the buckets holding lower values will be merged, which
+/// would violate the accuracy guarantees of the lower quantiles").
+///
+/// The paper evaluates DDSketch with a 1024-bucket collapsing dense store in
+/// §4.5.5 and finds its accuracy within 0.14 % of the unbounded store.
+#[derive(Debug, Clone)]
+pub struct CollapsingLowestDenseStore {
+    counts: Vec<u64>,
+    /// Bucket index of `counts[0]`; meaningless while empty.
+    offset: i32,
+    total: u64,
+    max_buckets: usize,
+    /// True once a collapse has occurred (low-quantile guarantees void).
+    collapsed: bool,
+}
+
+impl CollapsingLowestDenseStore {
+    /// Create a store bounded to `max_buckets` (≥ 2).
+    pub fn new(max_buckets: usize) -> Self {
+        assert!(max_buckets >= 2, "need at least two buckets");
+        Self {
+            counts: Vec::new(),
+            offset: 0,
+            total: 0,
+            max_buckets,
+            collapsed: false,
+        }
+    }
+
+    /// True once any lowest-bucket collapse has happened.
+    pub fn has_collapsed(&self) -> bool {
+        self.collapsed
+    }
+
+    /// The configured bucket budget.
+    pub fn max_buckets(&self) -> usize {
+        self.max_buckets
+    }
+
+    /// Count in bucket `index` (after collapses, low indices read 0; their
+    /// mass lives in the lowest retained bucket).
+    pub fn count_at(&self, index: i32) -> u64 {
+        let pos = index as i64 - self.offset as i64;
+        if pos < 0 || pos >= self.counts.len() as i64 {
+            0
+        } else {
+            self.counts[pos as usize]
+        }
+    }
+
+    /// Fold every bucket below `new_min_index` into `new_min_index`.
+    fn collapse_below(&mut self, new_min_index: i32) {
+        let cut = (new_min_index as i64 - self.offset as i64).clamp(0, self.counts.len() as i64)
+            as usize;
+        if cut == 0 {
+            return;
+        }
+        let folded: u64 = self.counts[..cut].iter().sum();
+        self.counts.drain(..cut);
+        if self.counts.is_empty() {
+            self.counts.push(0);
+        }
+        self.counts[0] += folded;
+        self.offset = new_min_index;
+        if folded > 0 {
+            self.collapsed = true;
+        }
+    }
+}
+
+impl BucketStore for CollapsingLowestDenseStore {
+    fn add(&mut self, index: i32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.offset = index;
+            self.counts.push(0);
+        }
+        let mut pos = index as i64 - self.offset as i64;
+        if pos < 0 {
+            // Need room below the current range.
+            let needed = self.counts.len() + (-pos) as usize;
+            if needed > self.max_buckets {
+                // The new value itself falls into the collapsed region:
+                // fold it into the current lowest bucket.
+                self.counts[0] += count;
+                self.total += count;
+                self.collapsed = true;
+                return;
+            }
+            let extra = (-pos) as usize;
+            let mut grown = vec![0u64; extra + self.counts.len()];
+            grown[extra..].copy_from_slice(&self.counts);
+            self.counts = grown;
+            self.offset = index;
+            pos = 0;
+        } else if pos >= self.counts.len() as i64 {
+            let needed = pos as usize + 1;
+            if needed > self.max_buckets {
+                // Make room at the top by collapsing the bottom.
+                let new_min = index - self.max_buckets as i32 + 1;
+                self.collapse_below(new_min);
+                pos = index as i64 - self.offset as i64;
+                self.counts.resize(self.max_buckets, 0);
+            } else {
+                self.counts.resize(needed, 0);
+            }
+        }
+        self.counts[pos as usize] += count;
+        self.total += count;
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn non_empty_buckets(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    fn allocated_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn iter_ascending(&self) -> Box<dyn Iterator<Item = (i32, u64)> + '_> {
+        let offset = self.offset;
+        Box::new(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(move |(i, &c)| (offset + i as i32, c)),
+        )
+    }
+
+    fn min_index(&self) -> Option<i32> {
+        self.counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(|i| self.offset + i as i32)
+    }
+
+    fn max_index(&self) -> Option<i32> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| self.offset + i as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_dense_until_full() {
+        let mut s = CollapsingLowestDenseStore::new(100);
+        for i in 0..50 {
+            s.add(i, 1);
+        }
+        assert!(!s.has_collapsed());
+        assert_eq!(s.total(), 50);
+        assert_eq!(s.min_index(), Some(0));
+        assert_eq!(s.max_index(), Some(49));
+    }
+
+    #[test]
+    fn collapses_lowest_when_range_exceeds_budget() {
+        let mut s = CollapsingLowestDenseStore::new(10);
+        for i in 0..20 {
+            s.add(i, 1);
+        }
+        assert!(s.has_collapsed());
+        assert_eq!(s.total(), 20, "no mass lost in collapse");
+        // Only the top 10 indices remain; the folded mass sits at the new
+        // minimum.
+        assert_eq!(s.max_index(), Some(19));
+        assert_eq!(s.min_index(), Some(10));
+        assert_eq!(s.count_at(10), 11); // 0..=10 folded together
+    }
+
+    #[test]
+    fn low_insert_after_collapse_folds_into_bottom() {
+        let mut s = CollapsingLowestDenseStore::new(10);
+        for i in 0..20 {
+            s.add(i, 1);
+        }
+        s.add(-5, 7);
+        assert_eq!(s.total(), 27);
+        assert_eq!(s.count_at(10), 18);
+    }
+
+    #[test]
+    fn downward_growth_within_budget_is_exact() {
+        let mut s = CollapsingLowestDenseStore::new(100);
+        s.add(50, 1);
+        s.add(20, 2);
+        assert!(!s.has_collapsed());
+        assert_eq!(s.count_at(20), 2);
+        assert_eq!(s.count_at(50), 1);
+    }
+
+    #[test]
+    fn iter_ascending_after_collapse() {
+        let mut s = CollapsingLowestDenseStore::new(4);
+        for i in 0..8 {
+            s.add(i, 1);
+        }
+        let items: Vec<(i32, u64)> = s.iter_ascending().collect();
+        assert_eq!(items, vec![(4, 5), (5, 1), (6, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn upper_counts_untouched_by_collapse() {
+        // §3.3: collapsing only violates *lower*-quantile accuracy.
+        let mut s = CollapsingLowestDenseStore::new(5);
+        for i in 0..5 {
+            s.add(i, 10);
+        }
+        s.add(9, 1); // forces collapse of indices < 5
+        assert_eq!(s.count_at(9), 1);
+        assert_eq!(s.max_index(), Some(9));
+        let total_after: u64 = s.iter_ascending().map(|(_, c)| c).sum();
+        assert_eq!(total_after, 51);
+    }
+}

@@ -1,0 +1,181 @@
+//! The unbounded dense store: a contiguous count array with an index offset.
+
+use super::BucketStore;
+
+/// Initial number of allocated buckets (§4.3: "DDSketch with an unbounded
+/// dense store would initially create a count array of 64 buckets").
+const INITIAL_CAPACITY: usize = 64;
+
+/// Headroom factor applied when the array has to grow, amortising
+/// reallocation over range extensions.
+const GROWTH_SLACK: usize = 64;
+
+/// A dense, contiguous array of bucket counts covering
+/// `[offset, offset + counts.len())`; grows to fit the observed index
+/// range and never collapses.
+#[derive(Debug, Clone, Default)]
+pub struct UnboundedDenseStore {
+    counts: Vec<u64>,
+    /// Bucket index of `counts[0]`. Meaningless while `counts` is empty.
+    offset: i32,
+    total: u64,
+}
+
+impl UnboundedDenseStore {
+    /// Create an empty store; the first `add` allocates the initial 64
+    /// slots (§4.3) centred on the first index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count in bucket `index` (0 when outside the allocated range).
+    pub fn count_at(&self, index: i32) -> u64 {
+        if self.counts.is_empty() {
+            return 0;
+        }
+        let pos = index as i64 - self.offset as i64;
+        if pos < 0 || pos >= self.counts.len() as i64 {
+            0
+        } else {
+            self.counts[pos as usize]
+        }
+    }
+
+    /// Grow (if needed) so `index` is in range, returning its array slot.
+    fn slot_for(&mut self, index: i32) -> usize {
+        if self.counts.is_empty() {
+            // Centre the initial allocation on the first observed index.
+            self.offset = index - (INITIAL_CAPACITY as i32) / 2;
+            self.counts = vec![0; INITIAL_CAPACITY];
+        }
+        let mut pos = index as i64 - self.offset as i64;
+        if pos < 0 {
+            // Extend downward.
+            let extra = (-pos) as usize + GROWTH_SLACK;
+            let mut grown = vec![0u64; extra + self.counts.len()];
+            grown[extra..].copy_from_slice(&self.counts);
+            self.counts = grown;
+            self.offset -= extra as i32;
+            pos = index as i64 - self.offset as i64;
+        } else if pos >= self.counts.len() as i64 {
+            // Extend upward.
+            let new_len = pos as usize + 1 + GROWTH_SLACK;
+            self.counts.resize(new_len, 0);
+        }
+        pos as usize
+    }
+}
+
+impl BucketStore for UnboundedDenseStore {
+    fn add(&mut self, index: i32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let slot = self.slot_for(index);
+        self.counts[slot] += count;
+        self.total += count;
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn non_empty_buckets(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    fn allocated_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn iter_ascending(&self) -> Box<dyn Iterator<Item = (i32, u64)> + '_> {
+        let offset = self.offset;
+        Box::new(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(move |(i, &c)| (offset + i as i32, c)),
+        )
+    }
+
+    fn min_index(&self) -> Option<i32> {
+        self.counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(|i| self.offset + i as i32)
+    }
+
+    fn max_index(&self) -> Option<i32> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| self.offset + i as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store() {
+        let s = UnboundedDenseStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.min_index(), None);
+        assert_eq!(s.max_index(), None);
+        assert_eq!(s.count_at(5), 0);
+    }
+
+    #[test]
+    fn first_add_allocates_initial_capacity() {
+        let mut s = UnboundedDenseStore::new();
+        s.add(100, 1);
+        assert_eq!(s.allocated_buckets(), 64);
+        assert_eq!(s.count_at(100), 1);
+        assert_eq!(s.min_index(), Some(100));
+        assert_eq!(s.max_index(), Some(100));
+    }
+
+    #[test]
+    fn grows_downward_and_upward() {
+        let mut s = UnboundedDenseStore::new();
+        s.add(0, 1);
+        s.add(-500, 2);
+        s.add(500, 3);
+        assert_eq!(s.count_at(0), 1);
+        assert_eq!(s.count_at(-500), 2);
+        assert_eq!(s.count_at(500), 3);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.min_index(), Some(-500));
+        assert_eq!(s.max_index(), Some(500));
+    }
+
+    #[test]
+    fn iter_ascending_order_and_contents() {
+        let mut s = UnboundedDenseStore::new();
+        for (i, c) in [(3, 5u64), (-2, 1), (7, 2)] {
+            s.add(i, c);
+        }
+        let items: Vec<(i32, u64)> = s.iter_ascending().collect();
+        assert_eq!(items, vec![(-2, 1), (3, 5), (7, 2)]);
+    }
+
+    #[test]
+    fn accumulates_counts() {
+        let mut s = UnboundedDenseStore::new();
+        s.add(10, 1);
+        s.add(10, 4);
+        assert_eq!(s.count_at(10), 5);
+        assert_eq!(s.non_empty_buckets(), 1);
+    }
+
+    #[test]
+    fn zero_count_add_is_noop() {
+        let mut s = UnboundedDenseStore::new();
+        s.add(10, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.allocated_buckets(), 0);
+    }
+}

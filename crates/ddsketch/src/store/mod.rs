@@ -1,0 +1,47 @@
+//! Bucket stores for DDSketch.
+//!
+//! The store maps a bucket index (possibly negative — indices are
+//! `⌈log_γ(x)⌉`, so values below 1 land at non-positive indices) to a count.
+//! The paper's data-structure analysis (§4.3) attributes DDSketch's speed to
+//! its contiguous array stores; the trait lets the sketch and the ablation
+//! benches swap implementations.
+
+mod collapsing;
+mod dense;
+mod sparse;
+
+pub use collapsing::CollapsingLowestDenseStore;
+pub use dense::UnboundedDenseStore;
+pub use sparse::SparseStore;
+
+/// A map from bucket index to count, append-heavy and iteration-friendly.
+pub trait BucketStore {
+    /// Add `count` to bucket `index`. May collapse buckets in bounded
+    /// stores.
+    fn add(&mut self, index: i32, count: u64);
+
+    /// Total count across all buckets.
+    fn total(&self) -> u64;
+
+    /// Number of non-empty buckets.
+    fn non_empty_buckets(&self) -> usize;
+
+    /// Number of allocated bucket slots (≥ non-empty count for dense
+    /// stores); this is what the Table 3 memory accounting charges.
+    fn allocated_buckets(&self) -> usize;
+
+    /// Iterate `(index, count)` over non-empty buckets in ascending index
+    /// order.
+    fn iter_ascending(&self) -> Box<dyn Iterator<Item = (i32, u64)> + '_>;
+
+    /// Smallest non-empty bucket index, if any.
+    fn min_index(&self) -> Option<i32>;
+
+    /// Largest non-empty bucket index, if any.
+    fn max_index(&self) -> Option<i32>;
+
+    /// True if no counts are stored.
+    fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}

@@ -1,0 +1,42 @@
+//! KLL streaming quantile sketch (§3.1 of the paper).
+//!
+//! KLL (Karnin–Lang–Liberty, FOCS'16, with the practical improvements of
+//! Ivkin et al.) maintains a hierarchy of *compactors*. An item at level `h`
+//! carries weight `2^h`. When the sketch is over capacity, one level is
+//! sorted and *compacted*: a fair coin selects the odd- or even-indexed
+//! items, which are promoted to level `h+1`; the rest are discarded. The
+//! geometry of level capacities (`k·c^depth`, `c = 2/3`, floor of 8 — the
+//! same scheme as the Apache DataSketches implementation the paper
+//! benchmarks) yields `ε` additive rank error with high probability in
+//! `O((1/ε)·√log(1/ε))` space.
+//!
+//! Estimates returned by KLL are always *actual stream values* (§3.1), so
+//! on discrete data it frequently answers exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use qsketch_kll::KllSketch;
+//! use qsketch_core::QuantileSketch;
+//!
+//! let mut kll = KllSketch::with_seed(200, 7);
+//! for i in 1..=10_000 {
+//!     kll.insert(i as f64);
+//! }
+//! let est = kll.query(0.5).unwrap();
+//! // Rank error stays within a few percent at k = 200.
+//! assert!((est - 5_000.0).abs() / 10_000.0 < 0.03);
+//! ```
+
+
+mod plusminus;
+mod sketch;
+mod sorted_view;
+
+pub use plusminus::KllPlusMinus;
+pub use sketch::KllSketch;
+pub use sorted_view::SortedView;
+
+/// The compactor-size parameter used in all of the paper's experiments
+/// (§4.2): `max_compactor_size = 350`, expected rank error ≈ 0.97 %.
+pub const PAPER_K: u16 = 350;

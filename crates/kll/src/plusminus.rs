@@ -1,0 +1,256 @@
+//! KLL± — deletion support for KLL (§3.1: "Zhao et al. introduced a
+//! mechanism to allow deletions" — KLL±, VLDB'21).
+//!
+//! The published construction pairs two KLL sketches: one summarises the
+//! inserted items, the other the deleted items; the rank of `x` in the
+//! live multiset is `Rank₊(x) − Rank₋(x)`, and quantiles are read off the
+//! signed cumulative weights of the two samples. This is a *turnstile*
+//! summary in the §5.1 taxonomy — the paper's evaluation covers only
+//! cash-register sketches, so KLL± ships as an extension with its own
+//! tests rather than as part of the reproduced experiments.
+//!
+//! Deletions must correspond to previously inserted values (standard
+//! turnstile discipline); deleting values never inserted skews ranks
+//! downward.
+
+use qsketch_core::sketch::{check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError};
+
+use crate::sketch::KllSketch;
+
+/// A KLL pair supporting insertions and deletions.
+#[derive(Debug, Clone)]
+pub struct KllPlusMinus {
+    inserts: KllSketch,
+    deletes: KllSketch,
+}
+
+impl KllPlusMinus {
+    /// Create with compactor parameter `k` for both halves.
+    pub fn new(k: u16) -> Self {
+        Self::with_seed(k, 0x00B1_A5ED)
+    }
+
+    /// Create with an explicit seed.
+    pub fn with_seed(k: u16, seed: u64) -> Self {
+        Self {
+            inserts: KllSketch::with_seed(k, seed),
+            deletes: KllSketch::with_seed(k, seed ^ 0x0DE1_E7E5),
+        }
+    }
+
+    /// Record an insertion.
+    pub fn insert(&mut self, value: f64) {
+        QuantileSketch::insert(&mut self.inserts, value);
+    }
+
+    /// Record a deletion of a previously inserted value.
+    pub fn delete(&mut self, value: f64) {
+        QuantileSketch::insert(&mut self.deletes, value);
+    }
+
+    /// Net number of live items (inserts − deletes), saturating at zero.
+    pub fn live_count(&self) -> u64 {
+        self.inserts.count().saturating_sub(self.deletes.count())
+    }
+
+    /// Total updates processed (inserts + deletes).
+    pub fn updates(&self) -> u64 {
+        self.inserts.count() + self.deletes.count()
+    }
+
+    /// Estimated live rank of `x`: `Rank₊(x) − Rank₋(x)`.
+    pub fn rank(&self, x: f64) -> i64 {
+        self.inserts.rank(x) as i64 - self.deletes.rank(x) as i64
+    }
+
+    /// Estimate the `q`-quantile of the live multiset.
+    pub fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        let live = self.live_count();
+        if live == 0 {
+            return Err(QueryError::Empty);
+        }
+        let target = (q * live as f64).ceil().max(1.0) as i64;
+
+        // Signed sweep over the union of both samples in value order.
+        let mut items: Vec<(f64, i64)> = Vec::new();
+        let ins_view = self.inserts.sorted_view();
+        let del_view = self.deletes.sorted_view();
+        // Reconstruct per-item weights from the cumulative views.
+        let mut prev = 0u64;
+        while prev < ins_view.total_weight() {
+            let v = ins_view.value_at_rank(prev + 1);
+            let r = ins_view.rank_of(v);
+            items.push((v, (r - prev) as i64));
+            prev = r;
+        }
+        prev = 0;
+        while prev < del_view.total_weight() {
+            let v = del_view.value_at_rank(prev + 1);
+            let r = del_view.rank_of(v);
+            items.push((v, -((r - prev) as i64)));
+            prev = r;
+        }
+        items.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in sketch"));
+
+        let mut cum = 0i64;
+        let mut best = None;
+        for (v, w) in items {
+            cum += w;
+            if cum >= target {
+                best = Some(v);
+                break;
+            }
+        }
+        Ok(best.unwrap_or(self.inserts.max()))
+    }
+}
+
+impl MergeableSketch for KllPlusMinus {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.inserts.merge(&other.inserts)?;
+        self.deletes.merge(&other.deletes)?;
+        Ok(())
+    }
+}
+
+impl QuantileSketch for KllPlusMinus {
+    fn insert(&mut self, value: f64) {
+        KllPlusMinus::insert(self, value);
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        KllPlusMinus::query(self, q)
+    }
+
+    fn count(&self) -> u64 {
+        self.live_count()
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.inserts.memory_footprint() + self.deletes.memory_footprint()
+    }
+
+    fn name(&self) -> &'static str {
+        "KLL±"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_only_behaves_like_kll() {
+        let mut pm = KllPlusMinus::with_seed(350, 1);
+        let mut plain = KllSketch::with_seed(350, 1);
+        for i in 0..100_000 {
+            pm.insert(f64::from(i));
+            QuantileSketch::insert(&mut plain, f64::from(i));
+        }
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let a = pm.query(q).unwrap();
+            let b = plain.query(q).unwrap();
+            assert!(
+                (a - b).abs() / 100_000.0 < 0.02,
+                "q={q}: KLL± {a} vs KLL {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_the_top_half_shifts_quantiles() {
+        let n = 100_000;
+        let mut pm = KllPlusMinus::with_seed(350, 2);
+        for i in 0..n {
+            pm.insert(f64::from(i));
+        }
+        // Delete everything >= n/2.
+        for i in n / 2..n {
+            pm.delete(f64::from(i));
+        }
+        assert_eq!(pm.live_count(), (n / 2) as u64);
+        // The live median is now ~n/4.
+        let est = pm.query(0.5).unwrap();
+        let truth = f64::from(n) / 4.0;
+        assert!(
+            (est - truth).abs() / f64::from(n) < 0.03,
+            "median after deletes: {est} vs {truth}"
+        );
+        // The live maximum is ~n/2.
+        let est_max = pm.query(0.999).unwrap();
+        assert!(
+            (est_max - f64::from(n) / 2.0).abs() / f64::from(n) < 0.03,
+            "p99.9 after deletes: {est_max}"
+        );
+    }
+
+    #[test]
+    fn deleting_a_value_band_removes_it() {
+        let mut pm = KllPlusMinus::with_seed(200, 3);
+        for pass in 0..2 {
+            for i in 0..50_000 {
+                let v = f64::from(i % 1000);
+                if pass == 0 {
+                    pm.insert(v);
+                } else if v < 100.0 {
+                    pm.delete(v);
+                }
+            }
+        }
+        // Values < 100 deleted: the live 0.05-quantile is pushed to ~145.
+        let est = pm.query(0.05).unwrap();
+        assert!(est > 100.0, "low quantile {est} should skip deleted band");
+    }
+
+    #[test]
+    fn empty_after_full_deletion() {
+        let mut pm = KllPlusMinus::new(64);
+        for i in 0..100 {
+            pm.insert(f64::from(i));
+        }
+        for i in 0..100 {
+            pm.delete(f64::from(i));
+        }
+        assert_eq!(pm.live_count(), 0);
+        assert_eq!(pm.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn rank_is_signed_difference() {
+        let mut pm = KllPlusMinus::new(200);
+        for i in 0..1000 {
+            pm.insert(f64::from(i));
+        }
+        for i in 0..500 {
+            pm.delete(f64::from(i));
+        }
+        // Live rank of 499 is ~0; of 999 is ~500.
+        assert!(pm.rank(499.0).abs() < 50);
+        assert!((pm.rank(999.0) - 500).abs() < 50);
+    }
+
+    #[test]
+    fn merge_combines_both_halves() {
+        let mut a = KllPlusMinus::with_seed(200, 4);
+        let mut b = KllPlusMinus::with_seed(200, 5);
+        for i in 0..10_000 {
+            a.insert(f64::from(i));
+            b.insert(f64::from(i + 10_000));
+        }
+        for i in 0..5_000 {
+            b.delete(f64::from(i + 10_000));
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.live_count(), 15_000);
+        let est = a.query(0.999).unwrap();
+        assert!(est > 18_000.0, "max region {est}");
+    }
+
+    #[test]
+    fn memory_is_two_sketches() {
+        let pm = KllPlusMinus::new(350);
+        let plain = KllSketch::new(350);
+        assert!(pm.memory_footprint() >= plain.memory_footprint());
+    }
+}

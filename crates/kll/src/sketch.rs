@@ -1,0 +1,633 @@
+//! The KLL sketch proper: a hierarchy of compactors with lazy compaction.
+
+use qsketch_core::sketch::{check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError};
+
+use qsketch_core::rng::CoinFlipper;
+use crate::sorted_view::SortedView;
+
+/// Smallest compactor capacity; deep (old) levels never shrink below this.
+/// Matches the Apache DataSketches floor of 8, which replaces the original
+/// paper's bottom-level sampler with logically equivalent fixed-size levels.
+const MIN_CAPACITY: usize = 8;
+
+/// Capacity decay per level below the top: `cap(depth) = max(⌈k·(2/3)^depth⌉, 8)`.
+const DECAY_NUM: u64 = 2;
+const DECAY_DEN: u64 = 3;
+
+/// KLL quantile sketch over `f64` values.
+///
+/// `k` (`max_compactor_size` in the paper, §4.2) bounds the capacity of the
+/// highest compactor; lower levels shrink geometrically by 2/3 down to 8.
+/// Items at level `h` weigh `2^h`.
+#[derive(Debug, Clone)]
+pub struct KllSketch {
+    k: u16,
+    /// `levels[h]` holds the items of the compactor at height `h`.
+    /// Level 0 is unsorted (append buffer); levels ≥ 1 are kept sorted.
+    levels: Vec<Vec<f64>>,
+    count: u64,
+    min: f64,
+    max: f64,
+    rng: CoinFlipper,
+}
+
+impl KllSketch {
+    /// Create a sketch with the given `max_compactor_size` and a fixed
+    /// default seed. Use [`KllSketch::with_seed`] for explicit seeding.
+    pub fn new(k: u16) -> Self {
+        Self::with_seed(k, 0xC0FF_EE11)
+    }
+
+    /// Create a sketch with the paper's parameterisation (`k = 350`, §4.2).
+    pub fn paper_configuration() -> Self {
+        Self::new(crate::PAPER_K)
+    }
+
+    /// Create a sketch with an explicit PRNG seed (compaction is
+    /// randomised; seeding makes experiments reproducible).
+    pub fn with_seed(k: u16, seed: u64) -> Self {
+        assert!(k >= MIN_CAPACITY as u16, "k must be at least {MIN_CAPACITY}");
+        Self {
+            k,
+            levels: vec![Vec::new()],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            rng: CoinFlipper::new(seed),
+        }
+    }
+
+    /// The `k` parameter the sketch was created with.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+
+    /// Number of levels (compactor heights) currently allocated.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of retained sample items across all compactors
+    /// (the quantity §4.3 reports as 1048 for k = 350 after 1 M inserts).
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Capacity of the compactor at `level` given the current number of
+    /// levels: the top level gets `k`, each level below shrinks by 2/3,
+    /// floored at 8.
+    fn level_capacity(&self, level: usize) -> usize {
+        let depth = self.levels.len() - 1 - level;
+        let mut cap = self.k as u64;
+        for _ in 0..depth {
+            cap = (cap * DECAY_NUM).div_ceil(DECAY_DEN);
+            if cap <= MIN_CAPACITY as u64 {
+                return MIN_CAPACITY;
+            }
+        }
+        (cap as usize).max(MIN_CAPACITY)
+    }
+
+    /// Sum of all level capacities under the current height.
+    fn total_capacity(&self) -> usize {
+        (0..self.levels.len()).map(|h| self.level_capacity(h)).sum()
+    }
+
+    /// Compact the lowest level that is at or over its capacity. This is the
+    /// DataSketches "lazy" strategy: one compaction per overflow, which
+    /// amortises insertion cost (ablated in `benches/ablation_kll.rs`).
+    fn compact_once(&mut self) {
+        let level = (0..self.levels.len())
+            .find(|&h| self.levels[h].len() >= self.level_capacity(h))
+            // If nothing individually overflows but the total does, compact
+            // the largest level.
+            .unwrap_or_else(|| {
+                (0..self.levels.len())
+                    .max_by_key(|&h| self.levels[h].len())
+                    .expect("sketch has at least one level")
+            });
+
+        if self.levels[level].len() < 2 {
+            // Cannot compact fewer than 2 items; grow instead so capacity
+            // re-derivation gives the stream more room.
+            self.levels.push(Vec::new());
+            return;
+        }
+
+        if level + 1 == self.levels.len() {
+            self.levels.push(Vec::new());
+        }
+
+        let mut items = std::mem::take(&mut self.levels[level]);
+        items.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN inserted into sketch"));
+
+        // If the count is odd, one item stays behind (DataSketches keeps the
+        // first); the even remainder is halved.
+        let odd_leftover = if items.len() % 2 == 1 {
+            Some(items.remove(0))
+        } else {
+            None
+        };
+
+        let offset = usize::from(self.rng.flip());
+        let promoted: Vec<f64> = items
+            .iter()
+            .skip(offset)
+            .step_by(2)
+            .copied()
+            .collect();
+
+        // Upper levels are kept sorted: merge the promoted run in.
+        merge_sorted_into(&mut self.levels[level + 1], promoted);
+
+        if let Some(v) = odd_leftover {
+            self.levels[level].push(v);
+        }
+    }
+
+    /// Run compactions until the sketch fits its capacity budget.
+    fn compress_while_over_capacity(&mut self) {
+        // Each compaction halves some level, so this terminates quickly.
+        let mut guard = 0;
+        while self.retained() >= self.total_capacity() {
+            self.compact_once();
+            guard += 1;
+            assert!(guard < 64, "compaction failed to reduce size");
+        }
+    }
+
+    /// Weighted `(value, weight)` items across all levels.
+    fn weighted_items(&self) -> Vec<(f64, u64)> {
+        let mut items = Vec::with_capacity(self.retained());
+        for (h, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << h;
+            items.extend(level.iter().map(|&v| (v, w)));
+        }
+        items
+    }
+
+    /// Build the sorted, cumulative-weight view used to answer queries.
+    pub fn sorted_view(&self) -> SortedView {
+        SortedView::new(self.weighted_items())
+    }
+
+    /// Estimated rank of `x` (count of stream elements ≤ x).
+    pub fn rank(&self, x: f64) -> u64 {
+        self.sorted_view().rank_of(x)
+    }
+
+    /// Smallest value seen (exact — KLL tracks min/max outside the
+    /// compactors). `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value seen (exact). `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl QuantileSketch for KllSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into KLL sketch");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.levels[0].push(value);
+        if self.retained() >= self.total_capacity() {
+            self.compact_once();
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        let view = self.sorted_view();
+        // Weights always sum to a value within one compaction of `count`,
+        // but rank against the true stream length per §2.1.
+        let est = view.quantile(q, view.total_weight());
+        // Exact extremes: rank-1 and rank-N answers are tracked precisely.
+        if q == 1.0 {
+            return Ok(self.max);
+        }
+        Ok(est.clamp(self.min, self.max))
+    }
+
+    fn query_many(&self, qs: &[f64]) -> Result<Vec<f64>, QueryError> {
+        for &q in qs {
+            check_quantile(q)?;
+        }
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        // One sorted view answers the whole batch (the per-query rebuild
+        // dominates Fig. 5b's KLL cost).
+        let view = self.sorted_view();
+        let n = view.total_weight();
+        Ok(qs
+            .iter()
+            .map(|&q| {
+                if q == 1.0 {
+                    self.max
+                } else {
+                    view.quantile(q, n).clamp(self.min, self.max)
+                }
+            })
+            .collect())
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn memory_footprint(&self) -> usize {
+        // Retained items + per-level bookkeeping + scalar state, the
+        // quantity Table 3 reports (4.24 KB at k = 350).
+        self.retained() * std::mem::size_of::<f64>()
+            + self.levels.len() * std::mem::size_of::<usize>()
+            + 4 * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "KLL"
+    }
+}
+
+impl MergeableSketch for KllSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if other.count == 0 {
+            return Ok(());
+        }
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (h, level) in other.levels.iter().enumerate() {
+            if h == 0 {
+                self.levels[0].extend_from_slice(level);
+            } else {
+                merge_sorted_into(&mut self.levels[h], level.clone());
+            }
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        // Compact any level exceeding the capacity derived from the merged
+        // sketch's (possibly greater) height, per §3.1.
+        self.compress_while_over_capacity();
+        Ok(())
+    }
+}
+
+/// Merge an unsorted batch into a sorted level, keeping it sorted.
+fn merge_sorted_into(sorted: &mut Vec<f64>, mut batch: Vec<f64>) {
+    if batch.is_empty() {
+        return;
+    }
+    batch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN inserted into sketch"));
+    let mut merged = Vec::with_capacity(sorted.len() + batch.len());
+    let (mut i, mut j) = (0, 0);
+    while i < sorted.len() && j < batch.len() {
+        if sorted[i] <= batch[j] {
+            merged.push(sorted[i]);
+            i += 1;
+        } else {
+            merged.push(batch[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&sorted[i..]);
+    merged.extend_from_slice(&batch[j..]);
+    *sorted = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(k: u16, n: u64, seed: u64) -> KllSketch {
+        let mut s = KllSketch::with_seed(k, seed);
+        for i in 0..n {
+            // Insert a permuted sequence to avoid sortedness artifacts.
+            let v = ((i * 2_654_435_761) % n) as f64;
+            s.insert(v);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_sketch_errors() {
+        let s = KllSketch::new(200);
+        assert_eq!(s.query(0.5), Err(QueryError::Empty));
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn small_stream_is_exact() {
+        // Below capacity nothing is ever discarded.
+        let mut s = KllSketch::new(200);
+        for v in [3.0, 6.0, 8.0, 9.0, 11.0, 15.0, 16.0, 18.0, 30.0, 51.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.query(0.5).unwrap(), 11.0);
+        assert_eq!(s.query(0.9).unwrap(), 30.0);
+        assert_eq!(s.query(1.0).unwrap(), 51.0);
+        assert_eq!(s.retained(), 10);
+    }
+
+    #[test]
+    fn rank_error_within_bound_on_large_stream() {
+        let n = 200_000u64;
+        let s = filled(350, n, 11);
+        // With k=350 the expected rank error is ~1%; allow 3% headroom.
+        for q in [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99] {
+            let est = s.query(q).unwrap();
+            let true_rank = q * n as f64;
+            let est_rank = est + 1.0; // data is the permutation of 0..n
+            let rank_err = (true_rank - est_rank).abs() / n as f64;
+            assert!(rank_err < 0.03, "q={q}: rank error {rank_err}");
+        }
+    }
+
+    #[test]
+    fn retained_items_bounded() {
+        let s = filled(350, 1_000_000, 3);
+        // §4.3 reports a total sample size of 1048 for k=350 at 1M points.
+        let r = s.retained();
+        assert!(r <= 1400, "retained {r} items");
+        assert!(r >= 350, "retained {r} items");
+    }
+
+    #[test]
+    fn min_max_are_exact() {
+        let mut s = KllSketch::new(64);
+        for i in 0..100_000 {
+            s.insert(f64::from(i));
+        }
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 99_999.0);
+        assert_eq!(s.query(1.0).unwrap(), 99_999.0);
+    }
+
+    #[test]
+    fn weights_conserve_stream_length() {
+        let s = filled(128, 50_000, 9);
+        // Compaction discards half the weight of a level and doubles the
+        // rest, so total weight is conserved up to odd leftovers per level.
+        let view = s.sorted_view();
+        let total = view.total_weight();
+        let n = 50_000u64;
+        let slack = (s.num_levels() as u64) * (1 << s.num_levels());
+        assert!(
+            total <= n && total + slack >= n,
+            "total weight {total} vs n {n} (slack {slack})"
+        );
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let mut a = filled(128, 10_000, 1);
+        let before = a.query(0.5).unwrap();
+        let b = KllSketch::new(128);
+        a.merge(&b).unwrap();
+        assert_eq!(a.query(0.5).unwrap(), before);
+        assert_eq!(a.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_ranges() {
+        let mut a = KllSketch::with_seed(200, 1);
+        let mut b = KllSketch::with_seed(200, 2);
+        for i in 0..50_000 {
+            a.insert(f64::from(i)); // [0, 50k)
+            b.insert(f64::from(i + 50_000)); // [50k, 100k)
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 100_000);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 99_999.0);
+        // Median of the union is ~50k.
+        let est = a.query(0.5).unwrap();
+        assert!((est - 50_000.0).abs() / 100_000.0 < 0.03, "est {est}");
+    }
+
+    #[test]
+    fn merge_matches_single_sketch_accuracy() {
+        // Merging 10 shard sketches must stay within the same error regime
+        // as one sketch over the concatenated stream (§2.4 mergeability).
+        let n_per = 20_000u64;
+        let shards: Vec<KllSketch> = (0..10)
+            .map(|s| {
+                let mut sk = KllSketch::with_seed(350, 100 + s);
+                for i in 0..n_per {
+                    sk.insert((s * n_per + i) as f64);
+                }
+                sk
+            })
+            .collect();
+        let mut merged = shards[0].clone();
+        for s in &shards[1..] {
+            merged.merge(s).unwrap();
+        }
+        let n = n_per * 10;
+        assert_eq!(merged.count(), n);
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let est = merged.query(q).unwrap();
+            let rank_err = (est / n as f64 - q).abs();
+            assert!(rank_err < 0.04, "q={q} rank err {rank_err}");
+        }
+    }
+
+    #[test]
+    fn query_returns_actual_stream_values() {
+        // §3.1: KLL estimates are actual values from the data set.
+        let mut s = KllSketch::with_seed(64, 5);
+        for i in 0..100_000 {
+            s.insert(f64::from(i) * 0.5);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let est = s.query(q).unwrap();
+            assert_eq!(est, (est * 2.0).round() / 2.0, "estimate {est} not a stream value");
+        }
+    }
+
+    #[test]
+    fn invalid_quantiles_rejected() {
+        let mut s = KllSketch::new(64);
+        s.insert(1.0);
+        assert_eq!(s.query(0.0), Err(QueryError::InvalidQuantile));
+        assert_eq!(s.query(2.0), Err(QueryError::InvalidQuantile));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = filled(128, 100_000, 77);
+        let b = filled(128, 100_000, 77);
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.query(q).unwrap(), b.query(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn memory_footprint_tracks_retained() {
+        let s = filled(350, 1_000_000, 13);
+        let kb = s.memory_footprint() as f64 / 1024.0;
+        // Table 3 reports 4.24 KB for KLL at k=350; allow generous slack
+        // for bookkeeping differences.
+        assert!(kb > 2.0 && kb < 12.0, "footprint {kb} KB");
+    }
+
+    #[test]
+    fn repeated_values_survive_compaction() {
+        // §4.5.3: heavy repetition keeps exact values in the sketch.
+        let mut s = KllSketch::with_seed(350, 21);
+        for i in 0..1_000_000u64 {
+            let v = if i % 3 == 0 { 7.5 } else { (i % 1000) as f64 };
+            s.insert(v);
+        }
+        // 7.5 accounts for a third of the stream around the upper-mid
+        // quantiles of this mixture; the sketch should locate it well.
+        let est = s.query(0.85).unwrap();
+        assert!((0.0..=1000.0).contains(&est));
+    }
+
+    #[test]
+    fn level_capacity_geometry() {
+        let mut s = KllSketch::new(350);
+        for i in 0..1_000_000 {
+            s.insert(f64::from(i));
+        }
+        // Top level gets k, deeper levels shrink to the floor of 8.
+        let top = s.num_levels() - 1;
+        assert_eq!(s.level_capacity(top), 350);
+        assert_eq!(s.level_capacity(0), 8, "bottom level hits the floor");
+    }
+}
+
+/// Wire format: magic `0xA1`, version 1. Encodes `k`, scalar state, and
+/// each level's retained items. The compaction coin is reseeded on decode
+/// (from `k` and the count), so a decoded sketch remains correct but its
+/// *future* compactions are not bit-replays of the encoder's.
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+
+    const MAGIC: u8 = 0xA1;
+    const VERSION: u8 = 1;
+    /// Far above any real retained-sample size (§4.3: ~1k items at k=350).
+    const MAX_ITEMS_PER_LEVEL: u64 = 1 << 24;
+    const MAX_LEVELS: u64 = 64;
+
+    impl SketchCodec for KllSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, VERSION);
+            w.varint(u64::from(self.k));
+            w.varint(self.count);
+            w.f64(self.min);
+            w.f64(self.max);
+            w.varint(self.levels.len() as u64);
+            for level in &self.levels {
+                w.f64_slice(level);
+            }
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            let k = r.varint()?;
+            if !(8..=u64::from(u16::MAX)).contains(&k) {
+                return Err(CodecError::Corrupt(format!("k {k} out of range")));
+            }
+            let count = r.varint()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            let num_levels = r.varint()?;
+            if num_levels == 0 || num_levels > MAX_LEVELS {
+                return Err(CodecError::Corrupt(format!("{num_levels} levels")));
+            }
+            let mut levels = Vec::with_capacity(num_levels as usize);
+            for _ in 0..num_levels {
+                let mut level = r.f64_vec(MAX_ITEMS_PER_LEVEL)?;
+                if level.iter().any(|v| v.is_nan()) {
+                    return Err(CodecError::Corrupt("NaN item".into()));
+                }
+                // Upper levels are kept sorted by the in-memory invariant.
+                level.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                levels.push(level);
+            }
+            r.expect_exhausted()?;
+            Ok(Self {
+                k: k as u16,
+                levels,
+                count,
+                min,
+                max,
+                rng: CoinFlipper::new(k ^ count.rotate_left(17)),
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_preserves_view() {
+            let mut s = KllSketch::with_seed(350, 9);
+            for i in 0..200_000 {
+                s.insert(f64::from(i));
+            }
+            let restored = KllSketch::decode(&s.encode()).unwrap();
+            assert_eq!(restored.count(), s.count());
+            assert_eq!(restored.retained(), s.retained());
+            for q in [0.1, 0.5, 0.99, 1.0] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap(), "q={q}");
+            }
+        }
+
+        #[test]
+        fn decoded_sketch_keeps_working() {
+            use qsketch_core::sketch::MergeableSketch;
+            let mut s = KllSketch::with_seed(128, 3);
+            for i in 0..50_000 {
+                s.insert(f64::from(i));
+            }
+            let mut restored = KllSketch::decode(&s.encode()).unwrap();
+            for i in 50_000..100_000 {
+                restored.insert(f64::from(i));
+            }
+            let mut other = KllSketch::with_seed(128, 4);
+            other.insert(1.0);
+            restored.merge(&other).unwrap();
+            assert_eq!(restored.count(), 100_001);
+            let est = restored.query(0.5).unwrap();
+            assert!((est / 100_000.0 - 0.5).abs() < 0.03);
+        }
+
+        #[test]
+        fn payload_tracks_retained_items() {
+            let mut s = KllSketch::with_seed(350, 5);
+            for i in 0..1_000_000 {
+                s.insert(f64::from(i));
+            }
+            let bytes = s.encode();
+            // ~8 bytes per retained item plus small framing.
+            assert!(bytes.len() < s.retained() * 9 + 64);
+        }
+
+        #[test]
+        fn nan_item_rejected() {
+            let mut s = KllSketch::with_seed(64, 1);
+            s.insert(1.0);
+            let mut bytes = s.encode();
+            // Overwrite the single item with a NaN pattern.
+            let nan = f64::NAN.to_le_bytes();
+            let n = bytes.len();
+            bytes[n - 8..].copy_from_slice(&nan);
+            assert!(KllSketch::decode(&bytes).is_err());
+        }
+    }
+}

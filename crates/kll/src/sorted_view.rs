@@ -1,0 +1,140 @@
+//! Weighted sorted view over a sampling sketch's retained items.
+//!
+//! Both KLL and ReqSketch answer queries by conceptually replicating each
+//! retained item `w` times, sorting, and indexing at rank `⌈qN⌉` (§3.1,
+//! Table 2). Materialising the replication is unnecessary: a sorted list of
+//! `(value, weight)` pairs with cumulative weights answers the same query by
+//! binary search.
+
+/// A sorted, cumulatively weighted snapshot of retained samples.
+#[derive(Debug, Clone)]
+pub struct SortedView {
+    /// Item values, ascending.
+    values: Vec<f64>,
+    /// `cum_weights[i]` = total weight of `values[0..=i]`.
+    cum_weights: Vec<u64>,
+}
+
+impl SortedView {
+    /// Build a view from `(value, weight)` pairs (any order).
+    pub fn new(mut items: Vec<(f64, u64)>) -> Self {
+        items.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in sketch items"));
+        let mut values = Vec::with_capacity(items.len());
+        let mut cum_weights = Vec::with_capacity(items.len());
+        let mut running = 0u64;
+        for (v, w) in items {
+            running += w;
+            values.push(v);
+            cum_weights.push(running);
+        }
+        Self {
+            values,
+            cum_weights,
+        }
+    }
+
+    /// Total weight represented by the view.
+    pub fn total_weight(&self) -> u64 {
+        self.cum_weights.last().copied().unwrap_or(0)
+    }
+
+    /// Number of distinct retained items.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no items are retained.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at (1-based) weighted rank `rank`: the first item whose
+    /// cumulative weight reaches `rank`. `rank` is clamped into
+    /// `[1, total_weight]`.
+    pub fn value_at_rank(&self, rank: u64) -> f64 {
+        assert!(!self.values.is_empty(), "rank query on empty view");
+        let rank = rank.clamp(1, self.total_weight());
+        // First index with cum_weight >= rank.
+        let idx = self.cum_weights.partition_point(|&w| w < rank);
+        self.values[idx]
+    }
+
+    /// Answer a `q`-quantile over a stream of `n` items: rank `⌈q·n⌉`.
+    ///
+    /// `n` is the *stream* length, which can exceed the view's total weight
+    /// when compaction discarded items without promoting all weight (weights
+    /// are exact in KLL, so normally `total_weight == n`).
+    pub fn quantile(&self, q: f64, n: u64) -> f64 {
+        let rank = (q * n as f64).ceil() as u64;
+        self.value_at_rank(rank)
+    }
+
+    /// Weighted rank of `x`: the total weight of items `≤ x`.
+    pub fn rank_of(&self, x: f64) -> u64 {
+        let idx = self.values.partition_point(|&v| v <= x);
+        if idx == 0 {
+            0
+        } else {
+            self.cum_weights[idx - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_query_calculation() {
+        // Table 2: one compactor at h=1 holding {3, 8, 11, 16, 30}, each of
+        // weight 2, summarising the 10-element Table 1 stream.
+        let view = SortedView::new(vec![(3.0, 2), (8.0, 2), (11.0, 2), (16.0, 2), (30.0, 2)]);
+        assert_eq!(view.total_weight(), 10);
+        // Ranks 1..10 expand to 3,3,8,8,11,11,16,16,30,30 as in Table 2.
+        let expected = [3.0, 3.0, 8.0, 8.0, 11.0, 11.0, 16.0, 16.0, 30.0, 30.0];
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(view.value_at_rank(i as u64 + 1), want, "rank {}", i + 1);
+        }
+        // Quantile^{-1} grid of Table 2.
+        assert_eq!(view.quantile(0.5, 10), 11.0);
+        assert_eq!(view.quantile(0.9, 10), 30.0);
+        assert_eq!(view.quantile(1.0, 10), 30.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let view = SortedView::new(vec![(5.0, 1), (1.0, 1), (3.0, 1)]);
+        assert_eq!(view.value_at_rank(1), 1.0);
+        assert_eq!(view.value_at_rank(2), 3.0);
+        assert_eq!(view.value_at_rank(3), 5.0);
+    }
+
+    #[test]
+    fn rank_clamping() {
+        let view = SortedView::new(vec![(2.0, 4)]);
+        assert_eq!(view.value_at_rank(0), 2.0); // clamped up
+        assert_eq!(view.value_at_rank(100), 2.0); // clamped down
+    }
+
+    #[test]
+    fn rank_of_values() {
+        let view = SortedView::new(vec![(1.0, 2), (5.0, 3), (9.0, 1)]);
+        assert_eq!(view.rank_of(0.5), 0);
+        assert_eq!(view.rank_of(1.0), 2);
+        assert_eq!(view.rank_of(7.0), 5);
+        assert_eq!(view.rank_of(9.0), 6);
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = SortedView::new(vec![]);
+        assert!(view.is_empty());
+        assert_eq!(view.total_weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty view")]
+    fn rank_on_empty_panics() {
+        SortedView::new(vec![]).value_at_rank(1);
+    }
+}

@@ -1,0 +1,578 @@
+//! The Moments sketch: power sums in, maximum-entropy quantiles out.
+
+use qsketch_core::sketch::{
+    check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};
+
+use crate::solver::maxent::{solve, SolverConfig};
+use crate::solver::chebyshev::{chebyshev_moments, scaled_power_moments};
+
+/// Minimum cardinality required by the solver (§3.2: "A minimum cardinality
+/// of 5 is required for this sketch or its underlying algorithm will
+/// fail").
+const MIN_CARDINALITY: u64 = 5;
+
+/// Moments quantile sketch over `f64` values.
+///
+/// Holds `count`, `min`, `max` and the power sums `Σ xʲ` for
+/// `j = 1..=num_moments`. With [`MomentsSketch::with_compression`] the
+/// stream is passed through `arcsinh` first — the transform the reference
+/// implementation recommends (and §4.2 applies to the Pareto and Power data
+/// sets) to stop large-magnitude values overflowing high powers.
+#[derive(Debug, Clone)]
+pub struct MomentsSketch {
+    /// `power_sums[j] = Σ yʲ`, `power_sums[0] = count`.
+    power_sums: Vec<f64>,
+    /// Min of the (possibly transformed) values.
+    min: f64,
+    /// Max of the (possibly transformed) values.
+    max: f64,
+    /// Whether values pass through `arcsinh` on insert.
+    compress: bool,
+    config: SolverConfig,
+}
+
+impl MomentsSketch {
+    /// Create a sketch holding `num_moments` power sums, no compression.
+    pub fn new(num_moments: usize) -> Self {
+        Self::with_options(num_moments, false, SolverConfig::default())
+    }
+
+    /// Create a sketch that `arcsinh`-compresses inserts (for data spanning
+    /// many orders of magnitude, §4.2).
+    pub fn with_compression(num_moments: usize) -> Self {
+        Self::with_options(num_moments, true, SolverConfig::default())
+    }
+
+    /// The paper's configuration (§4.2): 12 moments, no compression (the
+    /// log transform is enabled per data set via
+    /// [`MomentsSketch::with_compression`]).
+    pub fn paper_configuration() -> Self {
+        Self::new(crate::PAPER_NUM_MOMENTS)
+    }
+
+    /// Full-control constructor (solver grid size is the accuracy/query-
+    /// time dial discussed in §4.5.5).
+    pub fn with_options(num_moments: usize, compress: bool, config: SolverConfig) -> Self {
+        assert!(
+            (2..=15).contains(&num_moments),
+            "num_moments must lie in 2..=15 (the paper reports instability \
+             beyond 15), got {num_moments}"
+        );
+        Self {
+            power_sums: vec![0.0; num_moments + 1],
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            compress,
+            config,
+        }
+    }
+
+    /// Number of power sums maintained (the paper's `num_moments`).
+    pub fn num_moments(&self) -> usize {
+        self.power_sums.len() - 1
+    }
+
+    /// Whether `arcsinh` compression is active.
+    pub fn is_compressed(&self) -> bool {
+        self.compress
+    }
+
+    /// Min of the raw (untransformed) stream, `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        if self.compress && self.min.is_finite() {
+            self.min.sinh()
+        } else {
+            self.min
+        }
+    }
+
+    /// Max of the raw (untransformed) stream, `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        if self.compress && self.max.is_finite() {
+            self.max.sinh()
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimate several quantiles with a single solver run (the batch path
+    /// the accuracy harness uses: the paper queries 8 quantiles per
+    /// window).
+    pub fn estimate_quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, QueryError> {
+        for &q in qs {
+            check_quantile(q)?;
+        }
+        let n = self.count();
+        if n == 0 {
+            return Err(QueryError::Empty);
+        }
+        if n < MIN_CARDINALITY {
+            return Err(QueryError::EstimationFailed(format!(
+                "moments sketch requires cardinality >= {MIN_CARDINALITY}, have {n}"
+            )));
+        }
+        if self.max <= self.min {
+            // Constant stream: every quantile is that value.
+            return Ok(vec![self.min(); qs.len()]);
+        }
+
+        let scaled = scaled_power_moments(&self.power_sums, self.min, self.max);
+        let target = chebyshev_moments(&scaled);
+        let solution = solve(&target, &self.config)
+            .map_err(|e| QueryError::EstimationFailed(e.to_string()))?;
+
+        Ok(qs
+            .iter()
+            .map(|&q| {
+                let u = solution.quantile(q);
+                let y = self.min + (u + 1.0) / 2.0 * (self.max - self.min);
+                if self.compress {
+                    y.sinh()
+                } else {
+                    y
+                }
+            })
+            .collect())
+    }
+}
+
+impl MomentsSketch {
+    /// Insert `count` occurrences of `value` at once: each power sum
+    /// grows by `count · yʲ` — constant work per pre-aggregated record.
+    pub fn insert_n(&mut self, value: f64, count: u64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into Moments sketch");
+        if count == 0 {
+            return;
+        }
+        let y = if self.compress { value.asinh() } else { value };
+        self.min = self.min.min(y);
+        self.max = self.max.max(y);
+        let c = count as f64;
+        let mut p = 1.0;
+        for s in &mut self.power_sums {
+            *s += c * p;
+            p *= y;
+        }
+    }
+
+    /// Estimated CDF at `x`, read from the fitted maximum-entropy
+    /// density.
+    pub fn cdf(&self, x: f64) -> Result<f64, QueryError> {
+        let n = self.count();
+        if n == 0 {
+            return Err(QueryError::Empty);
+        }
+        if n < MIN_CARDINALITY {
+            return Err(QueryError::EstimationFailed(format!(
+                "moments sketch requires cardinality >= {MIN_CARDINALITY}, have {n}"
+            )));
+        }
+        let y = if self.compress { x.asinh() } else { x };
+        if self.max <= self.min {
+            return Ok(if y >= self.min { 1.0 } else { 0.0 });
+        }
+        if y <= self.min {
+            return Ok(0.0);
+        }
+        if y >= self.max {
+            return Ok(1.0);
+        }
+        let scaled = scaled_power_moments(&self.power_sums, self.min, self.max);
+        let target = chebyshev_moments(&scaled);
+        let solution = solve(&target, &self.config)
+            .map_err(|e| QueryError::EstimationFailed(e.to_string()))?;
+        let u = 2.0 * (y - self.min) / (self.max - self.min) - 1.0;
+        Ok(solution.cdf_at(u))
+    }
+}
+
+impl QuantileSketch for MomentsSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into Moments sketch");
+        let y = if self.compress { value.asinh() } else { value };
+        self.min = self.min.min(y);
+        self.max = self.max.max(y);
+        // Update Σ yʲ incrementally: one multiply per moment (§4.4.1:
+        // "Moments Sketch updates each of the num_moments moments").
+        let mut p = 1.0;
+        for s in &mut self.power_sums {
+            *s += p;
+            p *= y;
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        Ok(self.estimate_quantiles(&[q])?[0])
+    }
+
+    fn query_many(&self, qs: &[f64]) -> Result<Vec<f64>, QueryError> {
+        // One solver run for the whole batch (§4.4.2: the solve dominates).
+        self.estimate_quantiles(qs)
+    }
+
+    fn count(&self) -> u64 {
+        self.power_sums[0] as u64
+    }
+
+    fn memory_footprint(&self) -> usize {
+        // k+1 power sums + min + max: ~15 doubles at k = 12, the 0.14 KB of
+        // Table 3.
+        (self.power_sums.len() + 2) * std::mem::size_of::<f64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "Moments"
+    }
+}
+
+impl MergeableSketch for MomentsSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.num_moments() != other.num_moments() {
+            return Err(MergeError::IncompatibleParameters(format!(
+                "num_moments mismatch: {} vs {}",
+                self.num_moments(),
+                other.num_moments()
+            )));
+        }
+        if self.compress != other.compress {
+            return Err(MergeError::IncompatibleParameters(
+                "compression mismatch".into(),
+            ));
+        }
+        // §3.2/§4.4.3: "the merge operation involves simply adding together
+        // only the stored moments ... and recomputing the minimum and
+        // maximum as needed".
+        for (s, o) in self.power_sums.iter_mut().zip(&other.power_sums) {
+            *s += o;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_query_errors() {
+        let s = MomentsSketch::new(12);
+        assert_eq!(s.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn below_min_cardinality_fails() {
+        let mut s = MomentsSketch::new(12);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.insert(v);
+        }
+        assert!(matches!(
+            s.query(0.5),
+            Err(QueryError::EstimationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_stream_quantiles() {
+        let mut s = MomentsSketch::new(12);
+        let n = 100_000;
+        for i in 0..n {
+            s.insert(i as f64 / (n - 1) as f64);
+        }
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let est = s.query(q).unwrap();
+            assert!((est - q).abs() < 0.01, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut s = MomentsSketch::new(12);
+        for _ in 0..100 {
+            s.insert(42.0);
+        }
+        assert_eq!(s.query(0.5).unwrap(), 42.0);
+        assert_eq!(s.query(0.99).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn linear_stream_median() {
+        let mut s = MomentsSketch::new(12);
+        for i in 1..=10_000 {
+            s.insert(i as f64);
+        }
+        let est = s.query(0.5).unwrap();
+        assert!((est - 5_000.0).abs() / 10_000.0 < 0.02, "median {est}");
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let mut s = MomentsSketch::new(10);
+        for i in 0..5_000 {
+            s.insert((i % 100) as f64);
+        }
+        let batch = s.estimate_quantiles(&[0.25, 0.5, 0.75]).unwrap();
+        for (i, &q) in [0.25, 0.5, 0.75].iter().enumerate() {
+            assert_eq!(batch[i], s.query(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn compression_handles_huge_magnitudes() {
+        // Without arcsinh, x^12 of 1e40 overflows f64 range; compression
+        // keeps the sketch usable (§3.2's overflow discussion).
+        let mut s = MomentsSketch::with_compression(12);
+        let mut x = 1.0;
+        for _ in 0..10_000 {
+            x = if x > 1e40 { 1.0 } else { x * 1.03 };
+            s.insert(x);
+        }
+        let est = s.query(0.5).unwrap();
+        assert!(est.is_finite() && est > 0.0);
+    }
+
+    #[test]
+    fn uncompressed_overflow_reports_failure_not_garbage() {
+        let mut s = MomentsSketch::new(12);
+        for i in 0..1000 {
+            s.insert(1e60 * (1.0 + i as f64 / 1000.0));
+        }
+        // Power sums overflow to inf: the solver must refuse rather than
+        // return a bogus number.
+        match s.query(0.5) {
+            Err(QueryError::EstimationFailed(_)) => {}
+            Ok(v) => assert!(v.is_finite(), "if it answers, it must be finite"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_sum() {
+        let mut a = MomentsSketch::new(8);
+        let mut b = MomentsSketch::new(8);
+        let mut whole = MomentsSketch::new(8);
+        for i in 0..1_000 {
+            let x = (i as f64).sin() + 2.0;
+            if i % 2 == 0 {
+                a.insert(x);
+            } else {
+                b.insert(x);
+            }
+            whole.insert(x);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), whole.count());
+        // Merging only adds power sums, so up to float summation order the
+        // merged sketch is the whole-stream sketch.
+        for q in [0.5, 0.95] {
+            let m = a.query(q).unwrap();
+            let w = whole.query(q).unwrap();
+            assert!(((m - w) / w).abs() < 1e-6, "q={q}: merged {m} whole {w}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_parameters() {
+        let mut a = MomentsSketch::new(8);
+        let b = MomentsSketch::new(10);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+        let mut c = MomentsSketch::new(8);
+        let d = MomentsSketch::with_compression(8);
+        assert!(matches!(
+            c.merge(&d),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+    }
+
+    #[test]
+    fn bimodal_data_mid_quantile_struggles() {
+        // §4.5.4: the Power data set's bimodal shape defeats the moment
+        // fit between the humps — mid-quantile error is visibly worse than
+        // tail error. Reproduce the *shape* of that finding.
+        let mut s = MomentsSketch::new(12);
+        let mut data = Vec::new();
+        for i in 0..40_000 {
+            // Two tight humps at 1 and 9.
+            let x = if i % 2 == 0 {
+                1.0 + ((i / 2) % 100) as f64 / 1000.0
+            } else {
+                9.0 + ((i / 2) % 100) as f64 / 1000.0
+            };
+            data.push(x);
+            s.insert(x);
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q95_truth = data[(0.95 * data.len() as f64) as usize];
+        let est95 = s.query(0.95).unwrap();
+        let rel95 = ((est95 - q95_truth) / q95_truth).abs();
+        // The tail (inside a hump) is recoverable...
+        assert!(rel95 < 0.2, "tail error {rel95}");
+        // ...and the estimate is at least finite and within range for the
+        // trough median.
+        let est50 = s.query(0.5).unwrap();
+        assert!((1.0..=9.2).contains(&est50), "median {est50}");
+    }
+
+    #[test]
+    fn insert_n_equals_repeated_inserts() {
+        let mut a = MomentsSketch::new(10);
+        let mut b = MomentsSketch::new(10);
+        for (v, n) in [(3.5, 100u64), (42.0, 17), (7.0, 83)] {
+            a.insert_n(v, n);
+            for _ in 0..n {
+                b.insert(v);
+            }
+        }
+        assert_eq!(a.count(), b.count());
+        // The invariant is on the summary itself: identical power sums
+        // (up to float summation order) and extremes.
+        for (x, y) in a.power_sums.iter().zip(&b.power_sums) {
+            let denom = y.abs().max(1.0);
+            assert!(((x - y) / denom).abs() < 1e-9, "{x} vs {y}");
+        }
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn cdf_tracks_uniform_data() {
+        let mut s = MomentsSketch::new(12);
+        let n = 50_000;
+        for i in 0..n {
+            s.insert(i as f64 / (n - 1) as f64);
+        }
+        for x in [0.1, 0.5, 0.9] {
+            let c = s.cdf(x).unwrap();
+            assert!((c - x).abs() < 0.01, "cdf({x}) = {c}");
+        }
+        assert_eq!(s.cdf(-1.0).unwrap(), 0.0);
+        assert_eq!(s.cdf(2.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn memory_footprint_tiny() {
+        let s = MomentsSketch::new(12);
+        // Table 3: 0.14 KB.
+        assert!(s.memory_footprint() <= 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_moments")]
+    fn rejects_too_many_moments() {
+        MomentsSketch::new(16);
+    }
+
+    #[test]
+    fn min_max_round_trip_compression() {
+        let mut s = MomentsSketch::with_compression(8);
+        for v in [0.5, 2.0, 100.0, 5000.0, 7.0] {
+            s.insert(v);
+        }
+        assert!((s.min() - 0.5).abs() < 1e-9);
+        assert!((s.max() - 5000.0).abs() < 1e-6);
+    }
+}
+
+/// Wire format: magic `0x30`, version 1 — the most compact of all sketch
+/// payloads (the §4.4.3 merge-speed winner is also the cheapest to ship).
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+
+    const MAGIC: u8 = 0x30;
+    const VERSION: u8 = 1;
+
+    impl SketchCodec for MomentsSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, VERSION);
+            w.u8(u8::from(self.compress));
+            w.f64(self.min);
+            w.f64(self.max);
+            w.f64_slice(&self.power_sums);
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            let compress = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(CodecError::Corrupt(format!("bad compress flag {other}"))),
+            };
+            let min = r.f64()?;
+            let max = r.f64()?;
+            let power_sums = r.f64_vec(64)?;
+            r.expect_exhausted()?;
+            let k = power_sums.len().saturating_sub(1);
+            if !(2..=15).contains(&k) {
+                return Err(CodecError::Corrupt(format!("{k} moments out of range")));
+            }
+            if power_sums[0] < 0.0 || power_sums[0].is_nan() {
+                return Err(CodecError::Corrupt("negative count".into()));
+            }
+            Ok(Self {
+                power_sums,
+                min,
+                max,
+                compress,
+                config: SolverConfig::default(),
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use qsketch_core::sketch::MergeableSketch;
+
+        #[test]
+        fn round_trip_bitwise() {
+            let mut s = MomentsSketch::with_compression(12);
+            for i in 1..=20_000 {
+                s.insert(i as f64 * 1.7);
+            }
+            let restored = MomentsSketch::decode(&s.encode()).unwrap();
+            assert_eq!(restored.count(), s.count());
+            // Power sums are copied verbatim: estimates agree exactly.
+            assert_eq!(restored.query(0.5).unwrap(), s.query(0.5).unwrap());
+            assert_eq!(restored.query(0.99).unwrap(), s.query(0.99).unwrap());
+        }
+
+        #[test]
+        fn payload_under_200_bytes() {
+            let mut s = MomentsSketch::new(12);
+            for i in 1..=1_000_000 {
+                s.insert(i as f64);
+            }
+            assert!(s.encode().len() < 200, "payload {}", s.encode().len());
+        }
+
+        #[test]
+        fn decoded_merges_with_live_sketch() {
+            let mut a = MomentsSketch::new(8);
+            let mut b = MomentsSketch::new(8);
+            for i in 1..=1_000 {
+                a.insert(i as f64);
+                b.insert(i as f64 + 1_000.0);
+            }
+            let mut restored = MomentsSketch::decode(&a.encode()).unwrap();
+            restored.merge(&b).unwrap();
+            assert_eq!(restored.count(), 2_000);
+        }
+
+        #[test]
+        fn rejects_moment_count_out_of_range() {
+            let mut w = qsketch_core::codec::Writer::with_header(0x30, 1);
+            w.u8(0);
+            w.f64(0.0);
+            w.f64(1.0);
+            w.f64_slice(&[1.0; 40]); // 39 moments: out of range
+            assert!(MomentsSketch::decode(&w.finish()).is_err());
+        }
+    }
+}

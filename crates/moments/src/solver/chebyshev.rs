@@ -1,0 +1,180 @@
+//! Chebyshev polynomials of the first kind and moment-basis conversions.
+//!
+//! The maximum-entropy solver works in the Chebyshev basis because the
+//! resulting Hessians are far better conditioned than in the raw power
+//! basis — this is the same design as the reference `momentsketch`
+//! implementation.
+
+/// Coefficients (ascending powers of `x`) of `T_n(x)` for `n = 0..=max_n`.
+///
+/// Uses the recurrence `T_{n+1}(x) = 2x·T_n(x) − T_{n−1}(x)`.
+pub fn chebyshev_coefficients(max_n: usize) -> Vec<Vec<f64>> {
+    let mut polys: Vec<Vec<f64>> = Vec::with_capacity(max_n + 1);
+    polys.push(vec![1.0]); // T_0 = 1
+    if max_n >= 1 {
+        polys.push(vec![0.0, 1.0]); // T_1 = x
+    }
+    for n in 2..=max_n {
+        let mut next = vec![0.0; n + 1];
+        // 2x * T_{n-1}
+        for (i, &c) in polys[n - 1].iter().enumerate() {
+            next[i + 1] += 2.0 * c;
+        }
+        // - T_{n-2}
+        for (i, &c) in polys[n - 2].iter().enumerate() {
+            next[i] -= c;
+        }
+        polys.push(next);
+    }
+    polys
+}
+
+/// Evaluate `T_0..=T_max_n` at `x` via the recurrence (no coefficient
+/// round-off); returns a vector of length `max_n + 1`.
+pub fn chebyshev_values(max_n: usize, x: f64) -> Vec<f64> {
+    let mut vals = Vec::with_capacity(max_n + 1);
+    vals.push(1.0);
+    if max_n >= 1 {
+        vals.push(x);
+    }
+    for n in 2..=max_n {
+        let v = 2.0 * x * vals[n - 1] - vals[n - 2];
+        vals.push(v);
+    }
+    vals
+}
+
+/// Convert raw power sums `Σ xʲ` (j = 0..=k) over data in `[data_min,
+/// data_max]` into *scaled power moments* `E[uʲ]` where
+/// `u = (2x − (min+max)) / (max − min) ∈ [−1, 1]`.
+///
+/// Expands `uʲ = (a·x + b)ʲ` binomially; `a = 2/(max−min)`,
+/// `b = −(min+max)/(max−min)`.
+pub fn scaled_power_moments(power_sums: &[f64], data_min: f64, data_max: f64) -> Vec<f64> {
+    let k = power_sums.len() - 1;
+    let count = power_sums[0];
+    assert!(count > 0.0, "scaling moments of an empty summary");
+    let range = data_max - data_min;
+    if range <= 0.0 {
+        // Degenerate single-point data: u is identically 0.
+        let mut m = vec![0.0; k + 1];
+        m[0] = 1.0;
+        return m;
+    }
+    let a = 2.0 / range;
+    let b = -(data_min + data_max) / range;
+
+    // Raw moments E[x^j].
+    let raw: Vec<f64> = power_sums.iter().map(|&s| s / count).collect();
+
+    let mut scaled = Vec::with_capacity(k + 1);
+    for j in 0..=k {
+        // E[(a x + b)^j] = sum_{i=0}^{j} C(j,i) a^i b^{j-i} E[x^i]
+        let mut sum = 0.0;
+        let mut binom = 1.0; // C(j, i)
+        for (i, &raw_i) in raw.iter().enumerate().take(j + 1) {
+            sum += binom * a.powi(i as i32) * b.powi((j - i) as i32) * raw_i;
+            binom = binom * (j - i) as f64 / (i + 1) as f64;
+        }
+        scaled.push(sum);
+    }
+    scaled
+}
+
+/// Convert scaled power moments `E[uʲ]` into Chebyshev moments
+/// `E[T_n(u)]` for `n = 0..=k` using the coefficient expansion of `T_n`.
+pub fn chebyshev_moments(scaled_power: &[f64]) -> Vec<f64> {
+    let k = scaled_power.len() - 1;
+    let polys = chebyshev_coefficients(k);
+    polys
+        .iter()
+        .map(|coeffs| {
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| c * scaled_power[j])
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_match_known_polynomials() {
+        let p = chebyshev_coefficients(4);
+        assert_eq!(p[0], vec![1.0]);
+        assert_eq!(p[1], vec![0.0, 1.0]);
+        assert_eq!(p[2], vec![-1.0, 0.0, 2.0]); // 2x^2 - 1
+        assert_eq!(p[3], vec![0.0, -3.0, 0.0, 4.0]); // 4x^3 - 3x
+        assert_eq!(p[4], vec![1.0, 0.0, -8.0, 0.0, 8.0]); // 8x^4 - 8x^2 + 1
+    }
+
+    #[test]
+    fn values_match_cosine_identity() {
+        // T_n(cos t) = cos(n t).
+        for &t in &[0.0f64, 0.3, 1.0, 2.5] {
+            let x = t.cos();
+            let vals = chebyshev_values(8, x);
+            for (n, &v) in vals.iter().enumerate() {
+                let expect = (n as f64 * t).cos();
+                assert!((v - expect).abs() < 1e-12, "T_{n}({x}) = {v} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_agree_with_coefficients() {
+        let polys = chebyshev_coefficients(10);
+        for &x in &[-1.0, -0.5, 0.0, 0.7, 1.0] {
+            let vals = chebyshev_values(10, x);
+            for (n, poly) in polys.iter().enumerate() {
+                let from_coeffs: f64 = poly
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| c * x.powi(j as i32))
+                    .sum();
+                assert!((vals[n] - from_coeffs).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_moments_of_symmetric_data() {
+        // Data {1, 3}: scaled to {-1, +1}; E[u]=0, E[u^2]=1.
+        let power_sums = [2.0, 4.0, 10.0, 28.0]; // n, Σx, Σx², Σx³
+        let m = scaled_power_moments(&power_sums, 1.0, 3.0);
+        assert!((m[0] - 1.0).abs() < 1e-12);
+        assert!(m[1].abs() < 1e-12);
+        assert!((m[2] - 1.0).abs() < 1e-12);
+        assert!(m[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_moments_degenerate_range() {
+        let power_sums = [3.0, 15.0, 75.0]; // three copies of 5
+        let m = scaled_power_moments(&power_sums, 5.0, 5.0);
+        assert_eq!(m, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn chebyshev_moments_of_uniform_grid() {
+        // For u uniform on [-1,1]: E[T_0]=1, E[T_1]=0, E[T_2]=E[2u²−1]=−1/3.
+        let n = 100_001;
+        let mut sums = vec![0.0; 5];
+        for i in 0..n {
+            let x = -1.0 + 2.0 * i as f64 / (n - 1) as f64;
+            for (j, s) in sums.iter_mut().enumerate() {
+                *s += x.powi(j as i32);
+            }
+        }
+        let scaled = scaled_power_moments(&sums, -1.0, 1.0);
+        let cheb = chebyshev_moments(&scaled);
+        assert!((cheb[0] - 1.0).abs() < 1e-9);
+        assert!(cheb[1].abs() < 1e-9);
+        assert!((cheb[2] + 1.0 / 3.0).abs() < 1e-4);
+        assert!(cheb[3].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Small dense symmetric linear algebra for the Newton step.
+//!
+//! The Hessian of the max-entropy potential is a `(k+1)×(k+1)` symmetric
+//! positive-definite matrix with `k ≤ 15` (the paper caps `num_moments` at
+//! 15 for stability, §4.2), so a textbook Cholesky factorisation with a
+//! diagonal-ridge fallback is both sufficient and dependency-free.
+
+/// Row-major dense symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of side `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Write element `(i, j)` (callers maintain symmetry).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// In-place Cholesky factorisation `A = L·Lᵀ`; returns the lower
+    /// factor, or `None` if the matrix is not positive-definite.
+    fn cholesky(&self) -> Option<Vec<f64>> {
+        let n = self.n;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `A·x = b` by Cholesky. If `A` is numerically indefinite, a
+    /// growing diagonal ridge is added until the factorisation succeeds
+    /// (standard damped-Newton practice). Returns `None` only if even a
+    /// massive ridge fails (NaN/∞ inputs).
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n);
+        let mut ridge = 0.0;
+        let base: f64 = (0..self.n)
+            .map(|i| self.get(i, i).abs())
+            .fold(0.0, f64::max)
+            .max(1e-12);
+        for _attempt in 0..24 {
+            let mut a = self.clone();
+            if ridge > 0.0 {
+                for i in 0..self.n {
+                    a.set(i, i, a.get(i, i) + ridge);
+                }
+            }
+            if let Some(l) = a.cholesky() {
+                return Some(cholesky_solve(&l, self.n, b));
+            }
+            ridge = if ridge == 0.0 { base * 1e-10 } else { ridge * 10.0 };
+        }
+        None
+    }
+}
+
+/// Forward/back substitution with the lower factor `l`.
+fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    // L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+/// Euclidean norm.
+pub fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut a = SymMatrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_system() {
+        // A = [[4,2],[2,3]], b = [2,5] -> x = [-0.5, 2].
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 4.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 3.0);
+        let x = a.solve(&[2.0, 5.0]).unwrap();
+        assert!((x[0] + 0.5).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_residual_small_on_random_spd() {
+        // Build SPD as B·Bᵀ + I from a deterministic pseudo-random B.
+        let n = 8;
+        let mut b_mat = vec![0.0; n * n];
+        let mut state = 0x12345u64;
+        for v in &mut b_mat {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+        }
+        let mut a = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    s += b_mat[i * n + k] * b_mat[j * n + k];
+                }
+                a.set(i, j, s);
+            }
+        }
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = a.solve(&rhs).unwrap();
+        for (i, &b_i) in rhs.iter().enumerate() {
+            let ax: f64 = x.iter().enumerate().map(|(j, &xj)| a.get(i, j) * xj).sum();
+            assert!((ax - b_i).abs() < 1e-9, "residual row {i}");
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_gets_ridge() {
+        // Singular matrix: ridge fallback must still return something
+        // finite.
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 1.0);
+        let x = a.solve(&[1.0, 1.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn norm_and_dot() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,17 @@
+//! The maximum-entropy quantile solver behind the Moments sketch.
+//!
+//! Pipeline (§3.2, Fig. 2 of the paper):
+//!
+//! 1. scale the raw power sums onto `[-1, 1]` and convert them to
+//!    Chebyshev-basis moments ([`chebyshev`]),
+//! 2. fit the maximum-entropy density `f(x) = exp(Σ λᵢ Tᵢ(x))` whose
+//!    Chebyshev moments match, by damped Newton iteration with a Cholesky
+//!    linear solve ([`maxent`], [`linalg`]),
+//! 3. integrate the fitted density into a CDF on a uniform grid and invert
+//!    it at the queried ranks.
+
+pub mod chebyshev;
+pub mod linalg;
+pub mod maxent;
+
+pub use maxent::{MaxEntSolution, SolverConfig, SolverError};

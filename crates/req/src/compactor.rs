@@ -1,0 +1,288 @@
+//! A single relative compactor with its section-based compaction schedule.
+
+use qsketch_core::rng::CoinFlipper;
+
+/// Smallest section size the adaptive schedule will shrink to.
+const MIN_SECTION_SIZE: usize = 4;
+/// Initial number of sections per compactor (as in the DataSketches
+/// implementation the paper benchmarks).
+const INIT_NUM_SECTIONS: usize = 3;
+
+/// One level of the ReqSketch hierarchy.
+///
+/// The buffer has capacity `2 · num_sections · section_size`. When full,
+/// the *compaction schedule* decides how many sections (counted from the
+/// unprotected end) participate: `trailing_ones(state) + 1`, so the items
+/// nearest the protected end join a compaction only once every
+/// `2^num_sections` compactions — this is how "larger items of a buffer are
+/// compacted more frequently and smaller items are compacted less
+/// frequently" (§3.5, HRA orientation).
+#[derive(Debug, Clone)]
+pub struct RelativeCompactor {
+    /// Items; sorted ascending just before each compaction.
+    buffer: Vec<f64>,
+    /// Section size `k`; shrinks by √2 as the schedule adapts.
+    section_size: usize,
+    /// Number of sections; doubles as the schedule adapts.
+    num_sections: usize,
+    /// Compaction counter driving the schedule.
+    state: u64,
+    /// True = protect the *largest* values (HRA), false = smallest (LRA).
+    hra: bool,
+}
+
+impl RelativeCompactor {
+    /// Create an empty compactor with initial section size `k`.
+    pub fn new(k: usize, hra: bool) -> Self {
+        let section_size = k.max(MIN_SECTION_SIZE);
+        Self {
+            buffer: Vec::with_capacity(2 * INIT_NUM_SECTIONS * section_size),
+            section_size,
+            num_sections: INIT_NUM_SECTIONS,
+            state: 0,
+            hra,
+        }
+    }
+
+    /// Buffer capacity `2 · num_sections · section_size`.
+    pub fn capacity(&self) -> usize {
+        2 * self.num_sections * self.section_size
+    }
+
+    /// Items currently held.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when no items are held.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// The compaction-schedule state (exposed for merge: §3.5 merges
+    /// schedules by bitwise OR).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Bitwise-OR another compactor's schedule state into this one (§3.5).
+    pub fn merge_state(&mut self, other_state: u64) {
+        self.state |= other_state;
+    }
+
+    /// Current section size (for serialisation).
+    pub fn section_size(&self) -> usize {
+        self.section_size
+    }
+
+    /// Current number of sections (for serialisation).
+    pub fn num_sections(&self) -> usize {
+        self.num_sections
+    }
+
+    /// Reassemble a compactor from serialised parts; validates the
+    /// schedule geometry.
+    pub fn from_parts(
+        buffer: Vec<f64>,
+        section_size: usize,
+        num_sections: usize,
+        state: u64,
+        hra: bool,
+    ) -> Result<Self, String> {
+        if section_size < MIN_SECTION_SIZE {
+            return Err(format!("section size {section_size} below floor"));
+        }
+        if num_sections == 0 || num_sections > 1 << 16 {
+            return Err(format!("{num_sections} sections out of range"));
+        }
+        if buffer.iter().any(|v| v.is_nan()) {
+            return Err("NaN item in buffer".into());
+        }
+        Ok(Self {
+            buffer,
+            section_size,
+            num_sections,
+            state,
+            hra,
+        })
+    }
+
+    /// Append one item (does not trigger compaction; the sketch decides).
+    pub fn push(&mut self, value: f64) {
+        self.buffer.push(value);
+    }
+
+    /// Append many items.
+    pub fn push_all(&mut self, values: &[f64]) {
+        self.buffer.extend_from_slice(values);
+    }
+
+    /// Borrow the retained items (unsorted).
+    pub fn items(&self) -> &[f64] {
+        &self.buffer
+    }
+
+    /// True when the buffer is at or over capacity and must compact.
+    pub fn is_full(&self) -> bool {
+        self.buffer.len() >= self.capacity()
+    }
+
+    /// Number of sections compacted next, per the schedule:
+    /// `min(trailing_ones(state) + 1, num_sections)`.
+    fn sections_to_compact(&self) -> usize {
+        ((self.state.trailing_ones() as usize) + 1).min(self.num_sections)
+    }
+
+    /// Grow the schedule once the state cycles: double the sections and
+    /// shrink the section size by √2 (DataSketches' `ensureEnoughSections`),
+    /// which lets deep compactors spread compactions across a finer
+    /// schedule as the stream grows.
+    fn adapt_schedule(&mut self) {
+        if self.state >= (1u64 << self.num_sections.min(62))
+            && self.section_size > MIN_SECTION_SIZE
+        {
+            let shrunk = ((self.section_size as f64) / std::f64::consts::SQRT_2).round() as usize;
+            self.section_size = shrunk.max(MIN_SECTION_SIZE);
+            self.num_sections *= 2;
+        }
+    }
+
+    /// Compact the buffer: sort, select the compaction region at the
+    /// unprotected end, promote alternate items, retain the rest of the
+    /// buffer. Returns the promoted items (weight doubles at the level
+    /// above).
+    pub fn compact(&mut self, rng: &mut CoinFlipper) -> Vec<f64> {
+        debug_assert!(self.buffer.len() >= 2, "compacting a near-empty buffer");
+        self.buffer
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN inserted into sketch"));
+
+        // L = sections_to_compact * section_size, capped at half the
+        // buffer so the protected half always survives (§3.5: L <= B/2).
+        let l = (self.sections_to_compact() * self.section_size)
+            .min(self.buffer.len() / 2)
+            .max(2)
+            & !1; // even so promotion halves it exactly
+        let l = l.min(self.buffer.len());
+
+        // HRA protects the top of the sorted buffer, so the compaction
+        // region is the *bottom* L items; LRA mirrors.
+        let compacted: Vec<f64> = if self.hra {
+            self.buffer.drain(..l).collect()
+        } else {
+            let start = self.buffer.len() - l;
+            self.buffer.drain(start..).collect()
+        };
+
+        let offset = usize::from(rng.flip());
+        let promoted: Vec<f64> = compacted.iter().skip(offset).step_by(2).copied().collect();
+
+        self.state += 1;
+        self.adapt_schedule();
+        promoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flipper() -> CoinFlipper {
+        CoinFlipper::new(1234)
+    }
+
+    #[test]
+    fn capacity_formula() {
+        let c = RelativeCompactor::new(30, true);
+        assert_eq!(c.capacity(), 2 * 3 * 30);
+        assert!(!c.is_full());
+    }
+
+    #[test]
+    fn section_size_floored() {
+        let c = RelativeCompactor::new(1, true);
+        assert_eq!(c.capacity(), 2 * 3 * MIN_SECTION_SIZE);
+    }
+
+    #[test]
+    fn schedule_trailing_ones() {
+        let mut c = RelativeCompactor::new(8, true);
+        // state 0 -> 1 section, 1 -> 2, 2 -> 1, 3 -> 3 (capped at 3).
+        assert_eq!(c.sections_to_compact(), 1);
+        c.state = 1;
+        assert_eq!(c.sections_to_compact(), 2);
+        c.state = 2;
+        assert_eq!(c.sections_to_compact(), 1);
+        c.state = 3;
+        assert_eq!(c.sections_to_compact(), 3);
+        c.state = 7;
+        assert_eq!(c.sections_to_compact(), 3); // capped at num_sections
+    }
+
+    #[test]
+    fn hra_compaction_protects_largest() {
+        let mut c = RelativeCompactor::new(4, true);
+        for i in 0..c.capacity() {
+            c.push(i as f64);
+        }
+        let max_before = c.items().iter().cloned().fold(f64::MIN, f64::max);
+        let promoted = c.compact(&mut flipper());
+        // Promotion halves the compacted region.
+        assert!(!promoted.is_empty());
+        // The largest item must still be in the buffer (protected end).
+        assert!(c.items().contains(&max_before));
+        // Promoted items come from the small end.
+        let buffer_min = c.items().iter().cloned().fold(f64::MAX, f64::min);
+        for &p in &promoted {
+            assert!(p <= buffer_min, "promoted {p} should be below retained {buffer_min}");
+        }
+    }
+
+    #[test]
+    fn lra_compaction_protects_smallest() {
+        let mut c = RelativeCompactor::new(4, false);
+        for i in 0..c.capacity() {
+            c.push(i as f64);
+        }
+        let promoted = c.compact(&mut flipper());
+        assert!(c.items().contains(&0.0));
+        let buffer_max = c.items().iter().cloned().fold(f64::MIN, f64::max);
+        for &p in &promoted {
+            assert!(p >= buffer_max);
+        }
+    }
+
+    #[test]
+    fn compaction_conserves_weight() {
+        // Each compaction discards half the compacted items and promotes
+        // the other half at double weight: total weight is conserved.
+        let mut c = RelativeCompactor::new(6, true);
+        let n = c.capacity();
+        for i in 0..n {
+            c.push(i as f64);
+        }
+        let promoted = c.compact(&mut flipper());
+        assert_eq!(c.len() + promoted.len() * 2, n);
+    }
+
+    #[test]
+    fn state_advances_and_schedule_adapts() {
+        let mut c = RelativeCompactor::new(16, true);
+        let initial_sections = c.num_sections;
+        for round in 0..20 {
+            while !c.is_full() {
+                c.push(round as f64 * 1000.0 + c.len() as f64);
+            }
+            c.compact(&mut flipper());
+        }
+        assert_eq!(c.state(), 20);
+        assert!(c.num_sections > initial_sections, "schedule should adapt");
+    }
+
+    #[test]
+    fn merge_state_is_bitwise_or() {
+        let mut c = RelativeCompactor::new(8, true);
+        c.state = 0b0101;
+        c.merge_state(0b0011);
+        assert_eq!(c.state(), 0b0111);
+    }
+}

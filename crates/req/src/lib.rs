@@ -1,0 +1,39 @@
+//! ReqSketch (§3.5 of the paper): the Relative-Error Quantile sketch of
+//! Cormode, Karnin, Liberty, Thaler and Veselý (PODS'21).
+//!
+//! Like KLL, ReqSketch retains a sample of the stream in a hierarchy of
+//! compactors, but its *relative* compactors protect one end of the value
+//! range: on compaction only `L ≤ B/2` items from the unprotected end of a
+//! full buffer participate (alternate items promoted to the next level,
+//! the rest discarded), while the protected end is retained in full. A
+//! per-compactor *compaction schedule* — driven by the trailing-ones
+//! pattern of a compaction counter — compacts items near the protected end
+//! exponentially less often, which yields a multiplicative rank-error
+//! guarantee `|R̂(x) − R(x)| ≤ ε·R(x)` in `O(log^1.5(εn)/ε)` space.
+//!
+//! With *high-rank accuracy* (HRA, the mode the paper benchmarks, §4.2)
+//! the largest values are protected, making upper quantiles extremely
+//! accurate; LRA mirrors this for the smallest values.
+//!
+//! # Example
+//!
+//! ```
+//! use qsketch_req::{ReqSketch, RankAccuracy};
+//! use qsketch_core::QuantileSketch;
+//!
+//! let mut req = ReqSketch::with_seed(12, RankAccuracy::High, 99);
+//! for i in 1..=50_000 {
+//!     req.insert(i as f64);
+//! }
+//! // HRA: the maximum is retained exactly.
+//! assert_eq!(req.query(1.0).unwrap(), 50_000.0);
+//! ```
+
+mod compactor;
+mod sketch;
+
+pub use compactor::RelativeCompactor;
+pub use sketch::{RankAccuracy, ReqSketch};
+
+/// The paper's parameterisation (§4.2): `num_sections = 30`, HRA enabled.
+pub const PAPER_K: usize = 30;

@@ -1,0 +1,521 @@
+//! The ReqSketch front-end: a stack of relative compactors.
+
+use qsketch_core::rng::CoinFlipper;
+use qsketch_core::sketch::{
+    check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};
+use qsketch_kll::SortedView;
+
+use crate::compactor::RelativeCompactor;
+
+/// Which end of the distribution the sketch protects (§3.5, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankAccuracy {
+    /// High-rank accuracy: upper quantiles are most accurate (the paper's
+    /// setting — "it significantly reduces the relative error when
+    /// estimating the more interesting upper quantiles").
+    High,
+    /// Low-rank accuracy: lower quantiles are most accurate.
+    Low,
+}
+
+/// ReqSketch over `f64` values.
+#[derive(Debug, Clone)]
+pub struct ReqSketch {
+    k: usize,
+    accuracy: RankAccuracy,
+    levels: Vec<RelativeCompactor>,
+    count: u64,
+    min: f64,
+    max: f64,
+    rng: CoinFlipper,
+}
+
+impl ReqSketch {
+    /// Create a sketch with section-size parameter `k`
+    /// (the paper's `num_sections`) and the chosen accuracy orientation.
+    pub fn new(k: usize, accuracy: RankAccuracy) -> Self {
+        Self::with_seed(k, accuracy, 0x5EED_CAFE)
+    }
+
+    /// The paper's configuration (§4.2): `num_sections = 30`, HRA.
+    pub fn paper_configuration() -> Self {
+        Self::new(crate::PAPER_K, RankAccuracy::High)
+    }
+
+    /// Create a sketch with an explicit PRNG seed for reproducible
+    /// compaction.
+    pub fn with_seed(k: usize, accuracy: RankAccuracy, seed: u64) -> Self {
+        Self {
+            k,
+            accuracy,
+            levels: vec![RelativeCompactor::new(k, accuracy == RankAccuracy::High)],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            rng: CoinFlipper::new(seed),
+        }
+    }
+
+    /// The `k` parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The accuracy orientation.
+    pub fn accuracy(&self) -> RankAccuracy {
+        self.accuracy
+    }
+
+    /// Number of compactor levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total retained items across levels (§4.3: 4177 items for
+    /// `num_sections = 30` after 1 M Pareto inserts).
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(RelativeCompactor::len).sum()
+    }
+
+    /// Smallest value seen (exact), `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value seen (exact), `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Compact every full level, cascading promotions upward (§3.5).
+    fn compress(&mut self) {
+        let mut h = 0;
+        while h < self.levels.len() {
+            // A merge can leave a level far over capacity; keep compacting
+            // it (each compaction removes at least two items).
+            while self.levels[h].is_full() {
+                let promoted = self.levels[h].compact(&mut self.rng);
+                if h + 1 == self.levels.len() {
+                    let hra = self.accuracy == RankAccuracy::High;
+                    self.levels.push(RelativeCompactor::new(self.k, hra));
+                }
+                self.levels[h + 1].push_all(&promoted);
+            }
+            h += 1;
+        }
+    }
+
+    /// Weighted sorted snapshot of the retained sample (items at level `h`
+    /// weigh `2^h`), the structure queries binary-search (§4.4.2).
+    pub fn sorted_view(&self) -> SortedView {
+        let mut items = Vec::with_capacity(self.retained());
+        for (h, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << h;
+            items.extend(level.items().iter().map(|&v| (v, w)));
+        }
+        SortedView::new(items)
+    }
+
+    /// Estimated rank of `x`.
+    pub fn rank(&self, x: f64) -> u64 {
+        self.sorted_view().rank_of(x)
+    }
+}
+
+impl QuantileSketch for ReqSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into ReqSketch");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.levels[0].push(value);
+        if self.levels[0].is_full() {
+            self.compress();
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        if q == 1.0 {
+            return Ok(self.max);
+        }
+        let view = self.sorted_view();
+        Ok(view.quantile(q, view.total_weight()).clamp(self.min, self.max))
+    }
+
+    fn query_many(&self, qs: &[f64]) -> Result<Vec<f64>, QueryError> {
+        for &q in qs {
+            check_quantile(q)?;
+        }
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        let view = self.sorted_view();
+        let n = view.total_weight();
+        Ok(qs
+            .iter()
+            .map(|&q| {
+                if q == 1.0 {
+                    self.max
+                } else {
+                    view.quantile(q, n).clamp(self.min, self.max)
+                }
+            })
+            .collect())
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn memory_footprint(&self) -> usize {
+        // Retained samples plus per-level schedule state — Table 3's
+        // ~17 KB at num_sections = 30.
+        self.retained() * std::mem::size_of::<f64>()
+            + self.levels.len() * 4 * std::mem::size_of::<u64>()
+            + 4 * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "REQ"
+    }
+}
+
+impl MergeableSketch for ReqSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.accuracy != other.accuracy {
+            return Err(MergeError::IncompatibleParameters(
+                "cannot merge HRA with LRA sketches".into(),
+            ));
+        }
+        if self.k != other.k {
+            return Err(MergeError::IncompatibleParameters(format!(
+                "num_sections mismatch: {} vs {}",
+                self.k, other.k
+            )));
+        }
+        if other.count == 0 {
+            return Ok(());
+        }
+        let hra = self.accuracy == RankAccuracy::High;
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(RelativeCompactor::new(self.k, hra));
+        }
+        // §3.5: concatenate same-level compactors and OR their schedule
+        // states, then compact whatever exceeds capacity.
+        for (h, level) in other.levels.iter().enumerate() {
+            self.levels[h].push_all(level.items());
+            self.levels[h].merge_state(level.state());
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.compress();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(k: usize, n: u64, acc: RankAccuracy, seed: u64) -> ReqSketch {
+        let mut s = ReqSketch::with_seed(k, acc, seed);
+        for i in 0..n {
+            let v = ((i * 2_654_435_761) % n) as f64;
+            s.insert(v);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let s = ReqSketch::paper_configuration();
+        assert_eq!(s.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn small_stream_exact() {
+        let mut s = ReqSketch::new(30, RankAccuracy::High);
+        for v in [3.0, 6.0, 8.0, 9.0, 11.0, 15.0, 16.0, 18.0, 30.0, 51.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.query(0.5).unwrap(), 11.0);
+        assert_eq!(s.query(0.9).unwrap(), 30.0);
+        assert_eq!(s.query(1.0).unwrap(), 51.0);
+    }
+
+    #[test]
+    fn hra_upper_quantiles_tight() {
+        let n = 500_000u64;
+        let s = filled(30, n, RankAccuracy::High, 17);
+        // Multiplicative guarantee: rank error relative to the *top* rank
+        // distance. Near the max the estimate should be nearly exact.
+        for q in [0.95, 0.98, 0.99, 0.999] {
+            let est = s.query(q).unwrap();
+            let est_rank = est + 1.0; // permutation of 0..n
+            let rank_err = (est_rank - q * n as f64).abs() / n as f64;
+            assert!(rank_err < 0.01, "q={q} rank err {rank_err}");
+        }
+    }
+
+    #[test]
+    fn hra_retains_top_values_exactly() {
+        let n = 200_000u64;
+        let s = filled(30, n, RankAccuracy::High, 3);
+        assert_eq!(s.query(1.0).unwrap(), (n - 1) as f64);
+        // The very top of the distribution is protected verbatim: the
+        // 0.9999 quantile must be within a handful of ranks.
+        let est = s.query(0.9999).unwrap();
+        assert!((est - 0.9999 * n as f64).abs() < 64.0, "est {est}");
+    }
+
+    #[test]
+    fn lra_mirrors_hra() {
+        let n = 200_000u64;
+        let s = filled(30, n, RankAccuracy::Low, 3);
+        let est = s.query(0.0001).unwrap();
+        assert!((est - 0.0001 * n as f64).abs() < 64.0, "est {est}");
+    }
+
+    #[test]
+    fn mid_quantiles_reasonable() {
+        let n = 500_000u64;
+        let s = filled(30, n, RankAccuracy::High, 29);
+        for q in [0.25, 0.5, 0.75] {
+            let est = s.query(q).unwrap();
+            let rank_err = ((est + 1.0) - q * n as f64).abs() / n as f64;
+            assert!(rank_err < 0.05, "q={q} rank err {rank_err}");
+        }
+    }
+
+    #[test]
+    fn retained_items_grow_sublinearly() {
+        let small = filled(30, 100_000, RankAccuracy::High, 5).retained();
+        let large = filled(30, 1_000_000, RankAccuracy::High, 5).retained();
+        // 10x the data should yield far less than 10x the samples
+        // (O(log^1.5) growth, §3.5).
+        assert!(large < small * 3, "small {small}, large {large}");
+        // §4.3 reports 4177 retained at 1M with num_sections=30; accept a
+        // generous band around that.
+        assert!((1_000..8_000).contains(&large), "retained {large}");
+    }
+
+    #[test]
+    fn merge_combines_streams() {
+        let mut a = ReqSketch::with_seed(30, RankAccuracy::High, 1);
+        let mut b = ReqSketch::with_seed(30, RankAccuracy::High, 2);
+        for i in 0..100_000 {
+            a.insert(f64::from(i));
+            b.insert(f64::from(i + 100_000));
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 200_000);
+        assert_eq!(a.max(), 199_999.0);
+        let est = a.query(0.99).unwrap();
+        let rank_err = (est / 200_000.0 - 0.99).abs();
+        assert!(rank_err < 0.01, "rank err {rank_err}");
+    }
+
+    #[test]
+    fn merge_rejects_mixed_orientation() {
+        let mut a = ReqSketch::new(30, RankAccuracy::High);
+        let b = ReqSketch::new(30, RankAccuracy::Low);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_k() {
+        let mut a = ReqSketch::new(30, RankAccuracy::High);
+        let b = ReqSketch::new(12, RankAccuracy::High);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let mut a = filled(30, 10_000, RankAccuracy::High, 9);
+        let before = a.query(0.9).unwrap();
+        let b = ReqSketch::new(30, RankAccuracy::High);
+        a.merge(&b).unwrap();
+        assert_eq!(a.query(0.9).unwrap(), before);
+    }
+
+    #[test]
+    fn estimates_are_stream_values() {
+        // §3.1/§3.5: like KLL, ReqSketch answers with actual retained
+        // values.
+        let s = filled(30, 100_000, RankAccuracy::High, 23);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let est = s.query(q).unwrap();
+            assert_eq!(est.fract(), 0.0, "estimate {est} not a stream value");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = filled(30, 100_000, RankAccuracy::High, 44);
+        let b = filled(30, 100_000, RankAccuracy::High, 44);
+        for q in [0.25, 0.5, 0.99] {
+            assert_eq!(a.query(q).unwrap(), b.query(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn weight_conservation() {
+        let n = 300_000u64;
+        let s = filled(30, n, RankAccuracy::High, 31);
+        let view = s.sorted_view();
+        assert_eq!(view.total_weight(), n, "REQ compaction conserves weight");
+    }
+}
+
+/// Wire format: magic `0xE0`, version 1. Encodes `k`, orientation, scalar
+/// state, and each relative compactor's buffer plus its compaction
+/// schedule (section size, section count, state word — the state must
+/// survive the trip because merges OR it, §3.5). The compaction coin is
+/// reseeded on decode.
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+
+    const MAGIC: u8 = 0xE0;
+    const VERSION: u8 = 1;
+    const MAX_LEVELS: u64 = 64;
+    const MAX_ITEMS_PER_LEVEL: u64 = 1 << 24;
+
+    impl SketchCodec for ReqSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, VERSION);
+            w.varint(self.k as u64);
+            w.u8(u8::from(self.accuracy == RankAccuracy::High));
+            w.varint(self.count);
+            w.f64(self.min);
+            w.f64(self.max);
+            w.varint(self.levels.len() as u64);
+            for level in &self.levels {
+                w.varint(level.section_size() as u64);
+                w.varint(level.num_sections() as u64);
+                w.varint(level.state());
+                w.f64_slice(level.items());
+            }
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            let k = r.varint()? as usize;
+            if k == 0 || k > 1 << 16 {
+                return Err(CodecError::Corrupt(format!("k {k} out of range")));
+            }
+            let hra = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(CodecError::Corrupt(format!("bad orientation {other}")))
+                }
+            };
+            let count = r.varint()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            let num_levels = r.varint()?;
+            if num_levels == 0 || num_levels > MAX_LEVELS {
+                return Err(CodecError::Corrupt(format!("{num_levels} levels")));
+            }
+            let mut levels = Vec::with_capacity(num_levels as usize);
+            for _ in 0..num_levels {
+                let section_size = r.varint()? as usize;
+                let num_sections = r.varint()? as usize;
+                let state = r.varint()?;
+                let buffer = r.f64_vec(MAX_ITEMS_PER_LEVEL)?;
+                let level =
+                    RelativeCompactor::from_parts(buffer, section_size, num_sections, state, hra)
+                        .map_err(CodecError::Corrupt)?;
+                levels.push(level);
+            }
+            r.expect_exhausted()?;
+            Ok(Self {
+                k,
+                accuracy: if hra {
+                    RankAccuracy::High
+                } else {
+                    RankAccuracy::Low
+                },
+                levels,
+                count,
+                min,
+                max,
+                rng: CoinFlipper::new((k as u64) ^ count.rotate_left(23)),
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_preserves_view_and_schedule() {
+            let mut s = ReqSketch::with_seed(30, RankAccuracy::High, 9);
+            for i in 0..200_000 {
+                s.insert(f64::from(i));
+            }
+            let restored = ReqSketch::decode(&s.encode()).unwrap();
+            assert_eq!(restored.count(), s.count());
+            assert_eq!(restored.retained(), s.retained());
+            assert_eq!(restored.num_levels(), s.num_levels());
+            for (a, b) in restored.levels.iter().zip(&s.levels) {
+                assert_eq!(a.state(), b.state(), "schedule state must survive");
+                assert_eq!(a.section_size(), b.section_size());
+            }
+            for q in [0.5, 0.99, 1.0] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap());
+            }
+        }
+
+        #[test]
+        fn decoded_sketch_merges() {
+            use qsketch_core::sketch::MergeableSketch;
+            let mut a = ReqSketch::with_seed(30, RankAccuracy::High, 1);
+            let mut b = ReqSketch::with_seed(30, RankAccuracy::High, 2);
+            for i in 0..50_000 {
+                a.insert(f64::from(i));
+                b.insert(f64::from(i + 50_000));
+            }
+            let mut restored = ReqSketch::decode(&a.encode()).unwrap();
+            restored.merge(&b).unwrap();
+            assert_eq!(restored.count(), 100_000);
+            assert_eq!(restored.max(), 99_999.0);
+        }
+
+        #[test]
+        fn orientation_survives() {
+            let mut s = ReqSketch::with_seed(12, RankAccuracy::Low, 3);
+            for i in 0..10_000 {
+                s.insert(f64::from(i));
+            }
+            let restored = ReqSketch::decode(&s.encode()).unwrap();
+            assert_eq!(restored.accuracy(), RankAccuracy::Low);
+        }
+
+        #[test]
+        fn truncated_payload_rejected() {
+            let mut s = ReqSketch::with_seed(12, RankAccuracy::High, 3);
+            for i in 0..1_000 {
+                s.insert(f64::from(i));
+            }
+            let mut bytes = s.encode();
+            bytes.truncate(bytes.len() / 2);
+            assert!(ReqSketch::decode(&bytes).is_err());
+        }
+    }
+}

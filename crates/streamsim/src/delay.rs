@@ -1,0 +1,111 @@
+//! Network-delay models (§2.5, §4.6).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Exp};
+
+/// How long an event takes from source to stream processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkDelay {
+    /// Events arrive instantly (the §4.5 accuracy experiments).
+    None,
+    /// Every event is delayed by the same amount (µs) — useful in tests.
+    Fixed(u64),
+    /// Exponentially distributed delay with the given mean in
+    /// milliseconds — the §4.6 late-data model ("an offset from an
+    /// exponential distribution with 150 ms as the mean network delay").
+    ExponentialMs(f64),
+}
+
+/// A seeded sampler for a [`NetworkDelay`] model.
+#[derive(Debug, Clone)]
+pub struct DelaySampler {
+    kind: DelayKind,
+    rng: StdRng,
+}
+
+#[derive(Debug, Clone)]
+enum DelayKind {
+    None,
+    Fixed(u64),
+    Exponential(Exp<f64>),
+}
+
+impl DelaySampler {
+    /// Build a sampler for `model`, seeded deterministically.
+    pub fn new(model: NetworkDelay, seed: u64) -> Self {
+        let kind = match model {
+            NetworkDelay::None => DelayKind::None,
+            NetworkDelay::Fixed(us) => DelayKind::Fixed(us),
+            NetworkDelay::ExponentialMs(mean_ms) => {
+                assert!(mean_ms > 0.0, "mean delay must be positive");
+                // Exp rate λ = 1/mean, sampling in µs.
+                DelayKind::Exponential(Exp::new(1.0 / (mean_ms * 1_000.0)).expect("valid rate"))
+            }
+        };
+        Self {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sample one delay in microseconds.
+    pub fn sample_us(&mut self) -> u64 {
+        match &self.kind {
+            DelayKind::None => 0,
+            DelayKind::Fixed(us) => *us,
+            DelayKind::Exponential(exp) => exp.sample(&mut self.rng) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero() {
+        let mut s = DelaySampler::new(NetworkDelay::None, 1);
+        for _ in 0..100 {
+            assert_eq!(s.sample_us(), 0);
+        }
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut s = DelaySampler::new(NetworkDelay::Fixed(123), 1);
+        for _ in 0..100 {
+            assert_eq!(s.sample_us(), 123);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close_to_model() {
+        let mut s = DelaySampler::new(NetworkDelay::ExponentialMs(150.0), 7);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| s.sample_us()).sum();
+        let mean_ms = sum as f64 / n as f64 / 1_000.0;
+        assert!((mean_ms - 150.0).abs() < 3.0, "mean {mean_ms} ms");
+    }
+
+    #[test]
+    fn exponential_has_long_tail() {
+        // §4.6: "the tail is long" — a noticeable share of events exceeds
+        // 3x the mean.
+        let mut s = DelaySampler::new(NetworkDelay::ExponentialMs(150.0), 9);
+        let n = 100_000;
+        let over = (0..n).filter(|_| s.sample_us() > 450_000).count();
+        let frac = over as f64 / n as f64;
+        // P(X > 3·mean) = e^{-3} ≈ 0.0498.
+        assert!((0.04..0.06).contains(&frac), "tail fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = DelaySampler::new(NetworkDelay::ExponentialMs(150.0), 42);
+        let mut b = DelaySampler::new(NetworkDelay::ExponentialMs(150.0), 42);
+        for _ in 0..1000 {
+            assert_eq!(a.sample_us(), b.sample_us());
+        }
+    }
+}

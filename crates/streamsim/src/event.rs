@@ -1,0 +1,50 @@
+//! Stream events with the two timestamps of §2.5: *generated* (event) time
+//! and *ingestion* time.
+
+/// One stream event. Timestamps are microseconds from stream start; the
+/// difference `ingest_time_us − event_time_us` is the network delay
+/// (§2.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Payload value.
+    pub value: f64,
+    /// Time the event was generated at the source (µs).
+    pub event_time_us: u64,
+    /// Time the event reached the stream processor (µs).
+    pub ingest_time_us: u64,
+}
+
+impl Event {
+    /// Construct an event; ingestion can never precede generation.
+    pub fn new(value: f64, event_time_us: u64, delay_us: u64) -> Self {
+        Self {
+            value,
+            event_time_us,
+            ingest_time_us: event_time_us + delay_us,
+        }
+    }
+
+    /// The event's network delay in microseconds.
+    pub fn delay_us(&self) -> u64 {
+        self.ingest_time_us - self.event_time_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_accounting() {
+        let e = Event::new(1.5, 1_000, 250);
+        assert_eq!(e.event_time_us, 1_000);
+        assert_eq!(e.ingest_time_us, 1_250);
+        assert_eq!(e.delay_us(), 250);
+    }
+
+    #[test]
+    fn zero_delay() {
+        let e = Event::new(0.0, 42, 0);
+        assert_eq!(e.ingest_time_us, e.event_time_us);
+    }
+}

@@ -1,0 +1,239 @@
+//! Keyed tumbling windows: per-key quantile aggregation, the group-by
+//! form every production Flink job of the paper's motivating applications
+//! takes (per-endpoint response times, per-region fares, …).
+//!
+//! Semantics compose the §2.5 building blocks: events carry a key, each
+//! `(key, window)` pair owns one aggregate state, the watermark is global
+//! (event time does not depend on the key), and late events are dropped
+//! per window exactly as in [`crate::window::TumblingWindows`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::event::Event;
+use crate::window::WindowState;
+
+/// An event paired with its grouping key.
+#[derive(Debug, Clone)]
+pub struct KeyedEvent<K> {
+    /// Grouping key.
+    pub key: K,
+    /// The underlying event.
+    pub event: Event,
+}
+
+/// One fired `(key, window)` result.
+#[derive(Debug)]
+pub struct KeyedWindowResult<K, S> {
+    /// Grouping key.
+    pub key: K,
+    /// Window start (µs, inclusive).
+    pub start_us: u64,
+    /// Window end (µs, exclusive).
+    pub end_us: u64,
+    /// Events aggregated for this key in this window.
+    pub count: u64,
+    /// Accumulated state.
+    pub items: S,
+}
+
+/// Everything produced by a keyed windowed run.
+#[derive(Debug)]
+pub struct KeyedFired<K, S> {
+    /// Fired per-key windows, ordered by window start (key order within a
+    /// window is unspecified).
+    pub results: Vec<KeyedWindowResult<K, S>>,
+    /// Late events dropped (their window had fired for every key).
+    pub dropped_late: u64,
+    /// Total events observed.
+    pub total: u64,
+}
+
+/// Event-time keyed tumbling-window operator.
+pub struct KeyedTumblingWindows<K, S, F: FnMut() -> S> {
+    window_us: u64,
+    factory: F,
+    /// Open windows: window index → per-key state.
+    open: BTreeMap<u64, HashMap<K, (S, u64)>>,
+    watermark_us: u64,
+    fired_below: u64,
+    results: Vec<KeyedWindowResult<K, S>>,
+    dropped_late: u64,
+    total: u64,
+}
+
+impl<K, S, F> KeyedTumblingWindows<K, S, F>
+where
+    K: std::hash::Hash + Eq + Clone,
+    S: WindowState,
+    F: FnMut() -> S,
+{
+    /// Create an operator; `factory` builds each `(key, window)` state.
+    pub fn new(window_us: u64, factory: F) -> Self {
+        assert!(window_us > 0);
+        Self {
+            window_us,
+            factory,
+            open: BTreeMap::new(),
+            watermark_us: 0,
+            fired_below: 0,
+            results: Vec::new(),
+            dropped_late: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of distinct keys currently open in the oldest window.
+    pub fn open_keys(&self) -> usize {
+        self.open
+            .first_key_value()
+            .map(|(_, m)| m.len())
+            .unwrap_or(0)
+    }
+
+    /// Feed one keyed event (ingestion order).
+    pub fn observe(&mut self, keyed: KeyedEvent<K>) {
+        self.total += 1;
+        let idx = keyed.event.event_time_us / self.window_us;
+
+        if keyed.event.event_time_us > self.watermark_us {
+            self.watermark_us = keyed.event.event_time_us;
+            let fire_below = self.watermark_us / self.window_us;
+            while let Some((&widx, _)) = self.open.first_key_value() {
+                if widx >= fire_below {
+                    break;
+                }
+                let (widx, keys) = self.open.pop_first().expect("non-empty");
+                for (key, (items, count)) in keys {
+                    self.results.push(KeyedWindowResult {
+                        key,
+                        start_us: widx * self.window_us,
+                        end_us: (widx + 1) * self.window_us,
+                        count,
+                        items,
+                    });
+                }
+            }
+            self.fired_below = self.fired_below.max(fire_below);
+        }
+
+        if idx < self.fired_below {
+            self.dropped_late += 1;
+            return;
+        }
+
+        let factory = &mut self.factory;
+        let per_key = self.open.entry(idx).or_default();
+        let (state, count) = per_key
+            .entry(keyed.key)
+            .or_insert_with(|| (factory(), 0));
+        state.observe(keyed.event.value);
+        *count += 1;
+    }
+
+    /// End of stream: fire everything.
+    pub fn close(mut self) -> KeyedFired<K, S> {
+        while let Some((widx, keys)) = self.open.pop_first() {
+            for (key, (items, count)) in keys {
+                self.results.push(KeyedWindowResult {
+                    key,
+                    start_us: widx * self.window_us,
+                    end_us: (widx + 1) * self.window_us,
+                    count,
+                    items,
+                });
+            }
+        }
+        KeyedFired {
+            results: self.results,
+            dropped_late: self.dropped_late,
+            total: self.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kev(key: &'static str, value: f64, event_ms: u64) -> KeyedEvent<&'static str> {
+        KeyedEvent {
+            key,
+            event: Event::new(value, event_ms * 1_000, 0),
+        }
+    }
+
+    #[test]
+    fn keys_are_windowed_independently() {
+        let mut op = KeyedTumblingWindows::new(1_000_000, Vec::new);
+        op.observe(kev("a", 1.0, 0));
+        op.observe(kev("b", 100.0, 10));
+        op.observe(kev("a", 2.0, 500));
+        op.observe(kev("a", 3.0, 1500)); // fires window 0 for both keys
+        let fired = op.close();
+        assert_eq!(fired.results.len(), 3); // (a, w0), (b, w0), (a, w1)
+        let a0 = fired
+            .results
+            .iter()
+            .find(|r| r.key == "a" && r.start_us == 0)
+            .unwrap();
+        assert_eq!(a0.items, vec![1.0, 2.0]);
+        let b0 = fired
+            .results
+            .iter()
+            .find(|r| r.key == "b" && r.start_us == 0)
+            .unwrap();
+        assert_eq!(b0.items, vec![100.0]);
+    }
+
+    #[test]
+    fn watermark_is_global_across_keys() {
+        // An event on key "b" advances the watermark and fires key "a"'s
+        // window too: lateness is a property of time, not of the key.
+        let mut op = KeyedTumblingWindows::new(1_000_000, Vec::new);
+        op.observe(kev("a", 1.0, 0));
+        op.observe(kev("b", 2.0, 2_500));
+        op.observe(kev("a", 3.0, 500)); // late: window 0 fired for all keys
+        let fired = op.close();
+        assert_eq!(fired.dropped_late, 1);
+    }
+
+    #[test]
+    fn sketch_per_key_per_window() {
+        use qsketch_core::QuantileSketch;
+        use qsketch_ddsketch::DdSketch;
+
+        struct S(DdSketch);
+        impl WindowState for S {
+            fn observe(&mut self, v: f64) {
+                self.0.insert(v);
+            }
+        }
+        let mut op = KeyedTumblingWindows::new(1_000_000, || S(DdSketch::unbounded(0.01)));
+        for i in 0..3_000u64 {
+            let key = if i % 3 == 0 { "checkout" } else { "search" };
+            let latency = if key == "checkout" { 200.0 } else { 20.0 };
+            op.observe(KeyedEvent {
+                key,
+                event: Event::new(latency + (i % 10) as f64, i * 1_000, 0),
+            });
+        }
+        let fired = op.close();
+        for r in &fired.results {
+            let p50 = r.items.0.query(0.5).unwrap();
+            match r.key {
+                "checkout" => assert!((195.0..215.0).contains(&p50), "checkout p50 {p50}"),
+                "search" => assert!((18.0..32.0).contains(&p50), "search p50 {p50}"),
+                other => panic!("unexpected key {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let op: KeyedTumblingWindows<&str, Vec<f64>, _> =
+            KeyedTumblingWindows::new(1_000_000, Vec::new);
+        let fired = op.close();
+        assert!(fired.results.is_empty());
+        assert_eq!(fired.total, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! A deterministic, single-process stream-processing simulator standing in
+//! for Apache Flink in the paper's accuracy experiments (§4.2, §4.6).
+//!
+//! The paper runs its accuracy experiments as Flink jobs: a source emits
+//! 50 000 events/s, a network-delay model separates *generated time* from
+//! *ingestion time*, and 20 s event-time **tumbling windows** aggregate a
+//! quantile sketch per window; late events (arriving after their window
+//! fired) are dropped (§2.5–2.6). Everything the measured quantity — the
+//! per-window relative error — depends on is windowing *semantics*, not
+//! cluster plumbing, so this crate implements those semantics exactly and
+//! deterministically:
+//!
+//! * [`event::Event`] — value + generated/ingestion timestamps (µs),
+//! * [`delay::NetworkDelay`] — none, fixed, or exponential (the §4.6 model:
+//!   exponential with 150 ms mean),
+//! * [`source`] — seeded event generation at a configurable rate,
+//! * [`window`] — event-time tumbling windows with a
+//!   max-event-time watermark and zero allowed lateness: exactly Flink's
+//!   ascending-timestamp watermarking, under which an event is *late* iff
+//!   a same-window-or-later event already closed its window,
+//! * [`harness`] — the full §4.2 experiment loop: N windows per run, first
+//!   window discarded, per-quantile relative error against an exact
+//!   in-window oracle, averaged over independent runs with 95 % CIs.
+//!
+//! # Example
+//!
+//! ```
+//! use qsketch_streamsim::delay::NetworkDelay;
+//! use qsketch_streamsim::source::EventSource;
+//! use qsketch_streamsim::window::TumblingWindows;
+//!
+//! // 1000 events/s, 1 s windows, no delay.
+//! let events = EventSource::new(Box::new(Counter(0.0)), 1000, NetworkDelay::None, 1)
+//!     .take_events(3_000);
+//! let mut windows = TumblingWindows::new(1_000_000, Vec::new);
+//! for e in events {
+//!     windows.observe(e); // Vec<f64> implements WindowState
+//! }
+//! let fired = windows.close();
+//! assert_eq!(fired.results.len(), 3);
+//! assert_eq!(fired.results[0].items.len(), 1000);
+//!
+//! struct Counter(f64);
+//! impl qsketch_datagen::ValueStream for Counter {
+//!     fn next_value(&mut self) -> f64 { self.0 += 1.0; self.0 }
+//! }
+//! ```
+
+pub mod delay;
+pub mod event;
+pub mod harness;
+pub mod keyed;
+pub mod parallel;
+pub mod session;
+pub mod sliding;
+pub mod source;
+pub mod window;
+
+pub use delay::NetworkDelay;
+pub use event::Event;
+pub use harness::{AccuracyConfig, RunSummary, WindowAccuracy};
+pub use keyed::{KeyedEvent, KeyedTumblingWindows};
+pub use parallel::PartitionedWindow;
+pub use session::SessionWindows;
+pub use sliding::SlidingWindows;
+pub use source::EventSource;
+pub use window::{FiredWindows, TumblingWindows, WindowResult};
+
+/// The paper's event rate (§4.2): 50 000 events per second.
+pub const PAPER_EVENTS_PER_SEC: u64 = 50_000;
+
+/// The paper's window length (§4.2): 20 s, ≈ 1 M events per window.
+pub const PAPER_WINDOW_SECS: u64 = 20;
+
+/// The paper's per-run window count (§4.2): 220 s ≈ 11 windows, the first
+/// discarded, 10 averaged.
+pub const PAPER_WINDOWS_PER_RUN: usize = 11;
+
+/// The paper's independent-run count (§4.2).
+pub const PAPER_NUM_RUNS: usize = 10;
+
+/// The §4.6 network-delay mean (150 ms).
+pub const PAPER_MEAN_DELAY_MS: f64 = 150.0;

@@ -1,0 +1,124 @@
+//! Partitioned windowed aggregation: the distributed pattern the paper's
+//! mergeability discussion motivates (§2.4) applied inside the windowed
+//! pipeline — each window's data is split across `p` partition sketches
+//! (as a parallel SPE operator would), and the per-window result is the
+//! merge of the partitions.
+//!
+//! Because every evaluated sketch is mergeable "without any change to the
+//! error guarantees", the partitioned result must match a single-sketch
+//! run's error regime; `tests/` asserts exactly that.
+
+use qsketch_core::sketch::{MergeError, MergeableSketch};
+
+use crate::window::WindowState;
+
+/// Per-window state holding one sketch per partition; values are routed
+/// round-robin (an SPE's rebalance distribution).
+pub struct PartitionedWindow<S> {
+    partitions: Vec<S>,
+    next: usize,
+}
+
+impl<S: MergeableSketch> PartitionedWindow<S> {
+    /// Create with `p` partition sketches from a factory.
+    pub fn new(p: usize, mut factory: impl FnMut() -> S) -> Self {
+        assert!(p > 0, "need at least one partition");
+        Self {
+            partitions: (0..p).map(|_| factory()).collect(),
+            next: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total events routed.
+    pub fn count(&self) -> u64 {
+        self.partitions.iter().map(|s| s.count()).sum()
+    }
+
+    /// Merge all partitions into the final per-window sketch (what the
+    /// window emits downstream).
+    pub fn merge_partitions(mut self) -> Result<S, MergeError> {
+        let mut acc = self.partitions.remove(0);
+        for s in &self.partitions {
+            acc.merge(s)?;
+        }
+        Ok(acc)
+    }
+
+    /// Borrow the partition sketches (e.g. to encode and ship them).
+    pub fn partitions(&self) -> &[S] {
+        &self.partitions
+    }
+}
+
+impl<S: MergeableSketch> WindowState for PartitionedWindow<S> {
+    fn observe(&mut self, value: f64) {
+        let p = self.next;
+        self.next = (self.next + 1) % self.partitions.len();
+        self.partitions[p].insert(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::window::TumblingWindows;
+    use qsketch_core::QuantileSketch;
+    use qsketch_ddsketch::DdSketch;
+
+    #[test]
+    fn round_robin_balances() {
+        let mut w = PartitionedWindow::new(4, || DdSketch::unbounded(0.01));
+        for i in 0..1000 {
+            w.observe(i as f64 + 1.0);
+        }
+        for s in w.partitions() {
+            assert_eq!(s.count(), 250);
+        }
+        assert_eq!(w.count(), 1000);
+    }
+
+    #[test]
+    fn merged_partitions_keep_the_guarantee() {
+        let mut w = PartitionedWindow::new(8, || DdSketch::unbounded(0.01));
+        for i in 1..=80_000 {
+            w.observe(i as f64);
+        }
+        let merged = w.merge_partitions().unwrap();
+        assert_eq!(merged.count(), 80_000);
+        for q in [0.25, 0.5, 0.99] {
+            let truth = (q * 80_000.0_f64).ceil();
+            let est = merged.query(q).unwrap();
+            assert!(((est - truth) / truth).abs() <= 0.01 + 1e-9, "q={q}");
+        }
+    }
+
+    #[test]
+    fn works_as_window_state_in_the_operator() {
+        let mut op = TumblingWindows::new(1_000_000, || {
+            PartitionedWindow::new(3, || DdSketch::unbounded(0.01))
+        });
+        for i in 0..3000u64 {
+            op.observe(Event::new((i % 100) as f64 + 1.0, i * 1_000, 0));
+        }
+        let fired = op.close();
+        assert_eq!(fired.results.len(), 3);
+        for w in fired.results {
+            let merged = w.items.merge_partitions().unwrap();
+            assert_eq!(merged.count(), 1000);
+            let median = merged.query(0.5).unwrap();
+            assert!((49.0..53.0).contains(&median), "median {median}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        PartitionedWindow::new(0, || DdSketch::unbounded(0.01));
+    }
+}

@@ -1,0 +1,271 @@
+//! Session event-time windows (§2.5: "A session window with a timeout of
+//! 10 s would start grouping events at time t and keep collecting events
+//! until a period of inactivity for 10 s").
+//!
+//! Sessions are half-open activity intervals separated by gaps of at
+//! least `gap_us`. Out-of-order events can bridge two open sessions, which
+//! are then merged — the standard SPE session semantics.
+
+use crate::event::Event;
+use crate::window::{FiredWindows, WindowResult, WindowState};
+
+/// One open session: `[first_event, last_event]` plus accumulated state.
+struct OpenSession<S> {
+    first_us: u64,
+    last_us: u64,
+    count: u64,
+    items: S,
+}
+
+/// Event-time session-window operator. A session fires once the watermark
+/// passes `last_event + gap` (no more in-gap events can be on time); later
+/// events that would have belonged are dropped as late.
+pub struct SessionWindows<S, F: FnMut() -> S> {
+    gap_us: u64,
+    /// Watermark lag (Flink's bounded out-of-orderness): the watermark
+    /// trails the max event time by this much, letting moderately late
+    /// events merge into — or bridge — still-open sessions.
+    watermark_lag_us: u64,
+    factory: F,
+    /// Open sessions sorted by `first_us`, non-overlapping after merge.
+    open: Vec<OpenSession<S>>,
+    watermark_us: u64,
+    results: Vec<WindowResult<S>>,
+    dropped_late: u64,
+    total: u64,
+}
+
+impl<S: WindowState + Mergeable, F: FnMut() -> S> SessionWindows<S, F> {
+    /// Create an operator with the inactivity `gap_us` and no watermark
+    /// lag (strictly ascending watermark, like the paper's tumbling
+    /// setup).
+    pub fn new(gap_us: u64, factory: F) -> Self {
+        Self::with_watermark_lag(gap_us, 0, factory)
+    }
+
+    /// Create an operator whose watermark trails the max event time by
+    /// `watermark_lag_us` (Flink's bounded out-of-orderness strategy).
+    pub fn with_watermark_lag(gap_us: u64, watermark_lag_us: u64, factory: F) -> Self {
+        assert!(gap_us > 0, "gap must be positive");
+        Self {
+            gap_us,
+            watermark_lag_us,
+            factory,
+            open: Vec::new(),
+            watermark_us: 0,
+            results: Vec::new(),
+            dropped_late: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feed one event in ingestion order.
+    pub fn observe(&mut self, event: Event) {
+        self.total += 1;
+        let t = event.event_time_us;
+
+        let candidate = t.saturating_sub(self.watermark_lag_us);
+        if candidate > self.watermark_us {
+            self.watermark_us = candidate;
+            // Fire sessions whose gap has elapsed before the watermark.
+            let gap = self.gap_us;
+            let watermark = self.watermark_us;
+            let mut i = 0;
+            while i < self.open.len() {
+                if self.open[i].last_us + gap <= watermark {
+                    let s = self.open.remove(i);
+                    self.results.push(WindowResult {
+                        start_us: s.first_us,
+                        end_us: s.last_us + gap,
+                        count: s.count,
+                        items: s.items,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Late if the event's session slot has already been emitted: it
+        // would attach to a session that ended (fired) at or after t.
+        if t + self.gap_us <= self.watermark_us
+            && !self
+                .open
+                .iter()
+                .any(|s| t + self.gap_us >= s.first_us && s.last_us + self.gap_us >= t)
+        {
+            self.dropped_late += 1;
+            return;
+        }
+
+        // Find every open session within gap distance of t and merge them
+        // around the event.
+        let gap = self.gap_us;
+        let mut merged: Option<OpenSession<S>> = None;
+        let mut keep = Vec::with_capacity(self.open.len());
+        for s in self.open.drain(..) {
+            let touches = t + gap >= s.first_us && s.last_us + gap >= t;
+            if touches {
+                merged = Some(match merged {
+                    None => s,
+                    Some(mut acc) => {
+                        acc.first_us = acc.first_us.min(s.first_us);
+                        acc.last_us = acc.last_us.max(s.last_us);
+                        acc.count += s.count;
+                        acc.items.merge_from(s.items);
+                        acc
+                    }
+                });
+            } else {
+                keep.push(s);
+            }
+        }
+        self.open = keep;
+
+        let mut session = merged.unwrap_or_else(|| OpenSession {
+            first_us: t,
+            last_us: t,
+            count: 0,
+            items: (self.factory)(),
+        });
+        session.first_us = session.first_us.min(t);
+        session.last_us = session.last_us.max(t);
+        session.items.observe(event.value);
+        session.count += 1;
+        let pos = self
+            .open
+            .partition_point(|s| s.first_us < session.first_us);
+        self.open.insert(pos, session);
+    }
+
+    /// End of stream: fire remaining sessions.
+    pub fn close(mut self) -> FiredWindows<S> {
+        let gap = self.gap_us;
+        for s in self.open.drain(..) {
+            self.results.push(WindowResult {
+                start_us: s.first_us,
+                end_us: s.last_us + gap,
+                count: s.count,
+                items: s.items,
+            });
+        }
+        self.results.sort_by_key(|w| w.start_us);
+        FiredWindows {
+            results: self.results,
+            dropped_late: self.dropped_late,
+            total: self.total,
+        }
+    }
+}
+
+/// State that can absorb another instance when two sessions merge.
+pub trait Mergeable {
+    /// Merge `other`'s contents into `self`.
+    fn merge_from(&mut self, other: Self);
+}
+
+impl Mergeable for Vec<f64> {
+    fn merge_from(&mut self, mut other: Self) {
+        self.append(&mut other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(value: f64, event_ms: u64) -> Event {
+        Event::new(value, event_ms * 1_000, 0)
+    }
+
+    fn run(events: Vec<Event>, gap_ms: u64) -> FiredWindows<Vec<f64>> {
+        let mut op = SessionWindows::new(gap_ms * 1_000, Vec::new);
+        for e in events {
+            op.observe(e);
+        }
+        op.close()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §2.5: timeout 10 s, last event at t+23 s => session spans t to
+        // t+33 s.
+        let fired = run(
+            vec![ev(1.0, 0), ev(2.0, 9_000), ev(3.0, 16_000), ev(4.0, 23_000)],
+            10_000,
+        );
+        assert_eq!(fired.results.len(), 1);
+        let s = &fired.results[0];
+        assert_eq!(s.start_us, 0);
+        assert_eq!(s.end_us, 33_000_000);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn gap_splits_sessions() {
+        let fired = run(vec![ev(1.0, 0), ev(2.0, 5), ev(3.0, 100), ev(4.0, 103)], 10);
+        assert_eq!(fired.results.len(), 2);
+        assert_eq!(fired.results[0].items, vec![1.0, 2.0]);
+        assert_eq!(fired.results[1].items, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn out_of_order_event_bridges_two_sessions() {
+        // A lagging watermark (bounded out-of-orderness) keeps both
+        // sessions open long enough for a straggler to bridge them.
+        let mut op = SessionWindows::with_watermark_lag(10_000, 30_000, Vec::new);
+        op.observe(ev(1.0, 0));
+        op.observe(ev(2.0, 15)); // 15ms > 0 + 10ms gap: separate session
+        assert_eq!(op.open_sessions(), 2);
+        op.observe(ev(3.0, 8)); // bridges: 8 is within gap of both
+        assert_eq!(op.open_sessions(), 1);
+        let fired = op.close();
+        assert_eq!(fired.results.len(), 1);
+        assert_eq!(fired.results[0].count, 3);
+    }
+
+    #[test]
+    fn zero_lag_fires_eagerly_so_bridging_is_impossible() {
+        // With a strictly ascending watermark the older session fires the
+        // moment a gap-exceeding event arrives — the §2.6 discipline.
+        let mut op = SessionWindows::new(10_000, Vec::new);
+        op.observe(ev(1.0, 0));
+        op.observe(ev(2.0, 15));
+        assert_eq!(op.open_sessions(), 1);
+        let fired = op.close();
+        assert_eq!(fired.results.len(), 2);
+    }
+
+    #[test]
+    fn session_fires_on_watermark_past_gap() {
+        let mut op = SessionWindows::new(10_000, Vec::new);
+        op.observe(ev(1.0, 0));
+        op.observe(ev(2.0, 30)); // watermark 30ms fires session [0, 10)
+        assert_eq!(op.open_sessions(), 1); // only the new session remains
+        let fired = op.close();
+        assert_eq!(fired.results.len(), 2);
+    }
+
+    #[test]
+    fn late_event_after_session_fired_is_dropped() {
+        let mut op = SessionWindows::new(10_000, Vec::new);
+        op.observe(ev(1.0, 0));
+        op.observe(ev(2.0, 50)); // fires session around t=0
+        op.observe(ev(3.0, 2)); // belongs to the fired session: late
+        let fired = op.close();
+        assert_eq!(fired.dropped_late, 1);
+        assert_eq!(fired.results.len(), 2);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let fired = run(vec![], 10);
+        assert!(fired.results.is_empty());
+        assert_eq!(fired.total, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Sliding event-time windows (§2.5: "A sliding window of the same length
+//! and a period of 1 s would create a group from time t to t + 10 s,
+//! another group from t + 1 s to t + 11 s, and so on").
+//!
+//! An event with timestamp `t` belongs to every window
+//! `[k·slide, k·slide + size)` with
+//! `k ∈ (⌊t/slide⌋ − size/slide, ⌊t/slide⌋]`.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::window::{FiredWindows, WindowResult, WindowState};
+
+/// Event-time sliding-window operator with late-event dropping under the
+/// same max-event-time watermark as [`crate::window::TumblingWindows`].
+pub struct SlidingWindows<S, F: FnMut() -> S> {
+    size_us: u64,
+    slide_us: u64,
+    factory: F,
+    /// Open windows keyed by window start (µs).
+    open: BTreeMap<u64, WindowResult<S>>,
+    watermark_us: u64,
+    /// Window starts below this have fired.
+    fired_before_start: u64,
+    results: Vec<WindowResult<S>>,
+    dropped_late: u64,
+    total: u64,
+}
+
+impl<S: WindowState, F: FnMut() -> S> SlidingWindows<S, F> {
+    /// Create an operator; `size_us` must be a positive multiple of
+    /// `slide_us` (the standard SPE constraint).
+    pub fn new(size_us: u64, slide_us: u64, factory: F) -> Self {
+        assert!(slide_us > 0 && size_us > 0, "degenerate window");
+        assert!(
+            size_us.is_multiple_of(slide_us),
+            "window size must be a multiple of the slide"
+        );
+        Self {
+            size_us,
+            slide_us,
+            factory,
+            open: BTreeMap::new(),
+            watermark_us: 0,
+            fired_before_start: 0,
+            results: Vec::new(),
+            dropped_late: 0,
+            total: 0,
+        }
+    }
+
+    /// Window starts covering event time `t`.
+    fn window_starts(&self, t: u64) -> impl Iterator<Item = u64> {
+        let last_start = (t / self.slide_us) * self.slide_us;
+        let first_start = (t + self.slide_us).saturating_sub(self.size_us) / self.slide_us
+            * self.slide_us;
+        let slide = self.slide_us;
+        (0..)
+            .map(move |k| first_start + k * slide)
+            .take_while(move |&s| s <= last_start)
+    }
+
+    /// Feed one event in ingestion order.
+    pub fn observe(&mut self, event: Event) {
+        self.total += 1;
+        if event.event_time_us > self.watermark_us {
+            self.watermark_us = event.event_time_us;
+            // Fire every open window whose end passed the watermark.
+            let watermark = self.watermark_us;
+            while let Some((&start, _)) = self.open.first_key_value() {
+                if start + self.size_us > watermark {
+                    break;
+                }
+                let (_, w) = self.open.pop_first().expect("non-empty");
+                self.fired_before_start = self.fired_before_start.max(start + self.slide_us);
+                self.results.push(w);
+            }
+            // Also advance the late boundary for windows that never
+            // opened. A window [s, s+size) is closed iff s + size <=
+            // watermark; no window is closed while watermark < size.
+            if let Some(diff) = watermark.checked_sub(self.size_us) {
+                let newly_closed_start = (diff / self.slide_us + 1) * self.slide_us;
+                self.fired_before_start = self.fired_before_start.max(newly_closed_start);
+            }
+        }
+
+        let mut late = true;
+        let starts: Vec<u64> = self.window_starts(event.event_time_us).collect();
+        for start in starts {
+            if start < self.fired_before_start {
+                continue; // this assignment already fired
+            }
+            late = false;
+            let size = self.size_us;
+            let factory = &mut self.factory;
+            let w = self.open.entry(start).or_insert_with(|| WindowResult {
+                start_us: start,
+                end_us: start + size,
+                count: 0,
+                items: factory(),
+            });
+            w.items.observe(event.value);
+            w.count += 1;
+        }
+        if late {
+            self.dropped_late += 1;
+        }
+    }
+
+    /// End of stream: fire remaining windows.
+    pub fn close(mut self) -> FiredWindows<S> {
+        while let Some((_, w)) = self.open.pop_first() {
+            self.results.push(w);
+        }
+        FiredWindows {
+            results: self.results,
+            dropped_late: self.dropped_late,
+            total: self.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(value: f64, event_ms: u64) -> Event {
+        Event::new(value, event_ms * 1_000, 0)
+    }
+
+    #[test]
+    fn event_lands_in_all_covering_windows() {
+        // size 10 ms, slide 2 ms: each event covered by 5 windows.
+        let mut op = SlidingWindows::new(10_000, 2_000, Vec::new);
+        op.observe(ev(1.0, 9)); // windows starting at 0,2,4,6,8 ms
+        op.observe(ev(2.0, 50)); // fires everything before 40ms
+        let fired = op.close();
+        let covering = fired
+            .results
+            .iter()
+            .filter(|w| w.items.contains(&1.0))
+            .count();
+        assert_eq!(covering, 5);
+    }
+
+    #[test]
+    fn windows_overlap_counts() {
+        // Steady one event per ms; every full 10 ms window holds 10.
+        let mut op = SlidingWindows::new(10_000, 5_000, Vec::new);
+        for t in 0..100 {
+            op.observe(ev(t as f64, t));
+        }
+        let fired = op.close();
+        // Interior windows (fully covered) hold exactly 10 events.
+        let interior: Vec<&WindowResult<Vec<f64>>> = fired
+            .results
+            .iter()
+            .filter(|w| w.start_us >= 10_000 && w.end_us <= 90_000)
+            .collect();
+        assert!(!interior.is_empty());
+        for w in interior {
+            assert_eq!(w.count, 10, "window at {}", w.start_us);
+        }
+    }
+
+    #[test]
+    fn tumbling_is_the_slide_equals_size_special_case() {
+        let mut sliding = SlidingWindows::new(10_000, 10_000, Vec::new);
+        for t in 0..50 {
+            sliding.observe(ev(t as f64, t));
+        }
+        let fired = sliding.close();
+        assert_eq!(fired.results.len(), 5);
+        for w in &fired.results {
+            assert_eq!(w.count, 10);
+        }
+    }
+
+    #[test]
+    fn late_event_dropped_only_when_all_assignments_fired() {
+        let mut op = SlidingWindows::new(10_000, 5_000, Vec::new);
+        op.observe(ev(1.0, 1));
+        op.observe(ev(2.0, 14)); // watermark 14ms: window [0,10) fired
+        // Event at t=8 still belongs to [5,15): not late.
+        op.observe(ev(3.0, 8));
+        let fired = op.close();
+        assert_eq!(fired.dropped_late, 0);
+        let w5 = fired
+            .results
+            .iter()
+            .find(|w| w.start_us == 5_000)
+            .expect("window at 5ms");
+        assert!(w5.items.contains(&3.0));
+        // The fired [0,10) window must NOT contain the straggler.
+        let w0 = fired
+            .results
+            .iter()
+            .find(|w| w.start_us == 0)
+            .expect("window at 0");
+        assert!(!w0.items.contains(&3.0));
+    }
+
+    #[test]
+    fn fully_late_event_dropped() {
+        let mut op = SlidingWindows::new(10_000, 5_000, Vec::new);
+        op.observe(ev(1.0, 1));
+        op.observe(ev(2.0, 40)); // everything below [35,45) fired/closed
+        op.observe(ev(3.0, 2)); // all its windows fired
+        let fired = op.close();
+        assert_eq!(fired.dropped_late, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_non_divisible_slide() {
+        SlidingWindows::new(10_000, 3_000, Vec::<f64>::new);
+    }
+}

@@ -1,0 +1,275 @@
+//! Event-time tumbling windows with watermark-based firing and late-event
+//! dropping (§2.5–2.6).
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+
+/// Per-window accumulated state. Implemented by `Vec<f64>` (retain all
+/// values — the exact oracle) and by the harness's sketch+oracle pairs.
+pub trait WindowState {
+    /// Observe one in-window value.
+    fn observe(&mut self, value: f64);
+}
+
+impl WindowState for Vec<f64> {
+    fn observe(&mut self, value: f64) {
+        self.push(value);
+    }
+}
+
+/// A fired window and its accumulated state.
+#[derive(Debug, Clone)]
+pub struct WindowResult<S> {
+    /// Window start (inclusive, µs of event time).
+    pub start_us: u64,
+    /// Window end (exclusive, µs of event time).
+    pub end_us: u64,
+    /// Number of events that made it into the window.
+    pub count: u64,
+    /// The accumulated state.
+    pub items: S,
+}
+
+/// Everything produced by a windowed run.
+#[derive(Debug, Clone)]
+pub struct FiredWindows<S> {
+    /// Fired windows in event-time order.
+    pub results: Vec<WindowResult<S>>,
+    /// Events dropped because their window had already fired (§2.6).
+    pub dropped_late: u64,
+    /// Total events observed (including dropped).
+    pub total: u64,
+}
+
+impl<S> FiredWindows<S> {
+    /// Fraction of events dropped as late.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.dropped_late as f64 / self.total as f64
+        }
+    }
+}
+
+/// Event-time tumbling-window operator.
+///
+/// Events must arrive in **ingestion order**. The watermark is the maximum
+/// event time seen (Flink's ascending-timestamps watermark, zero allowed
+/// lateness): when it passes a window's end the window fires, and any
+/// event for an already-fired window is dropped as late.
+pub struct TumblingWindows<S, F: FnMut() -> S> {
+    window_us: u64,
+    /// Watermark lag (Flink's bounded out-of-orderness): the watermark
+    /// trails the max event time by this much. Zero (the paper's
+    /// ascending-timestamp setup) drops every out-of-order straggler whose
+    /// window already fired; a positive lag delays firing, trading result
+    /// latency for fewer late drops (explored in `ext_watermark_lag`).
+    watermark_lag_us: u64,
+    factory: F,
+    /// Open windows keyed by window index (`event_time / window_us`).
+    open: BTreeMap<u64, WindowResult<S>>,
+    /// Max event time seen (the watermark).
+    watermark_us: u64,
+    /// Window indices below this have fired (or can never open).
+    fired_below: u64,
+    results: Vec<WindowResult<S>>,
+    dropped_late: u64,
+    total: u64,
+}
+
+impl<S: WindowState, F: FnMut() -> S> TumblingWindows<S, F> {
+    /// Create an operator with `window_us`-long windows; `factory` builds
+    /// each window's fresh state.
+    pub fn new(window_us: u64, factory: F) -> Self {
+        Self::with_watermark_lag(window_us, 0, factory)
+    }
+
+    /// Create an operator whose watermark trails the max event time by
+    /// `watermark_lag_us`.
+    pub fn with_watermark_lag(window_us: u64, watermark_lag_us: u64, factory: F) -> Self {
+        assert!(window_us > 0);
+        Self {
+            window_us,
+            watermark_lag_us,
+            factory,
+            open: BTreeMap::new(),
+            watermark_us: 0,
+            fired_below: 0,
+            results: Vec::new(),
+            dropped_late: 0,
+            total: 0,
+        }
+    }
+
+    /// The current watermark (µs).
+    pub fn watermark_us(&self) -> u64 {
+        self.watermark_us
+    }
+
+    /// Feed one event (in ingestion order).
+    pub fn observe(&mut self, event: Event) {
+        self.total += 1;
+        let idx = event.event_time_us / self.window_us;
+
+        // Advance the watermark and fire any window it passed.
+        let candidate = event.event_time_us.saturating_sub(self.watermark_lag_us);
+        if candidate > self.watermark_us {
+            self.watermark_us = candidate;
+            let fire_below = self.watermark_us / self.window_us;
+            self.fire_below(fire_below);
+        }
+
+        if idx < self.fired_below {
+            // Window already fired: this is a late event; drop it (§2.6).
+            self.dropped_late += 1;
+            return;
+        }
+
+        let window_us = self.window_us;
+        let factory = &mut self.factory;
+        let w = self.open.entry(idx).or_insert_with(|| WindowResult {
+            start_us: idx * window_us,
+            end_us: (idx + 1) * window_us,
+            count: 0,
+            items: factory(),
+        });
+        w.items.observe(event.value);
+        w.count += 1;
+    }
+
+    fn fire_below(&mut self, fire_below: u64) {
+        while let Some((&idx, _)) = self.open.first_key_value() {
+            if idx >= fire_below {
+                break;
+            }
+            let (_, w) = self.open.pop_first().expect("checked non-empty");
+            self.results.push(w);
+        }
+        self.fired_below = self.fired_below.max(fire_below);
+    }
+
+    /// End of stream: fire every remaining open window and return all
+    /// results.
+    pub fn close(mut self) -> FiredWindows<S> {
+        while let Some((_, w)) = self.open.pop_first() {
+            self.results.push(w);
+        }
+        FiredWindows {
+            results: self.results,
+            dropped_late: self.dropped_late,
+            total: self.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(value: f64, event_ms: u64, delay_ms: u64) -> Event {
+        Event::new(value, event_ms * 1_000, delay_ms * 1_000)
+    }
+
+    fn run(events: Vec<Event>, window_ms: u64) -> FiredWindows<Vec<f64>> {
+        let mut sorted = events;
+        sorted.sort_by_key(|e| e.ingest_time_us);
+        let mut op = TumblingWindows::new(window_ms * 1_000, Vec::new);
+        for e in sorted {
+            op.observe(e);
+        }
+        op.close()
+    }
+
+    #[test]
+    fn events_grouped_by_generated_time() {
+        // §2.5: grouping is by generated time, not ingestion time.
+        let fired = run(
+            vec![
+                ev(1.0, 0, 0),
+                ev(2.0, 500, 0),
+                ev(3.0, 999, 2000), // generated in window 0, arrives late-ish but no later window seen yet
+                ev(4.0, 1500, 0),
+            ],
+            1000,
+        );
+        // Watermark at 1500 fires window 0 — but event 3 arrived (ingest
+        // 2999ms) *after* event 4 (ingest 1500ms), so window 0 was already
+        // fired when it showed up: dropped.
+        assert_eq!(fired.dropped_late, 1);
+        assert_eq!(fired.results.len(), 2);
+        assert_eq!(fired.results[0].items, vec![1.0, 2.0]);
+        assert_eq!(fired.results[1].items, vec![4.0]);
+    }
+
+    #[test]
+    fn no_delay_no_loss() {
+        let events: Vec<Event> = (0..5000).map(|i| ev(i as f64, i, 0)).collect();
+        let fired = run(events, 1000);
+        assert_eq!(fired.dropped_late, 0);
+        assert_eq!(fired.results.len(), 5);
+        for w in &fired.results {
+            assert_eq!(w.count, 1000);
+        }
+    }
+
+    #[test]
+    fn in_window_reordering_is_not_late() {
+        // Delay that keeps an event inside its window's lifetime is fine.
+        let fired = run(
+            vec![ev(1.0, 0, 0), ev(2.0, 100, 300), ev(3.0, 200, 0), ev(4.0, 1200, 0)],
+            1000,
+        );
+        assert_eq!(fired.dropped_late, 0);
+        assert_eq!(fired.results[0].count, 3);
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        let fired = run(vec![ev(1.0, 999, 0), ev(2.0, 1000, 0), ev(3.0, 1999, 0)], 1000);
+        assert_eq!(fired.results.len(), 2);
+        assert_eq!(fired.results[0].items, vec![1.0]);
+        assert_eq!(fired.results[1].items, vec![2.0, 3.0]);
+        assert_eq!(fired.results[0].start_us, 0);
+        assert_eq!(fired.results[0].end_us, 1_000_000);
+    }
+
+    #[test]
+    fn loss_fraction() {
+        let fired = run(
+            vec![ev(1.0, 0, 0), ev(2.0, 1500, 0), ev(3.0, 900, 5000)],
+            1000,
+        );
+        assert_eq!(fired.dropped_late, 1);
+        assert!((fired.loss_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watermark_lag_saves_stragglers() {
+        // Same stream, two operators: zero lag drops the straggler, a
+        // 2-second lag admits it.
+        let events = vec![ev(1.0, 0, 0), ev(2.0, 1500, 0), ev(3.0, 900, 1000)];
+        let strict = run(events.clone(), 1000);
+        assert_eq!(strict.dropped_late, 1);
+
+        let mut sorted = events;
+        sorted.sort_by_key(|e| e.ingest_time_us);
+        let mut lagged = TumblingWindows::with_watermark_lag(1_000_000, 2_000_000, Vec::new);
+        for e in sorted {
+            lagged.observe(e);
+        }
+        let fired = lagged.close();
+        assert_eq!(fired.dropped_late, 0);
+        let w0 = fired.results.iter().find(|w| w.start_us == 0).unwrap();
+        assert!(w0.items.contains(&3.0), "straggler admitted under lag");
+    }
+
+    #[test]
+    fn empty_stream() {
+        let fired = run(vec![], 1000);
+        assert!(fired.results.is_empty());
+        assert_eq!(fired.total, 0);
+        assert_eq!(fired.loss_fraction(), 0.0);
+    }
+}

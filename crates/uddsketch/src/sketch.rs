@@ -1,0 +1,703 @@
+//! The UDDSketch implementation: map-backed buckets with uniform collapse.
+
+use std::collections::BTreeMap;
+
+use qsketch_core::sketch::{
+    check_quantile, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};
+
+/// UDDSketch over `f64` values (§3.4).
+///
+/// Positive values are bucketed by `⌈log_γ(x)⌉` into an ordered map;
+/// negative values into a mirrored map; exact zeros into a scalar counter.
+/// When the combined bucket count exceeds `max_buckets` the sketch
+/// uniformly collapses all adjacent pairs, squaring γ.
+#[derive(Debug, Clone)]
+pub struct UddSketch {
+    /// Current γ (squares on every collapse).
+    gamma: f64,
+    /// Cached `1/ln γ` for indexing.
+    inv_ln_gamma: f64,
+    /// Initial α the sketch was created with.
+    initial_alpha: f64,
+    /// Number of uniform collapses performed so far.
+    collapses: u32,
+    max_buckets: usize,
+    positives: BTreeMap<i32, u64>,
+    negatives: BTreeMap<i32, u64>,
+    zero_count: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl UddSketch {
+    /// Create a sketch with initial accuracy `alpha_0` and a bucket budget.
+    pub fn new(alpha_0: f64, max_buckets: usize) -> Self {
+        assert!(
+            alpha_0 > 0.0 && alpha_0 < 1.0,
+            "initial accuracy must lie in (0,1), got {alpha_0}"
+        );
+        assert!(max_buckets >= 2, "need at least two buckets");
+        let gamma = (1.0 + alpha_0) / (1.0 - alpha_0);
+        Self {
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+            initial_alpha: alpha_0,
+            collapses: 0,
+            max_buckets,
+            positives: BTreeMap::new(),
+            negatives: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Create a sketch targeting final guarantee `alpha_k` after
+    /// `num_collapses` collapses (§3.4's inverse deterioration law).
+    pub fn with_target(alpha_k: f64, num_collapses: u32, max_buckets: usize) -> Self {
+        Self::new(crate::initial_alpha(alpha_k, num_collapses), max_buckets)
+    }
+
+    /// The paper's configuration (§4.2): 1024 buckets, 12 collapses,
+    /// final α = 0.01.
+    pub fn paper_configuration() -> Self {
+        Self::with_target(
+            crate::PAPER_ALPHA_K,
+            crate::PAPER_NUM_COLLAPSES,
+            crate::PAPER_MAX_BUCKETS,
+        )
+    }
+
+    /// Current relative-error guarantee α (derived from the current γ).
+    pub fn current_alpha(&self) -> f64 {
+        (self.gamma - 1.0) / (self.gamma + 1.0)
+    }
+
+    /// Current γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Uniform collapses performed so far.
+    pub fn collapses(&self) -> u32 {
+        self.collapses
+    }
+
+    /// Number of non-empty buckets across both maps (§4.3, §4.4.2 report
+    /// these counts).
+    pub fn num_buckets(&self) -> usize {
+        self.positives.len() + self.negatives.len()
+    }
+
+    /// Smallest inserted value (exact), `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest inserted value (exact), `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    #[inline]
+    fn index_of(&self, x: f64) -> i32 {
+        debug_assert!(x > 0.0);
+        (x.ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// Bucket midpoint `2γ^i/(γ+1)` under the *current* γ.
+    #[inline]
+    fn value_of(&self, index: i32) -> f64 {
+        2.0 * self.gamma.powi(index) / (self.gamma + 1.0)
+    }
+
+    /// Uniformly collapse all adjacent `(odd i, i+1)` pairs into `⌈i/2⌉`
+    /// (§3.4), squaring γ.
+    fn uniform_collapse(&mut self) {
+        self.positives = collapse_map(&self.positives);
+        self.negatives = collapse_map(&self.negatives);
+        self.gamma *= self.gamma;
+        self.inv_ln_gamma = 1.0 / self.gamma.ln();
+        self.collapses += 1;
+    }
+
+    fn collapse_until_within_budget(&mut self) {
+        // Each collapse halves the bucket count, so this terminates.
+        while self.num_buckets() > self.max_buckets {
+            self.uniform_collapse();
+        }
+    }
+
+    /// Insert `count` occurrences of `value` at once (pre-aggregated
+    /// ingestion; one map update regardless of weight).
+    pub fn insert_n(&mut self, value: f64, count: u64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into UDDSketch");
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value > 0.0 {
+            let i = self.index_of(value);
+            *self.positives.entry(i).or_insert(0) += count;
+        } else if value < 0.0 {
+            let i = self.index_of(-value);
+            *self.negatives.entry(i).or_insert(0) += count;
+        } else {
+            self.zero_count += count;
+        }
+        self.collapse_until_within_budget();
+    }
+
+    /// Estimated rank of `x` (count of inserted values `≤ x`).
+    pub fn rank(&self, x: f64) -> u64 {
+        let mut cum = 0u64;
+        if x >= 0.0 {
+            cum += self.negatives.values().sum::<u64>();
+            cum += self.zero_count;
+            if x > 0.0 {
+                let xi = self.index_of(x);
+                cum += self
+                    .positives
+                    .range(..=xi)
+                    .map(|(_, &c)| c)
+                    .sum::<u64>();
+            } else if self.zero_count == 0 {
+                // x == 0 with no zeros recorded: nothing extra.
+            }
+        } else {
+            let xi = self.index_of(-x);
+            cum += self.negatives.range(xi..).map(|(_, &c)| c).sum::<u64>();
+        }
+        cum
+    }
+
+    /// Estimated CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.rank(x) as f64 / self.count as f64
+        }
+    }
+
+    /// Walk buckets in ascending value order until `rank` is covered.
+    fn value_at_rank(&self, rank: u64) -> f64 {
+        let mut cum = 0u64;
+        for (&i, &c) in self.negatives.iter().rev() {
+            cum += c;
+            if cum >= rank {
+                return -self.value_of(i);
+            }
+        }
+        cum += self.zero_count;
+        if cum >= rank {
+            return 0.0;
+        }
+        for (&i, &c) in self.positives.iter() {
+            cum += c;
+            if cum >= rank {
+                return self.value_of(i);
+            }
+        }
+        self.max
+    }
+}
+
+/// Collapse every `(odd i, i+1)` pair of a bucket map into index `⌈i/2⌉`.
+fn collapse_map(map: &BTreeMap<i32, u64>) -> BTreeMap<i32, u64> {
+    let mut out = BTreeMap::new();
+    for (&i, &c) in map {
+        // ⌈i/2⌉ for signed i.
+        let target = (i + 1).div_euclid(2);
+        *out.entry(target).or_insert(0) += c;
+    }
+    out
+}
+
+impl QuantileSketch for UddSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN inserted into UDDSketch");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value > 0.0 {
+            let i = self.index_of(value);
+            *self.positives.entry(i).or_insert(0) += 1;
+        } else if value < 0.0 {
+            let i = self.index_of(-value);
+            *self.negatives.entry(i).or_insert(0) += 1;
+        } else {
+            self.zero_count += 1;
+        }
+        self.collapse_until_within_budget();
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        check_quantile(q)?;
+        if self.count == 0 {
+            return Err(QueryError::Empty);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        Ok(self.value_at_rank(rank).clamp(self.min, self.max))
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn memory_footprint(&self) -> usize {
+        // The paper charges the map-based store three numbers per bucket
+        // (map index, bucket index, bucket count; §4.3 "less than 3100
+        // numbers for a bucket size of 1024").
+        self.num_buckets() * 3 * std::mem::size_of::<u64>()
+            + 6 * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "UDDS"
+    }
+}
+
+impl MergeableSketch for UddSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if (self.initial_alpha - other.initial_alpha).abs() > 1e-15 {
+            return Err(MergeError::IncompatibleParameters(format!(
+                "initial alpha mismatch: {} vs {}",
+                self.initial_alpha, other.initial_alpha
+            )));
+        }
+        // Align γ by collapsing the finer sketch (γ squares per collapse,
+        // so equal collapse counts mean equal γ; §3.4 "bucket ranges of the
+        // two sketches being merged align if they have the same γ").
+        let mut other = other.clone();
+        while self.collapses < other.collapses {
+            self.uniform_collapse();
+        }
+        while other.collapses < self.collapses {
+            other.uniform_collapse();
+        }
+        for (&i, &c) in &other.positives {
+            *self.positives.entry(i).or_insert(0) += c;
+        }
+        for (&i, &c) in &other.negatives {
+            *self.negatives.entry(i).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        // The merged map can exceed the budget (§3.4: merging "potentially
+        // performs a costly bucket collapsing operation at the end").
+        self.collapse_until_within_budget();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_query_errors() {
+        let s = UddSketch::paper_configuration();
+        assert_eq!(s.query(0.5), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn within_guarantee_without_collapse() {
+        let mut s = UddSketch::new(0.01, 4096);
+        for i in 1..=100_000 {
+            s.insert(i as f64);
+        }
+        assert_eq!(s.collapses(), 0);
+        for q in [0.05, 0.5, 0.95, 0.99] {
+            let truth = (q * 100_000.0_f64).ceil();
+            let est = s.query(q).unwrap();
+            assert!(((est - truth) / truth).abs() <= 0.01 + 1e-9, "q={q}");
+        }
+    }
+
+    #[test]
+    fn collapse_squares_gamma_per_collapse() {
+        let mut s = UddSketch::new(0.001, 64);
+        let g0 = s.gamma();
+        // A wide sparse range forces collapses; sparse buckets rarely pair
+        // up, so a single budget overflow may need several uniform
+        // collapses (each squares γ).
+        let mut x = 1.0;
+        while s.collapses() == 0 {
+            s.insert(x);
+            x *= 1.01;
+        }
+        assert!(s.num_buckets() <= 64);
+        let k = s.collapses();
+        assert!(k >= 1);
+        let expect_gamma = g0.powi(1 << k);
+        assert!(
+            (s.gamma() - expect_gamma).abs() < 1e-9 * expect_gamma,
+            "gamma {} vs g0^(2^{k}) = {expect_gamma}",
+            s.gamma()
+        );
+        // Deterioration law applied k times: alpha' = 2 alpha/(1+alpha^2).
+        let mut expect_alpha = 0.001;
+        for _ in 0..k {
+            expect_alpha = crate::collapsed_alpha(expect_alpha);
+        }
+        assert!((s.current_alpha() - expect_alpha).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_consecutive_buckets_collapse_once() {
+        // When every bucket is occupied, pairs always merge, so one
+        // uniform collapse halves the bucket count and suffices.
+        let mut s = UddSketch::new(0.01, 64);
+        let gamma0 = s.gamma();
+        // Fill buckets 1..=65 directly: values gamma^(i-0.5) hit bucket i.
+        for i in 1..=65 {
+            s.insert(gamma0.powf(i as f64 - 0.5));
+        }
+        assert_eq!(s.collapses(), 1);
+        assert!(s.num_buckets() <= 33);
+    }
+
+    #[test]
+    fn guarantee_holds_after_collapses() {
+        // Start tight, collapse several times, verify the *current* alpha
+        // still bounds the observed error.
+        let mut s = UddSketch::with_target(0.01, 12, 256);
+        let mut values = Vec::new();
+        let mut x = 1e-3;
+        for _ in 0..100_000 {
+            x = if x > 1e7 { 1e-3 } else { x * 1.00025 };
+            values.push(x);
+            s.insert(x);
+        }
+        assert!(s.collapses() > 0, "test needs at least one collapse");
+        // The guarantee that must hold at all times is the *current* alpha
+        // derived from the deterioration law (§3.4). (Whether it stays
+        // under the 0.01 target depends on whether the anticipated
+        // num_collapses was exceeded; this stream deliberately collapses
+        // beyond it.)
+        let alpha = s.current_alpha();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.05, 0.5, 0.95, 0.99] {
+            let truth = values[(q * values.len() as f64).ceil() as usize - 1];
+            let est = s.query(q).unwrap();
+            let rel = ((est - truth) / truth).abs();
+            assert!(rel <= alpha + 1e-9, "q={q} rel={rel} alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn paper_configuration_stays_under_final_guarantee() {
+        // §4.5.5: UDDSketch's realised alpha is *below* the 0.01 target when
+        // fewer than num_collapses collapses occur.
+        let mut s = UddSketch::paper_configuration();
+        for i in 1..=1_000_000u64 {
+            s.insert(i as f64);
+        }
+        assert!(s.current_alpha() <= 0.01 + 1e-12);
+        let est = s.query(0.99).unwrap();
+        let truth = 990_000.0;
+        assert!(((est - truth) / truth).abs() <= 0.01 + 1e-9);
+    }
+
+    #[test]
+    fn handles_zeros_and_negatives() {
+        let mut s = UddSketch::new(0.01, 1024);
+        for v in [-8.0, -2.0, 0.0, 2.0, 8.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.query(0.6).unwrap(), 0.0);
+        let low = s.query(0.2).unwrap();
+        assert!(((low + 8.0) / 8.0).abs() <= 0.01 + 1e-9, "low {low}");
+    }
+
+    #[test]
+    fn merge_aligned_sketches() {
+        let mut a = UddSketch::new(0.01, 1024);
+        let mut b = UddSketch::new(0.01, 1024);
+        for i in 1..=10_000 {
+            a.insert(i as f64);
+            b.insert((i + 10_000) as f64);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 20_000);
+        let est = a.query(0.5).unwrap();
+        assert!(((est - 10_000.0) / 10_000.0).abs() <= 0.01 + 1e-9);
+    }
+
+    #[test]
+    fn merge_collapses_finer_sketch_to_align() {
+        let mut coarse = UddSketch::new(0.001, 32);
+        let mut fine = UddSketch::new(0.001, 32);
+        // Force collapses in `coarse` only.
+        let mut x = 1.0;
+        for _ in 0..10_000 {
+            x = if x > 1e6 { 1.0 } else { x * 1.01 };
+            coarse.insert(x);
+        }
+        for i in 1..=1000 {
+            fine.insert(i as f64);
+        }
+        assert!(coarse.collapses() > fine.collapses());
+        let before = coarse.collapses();
+        coarse.merge(&fine).unwrap();
+        assert!(coarse.collapses() >= before);
+        assert_eq!(coarse.count(), 11_000);
+    }
+
+    #[test]
+    fn merge_rejects_different_initial_alpha() {
+        let mut a = UddSketch::new(0.01, 64);
+        let b = UddSketch::new(0.02, 64);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+    }
+
+    #[test]
+    fn collapse_map_pairs_correctly() {
+        let mut m = BTreeMap::new();
+        // (1,2)->1, (3,4)->2, (-1,0)->0, (-3,-2)->-1
+        for i in [-3, -2, -1, 0, 1, 2, 3, 4] {
+            m.insert(i, 1u64);
+        }
+        let c = collapse_map(&m);
+        assert_eq!(c.get(&-1), Some(&2));
+        assert_eq!(c.get(&0), Some(&2));
+        assert_eq!(c.get(&1), Some(&2));
+        assert_eq!(c.get(&2), Some(&2));
+        assert_eq!(c.values().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn bucket_budget_respected() {
+        let mut s = UddSketch::new(1e-5, 128);
+        let mut x = 1e-6;
+        for _ in 0..100_000 {
+            x = if x > 1e9 { 1e-6 } else { x * 1.001 };
+            s.insert(x);
+        }
+        assert!(s.num_buckets() <= 128);
+    }
+
+    #[test]
+    fn insert_n_equals_repeated_inserts() {
+        let mut a = UddSketch::new(0.01, 1024);
+        let mut b = UddSketch::new(0.01, 1024);
+        for (v, n) in [(3.5, 100u64), (42.0, 17), (0.0, 5), (-2.0, 3)] {
+            a.insert_n(v, n);
+            for _ in 0..n {
+                b.insert(v);
+            }
+        }
+        assert_eq!(a.count(), b.count());
+        for q in [0.1, 0.5, 0.9] {
+            assert_eq!(a.query(q).unwrap(), b.query(q).unwrap(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn rank_and_cdf() {
+        let mut s = UddSketch::new(0.01, 4096);
+        let n = 10_000;
+        for i in 1..=n {
+            s.insert(i as f64);
+        }
+        for x in [100.0, 5_000.0, 9_999.0] {
+            let est = s.rank(x) as f64;
+            assert!((est - x).abs() / (n as f64) < 0.02, "rank({x}) = {est}");
+        }
+        assert!((s.cdf(2_500.0) - 0.25).abs() < 0.02);
+        assert_eq!(s.rank(0.0), 0);
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let mut s = UddSketch::paper_configuration();
+        let mut x = 0.5;
+        for _ in 0..20_000 {
+            x = (x * 16807.0 + 3.7) % 5000.0 + 0.01;
+            s.insert(x);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..=50 {
+            let v = s.query(i as f64 / 50.0).unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}
+
+/// Wire format: magic `0xDD`, version 1. Encodes the initial α, the
+/// collapse count (γ is rederived by squaring, keeping the deterioration
+/// law exact), and both bucket maps.
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+
+    const MAGIC: u8 = 0xDD;
+    const VERSION: u8 = 1;
+    const MAX_BUCKETS_WIRE: u64 = 1 << 22;
+
+    fn write_map(w: &mut Writer, map: &BTreeMap<i32, u64>) {
+        w.varint(map.len() as u64);
+        for (&i, &c) in map {
+            w.i32(i);
+            w.varint(c);
+        }
+    }
+
+    fn read_map(r: &mut Reader<'_>) -> Result<BTreeMap<i32, u64>, CodecError> {
+        let n = r.varint()?;
+        if n > MAX_BUCKETS_WIRE {
+            return Err(CodecError::Corrupt(format!("{n} buckets exceeds limit")));
+        }
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let i = r.i32()?;
+            let c = r.varint()?;
+            map.insert(i, c);
+        }
+        Ok(map)
+    }
+
+    impl SketchCodec for UddSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, VERSION);
+            w.f64(self.initial_alpha);
+            w.varint(u64::from(self.collapses));
+            w.varint(self.max_buckets as u64);
+            w.varint(self.zero_count);
+            w.varint(self.count);
+            w.f64(self.min);
+            w.f64(self.max);
+            write_map(&mut w, &self.positives);
+            write_map(&mut w, &self.negatives);
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            let initial_alpha = r.f64()?;
+            if !(initial_alpha > 0.0 && initial_alpha < 1.0) {
+                return Err(CodecError::Corrupt(format!(
+                    "initial alpha {initial_alpha} out of range"
+                )));
+            }
+            let collapses = r.varint()?;
+            if collapses > 64 {
+                return Err(CodecError::Corrupt(format!("{collapses} collapses")));
+            }
+            let max_buckets = r.varint()? as usize;
+            if !(2..=(MAX_BUCKETS_WIRE as usize)).contains(&max_buckets) {
+                return Err(CodecError::Corrupt(format!("max_buckets {max_buckets}")));
+            }
+            let zero_count = r.varint()?;
+            let count = r.varint()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            let positives = read_map(&mut r)?;
+            let negatives = read_map(&mut r)?;
+            r.expect_exhausted()?;
+            let stored: u64 = positives.values().sum::<u64>()
+                + negatives.values().sum::<u64>()
+                + zero_count;
+            if stored != count {
+                return Err(CodecError::Corrupt(format!(
+                    "bucket totals {stored} disagree with count {count}"
+                )));
+            }
+            // Rebuild gamma by the exact squaring sequence so the
+            // deterioration law stays bit-identical to the encoder's.
+            let mut gamma = (1.0 + initial_alpha) / (1.0 - initial_alpha);
+            for _ in 0..collapses {
+                gamma *= gamma;
+            }
+            Ok(Self {
+                gamma,
+                inv_ln_gamma: 1.0 / gamma.ln(),
+                initial_alpha,
+                collapses: collapses as u32,
+                max_buckets,
+                positives,
+                negatives,
+                zero_count,
+                count,
+                min,
+                max,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_preserves_queries_and_alpha() {
+            let mut s = UddSketch::with_target(0.01, 12, 256);
+            let mut x = 1e-3;
+            for _ in 0..50_000 {
+                x = if x > 1e6 { 1e-3 } else { x * 1.0004 };
+                s.insert(x);
+            }
+            assert!(s.collapses() > 0);
+            let restored = UddSketch::decode(&s.encode()).unwrap();
+            assert_eq!(restored.count(), s.count());
+            assert_eq!(restored.collapses(), s.collapses());
+            assert_eq!(restored.gamma(), s.gamma());
+            for q in [0.05, 0.5, 0.99] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap(), "q={q}");
+            }
+        }
+
+        #[test]
+        fn decoded_sketch_keeps_inserting() {
+            let mut s = UddSketch::paper_configuration();
+            for i in 1..=1_000 {
+                s.insert(i as f64);
+            }
+            let mut restored = UddSketch::decode(&s.encode()).unwrap();
+            for i in 1_001..=2_000 {
+                restored.insert(i as f64);
+            }
+            assert_eq!(restored.count(), 2_000);
+            let est = restored.query(0.5).unwrap();
+            assert!(((est - 1_000.0) / 1_000.0).abs() <= restored.current_alpha() + 1e-9);
+        }
+
+        #[test]
+        fn merged_after_decode() {
+            use qsketch_core::sketch::MergeableSketch;
+            let mut a = UddSketch::new(0.01, 512);
+            let mut b = UddSketch::new(0.01, 512);
+            for i in 1..=1_000 {
+                a.insert(i as f64);
+                b.insert(i as f64 + 1_000.0);
+            }
+            let mut restored = UddSketch::decode(&a.encode()).unwrap();
+            restored.merge(&b).unwrap();
+            assert_eq!(restored.count(), 2_000);
+        }
+
+        #[test]
+        fn count_mismatch_rejected() {
+            let mut s = UddSketch::new(0.01, 64);
+            s.insert(5.0);
+            s.insert(7.0);
+            let mut bytes = s.encode();
+            let last = bytes.len() - 1;
+            bytes[last] = bytes[last].wrapping_add(1);
+            assert!(UddSketch::decode(&bytes).is_err());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Web-request latency monitoring — the paper's motivating use case
+//! (§1, §4.2): track upper quantiles of response times per time window and
+//! alert when the p99 regresses.
+//!
+//! A DDSketch per tumbling window gives a deterministic ≤1 % relative
+//! error on every percentile, so "p99 went from 120 ms to 900 ms" is a
+//! real regression, not sketch noise.
+//!
+//! ```text
+//! cargo run --release --example latency_monitoring
+//! ```
+
+use quantile_sketches::streamsim::window::WindowState;
+use quantile_sketches::{DdSketch, Event, QuantileSketch, TumblingWindows};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Window state: one DDSketch of request latencies.
+struct LatencyWindow(DdSketch);
+
+impl WindowState for LatencyWindow {
+    fn observe(&mut self, value: f64) {
+        self.0.insert(value);
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // 5-minute tumbling windows over 30 minutes of traffic at ~200 req/s.
+    let window_us = 5 * 60 * 1_000_000u64;
+    let mut windows = TumblingWindows::new(window_us, || LatencyWindow(DdSketch::unbounded(0.01)));
+
+    let total_secs = 30 * 60;
+    let reqs_per_sec = 200;
+    for s in 0..total_secs {
+        for r in 0..reqs_per_sec {
+            let t_us = s as u64 * 1_000_000 + r * (1_000_000 / reqs_per_sec);
+            // Baseline: lognormal-ish latency around 80 ms. During minutes
+            // 18-22 a slow dependency pushes 3% of requests to ~2 s — the
+            // §4.2 scenario where only upper quantiles show the outage.
+            let base = 80.0 * (1.0 + rng.gen::<f64>()).powf(2.0) / 2.0;
+            let minute = s / 60;
+            let degraded = (18..22).contains(&minute) && rng.gen::<f64>() < 0.03;
+            let latency_ms = if degraded { 2_000.0 + 500.0 * rng.gen::<f64>() } else { base };
+            windows.observe(Event::new(latency_ms, t_us, 0));
+        }
+    }
+
+    let fired = windows.close();
+    println!("window   p50 (ms)   p95 (ms)   p99 (ms)   alert");
+    println!("--------------------------------------------------");
+    let mut prev_p99: Option<f64> = None;
+    for (i, w) in fired.results.iter().enumerate() {
+        let sketch = &w.items.0;
+        let p50 = sketch.query(0.50).unwrap();
+        let p95 = sketch.query(0.95).unwrap();
+        let p99 = sketch.query(0.99).unwrap();
+        // Alert when p99 more than triples window-over-window — with a 1%
+        // error guarantee this cannot be a false positive from the sketch.
+        let alert = prev_p99.map(|prev| p99 > 3.0 * prev).unwrap_or(false);
+        println!(
+            "{:>6}   {:>8.1}   {:>8.1}   {:>8.1}   {}",
+            i,
+            p50,
+            p95,
+            p99,
+            if alert { "*** p99 REGRESSION ***" } else { "" }
+        );
+        prev_p99 = Some(p99);
+    }
+    println!(
+        "\nNote how p50 barely moves during the outage window — only the upper\n\
+         quantiles reveal the slow dependency, which is why the paper biases its\n\
+         evaluation toward q >= 0.9 (§4.2)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: feed the same stream to all five sketches and compare their
+//! quantile estimates against the exact values.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use quantile_sketches::{
+    DataSet, DdSketch, ExactQuantiles, KllSketch, MomentsSketch, QuantileSketch, RankAccuracy,
+    ReqSketch, UddSketch,
+};
+
+fn main() {
+    let n = 1_000_000;
+    println!("Streaming {n} NYT-style taxi fares through all five sketches...\n");
+
+    // One shared pass over the data: a real pipeline would insert into all
+    // sketches as events arrive.
+    let mut gen = DataSet::Nyt.generator(42, 50);
+    let mut exact = ExactQuantiles::with_capacity(n);
+    let mut kll = KllSketch::paper_configuration();
+    let mut moments = MomentsSketch::paper_configuration();
+    let mut dds = DdSketch::paper_configuration();
+    let mut udds = UddSketch::paper_configuration();
+    let mut req = ReqSketch::with_seed(30, RankAccuracy::High, 42);
+
+    use quantile_sketches::ValueStream;
+    for _ in 0..n {
+        let v = gen.next_value();
+        exact.insert(v);
+        kll.insert(v);
+        moments.insert(v);
+        dds.insert(v);
+        udds.insert(v);
+        req.insert(v);
+    }
+
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "q", "exact", "KLL", "Moments", "DDS", "UDDS", "REQ"
+    );
+    for q in [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99] {
+        let truth = exact.query(q).unwrap();
+        let fmt = |r: Result<f64, _>| match r {
+            Ok(v) => format!("{v:.3}"),
+            Err(_) => "n/a".to_string(),
+        };
+        println!(
+            "{q:>6}  {truth:>10.3}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            fmt(kll.query(q)),
+            fmt(moments.query(q)),
+            fmt(dds.query(q)),
+            fmt(udds.query(q)),
+            fmt(req.query(q)),
+        );
+    }
+
+    println!("\nSketch memory (bytes) vs raw data ({} bytes):", n * 8);
+    for (name, bytes) in [
+        ("KLL", kll.memory_footprint()),
+        ("Moments", moments.memory_footprint()),
+        ("DDSketch", dds.memory_footprint()),
+        ("UDDSketch", udds.memory_footprint()),
+        ("ReqSketch", req.memory_footprint()),
+    ] {
+        println!("  {name:<10} {bytes:>8}  ({:.5}% of raw)", bytes as f64 / (n as f64 * 8.0) * 100.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The three window types of §2.5 side by side — tumbling, sliding, and
+//! session — each aggregating a DDSketch over a bursty request stream.
+//!
+//! ```text
+//! cargo run --release --example window_shapes
+//! ```
+
+use quantile_sketches::streamsim::session::Mergeable;
+use quantile_sketches::streamsim::window::WindowState;
+use quantile_sketches::{
+    DdSketch, Event, MergeableSketch, QuantileSketch, SessionWindows, SlidingWindows,
+    TumblingWindows,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Window state: a DDSketch of request latencies.
+struct Latencies(DdSketch);
+
+impl WindowState for Latencies {
+    fn observe(&mut self, value: f64) {
+        self.0.insert(value);
+    }
+}
+
+impl Mergeable for Latencies {
+    fn merge_from(&mut self, other: Self) {
+        self.0.merge(&other.0).expect("same gamma");
+    }
+}
+
+fn new_state() -> Latencies {
+    Latencies(DdSketch::unbounded(0.01))
+}
+
+/// A bursty workload: three activity bursts separated by idle gaps.
+fn bursts(seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for (burst, &start_s) in [0u64, 40, 95].iter().enumerate() {
+        // Each burst: 20 s of ~100 req/s; burst 2 runs slow.
+        for s in 0..20u64 {
+            for r in 0..100u64 {
+                let t_us = (start_s + s) * 1_000_000 + r * 10_000;
+                let slow = if burst == 2 { 4.0 } else { 1.0 };
+                let latency = 50.0 * slow * (1.0 + rng.gen::<f64>());
+                events.push(Event::new(latency, t_us, 0));
+            }
+        }
+    }
+    events
+}
+
+fn p99(sketch: &DdSketch) -> f64 {
+    sketch.query(0.99).unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let events = bursts(11);
+    println!("{} events in three bursts (idle gaps between)\n", events.len());
+
+    // --- tumbling: fixed 30 s blocks -----------------------------------
+    let mut tumbling = TumblingWindows::new(30_000_000, new_state);
+    for e in &events {
+        tumbling.observe(*e);
+    }
+    println!("tumbling 30 s:     window start -> p99 (ms)");
+    for w in tumbling.close().results {
+        println!("  t={:>4} s  n={:>5}  p99={:>7.1}", w.start_us / 1_000_000, w.count, p99(&w.items.0));
+    }
+
+    // --- sliding: 30 s windows every 10 s -------------------------------
+    let mut sliding = SlidingWindows::new(30_000_000, 10_000_000, new_state);
+    for e in &events {
+        sliding.observe(*e);
+    }
+    println!("\nsliding 30 s / 10 s: the same stream at 3x the temporal resolution");
+    for w in sliding.close().results.iter().take(8) {
+        println!("  t={:>4} s  n={:>5}  p99={:>7.1}", w.start_us / 1_000_000, w.count, p99(&w.items.0));
+    }
+
+    // --- session: gap 5 s — windows follow the bursts themselves --------
+    let mut sessions = SessionWindows::new(5_000_000, new_state);
+    for e in &events {
+        sessions.observe(*e);
+    }
+    println!("\nsession (5 s gap): one window per burst, exactly");
+    for w in sessions.close().results {
+        println!(
+            "  [{:>4} s .. {:>4} s]  n={:>5}  p99={:>7.1}",
+            w.start_us / 1_000_000,
+            w.end_us / 1_000_000,
+            w.count,
+            p99(&w.items.0)
+        );
+    }
+    println!(
+        "\nThe session windows isolate the slow burst (4x p99) without any window-\n\
+         size tuning — the grouping §2.5 describes for activity-driven streams."
+    );
+}

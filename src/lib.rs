@@ -1,0 +1,67 @@
+//! # quantile-sketches
+//!
+//! A from-scratch Rust reproduction of *"An Experimental Analysis of
+//! Quantile Sketches over Data Streams"* (Fernando, Bindra, Daudjee;
+//! EDBT 2023): the five streaming quantile sketches the paper evaluates,
+//! the workload generators, a deterministic stream-processing simulator
+//! with event-time windows and late-data semantics, and the full
+//! experiment harness regenerating every table and figure.
+//!
+//! ## The five sketches
+//!
+//! | Sketch | Crate | Guarantee |
+//! |---|---|---|
+//! | [`KllSketch`] | `qsketch-kll` | additive rank error (randomized) |
+//! | [`MomentsSketch`] | `qsketch-moments` | average-error bound via max-entropy fit |
+//! | [`DdSketch`] | `qsketch-ddsketch` | relative error α (deterministic) |
+//! | [`UddSketch`] | `qsketch-uddsketch` | relative error with deterministic decay |
+//! | [`ReqSketch`] | `qsketch-req` | multiplicative rank error (randomized) |
+//!
+//! All implement [`QuantileSketch`], and all but GK implement
+//! [`MergeableSketch`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quantile_sketches::{DdSketch, QuantileSketch};
+//!
+//! let mut sketch = DdSketch::unbounded(0.01); // ≤1% relative error
+//! for i in 1..=1_000_000u64 {
+//!     sketch.insert(i as f64);
+//! }
+//! let p99 = sketch.query(0.99).unwrap();
+//! assert!((p99 - 990_000.0).abs() / 990_000.0 <= 0.01);
+//! ```
+//!
+//! See `examples/` for streaming-window, latency-monitoring and
+//! distributed-merge scenarios, and `crates/bench` for the paper's
+//! experiments.
+
+pub use qsketch_baselines::{DyadicCountSketch, GkSketch, HdrHistogram, RandomSketch, TDigest};
+pub use qsketch_core::codec::{CodecError, SketchCodec};
+pub use qsketch_core::error::{rank_error, relative_error, ErrorStats};
+pub use qsketch_core::exact::{ExactQuantiles, ExactSketch};
+pub use qsketch_core::profile::Profile;
+pub use qsketch_core::quantiles;
+pub use qsketch_core::sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};
+pub use qsketch_core::stats::{kurtosis, MomentsAccumulator};
+pub use qsketch_datagen::{
+    paper_adaptability_stream, BinomialGen, DataSet, DriftingPareto, DriftingUniform,
+    FixedPareto, FixedUniform, NytFares, PowerBimodal, SwitchingStream, ValueStream, ZipfGen,
+};
+pub use qsketch_ddsketch::{DdSketch, LogarithmicMapping};
+pub use qsketch_kll::{KllPlusMinus, KllSketch};
+pub use qsketch_moments::MomentsSketch;
+pub use qsketch_req::{RankAccuracy, ReqSketch};
+pub use qsketch_streamsim::{
+    AccuracyConfig, Event, EventSource, KeyedEvent, KeyedTumblingWindows, NetworkDelay,
+    PartitionedWindow, SessionWindows, SlidingWindows, TumblingWindows,
+};
+pub use qsketch_uddsketch::UddSketch;
+
+/// Re-export of the stream-simulator crate for windowed-pipeline use.
+pub use qsketch_streamsim as streamsim;
+
+/// Re-export of the DDSketch store module (ablation experiments swap
+/// stores).
+pub use qsketch_ddsketch::store;

@@ -1,0 +1,78 @@
+//! `query_many` batch queries: must agree with per-quantile `query` for
+//! every sketch, and actually save work for the batch-optimised ones.
+
+use quantile_sketches::{
+    DataSet, DdSketch, GkSketch, KllSketch, MomentsSketch, QuantileSketch, RankAccuracy,
+    ReqSketch, TDigest, UddSketch, ValueStream,
+};
+
+const QS: [f64; 8] = [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99];
+
+fn sketches_filled(n: usize) -> Vec<Box<dyn QuantileSketch>> {
+    let values = DataSet::Nyt.generator(77, 50).take_vec(n);
+    let mut out: Vec<Box<dyn QuantileSketch>> = vec![
+        Box::new(KllSketch::with_seed(350, 1)),
+        Box::new(ReqSketch::with_seed(30, RankAccuracy::High, 1)),
+        Box::new(DdSketch::paper_configuration()),
+        Box::new(UddSketch::paper_configuration()),
+        Box::new(MomentsSketch::paper_configuration()),
+        Box::new(GkSketch::new(0.01)),
+        Box::new(TDigest::new(200.0)),
+    ];
+    for s in &mut out {
+        for &v in &values {
+            s.insert(v);
+        }
+    }
+    out
+}
+
+#[test]
+fn batch_agrees_with_individual_queries() {
+    for sketch in sketches_filled(30_000) {
+        let batch = sketch.query_many(&QS).expect("batch query");
+        assert_eq!(batch.len(), QS.len());
+        for (&q, &b) in QS.iter().zip(&batch) {
+            let single = sketch.query(q).expect("single query");
+            assert_eq!(b, single, "{} q={q}", sketch.name());
+        }
+    }
+}
+
+#[test]
+fn batch_rejects_invalid_quantile_atomically() {
+    for sketch in sketches_filled(1_000) {
+        assert!(
+            sketch.query_many(&[0.5, 1.5]).is_err(),
+            "{} accepted an invalid batch",
+            sketch.name()
+        );
+    }
+}
+
+#[test]
+fn batch_on_empty_sketch_errors() {
+    let empty: Vec<Box<dyn QuantileSketch>> = vec![
+        Box::new(KllSketch::with_seed(64, 1)),
+        Box::new(ReqSketch::with_seed(8, RankAccuracy::High, 1)),
+        Box::new(DdSketch::unbounded(0.01)),
+        Box::new(MomentsSketch::new(8)),
+    ];
+    for s in empty {
+        assert!(s.query_many(&QS).is_err(), "{}", s.name());
+    }
+}
+
+#[test]
+fn batch_results_monotone() {
+    for sketch in sketches_filled(30_000) {
+        let batch = sketch.query_many(&QS).expect("batch query");
+        for pair in batch.windows(2) {
+            assert!(
+                pair[1] >= pair[0],
+                "{}: batch results must be monotone ({pair:?})",
+                sketch.name()
+            );
+        }
+    }
+}

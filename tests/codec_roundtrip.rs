@@ -1,0 +1,136 @@
+//! Wire-format tests across crates: the distributed scenario of §2.4 —
+//! encode on the worker, ship bytes, decode and merge on the coordinator —
+//! plus robustness of every decoder against mangled payloads.
+
+use proptest::prelude::*;
+use quantile_sketches::{
+    DataSet, DdSketch, KllSketch, MergeableSketch, MomentsSketch, QuantileSketch, RankAccuracy,
+    ReqSketch, SketchCodec, UddSketch, ValueStream,
+};
+
+/// Simulated worker: fill a sketch from a shard and return its payload.
+fn worker_payload<S: QuantileSketch + SketchCodec>(mut sketch: S, ds: DataSet, seed: u64) -> Vec<u8> {
+    let mut gen = ds.generator(seed, 50);
+    for _ in 0..20_000 {
+        sketch.insert(gen.next_value());
+    }
+    sketch.encode()
+}
+
+#[test]
+fn coordinator_merges_shipped_ddsketches() {
+    let payloads: Vec<Vec<u8>> = (0..4)
+        .map(|i| worker_payload(DdSketch::paper_configuration(), DataSet::Nyt, 100 + i))
+        .collect();
+    let mut global = DdSketch::decode(&payloads[0]).unwrap();
+    for p in &payloads[1..] {
+        let shard = DdSketch::decode(p).unwrap();
+        global.merge(&shard).unwrap();
+    }
+    assert_eq!(global.count(), 80_000);
+    let p99 = global.query(0.99).unwrap();
+    assert!(p99 > 40.0 && p99 < 200.0, "p99 {p99}");
+}
+
+#[test]
+fn coordinator_merges_shipped_moments() {
+    let payloads: Vec<Vec<u8>> = (0..4)
+        .map(|i| worker_payload(MomentsSketch::with_compression(12), DataSet::Power, 200 + i))
+        .collect();
+    let mut global = MomentsSketch::decode(&payloads[0]).unwrap();
+    for p in &payloads[1..] {
+        global.merge(&MomentsSketch::decode(p).unwrap()).unwrap();
+    }
+    assert_eq!(global.count(), 80_000);
+    assert!(global.query(0.5).unwrap() > 0.0);
+    // The whole point (§4.4.3): a Moments payload is ~100 bytes.
+    assert!(payloads[0].len() < 200, "payload {}", payloads[0].len());
+}
+
+#[test]
+fn all_five_sketches_round_trip_on_real_workloads() {
+    let ds = DataSet::Pareto;
+    macro_rules! check {
+        ($sketch:expr, $ty:ty) => {{
+            let mut s = $sketch;
+            let mut gen = ds.generator(42, 50);
+            for _ in 0..30_000 {
+                s.insert(gen.next_value());
+            }
+            let restored = <$ty>::decode(&s.encode()).expect("decode");
+            assert_eq!(restored.count(), s.count());
+            for q in [0.5, 0.95, 0.99] {
+                let a = s.query(q).unwrap();
+                let b = restored.query(q).unwrap();
+                assert_eq!(a, b, "{} q={q}", s.name());
+            }
+        }};
+    }
+    check!(KllSketch::with_seed(350, 1), KllSketch);
+    check!(ReqSketch::with_seed(30, RankAccuracy::High, 1), ReqSketch);
+    check!(DdSketch::paper_configuration(), DdSketch);
+    check!(UddSketch::paper_configuration(), UddSketch);
+    check!(MomentsSketch::with_compression(12), MomentsSketch);
+}
+
+#[test]
+fn cross_sketch_payloads_rejected() {
+    let mut dd = DdSketch::paper_configuration();
+    dd.insert(1.0);
+    let bytes = dd.encode();
+    assert!(KllSketch::decode(&bytes).is_err());
+    assert!(ReqSketch::decode(&bytes).is_err());
+    assert!(UddSketch::decode(&bytes).is_err());
+    assert!(MomentsSketch::decode(&bytes).is_err());
+}
+
+#[test]
+fn empty_payload_rejected_everywhere() {
+    assert!(DdSketch::decode(&[]).is_err());
+    assert!(KllSketch::decode(&[]).is_err());
+    assert!(ReqSketch::decode(&[]).is_err());
+    assert!(UddSketch::decode(&[]).is_err());
+    assert!(MomentsSketch::decode(&[]).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decoders must never panic on arbitrary bytes — they either parse or
+    /// return an error.
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = DdSketch::decode(&bytes);
+        let _ = KllSketch::decode(&bytes);
+        let _ = ReqSketch::decode(&bytes);
+        let _ = UddSketch::decode(&bytes);
+        let _ = MomentsSketch::decode(&bytes);
+    }
+
+    /// Single-byte corruption of a valid payload must never panic (it may
+    /// decode to a different-but-valid sketch or error out) — for every
+    /// sketch's decoder.
+    #[test]
+    fn decoders_never_panic_on_bit_flips(
+        flip_at in 0usize..100_000,
+        xor in 1u8..=255,
+    ) {
+        macro_rules! flip_and_decode {
+            ($make:expr, $ty:ty) => {{
+                let mut s = $make;
+                for i in 1..=500 {
+                    s.insert(i as f64);
+                }
+                let mut bytes = s.encode();
+                let idx = flip_at % bytes.len();
+                bytes[idx] ^= xor;
+                let _ = <$ty>::decode(&bytes);
+            }};
+        }
+        flip_and_decode!(DdSketch::paper_configuration(), DdSketch);
+        flip_and_decode!(UddSketch::paper_configuration(), UddSketch);
+        flip_and_decode!(MomentsSketch::new(8), MomentsSketch);
+        flip_and_decode!(KllSketch::with_seed(64, 1), KllSketch);
+        flip_and_decode!(ReqSketch::with_seed(8, RankAccuracy::High, 1), ReqSketch);
+    }
+}

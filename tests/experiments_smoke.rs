@@ -1,0 +1,127 @@
+//! Smoke tests running every paper experiment end-to-end at `--tiny`
+//! scale: each must execute, produce its table, and mention every sketch.
+
+use qsketch_bench::cli::{Args, Scale};
+use qsketch_bench::experiments as e;
+
+fn tiny() -> Args {
+    Args {
+        scale: Scale::Tiny,
+        with_baselines: false,
+        seed: 42,
+        runs: Some(1),
+    }
+}
+
+fn assert_mentions_sketches(out: &str, name: &str) {
+    for label in ["REQ", "KLL", "UDDS", "DDS", "Moments"] {
+        assert!(out.contains(label), "{name}: output missing {label}\n{out}");
+    }
+}
+
+#[test]
+fn fig4_runs() {
+    let out = e::fig4_datasets::run(&tiny());
+    assert!(out.contains("Fig. 4"));
+    for ds in ["Pareto", "Uniform", "NYT", "Power"] {
+        assert!(out.contains(ds), "fig4 missing {ds}");
+    }
+    assert!(out.contains('#'), "histogram bars missing");
+}
+
+#[test]
+fn table3_runs() {
+    let out = e::table3_memory::run(&tiny());
+    assert!(out.contains("Table 3"));
+    assert_mentions_sketches(&out, "table3");
+    assert!(out.contains("Pareto") && out.contains("Power"));
+}
+
+#[test]
+fn fig5a_runs() {
+    let out = e::fig5a_insertion::run(&tiny());
+    assert!(out.contains("Fig. 5a"));
+    assert_mentions_sketches(&out, "fig5a");
+    assert!(out.contains("ns") || out.contains("µs"));
+}
+
+#[test]
+fn fig5b_runs() {
+    let out = e::fig5b_query::run(&tiny());
+    assert!(out.contains("Fig. 5b"));
+    assert_mentions_sketches(&out, "fig5b");
+}
+
+#[test]
+fn fig5c_runs() {
+    let out = e::fig5c_merge::run(&tiny());
+    assert!(out.contains("Fig. 5c"));
+    assert_mentions_sketches(&out, "fig5c");
+}
+
+#[test]
+fn fig6_runs() {
+    let out = e::fig6_accuracy::run(&tiny());
+    assert!(out.contains("Fig. 6"));
+    assert_mentions_sketches(&out, "fig6");
+    for ds in ["Pareto", "Uniform", "NYT", "Power"] {
+        assert!(out.contains(ds), "fig6 missing {ds}");
+    }
+    assert!(out.contains('%'));
+}
+
+#[test]
+fn fig7_runs() {
+    let out = e::fig7_kurtosis::run(&tiny());
+    assert!(out.contains("Fig. 7"));
+    assert!(out.contains("kurtosis"));
+    assert_mentions_sketches(&out, "fig7");
+}
+
+#[test]
+fn fig8_runs() {
+    let out = e::fig8_adaptability::run(&tiny());
+    assert!(out.contains("Fig. 8"));
+    assert_mentions_sketches(&out, "fig8");
+    assert!(out.contains("0.5"));
+}
+
+#[test]
+fn sec46_runs() {
+    let out = e::sec46_late_data::run(&tiny());
+    assert!(out.contains("4.6"));
+    assert_mentions_sketches(&out, "sec46");
+    assert!(out.contains("loss"));
+}
+
+#[test]
+fn sec47_runs() {
+    let out = e::sec47_window_size::run(&tiny());
+    assert!(out.contains("4.7"));
+    assert_mentions_sketches(&out, "sec47");
+    assert!(out.contains("5 s") && out.contains("20 s"));
+}
+
+#[test]
+fn table4_runs() {
+    let out = e::table4_summary::run(&tiny());
+    assert!(out.contains("Table 4"));
+    assert!(out.contains("Sketching approach"));
+    assert!(out.contains("Sampling") && out.contains("Summary"));
+}
+
+#[test]
+fn ext_watermark_lag_runs() {
+    let out = e::ext_watermark_lag::run(&tiny());
+    assert!(out.contains("watermark lag"));
+    assert!(out.contains("loss"));
+    assert_mentions_sketches(&out, "ext_watermark_lag");
+}
+
+#[test]
+fn baselines_flag_extends_columns() {
+    let mut args = tiny();
+    args.with_baselines = true;
+    let out = e::table3_memory::run(&args);
+    assert!(out.contains("GK") && out.contains("t-digest"));
+}

@@ -1,0 +1,184 @@
+//! Mergeability across crates (§2.4): for every mergeable sketch, merging
+//! per-shard sketches must answer like a single sketch over the whole
+//! stream — "without any change to the error guarantees".
+
+use quantile_sketches::{
+    DataSet, DdSketch, ExactQuantiles, KllSketch, MergeableSketch, MomentsSketch,
+    QuantileSketch, RankAccuracy, ReqSketch, TDigest, UddSketch, ValueStream,
+};
+
+const SHARDS: usize = 8;
+const PER_SHARD: usize = 10_000;
+const QS: [f64; 5] = [0.25, 0.5, 0.9, 0.95, 0.99];
+
+/// Build shard value-vectors from one dataset (different seeds per shard:
+/// partitioned ingestion).
+fn shard_values(ds: DataSet) -> (Vec<Vec<f64>>, ExactQuantiles) {
+    let shards: Vec<Vec<f64>> = (0..SHARDS)
+        .map(|i| ds.generator(100 + i as u64, 50).take_vec(PER_SHARD))
+        .collect();
+    let mut oracle = ExactQuantiles::with_capacity(SHARDS * PER_SHARD);
+    for s in &shards {
+        oracle.extend(s.iter().copied());
+    }
+    (shards, oracle)
+}
+
+/// Generic check: the merged sketch's worst relative error is within
+/// `tolerance` of the whole-stream sketch's worst error + slack.
+fn check_merge<S, FNew>(mut fresh: FNew, shards: &[Vec<f64>], oracle: &mut ExactQuantiles, tol: f64)
+where
+    S: MergeableSketch + Clone,
+    FNew: FnMut(usize) -> S,
+{
+    let locals: Vec<S> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let mut s = fresh(i);
+            for &v in shard {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    let mut merged = locals[0].clone();
+    for s in &locals[1..] {
+        merged.merge(s).expect("same-parameter merge");
+    }
+    assert_eq!(merged.count(), (SHARDS * PER_SHARD) as u64);
+    for q in QS {
+        let truth = oracle.query(q).unwrap();
+        if let Ok(est) = merged.query(q) {
+            let rel = ((est - truth) / truth).abs();
+            assert!(rel <= tol, "q={q}: merged error {rel} > {tol}");
+        }
+    }
+}
+
+#[test]
+fn ddsketch_merge_keeps_guarantee() {
+    for ds in DataSet::ALL {
+        let (shards, mut oracle) = shard_values(ds);
+        check_merge(
+            |_| DdSketch::paper_configuration(),
+            &shards,
+            &mut oracle,
+            0.0100001,
+        );
+    }
+}
+
+#[test]
+fn uddsketch_merge_keeps_guarantee() {
+    for ds in DataSet::ALL {
+        let (shards, mut oracle) = shard_values(ds);
+        check_merge(
+            |_| UddSketch::paper_configuration(),
+            &shards,
+            &mut oracle,
+            0.0100001,
+        );
+    }
+}
+
+#[test]
+fn kll_merge_stays_in_error_regime() {
+    let (shards, mut oracle) = shard_values(DataSet::Uniform);
+    // Rank error ~1% on uniform translates to ~2-3% value error bands.
+    check_merge(
+        |i| KllSketch::with_seed(350, 40 + i as u64),
+        &shards,
+        &mut oracle,
+        0.05,
+    );
+}
+
+#[test]
+fn req_merge_upper_quantiles_tight() {
+    let (shards, mut oracle) = shard_values(DataSet::Pareto);
+    let locals: Vec<ReqSketch> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let mut s = ReqSketch::with_seed(30, RankAccuracy::High, 60 + i as u64);
+            for &v in shard {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    let mut merged = locals[0].clone();
+    for s in &locals[1..] {
+        merged.merge(s).expect("merge");
+    }
+    let truth = oracle.query(0.99).unwrap();
+    let est = merged.query(0.99).unwrap();
+    let rel = ((est - truth) / truth).abs();
+    assert!(rel < 0.05, "merged REQ p99 error {rel} on Pareto");
+}
+
+#[test]
+fn moments_merge_equals_whole_stream_modulo_rounding() {
+    let (shards, _) = shard_values(DataSet::Power);
+    let mut whole = MomentsSketch::with_compression(12);
+    let mut locals = Vec::new();
+    for shard in &shards {
+        let mut s = MomentsSketch::with_compression(12);
+        for &v in shard {
+            s.insert(v);
+            whole.insert(v);
+        }
+        locals.push(s);
+    }
+    let mut merged = locals[0].clone();
+    for s in &locals[1..] {
+        merged.merge(s).expect("merge");
+    }
+    for q in QS {
+        let m = merged.query(q).unwrap();
+        let w = whole.query(q).unwrap();
+        assert!(
+            ((m - w) / w).abs() < 1e-5,
+            "q={q}: merged {m} vs whole-stream {w}"
+        );
+    }
+}
+
+#[test]
+fn tdigest_merge_reasonable() {
+    let (shards, mut oracle) = shard_values(DataSet::Uniform);
+    check_merge(|_| TDigest::new(200.0), &shards, &mut oracle, 0.05);
+}
+
+#[test]
+fn merge_order_does_not_matter_for_histogram_sketches() {
+    // Deterministic, count-additive sketches must be merge-order
+    // independent.
+    let (shards, _) = shard_values(DataSet::Nyt);
+    let locals: Vec<DdSketch> = shards
+        .iter()
+        .map(|shard| {
+            let mut s = DdSketch::paper_configuration();
+            for &v in shard {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    let mut forward = locals[0].clone();
+    for s in &locals[1..] {
+        forward.merge(s).unwrap();
+    }
+    let mut backward = locals[SHARDS - 1].clone();
+    for s in locals[..SHARDS - 1].iter().rev() {
+        backward.merge(s).unwrap();
+    }
+    for q in QS {
+        assert_eq!(
+            forward.query(q).unwrap(),
+            backward.query(q).unwrap(),
+            "q={q}"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based invariants across all sketches (proptest).
+
+use proptest::prelude::*;
+use quantile_sketches::{
+    DdSketch, GkSketch, KllSketch, MomentsSketch, QuantileSketch, RankAccuracy, ReqSketch,
+    TDigest, UddSketch,
+};
+
+/// Streams of positive, finite, non-pathological values.
+fn value_stream() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..1e9, 16..400)
+}
+
+/// Run a closure against every sketch type, boxed behind the trait.
+fn all_sketches() -> Vec<Box<dyn QuantileSketch>> {
+    vec![
+        Box::new(KllSketch::with_seed(128, 7)),
+        Box::new(MomentsSketch::with_compression(10)),
+        Box::new(DdSketch::unbounded(0.01)),
+        Box::new(UddSketch::new(0.01, 1024)),
+        Box::new(ReqSketch::with_seed(12, RankAccuracy::High, 7)),
+        Box::new(GkSketch::new(0.01)),
+        Box::new(TDigest::new(100.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn count_matches_inserts(values in value_stream()) {
+        for mut s in all_sketches() {
+            for &v in &values {
+                s.insert(v);
+            }
+            prop_assert_eq!(s.count(), values.len() as u64, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn estimates_within_min_max(values in value_stream()) {
+        let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+        for mut s in all_sketches() {
+            for &v in &values {
+                s.insert(v);
+            }
+            for q in [0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+                if let Ok(est) = s.query(q) {
+                    // Histogram sketches answer with bucket midpoints: allow
+                    // their alpha-slack around the true extremes.
+                    prop_assert!(
+                        est >= lo * 0.98 && est <= hi * 1.02,
+                        "{}: q={q} est {est} outside [{lo}, {hi}]",
+                        s.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_monotone_in_q(values in value_stream()) {
+        for mut s in all_sketches() {
+            for &v in &values {
+                s.insert(v);
+            }
+            let mut prev = f64::NEG_INFINITY;
+            for i in 1..=20 {
+                let q = i as f64 / 20.0;
+                if let Ok(est) = s.query(q) {
+                    // Moments' maxent fit can wiggle by a hair; everything
+                    // else must be exactly monotone.
+                    let slack = if s.name() == "Moments" { 1e-6 * est.abs().max(1.0) } else { 0.0 };
+                    prop_assert!(
+                        est >= prev - slack,
+                        "{}: quantiles not monotone at q={q} ({est} < {prev})",
+                        s.name()
+                    );
+                    prev = est;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ddsketch_guarantee_holds_on_arbitrary_positive_data(values in value_stream()) {
+        let mut sketch = DdSketch::unbounded(0.01);
+        let mut sorted = values.clone();
+        for &v in &values {
+            sketch.insert(v);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = sketch.query(q).unwrap();
+            prop_assert!(
+                ((est - truth) / truth).abs() <= 0.01 + 1e-9,
+                "q={q}: est {est} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_sketches_return_stream_values(values in value_stream()) {
+        let mut kll = KllSketch::with_seed(64, 3);
+        let mut req = ReqSketch::with_seed(8, RankAccuracy::High, 3);
+        for &v in &values {
+            kll.insert(v);
+            req.insert(v);
+        }
+        for q in [0.2, 0.5, 0.8, 1.0] {
+            let k = kll.query(q).unwrap();
+            prop_assert!(values.contains(&k), "KLL estimate {k} not in stream");
+            let r = req.query(q).unwrap();
+            prop_assert!(values.contains(&r), "REQ estimate {r} not in stream");
+        }
+    }
+
+    #[test]
+    fn merge_conserves_count(
+        a in value_stream(),
+        b in value_stream(),
+    ) {
+        use quantile_sketches::MergeableSketch;
+        macro_rules! check {
+            ($make:expr) => {{
+                let mut x = $make;
+                let mut y = $make;
+                for &v in &a { x.insert(v); }
+                for &v in &b { y.insert(v); }
+                x.merge(&y).expect("merge");
+                prop_assert_eq!(x.count(), (a.len() + b.len()) as u64);
+            }};
+        }
+        check!(KllSketch::with_seed(64, 5));
+        check!(DdSketch::unbounded(0.02));
+        check!(UddSketch::new(0.02, 512));
+        check!(ReqSketch::with_seed(8, RankAccuracy::High, 5));
+        check!(MomentsSketch::with_compression(8));
+        check!(TDigest::new(100.0));
+    }
+
+    #[test]
+    fn uddsketch_deterioration_law(alpha0 in 1e-6f64..0.05) {
+        // alpha' = 2a/(1+a^2) == gamma squaring, for arbitrary alpha.
+        let gamma = (1.0 + alpha0) / (1.0 - alpha0);
+        let gamma2 = gamma * gamma;
+        let alpha_from_gamma = (gamma2 - 1.0) / (gamma2 + 1.0);
+        let alpha_from_law = 2.0 * alpha0 / (1.0 + alpha0 * alpha0);
+        prop_assert!((alpha_from_gamma - alpha_from_law).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_oracle_matches_sort_definition(values in value_stream(), qi in 1usize..=100) {
+        let q = qi as f64 / 100.0;
+        let mut oracle = quantile_sketches::ExactQuantiles::new();
+        oracle.extend(values.iter().copied());
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert_eq!(oracle.query(q).unwrap(), sorted[rank - 1]);
+    }
+
+    #[test]
+    fn gk_rank_error_bounded(values in proptest::collection::vec(0.001f64..1e6, 200..2000)) {
+        let mut gk = GkSketch::new(0.02);
+        for &v in &values {
+            gk.insert(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.25, 0.5, 0.75] {
+            let est = gk.query(q).unwrap();
+            let est_rank = sorted.partition_point(|&v| v <= est) as f64 / sorted.len() as f64;
+            prop_assert!((est_rank - q).abs() <= 0.05, "q={q} est rank {est_rank}");
+        }
+    }
+}

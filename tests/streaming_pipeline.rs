@@ -1,0 +1,143 @@
+//! End-to-end pipeline tests: data generators → event source → delays →
+//! tumbling windows → sketches, i.e. the paper's §4.2/§4.6 setup in
+//! miniature.
+
+use quantile_sketches::streamsim::harness::{run_accuracy, AccuracyConfig};
+use quantile_sketches::{DataSet, DdSketch, KllSketch, NetworkDelay, UddSketch};
+
+fn tiny_cfg(delay: NetworkDelay) -> AccuracyConfig {
+    AccuracyConfig {
+        events_per_sec: 1_000,
+        window_secs: 2,
+        num_windows: 5,
+        discard_first: true,
+        delay,
+        quantiles: vec![0.5, 0.9, 0.95, 0.99],
+        watermark_lag_ms: 0,
+    }
+}
+
+#[test]
+fn windows_hold_the_ddsketch_guarantee_on_every_dataset() {
+    for ds in DataSet::ALL {
+        let summary = run_accuracy(
+            DdSketch::paper_configuration,
+            ds.generator(5, 50),
+            &tiny_cfg(NetworkDelay::None),
+            5,
+        );
+        assert_eq!(summary.windows.len(), 4, "{}", ds.label());
+        for w in &summary.windows {
+            for &(q, err) in &w.errors {
+                assert!(
+                    err <= 0.01 + 1e-9,
+                    "{} window {} q={q}: {err}",
+                    ds.label(),
+                    w.window_index
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn late_drops_scale_with_mean_delay() {
+    // Heavier delays => more late drops (monotone in the mean).
+    let mut losses = Vec::new();
+    for mean_ms in [10.0, 100.0, 400.0] {
+        let summary = run_accuracy(
+            DdSketch::paper_configuration,
+            DataSet::Uniform.generator(9, 50),
+            &tiny_cfg(NetworkDelay::ExponentialMs(mean_ms)),
+            9,
+        );
+        losses.push(summary.loss_fraction());
+    }
+    assert!(losses[0] < losses[1] && losses[1] < losses[2], "{losses:?}");
+    assert!(losses[0] > 0.0);
+}
+
+#[test]
+fn paper_late_loss_regime() {
+    // The §4.6 configuration shape: exp(150 ms) delays against 20 s
+    // windows lose a small, low-single-digit percentage of events.
+    let cfg = AccuracyConfig {
+        events_per_sec: 500,
+        window_secs: 20,
+        num_windows: 3,
+        discard_first: true,
+        delay: NetworkDelay::ExponentialMs(150.0),
+        quantiles: vec![0.5],
+        watermark_lag_ms: 0,
+    };
+    let summary = run_accuracy(
+        DdSketch::paper_configuration,
+        DataSet::Nyt.generator(11, 50),
+        &cfg,
+        11,
+    );
+    let loss = summary.loss_fraction();
+    assert!(loss > 0.0 && loss < 0.05, "loss {loss}");
+}
+
+#[test]
+fn accuracy_survives_late_drops() {
+    // §4.6's core finding: the error with late drops stays in the same
+    // regime as without.
+    let clean = run_accuracy(
+        UddSketch::paper_configuration,
+        DataSet::Power.generator(13, 50),
+        &tiny_cfg(NetworkDelay::None),
+        13,
+    );
+    let late = run_accuracy(
+        UddSketch::paper_configuration,
+        DataSet::Power.generator(13, 50),
+        &tiny_cfg(NetworkDelay::ExponentialMs(150.0)),
+        13,
+    );
+    for q in [0.5, 0.95, 0.99] {
+        let c = clean.mean_error(q);
+        let l = late.mean_error(q);
+        assert!(
+            l <= c + 0.02,
+            "q={q}: late error {l} blew past clean error {c}"
+        );
+    }
+}
+
+#[test]
+fn randomized_sketches_work_in_windows() {
+    let mut seed_cursor = 100;
+    let summary = run_accuracy(
+        move || {
+            seed_cursor += 1;
+            KllSketch::with_seed(350, seed_cursor)
+        },
+        DataSet::Uniform.generator(15, 50),
+        &tiny_cfg(NetworkDelay::None),
+        15,
+    );
+    for w in &summary.windows {
+        assert_eq!(w.count, 2_000);
+        for &(q, err) in &w.errors {
+            assert!(err < 0.05, "q={q}: {err}");
+        }
+    }
+}
+
+#[test]
+fn window_counts_add_up() {
+    let cfg = tiny_cfg(NetworkDelay::ExponentialMs(50.0));
+    let summary = run_accuracy(
+        DdSketch::paper_configuration,
+        DataSet::Uniform.generator(17, 50),
+        &cfg,
+        17,
+    );
+    let window_total: u64 = summary.windows.iter().map(|w| w.count).sum();
+    // measured windows + discarded first window + dropped = total
+    assert!(window_total + summary.dropped_late <= summary.total_events);
+    assert!(window_total > 0);
+    assert_eq!(summary.total_events, cfg.total_events());
+}

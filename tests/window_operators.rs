@@ -1,0 +1,151 @@
+//! Integration tests for the window-operator suite: sliding and session
+//! windows and partitioned aggregation carrying real sketches, fed by the
+//! real event source and delay models.
+
+use quantile_sketches::streamsim::session::Mergeable;
+use quantile_sketches::streamsim::window::WindowState;
+use quantile_sketches::{
+    DataSet, DdSketch, Event, EventSource, MergeableSketch, NetworkDelay, PartitionedWindow,
+    QuantileSketch, SessionWindows, SlidingWindows, TumblingWindows, UddSketch,
+};
+
+struct SketchState(DdSketch);
+
+impl WindowState for SketchState {
+    fn observe(&mut self, value: f64) {
+        self.0.insert(value);
+    }
+}
+
+impl Mergeable for SketchState {
+    fn merge_from(&mut self, other: Self) {
+        self.0.merge(&other.0).expect("same gamma");
+    }
+}
+
+fn new_state() -> SketchState {
+    SketchState(DdSketch::unbounded(0.01))
+}
+
+#[test]
+fn sliding_windows_answer_quantiles_per_slide() {
+    // 2 s windows sliding by 1 s over 10 s of NYT fares.
+    let mut src = EventSource::new(DataSet::Nyt.generator(3, 50), 2_000, NetworkDelay::None, 3);
+    let mut op = SlidingWindows::new(2_000_000, 1_000_000, new_state);
+    for e in src.take_events(20_000) {
+        op.observe(e);
+    }
+    let fired = op.close();
+    assert!(fired.results.len() >= 9, "windows: {}", fired.results.len());
+    // Interior windows hold two slides' worth of events.
+    let full: Vec<_> = fired
+        .results
+        .iter()
+        .filter(|w| w.start_us >= 1_000_000 && w.end_us <= 9_000_000)
+        .collect();
+    assert!(!full.is_empty());
+    for w in full {
+        assert_eq!(w.count, 4_000, "window at {}", w.start_us);
+        let median = w.items.0.query(0.5).unwrap();
+        assert!((5.0..15.0).contains(&median), "NYT median {median}");
+    }
+}
+
+#[test]
+fn consecutive_sliding_windows_share_half_their_events() {
+    let mut src = EventSource::new(
+        DataSet::Uniform.generator(5, 50),
+        1_000,
+        NetworkDelay::None,
+        5,
+    );
+    let mut op = SlidingWindows::new(2_000_000, 1_000_000, Vec::new);
+    for e in src.take_events(10_000) {
+        op.observe(e);
+    }
+    let fired = op.close();
+    for pair in fired.results.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if a.end_us <= b.start_us || a.count != 2_000 || b.count != 2_000 {
+            continue; // not overlapping, or a partial edge window
+        }
+        // The second half of `a` is the first half of `b`.
+        let shared_a: Vec<f64> = a.items[a.items.len() / 2..].to_vec();
+        let shared_b: Vec<f64> = b.items[..b.items.len() / 2].to_vec();
+        assert_eq!(shared_a, shared_b, "overlap mismatch at {}", a.start_us);
+    }
+}
+
+#[test]
+fn session_windows_with_sketches_follow_activity() {
+    let mut op = SessionWindows::new(1_000_000, new_state);
+    // Two bursts 5 s apart.
+    for burst_start in [0u64, 5_000_000] {
+        for i in 0..1_000u64 {
+            let t = burst_start + i * 500; // 0.5 ms apart
+            let v = if burst_start == 0 { 10.0 } else { 100.0 };
+            op.observe(Event::new(v + (i % 10) as f64, t, 0));
+        }
+    }
+    let fired = op.close();
+    assert_eq!(fired.results.len(), 2);
+    let m0 = fired.results[0].items.0.query(0.5).unwrap();
+    let m1 = fired.results[1].items.0.query(0.5).unwrap();
+    assert!(m0 < 20.0 && m1 > 90.0, "session medians {m0} / {m1}");
+}
+
+#[test]
+fn partitioned_windows_match_single_sketch_guarantee() {
+    // Partitioned tumbling aggregation over a delayed stream: merged
+    // per-window results must still honour the DDSketch guarantee.
+    let mut src = EventSource::new(
+        DataSet::Power.generator(7, 50),
+        2_000,
+        NetworkDelay::ExponentialMs(50.0),
+        7,
+    );
+    let mut op = TumblingWindows::new(2_000_000, || {
+        PartitionedWindow::new(4, || DdSketch::unbounded(0.01))
+    });
+    for e in src.take_events(20_000) {
+        op.observe(e);
+    }
+    let fired = op.close();
+    for w in fired.results {
+        let count = w.count;
+        if count == 0 {
+            continue;
+        }
+        let merged = w.items.merge_partitions().unwrap();
+        assert_eq!(merged.count(), count);
+        let p95 = merged.query(0.95).unwrap();
+        assert!((0.0..=11.0).contains(&p95), "power p95 {p95}");
+    }
+}
+
+#[test]
+fn udd_sketch_as_session_state() {
+    struct Udd(UddSketch);
+    impl WindowState for Udd {
+        fn observe(&mut self, value: f64) {
+            self.0.insert(value);
+        }
+    }
+    impl Mergeable for Udd {
+        fn merge_from(&mut self, other: Self) {
+            self.0.merge(&other.0).expect("same alpha");
+        }
+    }
+    let mut op = SessionWindows::with_watermark_lag(500_000, 1_000_000, || {
+        Udd(UddSketch::paper_configuration())
+    });
+    for i in 0..5_000u64 {
+        op.observe(Event::new((i % 100) as f64 + 1.0, i * 100, 0));
+    }
+    let fired = op.close();
+    assert_eq!(fired.results.len(), 1, "continuous activity = one session");
+    let s = &fired.results[0].items.0;
+    assert_eq!(s.count(), 5_000);
+    let median = s.query(0.5).unwrap();
+    assert!((45.0..56.0).contains(&median), "median {median}");
+}
