@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full offline CI gate: build, tests, docs, lints. Everything runs with
+# --offline — the build environment has no registry access (see
+# vendor/README.md), so a network fetch attempt is itself a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build (release)"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --release --offline -q
+
+echo "==> cargo doc (no warnings allowed)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "==> cargo clippy (no warnings allowed)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "All checks passed."

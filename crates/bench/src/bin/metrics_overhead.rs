@@ -1,0 +1,12 @@
+//! Measures the insert overhead of `qsketch_core::metrics::Instrumented`
+//! over bare sketches (see
+//! `qsketch_bench::experiments::metrics_overhead`). Run with `--full`
+//! for the lowest-noise measurement.
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    print!(
+        "{}",
+        qsketch_bench::experiments::metrics_overhead::run(&args)
+    );
+}

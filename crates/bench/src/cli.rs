@@ -6,7 +6,9 @@
 //! * `--with-baselines`: additionally run the §5.2 GK / t-digest
 //!   baselines,
 //! * `--seed <n>`: override the base seed (default 42),
-//! * `--runs <n>`: override the number of independent runs.
+//! * `--runs <n>`: override the number of independent runs,
+//! * `--metrics`: run instrumented (where the experiment supports it) and
+//!   append a metrics-registry snapshot to the output.
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +33,8 @@ pub struct Args {
     pub seed: u64,
     /// Independent-runs override (None = experiment default).
     pub runs: Option<usize>,
+    /// Record pipeline/sketch metrics and print a registry snapshot.
+    pub metrics: bool,
 }
 
 impl Default for Args {
@@ -40,6 +44,7 @@ impl Default for Args {
             with_baselines: false,
             seed: 42,
             runs: None,
+            metrics: false,
         }
     }
 }
@@ -55,6 +60,7 @@ impl Args {
                 "--tiny" => out.scale = Scale::Tiny,
                 "--full" => out.scale = Scale::Full,
                 "--with-baselines" => out.with_baselines = true,
+                "--metrics" => out.metrics = true,
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     out.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
@@ -66,7 +72,7 @@ impl Args {
                 "--help" | "-h" => {
                     return Err(concat!(
                         "usage: <experiment> [--tiny|--quick|--full] [--with-baselines] ",
-                        "[--seed N] [--runs N]"
+                        "[--metrics] [--seed N] [--runs N]"
                     )
                     .to_string())
                 }
@@ -139,6 +145,12 @@ mod tests {
         let a = parse(&["--with-baselines"]).unwrap();
         assert_eq!(a.sketches().len(), 7);
         assert_eq!(parse(&[]).unwrap().sketches().len(), 5);
+    }
+
+    #[test]
+    fn metrics_flag() {
+        assert!(!parse(&[]).unwrap().metrics);
+        assert!(parse(&["--metrics"]).unwrap().metrics);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! completeness trade-off the paper's setup fixes at one extreme.
 
 use crate::cli::Args;
-use crate::experiments::{accuracy_stats, scaled_config};
+use crate::experiments::{accuracy_stats, accuracy_stats_instrumented, scaled_config};
 use crate::table::{fmt_pct, Table};
+use qsketch_core::metrics::MetricsRegistry;
 use qsketch_datagen::DataSet;
 use qsketch_streamsim::{NetworkDelay, PAPER_MEAN_DELAY_MS};
 
@@ -23,6 +24,7 @@ pub fn run(args: &Args) -> String {
     let runs = args.runs_or(3);
     let sketches = args.sketches();
     let dataset = DataSet::Nyt;
+    let registry = args.metrics.then(MetricsRegistry::new);
 
     let mut out = format!(
         "Extension: watermark lag vs late-data loss (exp({PAPER_MEAN_DELAY_MS} ms) delays, \
@@ -43,7 +45,10 @@ pub fn run(args: &Args) -> String {
         let mut loss_cell = None;
         let mut err_cells = Vec::new();
         for &kind in &sketches {
-            let outcome = accuracy_stats(kind, dataset, &cfg, runs, args.seed);
+            let outcome = match &registry {
+                Some(r) => accuracy_stats_instrumented(kind, dataset, &cfg, runs, args.seed, r),
+                None => accuracy_stats(kind, dataset, &cfg, runs, args.seed),
+            };
             loss_cell.get_or_insert_with(|| format!("{:.3}%", outcome.loss_fraction() * 100.0));
             err_cells.push(fmt_pct(outcome.q_mean(0.99)));
         }
@@ -58,5 +63,13 @@ pub fn run(args: &Args) -> String {
          consistent with the paper's §4.6 finding that sketch summaries tolerate\n\
          losing a small fraction of a window.\n",
     );
+    if let Some(r) = &registry {
+        out.push_str(
+            "\nMetrics snapshot (accumulated over the whole sweep — the\n\
+             pipeline.emit_latency_us histogram folds every lag setting together,\n\
+             which is exactly how the latency cost of a lagging watermark shows up):\n\n",
+        );
+        out.push_str(&r.snapshot().render_text());
+    }
     out
 }

@@ -12,6 +12,7 @@ pub mod fig5c_merge;
 pub mod fig6_accuracy;
 pub mod fig7_kurtosis;
 pub mod fig8_adaptability;
+pub mod metrics_overhead;
 pub mod sec46_late_data;
 pub mod sec47_window_size;
 pub mod table3_memory;
@@ -19,6 +20,7 @@ pub mod table4_summary;
 
 use crate::cli::{Args, Scale};
 use qsketch_core::error::ErrorStats;
+use qsketch_core::metrics::MetricsRegistry;
 use qsketch_core::quantiles::QuantileGroup;
 use qsketch_datagen::DataSet;
 use qsketch_streamsim::{AccuracyConfig, NetworkDelay};
@@ -32,6 +34,31 @@ pub(crate) fn accuracy_stats(
     cfg: &AccuracyConfig,
     runs: usize,
     base_seed: u64,
+) -> AccuracyOutcome {
+    accuracy_stats_impl(kind, dataset, cfg, runs, base_seed, None)
+}
+
+/// [`accuracy_stats`], but every run records pipeline and per-sketch-op
+/// metrics into `registry` (the `--metrics` path). Counters accumulate
+/// across all runs sharing the registry.
+pub(crate) fn accuracy_stats_instrumented(
+    kind: crate::SketchKind,
+    dataset: DataSet,
+    cfg: &AccuracyConfig,
+    runs: usize,
+    base_seed: u64,
+    registry: &MetricsRegistry,
+) -> AccuracyOutcome {
+    accuracy_stats_impl(kind, dataset, cfg, runs, base_seed, Some(registry))
+}
+
+fn accuracy_stats_impl(
+    kind: crate::SketchKind,
+    dataset: DataSet,
+    cfg: &AccuracyConfig,
+    runs: usize,
+    base_seed: u64,
+    registry: Option<&MetricsRegistry>,
 ) -> AccuracyOutcome {
     let mut per_q: Vec<(f64, ErrorStats)> = cfg
         .quantiles
@@ -47,12 +74,13 @@ pub(crate) fn accuracy_stats(
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (kind.label().len() as u64);
         let values = dataset.generator(seed, qsketch_datagen::PAPER_EVENTS_PER_UPDATE);
-        let summary = qsketch_streamsim::harness::run_accuracy(
-            || kind.build_for(seed, dataset),
-            values,
-            cfg,
-            seed,
-        );
+        let factory = || kind.build_for(seed, dataset);
+        let summary = match registry {
+            Some(r) => qsketch_streamsim::harness::run_accuracy_instrumented(
+                factory, values, cfg, seed, r,
+            ),
+            None => qsketch_streamsim::harness::run_accuracy(factory, values, cfg, seed),
+        };
         for w in &summary.windows {
             for &(q, err) in &w.errors {
                 if let Some((_, stats)) = per_q.iter_mut().find(|(pq, _)| *pq == q) {

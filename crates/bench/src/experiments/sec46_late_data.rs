@@ -2,20 +2,28 @@
 //! an exponential network delay (mean 150 ms) with late events dropped.
 
 use crate::cli::Args;
-use crate::experiments::{accuracy_stats, scaled_config};
+use crate::experiments::{accuracy_stats, accuracy_stats_instrumented, scaled_config};
 use crate::table::{fmt_pct, Table};
+use qsketch_core::metrics::MetricsRegistry;
 use qsketch_core::quantiles::QuantileGroup;
 use qsketch_datagen::DataSet;
 use qsketch_streamsim::{NetworkDelay, PAPER_MEAN_DELAY_MS};
 
 /// Run the experiment: side-by-side error with and without late drops,
 /// plus the measured loss fraction (paper: ≈ 2 % per window).
+///
+/// With `--metrics`, the late-configuration runs go through
+/// [`run_accuracy_instrumented`] and a registry snapshot (late-drop
+/// counters, watermark lag, per-sketch op latencies) is appended.
+///
+/// [`run_accuracy_instrumented`]: qsketch_streamsim::harness::run_accuracy_instrumented
 pub fn run(args: &Args) -> String {
     let delay = NetworkDelay::ExponentialMs(PAPER_MEAN_DELAY_MS);
     let cfg_late = scaled_config(args, delay);
     let cfg_clean = scaled_config(args, NetworkDelay::None);
     let runs = args.runs_or(3);
     let sketches = args.sketches();
+    let registry = args.metrics.then(MetricsRegistry::new);
 
     let mut out = format!(
         "Sec. 4.6: late-arriving data (exponential delay, mean {PAPER_MEAN_DELAY_MS} ms, \
@@ -34,7 +42,12 @@ pub fn run(args: &Args) -> String {
 
         for &kind in &sketches {
             let clean = accuracy_stats(kind, dataset, &cfg_clean, runs, args.seed);
-            let late = accuracy_stats(kind, dataset, &cfg_late, runs, args.seed);
+            let late = match &registry {
+                Some(r) => {
+                    accuracy_stats_instrumented(kind, dataset, &cfg_late, runs, args.seed, r)
+                }
+                None => accuracy_stats(kind, dataset, &cfg_late, runs, args.seed),
+            };
             let mut row = vec![kind.label().to_string()];
             for g in QuantileGroup::ALL {
                 row.push(fmt_pct(clean.group_mean(g)));
@@ -52,5 +65,12 @@ pub fn run(args: &Args) -> String {
          slightly higher than the no-late runs and the Fig. 6 analysis is unchanged —\n\
          an accurate summary is insensitive to losing a small data fraction.\n",
     );
+    if let Some(r) = &registry {
+        out.push_str(
+            "\nMetrics snapshot (accumulated over every late-configuration run;\n\
+             pipeline.* counts all sketches' pipelines, sketch.<name>.* is per kind):\n\n",
+        );
+        out.push_str(&r.snapshot().render_text());
+    }
     out
 }

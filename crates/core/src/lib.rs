@@ -11,7 +11,11 @@
 //!   ground truth in every accuracy experiment,
 //! * streaming statistics such as excess [`stats::kurtosis`] (§2.3),
 //! * the quantile sets and groupings used throughout the paper's evaluation
-//!   ([`quantiles`], §4.2).
+//!   ([`quantiles`], §4.2),
+//! * a zero-dependency observability layer ([`metrics`]): named counters,
+//!   gauges, and log-bucketed latency histograms, plus the
+//!   [`metrics::Instrumented`] wrapper that records per-operation metrics
+//!   for any sketch without modifying it.
 //!
 //! # Example
 //!
@@ -32,6 +36,7 @@
 pub mod codec;
 pub mod error;
 pub mod exact;
+pub mod metrics;
 pub mod profile;
 pub mod quantiles;
 pub mod rank;
@@ -41,5 +46,6 @@ pub mod stats;
 
 pub use error::{rank_error, relative_error};
 pub use exact::ExactQuantiles;
+pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
 pub use profile::Profile;
 pub use sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};

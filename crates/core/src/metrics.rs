@@ -1,0 +1,1103 @@
+//! Zero-dependency observability for the sketch pipeline.
+//!
+//! Everything here is built on `std` only — atomics, `Arc`, and a
+//! `BTreeMap` behind a mutex — so the instrumentation can ride along in
+//! the offline build environment and inside benchmark hot loops without
+//! pulling in a metrics framework.
+//!
+//! Three primitives, all cheaply cloneable handles onto shared state:
+//!
+//! * [`Counter`] — a monotonically increasing `u64` (events processed,
+//!   late records dropped, merges performed).
+//! * [`Gauge`] — a last-write-wins `u64` (current memory footprint,
+//!   current watermark).
+//! * [`LogHistogram`] — a log-bucketed histogram over the full `u64`
+//!   range, for nanosecond latencies. Buckets follow the HDR-histogram
+//!   half-octave layout (the same idiom as
+//!   `qsketch_baselines::hdr`): each doubling of magnitude gets
+//!   `2^sig_bits` linear sub-buckets, bounding relative error per bucket
+//!   at `2^-sig_bits` while covering 0..=`u64::MAX` in a few KiB.
+//!
+//! A [`MetricsRegistry`] names and owns the metrics and renders
+//! point-in-time [`MetricsSnapshot`]s as aligned plain text or JSON
+//! (hand-rolled — no serde).
+//!
+//! [`Instrumented`] wraps any [`QuantileSketch`] and records per-operation
+//! counts and latencies into a registry without touching the sketch crates
+//! themselves. Insert timing is *sampled* (default: 1 in 1024) so the
+//! wrapper stays within a few percent of the bare sketch even for
+//! sketches whose insert is a handful of nanoseconds.
+//!
+//! # Example
+//!
+//! Wrap any [`QuantileSketch`] — here a trivial one that retains every
+//! value — and read its operation counts back out of the registry:
+//!
+//! ```
+//! use qsketch_core::metrics::{Instrumented, MetricsRegistry};
+//! use qsketch_core::sketch::{check_quantile, QuantileSketch, QueryError};
+//!
+//! #[derive(Default)]
+//! struct KeepAll(Vec<f64>);
+//! impl QuantileSketch for KeepAll {
+//!     fn insert(&mut self, v: f64) { self.0.push(v); }
+//!     fn query(&self, q: f64) -> Result<f64, QueryError> {
+//!         check_quantile(q)?;
+//!         let mut s = self.0.clone();
+//!         s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//!         s.get(((q * s.len() as f64).ceil() as usize).saturating_sub(1))
+//!             .copied()
+//!             .ok_or(QueryError::Empty)
+//!     }
+//!     fn count(&self) -> u64 { self.0.len() as u64 }
+//!     fn memory_footprint(&self) -> usize { self.0.len() * 8 }
+//!     fn name(&self) -> &'static str { "keep-all" }
+//! }
+//!
+//! let registry = MetricsRegistry::new();
+//! let mut sketch = Instrumented::new(KeepAll::default(), &registry, "demo");
+//! for i in 0..10_000 {
+//!     sketch.insert(i as f64);
+//! }
+//! let _median = sketch.query(0.5).unwrap();
+//! sketch.flush();
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo.inserts"), Some(10_000));
+//! assert_eq!(snap.counter("demo.queries"), Some(1));
+//! println!("{}", snap.render_text());
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};
+
+/// A monotonically increasing event count.
+///
+/// Cloning shares the underlying value; increments use relaxed atomics,
+/// so counters are safe to bump from worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if it is larger than the current one.
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket precision of a [`LogHistogram`]: `2^5 = 32` sub-buckets per
+/// half-octave, i.e. ≤ 3.2 % relative error per bucket — plenty for
+/// latency percentiles — at 1 920 slots (15 KiB).
+pub const DEFAULT_HISTOGRAM_SIG_BITS: u32 = 5;
+
+#[derive(Debug)]
+struct HistogramShared {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    /// Stored as the raw value; `u64::MAX` means "nothing recorded yet".
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log-bucketed histogram covering all of `0..=u64::MAX`.
+///
+/// Uses the HDR half-octave layout (see `qsketch_baselines::hdr` for the
+/// sketch-sized variant): values below `2^(sig_bits+1)` are exact; beyond
+/// that, each power of two is split into `2^sig_bits` linear sub-buckets,
+/// so any recorded value is reported within a `2^-sig_bits` relative
+/// error. Unlike the baseline HDR sketch there is no `highest_trackable`:
+/// the slot table spans the whole 64-bit range up front, which at the
+/// default precision costs 15 KiB — acceptable for a process-wide metric,
+/// unthinkable for a per-window sketch.
+///
+/// Recording is a relaxed atomic increment; handles are cheap clones.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    sig_bits: u32,
+    /// `2^sig_bits`, sub-buckets per half-octave.
+    half: u64,
+    shared: Arc<HistogramShared>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_HISTOGRAM_SIG_BITS)
+    }
+}
+
+impl LogHistogram {
+    /// A histogram with `2^sig_bits` sub-buckets per half-octave
+    /// (relative error ≤ `2^-sig_bits`). `sig_bits` must lie in `1..=14`.
+    pub fn new(sig_bits: u32) -> Self {
+        assert!(
+            (1..=14).contains(&sig_bits),
+            "sig_bits must lie in 1..=14, got {sig_bits}"
+        );
+        let half = 1u64 << sig_bits;
+        // Bucket index for u64::MAX is 63 - sig_bits, so slots run to
+        // (64 - sig_bits)*half + half = (65 - sig_bits)*half.
+        let slots = ((65 - sig_bits) as u64 * half) as usize;
+        let counts = (0..slots).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            sig_bits,
+            half,
+            shared: Arc::new(HistogramShared {
+                counts,
+                total: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Guaranteed per-bucket relative error: `2^-sig_bits`.
+    pub fn relative_error(&self) -> f64 {
+        1.0 / self.half as f64
+    }
+
+    /// Number of allocated count slots.
+    pub fn allocated_slots(&self) -> usize {
+        self.shared.counts.len()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let s = &*self.shared;
+        s.counts[self.slot_for(v)].fetch_add(1, Ordering::Relaxed);
+        s.total.fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.min.fetch_min(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.shared.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.shared.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.shared.min.load(Ordering::Relaxed))
+    }
+
+    /// Largest recorded value, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.shared.max.load(Ordering::Relaxed))
+    }
+
+    /// Approximate `q`-quantile of the recorded values (`0 < q ≤ 1`):
+    /// the midpoint of the bucket holding the rank-`⌈qN⌉` observation,
+    /// clamped into the recorded min/max. `None` when empty.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) || q <= 0.0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        if rank == total {
+            // The top observation's value is tracked exactly.
+            return self.max();
+        }
+        let mut cum = 0u64;
+        for (slot, c) in self.shared.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= rank {
+                let mid = self.midpoint_for(slot);
+                let lo = self.shared.min.load(Ordering::Relaxed);
+                let hi = self.shared.max.load(Ordering::Relaxed);
+                return Some(mid.clamp(lo, hi));
+            }
+        }
+        self.max()
+    }
+
+    /// Slot index for a value (the HDR `countsArrayIndex` over 64 bits:
+    /// bucket from the leading-zero count, sub-bucket from a shift).
+    #[inline]
+    fn slot_for(&self, v: u64) -> usize {
+        let mask = self.half * 2 - 1;
+        let leading_zero_count_base = 64 - self.sig_bits - 1;
+        let bucket = leading_zero_count_base - (v | mask).leading_zeros();
+        let sub = v >> bucket;
+        ((u64::from(bucket) + 1) * self.half + sub - self.half) as usize
+    }
+
+    /// Lowest value a slot covers (saturating at `u64::MAX` for the
+    /// hypothetical slot one past the end).
+    fn value_for(&self, slot: usize) -> u64 {
+        let slot = slot as u64;
+        let bucket = slot / self.half;
+        let sub = slot % self.half + self.half;
+        if bucket == 0 {
+            sub - self.half
+        } else {
+            let shifted = (u128::from(sub)) << (bucket - 1);
+            u64::try_from(shifted).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Midpoint estimate for a slot: the centre of its value range.
+    fn midpoint_for(&self, slot: usize) -> u64 {
+        let lo = self.value_for(slot);
+        let next = self.value_for(slot + 1).max(lo + 1);
+        lo + (next - 1 - lo) / 2
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(LogHistogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of [`Counter`]s, [`Gauge`]s, and [`LogHistogram`]s.
+///
+/// The registry is a cheap clone-to-share handle: every clone sees the
+/// same metrics. Lookup takes a mutex, so fetch handles once (outside hot
+/// loops) and bump the returned handles lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()));
+        match entry {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, registering it at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()));
+        match entry {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, registering one at the default
+    /// precision on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> LogHistogram {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(LogHistogram::default()));
+        match entry {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric's value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entries = metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SnapshotValue::Histogram(HistogramSummary {
+                        count: h.count(),
+                        mean: h.mean().unwrap_or(0.0),
+                        min: h.min().unwrap_or(0),
+                        p50: h.value_at_quantile(0.5).unwrap_or(0),
+                        p90: h.value_at_quantile(0.9).unwrap_or(0),
+                        p99: h.value_at_quantile(0.99).unwrap_or(0),
+                        max: h.max().unwrap_or(0),
+                    }),
+                };
+                SnapshotEntry {
+                    name: name.clone(),
+                    value,
+                }
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// Summary statistics of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean recorded value (0 when empty).
+    pub mean: f64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Median (bucket-midpoint estimate).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+}
+
+/// The captured value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(u64),
+    /// A histogram's summary statistics.
+    Histogram(HistogramSummary),
+}
+
+/// One named metric inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Registered metric name.
+    pub name: String,
+    /// Captured value.
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time view of a [`MetricsRegistry`], sorted by metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All captured metrics, name-sorted.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Counter(v) if e.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Gauge(v) if e.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Summary of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Histogram(h) if e.name == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Render as aligned plain text, one metric per line.
+    pub fn render_text(&self) -> String {
+        let width = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("{:<width$}  counter    {v}\n", e.name));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("{:<width$}  gauge      {v}\n", e.name));
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{:<width$}  histogram  count={} mean={:.1} min={} p50={} p90={} p99={} max={}\n",
+                        e.name, h.count, h.mean, h.min, h.p50, h.p90, h.p99, h.max
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object `{"metrics": [...]}` (hand-rolled; metric
+    /// names are escaped, numbers emitted verbatim).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &e.name);
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!(",\"kind\":\"counter\",\"value\":{v}}}"));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!(",\"kind\":\"gauge\",\"value\":{v}}}"));
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"kind\":\"histogram\",\"count\":{},\"mean\":{},\"min\":{},\
+                         \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                        h.count,
+                        json_f64(h.mean),
+                        h.min,
+                        h.p50,
+                        h.p90,
+                        h.p99,
+                        h.max
+                    ));
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Timing sample period of [`Instrumented`] inserts: 1 in 1024.
+///
+/// Inserts are counted exactly but *timed* only this often, keeping the
+/// `Instant::now()` pair (≈ 30–50 ns) off 1023 of every 1024 inserts —
+/// that is what holds the wrapper's overhead within the few-percent
+/// budget for sketches whose insert is itself only a few nanoseconds.
+pub const DEFAULT_INSERT_SAMPLE_PERIOD: u64 = 1024;
+
+/// Per-sketch metric handles used by [`Instrumented`].
+#[derive(Debug, Clone)]
+struct SketchMetrics {
+    inserts: Counter,
+    insert_ns: LogHistogram,
+    queries: Counter,
+    query_ns: LogHistogram,
+    query_errors: Counter,
+    merges: Counter,
+    merge_ns: LogHistogram,
+    memory_bytes: Gauge,
+}
+
+impl SketchMetrics {
+    fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        let name = |metric: &str| format!("{prefix}.{metric}");
+        Self {
+            inserts: registry.counter(&name("inserts")),
+            insert_ns: registry.histogram(&name("insert_ns")),
+            queries: registry.counter(&name("queries")),
+            query_ns: registry.histogram(&name("query_ns")),
+            query_errors: registry.counter(&name("query_errors")),
+            merges: registry.counter(&name("merges")),
+            merge_ns: registry.histogram(&name("merge_ns")),
+            memory_bytes: registry.gauge(&name("memory_bytes")),
+        }
+    }
+}
+
+/// A [`QuantileSketch`] wrapper that records operation metrics into a
+/// [`MetricsRegistry`] — no changes to the wrapped sketch required.
+///
+/// Registered under a caller-chosen prefix, the wrapper maintains:
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `<prefix>.inserts` | counter | values inserted |
+/// | `<prefix>.insert_ns` | histogram | sampled insert latency |
+/// | `<prefix>.queries` | counter | quantile queries (single or batch) |
+/// | `<prefix>.query_ns` | histogram | per-query-call latency |
+/// | `<prefix>.query_errors` | counter | queries that returned an error |
+/// | `<prefix>.merges` | counter | merges absorbed |
+/// | `<prefix>.merge_ns` | histogram | per-merge latency |
+/// | `<prefix>.memory_bytes` | gauge | sketch footprint at last update |
+///
+/// Insert counts are buffered locally and flushed to the shared counter
+/// on each timing sample (and on [`flush`](Instrumented::flush) / drop),
+/// so the counter may lag the true count by up to the sample period
+/// between flushes. Queries and merges are rare and expensive, so they
+/// are counted and timed on every call.
+///
+/// Two instances given the same registry and prefix share metrics — their
+/// counts aggregate, which is exactly what a partitioned pipeline wants.
+#[derive(Debug)]
+pub struct Instrumented<S> {
+    inner: S,
+    metrics: SketchMetrics,
+    /// Total inserts seen by this wrapper (drives sampling); the hot
+    /// path bumps only this, so the wrapper adds one increment and one
+    /// branch per insert.
+    ticks: u64,
+    /// Value of `ticks` at the last flush; the difference is what still
+    /// needs pushing to the shared counter.
+    flushed_ticks: u64,
+    /// `sample_period - 1`; the period is a power of two.
+    sample_mask: u64,
+}
+
+impl<S: QuantileSketch> Instrumented<S> {
+    /// Wrap `inner`, registering its metrics under `prefix` in `registry`.
+    pub fn new(inner: S, registry: &MetricsRegistry, prefix: &str) -> Self {
+        let this = Self {
+            metrics: SketchMetrics::register(registry, prefix),
+            inner,
+            ticks: 0,
+            flushed_ticks: 0,
+            sample_mask: DEFAULT_INSERT_SAMPLE_PERIOD - 1,
+        };
+        this.metrics
+            .memory_bytes
+            .set(this.inner.memory_footprint() as u64);
+        this
+    }
+
+    /// Change how often inserts are timed (rounded up to a power of two;
+    /// `1` times every insert). Counts stay exact regardless.
+    pub fn with_insert_sample_period(mut self, period: u64) -> Self {
+        self.sample_mask = period.max(1).next_power_of_two() - 1;
+        self
+    }
+
+    /// Push buffered insert counts to the shared counter and refresh the
+    /// memory gauge. Called automatically on drop.
+    pub fn flush(&mut self) {
+        let pending = self.ticks.wrapping_sub(self.flushed_ticks);
+        if pending > 0 {
+            self.metrics.inserts.add(pending);
+            self.flushed_ticks = self.ticks;
+        }
+        self.metrics
+            .memory_bytes
+            .set(self.inner.memory_footprint() as u64);
+    }
+
+    /// The wrapped sketch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Flush pending metrics and unwrap the sketch.
+    pub fn into_inner(mut self) -> S
+    where
+        S: Clone,
+    {
+        self.flush();
+        self.inner.clone()
+    }
+}
+
+impl<S> Drop for Instrumented<S> {
+    fn drop(&mut self) {
+        let pending = self.ticks.wrapping_sub(self.flushed_ticks);
+        if pending > 0 {
+            self.metrics.inserts.add(pending);
+            self.flushed_ticks = self.ticks;
+        }
+    }
+}
+
+impl<S: QuantileSketch> QuantileSketch for Instrumented<S> {
+    #[inline]
+    fn insert(&mut self, value: f64) {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & self.sample_mask == 0 {
+            let start = Instant::now();
+            self.inner.insert(value);
+            self.metrics
+                .insert_ns
+                .record(start.elapsed().as_nanos() as u64);
+            self.flush();
+        } else {
+            self.inner.insert(value);
+        }
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        let start = Instant::now();
+        let result = self.inner.query(q);
+        self.metrics
+            .query_ns
+            .record(start.elapsed().as_nanos() as u64);
+        self.metrics.queries.inc();
+        if result.is_err() {
+            self.metrics.query_errors.inc();
+        }
+        result
+    }
+
+    fn query_many(&self, qs: &[f64]) -> Result<Vec<f64>, QueryError> {
+        let start = Instant::now();
+        let result = self.inner.query_many(qs);
+        self.metrics
+            .query_ns
+            .record(start.elapsed().as_nanos() as u64);
+        self.metrics.queries.inc();
+        if result.is_err() {
+            self.metrics.query_errors.inc();
+        }
+        result
+    }
+
+    fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    fn memory_footprint(&self) -> usize {
+        let bytes = self.inner.memory_footprint();
+        self.metrics.memory_bytes.set(bytes as u64);
+        bytes
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl<S: MergeableSketch> MergeableSketch for Instrumented<S> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        let start = Instant::now();
+        let result = self.inner.merge(&other.inner);
+        self.metrics
+            .merge_ns
+            .record(start.elapsed().as_nanos() as u64);
+        self.metrics.merges.inc();
+        // `other`'s buffered insert counts stay with `other` — it flushes
+        // them itself (on sample, flush, or drop), so the shared counter
+        // still converges to the true total without double counting.
+        self.flush();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::check_quantile;
+
+    /// Minimal trait-complete sketch for exercising the wrapper: keeps
+    /// every value (core itself ships no real sketch implementations).
+    #[derive(Debug, Clone, Default)]
+    struct KeepAll(Vec<f64>);
+
+    impl KeepAll {
+        fn new() -> Self {
+            Self::default()
+        }
+    }
+
+    impl QuantileSketch for KeepAll {
+        fn insert(&mut self, v: f64) {
+            self.0.push(v);
+        }
+
+        fn query(&self, q: f64) -> Result<f64, QueryError> {
+            check_quantile(q)?;
+            if self.0.is_empty() {
+                return Err(QueryError::Empty);
+            }
+            let mut s = self.0.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+            Ok(s[rank - 1])
+        }
+
+        fn count(&self) -> u64 {
+            self.0.len() as u64
+        }
+
+        fn memory_footprint(&self) -> usize {
+            self.0.len() * std::mem::size_of::<f64>()
+        }
+
+        fn name(&self) -> &'static str {
+            "keep-all"
+        }
+    }
+
+    impl MergeableSketch for KeepAll {
+        fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+            self.0.extend_from_slice(&other.0);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("events");
+        let b = r.counter("events");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(r.snapshot().counter("events"), Some(5));
+    }
+
+    #[test]
+    fn gauge_last_write_and_max() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("mem");
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.set_max(2);
+        assert_eq!(g.get(), 3);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn histogram_slots_are_exact_below_two_half_octaves() {
+        // Values below 2^(sig+1) each get their own slot.
+        let h = LogHistogram::new(5);
+        for v in 0..64u64 {
+            assert_eq!(h.slot_for(v), v as usize, "v={v}");
+            assert_eq!(h.value_for(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn histogram_slot_round_trip_covers_value() {
+        let h = LogHistogram::new(5);
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            65_535,
+            1 << 32,
+            (1 << 60) + 12345,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let slot = h.slot_for(v);
+            let lo = h.value_for(slot);
+            let hi = h.value_for(slot + 1);
+            assert!(lo <= v, "v={v} lo={lo}");
+            assert!(v < hi.max(lo + 1) || hi == u64::MAX, "v={v} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_double_per_octave() {
+        // Slot widths double exactly when crossing each power of two:
+        // the first slot of bucket b+1 covers twice the range of the
+        // first slot of bucket b.
+        let h = LogHistogram::new(5);
+        let half = 32usize;
+        for bucket in 1..10usize {
+            let first_slot = (bucket + 1) * half; // first slot of bucket
+            let width = h.value_for(first_slot + 1) - h.value_for(first_slot);
+            assert_eq!(width, 1 << bucket, "bucket {bucket}");
+        }
+    }
+
+    #[test]
+    fn histogram_relative_error_bound_holds() {
+        let h = LogHistogram::new(5);
+        let alpha = h.relative_error();
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let slot = h.slot_for(v);
+            let mid = h.midpoint_for(slot) as f64;
+            let rel = (mid - v as f64).abs() / v as f64;
+            assert!(rel <= alpha + 1e-9, "v={v} mid={mid} rel={rel}");
+            v = v.saturating_mul(2).max(v + 7);
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_on_uniform_values() {
+        let h = LogHistogram::new(8);
+        let n = 100_000u64;
+        for i in 1..=n {
+            h.record(i);
+        }
+        assert_eq!(h.count(), n);
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let truth = q * n as f64;
+            let est = h.value_at_quantile(q).unwrap() as f64;
+            assert!(
+                ((est - truth) / truth).abs() < 0.01,
+                "q={q} est={est} truth={truth}"
+            );
+        }
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(n));
+        let mean = h.mean().unwrap();
+        let truth = (n + 1) as f64 / 2.0;
+        assert!((mean - truth).abs() / truth < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn histogram_empty_reads_are_none() {
+        let h = LogHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.value_at_quantile(0.5), None);
+        assert_eq!(h.value_at_quantile(0.0), None);
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_overflow() {
+        let h = LogHistogram::new(5);
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.value_at_quantile(0.5), Some(0));
+        assert_eq!(h.value_at_quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn instrumented_counts_inserts_exactly() {
+        let r = MetricsRegistry::new();
+        let mut s = Instrumented::new(KeepAll::new(), &r, "t");
+        // A count straddling several sample periods plus a remainder.
+        let n = 3 * DEFAULT_INSERT_SAMPLE_PERIOD + 17;
+        for i in 0..n {
+            s.insert(i as f64);
+        }
+        s.flush();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("t.inserts"), Some(n));
+        // One timing sample per full period.
+        assert_eq!(snap.histogram("t.insert_ns").unwrap().count, 3);
+        assert!(snap.gauge("t.memory_bytes").unwrap() > 0);
+    }
+
+    #[test]
+    fn instrumented_flushes_on_drop() {
+        let r = MetricsRegistry::new();
+        {
+            let mut s = Instrumented::new(KeepAll::new(), &r, "t");
+            for i in 0..5 {
+                s.insert(i as f64);
+            }
+        }
+        assert_eq!(r.snapshot().counter("t.inserts"), Some(5));
+    }
+
+    #[test]
+    fn instrumented_queries_and_errors() {
+        let r = MetricsRegistry::new();
+        let mut s = Instrumented::new(KeepAll::new(), &r, "t");
+        assert!(s.query(0.5).is_err()); // empty
+        s.insert(1.0);
+        s.insert(2.0);
+        assert_eq!(s.query(1.0).unwrap(), 2.0);
+        assert_eq!(s.query_many(&[0.5, 1.0]).unwrap(), vec![1.0, 2.0]);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("t.queries"), Some(3));
+        assert_eq!(snap.counter("t.query_errors"), Some(1));
+        assert_eq!(snap.histogram("t.query_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn instrumented_delegates_identity() {
+        let r = MetricsRegistry::new();
+        let mut plain = KeepAll::new();
+        let mut wrapped = Instrumented::new(KeepAll::new(), &r, "t");
+        for i in 0..1000 {
+            let v = (i * 37 % 1000) as f64;
+            plain.insert(v);
+            wrapped.insert(v);
+        }
+        assert_eq!(wrapped.count(), plain.count());
+        assert_eq!(wrapped.name(), plain.name());
+        assert_eq!(wrapped.memory_footprint(), plain.memory_footprint());
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(wrapped.query(q).unwrap(), plain.query(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn instrumented_merge_counts_and_times() {
+        let r = MetricsRegistry::new();
+        let mut a = Instrumented::new(KeepAll::new(), &r, "m");
+        let mut b = Instrumented::new(KeepAll::new(), &r, "m");
+        for i in 0..10 {
+            a.insert(i as f64);
+            b.insert((i + 10) as f64);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 20);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("m.merges"), Some(1));
+        assert_eq!(snap.histogram("m.merge_ns").unwrap().count, 1);
+        // The merge flushes a's 10 pending inserts; b's stay buffered
+        // until its own drop, and are counted exactly once.
+        assert_eq!(snap.counter("m.inserts"), Some(10));
+        drop(b);
+        assert_eq!(r.snapshot().counter("m.inserts"), Some(20));
+    }
+
+    #[test]
+    fn snapshot_text_and_json_render() {
+        let r = MetricsRegistry::new();
+        r.counter("a.events").add(7);
+        r.gauge("b.mem").set(1234);
+        let h = r.histogram("c.lat_ns");
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("a.events"));
+        assert!(text.contains("counter    7"));
+        assert!(text.contains("gauge      1234"));
+        assert!(text.contains("count=3"));
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("{\"name\":\"a.events\",\"kind\":\"counter\",\"value\":7}"));
+        assert!(json.contains("\"kind\":\"histogram\",\"count\":3"));
+        // Entries are name-sorted.
+        let ia = json.find("a.events").unwrap();
+        let ib = json.find("b.mem").unwrap();
+        let ic = json.find("c.lat_ns").unwrap();
+        assert!(ia < ib && ib < ic);
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let r = MetricsRegistry::new();
+        r.counter("weird\"name\\with\ncontrol").inc();
+        let json = r.snapshot().to_json();
+        assert!(json.contains("weird\\\"name\\\\with\\ncontrol"));
+    }
+}

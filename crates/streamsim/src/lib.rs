@@ -20,7 +20,12 @@
 //!   a same-window-or-later event already closed its window,
 //! * [`harness`] — the full §4.2 experiment loop: N windows per run, first
 //!   window discarded, per-quantile relative error against an exact
-//!   in-window oracle, averaged over independent runs with 95 % CIs.
+//!   in-window oracle, averaged over independent runs with 95 % CIs,
+//! * [`metrics`] — pipeline observability built on
+//!   `qsketch_core::metrics`: watermark lag, late-drop counters, per-window
+//!   emit latency, per-partition event counts; attached via
+//!   [`TumblingWindows::with_metrics`] or recorded wholesale by
+//!   [`harness::run_accuracy_instrumented`].
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@ pub mod delay;
 pub mod event;
 pub mod harness;
 pub mod keyed;
+pub mod metrics;
 pub mod parallel;
 pub mod session;
 pub mod sliding;
@@ -60,6 +66,7 @@ pub use delay::NetworkDelay;
 pub use event::Event;
 pub use harness::{AccuracyConfig, RunSummary, WindowAccuracy};
 pub use keyed::{KeyedEvent, KeyedTumblingWindows};
+pub use metrics::{PartitionMetrics, PipelineMetrics};
 pub use parallel::PartitionedWindow;
 pub use session::SessionWindows;
 pub use sliding::SlidingWindows;

@@ -1,0 +1,155 @@
+//! Pipeline-level observability: the windowed-aggregation health metrics
+//! an operator of the paper's Flink job would watch, recorded into a
+//! [`MetricsRegistry`] from `qsketch_core`.
+//!
+//! [`PipelineMetrics`] bundles the handles the tumbling-window operator
+//! updates as it runs:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `pipeline.events` | counter | events observed (admitted + dropped) |
+//! | `pipeline.late_dropped` | counter | events dropped as late (§2.6) |
+//! | `pipeline.windows_fired` | counter | windows fired by the watermark |
+//! | `pipeline.watermark_us` | gauge | current watermark (µs event time) |
+//! | `pipeline.watermark_lag_us` | histogram | ingest time − watermark per event |
+//! | `pipeline.emit_latency_us` | histogram | triggering ingest time − window end per fired window |
+//!
+//! *Watermark lag* is the simulator's analogue of Flink's
+//! `currentInputWatermark` lag: how far (µs) each arriving event's
+//! ingestion time is ahead of the watermark. *Emit latency* is how long
+//! after a window's event-time end the watermark actually fired it —
+//! under the paper's ascending watermark this is the delay model's doing;
+//! with a configured watermark lag it grows by exactly that lag.
+//!
+//! Windows force-fired by end-of-stream [`close`] have no triggering
+//! event and record no emit latency.
+//!
+//! [`close`]: crate::window::TumblingWindows::close
+
+use qsketch_core::metrics::{Counter, Gauge, LogHistogram, MetricsRegistry};
+
+/// Metric handles for one windowed pipeline. Cheap to clone; clones share
+/// the underlying metrics.
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    /// Events observed, admitted or not (`pipeline.events`).
+    pub events: Counter,
+    /// Late events dropped (`pipeline.late_dropped`).
+    pub late_dropped: Counter,
+    /// Windows fired by watermark passage (`pipeline.windows_fired`).
+    pub windows_fired: Counter,
+    /// Current watermark in µs (`pipeline.watermark_us`).
+    pub watermark_us: Gauge,
+    /// Per-event ingest-time lead over the watermark, µs
+    /// (`pipeline.watermark_lag_us`).
+    pub watermark_lag_us: LogHistogram,
+    /// Per-fired-window lateness of the firing vs. the window's event-time
+    /// end, µs (`pipeline.emit_latency_us`).
+    pub emit_latency_us: LogHistogram,
+}
+
+impl PipelineMetrics {
+    /// Register the pipeline metrics under the conventional
+    /// `pipeline.*` names.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self::register_prefixed(registry, "pipeline")
+    }
+
+    /// Register under a custom prefix (for multiple pipelines sharing a
+    /// registry).
+    pub fn register_prefixed(registry: &MetricsRegistry, prefix: &str) -> Self {
+        let name = |metric: &str| format!("{prefix}.{metric}");
+        Self {
+            events: registry.counter(&name("events")),
+            late_dropped: registry.counter(&name("late_dropped")),
+            windows_fired: registry.counter(&name("windows_fired")),
+            watermark_us: registry.gauge(&name("watermark_us")),
+            watermark_lag_us: registry.histogram(&name("watermark_lag_us")),
+            emit_latency_us: registry.histogram(&name("emit_latency_us")),
+        }
+    }
+}
+
+/// Per-partition event counters for a partitioned window operator
+/// (`<prefix>.partition.<i>.events`), the skew view §2.4's mergeability
+/// argument presumes is balanced.
+#[derive(Debug, Clone)]
+pub struct PartitionMetrics {
+    counters: Vec<Counter>,
+}
+
+impl PartitionMetrics {
+    /// Register `p` per-partition counters under
+    /// `<prefix>.partition.<i>.events`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str, p: usize) -> Self {
+        let counters = (0..p)
+            .map(|i| registry.counter(&format!("{prefix}.partition.{i}.events")))
+            .collect();
+        Self { counters }
+    }
+
+    /// Number of partitions covered.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when registered over zero partitions.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Count one event routed to partition `i`.
+    #[inline]
+    pub fn record(&self, i: usize) {
+        self.counters[i].inc();
+    }
+
+    /// Current per-partition totals.
+    pub fn totals(&self) -> Vec<u64> {
+        self.counters.iter().map(Counter::get).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_metrics_register_conventional_names() {
+        let r = MetricsRegistry::new();
+        let m = PipelineMetrics::register(&r);
+        m.events.add(3);
+        m.late_dropped.inc();
+        m.watermark_us.set(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("pipeline.events"), Some(3));
+        assert_eq!(snap.counter("pipeline.late_dropped"), Some(1));
+        assert_eq!(snap.gauge("pipeline.watermark_us"), Some(42));
+        assert!(snap.histogram("pipeline.watermark_lag_us").is_some());
+        assert!(snap.histogram("pipeline.emit_latency_us").is_some());
+    }
+
+    #[test]
+    fn prefixed_pipelines_do_not_collide() {
+        let r = MetricsRegistry::new();
+        let a = PipelineMetrics::register_prefixed(&r, "a");
+        let b = PipelineMetrics::register_prefixed(&r, "b");
+        a.events.add(1);
+        b.events.add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.events"), Some(1));
+        assert_eq!(snap.counter("b.events"), Some(2));
+    }
+
+    #[test]
+    fn partition_metrics_track_per_partition() {
+        let r = MetricsRegistry::new();
+        let m = PartitionMetrics::register(&r, "pipeline", 3);
+        assert_eq!(m.len(), 3);
+        for i in 0..7 {
+            m.record(i % 3);
+        }
+        assert_eq!(m.totals(), vec![3, 2, 2]);
+        assert_eq!(r.snapshot().counter("pipeline.partition.0.events"), Some(3));
+    }
+}

@@ -10,6 +10,7 @@
 
 use qsketch_core::sketch::{MergeError, MergeableSketch};
 
+use crate::metrics::PartitionMetrics;
 use crate::window::WindowState;
 
 /// Per-window state holding one sketch per partition; values are routed
@@ -17,6 +18,9 @@ use crate::window::WindowState;
 pub struct PartitionedWindow<S> {
     partitions: Vec<S>,
     next: usize,
+    /// Optional per-partition event counters (shared across windows, so
+    /// totals describe the whole pipeline's routing balance).
+    metrics: Option<PartitionMetrics>,
 }
 
 impl<S: MergeableSketch> PartitionedWindow<S> {
@@ -26,7 +30,23 @@ impl<S: MergeableSketch> PartitionedWindow<S> {
         Self {
             partitions: (0..p).map(|_| factory()).collect(),
             next: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach per-partition counters; `metrics` must cover at least this
+    /// window's partitions. Successive windows can share one
+    /// [`PartitionMetrics`], accumulating pipeline-wide per-partition
+    /// totals.
+    pub fn with_metrics(mut self, metrics: PartitionMetrics) -> Self {
+        assert!(
+            metrics.len() >= self.partitions.len(),
+            "metrics cover {} partitions, window has {}",
+            metrics.len(),
+            self.partitions.len()
+        );
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Number of partitions.
@@ -60,6 +80,9 @@ impl<S: MergeableSketch> WindowState for PartitionedWindow<S> {
         let p = self.next;
         self.next = (self.next + 1) % self.partitions.len();
         self.partitions[p].insert(value);
+        if let Some(m) = &self.metrics {
+            m.record(p);
+        }
     }
 }
 
@@ -120,5 +143,40 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_rejected() {
         PartitionedWindow::new(0, || DdSketch::unbounded(0.01));
+    }
+
+    #[test]
+    fn partition_counters_accumulate_across_windows() {
+        use crate::metrics::PartitionMetrics;
+        use qsketch_core::metrics::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let metrics = PartitionMetrics::register(&registry, "pipeline", 3);
+        let mut op = TumblingWindows::new(1_000_000, || {
+            PartitionedWindow::new(3, || DdSketch::unbounded(0.01))
+                .with_metrics(metrics.clone())
+        });
+        for i in 0..3000u64 {
+            op.observe(Event::new((i % 100) as f64 + 1.0, i * 1_000, 0));
+        }
+        let fired = op.close();
+        assert_eq!(fired.results.len(), 3);
+        // Counters are shared by every window; each window restarts its
+        // round-robin at partition 0, so partition 0 leads by at most one
+        // event per window.
+        assert_eq!(metrics.totals(), vec![1002, 999, 999]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pipeline.partition.0.events"), Some(1002));
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics cover")]
+    fn undersized_partition_metrics_rejected() {
+        use crate::metrics::PartitionMetrics;
+        use qsketch_core::metrics::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let metrics = PartitionMetrics::register(&registry, "pipeline", 2);
+        let _ = PartitionedWindow::new(3, || DdSketch::unbounded(0.01)).with_metrics(metrics);
     }
 }

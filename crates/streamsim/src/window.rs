@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::event::Event;
+use crate::metrics::PipelineMetrics;
 
 /// Per-window accumulated state. Implemented by `Vec<f64>` (retain all
 /// values — the exact oracle) and by the harness's sketch+oracle pairs.
@@ -77,6 +78,8 @@ pub struct TumblingWindows<S, F: FnMut() -> S> {
     results: Vec<WindowResult<S>>,
     dropped_late: u64,
     total: u64,
+    /// Optional observability hooks; `None` keeps the hot path branch-only.
+    metrics: Option<PipelineMetrics>,
 }
 
 impl<S: WindowState, F: FnMut() -> S> TumblingWindows<S, F> {
@@ -100,7 +103,15 @@ impl<S: WindowState, F: FnMut() -> S> TumblingWindows<S, F> {
             results: Vec::new(),
             dropped_late: 0,
             total: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach pipeline metrics: per-event watermark lag, late-drop and
+    /// window-fire counters, per-window emit latency.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The current watermark (µs).
@@ -118,12 +129,22 @@ impl<S: WindowState, F: FnMut() -> S> TumblingWindows<S, F> {
         if candidate > self.watermark_us {
             self.watermark_us = candidate;
             let fire_below = self.watermark_us / self.window_us;
-            self.fire_below(fire_below);
+            self.fire_below(fire_below, Some(event.ingest_time_us));
+        }
+
+        if let Some(m) = &self.metrics {
+            m.events.inc();
+            m.watermark_us.set(self.watermark_us);
+            m.watermark_lag_us
+                .record(event.ingest_time_us.saturating_sub(self.watermark_us));
         }
 
         if idx < self.fired_below {
             // Window already fired: this is a late event; drop it (§2.6).
             self.dropped_late += 1;
+            if let Some(m) = &self.metrics {
+                m.late_dropped.inc();
+            }
             return;
         }
 
@@ -139,12 +160,23 @@ impl<S: WindowState, F: FnMut() -> S> TumblingWindows<S, F> {
         w.count += 1;
     }
 
-    fn fire_below(&mut self, fire_below: u64) {
+    /// Fire open windows below `fire_below`. `trigger_ingest_us` is the
+    /// ingestion time of the watermark-advancing event, used for the
+    /// emit-latency metric (`None` for the end-of-stream flush).
+    fn fire_below(&mut self, fire_below: u64, trigger_ingest_us: Option<u64>) {
         while let Some((&idx, _)) = self.open.first_key_value() {
             if idx >= fire_below {
                 break;
             }
             let (_, w) = self.open.pop_first().expect("checked non-empty");
+            if let Some(m) = &self.metrics {
+                m.windows_fired.inc();
+                if let Some(ingest) = trigger_ingest_us {
+                    // How long past its event-time end the window stayed
+                    // open before the watermark fired it.
+                    m.emit_latency_us.record(ingest.saturating_sub(w.end_us));
+                }
+            }
             self.results.push(w);
         }
         self.fired_below = self.fired_below.max(fire_below);
@@ -154,6 +186,9 @@ impl<S: WindowState, F: FnMut() -> S> TumblingWindows<S, F> {
     /// results.
     pub fn close(mut self) -> FiredWindows<S> {
         while let Some((_, w)) = self.open.pop_first() {
+            if let Some(m) = &self.metrics {
+                m.windows_fired.inc();
+            }
             self.results.push(w);
         }
         FiredWindows {
@@ -271,5 +306,74 @@ mod tests {
         assert!(fired.results.is_empty());
         assert_eq!(fired.total, 0);
         assert_eq!(fired.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn metrics_mirror_engine_counts() {
+        use qsketch_core::metrics::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        let mut op = TumblingWindows::new(1_000_000, Vec::new)
+            .with_metrics(metrics);
+        let events = vec![
+            ev(1.0, 0, 0),
+            ev(2.0, 1500, 0),
+            ev(3.0, 900, 5000), // late: window 0 fired at watermark 1500ms
+            ev(4.0, 2500, 0),
+        ];
+        let mut sorted = events;
+        sorted.sort_by_key(|e| e.ingest_time_us);
+        for e in sorted {
+            op.observe(e);
+        }
+        let fired = op.close();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pipeline.events"), Some(fired.total));
+        assert_eq!(
+            snap.counter("pipeline.late_dropped"),
+            Some(fired.dropped_late)
+        );
+        assert_eq!(
+            snap.counter("pipeline.windows_fired"),
+            Some(fired.results.len() as u64)
+        );
+        assert_eq!(snap.gauge("pipeline.watermark_us"), Some(2_500_000));
+        // Window 0 (end 1s) fired by the 1.5s ingest and window 1 (end 2s)
+        // by the 2.5s ingest — 0.5s emit latency each; the window flushed
+        // at close records none.
+        let emit = snap.histogram("pipeline.emit_latency_us").unwrap();
+        assert_eq!(emit.count, 2);
+        assert_eq!(emit.max, 500_000);
+        // Every observed event records a watermark-lag sample.
+        let lag = snap.histogram("pipeline.watermark_lag_us").unwrap();
+        assert_eq!(lag.count, fired.total);
+        // The straggler (event time 0.9s, ingested 5.9s, watermark 2.5s)
+        // dominates the lag distribution: 5.9s − 2.5s = 3.4s.
+        assert_eq!(lag.max, 3_400_000);
+    }
+
+    #[test]
+    fn emit_latency_includes_configured_watermark_lag() {
+        use qsketch_core::metrics::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let mut op = TumblingWindows::with_watermark_lag(1_000_000, 500_000, Vec::new)
+            .with_metrics(PipelineMetrics::register(&registry));
+        // Prompt arrivals: window 0 can only fire once event time passes
+        // end + lag = 1.5s.
+        for ms in [0u64, 900, 1400, 1600] {
+            op.observe(ev(1.0, ms, 0));
+        }
+        op.close();
+        let emit = registry
+            .snapshot()
+            .histogram("pipeline.emit_latency_us")
+            .cloned()
+            .unwrap();
+        assert_eq!(emit.count, 1);
+        // Fired by the 1.6s event: 0.6s after the window's 1s end.
+        assert_eq!(emit.max, 600_000);
     }
 }

@@ -33,6 +33,14 @@
 //! assert!((p99 - 990_000.0).abs() / 990_000.0 <= 0.01);
 //! ```
 //!
+//! ## Observability
+//!
+//! Wrap any sketch in [`Instrumented`] to record per-op counts,
+//! latencies and memory into a [`MetricsRegistry`]; attach
+//! [`PipelineMetrics`] to a windowed pipeline for watermark lag,
+//! late-drop and emit-latency metrics. Snapshots render as plain text
+//! or JSON.
+//!
 //! See `examples/` for streaming-window, latency-monitoring and
 //! distributed-merge scenarios, and `crates/bench` for the paper's
 //! experiments.
@@ -41,6 +49,7 @@ pub use qsketch_baselines::{DyadicCountSketch, GkSketch, HdrHistogram, RandomSke
 pub use qsketch_core::codec::{CodecError, SketchCodec};
 pub use qsketch_core::error::{rank_error, relative_error, ErrorStats};
 pub use qsketch_core::exact::{ExactQuantiles, ExactSketch};
+pub use qsketch_core::metrics::{Instrumented, LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use qsketch_core::profile::Profile;
 pub use qsketch_core::quantiles;
 pub use qsketch_core::sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};
@@ -55,7 +64,8 @@ pub use qsketch_moments::MomentsSketch;
 pub use qsketch_req::{RankAccuracy, ReqSketch};
 pub use qsketch_streamsim::{
     AccuracyConfig, Event, EventSource, KeyedEvent, KeyedTumblingWindows, NetworkDelay,
-    PartitionedWindow, SessionWindows, SlidingWindows, TumblingWindows,
+    PartitionMetrics, PartitionedWindow, PipelineMetrics, SessionWindows, SlidingWindows,
+    TumblingWindows,
 };
 pub use qsketch_uddsketch::UddSketch;
 

@@ -10,6 +10,7 @@ fn tiny() -> Args {
         with_baselines: false,
         seed: 42,
         runs: Some(1),
+        metrics: false,
     }
 }
 
@@ -116,6 +117,24 @@ fn ext_watermark_lag_runs() {
     assert!(out.contains("watermark lag"));
     assert!(out.contains("loss"));
     assert_mentions_sketches(&out, "ext_watermark_lag");
+}
+
+#[test]
+fn metrics_overhead_runs() {
+    let out = e::metrics_overhead::run(&tiny());
+    assert!(out.contains("insert overhead"));
+    assert_mentions_sketches(&out, "metrics_overhead");
+    assert!(out.contains("ns/insert"));
+}
+
+#[test]
+fn metrics_flag_appends_snapshot() {
+    let mut args = tiny();
+    args.metrics = true;
+    let out = e::ext_watermark_lag::run(&args);
+    assert!(out.contains("Metrics snapshot"));
+    assert!(out.contains("pipeline.late_dropped"));
+    assert!(out.contains("sketch.KLL.inserts"));
 }
 
 #[test]

@@ -2,8 +2,10 @@
 //! tumbling windows → sketches, i.e. the paper's §4.2/§4.6 setup in
 //! miniature.
 
-use quantile_sketches::streamsim::harness::{run_accuracy, AccuracyConfig};
-use quantile_sketches::{DataSet, DdSketch, KllSketch, NetworkDelay, UddSketch};
+use quantile_sketches::streamsim::harness::{
+    run_accuracy, run_accuracy_instrumented, AccuracyConfig,
+};
+use quantile_sketches::{DataSet, DdSketch, KllSketch, MetricsRegistry, NetworkDelay, UddSketch};
 
 fn tiny_cfg(delay: NetworkDelay) -> AccuracyConfig {
     AccuracyConfig {
@@ -124,6 +126,44 @@ fn randomized_sketches_work_in_windows() {
             assert!(err < 0.05, "q={q}: {err}");
         }
     }
+}
+
+#[test]
+fn pipeline_metrics_agree_with_run_summary() {
+    // The observability layer must report exactly what the engine did:
+    // every event counted, the late-drop counter equal to the events the
+    // summary says were dropped, and every admitted event inserted into
+    // exactly one window sketch.
+    let registry = MetricsRegistry::new();
+    let cfg = tiny_cfg(NetworkDelay::ExponentialMs(150.0));
+    let summary = run_accuracy_instrumented(
+        DdSketch::paper_configuration,
+        DataSet::Nyt.generator(21, 50),
+        &cfg,
+        21,
+        &registry,
+    );
+    assert!(summary.dropped_late > 0, "config should drop some events");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("pipeline.events"), Some(summary.total_events));
+    assert_eq!(
+        snap.counter("pipeline.late_dropped"),
+        Some(summary.dropped_late)
+    );
+    assert_eq!(
+        snap.counter("sketch.DDS.inserts"),
+        Some(summary.total_events - summary.dropped_late)
+    );
+    // One batched quantile query per measured window.
+    assert_eq!(
+        snap.counter("sketch.DDS.queries"),
+        Some(summary.windows.len() as u64)
+    );
+    let lag = snap.histogram("pipeline.watermark_lag_us").unwrap();
+    assert_eq!(lag.count, summary.total_events);
+    let emit = snap.histogram("pipeline.emit_latency_us").unwrap();
+    assert!(emit.count > 0, "watermark-fired windows record emit latency");
 }
 
 #[test]

@@ -1,0 +1,329 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API surface the workspace's `benches/` use —
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups with
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`] and
+//! [`BenchmarkId`] — without the statistics engine: each benchmark is
+//! warmed up, measured for the configured wall-clock budget, and reported
+//! as a mean time per iteration (plus throughput when configured) on
+//! stdout. There is no outlier analysis, no HTML report, and no
+//! comparison against saved baselines.
+//!
+//! That is deliberately minimal but honest: the paper's speed experiments
+//! (`crates/bench/src/bin/fig5*`) carry their own timing code; the
+//! Criterion benches exist for quick relative comparisons, which mean
+//! times support.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. This stand-in times each
+/// routine call individually, so the variants only bound batch sizes.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine inputs (most common).
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Per-iteration work attributed to a benchmark, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, &mut f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in sizes samples by
+    /// wall-clock budget, not count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Report a derived rate with each result.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            total_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Measure one function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; results print per bench).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let full = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let mean_ns = bencher.mean_ns();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" thrpt: {:.2} Melem/s", n as f64 / mean_ns * 1e3),
+            Throughput::Bytes(n) => format!(" thrpt: {:.2} MiB/s", n as f64 / mean_ns * 1e9 / (1 << 20) as f64),
+        });
+        println!(
+            "{full:<56} time: {:>12}{}",
+            format_ns(mean_ns),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs and times the benchmarked routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    total_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run untimed for the warm-up budget (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measure in growing batches until the budget is spent.
+        let mut batch = 1u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total_ns += t.elapsed().as_nanos() as f64;
+            self.iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t.elapsed().as_nanos() as f64;
+            self.iters += 1;
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.total_ns / self.iters as f64
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            total_ns: 0.0,
+            iters: 0,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(b.iters > 0);
+        assert!(b.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .throughput(Throughput::Elements(10))
+            .bench_function("add", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

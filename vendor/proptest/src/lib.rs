@@ -1,0 +1,138 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro, range and [`collection::vec`] strategies,
+//! [`arbitrary::any`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! test stub:
+//!
+//! * **no shrinking** — a failing case panics with its assertion message
+//!   but is not minimised;
+//! * **deterministic seeding** — case `i` of test `t` always draws the
+//!   same inputs (seeded from a hash of the test name and `i`), so
+//!   failures reproduce without a persistence file;
+//! * strategies are plain value generators (`Strategy::new_value`), not
+//!   lazy trees.
+//!
+//! The surface is API-compatible for the call sites in `tests/` — swap
+//! the registry dependency back in and nothing needs to change.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What the macros re-export, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` running `body` against freshly generated
+/// arguments for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_cases(stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __proptest_rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 1usize..=5, z in -4i32..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=5).contains(&y));
+            prop_assert!((-4..4).contains(&z));
+        }
+
+        #[test]
+        fn float_range(v in 0.5f64..2.0) {
+            prop_assert!((0.5..2.0).contains(&v));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(values in crate::collection::vec(0.0f64..1.0, 3..7)) {
+            prop_assert!((3..7).contains(&values.len()));
+            for v in values {
+                prop_assert!((0.0..1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn any_u8_is_exhaustive_enough(b in any::<u8>()) {
+            // Nothing to check beyond type soundness; the value is a u8.
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let collect = |name: &str| {
+            let mut out = Vec::new();
+            TestRunner::new(ProptestConfig::with_cases(16)).run_cases(name, |rng| {
+                out.push((0u64..1_000_000).new_value(rng));
+            });
+            out
+        };
+        assert_eq!(collect("same"), collect("same"));
+        assert_ne!(collect("same"), collect("different"));
+    }
+}

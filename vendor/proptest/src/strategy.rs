@@ -1,0 +1,106 @@
+//! Value-generation strategies.
+//!
+//! Unlike real proptest, a strategy here is a plain generator: it
+//! produces a value per call and never shrinks.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// A source of generated values for one test argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                // Modulo bias is immaterial at test-generation scale.
+                self.start + (u128::from(rng.next_u64()) % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() - *self.start()) as u128 + 1;
+                self.start() + (u128::from(rng.next_u64()) % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (<$wide>::from(self.end) - <$wide>::from(self.start)) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as $wide;
+                (<$wide>::from(self.start) + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span =
+                    (<$wide>::from(*self.end()) - <$wide>::from(*self.start())) as u128 + 1;
+                let off = (u128::from(rng.next_u64()) % span) as $wide;
+                (<$wide>::from(*self.start()) + off) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8 => i64, i16 => i64, i32 => i64, i64 => i128);
+
+fn unit_f64(rng: &mut TestRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (unit_f64(rng) as f32) * (self.end - self.start)
+    }
+}

@@ -1,0 +1,60 @@
+//! Case execution: configuration and the deterministic per-case RNG.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. One fresh instance per test case.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Run configuration. Only `cases` is honoured by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Drives one property test for the configured number of cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+/// FNV-1a — stable across runs and platforms, unlike `DefaultHasher`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Create a runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run `case` once per configured case with a deterministic RNG
+    /// seeded from `name` and the case index, so failures reproduce.
+    pub fn run_cases(&mut self, name: &str, mut case: impl FnMut(&mut TestRng)) {
+        let base = fnv1a(name.as_bytes());
+        for i in 0..self.config.cases {
+            let seed = base ^ (u64::from(i) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            case(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The workspace's standard generator.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic, seedable generator: xoshiro256\*\* (Blackman &
+/// Vigna), state-initialised with SplitMix64 as its authors recommend.
+///
+/// Upstream `rand`'s `StdRng` is ChaCha12; this stand-in trades
+/// cryptographic strength (unused in this workspace) for zero
+/// dependencies. Statistical quality is ample for workload generation:
+/// xoshiro256\*\* passes BigCrush.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // SplitMix64 never yields four zeros from any seed, but guard
+        // anyway: the all-zero state is xoshiro's single fixed point.
+        if s == [0; 4] {
+            return Self::seed_from_u64(seed ^ 0xDEAD_BEEF_CAFE_F00D);
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

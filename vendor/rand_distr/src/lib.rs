@@ -1,0 +1,452 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate.
+//!
+//! Implements, std-only and dependency-free (besides the vendored `rand`
+//! stand-in), exactly the distributions this workspace samples:
+//! [`Uniform`], [`Normal`], [`LogNormal`], [`Exp`], [`Pareto`], [`Gamma`],
+//! [`Binomial`] and [`Zipf`], behind the same [`Distribution`] trait and
+//! constructor signatures as `rand_distr` 0.4.
+//!
+//! Algorithms are textbook rather than the heavily optimised upstream
+//! ones (Box–Muller instead of the ziggurat, Bernoulli summation /
+//! normal approximation for the binomial, CDF inversion for Zipf): the
+//! workspace samples at experiment setup time, where a few extra
+//! nanoseconds per draw are irrelevant, and every consumer asserts on
+//! distributional properties, not exact sequences.
+
+use rand::RngCore;
+
+/// Types that can be sampled given a source of randomness.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// True when `x` is finite and strictly positive (rejects NaN, which a
+/// plain `x > 0.0` comparison would let through when negated).
+fn finite_positive(x: f64) -> bool {
+    x.is_finite() && x > 0.0
+}
+
+/// Uniform `f64` in `[0, 1)`.
+fn unit_open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f64` in `(0, 1)` — safe to take logarithms of.
+fn unit_exclusive<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform distribution on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<F> {
+    low: F,
+    range: F,
+}
+
+impl Uniform<f64> {
+    /// Create a uniform distribution on `[low, high)`. Panics if the
+    /// range is empty or not finite (matching `rand` 0.8's `Uniform`).
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        assert!((high - low).is_finite(), "Uniform range must be finite");
+        Self { low, range: high - low }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + unit_open01(rng) * self.range
+    }
+}
+
+/// Normal (Gaussian) distribution, sampled by Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Create with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("std_dev must be finite and non-negative"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+/// One standard-normal draw (Box–Muller, cosine branch).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_exclusive(rng);
+    let u2 = unit_open01(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    norm: Normal<F>,
+}
+
+impl LogNormal<f64> {
+    /// Create from the mean and standard deviation of the *underlying*
+    /// normal (matching `rand_distr`).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`),
+/// sampled by CDF inversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<F> {
+    lambda_inv: F,
+}
+
+impl Exp<f64> {
+    /// Create with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !finite_positive(lambda) {
+            return Err(Error("exponential rate must be positive and finite"));
+        }
+        Ok(Self { lambda_inv: 1.0 / lambda })
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_exclusive(rng).ln() * self.lambda_inv
+    }
+}
+
+/// Pareto distribution with the given scale (minimum value) and shape,
+/// sampled by CDF inversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto<F> {
+    scale: F,
+    inv_neg_shape: F,
+}
+
+impl Pareto<f64> {
+    /// Create with `scale > 0` and `shape > 0`.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if !finite_positive(scale) || !finite_positive(shape) {
+            return Err(Error("Pareto scale and shape must be positive"));
+        }
+        Ok(Self { scale, inv_neg_shape: -1.0 / shape })
+    }
+}
+
+impl Distribution<f64> for Pareto<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * unit_exclusive(rng).powf(self.inv_neg_shape)
+    }
+}
+
+/// Gamma distribution with the given shape and scale, sampled by
+/// Marsaglia–Tsang (with the standard `shape < 1` boost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma<F> {
+    shape: F,
+    scale: F,
+}
+
+impl Gamma<f64> {
+    /// Create with `shape > 0` and `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if !finite_positive(shape) || !finite_positive(scale) {
+            return Err(Error("Gamma shape and scale must be positive"));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    fn sample_shape_ge1<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = unit_exclusive(rng);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit = if self.shape >= 1.0 {
+            Self::sample_shape_ge1(self.shape, rng)
+        } else {
+            // Boost: Gamma(a) = Gamma(a+1) * U^(1/a) for a < 1.
+            Self::sample_shape_ge1(self.shape + 1.0, rng)
+                * unit_exclusive(rng).powf(1.0 / self.shape)
+        };
+        unit * self.scale
+    }
+}
+
+/// How many trials a [`Binomial`] sums individually before switching to
+/// the normal approximation.
+const BINOMIAL_EXACT_MAX_N: u64 = 4096;
+
+/// Binomial distribution `B(n, p)`, sampled exactly (Bernoulli
+/// summation) for small `n` and via the rounded normal approximation for
+/// large `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create with `n` trials of probability `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, Error> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(Error("Binomial p must lie in [0, 1]"));
+        }
+        Ok(Self { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n <= BINOMIAL_EXACT_MAX_N {
+            (0..self.n)
+                .filter(|_| unit_open01(rng) < self.p)
+                .count() as u64
+        } else {
+            let mean = self.n as f64 * self.p;
+            let sd = (mean * (1.0 - self.p)).sqrt();
+            let draw = (mean + sd * standard_normal(rng)).round();
+            draw.clamp(0.0, self.n as f64) as u64
+        }
+    }
+}
+
+/// Ranks over which [`Zipf`] inverts the exact CDF rather than the
+/// continuous approximation.
+const ZIPF_TABLE_MAX_N: u64 = 1 << 20;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`. Sampled by inverse CDF over a precomputed cumulative
+/// table for `n ≤ 2^20`; larger supports fall back to inverting the
+/// continuous power-law envelope on `[0.5, n + 0.5]` and rounding (a
+/// close approximation adequate for workload generation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf<F> {
+    n: u64,
+    s: F,
+    /// Cumulative unnormalised masses for the table path; empty for the
+    /// continuous fallback.
+    cdf: Vec<F>,
+}
+
+impl Zipf<f64> {
+    /// Create over `n ≥ 1` elements with exponent `s ≥ 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 {
+            return Err(Error("Zipf needs at least one element"));
+        }
+        if s < 0.0 || !s.is_finite() {
+            return Err(Error("Zipf exponent must be non-negative and finite"));
+        }
+        let cdf = if n <= ZIPF_TABLE_MAX_N {
+            let mut acc = 0.0;
+            (1..=n)
+                .map(|k| {
+                    acc += (k as f64).powf(-s);
+                    acc
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self { n, s, cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if !self.cdf.is_empty() {
+            let target = unit_open01(rng) * self.cdf[self.cdf.len() - 1];
+            let idx = self.cdf.partition_point(|&c| c <= target);
+            (idx.min(self.cdf.len() - 1) + 1) as f64
+        } else {
+            // Continuous envelope x^-s on [0.5, n+0.5], inverted and
+            // rounded to the nearest rank.
+            let (a, b) = (0.5f64, self.n as f64 + 0.5);
+            let u = unit_exclusive(rng);
+            let x = if (self.s - 1.0).abs() < 1e-12 {
+                a * (b / a).powf(u)
+            } else {
+                let e = 1.0 - self.s;
+                (a.powf(e) + u * (b.powf(e) - a.powf(e))).powf(1.0 / e)
+            };
+            x.round().clamp(1.0, self.n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &impl Distribution<f64>, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(30.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((30.0..100.0).contains(&v));
+        }
+        assert!((mean_of(&d, 100_000, 2) - 65.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(1000.0, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+        assert!((var.sqrt() - 100.0).abs() < 2.0, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(1.0 / 150_000.0).unwrap();
+        let m = mean_of(&d, 200_000, 4);
+        assert!((m - 150_000.0).abs() < 2_000.0, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(1.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut max = 0.0f64;
+        for _ in 0..100_000 {
+            let v = d.sample(&mut rng);
+            assert!(v >= 1.0);
+            max = max.max(v);
+        }
+        assert!(max > 1_000.0, "alpha=1 tail should exceed 1000, max {max}");
+    }
+
+    #[test]
+    fn pareto_median_matches_closed_form() {
+        // Median of Pareto(x_m, alpha) is x_m * 2^(1/alpha).
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[50_000];
+        let expect = 2.0 * 2f64.powf(1.0 / 3.0);
+        assert!((median - expect).abs() / expect < 0.02, "median {median}");
+    }
+
+    #[test]
+    fn gamma_mean_large_and_small_shape() {
+        let d = Gamma::new(8.0, 0.05).unwrap();
+        assert!((mean_of(&d, 200_000, 7) - 0.4).abs() < 0.01);
+        let small = Gamma::new(0.5, 2.0).unwrap();
+        let m = mean_of(&small, 200_000, 8);
+        assert!((m - 1.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn binomial_exact_and_approximate() {
+        let d = Binomial::new(100, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!(v <= 100);
+            sum += v;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 20.0).abs() < 0.3, "mean {mean}");
+
+        let big = Binomial::new(1_000_000, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let v = big.sample(&mut rng) as f64;
+        assert!((v - 500_000.0).abs() < 5_000.0, "draw {v}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let d = Zipf::new(20, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ones = 0;
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=20.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 1_000, "rank-1 frequency {ones}");
+    }
+
+    #[test]
+    fn zipf_continuous_fallback_in_support() {
+        let d = Zipf::new(u64::from(u32::MAX), 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!(v >= 1.0 && v <= u32::MAX as f64);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Binomial::new(10, 1.5).is_err());
+        assert!(Zipf::new(0, 0.6).is_err());
+    }
+}
