@@ -19,4 +19,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "==> cargo clippy (no warnings allowed)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> sharded-engine smoke run (tiny, 1 and 2 threads)"
+cargo run --release --offline -p qsketch-bench --bin ext_parallel_scaling -- \
+    --tiny --threads 1,2 --metrics
+
 echo "All checks passed."

@@ -1,0 +1,23 @@
+//! Extension experiment: parallel insert scaling of the multi-threaded
+//! sharded ingestion engine (beyond the paper; reference behavior:
+//! Quancurrent, arXiv:2208.09265).
+//!
+//! Prints the table; at `--quick`/`--full` scale also writes the raw
+//! measurements to `results/ext_parallel_scaling.json` (skipped at
+//! `--tiny`, which exists for CI smoke runs that should not clobber real
+//! results).
+
+use qsketch_bench::cli::Scale;
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    let (table, json) = qsketch_bench::experiments::ext_parallel_scaling::run_with_json(&args);
+    print!("{table}");
+    if args.scale != Scale::Tiny {
+        let path = std::path::Path::new("results").join("ext_parallel_scaling.json");
+        match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, &json)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

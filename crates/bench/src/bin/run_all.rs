@@ -5,7 +5,7 @@ fn main() {
     let args = qsketch_bench::cli::Args::parse();
     use qsketch_bench::experiments as e;
     type Experiment = fn(&qsketch_bench::cli::Args) -> String;
-    let runs: [(&str, Experiment); 14] = [
+    let runs: [(&str, Experiment); 15] = [
         ("fig4_datasets", e::fig4_datasets::run),
         ("table3_memory", e::table3_memory::run),
         ("fig5a_insertion", e::fig5a_insertion::run),
@@ -19,6 +19,7 @@ fn main() {
         ("table4_summary", e::table4_summary::run),
         ("ext_watermark_lag", e::ext_watermark_lag::run),
         ("ext_space_accuracy", e::ext_space_accuracy::run),
+        ("ext_parallel_scaling", e::ext_parallel_scaling::run),
         ("metrics_overhead", e::metrics_overhead::run),
     ];
     for (name, run) in runs {

@@ -8,7 +8,10 @@
 //! * `--seed <n>`: override the base seed (default 42),
 //! * `--runs <n>`: override the number of independent runs,
 //! * `--metrics`: run instrumented (where the experiment supports it) and
-//!   append a metrics-registry snapshot to the output.
+//!   append a metrics-registry snapshot to the output,
+//! * `--threads <list>`: comma-separated worker-thread counts for the
+//!   parallel-scaling experiment (e.g. `--threads 1,2,4`; default
+//!   1,2,4,8).
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +38,9 @@ pub struct Args {
     pub runs: Option<usize>,
     /// Record pipeline/sketch metrics and print a registry snapshot.
     pub metrics: bool,
+    /// Worker-thread counts for the parallel-scaling experiment
+    /// (None = the experiment's default sweep).
+    pub threads: Option<Vec<usize>>,
 }
 
 impl Default for Args {
@@ -45,6 +51,7 @@ impl Default for Args {
             seed: 42,
             runs: None,
             metrics: false,
+            threads: None,
         }
     }
 }
@@ -69,10 +76,27 @@ impl Args {
                     let v = it.next().ok_or("--runs needs a value")?;
                     out.runs = Some(v.parse().map_err(|_| format!("bad runs: {v}"))?);
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value (e.g. 1,2,4)")?;
+                    let list = v
+                        .split(',')
+                        .map(|t| {
+                            t.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&t| t > 0)
+                                .ok_or_else(|| format!("bad thread count: {t}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if list.is_empty() {
+                        return Err("--threads needs at least one count".into());
+                    }
+                    out.threads = Some(list);
+                }
                 "--help" | "-h" => {
                     return Err(concat!(
                         "usage: <experiment> [--tiny|--quick|--full] [--with-baselines] ",
-                        "[--metrics] [--seed N] [--runs N]"
+                        "[--metrics] [--seed N] [--runs N] [--threads L]"
                     )
                     .to_string())
                 }
@@ -151,6 +175,19 @@ mod tests {
     fn metrics_flag() {
         assert!(!parse(&[]).unwrap().metrics);
         assert!(parse(&["--metrics"]).unwrap().metrics);
+    }
+
+    #[test]
+    fn threads_list() {
+        assert_eq!(parse(&[]).unwrap().threads, None);
+        assert_eq!(
+            parse(&["--threads", "1,2,4"]).unwrap().threads,
+            Some(vec![1, 2, 4])
+        );
+        assert_eq!(parse(&["--threads", "8"]).unwrap().threads, Some(vec![8]));
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "2,x"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Extension experiment (beyond the paper): insert scaling of the
+//! multi-threaded sharded ingestion engine.
+//!
+//! The paper measures mergeability as a *cost* (Fig. 5c: time per
+//! pairwise merge) but never exploits it for parallelism; Quancurrent
+//! (arXiv:2208.09265) shows thread-local sketches + merge-on-query
+//! scaling near-linearly with threads. This experiment runs the same
+//! pre-generated Pareto stream through
+//! [`qsketch_streamsim::engine::ShardedEngine`] at 1–8 worker threads
+//! for every sketch and reports:
+//!
+//! * **throughput** — wall-clock events/s through the full router →
+//!   queue → shard-worker path (drained, so every value is inserted),
+//! * **speedup** — vs. the same engine at 1 thread (so channel/router
+//!   overhead is in both numerator and denominator),
+//! * **p99 insert latency** — sampled at the router call site; grows
+//!   when backpressure blocks the producer,
+//! * **merge (µs)** — the binary merge tree folding the final shard
+//!   snapshots, the per-query cost Fig. 5c predicts.
+//!
+//! The expected shape on a machine with ≥ 8 free cores is near-linear
+//! scaling for sketches whose insert is expensive enough to dominate the
+//! router (KLL, REQ, UDDS), flattening toward router-bound for the
+//! cheapest inserts (DDS dense store, Moments). On a single-core
+//! container the workers timeslice and "speedup" measures pure overhead.
+
+use std::time::Instant;
+
+use crate::cli::{Args, Scale};
+use crate::registry::SketchKind;
+use crate::table::Table;
+use qsketch_core::metrics::MetricsRegistry;
+use qsketch_core::QuantileSketch;
+use qsketch_datagen::{FixedPareto, ValueStream};
+use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
+
+/// Default worker-thread sweep (override with `--threads`).
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Sample period for router-side insert-latency timing: 1 in 64 inserts
+/// pays the `Instant` pair, keeping the probe overhead under ~1 ns/insert
+/// while still collecting thousands of samples per run.
+const LATENCY_SAMPLE_PERIOD: usize = 64;
+
+/// One measured (sketch, threads) cell.
+struct ScalingPoint {
+    sketch: &'static str,
+    threads: usize,
+    elapsed_s: f64,
+    throughput_eps: f64,
+    speedup: f64,
+    p99_insert_ns: u64,
+    merge_us: f64,
+    merged_count: u64,
+}
+
+fn stream_len(scale: Scale) -> u64 {
+    match scale {
+        Scale::Tiny => 20_000,
+        Scale::Quick => 1_000_000,
+        Scale::Full => 10_000_000,
+    }
+}
+
+/// Run the sweep and render the table (the JSON lives in
+/// [`run_with_json`]).
+pub fn run(args: &Args) -> String {
+    run_with_json(args).0
+}
+
+/// Run the sweep; returns `(rendered table, JSON document)`. The binary
+/// writes the JSON under `results/`.
+pub fn run_with_json(args: &Args) -> (String, String) {
+    let n = stream_len(args.scale);
+    let threads = args
+        .threads
+        .clone()
+        .unwrap_or_else(|| THREAD_SWEEP.to_vec());
+    let registry = args.metrics.then(MetricsRegistry::new);
+
+    // Pre-generate the stream once (same workload as Fig. 5a) so value
+    // generation is outside every timed section and identical across
+    // sketches and thread counts.
+    let mut gen = FixedPareto::paper_speed_workload(args.seed);
+    let values: Vec<f64> = (0..n).map(|_| gen.next_value()).collect();
+
+    // GK has no merge operation, so it cannot ride the merge-on-query
+    // engine; skip it even under --with-baselines.
+    let sketches: Vec<SketchKind> = args
+        .sketches()
+        .into_iter()
+        .filter(|k| k.is_mergeable())
+        .collect();
+
+    let mut out = format!(
+        "Ext: parallel insert scaling of the sharded engine \
+         (Pareto alpha=1 stream, {n} events/run,\nbatch={batch}, \
+         queue={queue} batches/shard, round-robin routing, \
+         merge-on-query)\n\n",
+        batch = qsketch_streamsim::engine::DEFAULT_BATCH_SIZE,
+        queue = qsketch_streamsim::engine::DEFAULT_QUEUE_CAPACITY,
+    );
+    let mut table = Table::new([
+        "sketch",
+        "threads",
+        "Mops/s",
+        "speedup",
+        "p99 ins (ns)",
+        "merge (µs)",
+    ]);
+
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    for &kind in &sketches {
+        let mut baseline_eps: Option<f64> = None;
+        for &t in &threads {
+            let point = measure(kind, t, &values, args, registry.as_ref(), baseline_eps);
+            if baseline_eps.is_none() {
+                baseline_eps = Some(point.throughput_eps);
+            }
+            table.row(vec![
+                point.sketch.to_string(),
+                format!("{}", point.threads),
+                format!("{:.2}", point.throughput_eps / 1e6),
+                format!("{:.2}x", point.speedup),
+                format!("{}", point.p99_insert_ns),
+                format!("{:.1}", point.merge_us),
+            ]);
+            points.push(point);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nReading: speedup is vs. the 1-thread engine (router overhead included in\n\
+         both sides). Expect near-linear insert scaling while per-insert sketch cost\n\
+         dominates the router (Quancurrent, arXiv:2208.09265, reports the same shape),\n\
+         and a per-query merge cost that follows Fig. 5c's per-sketch ordering.\n\
+         On machines with fewer free cores than workers, the workers timeslice and\n\
+         the measured speedup bounds at the core count, not the thread count.\n",
+    );
+    if let Some(r) = &registry {
+        out.push_str(
+            "\nMetrics snapshot (per engine instance, prefixed \
+             engine.<sketch>.t<threads>;\nqueue-depth gauges hold the last \
+             observed depth, backpressure_wait_ns is the\nproducer's blocking \
+             time on full shard queues):\n\n",
+        );
+        out.push_str(&r.snapshot().render_text());
+    }
+
+    (out, render_json(args, n, &threads, &points))
+}
+
+/// Run one (sketch, threads) configuration end-to-end and measure it.
+fn measure(
+    kind: SketchKind,
+    threads: usize,
+    values: &[f64],
+    args: &Args,
+    registry: Option<&MetricsRegistry>,
+    baseline_eps: Option<f64>,
+) -> ScalingPoint {
+    // Distinct per-shard seeds: each shard of a randomised sketch (KLL,
+    // REQ) must draw an independent sequence, as independent stream
+    // shards would.
+    let mut shard_seed = args.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ threads as u64;
+    let factory = || {
+        shard_seed = shard_seed.wrapping_add(1);
+        kind.build(shard_seed, true)
+    };
+    let config = EngineConfig::new(threads);
+    let mut engine = match registry {
+        Some(r) => {
+            let prefix = format!("engine.{}.t{}", kind.label().to_lowercase(), threads);
+            ShardedEngine::spawn_instrumented(config, factory, r, &prefix)
+                .expect("threads >= 1 enforced by the CLI")
+        }
+        None => ShardedEngine::spawn(config, factory),
+    };
+
+    let mut latency_samples: Vec<u64> =
+        Vec::with_capacity(values.len() / LATENCY_SAMPLE_PERIOD + 1);
+    let start = Instant::now();
+    for (i, &v) in values.iter().enumerate() {
+        if i % LATENCY_SAMPLE_PERIOD == 0 {
+            let probe = Instant::now();
+            engine.insert(v);
+            latency_samples.push(probe.elapsed().as_nanos() as u64);
+        } else {
+            engine.insert(v);
+        }
+    }
+    engine.drain();
+    let elapsed = start.elapsed();
+
+    let merge_start = Instant::now();
+    let merged = engine.finish().expect("same-parameter shards merge");
+    let merge_us = merge_start.elapsed().as_nanos() as f64 / 1e3;
+    assert_eq!(
+        merged.count(),
+        values.len() as u64,
+        "{} t={threads}: engine lost events",
+        kind.label()
+    );
+
+    latency_samples.sort_unstable();
+    let p99_insert_ns = latency_samples
+        [((latency_samples.len() as f64 * 0.99).ceil() as usize - 1).min(latency_samples.len() - 1)];
+    let elapsed_s = elapsed.as_secs_f64();
+    let throughput_eps = values.len() as f64 / elapsed_s;
+    ScalingPoint {
+        sketch: kind.label(),
+        threads,
+        elapsed_s,
+        throughput_eps,
+        speedup: throughput_eps / baseline_eps.unwrap_or(throughput_eps),
+        p99_insert_ns,
+        merge_us,
+        merged_count: merged.count(),
+    }
+}
+
+/// Hand-rolled JSON document (no serde in the offline build).
+fn render_json(args: &Args, n: u64, threads: &[usize], points: &[ScalingPoint]) -> String {
+    let scale = match args.scale {
+        Scale::Tiny => "tiny",
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let threads_list = threads
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut json = format!(
+        "{{\"experiment\":\"ext_parallel_scaling\",\"scale\":\"{scale}\",\
+         \"events_per_run\":{n},\"seed\":{seed},\"batch_size\":{batch},\
+         \"queue_capacity\":{queue},\"threads\":[{threads_list}],\"results\":[",
+        seed = args.seed,
+        batch = qsketch_streamsim::engine::DEFAULT_BATCH_SIZE,
+        queue = qsketch_streamsim::engine::DEFAULT_QUEUE_CAPACITY,
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"sketch\":\"{}\",\"threads\":{},\"elapsed_s\":{:.6},\
+             \"throughput_eps\":{:.1},\"speedup\":{:.4},\"p99_insert_ns\":{},\
+             \"merge_us\":{:.2},\"merged_count\":{}}}",
+            p.sketch,
+            p.threads,
+            p.elapsed_s,
+            p.throughput_eps,
+            p.speedup,
+            p.p99_insert_ns,
+            p.merge_us,
+            p.merged_count,
+        ));
+    }
+    json.push_str("]}");
+    json
+}

@@ -95,6 +95,12 @@ impl SketchKind {
     pub fn build_for(self, seed: u64, dataset: DataSet) -> AnySketch {
         self.build(seed, dataset.moments_needs_compression())
     }
+
+    /// Whether same-kind merging can succeed (§2.4): everything but GK,
+    /// which has no merge operation.
+    pub fn is_mergeable(self) -> bool {
+        self != SketchKind::Gk
+    }
 }
 
 /// A type-erased sketch: one enum over every implementation so experiment
@@ -135,7 +141,7 @@ impl AnySketch {
     /// Merge a same-kind sketch into this one (§2.4). GK has no merge
     /// operation (it is a §5.2 baseline outside the mergeability study).
     pub fn merge_same(&mut self, other: &AnySketch) -> Result<(), MergeError> {
-        use qsketch_core::sketch::MergeableSketch;
+        use qsketch_core::sketch::MergeableSketch as _;
         match (self, other) {
             (AnySketch::Req(a), AnySketch::Req(b)) => a.merge(b),
             (AnySketch::Kll(a), AnySketch::Kll(b)) => a.merge(b),
@@ -143,10 +149,31 @@ impl AnySketch {
             (AnySketch::Dds(a), AnySketch::Dds(b)) => a.merge(b),
             (AnySketch::Moments(a), AnySketch::Moments(b)) => a.merge(b),
             (AnySketch::TDigest(a), AnySketch::TDigest(b)) => a.merge(b),
+            (AnySketch::Gk(_), AnySketch::Gk(_)) => Err(MergeError::IncompatibleParameters(
+                "GK has no merge operation".into(),
+            )),
             _ => Err(MergeError::IncompatibleParameters(
                 "cannot merge different sketch kinds".into(),
             )),
         }
+    }
+
+    /// Whether [`merge_same`](Self::merge_same) with a same-kind peer can
+    /// succeed (everything but GK).
+    pub fn is_mergeable(&self) -> bool {
+        self.kind().is_mergeable()
+    }
+}
+
+/// [`MergeableSketch`](qsketch_core::sketch::MergeableSketch) over the
+/// type-erased enum, so generic merge-based
+/// machinery — `qsketch_core::merge_tree`, the sharded ingestion engine —
+/// runs over every kind the harness can build. Merging mismatched kinds
+/// (or GK, which has no merge) returns
+/// [`MergeError::IncompatibleParameters`].
+impl qsketch_core::sketch::MergeableSketch for AnySketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.merge_same(other)
     }
 }
 

@@ -48,4 +48,6 @@ pub use error::{rank_error, relative_error};
 pub use exact::ExactQuantiles;
 pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
 pub use profile::Profile;
-pub use sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};
+pub use sketch::{
+    merge_tree, snapshot_merge, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};

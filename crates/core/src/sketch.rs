@@ -108,6 +108,76 @@ pub trait MergeableSketch: QuantileSketch {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
 }
 
+/// Fold sketches through a binary merge tree (§2.4, the aggregation shape
+/// of Fig. 5c): pairwise rounds, so `k` shards take `⌈log₂ k⌉` rounds and
+/// every sketch participates in at most `⌈log₂ k⌉` merges — the same
+/// depth a distributed reduce would use, and the order the sharded
+/// ingestion engine folds its shard snapshots in.
+///
+/// Returns `Ok(None)` for an empty input. Merge errors (incompatible
+/// parameters) propagate immediately.
+///
+/// ```
+/// use qsketch_core::sketch::{merge_tree, MergeableSketch, QuantileSketch};
+/// # use qsketch_core::sketch::{check_quantile, MergeError, QueryError};
+/// # #[derive(Clone, Default)]
+/// # struct KeepAll(Vec<f64>);
+/// # impl QuantileSketch for KeepAll {
+/// #     fn insert(&mut self, v: f64) { self.0.push(v); }
+/// #     fn query(&self, q: f64) -> Result<f64, QueryError> {
+/// #         check_quantile(q)?;
+/// #         let mut s = self.0.clone();
+/// #         s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// #         let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+/// #         s.get(rank - 1).copied().ok_or(QueryError::Empty)
+/// #     }
+/// #     fn count(&self) -> u64 { self.0.len() as u64 }
+/// #     fn memory_footprint(&self) -> usize { self.0.len() * 8 }
+/// #     fn name(&self) -> &'static str { "keep-all" }
+/// # }
+/// # impl MergeableSketch for KeepAll {
+/// #     fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+/// #         self.0.extend_from_slice(&other.0);
+/// #         Ok(())
+/// #     }
+/// # }
+/// let shards: Vec<KeepAll> = (0..4)
+///     .map(|i| {
+///         let mut s = KeepAll::default();
+///         for v in 0..25 {
+///             s.insert((i * 25 + v) as f64 + 1.0);
+///         }
+///         s
+///     })
+///     .collect();
+/// let merged = merge_tree(shards).unwrap().unwrap();
+/// assert_eq!(merged.count(), 100);
+/// assert_eq!(merged.query(0.5).unwrap(), 50.0);
+/// ```
+pub fn merge_tree<S: MergeableSketch>(mut shards: Vec<S>) -> Result<Option<S>, MergeError> {
+    while shards.len() > 1 {
+        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut it = shards.into_iter();
+        while let Some(mut left) = it.next() {
+            if let Some(right) = it.next() {
+                left.merge(&right)?;
+            }
+            next.push(left);
+        }
+        shards = next;
+    }
+    Ok(shards.pop())
+}
+
+/// Merge point-in-time *snapshots* of live shard sketches: clone each
+/// shard, then fold the clones through [`merge_tree`]. The shards are
+/// only read, so concurrent writers (behind their own locks) keep going
+/// while the query side folds an isolated copy — the `Send`-safe query
+/// path of the sharded ingestion engine.
+pub fn snapshot_merge<S: MergeableSketch + Clone>(shards: &[S]) -> Result<Option<S>, MergeError> {
+    merge_tree(shards.to_vec())
+}
+
 /// Validate a quantile argument, shared by all implementations.
 ///
 /// The paper (§2.1) defines the `q`-quantile for `0 < q ≤ 1`.
@@ -161,6 +231,103 @@ mod tests {
         let s = Fixed;
         assert_eq!(s.query_many(&[0.1, 0.5]).unwrap(), vec![10.0, 50.0]);
         assert!(s.query_many(&[0.1, 2.0]).is_err());
+    }
+
+    /// Merge-order-recording sketch for shape-testing `merge_tree`.
+    #[derive(Clone)]
+    struct Labelled {
+        label: String,
+        merges_absorbed: u32,
+        n: u64,
+    }
+
+    impl Labelled {
+        fn new(label: &str) -> Self {
+            Self {
+                label: label.to_string(),
+                merges_absorbed: 0,
+                n: 1,
+            }
+        }
+    }
+
+    impl QuantileSketch for Labelled {
+        fn insert(&mut self, _: f64) {
+            self.n += 1;
+        }
+        fn query(&self, q: f64) -> Result<f64, QueryError> {
+            check_quantile(q)?;
+            Ok(0.0)
+        }
+        fn count(&self) -> u64 {
+            self.n
+        }
+        fn memory_footprint(&self) -> usize {
+            self.label.len()
+        }
+        fn name(&self) -> &'static str {
+            "labelled"
+        }
+    }
+
+    impl MergeableSketch for Labelled {
+        fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+            if other.label.contains('!') {
+                return Err(MergeError::IncompatibleParameters("poisoned".into()));
+            }
+            self.label = format!("({}+{})", self.label, other.label);
+            self.merges_absorbed += 1;
+            self.n += other.n;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn merge_tree_empty_and_single() {
+        assert!(merge_tree(Vec::<Labelled>::new()).unwrap().is_none());
+        let one = merge_tree(vec![Labelled::new("a")]).unwrap().unwrap();
+        assert_eq!(one.label, "a");
+        assert_eq!(one.merges_absorbed, 0);
+    }
+
+    #[test]
+    fn merge_tree_is_binary_balanced() {
+        // Four shards: two pairwise rounds, root absorbed exactly
+        // log2(4) = 2 merges (a left-fold root would absorb 3).
+        let shards = vec![
+            Labelled::new("a"),
+            Labelled::new("b"),
+            Labelled::new("c"),
+            Labelled::new("d"),
+        ];
+        let root = merge_tree(shards).unwrap().unwrap();
+        assert_eq!(root.label, "((a+b)+(c+d))");
+        assert_eq!(root.merges_absorbed, 2);
+        assert_eq!(root.count(), 4);
+    }
+
+    #[test]
+    fn merge_tree_odd_count_carries_the_straggler() {
+        let shards = (0..5).map(|i| Labelled::new(&format!("s{i}"))).collect();
+        let root: Labelled = merge_tree(shards).unwrap().unwrap();
+        assert_eq!(root.count(), 5);
+        assert_eq!(root.label, "(((s0+s1)+(s2+s3))+s4)");
+    }
+
+    #[test]
+    fn merge_tree_propagates_errors() {
+        let shards = vec![Labelled::new("a"), Labelled::new("bad!")];
+        assert!(merge_tree(shards).is_err());
+    }
+
+    #[test]
+    fn snapshot_merge_leaves_sources_untouched() {
+        let shards = vec![Labelled::new("a"), Labelled::new("b")];
+        let merged = snapshot_merge(&shards).unwrap().unwrap();
+        assert_eq!(merged.count(), 2);
+        // The originals were only cloned, never mutated.
+        assert_eq!(shards[0].label, "a");
+        assert_eq!(shards[0].merges_absorbed, 0);
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! Multi-threaded sharded ingestion: the real-concurrency successor to
+//! the single-threaded round-robin simulation in [`crate::parallel`].
+//!
+//! The paper's §2.4 observes that every evaluated sketch merges "without
+//! any change to the error guarantees"; Quancurrent (arXiv:2208.09265)
+//! turns the same property into a concurrent sketch that scales
+//! near-linearly with threads by giving each thread local state and
+//! merging on query. [`ShardedEngine`] is that architecture over *any*
+//! [`MergeableSketch`]:
+//!
+//! ```text
+//!                 ┌────────────── worker 0: SPSC queue ──▶ shard sketch 0 ─┐
+//!  producer ──▶ router (batches of `batch_size` values,   ...             ├─▶ binary merge
+//!                 └────────────── worker N-1 ──────────▶ shard sketch N-1 ─┘   tree (query)
+//! ```
+//!
+//! * The **router** runs on the caller's thread. It packs inserted values
+//!   into batches (default [`DEFAULT_BATCH_SIZE`]) to amortise channel
+//!   overhead, and ships each full batch to the next shard round-robin.
+//! * Each **shard worker** owns one sketch and drains a bounded SPSC
+//!   channel (a `std`-only mutex+condvar ring with explicit capacity
+//!   accounting — the build environment has no crossbeam).
+//! * **Backpressure** is blocking: when a shard's queue is at capacity
+//!   the producer waits on the queue's condvar, and the wait is recorded
+//!   in the `backpressure_wait_ns` histogram of [`EngineMetrics`] — a
+//!   full queue is a *signal*, not an error.
+//! * **Queries** snapshot every shard (clone behind the shard lock) and
+//!   fold the snapshots through [`qsketch_core::merge_tree`], so readers
+//!   never stop the ingest path for longer than one clone.
+//!
+//! # Example
+//!
+//! ```
+//! use qsketch_core::QuantileSketch;
+//! use qsketch_ddsketch::DdSketch;
+//! use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
+//!
+//! let mut engine = ShardedEngine::spawn(EngineConfig::new(2), || DdSketch::unbounded(0.01));
+//! for i in 1..=10_000 {
+//!     engine.insert(i as f64);
+//! }
+//! // Point-in-time query while ingestion could still be running:
+//! engine.drain(); // here: settle everything so counts are exact
+//! let live = engine.snapshot_merged().unwrap().unwrap();
+//! assert_eq!(live.count(), 10_000);
+//!
+//! // Tear down: join the workers and keep the final merged sketch.
+//! let merged = engine.finish().unwrap();
+//! let median = merged.query(0.5).unwrap();
+//! assert!((median - 5_000.0).abs() / 10_000.0 <= 0.01);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use qsketch_core::sketch::{merge_tree, MergeError, MergeableSketch};
+
+use crate::metrics::EngineMetrics;
+
+/// Default values per batch: large enough that the per-batch channel
+/// rendezvous (one mutex lock) is amortised to well under a nanosecond
+/// per value, small enough that a batch is a few cache lines of payload.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Default bounded-queue capacity per shard, in batches. With the default
+/// batch size this is ≈ 16 K values of slack per shard before the
+/// producer blocks.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Configuration for a [`ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shard worker threads (and shard sketches).
+    pub shards: usize,
+    /// Values per routed batch.
+    pub batch_size: usize,
+    /// Bounded capacity of each shard's queue, in batches; the producer
+    /// blocks (backpressure) when the next shard's queue is full.
+    pub queue_capacity: usize,
+}
+
+impl EngineConfig {
+    /// Config with `shards` workers and the default batch size and queue
+    /// capacity.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            batch_size: DEFAULT_BATCH_SIZE,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+
+    /// Override the number of values per routed batch (min 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Override the per-shard queue capacity in batches (min 1).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+}
+
+/// Error constructing or querying a [`ShardedEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The configuration asked for zero shards.
+    NoShards,
+    /// Folding the shard snapshots failed (incompatible sketch
+    /// parameters; impossible when all shards come from one factory).
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoShards => write!(f, "engine needs at least one shard"),
+            EngineError::Merge(e) => write!(f, "shard merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<MergeError> for EngineError {
+    fn from(e: MergeError) -> Self {
+        EngineError::Merge(e)
+    }
+}
+
+/// Shared state of one shard's bounded SPSC channel.
+struct QueueState<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+    /// Batches the router has pushed.
+    sent: u64,
+    /// Batches the worker has fully processed (popped *and* inserted).
+    done: u64,
+}
+
+/// A bounded SPSC channel: mutex+condvar ring with explicit capacity
+/// accounting. `push` blocks when full (that blocking *is* the engine's
+/// backpressure); `pop` blocks when empty; `wait_drained` blocks until
+/// every pushed batch has been fully processed.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Signalled by the worker when it pops (space freed).
+    not_full: Condvar,
+    /// Signalled by the router on push and on close.
+    not_empty: Condvar,
+    /// Signalled by the worker when a batch finishes processing.
+    progress: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                buf: VecDeque::with_capacity(capacity),
+                closed: false,
+                sent: 0,
+                done: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            progress: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Push a batch, blocking while the queue is at capacity. Returns the
+    /// nanoseconds spent blocked (0 for an immediate push) and the queue
+    /// depth after the push.
+    fn push(&self, item: T) -> (u64, usize) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let mut waited_ns = 0u64;
+        while state.buf.len() >= self.capacity {
+            let start = Instant::now();
+            state = self.not_full.wait(state).expect("queue poisoned");
+            waited_ns += start.elapsed().as_nanos() as u64;
+        }
+        state.buf.push_back(item);
+        state.sent += 1;
+        let depth = state.buf.len();
+        drop(state);
+        self.not_empty.notify_one();
+        (waited_ns, depth)
+    }
+
+    /// Pop the next batch, blocking while empty. `None` once the queue is
+    /// closed and fully drained. Also returns the post-pop depth.
+    fn pop(&self) -> Option<(T, usize)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                let depth = state.buf.len();
+                drop(state);
+                self.not_full.notify_one();
+                return Some((item, depth));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Worker-side acknowledgement that one popped batch is fully
+    /// inserted into the shard sketch.
+    fn mark_done(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.done += 1;
+        drop(state);
+        self.progress.notify_all();
+    }
+
+    /// Block until every pushed batch has been processed end-to-end.
+    fn wait_drained(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.done < state.sent {
+            state = self.progress.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: the worker drains what is buffered and exits.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+}
+
+/// One shard: its channel, its sketch (shared with the worker thread),
+/// and the worker's join handle.
+struct Shard<S> {
+    queue: Arc<BoundedQueue<Vec<f64>>>,
+    sketch: Arc<Mutex<S>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A multi-threaded sharded ingestion engine over any mergeable sketch.
+///
+/// See the [module docs](self) for the architecture. The engine is the
+/// single producer: [`insert`](Self::insert) routes values; queries
+/// ([`snapshot_merged`](Self::snapshot_merged)) fold per-shard snapshots
+/// through a binary merge tree; [`finish`](Self::finish) tears the
+/// engine down and returns the final merged sketch. Dropping the engine
+/// without `finish` also joins the workers (after processing everything
+/// already routed, discarding any unflushed partial batch).
+pub struct ShardedEngine<S> {
+    shards: Vec<Shard<S>>,
+    /// Values accepted but not yet shipped as a batch.
+    pending: Vec<f64>,
+    /// Next shard in the round-robin rotation.
+    next: usize,
+    batch_size: usize,
+    metrics: Option<EngineMetrics>,
+    /// Values routed (shipped or pending).
+    routed: u64,
+}
+
+impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
+    /// Spawn `config.shards` worker threads, each owning one sketch from
+    /// `factory` (called once per shard, in shard order — seed per-shard
+    /// randomness from a captured counter if the sketch needs it).
+    ///
+    /// # Panics
+    /// If `config.shards == 0`; use [`try_spawn`](Self::try_spawn) for a
+    /// `Result`.
+    pub fn spawn(config: EngineConfig, factory: impl FnMut() -> S) -> Self {
+        Self::try_spawn(config, factory).expect("engine needs at least one shard")
+    }
+
+    /// [`spawn`](Self::spawn), returning an error instead of panicking on
+    /// a zero-shard config.
+    pub fn try_spawn(
+        config: EngineConfig,
+        factory: impl FnMut() -> S,
+    ) -> Result<Self, EngineError> {
+        Self::spawn_impl(config, factory, None)
+    }
+
+    /// Spawn with observability: engine metrics registered under `prefix`
+    /// in `registry` (see [`EngineMetrics`] for the metric names).
+    pub fn spawn_instrumented(
+        config: EngineConfig,
+        factory: impl FnMut() -> S,
+        registry: &qsketch_core::metrics::MetricsRegistry,
+        prefix: &str,
+    ) -> Result<Self, EngineError> {
+        let metrics = EngineMetrics::register(registry, prefix, config.shards);
+        Self::spawn_impl(config, factory, Some(metrics))
+    }
+
+    fn spawn_impl(
+        config: EngineConfig,
+        mut factory: impl FnMut() -> S,
+        metrics: Option<EngineMetrics>,
+    ) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::NoShards);
+        }
+        let batch_size = config.batch_size.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let shards = (0..config.shards)
+            .map(|i| {
+                let queue = Arc::new(BoundedQueue::<Vec<f64>>::new(capacity));
+                let sketch = Arc::new(Mutex::new(factory()));
+                let worker_queue = Arc::clone(&queue);
+                let worker_sketch = Arc::clone(&sketch);
+                let worker_metrics = metrics.clone();
+                let worker = std::thread::Builder::new()
+                    .name(format!("qsketch-shard-{i}"))
+                    .spawn(move || {
+                        while let Some((batch, depth)) = worker_queue.pop() {
+                            {
+                                let mut sketch =
+                                    worker_sketch.lock().expect("shard sketch poisoned");
+                                for &v in &batch {
+                                    sketch.insert(v);
+                                }
+                            }
+                            if let Some(m) = &worker_metrics {
+                                m.shard_events.record_many(i, batch.len() as u64);
+                                m.queue_depth[i].set(depth as u64);
+                            }
+                            worker_queue.mark_done();
+                        }
+                    })
+                    .expect("spawn shard worker");
+                Shard {
+                    queue,
+                    sketch,
+                    worker: Some(worker),
+                }
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            pending: Vec::with_capacity(batch_size),
+            next: 0,
+            batch_size,
+            metrics,
+            routed: 0,
+        })
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Values accepted so far (shipped to a shard or pending in the
+    /// router's current batch).
+    pub fn events_routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Route one value. Ships a batch every `batch_size` values; blocks
+    /// only when the receiving shard's queue is full (backpressure).
+    #[inline]
+    pub fn insert(&mut self, value: f64) {
+        self.pending.push(value);
+        self.routed += 1;
+        if self.pending.len() >= self.batch_size {
+            self.ship_pending();
+        }
+    }
+
+    /// Route every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.insert(v);
+        }
+    }
+
+    /// Ship the router's partial batch (if any) immediately.
+    pub fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            self.ship_pending();
+        }
+    }
+
+    fn ship_pending(&mut self) {
+        let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_size));
+        let n = batch.len() as u64;
+        let shard = self.next;
+        self.next = (self.next + 1) % self.shards.len();
+        let (waited_ns, depth) = self.shards[shard].queue.push(batch);
+        if let Some(m) = &self.metrics {
+            m.events.add(n);
+            m.batches.inc();
+            m.queue_depth[shard].set(depth as u64);
+            if waited_ns > 0 {
+                m.backpressure_wait_ns.record(waited_ns);
+            }
+        }
+    }
+
+    /// Flush, then block until every shard has fully processed everything
+    /// routed so far. Afterwards shard counts sum to
+    /// [`events_routed`](Self::events_routed) exactly.
+    pub fn drain(&mut self) {
+        self.flush();
+        for shard in &self.shards {
+            shard.queue.wait_drained();
+        }
+    }
+
+    /// Clone every shard sketch behind its lock — a point-in-time view
+    /// that includes everything the workers have inserted (call
+    /// [`drain`](Self::drain) first for an exact-count view).
+    pub fn snapshot_shards(&self) -> Vec<S> {
+        self.shards
+            .iter()
+            .map(|s| s.sketch.lock().expect("shard sketch poisoned").clone())
+            .collect()
+    }
+
+    /// Snapshot every shard and fold the snapshots through a binary merge
+    /// tree. `Ok(None)` is impossible in practice (the engine always has
+    /// ≥ 1 shard) but kept for signature symmetry with
+    /// [`qsketch_core::merge_tree`]. Records the fold latency in the
+    /// engine's `merge_ns` histogram when instrumented.
+    pub fn snapshot_merged(&self) -> Result<Option<S>, EngineError> {
+        let snapshots = self.snapshot_shards();
+        let start = Instant::now();
+        let merged = merge_tree(snapshots)?;
+        if let Some(m) = &self.metrics {
+            m.merge_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        Ok(merged)
+    }
+
+    /// Drain, stop the workers, and return the shard sketches.
+    pub fn finish_shards(mut self) -> Vec<S> {
+        self.shutdown();
+        let shards = std::mem::take(&mut self.shards);
+        shards
+            .into_iter()
+            .map(|s| match Arc::try_unwrap(s.sketch) {
+                Ok(m) => m.into_inner().expect("shard sketch poisoned"),
+                // Unreachable after join, but don't panic over it:
+                Err(arc) => arc.lock().expect("shard sketch poisoned").clone(),
+            })
+            .collect()
+    }
+
+    /// Drain, stop the workers, and return the final merged sketch.
+    pub fn finish(self) -> Result<S, EngineError> {
+        let metrics = self.metrics.clone();
+        let shards = self.finish_shards();
+        let start = Instant::now();
+        let merged = merge_tree(shards)?;
+        if let Some(m) = &metrics {
+            m.merge_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        merged.ok_or(EngineError::NoShards)
+    }
+
+    /// Flush, close every queue, and join the workers (idempotent).
+    fn shutdown(&mut self) {
+        self.flush();
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl<S> Drop for ShardedEngine<S> {
+    fn drop(&mut self) {
+        // `finish_shards` empties `self.shards`; otherwise make sure the
+        // workers exit. Values still pending in the router are discarded
+        // (an explicit `flush`/`drain`/`finish` is the durable path) —
+        // but everything already shipped is still processed before the
+        // workers see the close.
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsketch_core::metrics::MetricsRegistry;
+    use qsketch_core::QuantileSketch;
+    use qsketch_ddsketch::DdSketch;
+
+    #[test]
+    fn engine_matches_single_sketch_count_and_guarantee() {
+        let n = 50_000u64;
+        let mut engine = ShardedEngine::spawn(EngineConfig::new(4), || DdSketch::unbounded(0.01));
+        for i in 1..=n {
+            engine.insert(i as f64);
+        }
+        assert_eq!(engine.events_routed(), n);
+        let merged = engine.finish().unwrap();
+        assert_eq!(merged.count(), n);
+        for q in [0.25, 0.5, 0.99] {
+            let truth = (q * n as f64).ceil();
+            let est = merged.query(q).unwrap();
+            assert!(((est - truth) / truth).abs() <= 0.01 + 1e-9, "q={q}");
+        }
+    }
+
+    #[test]
+    fn drain_settles_all_queues() {
+        let mut engine = ShardedEngine::spawn(
+            EngineConfig::new(3).with_batch_size(16),
+            || DdSketch::unbounded(0.01),
+        );
+        for i in 1..=1_000 {
+            engine.insert(i as f64);
+        }
+        engine.drain();
+        let shards = engine.snapshot_shards();
+        let total: u64 = shards.iter().map(|s| s.count()).sum();
+        assert_eq!(total, 1_000);
+        // Round-robin batches of 16 over 3 shards: the split is balanced
+        // to within one batch.
+        for s in &shards {
+            assert!(s.count() >= 320, "shard count {}", s.count());
+        }
+    }
+
+    #[test]
+    fn snapshot_merged_is_point_in_time() {
+        let mut engine = ShardedEngine::spawn(EngineConfig::new(2), || DdSketch::unbounded(0.01));
+        for i in 1..=10_000 {
+            engine.insert(i as f64);
+        }
+        engine.drain();
+        let snap = engine.snapshot_merged().unwrap().unwrap();
+        assert_eq!(snap.count(), 10_000);
+        // Ingestion continues after the snapshot; the snapshot is isolated.
+        for i in 10_001..=20_000 {
+            engine.insert(i as f64);
+        }
+        assert_eq!(snap.count(), 10_000);
+        assert_eq!(engine.finish().unwrap().count(), 20_000);
+    }
+
+    #[test]
+    fn instrumented_engine_records_counters_and_depths() {
+        let registry = MetricsRegistry::new();
+        let mut engine = ShardedEngine::spawn_instrumented(
+            EngineConfig::new(2).with_batch_size(64),
+            || DdSketch::unbounded(0.01),
+            &registry,
+            "engine",
+        )
+        .unwrap();
+        for i in 1..=1_000 {
+            engine.insert(i as f64);
+        }
+        let merged = engine.finish().unwrap();
+        assert_eq!(merged.count(), 1_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.events"), Some(1_000));
+        // 15 full batches of 64 + 1 flushed partial batch of 40.
+        assert_eq!(snap.counter("engine.batches"), Some(16));
+        let shard0 = snap.counter("engine.partition.0.events").unwrap();
+        let shard1 = snap.counter("engine.partition.1.events").unwrap();
+        assert_eq!(shard0 + shard1, 1_000);
+        assert!(shard0 > 0 && shard1 > 0);
+        assert!(snap.gauge("engine.shard.0.queue_depth").is_some());
+        assert!(snap.histogram("engine.merge_ns").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn zero_shards_is_an_error_not_a_panic() {
+        let result = ShardedEngine::try_spawn(EngineConfig::new(0), DdSketch::paper_configuration);
+        assert_eq!(result.err(), Some(EngineError::NoShards));
+        assert!(EngineError::NoShards.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() {
+        let mut engine = ShardedEngine::spawn(EngineConfig::new(2), || DdSketch::unbounded(0.01));
+        for i in 1..=100 {
+            engine.insert(i as f64);
+        }
+        drop(engine); // must not hang or leak the workers
+    }
+
+    #[test]
+    fn tiny_queue_capacity_still_completes() {
+        // Capacity 1 batch of 8 values: constant backpressure, no
+        // deadlock, nothing lost.
+        let mut engine = ShardedEngine::spawn(
+            EngineConfig::new(2).with_batch_size(8).with_queue_capacity(1),
+            || DdSketch::unbounded(0.01),
+        );
+        for i in 1..=10_000 {
+            engine.insert(i as f64);
+        }
+        assert_eq!(engine.finish().unwrap().count(), 10_000);
+    }
+}

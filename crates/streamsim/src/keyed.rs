@@ -6,6 +6,33 @@
 //! `(key, window)` pair owns one aggregate state, the watermark is global
 //! (event time does not depend on the key), and late events are dropped
 //! per window exactly as in [`crate::window::TumblingWindows`].
+//!
+//! # Example
+//!
+//! Two endpoints sharing one 1 s tumbling window, one state each:
+//!
+//! ```
+//! use qsketch_streamsim::event::Event;
+//! use qsketch_streamsim::keyed::{KeyedEvent, KeyedTumblingWindows};
+//!
+//! let mut op = KeyedTumblingWindows::new(1_000_000, Vec::new);
+//! for i in 0..2_000u64 {
+//!     let key = if i % 2 == 0 { "/checkout" } else { "/search" };
+//!     // /checkout is 10x slower than /search.
+//!     let latency = if i % 2 == 0 { 100.0 } else { 10.0 };
+//!     op.observe(KeyedEvent {
+//!         key,
+//!         event: Event::new(latency, i * 1_000, 0),
+//!     });
+//! }
+//! let fired = op.close();
+//! assert_eq!(fired.results.len(), 4); // 2 windows x 2 keys
+//! for r in &fired.results {
+//!     let expect = if r.key == "/checkout" { 100.0 } else { 10.0 };
+//!     assert_eq!(r.count, 500);
+//!     assert!(r.items.iter().all(|&v| v == expect));
+//! }
+//! ```
 
 use std::collections::{BTreeMap, HashMap};
 

@@ -25,7 +25,12 @@
 //!   `qsketch_core::metrics`: watermark lag, late-drop counters, per-window
 //!   emit latency, per-partition event counts; attached via
 //!   [`TumblingWindows::with_metrics`] or recorded wholesale by
-//!   [`harness::run_accuracy_instrumented`].
+//!   [`harness::run_accuracy_instrumented`],
+//! * [`engine`] — beyond the paper: a true multi-threaded sharded
+//!   ingestion engine (batching router → bounded per-shard queues →
+//!   worker threads → binary merge tree on query) with blocking
+//!   backpressure, for testing how far the mergeability property of §2.4
+//!   actually parallelises on real threads.
 //!
 //! # Example
 //!
@@ -52,6 +57,7 @@
 //! ```
 
 pub mod delay;
+pub mod engine;
 pub mod event;
 pub mod harness;
 pub mod keyed;
@@ -63,10 +69,11 @@ pub mod source;
 pub mod window;
 
 pub use delay::NetworkDelay;
+pub use engine::{EngineConfig, EngineError, ShardedEngine};
 pub use event::Event;
 pub use harness::{AccuracyConfig, RunSummary, WindowAccuracy};
 pub use keyed::{KeyedEvent, KeyedTumblingWindows};
-pub use metrics::{PartitionMetrics, PipelineMetrics};
+pub use metrics::{EngineMetrics, PartitionMetrics, PipelineMetrics};
 pub use parallel::PartitionedWindow;
 pub use session::SessionWindows;
 pub use sliding::SlidingWindows;

@@ -104,9 +104,69 @@ impl PartitionMetrics {
         self.counters[i].inc();
     }
 
+    /// Count `n` events routed to partition `i` at once (a worker thread
+    /// accounting for a whole drained batch with one atomic add).
+    #[inline]
+    pub fn record_many(&self, i: usize, n: u64) {
+        self.counters[i].add(n);
+    }
+
     /// Current per-partition totals.
     pub fn totals(&self) -> Vec<u64> {
         self.counters.iter().map(Counter::get).collect()
+    }
+}
+
+/// Metric handles for one sharded ingestion engine
+/// ([`crate::engine::ShardedEngine`]). Cheap to clone; clones share the
+/// underlying metrics.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `<prefix>.events` | counter | values accepted by the router |
+/// | `<prefix>.batches` | counter | batches shipped to shard queues |
+/// | `<prefix>.partition.<i>.events` | counter | values a shard worker inserted |
+/// | `<prefix>.shard.<i>.queue_depth` | gauge | batches queued for shard `i` |
+/// | `<prefix>.backpressure_wait_ns` | histogram | producer blocking time per full-queue send |
+/// | `<prefix>.merge_ns` | histogram | shard-snapshot merge-tree latency per query |
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Values accepted by the router (`<prefix>.events`).
+    pub events: Counter,
+    /// Batches shipped to shard queues (`<prefix>.batches`).
+    pub batches: Counter,
+    /// Per-shard inserted-event counters
+    /// (`<prefix>.partition.<i>.events`).
+    pub shard_events: PartitionMetrics,
+    /// Per-shard queue depth in batches
+    /// (`<prefix>.shard.<i>.queue_depth`).
+    pub queue_depth: Vec<Gauge>,
+    /// Producer blocking time on a full shard queue, ns
+    /// (`<prefix>.backpressure_wait_ns`).
+    pub backpressure_wait_ns: LogHistogram,
+    /// Merge-tree latency of snapshot queries, ns (`<prefix>.merge_ns`).
+    pub merge_ns: LogHistogram,
+}
+
+impl EngineMetrics {
+    /// Register engine metrics for `shards` shard workers under `prefix`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str, shards: usize) -> Self {
+        let name = |metric: &str| format!("{prefix}.{metric}");
+        Self {
+            events: registry.counter(&name("events")),
+            batches: registry.counter(&name("batches")),
+            shard_events: PartitionMetrics::register(registry, prefix, shards),
+            queue_depth: (0..shards)
+                .map(|i| registry.gauge(&name(&format!("shard.{i}.queue_depth"))))
+                .collect(),
+            backpressure_wait_ns: registry.histogram(&name("backpressure_wait_ns")),
+            merge_ns: registry.histogram(&name("merge_ns")),
+        }
+    }
+
+    /// Number of shards covered.
+    pub fn num_shards(&self) -> usize {
+        self.queue_depth.len()
     }
 }
 
@@ -149,7 +209,32 @@ mod tests {
         for i in 0..7 {
             m.record(i % 3);
         }
-        assert_eq!(m.totals(), vec![3, 2, 2]);
+        m.record_many(2, 10);
+        assert_eq!(m.totals(), vec![3, 2, 12]);
         assert_eq!(r.snapshot().counter("pipeline.partition.0.events"), Some(3));
+    }
+
+    #[test]
+    fn engine_metrics_register_per_shard_names() {
+        let r = MetricsRegistry::new();
+        let m = EngineMetrics::register(&r, "engine", 2);
+        assert_eq!(m.num_shards(), 2);
+        m.events.add(512);
+        m.batches.add(2);
+        m.shard_events.record_many(0, 256);
+        m.shard_events.record_many(1, 256);
+        m.queue_depth[1].set(3);
+        m.backpressure_wait_ns.record(1_000);
+        m.merge_ns.record(5_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("engine.events"), Some(512));
+        assert_eq!(snap.counter("engine.batches"), Some(2));
+        assert_eq!(snap.counter("engine.partition.0.events"), Some(256));
+        assert_eq!(snap.gauge("engine.shard.1.queue_depth"), Some(3));
+        assert_eq!(
+            snap.histogram("engine.backpressure_wait_ns").unwrap().count,
+            1
+        );
+        assert_eq!(snap.histogram("engine.merge_ns").unwrap().count, 1);
     }
 }

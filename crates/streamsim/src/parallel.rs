@@ -8,13 +8,38 @@
 //! error guarantees", the partitioned result must match a single-sketch
 //! run's error regime; `tests/` asserts exactly that.
 
+use std::fmt;
+
 use qsketch_core::sketch::{MergeError, MergeableSketch};
 
 use crate::metrics::PartitionMetrics;
 use crate::window::WindowState;
 
+/// Error attaching [`PartitionMetrics`] that cover fewer partitions than
+/// the window has (every partition needs a counter to record into).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMetricsMismatch {
+    /// Partitions the metrics were registered for.
+    pub metrics_partitions: usize,
+    /// Partitions the window actually has.
+    pub window_partitions: usize,
+}
+
+impl fmt::Display for PartitionMetricsMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metrics cover {} partitions, window has {}",
+            self.metrics_partitions, self.window_partitions
+        )
+    }
+}
+
+impl std::error::Error for PartitionMetricsMismatch {}
+
 /// Per-window state holding one sketch per partition; values are routed
 /// round-robin (an SPE's rebalance distribution).
+#[derive(Debug)]
 pub struct PartitionedWindow<S> {
     partitions: Vec<S>,
     next: usize,
@@ -38,15 +63,55 @@ impl<S: MergeableSketch> PartitionedWindow<S> {
     /// window's partitions. Successive windows can share one
     /// [`PartitionMetrics`], accumulating pipeline-wide per-partition
     /// totals.
-    pub fn with_metrics(mut self, metrics: PartitionMetrics) -> Self {
-        assert!(
-            metrics.len() >= self.partitions.len(),
-            "metrics cover {} partitions, window has {}",
-            metrics.len(),
-            self.partitions.len()
-        );
+    ///
+    /// ```
+    /// use qsketch_ddsketch::DdSketch;
+    /// use qsketch_streamsim::metrics::PartitionMetrics;
+    /// use qsketch_streamsim::parallel::PartitionedWindow;
+    /// use qsketch_core::metrics::MetricsRegistry;
+    ///
+    /// let registry = MetricsRegistry::new();
+    /// let metrics = PartitionMetrics::register(&registry, "pipeline", 2);
+    /// // Two counters cannot cover three partitions:
+    /// assert!(PartitionedWindow::new(3, || DdSketch::unbounded(0.01))
+    ///     .try_with_metrics(metrics.clone())
+    ///     .is_err());
+    /// let window = PartitionedWindow::new(2, || DdSketch::unbounded(0.01))
+    ///     .try_with_metrics(metrics)
+    ///     .unwrap();
+    /// assert_eq!(window.num_partitions(), 2);
+    /// ```
+    pub fn try_with_metrics(
+        mut self,
+        metrics: PartitionMetrics,
+    ) -> Result<Self, PartitionMetricsMismatch> {
+        if metrics.len() < self.partitions.len() {
+            return Err(PartitionMetricsMismatch {
+                metrics_partitions: metrics.len(),
+                window_partitions: self.partitions.len(),
+            });
+        }
         self.metrics = Some(metrics);
-        self
+        Ok(self)
+    }
+
+    /// Deprecated panicking form of
+    /// [`try_with_metrics`](Self::try_with_metrics).
+    ///
+    /// # Panics
+    /// If `metrics` covers fewer partitions than the window has — a
+    /// caller-configuration mistake a public API should report as an
+    /// error, which is why this is deprecated.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_with_metrics`, which returns a Result instead of panicking \
+                on a partition-count mismatch"
+    )]
+    pub fn with_metrics(self, metrics: PartitionMetrics) -> Self {
+        match self.try_with_metrics(metrics) {
+            Ok(window) => window,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of partitions.
@@ -154,7 +219,8 @@ mod tests {
         let metrics = PartitionMetrics::register(&registry, "pipeline", 3);
         let mut op = TumblingWindows::new(1_000_000, || {
             PartitionedWindow::new(3, || DdSketch::unbounded(0.01))
-                .with_metrics(metrics.clone())
+                .try_with_metrics(metrics.clone())
+                .unwrap()
         });
         for i in 0..3000u64 {
             op.observe(Event::new((i % 100) as f64 + 1.0, i * 1_000, 0));
@@ -170,13 +236,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "metrics cover")]
     fn undersized_partition_metrics_rejected() {
         use crate::metrics::PartitionMetrics;
         use qsketch_core::metrics::MetricsRegistry;
 
         let registry = MetricsRegistry::new();
         let metrics = PartitionMetrics::register(&registry, "pipeline", 2);
+        let err = PartitionedWindow::new(3, || DdSketch::unbounded(0.01))
+            .try_with_metrics(metrics)
+            .unwrap_err();
+        assert_eq!(err.metrics_partitions, 2);
+        assert_eq!(err.window_partitions, 3);
+        assert!(err.to_string().contains("metrics cover 2 partitions"));
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics cover")]
+    fn deprecated_with_metrics_still_panics() {
+        use crate::metrics::PartitionMetrics;
+        use qsketch_core::metrics::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let metrics = PartitionMetrics::register(&registry, "pipeline", 2);
+        #[allow(deprecated)]
         let _ = PartitionedWindow::new(3, || DdSketch::unbounded(0.01)).with_metrics(metrics);
     }
 }

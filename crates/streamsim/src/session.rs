@@ -5,6 +5,27 @@
 //! Sessions are half-open activity intervals separated by gaps of at
 //! least `gap_us`. Out-of-order events can bridge two open sessions, which
 //! are then merged — the standard SPE session semantics.
+//!
+//! # Example
+//!
+//! Two bursts separated by more than the 10 ms gap become two sessions:
+//!
+//! ```
+//! use qsketch_streamsim::event::Event;
+//! use qsketch_streamsim::session::SessionWindows;
+//!
+//! let mut op = SessionWindows::new(10_000, Vec::new);
+//! for t in [0u64, 2_000, 4_000] {
+//!     op.observe(Event::new(1.0, t, 0)); // first burst
+//! }
+//! for t in [50_000u64, 53_000] {
+//!     op.observe(Event::new(2.0, t, 0)); // second burst, 46 ms later
+//! }
+//! let fired = op.close();
+//! assert_eq!(fired.results.len(), 2);
+//! assert_eq!(fired.results[0].items, vec![1.0, 1.0, 1.0]);
+//! assert_eq!(fired.results[1].items, vec![2.0, 2.0]);
+//! ```
 
 use crate::event::Event;
 use crate::window::{FiredWindows, WindowResult, WindowState};

@@ -5,6 +5,30 @@
 //! An event with timestamp `t` belongs to every window
 //! `[k·slide, k·slide + size)` with
 //! `k ∈ (⌊t/slide⌋ − size/slide, ⌊t/slide⌋]`.
+//!
+//! # Example
+//!
+//! A 2 s window sliding by 1 s: every event lands in two windows, so the
+//! per-window counts overlap:
+//!
+//! ```
+//! use qsketch_streamsim::event::Event;
+//! use qsketch_streamsim::sliding::SlidingWindows;
+//!
+//! let mut op = SlidingWindows::new(2_000_000, 1_000_000, Vec::new);
+//! for i in 0..4_000u64 {
+//!     op.observe(Event::new(1.0, i * 1_000, 0)); // 1 event/ms for 4 s
+//! }
+//! let fired = op.close();
+//! // Windows starting at 0s, 1s, 2s, 3s (starts never go negative).
+//! assert_eq!(fired.results.len(), 4);
+//! let full_windows = fired
+//!     .results
+//!     .iter()
+//!     .filter(|w| w.count == 2_000)
+//!     .count();
+//! assert_eq!(full_windows, 3);
+//! ```
 
 use std::collections::BTreeMap;
 

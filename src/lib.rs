@@ -52,7 +52,9 @@ pub use qsketch_core::exact::{ExactQuantiles, ExactSketch};
 pub use qsketch_core::metrics::{Instrumented, LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use qsketch_core::profile::Profile;
 pub use qsketch_core::quantiles;
-pub use qsketch_core::sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};
+pub use qsketch_core::sketch::{
+    merge_tree, snapshot_merge, MergeError, MergeableSketch, QuantileSketch, QueryError,
+};
 pub use qsketch_core::stats::{kurtosis, MomentsAccumulator};
 pub use qsketch_datagen::{
     paper_adaptability_stream, BinomialGen, DataSet, DriftingPareto, DriftingUniform,
@@ -63,9 +65,9 @@ pub use qsketch_kll::{KllPlusMinus, KllSketch};
 pub use qsketch_moments::MomentsSketch;
 pub use qsketch_req::{RankAccuracy, ReqSketch};
 pub use qsketch_streamsim::{
-    AccuracyConfig, Event, EventSource, KeyedEvent, KeyedTumblingWindows, NetworkDelay,
-    PartitionMetrics, PartitionedWindow, PipelineMetrics, SessionWindows, SlidingWindows,
-    TumblingWindows,
+    AccuracyConfig, EngineConfig, EngineError, EngineMetrics, Event, EventSource, KeyedEvent,
+    KeyedTumblingWindows, NetworkDelay, PartitionMetrics, PartitionedWindow, PipelineMetrics,
+    SessionWindows, ShardedEngine, SlidingWindows, TumblingWindows,
 };
 pub use qsketch_uddsketch::UddSketch;
 

@@ -11,6 +11,7 @@ fn tiny() -> Args {
         seed: 42,
         runs: Some(1),
         metrics: false,
+        threads: None,
     }
 }
 
@@ -117,6 +118,33 @@ fn ext_watermark_lag_runs() {
     assert!(out.contains("watermark lag"));
     assert!(out.contains("loss"));
     assert_mentions_sketches(&out, "ext_watermark_lag");
+}
+
+#[test]
+fn ext_parallel_scaling_runs() {
+    let mut args = tiny();
+    args.threads = Some(vec![1, 2]);
+    let (out, json) = e::ext_parallel_scaling::run_with_json(&args);
+    assert!(out.contains("parallel insert scaling"));
+    assert_mentions_sketches(&out, "ext_parallel_scaling");
+    assert!(out.contains("speedup") && out.contains("p99 ins (ns)"));
+    assert!(json.starts_with("{\"experiment\":\"ext_parallel_scaling\""));
+    assert!(json.contains("\"threads\":[1,2]"));
+    assert!(json.contains("\"sketch\":\"KLL\",\"threads\":2"));
+    assert!(json.contains("\"merged_count\":20000"));
+}
+
+#[test]
+fn ext_parallel_scaling_metrics_expose_engine_health() {
+    let mut args = tiny();
+    args.threads = Some(vec![2]);
+    args.metrics = true;
+    let out = e::ext_parallel_scaling::run(&args);
+    assert!(out.contains("Metrics snapshot"));
+    assert!(out.contains("engine.kll.t2.partition.0.events"));
+    assert!(out.contains("engine.kll.t2.shard.0.queue_depth"));
+    assert!(out.contains("engine.kll.t2.backpressure_wait_ns"));
+    assert!(out.contains("engine.kll.t2.merge_ns"));
 }
 
 #[test]

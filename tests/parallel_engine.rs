@@ -1,0 +1,220 @@
+//! Integration tests for the multi-threaded sharded ingestion engine:
+//! sharded estimates must stay in the same error regime as a
+//! single-sketch run for all five paper sketches (§2.4: merging changes
+//! nothing about the guarantees), routing must be deterministic, and
+//! backpressure must block — not drop, not deadlock.
+
+use std::time::{Duration, Instant};
+
+use qsketch_bench::SketchKind;
+use quantile_sketches::{
+    DataSet, ExactQuantiles, MergeError, MergeableSketch, MetricsRegistry, QuantileSketch,
+    QueryError, ValueStream,
+};
+use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
+
+const N: usize = 40_000;
+const SHARDS: usize = 4;
+const QS: [f64; 5] = [0.25, 0.5, 0.9, 0.95, 0.99];
+
+/// Worst rank error of a sketch's estimates over `QS` against the sorted
+/// stream (rank error is the guarantee the sampling sketches actually
+/// make; for the value-space sketches it is implied by the relative-value
+/// guarantee on these data).
+fn worst_rank_error(sketch: &impl QuantileSketch, sorted: &[f64]) -> f64 {
+    let n = sorted.len() as f64;
+    QS.iter()
+        .map(|&q| {
+            let est = sketch.query(q).expect("non-empty sketch");
+            // With repeated values the estimate's rank is an interval;
+            // measure distance from q to [P(< est), P(<= est)].
+            let lo = sorted.partition_point(|&v| v < est) as f64 / n;
+            let hi = sorted.partition_point(|&v| v <= est) as f64 / n;
+            if q < lo {
+                lo - q
+            } else if q > hi {
+                q - hi
+            } else {
+                0.0
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+fn pareto_stream(seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let values = DataSet::Pareto.generator(seed, 50).take_vec(N);
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (values, sorted)
+}
+
+/// The ISSUE's acceptance test: for every paper sketch, the 4-shard
+/// engine's estimates stay in the same error regime as a single sketch
+/// fed the whole stream — within an additive slack (both runs are
+/// estimates) and below an absolute regime ceiling.
+#[test]
+fn sharded_engine_matches_single_sketch_error_regime() {
+    let (values, sorted) = pareto_stream(7);
+    for kind in SketchKind::PAPER_FIVE {
+        // Single-sketch reference run.
+        let mut single = kind.build(100, true);
+        for &v in &values {
+            single.insert(v);
+        }
+        let single_err = worst_rank_error(&single, &sorted);
+
+        // Sharded run over the same stream.
+        let mut shard_seed = 200u64;
+        let mut engine = ShardedEngine::spawn(EngineConfig::new(SHARDS), || {
+            shard_seed += 1;
+            kind.build(shard_seed, true)
+        });
+        for &v in &values {
+            engine.insert(v);
+        }
+        let merged = engine.finish().expect("same-parameter shards merge");
+        assert_eq!(merged.count(), N as u64, "{}", kind.label());
+        let sharded_err = worst_rank_error(&merged, &sorted);
+
+        // Same regime: no more than the single run's worst error plus a
+        // few percent of rank slack (independent randomness on both
+        // sides), and under an absolute ceiling of 5% rank error.
+        assert!(
+            sharded_err <= single_err + 0.03,
+            "{}: sharded rank error {sharded_err:.4} vs single {single_err:.4}",
+            kind.label()
+        );
+        assert!(
+            sharded_err <= 0.05,
+            "{}: sharded rank error {sharded_err:.4} out of regime",
+            kind.label()
+        );
+    }
+}
+
+/// Routing is a deterministic function of the input order (round-robin
+/// batches over SPSC queues), so two engines with the same seeds must
+/// produce bit-identical estimates regardless of thread scheduling.
+#[test]
+fn sharded_engine_is_deterministic() {
+    let (values, _) = pareto_stream(11);
+    for kind in SketchKind::PAPER_FIVE {
+        let run = || {
+            let mut shard_seed = 300u64;
+            let mut engine = ShardedEngine::spawn(EngineConfig::new(SHARDS), || {
+                shard_seed += 1;
+                kind.build(shard_seed, true)
+            });
+            for &v in &values {
+                engine.insert(v);
+            }
+            let merged = engine.finish().unwrap();
+            QS.iter()
+                .map(|&q| merged.query(q).unwrap())
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run(), "{}: non-deterministic estimates", kind.label());
+    }
+}
+
+/// A deliberately slow sketch: each insert spins ~20 µs so a tiny queue
+/// fills and the producer must block.
+#[derive(Clone, Default)]
+struct SlowSketch {
+    values: Vec<f64>,
+}
+
+impl QuantileSketch for SlowSketch {
+    fn insert(&mut self, v: f64) {
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_micros(20) {
+            std::hint::spin_loop();
+        }
+        self.values.push(v);
+    }
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        qsketch_core::sketch::check_quantile(q)?;
+        if self.values.is_empty() {
+            return Err(QueryError::Empty);
+        }
+        let mut s = self.values.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        Ok(s[rank - 1])
+    }
+    fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+    fn memory_footprint(&self) -> usize {
+        self.values.len() * 8
+    }
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+impl MergeableSketch for SlowSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.values.extend_from_slice(&other.values);
+        Ok(())
+    }
+}
+
+/// The ISSUE's backpressure test: with a 1-batch queue and a slow
+/// consumer the producer must block (non-empty backpressure histogram),
+/// nothing may be lost, and the run must complete (no deadlock).
+#[test]
+fn backpressure_blocks_producer_without_deadlock() {
+    let registry = MetricsRegistry::new();
+    let mut engine = ShardedEngine::spawn_instrumented(
+        EngineConfig::new(2).with_batch_size(4).with_queue_capacity(1),
+        SlowSketch::default,
+        &registry,
+        "engine",
+    )
+    .unwrap();
+    let n = 400u64;
+    for i in 1..=n {
+        engine.insert(i as f64);
+    }
+    let merged = engine.finish().unwrap();
+    assert_eq!(merged.count(), n, "backpressure must not drop events");
+    assert_eq!(merged.query(1.0).unwrap(), n as f64);
+
+    let snap = registry.snapshot();
+    let waits = snap
+        .histogram("engine.backpressure_wait_ns")
+        .expect("histogram registered");
+    assert!(
+        waits.count > 0,
+        "producer never blocked: queue capacity 1 with a 20 µs/insert \
+         consumer must exert backpressure"
+    );
+    assert!(waits.max > 0, "recorded waits must be non-zero");
+    assert_eq!(snap.counter("engine.events"), Some(n));
+    let inserted = snap.counter("engine.partition.0.events").unwrap()
+        + snap.counter("engine.partition.1.events").unwrap();
+    assert_eq!(inserted, n);
+}
+
+/// Cross-check against the exact oracle: the merged result of a sharded
+/// DDSketch ingest keeps the deterministic ±1% value guarantee.
+#[test]
+fn sharded_ddsketch_keeps_deterministic_guarantee() {
+    let (values, _) = pareto_stream(13);
+    let mut oracle = ExactQuantiles::with_capacity(N);
+    oracle.extend(values.iter().copied());
+    let mut engine = ShardedEngine::spawn(EngineConfig::new(SHARDS), || {
+        SketchKind::Dds.build(1, false)
+    });
+    for &v in &values {
+        engine.insert(v);
+    }
+    let merged = engine.finish().unwrap();
+    for q in QS {
+        let truth = oracle.query(q).unwrap();
+        let est = merged.query(q).unwrap();
+        let rel = ((est - truth) / truth).abs();
+        assert!(rel <= 0.01 + 1e-9, "q={q}: {rel}");
+    }
+}
