@@ -23,4 +23,15 @@ echo "==> sharded-engine smoke run (tiny, 1 and 2 threads)"
 cargo run --release --offline -p qsketch-bench --bin ext_parallel_scaling -- \
     --tiny --threads 1,2 --metrics
 
+echo "==> wire-format round-trip smoke (all sketches, all datasets)"
+cargo test --release --offline -q --test codec_roundtrip
+
+echo "==> checkpoint smoke run (tiny: kill one shard, recover, verify bit-identical)"
+out=$(cargo run --release --offline -p qsketch-bench --bin ext_checkpoint -- --tiny)
+echo "$out"
+if echo "$out" | grep -q FAIL; then
+    echo "checkpoint recovery verification FAILED" >&2
+    exit 1
+fi
+
 echo "All checks passed."

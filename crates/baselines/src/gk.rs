@@ -147,6 +147,140 @@ impl QuantileSketch for GkSketch {
     }
 }
 
+pub use codec::MAGIC as WIRE_MAGIC;
+
+/// Wire format: magic `0x60`, version 1. Encodes ε, scalar state, and the
+/// sorted `(v, g, Δ)` tuple list. GK is fully deterministic, so a decoded
+/// summary replays future inserts identically to the original.
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+
+    /// Sketch tag on the wire (shared with checkpoint files and the
+    /// bench harness's type-erased envelope).
+    pub const MAGIC: u8 = 0x60;
+    const VERSION: u8 = 1;
+    const MAX_TUPLES: u64 = 1 << 24;
+
+    impl SketchSerialize for GkSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, VERSION);
+            w.f64(self.epsilon);
+            w.varint(self.count);
+            w.varint(self.since_compress);
+            w.varint(self.tuples.len() as u64);
+            for t in &self.tuples {
+                w.f64(t.v);
+                w.varint(t.g);
+                w.varint(t.delta);
+            }
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            let epsilon = r.f64()?;
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(DecodeError::Corrupt(format!(
+                    "epsilon {epsilon} outside (0,1)"
+                )));
+            }
+            let count = r.varint()?;
+            let since_compress = r.varint()?;
+            let n = r.varint()?;
+            if n > MAX_TUPLES {
+                return Err(DecodeError::Corrupt(format!(
+                    "tuple count {n} exceeds limit {MAX_TUPLES}"
+                )));
+            }
+            let mut tuples = Vec::with_capacity(n as usize);
+            let mut total_g = 0u64;
+            let mut prev = f64::NEG_INFINITY;
+            for _ in 0..n {
+                let v = r.f64()?;
+                if v.is_nan() {
+                    return Err(DecodeError::Corrupt("NaN tuple value".into()));
+                }
+                if v < prev {
+                    return Err(DecodeError::Corrupt("tuples out of order".into()));
+                }
+                prev = v;
+                let g = r.varint()?;
+                let delta = r.varint()?;
+                total_g = total_g
+                    .checked_add(g)
+                    .ok_or_else(|| DecodeError::Corrupt("gap sum overflow".into()))?;
+                tuples.push(Tuple { v, g, delta });
+            }
+            // Every insert contributes exactly one unit of gap; COMPRESS
+            // preserves the total, so Σg must equal the stream count.
+            if total_g != count {
+                return Err(DecodeError::Corrupt(format!(
+                    "gap sum {total_g} != count {count}"
+                )));
+            }
+            r.expect_exhausted()?;
+            Ok(Self {
+                epsilon,
+                tuples,
+                count,
+                since_compress,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_is_bit_identical_and_replays() {
+            let mut live = GkSketch::new(0.01);
+            for i in 0..50_000 {
+                live.insert(((i * 2_654_435_761u64) % 50_000) as f64);
+            }
+            let mut restored = GkSketch::decode(&live.encode()).unwrap();
+            assert_eq!(restored.retained(), live.retained());
+            for i in 0..20_000 {
+                let v = f64::from(i) * 1.7;
+                live.insert(v);
+                restored.insert(v);
+            }
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(
+                    restored.query(q).unwrap().to_bits(),
+                    live.query(q).unwrap().to_bits(),
+                    "q={q}"
+                );
+            }
+        }
+
+        #[test]
+        fn corrupt_gap_sum_rejected() {
+            let mut s = GkSketch::new(0.05);
+            for i in 0..1_000 {
+                s.insert(f64::from(i));
+            }
+            let mut bytes = s.encode();
+            // Flip a bit in the count varint (first byte after the
+            // 2-byte header + 8-byte epsilon) without touching tuples.
+            bytes[10] ^= 0x01;
+            assert!(GkSketch::decode(&bytes).is_err());
+        }
+
+        #[test]
+        fn truncated_payload_rejected() {
+            let mut s = GkSketch::new(0.05);
+            for i in 0..1_000 {
+                s.insert(f64::from(i));
+            }
+            let mut bytes = s.encode();
+            bytes.truncate(bytes.len() / 3);
+            assert!(GkSketch::decode(&bytes).is_err());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

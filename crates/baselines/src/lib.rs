@@ -28,7 +28,7 @@ mod random;
 mod tdigest;
 
 pub use dcs::DyadicCountSketch;
-pub use gk::GkSketch;
+pub use gk::{GkSketch, WIRE_MAGIC as GK_WIRE_MAGIC};
 pub use hdr::HdrHistogram;
 pub use random::RandomSketch;
-pub use tdigest::TDigest;
+pub use tdigest::{TDigest, WIRE_MAGIC as TDIGEST_WIRE_MAGIC};

@@ -64,6 +64,14 @@ impl TDigest {
         self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
     }
 
+    /// Values buffered before a merge pass. Derived from δ alone (not
+    /// from the buffer allocation) so flush points are a pure function
+    /// of the insert sequence — which the wire format relies on for
+    /// replay-identical recovery.
+    fn flush_threshold(&self) -> usize {
+        (self.compression as usize) * 5
+    }
+
     /// Merge buffered values into the centroid list.
     fn flush(&mut self) {
         if self.buffer.is_empty() {
@@ -108,7 +116,7 @@ impl QuantileSketch for TDigest {
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buffer.push(value);
-        if self.buffer.len() >= self.buffer.capacity() {
+        if self.buffer.len() >= self.flush_threshold() {
             self.flush();
         }
     }
@@ -193,6 +201,160 @@ impl MergeableSketch for TDigest {
         }
         self.flush();
         Ok(())
+    }
+}
+
+pub use codec::MAGIC as WIRE_MAGIC;
+
+/// Wire format: magic `0x7D`, version 1. Encodes δ, scalar state, the
+/// centroid list as `(mean, weight)` pairs, and the unflushed insert
+/// buffer verbatim — t-digest is deterministic, so preserving the buffer
+/// (and its flush threshold, rederived from δ) makes a decoded digest
+/// replay future inserts identically.
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+
+    /// Sketch tag on the wire (shared with checkpoint files and the
+    /// bench harness's type-erased envelope).
+    pub const MAGIC: u8 = 0x7D;
+    const VERSION: u8 = 1;
+    const MAX_CENTROIDS: u64 = 1 << 22;
+
+    impl SketchSerialize for TDigest {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, VERSION);
+            w.f64(self.compression);
+            w.varint(self.count);
+            w.f64(self.min);
+            w.f64(self.max);
+            w.varint(self.centroids.len() as u64);
+            for c in &self.centroids {
+                w.f64(c.mean);
+                w.varint(c.weight);
+            }
+            w.f64_slice(&self.buffer);
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            let compression = r.f64()?;
+            // NaN must fail too, hence the negated form is spelled out.
+            if compression.is_nan() || compression < 10.0 {
+                return Err(DecodeError::Corrupt(format!(
+                    "compression {compression} below minimum 10"
+                )));
+            }
+            let count = r.varint()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            if count > 0 && (min.is_nan() || max.is_nan() || min > max) {
+                return Err(DecodeError::Corrupt("inconsistent min/max".into()));
+            }
+            let n = r.varint()?;
+            if n > MAX_CENTROIDS {
+                return Err(DecodeError::Corrupt(format!(
+                    "centroid count {n} exceeds limit {MAX_CENTROIDS}"
+                )));
+            }
+            let mut centroids = Vec::with_capacity(n as usize);
+            let mut mass = 0u64;
+            let mut prev = f64::NEG_INFINITY;
+            for _ in 0..n {
+                let mean = r.f64()?;
+                if mean.is_nan() {
+                    return Err(DecodeError::Corrupt("NaN centroid mean".into()));
+                }
+                if mean < prev {
+                    return Err(DecodeError::Corrupt("centroids out of order".into()));
+                }
+                prev = mean;
+                let weight = r.varint()?;
+                if weight == 0 {
+                    return Err(DecodeError::Corrupt("zero-weight centroid".into()));
+                }
+                mass = mass
+                    .checked_add(weight)
+                    .ok_or_else(|| DecodeError::Corrupt("weight overflow".into()))?;
+                centroids.push(Centroid { mean, weight });
+            }
+            let buffer_cap = (compression as usize) * 5;
+            let raw = r.f64_vec(buffer_cap as u64)?;
+            if raw.iter().any(|v| v.is_nan()) {
+                return Err(DecodeError::Corrupt("NaN in insert buffer".into()));
+            }
+            if mass + raw.len() as u64 != count {
+                return Err(DecodeError::Corrupt(format!(
+                    "centroid mass {mass} + buffer {} != count {count}",
+                    raw.len()
+                )));
+            }
+            r.expect_exhausted()?;
+            let mut buffer = Vec::with_capacity(buffer_cap);
+            buffer.extend_from_slice(&raw);
+            Ok(Self {
+                compression,
+                centroids,
+                buffer,
+                count,
+                min,
+                max,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_with_dirty_buffer_replays_identically() {
+            let mut live = TDigest::new(100.0);
+            // 50_250 is not a multiple of the 500-value flush threshold,
+            // so the buffer is non-empty at encode time.
+            for i in 0..50_250u64 {
+                live.insert(((i * 2_654_435_761) % 50_250) as f64);
+            }
+            assert!(!live.buffer.is_empty());
+            let mut restored = TDigest::decode(&live.encode()).unwrap();
+            assert_eq!(restored.buffer.len(), live.buffer.len());
+            for i in 0..10_000 {
+                let v = f64::from(i) * 0.93;
+                live.insert(v);
+                restored.insert(v);
+            }
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(
+                    restored.query(q).unwrap().to_bits(),
+                    live.query(q).unwrap().to_bits(),
+                    "q={q}"
+                );
+            }
+        }
+
+        #[test]
+        fn mass_mismatch_rejected() {
+            let mut t = TDigest::new(100.0);
+            for i in 0..5_000 {
+                t.insert(f64::from(i));
+            }
+            let mut bytes = t.encode();
+            // Flip a bit in the count varint (after header + compression).
+            bytes[10] ^= 0x01;
+            assert!(TDigest::decode(&bytes).is_err());
+        }
+
+        #[test]
+        fn truncated_payload_rejected() {
+            let mut t = TDigest::new(100.0);
+            for i in 0..5_000 {
+                t.insert(f64::from(i));
+            }
+            let mut bytes = t.encode();
+            bytes.truncate(bytes.len() - 5);
+            assert!(TDigest::decode(&bytes).is_err());
+        }
     }
 }
 

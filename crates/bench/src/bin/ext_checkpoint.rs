@@ -1,0 +1,22 @@
+//! Extension experiment: checkpoint overhead and crash recovery of the
+//! sharded ingestion engine (beyond the paper; the fault-tolerance story
+//! of the §2 Flink deployment).
+//!
+//! Prints the table; at `--quick`/`--full` scale also writes the raw
+//! measurements to `results/ext_checkpoint.json` (skipped at `--tiny`,
+//! which exists for CI smoke runs that should not clobber real results).
+
+use qsketch_bench::cli::Scale;
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    let (table, json) = qsketch_bench::experiments::ext_checkpoint::run_with_json(&args);
+    print!("{table}");
+    if args.scale != Scale::Tiny {
+        let path = std::path::Path::new("results").join("ext_checkpoint.json");
+        match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, &json)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

@@ -41,6 +41,9 @@ pub struct Args {
     /// Worker-thread counts for the parallel-scaling experiment
     /// (None = the experiment's default sweep).
     pub threads: Option<Vec<usize>>,
+    /// Run a single explicitly-configured sketch instead of the default
+    /// set (e.g. `--sketch kll:350`, `--sketch dds:0.02`).
+    pub sketch: Option<crate::SketchSpec>,
 }
 
 impl Default for Args {
@@ -52,6 +55,7 @@ impl Default for Args {
             runs: None,
             metrics: false,
             threads: None,
+            sketch: None,
         }
     }
 }
@@ -93,10 +97,14 @@ impl Args {
                     }
                     out.threads = Some(list);
                 }
+                "--sketch" => {
+                    let v = it.next().ok_or("--sketch needs a spec (e.g. kll:350)")?;
+                    out.sketch = Some(v.parse().map_err(|e| format!("{e}"))?);
+                }
                 "--help" | "-h" => {
                     return Err(concat!(
                         "usage: <experiment> [--tiny|--quick|--full] [--with-baselines] ",
-                        "[--metrics] [--seed N] [--runs N] [--threads L]"
+                        "[--metrics] [--seed N] [--runs N] [--threads L] [--sketch SPEC]"
                     )
                     .to_string())
                 }
@@ -127,12 +135,30 @@ impl Args {
         })
     }
 
-    /// The sketch set to run: the paper's five, plus baselines on demand.
+    /// The sketch set to run: a single `--sketch` override when given,
+    /// otherwise the paper's five, plus baselines on demand.
     pub fn sketches(&self) -> Vec<crate::SketchKind> {
-        if self.with_baselines {
+        if let Some(spec) = &self.sketch {
+            vec![spec.kind()]
+        } else if self.with_baselines {
             crate::SketchKind::ALL.to_vec()
         } else {
             crate::SketchKind::PAPER_FIVE.to_vec()
+        }
+    }
+
+    /// The fully-parameterised specs to run: the `--sketch` override, or
+    /// the §4.2 paper configuration of every kind
+    /// [`sketches`](Self::sketches) returns. `compress_moments` selects
+    /// the arcsinh-transform Moments variant (per-dataset, §4.2).
+    pub fn sketch_specs(&self, compress_moments: bool) -> Vec<crate::SketchSpec> {
+        if let Some(spec) = &self.sketch {
+            vec![spec.clone()]
+        } else {
+            self.sketches()
+                .into_iter()
+                .map(|k| crate::SketchSpec::paper(k, compress_moments))
+                .collect()
         }
     }
 }
@@ -195,5 +221,18 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn sketch_override() {
+        use crate::{SketchKind, SketchSpec};
+        let a = parse(&["--sketch", "kll:200"]).unwrap();
+        assert_eq!(a.sketch, Some(SketchSpec::kll(200)));
+        assert_eq!(a.sketches(), vec![SketchKind::Kll]);
+        assert_eq!(a.sketch_specs(false), vec![SketchSpec::kll(200)]);
+        assert!(parse(&["--sketch", "bogus"]).is_err());
+        assert!(parse(&["--sketch"]).is_err());
+        // No override: paper five at paper parameters.
+        assert_eq!(parse(&[]).unwrap().sketch_specs(false).len(), 5);
     }
 }

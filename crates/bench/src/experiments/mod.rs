@@ -3,6 +3,7 @@
 //! which also lets the integration tests execute the real experiment code
 //! at reduced scale.
 
+pub mod ext_checkpoint;
 pub mod ext_parallel_scaling;
 pub mod ext_space_accuracy;
 pub mod ext_watermark_lag;

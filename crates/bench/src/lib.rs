@@ -6,6 +6,9 @@
 //! * [`registry`] — a uniform handle ([`registry::AnySketch`]) over the
 //!   five evaluated sketches (plus the §5.2 baselines), constructed with
 //!   the paper's §4.2 parameters,
+//! * [`spec`] — sketch configuration as a value ([`SketchSpec`]):
+//!   parameterised constructors, a parseable/printable textual form
+//!   (`--sketch kll:350`), and the bridge to the serialized wire headers,
 //! * [`table`] — plain-text table rendering for experiment output,
 //! * [`cli`] — the `--quick` / `--full` scale switch shared by all
 //!   binaries (quick keeps laptop runtimes; full uses the paper's stream
@@ -16,7 +19,9 @@
 pub mod cli;
 pub mod experiments;
 pub mod registry;
+pub mod spec;
 pub mod table;
 pub mod timing;
 
 pub use registry::{AnySketch, SketchKind};
+pub use spec::{ParseSpecError, SketchSpec};

@@ -7,7 +7,7 @@ use qsketch_datagen::DataSet;
 use qsketch_ddsketch::DdSketch;
 use qsketch_kll::KllSketch;
 use qsketch_moments::MomentsSketch;
-use qsketch_req::{RankAccuracy, ReqSketch};
+use qsketch_req::ReqSketch;
 use qsketch_uddsketch::UddSketch;
 
 /// The sketches of the study. The first five are the paper's subjects;
@@ -69,26 +69,12 @@ impl SketchKind {
     /// Build this sketch with the §4.2 parameters. `seed` drives the
     /// randomised sketches (KLL, REQ); `compress_moments` applies the log
     /// transform §4.2 prescribes for the Pareto and Power data sets.
+    ///
+    /// Delegates to [`SketchSpec::paper`](crate::SketchSpec::paper) — use
+    /// a [`SketchSpec`](crate::SketchSpec) directly for non-paper
+    /// parameters.
     pub fn build(self, seed: u64, compress_moments: bool) -> AnySketch {
-        match self {
-            SketchKind::Req => AnySketch::Req(ReqSketch::with_seed(
-                qsketch_req::PAPER_K,
-                RankAccuracy::High,
-                seed,
-            )),
-            SketchKind::Kll => {
-                AnySketch::Kll(KllSketch::with_seed(qsketch_kll::PAPER_K, seed))
-            }
-            SketchKind::Udds => AnySketch::Udds(UddSketch::paper_configuration()),
-            SketchKind::Dds => AnySketch::Dds(DdSketch::paper_configuration()),
-            SketchKind::Moments => AnySketch::Moments(if compress_moments {
-                MomentsSketch::with_compression(qsketch_moments::PAPER_NUM_MOMENTS)
-            } else {
-                MomentsSketch::paper_configuration()
-            }),
-            SketchKind::Gk => AnySketch::Gk(GkSketch::new(0.01)),
-            SketchKind::TDigest => AnySketch::TDigest(TDigest::new(200.0)),
-        }
+        crate::SketchSpec::paper(self, compress_moments).build(seed)
     }
 
     /// Build with the compression choice §4.2 makes for `dataset`.
@@ -162,6 +148,155 @@ impl AnySketch {
     /// succeed (everything but GK).
     pub fn is_mergeable(&self) -> bool {
         self.kind().is_mergeable()
+    }
+
+    /// The configuration this sketch was built with, reconstructed from
+    /// its live parameters — the inverse of
+    /// [`SketchSpec::build`](crate::SketchSpec::build), used to label
+    /// results and checkpoint files.
+    pub fn spec(&self) -> crate::SketchSpec {
+        use crate::SketchSpec;
+        match self {
+            AnySketch::Req(s) => SketchSpec::Req {
+                num_sections: s.k(),
+            },
+            AnySketch::Kll(s) => SketchSpec::Kll { k: s.k() },
+            AnySketch::Udds(s) => SketchSpec::Udds {
+                alpha: s.initial_alpha(),
+                max_buckets: s.max_buckets(),
+            },
+            AnySketch::Dds(s) => SketchSpec::Dds { alpha: s.alpha() },
+            AnySketch::Moments(s) => SketchSpec::Moments {
+                num_moments: s.num_moments(),
+                compressed: s.is_compressed(),
+            },
+            AnySketch::Gk(s) => SketchSpec::Gk {
+                epsilon: s.epsilon(),
+            },
+            AnySketch::TDigest(s) => SketchSpec::TDigest {
+                compression: s.compression(),
+            },
+        }
+    }
+}
+
+pub use codec::ENVELOPE_MAGIC;
+
+/// Wire format for the type-erased enum: a small envelope — magic `0x5E`,
+/// version 1, one *tag* byte naming the inner sketch (the inner payload's
+/// own wire magic), then the inner payload verbatim. This is what the
+/// sharded engine checkpoints when it runs over `AnySketch`, so a
+/// recovered shard knows which variant to rebuild before handing the
+/// bytes to that sketch's decoder.
+mod codec {
+    use super::*;
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+
+    /// Envelope magic for the type-erased sketch payload.
+    pub const ENVELOPE_MAGIC: u8 = 0x5E;
+    const VERSION: u8 = 1;
+
+    impl SketchSerialize for AnySketch {
+        fn encode(&self) -> Vec<u8> {
+            let inner = match self {
+                AnySketch::Req(s) => s.encode(),
+                AnySketch::Kll(s) => s.encode(),
+                AnySketch::Udds(s) => s.encode(),
+                AnySketch::Dds(s) => s.encode(),
+                AnySketch::Moments(s) => s.encode(),
+                AnySketch::Gk(s) => s.encode(),
+                AnySketch::TDigest(s) => s.encode(),
+            };
+            let mut w = Writer::with_header(ENVELOPE_MAGIC, VERSION);
+            w.u8(inner[0]); // tag = the inner payload's own magic
+            w.raw(&inner);
+            w.finish()
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, ENVELOPE_MAGIC, VERSION)?;
+            let tag = r.u8()?;
+            let inner = r.rest();
+            match tag {
+                qsketch_req::WIRE_MAGIC => ReqSketch::decode(inner).map(AnySketch::Req),
+                qsketch_kll::WIRE_MAGIC => KllSketch::decode(inner).map(AnySketch::Kll),
+                qsketch_uddsketch::WIRE_MAGIC => UddSketch::decode(inner).map(AnySketch::Udds),
+                qsketch_ddsketch::WIRE_MAGIC => DdSketch::decode(inner).map(AnySketch::Dds),
+                qsketch_moments::WIRE_MAGIC => {
+                    MomentsSketch::decode(inner).map(AnySketch::Moments)
+                }
+                qsketch_baselines::GK_WIRE_MAGIC => {
+                    GkSketch::decode(inner).map(AnySketch::Gk)
+                }
+                qsketch_baselines::TDIGEST_WIRE_MAGIC => {
+                    TDigest::decode(inner).map(AnySketch::TDigest)
+                }
+                other => Err(DecodeError::Corrupt(format!(
+                    "unknown sketch tag {other:#04x}"
+                ))),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use qsketch_core::QuantileSketch;
+
+        #[test]
+        fn every_kind_round_trips_through_the_envelope() {
+            for kind in SketchKind::ALL {
+                let mut s = kind.build(11, false);
+                for i in 1..=20_000 {
+                    s.insert(f64::from(i) * 0.61);
+                }
+                let bytes = s.encode();
+                assert_eq!(bytes[0], ENVELOPE_MAGIC);
+                let restored = AnySketch::decode(&bytes).unwrap();
+                assert_eq!(restored.kind(), kind);
+                assert_eq!(restored.count(), s.count());
+                for q in [0.01, 0.5, 0.99, 1.0] {
+                    assert_eq!(
+                        restored.query(q).unwrap().to_bits(),
+                        s.query(q).unwrap().to_bits(),
+                        "{} q={q}",
+                        kind.label()
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn unknown_tag_rejected() {
+            let s = SketchKind::Kll.build(1, false);
+            let mut bytes = s.encode();
+            bytes[2] = 0xFF; // tag byte
+            assert!(matches!(
+                AnySketch::decode(&bytes),
+                Err(DecodeError::Corrupt(_))
+            ));
+        }
+
+        #[test]
+        fn tag_and_inner_magic_must_agree() {
+            let s = SketchKind::Kll.build(1, false);
+            let mut bytes = s.encode();
+            bytes[2] = qsketch_ddsketch::WIRE_MAGIC; // lie about the variant
+            assert!(AnySketch::decode(&bytes).is_err());
+        }
+
+        #[test]
+        fn truncated_envelope_rejected() {
+            let mut s = SketchKind::Dds.build(1, false);
+            for i in 1..=1_000 {
+                s.insert(f64::from(i));
+            }
+            let mut bytes = s.encode();
+            bytes.truncate(bytes.len() / 2);
+            assert!(AnySketch::decode(&bytes).is_err());
+            assert!(AnySketch::decode(&bytes[..2]).is_err());
+            assert!(AnySketch::decode(&[]).is_err());
+        }
     }
 }
 

@@ -1,0 +1,435 @@
+//! Sketch configuration as a value: [`SketchSpec`].
+//!
+//! [`SketchKind`] names *which* sketch to run;
+//! `SketchSpec` additionally carries the parameters — so one type can
+//! feed the harness's `build()` path, the CLI (`--sketch kll:350`), and
+//! the serialized wire headers (every parameter a spec holds is exactly
+//! what the sketch's `encode()` writes after magic + version).
+//!
+//! The textual form is `name[:param[:param]]`, lowercase, e.g.
+//! `kll:350`, `dds:0.01`, `moments:12:compressed`; a bare name uses the
+//! paper's §4.2 parameters. [`std::fmt::Display`] emits the same grammar
+//! [`std::str::FromStr`] parses, so specs round-trip through strings.
+
+use std::fmt;
+use std::str::FromStr;
+
+use qsketch_baselines::{GkSketch, TDigest};
+use qsketch_ddsketch::DdSketch;
+use qsketch_kll::KllSketch;
+use qsketch_moments::MomentsSketch;
+use qsketch_req::{RankAccuracy, ReqSketch};
+use qsketch_uddsketch::UddSketch;
+
+use crate::registry::{AnySketch, SketchKind};
+
+/// A fully-parameterised sketch configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchSpec {
+    /// ReqSketch (HRA) with `num_sections` sections.
+    Req {
+        /// The section-size parameter (the paper's `num_sections`).
+        num_sections: usize,
+    },
+    /// KLL with compactor-size parameter `k`.
+    Kll {
+        /// Maximum compactor size.
+        k: u16,
+    },
+    /// UDDSketch with initial accuracy `alpha` and a bucket budget.
+    Udds {
+        /// Initial accuracy α₀ (deteriorates as collapses occur).
+        alpha: f64,
+        /// Bucket budget triggering uniform collapses.
+        max_buckets: usize,
+    },
+    /// DDSketch (unbounded dense store) with accuracy `alpha`.
+    Dds {
+        /// Relative-error guarantee α.
+        alpha: f64,
+    },
+    /// Moments sketch with `num_moments` power sums.
+    Moments {
+        /// Number of moments `k`.
+        num_moments: usize,
+        /// Whether inserts are arcsinh-compressed (§4.2 prescribes this
+        /// for the heavy-tailed Pareto/Power data sets).
+        compressed: bool,
+    },
+    /// Greenwald–Khanna with rank-error bound `epsilon`.
+    Gk {
+        /// Additive rank-error bound ε.
+        epsilon: f64,
+    },
+    /// t-digest with compression parameter `delta`.
+    TDigest {
+        /// The compression parameter δ.
+        compression: f64,
+    },
+}
+
+/// Error from parsing a spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError(String);
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad sketch spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl SketchSpec {
+    /// ReqSketch spec.
+    pub fn req(num_sections: usize) -> Self {
+        SketchSpec::Req { num_sections }
+    }
+
+    /// KLL spec.
+    pub fn kll(k: u16) -> Self {
+        SketchSpec::Kll { k }
+    }
+
+    /// UDDSketch spec with the paper's 1024-bucket budget.
+    pub fn udds(alpha: f64) -> Self {
+        SketchSpec::Udds {
+            alpha,
+            max_buckets: qsketch_uddsketch::PAPER_MAX_BUCKETS,
+        }
+    }
+
+    /// DDSketch spec.
+    pub fn dds(alpha: f64) -> Self {
+        SketchSpec::Dds { alpha }
+    }
+
+    /// Moments spec (uncompressed inserts).
+    pub fn moments(num_moments: usize) -> Self {
+        SketchSpec::Moments {
+            num_moments,
+            compressed: false,
+        }
+    }
+
+    /// GK spec.
+    pub fn gk(epsilon: f64) -> Self {
+        SketchSpec::Gk { epsilon }
+    }
+
+    /// t-digest spec.
+    pub fn tdigest(compression: f64) -> Self {
+        SketchSpec::TDigest { compression }
+    }
+
+    /// The §4.2 paper configuration for `kind` (`compress_moments`
+    /// selects the arcsinh-transform variant of the Moments sketch).
+    pub fn paper(kind: SketchKind, compress_moments: bool) -> Self {
+        match kind {
+            SketchKind::Req => Self::req(qsketch_req::PAPER_K),
+            SketchKind::Kll => Self::kll(qsketch_kll::PAPER_K),
+            SketchKind::Udds => SketchSpec::Udds {
+                alpha: qsketch_uddsketch::initial_alpha(
+                    qsketch_uddsketch::PAPER_ALPHA_K,
+                    qsketch_uddsketch::PAPER_NUM_COLLAPSES,
+                ),
+                max_buckets: qsketch_uddsketch::PAPER_MAX_BUCKETS,
+            },
+            SketchKind::Dds => Self::dds(qsketch_ddsketch::PAPER_ALPHA),
+            SketchKind::Moments => SketchSpec::Moments {
+                num_moments: qsketch_moments::PAPER_NUM_MOMENTS,
+                compressed: compress_moments,
+            },
+            SketchKind::Gk => Self::gk(0.01),
+            SketchKind::TDigest => Self::tdigest(200.0),
+        }
+    }
+
+    /// Which kind this spec builds.
+    pub fn kind(&self) -> SketchKind {
+        match self {
+            SketchSpec::Req { .. } => SketchKind::Req,
+            SketchSpec::Kll { .. } => SketchKind::Kll,
+            SketchSpec::Udds { .. } => SketchKind::Udds,
+            SketchSpec::Dds { .. } => SketchKind::Dds,
+            SketchSpec::Moments { .. } => SketchKind::Moments,
+            SketchSpec::Gk { .. } => SketchKind::Gk,
+            SketchSpec::TDigest { .. } => SketchKind::TDigest,
+        }
+    }
+
+    /// Validate parameter ranges (the same checks the sketch
+    /// constructors assert; surfaced as `Err` so the CLI can report
+    /// them without panicking).
+    pub fn validate(&self) -> Result<(), ParseSpecError> {
+        let err = |msg: String| Err(ParseSpecError(msg));
+        match *self {
+            SketchSpec::Req { num_sections: 0 } => err("req needs num_sections >= 1".into()),
+            SketchSpec::Kll { k } if k < 8 => err(format!("kll needs k >= 8, got {k}")),
+            SketchSpec::Udds { alpha, max_buckets } => {
+                if !(alpha > 0.0 && alpha < 1.0) {
+                    err(format!("udds alpha must lie in (0,1), got {alpha}"))
+                } else if max_buckets < 2 {
+                    err("udds needs at least two buckets".into())
+                } else {
+                    Ok(())
+                }
+            }
+            SketchSpec::Dds { alpha } if !(alpha > 0.0 && alpha < 1.0) => {
+                err(format!("dds alpha must lie in (0,1), got {alpha}"))
+            }
+            SketchSpec::Moments { num_moments, .. } if !(2..=15).contains(&num_moments) => {
+                err(format!("moments needs 2..=15 moments, got {num_moments}"))
+            }
+            SketchSpec::Gk { epsilon } if !(epsilon > 0.0 && epsilon < 1.0) => {
+                err(format!("gk epsilon must lie in (0,1), got {epsilon}"))
+            }
+            SketchSpec::TDigest { compression } if compression.is_nan() || compression < 10.0 => {
+                err(format!("tdigest compression must be >= 10, got {compression}"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Build the configured sketch. `seed` drives the randomised
+    /// sketches (KLL, REQ); deterministic sketches ignore it.
+    pub fn build(&self, seed: u64) -> AnySketch {
+        match *self {
+            SketchSpec::Req { num_sections } => AnySketch::Req(ReqSketch::with_seed(
+                num_sections,
+                RankAccuracy::High,
+                seed,
+            )),
+            SketchSpec::Kll { k } => AnySketch::Kll(KllSketch::with_seed(k, seed)),
+            SketchSpec::Udds { alpha, max_buckets } => {
+                AnySketch::Udds(UddSketch::new(alpha, max_buckets))
+            }
+            SketchSpec::Dds { alpha } => AnySketch::Dds(DdSketch::unbounded(alpha)),
+            SketchSpec::Moments {
+                num_moments,
+                compressed,
+            } => AnySketch::Moments(if compressed {
+                MomentsSketch::with_compression(num_moments)
+            } else {
+                MomentsSketch::new(num_moments)
+            }),
+            SketchSpec::Gk { epsilon } => AnySketch::Gk(GkSketch::new(epsilon)),
+            SketchSpec::TDigest { compression } => AnySketch::TDigest(TDigest::new(compression)),
+        }
+    }
+}
+
+impl fmt::Display for SketchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchSpec::Req { num_sections } => write!(f, "req:{num_sections}"),
+            SketchSpec::Kll { k } => write!(f, "kll:{k}"),
+            SketchSpec::Udds { alpha, max_buckets } => {
+                write!(f, "udds:{alpha}:{max_buckets}")
+            }
+            SketchSpec::Dds { alpha } => write!(f, "dds:{alpha}"),
+            SketchSpec::Moments {
+                num_moments,
+                compressed,
+            } => {
+                if *compressed {
+                    write!(f, "moments:{num_moments}:compressed")
+                } else {
+                    write!(f, "moments:{num_moments}")
+                }
+            }
+            SketchSpec::Gk { epsilon } => write!(f, "gk:{epsilon}"),
+            SketchSpec::TDigest { compression } => write!(f, "tdigest:{compression}"),
+        }
+    }
+}
+
+impl FromStr for SketchSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn num<T: FromStr>(part: &str, what: &str) -> Result<T, ParseSpecError> {
+            part.parse()
+                .map_err(|_| ParseSpecError(format!("bad {what}: {part}")))
+        }
+
+        let mut parts = s.trim().split(':');
+        let name = parts.next().unwrap_or("").to_ascii_lowercase();
+        let args: Vec<&str> = parts.collect();
+        let arg = |i: usize| args.get(i).copied();
+        if args.len() > 2 {
+            return Err(ParseSpecError(format!("too many parameters in {s:?}")));
+        }
+
+        let spec = match name.as_str() {
+            "req" => Self::req(match arg(0) {
+                Some(p) => num(p, "req num_sections")?,
+                None => qsketch_req::PAPER_K,
+            }),
+            "kll" => Self::kll(match arg(0) {
+                Some(p) => num(p, "kll k")?,
+                None => qsketch_kll::PAPER_K,
+            }),
+            "udds" => match arg(0) {
+                Some(p) => SketchSpec::Udds {
+                    alpha: num(p, "udds alpha")?,
+                    max_buckets: match arg(1) {
+                        Some(b) => num(b, "udds max_buckets")?,
+                        None => qsketch_uddsketch::PAPER_MAX_BUCKETS,
+                    },
+                },
+                None => Self::paper(SketchKind::Udds, false),
+            },
+            "dds" => Self::dds(match arg(0) {
+                Some(p) => num(p, "dds alpha")?,
+                None => qsketch_ddsketch::PAPER_ALPHA,
+            }),
+            "moments" => SketchSpec::Moments {
+                num_moments: match arg(0) {
+                    Some(p) => num(p, "moments count")?,
+                    None => qsketch_moments::PAPER_NUM_MOMENTS,
+                },
+                compressed: match arg(1) {
+                    None | Some("raw") => false,
+                    Some("compressed") => true,
+                    Some(other) => {
+                        return Err(ParseSpecError(format!(
+                            "moments mode must be raw|compressed, got {other}"
+                        )))
+                    }
+                },
+            },
+            "gk" => Self::gk(match arg(0) {
+                Some(p) => num(p, "gk epsilon")?,
+                None => 0.01,
+            }),
+            "tdigest" | "t-digest" => Self::tdigest(match arg(0) {
+                Some(p) => num(p, "tdigest compression")?,
+                None => 200.0,
+            }),
+            other => {
+                return Err(ParseSpecError(format!(
+                    "unknown sketch {other:?} (expected req|kll|udds|dds|moments|gk|tdigest)"
+                )))
+            }
+        };
+        if !matches!(spec, SketchSpec::Udds { .. } | SketchSpec::Moments { .. })
+            && args.len() > 1
+        {
+            return Err(ParseSpecError(format!("too many parameters in {s:?}")));
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsketch_core::QuantileSketch;
+
+    #[test]
+    fn parse_bare_names_use_paper_parameters() {
+        for (text, kind) in [
+            ("req", SketchKind::Req),
+            ("kll", SketchKind::Kll),
+            ("udds", SketchKind::Udds),
+            ("dds", SketchKind::Dds),
+            ("moments", SketchKind::Moments),
+            ("gk", SketchKind::Gk),
+            ("tdigest", SketchKind::TDigest),
+        ] {
+            let spec: SketchSpec = text.parse().unwrap();
+            assert_eq!(spec.kind(), kind, "{text}");
+            assert_eq!(spec, SketchSpec::paper(kind, false), "{text}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let specs = [
+            SketchSpec::req(40),
+            SketchSpec::kll(200),
+            SketchSpec::udds(0.002),
+            SketchSpec::dds(0.05),
+            SketchSpec::moments(10),
+            SketchSpec::Moments {
+                num_moments: 8,
+                compressed: true,
+            },
+            SketchSpec::gk(0.02),
+            SketchSpec::tdigest(100.0),
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let back: SketchSpec = text.parse().unwrap();
+            assert_eq!(back, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_with_parameters() {
+        assert_eq!("kll:200".parse::<SketchSpec>().unwrap(), SketchSpec::kll(200));
+        assert_eq!(
+            "dds:0.02".parse::<SketchSpec>().unwrap(),
+            SketchSpec::dds(0.02)
+        );
+        assert_eq!(
+            "udds:0.01:512".parse::<SketchSpec>().unwrap(),
+            SketchSpec::Udds {
+                alpha: 0.01,
+                max_buckets: 512
+            }
+        );
+        assert_eq!(
+            "moments:8:compressed".parse::<SketchSpec>().unwrap(),
+            SketchSpec::Moments {
+                num_moments: 8,
+                compressed: true
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "bogus",
+            "kll:abc",
+            "kll:0",
+            "dds:1.5",
+            "gk:0",
+            "tdigest:1",
+            "moments:99",
+            "moments:8:sideways",
+            "kll:200:extra",
+            "",
+        ] {
+            assert!(bad.parse::<SketchSpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn build_produces_working_sketches() {
+        for kind in SketchKind::ALL {
+            let spec = SketchSpec::paper(kind, false);
+            let mut s = spec.build(7);
+            for i in 1..=5_000 {
+                s.insert(f64::from(i));
+            }
+            assert_eq!(s.count(), 5_000, "{}", kind.label());
+            assert!(s.query(0.5).is_ok());
+            assert_eq!(s.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn spec_reconstructed_from_live_sketch() {
+        for kind in SketchKind::ALL {
+            for compress in [false, true] {
+                let spec = SketchSpec::paper(kind, compress);
+                let sketch = spec.build(3);
+                assert_eq!(sketch.spec(), spec, "{}", kind.label());
+            }
+        }
+    }
+}

@@ -6,14 +6,20 @@
 //! machines". This module provides the shared encoding primitives every
 //! sketch's `encode`/`decode` pair is built from: little-endian scalars,
 //! LEB128 varints for counts, and a header with a per-sketch magic byte
-//! and format version so decoding a foreign or stale payload fails loudly
-//! instead of corrupting state.
+//! (the sketch *tag* on the wire) and format version so decoding a
+//! foreign or stale payload fails loudly instead of corrupting state.
+//!
+//! Every payload therefore reads `magic, version, params…, state…`, and
+//! [`SketchSerialize::decode`] rejects corrupt, truncated, or
+//! foreign-version input with a typed [`DecodeError`] — never a panic.
+//! The same payloads are what the sharded ingestion engine persists as
+//! per-shard checkpoints (`qsketch_streamsim::checkpoint`).
 
 use std::fmt;
 
 /// Errors produced when decoding a sketch payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
+pub enum DecodeError {
     /// The payload ended before the declared content.
     UnexpectedEnd,
     /// Magic byte did not match the expected sketch type.
@@ -30,27 +36,38 @@ pub enum CodecError {
     Corrupt(String),
 }
 
-impl fmt::Display for CodecError {
+impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::UnexpectedEnd => write!(f, "payload truncated"),
-            CodecError::WrongMagic { expected, found } => {
+            DecodeError::UnexpectedEnd => write!(f, "payload truncated"),
+            DecodeError::WrongMagic { expected, found } => {
                 write!(f, "wrong sketch magic: expected {expected:#x}, found {found:#x}")
             }
-            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
-            CodecError::Corrupt(why) => write!(f, "corrupt payload: {why}"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Corrupt(why) => write!(f, "corrupt payload: {why}"),
         }
     }
 }
 
-impl std::error::Error for CodecError {}
+impl std::error::Error for DecodeError {}
 
-/// A sketch that can round-trip through a compact byte representation.
-pub trait SketchCodec: Sized {
+/// A sketch that can round-trip through a compact byte representation:
+/// the serialization face of every sketch in the suite (and of the
+/// type-erased `AnySketch` in the bench harness).
+///
+/// Implementations encode `magic + version + params + state` via
+/// [`Writer`]/[`Reader`] and must uphold two contracts:
+///
+/// * **round-trip fidelity** — a decoded sketch answers every
+///   [`query`](crate::sketch::QuantileSketch::query) bit-identically to
+///   the encoder, and keeps accepting inserts/merges;
+/// * **no panics on hostile bytes** — `decode` returns a
+///   [`DecodeError`] for corrupt, truncated, or foreign payloads.
+pub trait SketchSerialize: Sized {
     /// Serialise to bytes.
     fn encode(&self) -> Vec<u8>;
     /// Deserialise, validating magic/version/invariants.
-    fn decode(bytes: &[u8]) -> Result<Self, CodecError>;
+    fn decode(bytes: &[u8]) -> Result<Self, DecodeError>;
 }
 
 /// Append-only encoder.
@@ -113,6 +130,19 @@ impl Writer {
             self.f64(v);
         }
     }
+
+    /// Write a length-prefixed byte string (a nested payload — e.g. a
+    /// sketch payload inside a checkpoint or type-erased envelope).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.varint(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append raw bytes with no length prefix (for envelopes whose inner
+    /// payload runs to the end of the buffer).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
 }
 
 /// Cursor-based decoder.
@@ -120,30 +150,43 @@ impl Writer {
 pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    version: u8,
 }
 
 impl<'a> Reader<'a> {
     /// Wrap a payload and validate its `(magic, version)` header against
     /// the expectations; returns the reader positioned after the header.
-    pub fn with_header(bytes: &'a [u8], magic: u8, max_version: u8) -> Result<Self, CodecError> {
-        let mut r = Self { bytes, pos: 0 };
+    pub fn with_header(bytes: &'a [u8], magic: u8, max_version: u8) -> Result<Self, DecodeError> {
+        let mut r = Self {
+            bytes,
+            pos: 0,
+            version: 0,
+        };
         let found = r.u8()?;
         if found != magic {
-            return Err(CodecError::WrongMagic {
+            return Err(DecodeError::WrongMagic {
                 expected: magic,
                 found,
             });
         }
         let version = r.u8()?;
         if version == 0 || version > max_version {
-            return Err(CodecError::UnsupportedVersion(version));
+            return Err(DecodeError::UnsupportedVersion(version));
         }
+        r.version = version;
         Ok(r)
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+    /// The format version the header declared — decoders branch on this
+    /// to read older payload layouts (e.g. KLL v1 lacks the RNG state
+    /// that v2 appends).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.bytes.len() {
-            return Err(CodecError::UnexpectedEnd);
+            return Err(DecodeError::UnexpectedEnd);
         }
         let out = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -151,33 +194,33 @@ impl<'a> Reader<'a> {
     }
 
     /// Read one byte.
-    pub fn u8(&mut self) -> Result<u8, CodecError> {
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
     /// Read a little-endian `u64`.
-    pub fn u64(&mut self) -> Result<u64, CodecError> {
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
     /// Read a little-endian `i32`.
-    pub fn i32(&mut self) -> Result<i32, CodecError> {
+    pub fn i32(&mut self) -> Result<i32, DecodeError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
     /// Read a little-endian `f64`.
-    pub fn f64(&mut self) -> Result<f64, CodecError> {
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
     /// Read a LEB128 varint.
-    pub fn varint(&mut self) -> Result<u64, CodecError> {
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
         let mut out = 0u64;
         let mut shift = 0u32;
         loop {
             let byte = self.u8()?;
             if shift >= 64 {
-                return Err(CodecError::Corrupt("varint overflow".into()));
+                return Err(DecodeError::Corrupt("varint overflow".into()));
             }
             out |= u64::from(byte & 0x7f) << shift;
             if byte & 0x80 == 0 {
@@ -189,10 +232,10 @@ impl<'a> Reader<'a> {
 
     /// Read a length-prefixed `f64` vector; `max_len` bounds allocation
     /// against hostile payloads.
-    pub fn f64_vec(&mut self, max_len: u64) -> Result<Vec<f64>, CodecError> {
+    pub fn f64_vec(&mut self, max_len: u64) -> Result<Vec<f64>, DecodeError> {
         let len = self.varint()?;
         if len > max_len {
-            return Err(CodecError::Corrupt(format!(
+            return Err(DecodeError::Corrupt(format!(
                 "declared length {len} exceeds limit {max_len}"
             )));
         }
@@ -203,6 +246,27 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Read a length-prefixed byte string (the inverse of
+    /// [`Writer::bytes`]); `max_len` bounds allocation against hostile
+    /// payloads.
+    pub fn byte_vec(&mut self, max_len: u64) -> Result<Vec<u8>, DecodeError> {
+        let len = self.varint()?;
+        if len > max_len {
+            return Err(DecodeError::Corrupt(format!(
+                "declared length {len} exceeds limit {max_len}"
+            )));
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    /// The unread remainder of the payload (the inner payload of an
+    /// envelope written with [`Writer::raw`]). Consumes the rest.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let out = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        out
+    }
+
     /// True once the whole payload was consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.bytes.len()
@@ -210,11 +274,11 @@ impl<'a> Reader<'a> {
 
     /// Fail unless the payload was fully consumed (catches mismatched
     /// encoders/decoders early).
-    pub fn expect_exhausted(&self) -> Result<(), CodecError> {
+    pub fn expect_exhausted(&self) -> Result<(), DecodeError> {
         if self.is_exhausted() {
             Ok(())
         } else {
-            Err(CodecError::Corrupt(format!(
+            Err(DecodeError::Corrupt(format!(
                 "{} trailing bytes",
                 self.bytes.len() - self.pos
             )))
@@ -276,14 +340,14 @@ mod tests {
     fn wrong_magic_rejected() {
         let bytes = Writer::with_header(0x10, 1).finish();
         let err = Reader::with_header(&bytes, 0x20, 1).unwrap_err();
-        assert!(matches!(err, CodecError::WrongMagic { .. }));
+        assert!(matches!(err, DecodeError::WrongMagic { .. }));
     }
 
     #[test]
     fn future_version_rejected() {
         let bytes = Writer::with_header(0x10, 9).finish();
         let err = Reader::with_header(&bytes, 0x10, 1).unwrap_err();
-        assert_eq!(err, CodecError::UnsupportedVersion(9));
+        assert_eq!(err, DecodeError::UnsupportedVersion(9));
     }
 
     #[test]
@@ -293,7 +357,7 @@ mod tests {
         let mut bytes = w.finish();
         bytes.truncate(bytes.len() - 2);
         let mut r = Reader::with_header(&bytes, 0x10, 1).unwrap();
-        assert_eq!(r.u64().unwrap_err(), CodecError::UnexpectedEnd);
+        assert_eq!(r.u64().unwrap_err(), DecodeError::UnexpectedEnd);
     }
 
     #[test]
@@ -302,7 +366,43 @@ mod tests {
         w.varint(u64::MAX);
         let bytes = w.finish();
         let mut r = Reader::with_header(&bytes, 0x10, 1).unwrap();
-        assert!(matches!(r.f64_vec(1024), Err(CodecError::Corrupt(_))));
+        assert!(matches!(r.f64_vec(1024), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn byte_string_round_trip() {
+        let mut w = Writer::with_header(0x10, 1);
+        w.bytes(&[1, 2, 3]);
+        w.bytes(&[]);
+        let bytes = w.finish();
+        let mut r = Reader::with_header(&bytes, 0x10, 1).unwrap();
+        assert_eq!(r.byte_vec(16).unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.byte_vec(16).unwrap(), Vec::<u8>::new());
+        r.expect_exhausted().unwrap();
+    }
+
+    #[test]
+    fn byte_string_hostile_length_bounded() {
+        let mut w = Writer::with_header(0x10, 1);
+        w.varint(u64::MAX);
+        let bytes = w.finish();
+        let mut r = Reader::with_header(&bytes, 0x10, 1).unwrap();
+        assert!(matches!(r.byte_vec(1024), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn raw_and_rest_round_trip_an_envelope() {
+        let mut inner = Writer::with_header(0x42, 1);
+        inner.u64(7);
+        let inner_bytes = inner.finish();
+        let mut outer = Writer::with_header(0x99, 1);
+        outer.u8(3); // tag
+        outer.raw(&inner_bytes);
+        let bytes = outer.finish();
+        let mut r = Reader::with_header(&bytes, 0x99, 1).unwrap();
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.rest(), inner_bytes.as_slice());
+        assert!(r.is_exhausted());
     }
 
     #[test]

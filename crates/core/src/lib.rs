@@ -12,6 +12,11 @@
 //! * streaming statistics such as excess [`stats::kurtosis`] (§2.3),
 //! * the quantile sets and groupings used throughout the paper's evaluation
 //!   ([`quantiles`], §4.2),
+//! * the versioned binary wire format ([`codec`]): the
+//!   [`SketchSerialize`] trait every sketch implements (magic + version +
+//!   params + state, little-endian), with typed [`DecodeError`] rejection
+//!   of corrupt/foreign payloads — the basis of distributed merge and of
+//!   the sharded engine's checkpoint/recovery,
 //! * a zero-dependency observability layer ([`metrics`]): named counters,
 //!   gauges, and log-bucketed latency histograms, plus the
 //!   [`metrics::Instrumented`] wrapper that records per-operation metrics
@@ -44,10 +49,12 @@ pub mod rng;
 pub mod sketch;
 pub mod stats;
 
+pub use codec::{DecodeError, SketchSerialize};
 pub use error::{rank_error, relative_error};
 pub use exact::ExactQuantiles;
 pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
 pub use profile::Profile;
 pub use sketch::{
     merge_tree, snapshot_merge, MergeError, MergeableSketch, QuantileSketch, QueryError,
+    SketchError,
 };

@@ -252,12 +252,15 @@ impl LogHistogram {
         (self.count() > 0).then(|| self.shared.max.load(Ordering::Relaxed))
     }
 
-    /// Approximate `q`-quantile of the recorded values (`0 < q ≤ 1`):
-    /// the midpoint of the bucket holding the rank-`⌈qN⌉` observation,
-    /// clamped into the recorded min/max. `None` when empty.
+    /// Approximate `q`-quantile of the recorded values (`q ∈ (0, 1]`,
+    /// validated by the shared
+    /// [`check_quantile`](crate::sketch::check_quantile) helper): the
+    /// midpoint of the bucket holding the rank-`⌈qN⌉` observation,
+    /// clamped into the recorded min/max. `None` when empty or out of
+    /// range.
     pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
         let total = self.count();
-        if total == 0 || !(0.0..=1.0).contains(&q) || q <= 0.0 {
+        if total == 0 || crate::sketch::check_quantile(q).is_err() {
             return None;
         }
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);

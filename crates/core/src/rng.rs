@@ -19,6 +19,19 @@ impl CoinFlipper {
         }
     }
 
+    /// The current generator state — serialized by the sketch wire
+    /// formats (KLL/REQ v2) so a checkpointed-and-recovered sketch
+    /// replays the *same* future coin flips as the uninterrupted run.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator at an exact state captured by [`Self::state`]
+    /// (zero, impossible for a live xorshift, is remapped as in `new`).
+    pub fn from_state(state: u64) -> Self {
+        Self::new(state)
+    }
+
     fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
@@ -53,6 +66,18 @@ mod tests {
         let mut rng = CoinFlipper::new(7);
         let heads = (0..100_000).filter(|_| rng.flip()).count();
         assert!((45_000..55_000).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn state_round_trip_replays_identically() {
+        let mut a = CoinFlipper::new(42);
+        for _ in 0..100 {
+            a.flip();
+        }
+        let mut b = CoinFlipper::from_state(a.state());
+        for _ in 0..1000 {
+            assert_eq!(a.flip(), b.flip());
+        }
     }
 
     #[test]

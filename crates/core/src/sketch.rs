@@ -2,12 +2,15 @@
 
 use std::fmt;
 
+use crate::codec::DecodeError;
+
 /// Error returned by [`QuantileSketch::query`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// The sketch has not consumed any values yet.
     Empty,
-    /// The requested quantile is outside `(0, 1]`.
+    /// The requested quantile lies outside `(0, 1]` — the §2.1 domain
+    /// every implementation enforces through [`check_quantile`].
     InvalidQuantile,
     /// The sketch's estimation procedure failed to converge (only the
     /// Moments sketch's maximum-entropy solver can report this).
@@ -47,6 +50,64 @@ impl fmt::Display for MergeError {
 
 impl std::error::Error for MergeError {}
 
+/// Umbrella over everything a sketch operation can fail with: queries
+/// ([`QueryError`]), merges ([`MergeError`]), and wire-format decoding
+/// ([`DecodeError`]).
+///
+/// Engine- and pipeline-level code that chains all three operations
+/// (checkpoint → decode → merge → query) propagates one error type
+/// instead of matching three enums; the `From` impls make `?` just work.
+/// Marked `#[non_exhaustive]` so future failure classes (e.g. I/O-backed
+/// stores) can be added without breaking downstream matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SketchError {
+    /// A quantile query failed.
+    Query(QueryError),
+    /// A merge was attempted between incompatible sketches.
+    Merge(MergeError),
+    /// A serialized payload failed to decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::Query(e) => write!(f, "query failed: {e}"),
+            SketchError::Merge(e) => write!(f, "merge failed: {e}"),
+            SketchError::Decode(e) => write!(f, "decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SketchError::Query(e) => Some(e),
+            SketchError::Merge(e) => Some(e),
+            SketchError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryError> for SketchError {
+    fn from(e: QueryError) -> Self {
+        SketchError::Query(e)
+    }
+}
+
+impl From<MergeError> for SketchError {
+    fn from(e: MergeError) -> Self {
+        SketchError::Merge(e)
+    }
+}
+
+impl From<DecodeError> for SketchError {
+    fn from(e: DecodeError) -> Self {
+        SketchError::Decode(e)
+    }
+}
+
 /// A single-pass summary of a stream of `f64` values that can answer
 /// approximate quantile queries.
 ///
@@ -61,7 +122,10 @@ pub trait QuantileSketch {
     /// Estimate the `q`-quantile of everything inserted so far.
     ///
     /// `q` must lie in `(0, 1]`; per §2.1 the `q`-quantile is the element of
-    /// rank `⌈qN⌉` in the sorted stream.
+    /// rank `⌈qN⌉` in the sorted stream. Every implementation validates the
+    /// bound through the shared [`check_quantile`] helper, so anything
+    /// outside `(0, 1]` (including NaN) uniformly returns
+    /// [`QueryError::InvalidQuantile`].
     fn query(&self, q: f64) -> Result<f64, QueryError>;
 
     /// Number of values inserted so far.
@@ -180,7 +244,12 @@ pub fn snapshot_merge<S: MergeableSketch + Clone>(shards: &[S]) -> Result<Option
 
 /// Validate a quantile argument, shared by all implementations.
 ///
-/// The paper (§2.1) defines the `q`-quantile for `0 < q ≤ 1`.
+/// The paper (§2.1) defines the `q`-quantile for `q ∈ (0, 1]` — zero is
+/// excluded (rank `⌈0·N⌉ = 0` names no element), one is included (the
+/// maximum). This helper is the single place that bound lives: the five
+/// sketch implementations, the baselines, the exact oracle, and the
+/// metrics histogram all delegate here, so the accepted range can never
+/// drift between them.
 #[inline]
 pub fn check_quantile(q: f64) -> Result<(), QueryError> {
     if q.is_nan() || q <= 0.0 || q > 1.0 {
@@ -341,5 +410,41 @@ mod tests {
                 .to_string()
                 .contains("gamma mismatch")
         );
+    }
+
+    #[test]
+    fn sketch_error_wraps_all_three_via_from() {
+        fn fails_query() -> Result<(), SketchError> {
+            Err(QueryError::Empty)?;
+            Ok(())
+        }
+        fn fails_merge() -> Result<(), SketchError> {
+            Err(MergeError::IncompatibleParameters("k".into()))?;
+            Ok(())
+        }
+        fn fails_decode() -> Result<(), SketchError> {
+            Err(DecodeError::UnexpectedEnd)?;
+            Ok(())
+        }
+        assert_eq!(
+            fails_query().unwrap_err(),
+            SketchError::Query(QueryError::Empty)
+        );
+        assert!(matches!(fails_merge().unwrap_err(), SketchError::Merge(_)));
+        assert_eq!(
+            fails_decode().unwrap_err(),
+            SketchError::Decode(DecodeError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn sketch_error_display_and_source() {
+        use std::error::Error as _;
+        let e = SketchError::from(QueryError::InvalidQuantile);
+        assert!(e.to_string().contains("query failed"));
+        assert!(e.to_string().contains("(0, 1]"));
+        assert!(e.source().is_some());
+        let d = SketchError::from(DecodeError::UnsupportedVersion(9));
+        assert!(d.to_string().contains("decode failed"));
     }
 }

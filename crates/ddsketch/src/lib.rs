@@ -37,7 +37,7 @@ mod sketch;
 pub mod store;
 
 pub use mapping::{IndexMapping, LinearInterpolatedMapping, LogarithmicMapping};
-pub use sketch::DdSketch;
+pub use sketch::{DdSketch, WIRE_MAGIC};
 
 /// The relative-error parameter used in the paper's experiments (§4.2):
 /// α = 0.01, hence γ = 1.0202.

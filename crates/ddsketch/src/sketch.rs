@@ -472,11 +472,15 @@ mod tests {
 /// non-empty buckets of both stores as `(index, count)` pairs. Only the
 /// unbounded-store sketch is encodable — a collapsed store has already
 /// discarded information that the receiving side could not validate.
+pub use codec::MAGIC as WIRE_MAGIC;
+
 mod codec {
     use super::*;
-    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
 
-    const MAGIC: u8 = 0xD0;
+    /// Sketch tag on the wire (shared with checkpoint files and the
+    /// bench harness's type-erased envelope).
+    pub const MAGIC: u8 = 0xD0;
     const VERSION: u8 = 1;
     /// Upper bound on buckets accepted from a payload (a 2048-bucket
     /// sketch already spans 17 decades at α = 0.01, §4.8).
@@ -491,10 +495,10 @@ mod codec {
         }
     }
 
-    fn read_store(r: &mut Reader<'_>) -> Result<UnboundedDenseStore, CodecError> {
+    fn read_store(r: &mut Reader<'_>) -> Result<UnboundedDenseStore, DecodeError> {
         let n = r.varint()?;
         if n > MAX_BUCKETS {
-            return Err(CodecError::Corrupt(format!("{n} buckets exceeds limit")));
+            return Err(DecodeError::Corrupt(format!("{n} buckets exceeds limit")));
         }
         let mut store = UnboundedDenseStore::new();
         for _ in 0..n {
@@ -505,7 +509,7 @@ mod codec {
             // buckets at alpha = 0.01 already cover tens of thousands of
             // decades, far past any real payload.
             if u64::from(i.unsigned_abs()) > MAX_BUCKETS {
-                return Err(CodecError::Corrupt(format!("bucket index {i} out of range")));
+                return Err(DecodeError::Corrupt(format!("bucket index {i} out of range")));
             }
             let c = r.varint()?;
             store.add(i, c);
@@ -513,7 +517,7 @@ mod codec {
         Ok(store)
     }
 
-    impl SketchCodec for DdSketch<UnboundedDenseStore> {
+    impl SketchSerialize for DdSketch<UnboundedDenseStore> {
         fn encode(&self) -> Vec<u8> {
             let mut w = Writer::with_header(MAGIC, VERSION);
             w.f64(self.mapping.alpha());
@@ -526,25 +530,25 @@ mod codec {
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
             let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
             let alpha = r.f64()?;
             if !(alpha > 0.0 && alpha < 1.0) {
-                return Err(CodecError::Corrupt(format!("alpha {alpha} out of range")));
+                return Err(DecodeError::Corrupt(format!("alpha {alpha} out of range")));
             }
             let zero_count = r.varint()?;
             let count = r.varint()?;
             let min = r.f64()?;
             let max = r.f64()?;
             if min.is_nan() || max.is_nan() {
-                return Err(CodecError::Corrupt("NaN extremes".into()));
+                return Err(DecodeError::Corrupt("NaN extremes".into()));
             }
             let positives = read_store(&mut r)?;
             let negatives = read_store(&mut r)?;
             r.expect_exhausted()?;
             let stored = positives.total() + negatives.total() + zero_count;
             if stored != count {
-                return Err(CodecError::Corrupt(format!(
+                return Err(DecodeError::Corrupt(format!(
                     "bucket totals {stored} disagree with count {count}"
                 )));
             }

@@ -34,7 +34,7 @@ mod sketch;
 mod sorted_view;
 
 pub use plusminus::KllPlusMinus;
-pub use sketch::KllSketch;
+pub use sketch::{KllSketch, WIRE_MAGIC};
 pub use sorted_view::SortedView;
 
 /// The compactor-size parameter used in all of the paper's experiments

@@ -507,21 +507,28 @@ mod tests {
     }
 }
 
-/// Wire format: magic `0xA1`, version 1. Encodes `k`, scalar state, and
-/// each level's retained items. The compaction coin is reseeded on decode
-/// (from `k` and the count), so a decoded sketch remains correct but its
-/// *future* compactions are not bit-replays of the encoder's.
+/// Wire format: magic `0xA1`, version 2. Encodes `k`, scalar state, each
+/// level's retained items, and (since v2) the compaction coin's exact
+/// xorshift state — so a checkpointed-and-recovered sketch replays the
+/// *same* future compactions bit-for-bit as the uninterrupted run.
+/// Version-1 payloads (no RNG state) still decode; their coin is reseeded
+/// from `k` and the count, which keeps the sketch correct but makes its
+/// future compactions diverge from the encoder's.
+pub use codec::MAGIC as WIRE_MAGIC;
+
 mod codec {
     use super::*;
-    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
 
-    const MAGIC: u8 = 0xA1;
-    const VERSION: u8 = 1;
+    /// Sketch tag on the wire (shared with checkpoint files and the
+    /// bench harness's type-erased envelope).
+    pub const MAGIC: u8 = 0xA1;
+    const VERSION: u8 = 2;
     /// Far above any real retained-sample size (§4.3: ~1k items at k=350).
     const MAX_ITEMS_PER_LEVEL: u64 = 1 << 24;
     const MAX_LEVELS: u64 = 64;
 
-    impl SketchCodec for KllSketch {
+    impl SketchSerialize for KllSketch {
         fn encode(&self) -> Vec<u8> {
             let mut w = Writer::with_header(MAGIC, VERSION);
             w.varint(u64::from(self.k));
@@ -532,32 +539,38 @@ mod codec {
             for level in &self.levels {
                 w.f64_slice(level);
             }
+            w.u64(self.rng.state());
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
             let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
             let k = r.varint()?;
             if !(8..=u64::from(u16::MAX)).contains(&k) {
-                return Err(CodecError::Corrupt(format!("k {k} out of range")));
+                return Err(DecodeError::Corrupt(format!("k {k} out of range")));
             }
             let count = r.varint()?;
             let min = r.f64()?;
             let max = r.f64()?;
             let num_levels = r.varint()?;
             if num_levels == 0 || num_levels > MAX_LEVELS {
-                return Err(CodecError::Corrupt(format!("{num_levels} levels")));
+                return Err(DecodeError::Corrupt(format!("{num_levels} levels")));
             }
             let mut levels = Vec::with_capacity(num_levels as usize);
             for _ in 0..num_levels {
                 let mut level = r.f64_vec(MAX_ITEMS_PER_LEVEL)?;
                 if level.iter().any(|v| v.is_nan()) {
-                    return Err(CodecError::Corrupt("NaN item".into()));
+                    return Err(DecodeError::Corrupt("NaN item".into()));
                 }
                 // Upper levels are kept sorted by the in-memory invariant.
                 level.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
                 levels.push(level);
             }
+            let rng = if r.version() >= 2 {
+                CoinFlipper::from_state(r.u64()?)
+            } else {
+                CoinFlipper::new(k ^ count.rotate_left(17))
+            };
             r.expect_exhausted()?;
             Ok(Self {
                 k: k as u16,
@@ -565,7 +578,7 @@ mod codec {
                 count,
                 min,
                 max,
-                rng: CoinFlipper::new(k ^ count.rotate_left(17)),
+                rng,
             })
         }
     }
@@ -608,6 +621,43 @@ mod codec {
         }
 
         #[test]
+        fn v2_round_trip_replays_future_compactions_bitwise() {
+            let mut live = KllSketch::with_seed(128, 7);
+            for i in 0..100_000 {
+                live.insert(f64::from(i));
+            }
+            let mut restored = KllSketch::decode(&live.encode()).unwrap();
+            // Insert the same tail into both: with the RNG state on the
+            // wire, every future coin flip (and thus every compaction)
+            // is identical, so all queries stay bit-identical.
+            for i in 100_000..200_000 {
+                live.insert(f64::from(i));
+                restored.insert(f64::from(i));
+            }
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(live.query(q).unwrap(), restored.query(q).unwrap(), "q={q}");
+            }
+        }
+
+        #[test]
+        fn v1_payload_still_decodes() {
+            // A v1 payload is a v2 payload minus the trailing RNG state,
+            // with the version byte rewritten.
+            let mut s = KllSketch::with_seed(64, 3);
+            for i in 0..10_000 {
+                s.insert(f64::from(i));
+            }
+            let mut bytes = s.encode();
+            bytes[1] = 1; // version byte
+            bytes.truncate(bytes.len() - 8); // drop the RNG state
+            let restored = KllSketch::decode(&bytes).unwrap();
+            assert_eq!(restored.count(), s.count());
+            for q in [0.5, 0.99] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap());
+            }
+        }
+
+        #[test]
         fn payload_tracks_retained_items() {
             let mut s = KllSketch::with_seed(350, 5);
             for i in 0..1_000_000 {
@@ -623,10 +673,11 @@ mod codec {
             let mut s = KllSketch::with_seed(64, 1);
             s.insert(1.0);
             let mut bytes = s.encode();
-            // Overwrite the single item with a NaN pattern.
+            // Overwrite the single item with a NaN pattern. The item is the
+            // second-to-last word: the trailing 8 bytes are the v2 RNG state.
             let nan = f64::NAN.to_le_bytes();
             let n = bytes.len();
-            bytes[n - 8..].copy_from_slice(&nan);
+            bytes[n - 16..n - 8].copy_from_slice(&nan);
             assert!(KllSketch::decode(&bytes).is_err());
         }
     }

@@ -35,7 +35,7 @@
 mod sketch;
 pub mod solver;
 
-pub use sketch::MomentsSketch;
+pub use sketch::{MomentsSketch, WIRE_MAGIC};
 
 /// The paper's `num_moments` (§4.2): 12 moments — "we experienced numerical
 /// stability issues with anything more than 15 moments".

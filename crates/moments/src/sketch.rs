@@ -480,14 +480,18 @@ mod tests {
 
 /// Wire format: magic `0x30`, version 1 — the most compact of all sketch
 /// payloads (the §4.4.3 merge-speed winner is also the cheapest to ship).
+pub use codec::MAGIC as WIRE_MAGIC;
+
 mod codec {
     use super::*;
-    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
 
-    const MAGIC: u8 = 0x30;
+    /// Sketch tag on the wire (shared with checkpoint files and the
+    /// bench harness's type-erased envelope).
+    pub const MAGIC: u8 = 0x30;
     const VERSION: u8 = 1;
 
-    impl SketchCodec for MomentsSketch {
+    impl SketchSerialize for MomentsSketch {
         fn encode(&self) -> Vec<u8> {
             let mut w = Writer::with_header(MAGIC, VERSION);
             w.u8(u8::from(self.compress));
@@ -497,12 +501,12 @@ mod codec {
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
             let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
             let compress = match r.u8()? {
                 0 => false,
                 1 => true,
-                other => return Err(CodecError::Corrupt(format!("bad compress flag {other}"))),
+                other => return Err(DecodeError::Corrupt(format!("bad compress flag {other}"))),
             };
             let min = r.f64()?;
             let max = r.f64()?;
@@ -510,10 +514,10 @@ mod codec {
             r.expect_exhausted()?;
             let k = power_sums.len().saturating_sub(1);
             if !(2..=15).contains(&k) {
-                return Err(CodecError::Corrupt(format!("{k} moments out of range")));
+                return Err(DecodeError::Corrupt(format!("{k} moments out of range")));
             }
             if power_sums[0] < 0.0 || power_sums[0].is_nan() {
-                return Err(CodecError::Corrupt("negative count".into()));
+                return Err(DecodeError::Corrupt("negative count".into()));
             }
             Ok(Self {
                 power_sums,

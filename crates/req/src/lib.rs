@@ -33,7 +33,7 @@ mod compactor;
 mod sketch;
 
 pub use compactor::RelativeCompactor;
-pub use sketch::{RankAccuracy, ReqSketch};
+pub use sketch::{RankAccuracy, ReqSketch, WIRE_MAGIC};
 
 /// The paper's parameterisation (§4.2): `num_sections = 30`, HRA enabled.
 pub const PAPER_K: usize = 30;

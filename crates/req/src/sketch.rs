@@ -379,21 +379,27 @@ mod tests {
     }
 }
 
-/// Wire format: magic `0xE0`, version 1. Encodes `k`, orientation, scalar
-/// state, and each relative compactor's buffer plus its compaction
-/// schedule (section size, section count, state word — the state must
-/// survive the trip because merges OR it, §3.5). The compaction coin is
-/// reseeded on decode.
+/// Wire format: magic `0xE0`, version 2. Encodes `k`, orientation, scalar
+/// state, each relative compactor's buffer plus its compaction schedule
+/// (section size, section count, state word — the state must survive the
+/// trip because merges OR it, §3.5), and (since v2) the compaction coin's
+/// exact xorshift state so recovery replays future compactions
+/// bit-for-bit. Version-1 payloads (no RNG state) still decode with a
+/// reseeded coin.
+pub use codec::MAGIC as WIRE_MAGIC;
+
 mod codec {
     use super::*;
-    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
 
-    const MAGIC: u8 = 0xE0;
-    const VERSION: u8 = 1;
+    /// Sketch tag on the wire (shared with checkpoint files and the
+    /// bench harness's type-erased envelope).
+    pub const MAGIC: u8 = 0xE0;
+    const VERSION: u8 = 2;
     const MAX_LEVELS: u64 = 64;
     const MAX_ITEMS_PER_LEVEL: u64 = 1 << 24;
 
-    impl SketchCodec for ReqSketch {
+    impl SketchSerialize for ReqSketch {
         fn encode(&self) -> Vec<u8> {
             let mut w = Writer::with_header(MAGIC, VERSION);
             w.varint(self.k as u64);
@@ -408,20 +414,21 @@ mod codec {
                 w.varint(level.state());
                 w.f64_slice(level.items());
             }
+            w.u64(self.rng.state());
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
             let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
             let k = r.varint()? as usize;
             if k == 0 || k > 1 << 16 {
-                return Err(CodecError::Corrupt(format!("k {k} out of range")));
+                return Err(DecodeError::Corrupt(format!("k {k} out of range")));
             }
             let hra = match r.u8()? {
                 0 => false,
                 1 => true,
                 other => {
-                    return Err(CodecError::Corrupt(format!("bad orientation {other}")))
+                    return Err(DecodeError::Corrupt(format!("bad orientation {other}")))
                 }
             };
             let count = r.varint()?;
@@ -429,7 +436,7 @@ mod codec {
             let max = r.f64()?;
             let num_levels = r.varint()?;
             if num_levels == 0 || num_levels > MAX_LEVELS {
-                return Err(CodecError::Corrupt(format!("{num_levels} levels")));
+                return Err(DecodeError::Corrupt(format!("{num_levels} levels")));
             }
             let mut levels = Vec::with_capacity(num_levels as usize);
             for _ in 0..num_levels {
@@ -439,9 +446,14 @@ mod codec {
                 let buffer = r.f64_vec(MAX_ITEMS_PER_LEVEL)?;
                 let level =
                     RelativeCompactor::from_parts(buffer, section_size, num_sections, state, hra)
-                        .map_err(CodecError::Corrupt)?;
+                        .map_err(DecodeError::Corrupt)?;
                 levels.push(level);
             }
+            let rng = if r.version() >= 2 {
+                CoinFlipper::from_state(r.u64()?)
+            } else {
+                CoinFlipper::new((k as u64) ^ count.rotate_left(23))
+            };
             r.expect_exhausted()?;
             Ok(Self {
                 k,
@@ -454,7 +466,7 @@ mod codec {
                 count,
                 min,
                 max,
-                rng: CoinFlipper::new((k as u64) ^ count.rotate_left(23)),
+                rng,
             })
         }
     }
@@ -516,6 +528,47 @@ mod codec {
             let mut bytes = s.encode();
             bytes.truncate(bytes.len() / 2);
             assert!(ReqSketch::decode(&bytes).is_err());
+        }
+
+        #[test]
+        fn v2_round_trip_replays_future_compactions_bitwise() {
+            // The v2 format carries the compaction coin's state, so the
+            // restored sketch must make the *same* keep/drop decisions on
+            // every future compaction as the uninterrupted original.
+            let mut live = ReqSketch::with_seed(30, RankAccuracy::High, 77);
+            for i in 0..60_000 {
+                live.insert(f64::from(i) * 0.37);
+            }
+            let mut restored = ReqSketch::decode(&live.encode()).unwrap();
+            for i in 60_000..200_000 {
+                let v = f64::from(i) * 0.37;
+                live.insert(v);
+                restored.insert(v);
+            }
+            assert_eq!(restored.retained(), live.retained());
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    restored.query(q).unwrap().to_bits(),
+                    live.query(q).unwrap().to_bits(),
+                    "q={q}"
+                );
+            }
+        }
+
+        #[test]
+        fn v1_payload_still_decodes() {
+            // A v1 payload is a v2 payload minus the trailing 8-byte RNG
+            // state, with the version byte set to 1.
+            let mut s = ReqSketch::with_seed(30, RankAccuracy::High, 5);
+            for i in 0..20_000 {
+                s.insert(f64::from(i));
+            }
+            let mut bytes = s.encode();
+            bytes.truncate(bytes.len() - 8);
+            bytes[1] = 1;
+            let restored = ReqSketch::decode(&bytes).unwrap();
+            assert_eq!(restored.count(), s.count());
+            assert_eq!(restored.query(0.5).unwrap(), s.query(0.5).unwrap());
         }
     }
 }

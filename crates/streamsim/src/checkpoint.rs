@@ -1,0 +1,220 @@
+//! Per-shard checkpoint files for the sharded ingestion engine.
+//!
+//! A checkpoint is one file per shard (`shard-<i>.ckpt` inside a
+//! configurable directory), written atomically (tmp file + rename) by the
+//! shard's own worker thread every
+//! [`interval_values`](CheckpointConfig::interval_values) inserted
+//! values. The file is a small envelope around the sketch's own
+//! [`SketchSerialize`] payload:
+//!
+//! ```text
+//! magic 0xC5 | version | shard | num_shards | batch_size | values_done | payload
+//! ```
+//!
+//! `shard`/`num_shards`/`batch_size` pin the engine topology: recovery
+//! refuses a checkpoint taken under a different shard count or batch
+//! size, because the router's round-robin batching is what makes each
+//! shard's value subsequence deterministic — and that determinism is the
+//! whole recovery contract. `values_done` is how many values the shard
+//! had inserted when the checkpoint was cut; on recovery the engine skips
+//! exactly that many values destined for the shard while the caller
+//! replays the input stream from the start (see
+//! [`ShardedEngine::recover`](crate::engine::ShardedEngine::recover)).
+//!
+//! Like every wire format in the suite, decoding rejects corrupt,
+//! truncated, or foreign payloads with a typed
+//! [`DecodeError`] — never a panic.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+
+/// Magic byte of a shard checkpoint file.
+pub const CHECKPOINT_MAGIC: u8 = 0xC5;
+const VERSION: u8 = 1;
+/// Upper bound accepted for an embedded sketch payload (64 MiB — far
+/// above any real sketch, small enough to bound hostile allocations).
+const MAX_PAYLOAD: u64 = 64 << 20;
+
+/// Where and how often the engine checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `shard-<i>.ckpt` files (created on spawn).
+    pub dir: PathBuf,
+    /// Checkpoint every this many values inserted *per shard*. Measured
+    /// in values, not wall time, so checkpoint points are deterministic
+    /// for a given input — which keeps recovery testable.
+    pub interval_values: u64,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every `interval_values` values per shard
+    /// (min 1).
+    pub fn new(dir: impl Into<PathBuf>, interval_values: u64) -> Self {
+        Self {
+            dir: dir.into(),
+            interval_values: interval_values.max(1),
+        }
+    }
+
+    /// The checkpoint file path for shard `i`.
+    pub fn shard_path(&self, i: usize) -> PathBuf {
+        self.dir.join(format!("shard-{i}.ckpt"))
+    }
+}
+
+/// One decoded shard checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    /// Which shard this checkpoint belongs to.
+    pub shard: usize,
+    /// Shard count of the engine that wrote it.
+    pub num_shards: usize,
+    /// Router batch size of the engine that wrote it.
+    pub batch_size: usize,
+    /// Values the shard had inserted when the checkpoint was cut.
+    pub values_done: u64,
+    /// The sketch's serialized payload ([`SketchSerialize::encode`]).
+    pub payload: Vec<u8>,
+}
+
+impl ShardCheckpoint {
+    /// Serialise the checkpoint envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_header(CHECKPOINT_MAGIC, VERSION);
+        w.varint(self.shard as u64);
+        w.varint(self.num_shards as u64);
+        w.varint(self.batch_size as u64);
+        w.u64(self.values_done);
+        w.bytes(&self.payload);
+        w.finish()
+    }
+
+    /// Decode a checkpoint envelope, validating magic/version/bounds.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::with_header(bytes, CHECKPOINT_MAGIC, VERSION)?;
+        let shard = r.varint()? as usize;
+        let num_shards = r.varint()? as usize;
+        let batch_size = r.varint()? as usize;
+        if num_shards == 0 || shard >= num_shards {
+            return Err(DecodeError::Corrupt(format!(
+                "shard {shard} outside topology of {num_shards}"
+            )));
+        }
+        if batch_size == 0 {
+            return Err(DecodeError::Corrupt("zero batch size".into()));
+        }
+        let values_done = r.u64()?;
+        let payload = r.byte_vec(MAX_PAYLOAD)?;
+        r.expect_exhausted()?;
+        Ok(Self {
+            shard,
+            num_shards,
+            batch_size,
+            values_done,
+            payload,
+        })
+    }
+
+    /// Decode the embedded sketch.
+    pub fn sketch<S: SketchSerialize>(&self) -> Result<S, DecodeError> {
+        S::decode(&self.payload)
+    }
+}
+
+/// Write `bytes` to `path` atomically: write + flush a sibling tmp file,
+/// then rename over the target, so a crash mid-write never leaves a
+/// half-written checkpoint where a reader could find it.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        use io::Write as _;
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Read and decode the checkpoint for shard `i`, if one exists.
+/// `Ok(None)` when the file is absent (a shard that never reached its
+/// first checkpoint interval); IO errors and decode errors are distinct.
+pub fn read_shard(
+    config: &CheckpointConfig,
+    i: usize,
+) -> io::Result<Option<Result<ShardCheckpoint, DecodeError>>> {
+    let path = config.shard_path(i);
+    match fs::read(&path) {
+        Ok(bytes) => Ok(Some(ShardCheckpoint::decode(&bytes))),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardCheckpoint {
+        ShardCheckpoint {
+            shard: 2,
+            num_shards: 4,
+            batch_size: 256,
+            values_done: 123_456,
+            payload: vec![0xD0, 1, 7, 7, 7],
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let ckpt = sample();
+        assert_eq!(ShardCheckpoint::decode(&ckpt.encode()).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn rejects_corruption_without_panicking() {
+        let bytes = sample().encode();
+        // Truncations at every length.
+        for cut in 0..bytes.len() {
+            assert!(ShardCheckpoint::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] = 0xA1;
+        assert!(matches!(
+            ShardCheckpoint::decode(&wrong),
+            Err(DecodeError::WrongMagic { .. })
+        ));
+        // Future version.
+        let mut future = bytes.clone();
+        future[1] = 9;
+        assert!(matches!(
+            ShardCheckpoint::decode(&future),
+            Err(DecodeError::UnsupportedVersion(9))
+        ));
+        // Shard outside topology.
+        let broken = ShardCheckpoint {
+            shard: 9,
+            ..sample()
+        };
+        assert!(ShardCheckpoint::decode(&broken.encode()).is_err());
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("qsketch-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let config = CheckpointConfig::new(&dir, 1_000);
+        let ckpt = sample();
+        write_atomic(&config.shard_path(2), &ckpt.encode()).unwrap();
+        let back = read_shard(&config, 2).unwrap().unwrap().unwrap();
+        assert_eq!(back, ckpt);
+        // Absent file is None, not an error.
+        assert!(read_shard(&config, 3).unwrap().is_none());
+        // No tmp residue.
+        assert!(!config.shard_path(2).with_extension("ckpt.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -55,8 +55,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use qsketch_core::sketch::{merge_tree, MergeError, MergeableSketch};
+use qsketch_core::codec::{DecodeError, SketchSerialize};
+use qsketch_core::sketch::{merge_tree, MergeError, MergeableSketch, SketchError};
 
+use crate::checkpoint::{self, CheckpointConfig, ShardCheckpoint};
 use crate::metrics::EngineMetrics;
 
 /// Default values per batch: large enough that the per-batch channel
@@ -69,6 +71,21 @@ pub const DEFAULT_BATCH_SIZE: usize = 256;
 /// producer blocks.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
+/// Deterministic fault injection: kill one shard worker mid-stream.
+///
+/// The named worker processes exactly `after_batches` batches, then
+/// marks its queue dead and exits — the crash the checkpoint/recovery
+/// path exists for, made reproducible for tests. A dead shard's queue
+/// drops further batches instead of blocking the producer; the lost
+/// values are exactly what [`ShardedEngine::recover`] replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Index of the shard whose worker dies.
+    pub shard: usize,
+    /// Batches the worker fully processes before dying.
+    pub after_batches: u64,
+}
+
 /// Configuration for a [`ShardedEngine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -79,6 +96,8 @@ pub struct EngineConfig {
     /// Bounded capacity of each shard's queue, in batches; the producer
     /// blocks (backpressure) when the next shard's queue is full.
     pub queue_capacity: usize,
+    /// Kill one shard worker after a set number of batches (tests only).
+    pub fault: Option<FaultInjection>,
 }
 
 impl EngineConfig {
@@ -89,6 +108,7 @@ impl EngineConfig {
             shards,
             batch_size: DEFAULT_BATCH_SIZE,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            fault: None,
         }
     }
 
@@ -103,16 +123,34 @@ impl EngineConfig {
         self.queue_capacity = queue_capacity.max(1);
         self
     }
+
+    /// Kill `shard`'s worker after it processes `after_batches` batches
+    /// (see [`FaultInjection`]).
+    pub fn with_fault_injection(mut self, shard: usize, after_batches: u64) -> Self {
+        self.fault = Some(FaultInjection {
+            shard,
+            after_batches,
+        });
+        self
+    }
 }
 
-/// Error constructing or querying a [`ShardedEngine`].
+/// Error constructing, querying, or recovering a [`ShardedEngine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The configuration asked for zero shards.
     NoShards,
     /// Folding the shard snapshots failed (incompatible sketch
     /// parameters; impossible when all shards come from one factory).
     Merge(MergeError),
+    /// A checkpoint file failed to decode during recovery.
+    Sketch(SketchError),
+    /// A checkpoint file could not be read during recovery.
+    Io(String),
+    /// A checkpoint was taken under a different topology (shard count /
+    /// batch size) than the recovering engine's.
+    TopologyMismatch(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -120,6 +158,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::NoShards => write!(f, "engine needs at least one shard"),
             EngineError::Merge(e) => write!(f, "shard merge failed: {e}"),
+            EngineError::Sketch(e) => write!(f, "checkpoint decode failed: {e}"),
+            EngineError::Io(e) => write!(f, "checkpoint io failed: {e}"),
+            EngineError::TopologyMismatch(e) => write!(f, "checkpoint topology mismatch: {e}"),
         }
     }
 }
@@ -132,10 +173,26 @@ impl From<MergeError> for EngineError {
     }
 }
 
+impl From<SketchError> for EngineError {
+    fn from(e: SketchError) -> Self {
+        EngineError::Sketch(e)
+    }
+}
+
+impl From<DecodeError> for EngineError {
+    fn from(e: DecodeError) -> Self {
+        EngineError::Sketch(SketchError::Decode(e))
+    }
+}
+
 /// Shared state of one shard's bounded SPSC channel.
 struct QueueState<T> {
     buf: VecDeque<T>,
     closed: bool,
+    /// The worker died (fault injection). Pushes are dropped instead of
+    /// blocking, and `wait_drained` stops waiting — a dead shard must
+    /// never deadlock the producer.
+    dead: bool,
     /// Batches the router has pushed.
     sent: u64,
     /// Batches the worker has fully processed (popped *and* inserted).
@@ -163,6 +220,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(QueueState {
                 buf: VecDeque::with_capacity(capacity),
                 closed: false,
+                dead: false,
                 sent: 0,
                 done: 0,
             }),
@@ -175,14 +233,18 @@ impl<T> BoundedQueue<T> {
 
     /// Push a batch, blocking while the queue is at capacity. Returns the
     /// nanoseconds spent blocked (0 for an immediate push) and the queue
-    /// depth after the push.
+    /// depth after the push. A push to a dead queue drops the batch
+    /// immediately (the values are lost until recovery replays them).
     fn push(&self, item: T) -> (u64, usize) {
         let mut state = self.state.lock().expect("queue poisoned");
         let mut waited_ns = 0u64;
-        while state.buf.len() >= self.capacity {
+        while state.buf.len() >= self.capacity && !state.dead {
             let start = Instant::now();
             state = self.not_full.wait(state).expect("queue poisoned");
             waited_ns += start.elapsed().as_nanos() as u64;
+        }
+        if state.dead {
+            return (waited_ns, state.buf.len());
         }
         state.buf.push_back(item);
         state.sent += 1;
@@ -219,12 +281,28 @@ impl<T> BoundedQueue<T> {
         self.progress.notify_all();
     }
 
-    /// Block until every pushed batch has been processed end-to-end.
+    /// Block until every pushed batch has been processed end-to-end, or
+    /// the worker died (a dead shard will never make more progress).
     fn wait_drained(&self) {
         let mut state = self.state.lock().expect("queue poisoned");
-        while state.done < state.sent {
+        while state.done < state.sent && !state.dead {
             state = self.progress.wait(state).expect("queue poisoned");
         }
+    }
+
+    /// Worker-side: declare this shard dead (fault injection). Unblocks
+    /// any waiting producer and `wait_drained` callers.
+    fn mark_dead(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.dead = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.progress.notify_all();
+    }
+
+    /// Whether the worker died.
+    fn is_dead(&self) -> bool {
+        self.state.lock().expect("queue poisoned").dead
     }
 
     /// Close the queue: the worker drains what is buffered and exits.
@@ -236,12 +314,34 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// How the engine checkpoints, resolved at spawn time. Holds the encode
+/// hook as a plain `fn` pointer (coerced from
+/// [`SketchSerialize::encode`]) so the worker threads stay free of the
+/// `SketchSerialize` bound — only the checkpoint-enabled constructors
+/// require it.
+struct CheckpointPlan<S> {
+    config: CheckpointConfig,
+    num_shards: usize,
+    batch_size: usize,
+    encode: fn(&S) -> Vec<u8>,
+}
+
 /// One shard: its channel, its sketch (shared with the worker thread),
-/// and the worker's join handle.
+/// the worker's join handle, and the last checkpoint-write error (if
+/// any — checkpointing is best-effort, ingestion never stops for a full
+/// disk).
 struct Shard<S> {
     queue: Arc<BoundedQueue<Vec<f64>>>,
     sketch: Arc<Mutex<S>>,
     worker: Option<JoinHandle<()>>,
+    ckpt_error: Arc<Mutex<Option<String>>>,
+}
+
+/// Initial state of one shard at spawn: its sketch and how many values
+/// it has already absorbed (non-zero only on recovery).
+struct ShardInit<S> {
+    sketch: S,
+    values_done: u64,
 }
 
 /// A multi-threaded sharded ingestion engine over any mergeable sketch.
@@ -263,6 +363,10 @@ pub struct ShardedEngine<S> {
     metrics: Option<EngineMetrics>,
     /// Values routed (shipped or pending).
     routed: u64,
+    /// Per-shard values still to skip during recovery replay: a shard
+    /// restored from a checkpoint already holds its first `skip[i]`
+    /// values, so the router drops exactly that many before shipping.
+    skip: Vec<u64>,
 }
 
 impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
@@ -283,7 +387,8 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         config: EngineConfig,
         factory: impl FnMut() -> S,
     ) -> Result<Self, EngineError> {
-        Self::spawn_impl(config, factory, None)
+        let inits = Self::fresh_inits(&config, factory)?;
+        Self::spawn_impl(config, inits, None, None)
     }
 
     /// Spawn with observability: engine metrics registered under `prefix`
@@ -295,40 +400,116 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         prefix: &str,
     ) -> Result<Self, EngineError> {
         let metrics = EngineMetrics::register(registry, prefix, config.shards);
-        Self::spawn_impl(config, factory, Some(metrics))
+        let inits = Self::fresh_inits(&config, factory)?;
+        Self::spawn_impl(config, inits, Some(metrics), None)
+    }
+
+    fn fresh_inits(
+        config: &EngineConfig,
+        mut factory: impl FnMut() -> S,
+    ) -> Result<Vec<ShardInit<S>>, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::NoShards);
+        }
+        Ok((0..config.shards)
+            .map(|_| ShardInit {
+                sketch: factory(),
+                values_done: 0,
+            })
+            .collect())
     }
 
     fn spawn_impl(
         config: EngineConfig,
-        mut factory: impl FnMut() -> S,
+        inits: Vec<ShardInit<S>>,
         metrics: Option<EngineMetrics>,
+        plan: Option<Arc<CheckpointPlan<S>>>,
     ) -> Result<Self, EngineError> {
         if config.shards == 0 {
             return Err(EngineError::NoShards);
         }
+        debug_assert_eq!(inits.len(), config.shards);
         let batch_size = config.batch_size.max(1);
         let capacity = config.queue_capacity.max(1);
-        let shards = (0..config.shards)
-            .map(|i| {
+        let skip: Vec<u64> = inits.iter().map(|init| init.values_done).collect();
+        let shards = inits
+            .into_iter()
+            .enumerate()
+            .map(|(i, init)| {
                 let queue = Arc::new(BoundedQueue::<Vec<f64>>::new(capacity));
-                let sketch = Arc::new(Mutex::new(factory()));
+                let sketch = Arc::new(Mutex::new(init.sketch));
+                let ckpt_error = Arc::new(Mutex::new(None));
                 let worker_queue = Arc::clone(&queue);
                 let worker_sketch = Arc::clone(&sketch);
+                let worker_error = Arc::clone(&ckpt_error);
                 let worker_metrics = metrics.clone();
+                let worker_plan = plan.clone();
+                let fault = config.fault.filter(|f| f.shard == i);
+                let start_values = init.values_done;
                 let worker = std::thread::Builder::new()
                     .name(format!("qsketch-shard-{i}"))
                     .spawn(move || {
+                        let mut values_done = start_values;
+                        let mut last_ckpt = start_values;
+                        let mut batches_done = 0u64;
                         while let Some((batch, depth)) = worker_queue.pop() {
+                            // Encode under the sketch lock (a consistent
+                            // cut); write to disk outside it so queries
+                            // never wait on the filesystem.
+                            let mut ckpt_bytes: Option<Vec<u8>> = None;
                             {
                                 let mut sketch =
                                     worker_sketch.lock().expect("shard sketch poisoned");
                                 for &v in &batch {
                                     sketch.insert(v);
                                 }
+                                values_done += batch.len() as u64;
+                                if let Some(plan) = &worker_plan {
+                                    if values_done - last_ckpt >= plan.config.interval_values {
+                                        let payload = (plan.encode)(&sketch);
+                                        ckpt_bytes = Some(
+                                            ShardCheckpoint {
+                                                shard: i,
+                                                num_shards: plan.num_shards,
+                                                batch_size: plan.batch_size,
+                                                values_done,
+                                                payload,
+                                            }
+                                            .encode(),
+                                        );
+                                        last_ckpt = values_done;
+                                    }
+                                }
+                            }
+                            if let (Some(bytes), Some(plan)) = (&ckpt_bytes, &worker_plan) {
+                                let start = Instant::now();
+                                let result =
+                                    checkpoint::write_atomic(&plan.config.shard_path(i), bytes);
+                                if let Err(e) = result {
+                                    *worker_error.lock().expect("ckpt error poisoned") =
+                                        Some(e.to_string());
+                                } else if let Some(m) = &worker_metrics {
+                                    m.checkpoints.inc();
+                                    m.checkpoint_ns.record(start.elapsed().as_nanos() as u64);
+                                    m.checkpoint_bytes.record(bytes.len() as u64);
+                                }
                             }
                             if let Some(m) = &worker_metrics {
                                 m.shard_events.record_many(i, batch.len() as u64);
                                 m.queue_depth[i].set(depth as u64);
+                            }
+                            batches_done += 1;
+                            // Die *before* marking the fatal batch done:
+                            // if the kill lands on the shard's last queued
+                            // batch, `drain` could otherwise observe
+                            // done == sent and return before the dead flag
+                            // is set, making `failed_shards` racy.
+                            if let Some(f) = fault {
+                                if batches_done >= f.after_batches {
+                                    worker_queue.mark_dead();
+                                    worker_queue.mark_done();
+                                    return;
+                                }
                             }
                             worker_queue.mark_done();
                         }
@@ -338,6 +519,7 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
                     queue,
                     sketch,
                     worker: Some(worker),
+                    ckpt_error,
                 }
             })
             .collect();
@@ -348,6 +530,7 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
             batch_size,
             metrics,
             routed: 0,
+            skip,
         })
     }
 
@@ -388,10 +571,25 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
     }
 
     fn ship_pending(&mut self) {
-        let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_size));
-        let n = batch.len() as u64;
+        let mut batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_size));
         let shard = self.next;
         self.next = (self.next + 1) % self.shards.len();
+        // Recovery replay: this shard's restored sketch already holds the
+        // stream prefix routed to it — drop whole batches (and trim the
+        // one straddling batch) until the skip budget is spent. The
+        // round-robin rotation above still advances, so the replayed
+        // routing reproduces the original run batch-for-batch.
+        let skip = &mut self.skip[shard];
+        if *skip > 0 {
+            let n = batch.len() as u64;
+            if *skip >= n {
+                *skip -= n;
+                return;
+            }
+            batch.drain(..*skip as usize);
+            *skip = 0;
+        }
+        let n = batch.len() as u64;
         let (waited_ns, depth) = self.shards[shard].queue.push(batch);
         if let Some(m) = &self.metrics {
             m.events.add(n);
@@ -401,6 +599,27 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
                 m.backpressure_wait_ns.record(waited_ns);
             }
         }
+    }
+
+    /// Indices of shards whose worker has died (fault injection). Empty
+    /// in a healthy engine.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.queue.is_dead())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Last checkpoint-write error per shard (`None` = healthy).
+    /// Checkpointing is best-effort: a failed write never stops
+    /// ingestion, it surfaces here instead.
+    pub fn checkpoint_errors(&self) -> Vec<Option<String>> {
+        self.shards
+            .iter()
+            .map(|s| s.ckpt_error.lock().expect("ckpt error poisoned").clone())
+            .collect()
     }
 
     /// Flush, then block until every shard has fully processed everything
@@ -475,6 +694,112 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
                 let _ = worker.join();
             }
         }
+    }
+}
+
+impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngine<S> {
+    /// [`spawn`](Self::spawn) with periodic per-shard checkpointing: each
+    /// worker serialises its sketch every
+    /// [`ckpt.interval_values`](CheckpointConfig::interval_values)
+    /// inserted values and atomically replaces `shard-<i>.ckpt` in
+    /// [`ckpt.dir`](CheckpointConfig::dir) (created if absent).
+    /// Checkpoint latency and size land in the `checkpoint_ns` /
+    /// `checkpoint_bytes` histograms when the engine is instrumented.
+    pub fn spawn_with_checkpoints(
+        config: EngineConfig,
+        factory: impl FnMut() -> S,
+        ckpt: CheckpointConfig,
+    ) -> Result<Self, EngineError> {
+        let inits = Self::fresh_inits(&config, factory)?;
+        let plan = Self::make_plan(&config, ckpt)?;
+        Self::spawn_impl(config, inits, None, Some(plan))
+    }
+
+    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
+    /// engine metrics under `prefix` in `registry`.
+    pub fn spawn_with_checkpoints_instrumented(
+        config: EngineConfig,
+        factory: impl FnMut() -> S,
+        ckpt: CheckpointConfig,
+        registry: &qsketch_core::metrics::MetricsRegistry,
+        prefix: &str,
+    ) -> Result<Self, EngineError> {
+        let metrics = EngineMetrics::register(registry, prefix, config.shards);
+        let inits = Self::fresh_inits(&config, factory)?;
+        let plan = Self::make_plan(&config, ckpt)?;
+        Self::spawn_impl(config, inits, Some(metrics), Some(plan))
+    }
+
+    /// Rebuild an engine from the checkpoints in
+    /// [`ckpt.dir`](CheckpointConfig::dir), then let the caller **replay
+    /// the input stream from the start**: each shard restored from a
+    /// checkpoint already holds its first `values_done` values, and the
+    /// router skips exactly that many values destined for it, so nothing
+    /// already counted is inserted twice. Shards without a checkpoint
+    /// file start fresh from `factory` (which must produce the same
+    /// sketches — parameters *and* seeds — as the original spawn).
+    ///
+    /// Because the round-robin batching is deterministic and the KLL/REQ
+    /// wire formats carry their compaction-coin state, the recovered
+    /// engine's final state is bit-identical to an uninterrupted run over
+    /// the same input. Checkpointing stays enabled with the same plan.
+    ///
+    /// Fails with [`EngineError::TopologyMismatch`] if a checkpoint was
+    /// taken under a different shard count or batch size, and with
+    /// [`EngineError::Sketch`] if a checkpoint file is corrupt.
+    pub fn recover(
+        config: EngineConfig,
+        mut factory: impl FnMut() -> S,
+        ckpt: CheckpointConfig,
+    ) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::NoShards);
+        }
+        let batch_size = config.batch_size.max(1);
+        let mut inits = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let fresh = factory();
+            let init = match checkpoint::read_shard(&ckpt, i)
+                .map_err(|e| EngineError::Io(e.to_string()))?
+            {
+                Some(decoded) => {
+                    let envelope = decoded?;
+                    if envelope.num_shards != config.shards
+                        || envelope.batch_size != batch_size
+                    {
+                        return Err(EngineError::TopologyMismatch(format!(
+                            "checkpoint for shard {i} was taken with {} shards × batch {}, \
+                             recovering with {} × {}",
+                            envelope.num_shards, envelope.batch_size, config.shards, batch_size,
+                        )));
+                    }
+                    ShardInit {
+                        sketch: envelope.sketch::<S>()?,
+                        values_done: envelope.values_done,
+                    }
+                }
+                None => ShardInit {
+                    sketch: fresh,
+                    values_done: 0,
+                },
+            };
+            inits.push(init);
+        }
+        let plan = Self::make_plan(&config, ckpt)?;
+        Self::spawn_impl(config, inits, None, Some(plan))
+    }
+
+    fn make_plan(
+        config: &EngineConfig,
+        ckpt: CheckpointConfig,
+    ) -> Result<Arc<CheckpointPlan<S>>, EngineError> {
+        std::fs::create_dir_all(&ckpt.dir).map_err(|e| EngineError::Io(e.to_string()))?;
+        Ok(Arc::new(CheckpointPlan {
+            num_shards: config.shards,
+            batch_size: config.batch_size.max(1),
+            encode: S::encode,
+            config: ckpt,
+        }))
     }
 }
 
@@ -612,5 +937,226 @@ mod tests {
             engine.insert(i as f64);
         }
         assert_eq!(engine.finish().unwrap().count(), 10_000);
+    }
+
+    // --- checkpoint / recovery -------------------------------------------
+
+    use qsketch_kll::KllSketch;
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qsketch-engine-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A deterministic but non-trivial input stream.
+    fn stream(n: u64) -> impl Iterator<Item = f64> {
+        (0..n).map(|i| {
+            let x = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64;
+            x / (1u64 << 53) as f64 + 1e-9
+        })
+    }
+
+    fn kll_factory() -> impl FnMut() -> KllSketch {
+        let mut shard = 0u64;
+        move || {
+            shard += 1;
+            KllSketch::with_seed(200, 0xC0FFEE ^ shard)
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_written_at_the_interval() {
+        let dir = ckpt_dir("written");
+        let registry = MetricsRegistry::new();
+        let config = EngineConfig::new(2).with_batch_size(64);
+        let ckpt = CheckpointConfig::new(&dir, 500);
+        let mut engine = ShardedEngine::spawn_with_checkpoints_instrumented(
+            config,
+            kll_factory(),
+            ckpt.clone(),
+            &registry,
+            "engine",
+        )
+        .unwrap();
+        engine.extend(stream(4_000));
+        engine.drain();
+        // 2_000 values per shard at interval 500: each shard crossed the
+        // threshold at least 3 times and its file exists.
+        for i in 0..2 {
+            assert!(ckpt.shard_path(i).exists(), "missing shard-{i}.ckpt");
+            let back = checkpoint::read_shard(&ckpt, i).unwrap().unwrap().unwrap();
+            assert_eq!(back.shard, i);
+            assert_eq!(back.num_shards, 2);
+            assert_eq!(back.batch_size, 64);
+            assert!(back.values_done >= 1_500, "values_done {}", back.values_done);
+            // The payload decodes back into a live sketch.
+            let s: KllSketch = back.sketch().unwrap();
+            assert_eq!(s.count(), back.values_done);
+        }
+        assert!(engine.checkpoint_errors().iter().all(Option::is_none));
+        drop(engine);
+        let snap = registry.snapshot();
+        assert!(snap.counter("engine.checkpoints").unwrap() >= 6);
+        assert!(snap.histogram("engine.checkpoint_ns").unwrap().count >= 6);
+        assert!(snap.histogram("engine.checkpoint_bytes").unwrap().max > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_injection_kills_one_shard_without_deadlock() {
+        let dir = ckpt_dir("fault");
+        let config = EngineConfig::new(2)
+            .with_batch_size(32)
+            .with_fault_injection(1, 3);
+        let mut engine = ShardedEngine::spawn_with_checkpoints(
+            config,
+            kll_factory(),
+            CheckpointConfig::new(&dir, 100),
+        )
+        .unwrap();
+        // Shard 1 dies after 3 batches (96 values); pushes to the dead
+        // queue are dropped, so ingestion and drain must still terminate.
+        engine.extend(stream(10_000));
+        engine.drain();
+        assert_eq!(engine.failed_shards(), vec![1]);
+        let shards = engine.finish_shards();
+        // The dead shard processed exactly its 3 batches before dying.
+        assert_eq!(shards[1].count(), 96);
+        assert!(shards[0].count() > 96);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_after_fault_is_bit_identical_to_uninterrupted_run() {
+        let n = 30_000u64;
+        let config = EngineConfig::new(3).with_batch_size(64);
+
+        // Reference: uninterrupted run over the same input.
+        let mut reference = ShardedEngine::spawn(config.clone(), kll_factory());
+        reference.extend(stream(n));
+        let reference = reference.finish().unwrap();
+
+        // Crashing run: shard 1 dies mid-stream; its checkpoint survives.
+        let dir = ckpt_dir("recover");
+        let ckpt = CheckpointConfig::new(&dir, 1_000);
+        let mut crashed = ShardedEngine::spawn_with_checkpoints(
+            config.clone().with_fault_injection(1, 40),
+            kll_factory(),
+            ckpt.clone(),
+        )
+        .unwrap();
+        crashed.extend(stream(n));
+        crashed.drain();
+        assert_eq!(crashed.failed_shards(), vec![1]);
+        drop(crashed);
+
+        // Recover with the same config + factory, replay the whole input.
+        let mut recovered =
+            ShardedEngine::recover(config, kll_factory(), ckpt).unwrap();
+        recovered.extend(stream(n));
+        let recovered = recovered.finish().unwrap();
+
+        assert_eq!(recovered.count(), n);
+        assert_eq!(recovered.count(), reference.count());
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                recovered.query(q).unwrap().to_bits(),
+                reference.query(q).unwrap().to_bits(),
+                "q={q}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_rejects_topology_mismatch() {
+        let dir = ckpt_dir("topology");
+        let ckpt = CheckpointConfig::new(&dir, 100);
+        let mut engine = ShardedEngine::spawn_with_checkpoints(
+            EngineConfig::new(2).with_batch_size(64),
+            kll_factory(),
+            ckpt.clone(),
+        )
+        .unwrap();
+        engine.extend(stream(2_000));
+        engine.drain();
+        drop(engine);
+        // Different shard count.
+        let err = ShardedEngine::<KllSketch>::recover(
+            EngineConfig::new(3).with_batch_size(64),
+            kll_factory(),
+            ckpt.clone(),
+        )
+        .err()
+        .expect("3-shard recovery must fail");
+        assert!(matches!(err, EngineError::TopologyMismatch(_)), "{err:?}");
+        // Different batch size.
+        let err = ShardedEngine::<KllSketch>::recover(
+            EngineConfig::new(2).with_batch_size(32),
+            kll_factory(),
+            ckpt.clone(),
+        )
+        .err()
+        .expect("batch-32 recovery must fail");
+        assert!(matches!(err, EngineError::TopologyMismatch(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_surfaces_corrupt_checkpoints_as_sketch_errors() {
+        let dir = ckpt_dir("corrupt");
+        let ckpt = CheckpointConfig::new(&dir, 100);
+        let mut engine = ShardedEngine::spawn_with_checkpoints(
+            EngineConfig::new(2).with_batch_size(64),
+            kll_factory(),
+            ckpt.clone(),
+        )
+        .unwrap();
+        engine.extend(stream(2_000));
+        engine.drain();
+        drop(engine);
+        // Truncate shard 0's file mid-payload.
+        let path = ckpt.shard_path(0);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = ShardedEngine::<KllSketch>::recover(
+            EngineConfig::new(2).with_batch_size(64),
+            kll_factory(),
+            ckpt.clone(),
+        )
+        .err()
+        .expect("corrupt checkpoint must fail recovery");
+        assert!(matches!(err, EngineError::Sketch(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_with_missing_checkpoints_starts_shards_fresh() {
+        let dir = ckpt_dir("fresh");
+        let ckpt = CheckpointConfig::new(&dir, 1_000);
+        std::fs::create_dir_all(&dir).unwrap();
+        // No checkpoint files at all: recovery degenerates to a clean
+        // spawn and a full replay reproduces a plain run.
+        let config = EngineConfig::new(2).with_batch_size(64);
+        let mut reference = ShardedEngine::spawn(config.clone(), kll_factory());
+        reference.extend(stream(5_000));
+        let reference = reference.finish().unwrap();
+
+        let mut recovered =
+            ShardedEngine::recover(config, kll_factory(), ckpt).unwrap();
+        recovered.extend(stream(5_000));
+        let recovered = recovered.finish().unwrap();
+        assert_eq!(recovered.count(), 5_000);
+        for q in [0.25, 0.5, 0.99] {
+            assert_eq!(
+                recovered.query(q).unwrap().to_bits(),
+                reference.query(q).unwrap().to_bits(),
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -30,7 +30,11 @@
 //!   ingestion engine (batching router → bounded per-shard queues →
 //!   worker threads → binary merge tree on query) with blocking
 //!   backpressure, for testing how far the mergeability property of §2.4
-//!   actually parallelises on real threads.
+//!   actually parallelises on real threads,
+//! * [`checkpoint`] — periodic per-shard checkpoints (atomic file
+//!   replace of each sketch's wire payload) and the deterministic
+//!   replay-skip recovery the engine builds on them, with fault
+//!   injection to prove a killed shard worker loses nothing durable.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@
 //! }
 //! ```
 
+pub mod checkpoint;
 pub mod delay;
 pub mod engine;
 pub mod event;
@@ -68,8 +73,9 @@ pub mod sliding;
 pub mod source;
 pub mod window;
 
+pub use checkpoint::CheckpointConfig;
 pub use delay::NetworkDelay;
-pub use engine::{EngineConfig, EngineError, ShardedEngine};
+pub use engine::{EngineConfig, EngineError, FaultInjection, ShardedEngine};
 pub use event::Event;
 pub use harness::{AccuracyConfig, RunSummary, WindowAccuracy};
 pub use keyed::{KeyedEvent, KeyedTumblingWindows};

@@ -129,6 +129,9 @@ impl PartitionMetrics {
 /// | `<prefix>.shard.<i>.queue_depth` | gauge | batches queued for shard `i` |
 /// | `<prefix>.backpressure_wait_ns` | histogram | producer blocking time per full-queue send |
 /// | `<prefix>.merge_ns` | histogram | shard-snapshot merge-tree latency per query |
+/// | `<prefix>.checkpoints` | counter | shard checkpoints written |
+/// | `<prefix>.checkpoint_ns` | histogram | encode+write+rename latency per checkpoint |
+/// | `<prefix>.checkpoint_bytes` | histogram | checkpoint file size |
 #[derive(Debug, Clone)]
 pub struct EngineMetrics {
     /// Values accepted by the router (`<prefix>.events`).
@@ -146,6 +149,12 @@ pub struct EngineMetrics {
     pub backpressure_wait_ns: LogHistogram,
     /// Merge-tree latency of snapshot queries, ns (`<prefix>.merge_ns`).
     pub merge_ns: LogHistogram,
+    /// Shard checkpoints successfully written (`<prefix>.checkpoints`).
+    pub checkpoints: Counter,
+    /// Per-checkpoint write latency, ns (`<prefix>.checkpoint_ns`).
+    pub checkpoint_ns: LogHistogram,
+    /// Per-checkpoint file size, bytes (`<prefix>.checkpoint_bytes`).
+    pub checkpoint_bytes: LogHistogram,
 }
 
 impl EngineMetrics {
@@ -161,6 +170,9 @@ impl EngineMetrics {
                 .collect(),
             backpressure_wait_ns: registry.histogram(&name("backpressure_wait_ns")),
             merge_ns: registry.histogram(&name("merge_ns")),
+            checkpoints: registry.counter(&name("checkpoints")),
+            checkpoint_ns: registry.histogram(&name("checkpoint_ns")),
+            checkpoint_bytes: registry.histogram(&name("checkpoint_bytes")),
         }
     }
 

@@ -95,25 +95,6 @@ impl<S: MergeableSketch> PartitionedWindow<S> {
         Ok(self)
     }
 
-    /// Deprecated panicking form of
-    /// [`try_with_metrics`](Self::try_with_metrics).
-    ///
-    /// # Panics
-    /// If `metrics` covers fewer partitions than the window has — a
-    /// caller-configuration mistake a public API should report as an
-    /// error, which is why this is deprecated.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_with_metrics`, which returns a Result instead of panicking \
-                on a partition-count mismatch"
-    )]
-    pub fn with_metrics(self, metrics: PartitionMetrics) -> Self {
-        match self.try_with_metrics(metrics) {
-            Ok(window) => window,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
@@ -248,17 +229,5 @@ mod tests {
         assert_eq!(err.metrics_partitions, 2);
         assert_eq!(err.window_partitions, 3);
         assert!(err.to_string().contains("metrics cover 2 partitions"));
-    }
-
-    #[test]
-    #[should_panic(expected = "metrics cover")]
-    fn deprecated_with_metrics_still_panics() {
-        use crate::metrics::PartitionMetrics;
-        use qsketch_core::metrics::MetricsRegistry;
-
-        let registry = MetricsRegistry::new();
-        let metrics = PartitionMetrics::register(&registry, "pipeline", 2);
-        #[allow(deprecated)]
-        let _ = PartitionedWindow::new(3, || DdSketch::unbounded(0.01)).with_metrics(metrics);
     }
 }

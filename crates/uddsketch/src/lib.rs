@@ -41,7 +41,7 @@
 
 mod sketch;
 
-pub use sketch::UddSketch;
+pub use sketch::{UddSketch, WIRE_MAGIC};
 
 /// Paper parameters (§4.2): 1024 buckets, `num_collapses = 12`, final
 /// α = 0.01.

@@ -81,6 +81,17 @@ impl UddSketch {
         self.gamma
     }
 
+    /// The initial accuracy α₀ the sketch was created with (before any
+    /// collapse deteriorated the guarantee).
+    pub fn initial_alpha(&self) -> f64 {
+        self.initial_alpha
+    }
+
+    /// The bucket budget that triggers uniform collapses.
+    pub fn max_buckets(&self) -> usize {
+        self.max_buckets
+    }
+
     /// Uniform collapses performed so far.
     pub fn collapses(&self) -> u32 {
         self.collapses
@@ -540,11 +551,15 @@ mod tests {
 /// Wire format: magic `0xDD`, version 1. Encodes the initial α, the
 /// collapse count (γ is rederived by squaring, keeping the deterioration
 /// law exact), and both bucket maps.
+pub use codec::MAGIC as WIRE_MAGIC;
+
 mod codec {
     use super::*;
-    use qsketch_core::codec::{CodecError, Reader, SketchCodec, Writer};
+    use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
 
-    const MAGIC: u8 = 0xDD;
+    /// Sketch tag on the wire (shared with checkpoint files and the
+    /// bench harness's type-erased envelope).
+    pub const MAGIC: u8 = 0xDD;
     const VERSION: u8 = 1;
     const MAX_BUCKETS_WIRE: u64 = 1 << 22;
 
@@ -556,10 +571,10 @@ mod codec {
         }
     }
 
-    fn read_map(r: &mut Reader<'_>) -> Result<BTreeMap<i32, u64>, CodecError> {
+    fn read_map(r: &mut Reader<'_>) -> Result<BTreeMap<i32, u64>, DecodeError> {
         let n = r.varint()?;
         if n > MAX_BUCKETS_WIRE {
-            return Err(CodecError::Corrupt(format!("{n} buckets exceeds limit")));
+            return Err(DecodeError::Corrupt(format!("{n} buckets exceeds limit")));
         }
         let mut map = BTreeMap::new();
         for _ in 0..n {
@@ -570,7 +585,7 @@ mod codec {
         Ok(map)
     }
 
-    impl SketchCodec for UddSketch {
+    impl SketchSerialize for UddSketch {
         fn encode(&self) -> Vec<u8> {
             let mut w = Writer::with_header(MAGIC, VERSION);
             w.f64(self.initial_alpha);
@@ -585,21 +600,21 @@ mod codec {
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
             let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
             let initial_alpha = r.f64()?;
             if !(initial_alpha > 0.0 && initial_alpha < 1.0) {
-                return Err(CodecError::Corrupt(format!(
+                return Err(DecodeError::Corrupt(format!(
                     "initial alpha {initial_alpha} out of range"
                 )));
             }
             let collapses = r.varint()?;
             if collapses > 64 {
-                return Err(CodecError::Corrupt(format!("{collapses} collapses")));
+                return Err(DecodeError::Corrupt(format!("{collapses} collapses")));
             }
             let max_buckets = r.varint()? as usize;
             if !(2..=(MAX_BUCKETS_WIRE as usize)).contains(&max_buckets) {
-                return Err(CodecError::Corrupt(format!("max_buckets {max_buckets}")));
+                return Err(DecodeError::Corrupt(format!("max_buckets {max_buckets}")));
             }
             let zero_count = r.varint()?;
             let count = r.varint()?;
@@ -612,7 +627,7 @@ mod codec {
                 + negatives.values().sum::<u64>()
                 + zero_count;
             if stored != count {
-                return Err(CodecError::Corrupt(format!(
+                return Err(DecodeError::Corrupt(format!(
                     "bucket totals {stored} disagree with count {count}"
                 )));
             }

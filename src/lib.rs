@@ -41,12 +41,22 @@
 //! late-drop and emit-latency metrics. Snapshots render as plain text
 //! or JSON.
 //!
+//! ## Persistence
+//!
+//! Every sketch implements [`SketchSerialize`] — a versioned, std-only
+//! binary wire format (`magic | version | params | state`) whose
+//! decoder rejects corrupt, truncated or foreign payloads with a typed
+//! [`DecodeError`], never a panic. The sharded ingestion engine layers
+//! periodic per-shard checkpoints and deterministic crash recovery on
+//! top of it ([`ShardedEngine::recover`], [`CheckpointConfig`]); see
+//! `ARCHITECTURE.md` for the wire-format and recovery contracts.
+//!
 //! See `examples/` for streaming-window, latency-monitoring and
 //! distributed-merge scenarios, and `crates/bench` for the paper's
 //! experiments.
 
 pub use qsketch_baselines::{DyadicCountSketch, GkSketch, HdrHistogram, RandomSketch, TDigest};
-pub use qsketch_core::codec::{CodecError, SketchCodec};
+pub use qsketch_core::codec::{DecodeError, SketchSerialize};
 pub use qsketch_core::error::{rank_error, relative_error, ErrorStats};
 pub use qsketch_core::exact::{ExactQuantiles, ExactSketch};
 pub use qsketch_core::metrics::{Instrumented, LogHistogram, MetricsRegistry, MetricsSnapshot};
@@ -54,6 +64,7 @@ pub use qsketch_core::profile::Profile;
 pub use qsketch_core::quantiles;
 pub use qsketch_core::sketch::{
     merge_tree, snapshot_merge, MergeError, MergeableSketch, QuantileSketch, QueryError,
+    SketchError,
 };
 pub use qsketch_core::stats::{kurtosis, MomentsAccumulator};
 pub use qsketch_datagen::{
@@ -65,9 +76,10 @@ pub use qsketch_kll::{KllPlusMinus, KllSketch};
 pub use qsketch_moments::MomentsSketch;
 pub use qsketch_req::{RankAccuracy, ReqSketch};
 pub use qsketch_streamsim::{
-    AccuracyConfig, EngineConfig, EngineError, EngineMetrics, Event, EventSource, KeyedEvent,
-    KeyedTumblingWindows, NetworkDelay, PartitionMetrics, PartitionedWindow, PipelineMetrics,
-    SessionWindows, ShardedEngine, SlidingWindows, TumblingWindows,
+    AccuracyConfig, CheckpointConfig, EngineConfig, EngineError, EngineMetrics, Event,
+    EventSource, FaultInjection, KeyedEvent, KeyedTumblingWindows, NetworkDelay,
+    PartitionMetrics, PartitionedWindow, PipelineMetrics, SessionWindows, ShardedEngine,
+    SlidingWindows, TumblingWindows,
 };
 pub use qsketch_uddsketch::UddSketch;
 

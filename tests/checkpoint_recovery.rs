@@ -1,0 +1,127 @@
+//! End-to-end checkpoint/recovery through the facade crate: a sharded
+//! engine checkpointing to disk, a fault-injected worker death
+//! mid-stream, and a recovery + replay that lands bit-identical to an
+//! uninterrupted run — the §2.4 fault-tolerance story (Flink's
+//! checkpoint barrier) on top of the sketch wire formats.
+
+use quantile_sketches::{
+    CheckpointConfig, DataSet, EngineConfig, EngineError, KllSketch, QuantileSketch,
+    ShardedEngine, ValueStream,
+};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsketch-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The engine factories must be identical across runs: same parameters,
+/// same per-shard seeds, assigned in shard order.
+fn factory() -> impl FnMut() -> KllSketch {
+    let mut shard = 0u64;
+    move || {
+        shard += 1;
+        KllSketch::with_seed(200, 0xFACADE ^ shard)
+    }
+}
+
+fn paper_stream(n: usize) -> Vec<f64> {
+    let mut gen = DataSet::Pareto.generator(11, 50);
+    (0..n).map(|_| gen.next_value()).collect()
+}
+
+#[test]
+fn kill_one_shard_then_recover_bit_identical() {
+    let n = 40_000;
+    let input = paper_stream(n);
+    let config = EngineConfig::new(4).with_batch_size(128);
+
+    // Uninterrupted reference run.
+    let mut reference = ShardedEngine::spawn(config.clone(), factory());
+    reference.extend(input.iter().copied());
+    let reference = reference.finish().unwrap();
+    assert_eq!(reference.count(), n as u64);
+
+    // Checkpointing run in which shard 2 dies after 20 batches.
+    let dir = temp_dir("kill-recover");
+    let ckpt = CheckpointConfig::new(&dir, 2_000);
+    let mut crashed = ShardedEngine::spawn_with_checkpoints(
+        config.clone().with_fault_injection(2, 20),
+        factory(),
+        ckpt.clone(),
+    )
+    .unwrap();
+    crashed.extend(input.iter().copied());
+    crashed.drain();
+    assert_eq!(crashed.failed_shards(), vec![2]);
+    drop(crashed);
+
+    // Recover from the surviving checkpoints and replay the input from
+    // the start; the router skips everything each shard already counted.
+    let mut recovered = ShardedEngine::recover(config, factory(), ckpt).unwrap();
+    recovered.extend(input.iter().copied());
+    let recovered = recovered.finish().unwrap();
+
+    assert_eq!(recovered.count(), reference.count());
+    for q in [0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(
+            recovered.query(q).unwrap().to_bits(),
+            reference.query(q).unwrap().to_bits(),
+            "q={q}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_refuses_a_resharded_topology() {
+    let dir = temp_dir("reshard");
+    let ckpt = CheckpointConfig::new(&dir, 500);
+    let mut engine = ShardedEngine::spawn_with_checkpoints(
+        EngineConfig::new(2).with_batch_size(64),
+        factory(),
+        ckpt.clone(),
+    )
+    .unwrap();
+    engine.extend(paper_stream(5_000));
+    engine.drain();
+    drop(engine);
+
+    let err = ShardedEngine::<KllSketch>::recover(
+        EngineConfig::new(4).with_batch_size(64),
+        factory(),
+        ckpt,
+    )
+    .err()
+    .expect("resharded recovery must be refused");
+    assert!(matches!(err, EngineError::TopologyMismatch(_)), "{err:?}");
+    assert!(err.to_string().contains("shards"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn type_erased_bench_sketches_survive_the_envelope() {
+    // The bench harness's AnySketch rides the same wire format through a
+    // type-erased envelope, so experiment state is checkpointable too.
+    use qsketch_bench::{AnySketch, SketchSpec};
+    use quantile_sketches::SketchSerialize;
+
+    for spec in ["kll:350", "req:30", "dds:0.02", "udds:0.01:1024", "moments:12:compressed"] {
+        let spec: SketchSpec = spec.parse().unwrap();
+        let mut sketch = spec.build(99);
+        let mut gen = DataSet::Nyt.generator(5, 50);
+        for _ in 0..10_000 {
+            sketch.insert(gen.next_value());
+        }
+        let restored = AnySketch::decode(&sketch.encode()).unwrap();
+        assert_eq!(restored.count(), sketch.count());
+        assert_eq!(restored.spec(), sketch.spec());
+        for q in [0.25, 0.5, 0.99] {
+            assert_eq!(
+                restored.query(q).unwrap().to_bits(),
+                sketch.query(q).unwrap().to_bits(),
+                "{spec} q={q}"
+            );
+        }
+    }
+}

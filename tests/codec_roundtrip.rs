@@ -4,12 +4,16 @@
 
 use proptest::prelude::*;
 use quantile_sketches::{
-    DataSet, DdSketch, KllSketch, MergeableSketch, MomentsSketch, QuantileSketch, RankAccuracy,
-    ReqSketch, SketchCodec, UddSketch, ValueStream,
+    DataSet, DdSketch, DecodeError, KllSketch, MergeableSketch, MomentsSketch, QuantileSketch,
+    RankAccuracy, ReqSketch, SketchSerialize, UddSketch, ValueStream,
 };
 
 /// Simulated worker: fill a sketch from a shard and return its payload.
-fn worker_payload<S: QuantileSketch + SketchCodec>(mut sketch: S, ds: DataSet, seed: u64) -> Vec<u8> {
+fn worker_payload<S: QuantileSketch + SketchSerialize>(
+    mut sketch: S,
+    ds: DataSet,
+    seed: u64,
+) -> Vec<u8> {
     let mut gen = ds.generator(seed, 50);
     for _ in 0..20_000 {
         sketch.insert(gen.next_value());
@@ -48,29 +52,77 @@ fn coordinator_merges_shipped_moments() {
 }
 
 #[test]
-fn all_five_sketches_round_trip_on_real_workloads() {
-    let ds = DataSet::Pareto;
+fn all_five_sketches_round_trip_bit_identically_on_all_four_datasets() {
+    // For every paper distribution (§4.1) and every sketch: decode(encode(s))
+    // answers every query with the *same bits* as the original.
+    for ds in DataSet::ALL {
+        macro_rules! check {
+            ($sketch:expr, $ty:ty) => {{
+                let mut s = $sketch;
+                let mut gen = ds.generator(42, 50);
+                for _ in 0..30_000 {
+                    s.insert(gen.next_value());
+                }
+                let restored = <$ty>::decode(&s.encode()).expect("decode");
+                assert_eq!(restored.count(), s.count());
+                for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+                    // Identical outcome: the same bits on success, the
+                    // same error when the estimator (Moments at extreme
+                    // ranks) legitimately refuses.
+                    match (s.query(q), restored.query(q)) {
+                        (Ok(a), Ok(b)) => assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} {:?} q={q}: {a} vs {b}",
+                            s.name(),
+                            ds
+                        ),
+                        (Err(a), Err(b)) => {
+                            assert_eq!(format!("{a}"), format!("{b}"), "{} {:?} q={q}", s.name(), ds)
+                        }
+                        (a, b) => panic!("{} {:?} q={q}: {a:?} vs {b:?}", s.name(), ds),
+                    }
+                }
+            }};
+        }
+        check!(KllSketch::with_seed(350, 1), KllSketch);
+        check!(ReqSketch::with_seed(30, RankAccuracy::High, 1), ReqSketch);
+        check!(DdSketch::paper_configuration(), DdSketch);
+        check!(UddSketch::paper_configuration(), UddSketch);
+        check!(MomentsSketch::with_compression(12), MomentsSketch);
+    }
+}
+
+#[test]
+fn randomized_sketches_replay_future_compactions_after_round_trip() {
+    // The v2 KLL/REQ payloads carry the compaction-coin state, so a
+    // restored sketch and the original stay bit-identical even after
+    // inserting *more* data — the property engine recovery relies on.
     macro_rules! check {
         ($sketch:expr, $ty:ty) => {{
-            let mut s = $sketch;
-            let mut gen = ds.generator(42, 50);
-            for _ in 0..30_000 {
-                s.insert(gen.next_value());
+            let mut original = $sketch;
+            let mut gen = DataSet::Nyt.generator(7, 50);
+            for _ in 0..25_000 {
+                original.insert(gen.next_value());
             }
-            let restored = <$ty>::decode(&s.encode()).expect("decode");
-            assert_eq!(restored.count(), s.count());
-            for q in [0.5, 0.95, 0.99] {
-                let a = s.query(q).unwrap();
-                let b = restored.query(q).unwrap();
-                assert_eq!(a, b, "{} q={q}", s.name());
+            let mut restored = <$ty>::decode(&original.encode()).expect("decode");
+            for _ in 0..25_000 {
+                let v = gen.next_value();
+                original.insert(v);
+                restored.insert(v);
+            }
+            for q in [0.1, 0.5, 0.9, 0.99] {
+                assert_eq!(
+                    original.query(q).unwrap().to_bits(),
+                    restored.query(q).unwrap().to_bits(),
+                    "{} q={q}",
+                    original.name()
+                );
             }
         }};
     }
-    check!(KllSketch::with_seed(350, 1), KllSketch);
-    check!(ReqSketch::with_seed(30, RankAccuracy::High, 1), ReqSketch);
-    check!(DdSketch::paper_configuration(), DdSketch);
-    check!(UddSketch::paper_configuration(), UddSketch);
-    check!(MomentsSketch::with_compression(12), MomentsSketch);
+    check!(KllSketch::with_seed(350, 3), KllSketch);
+    check!(ReqSketch::with_seed(30, RankAccuracy::High, 3), ReqSketch);
 }
 
 #[test]
@@ -82,6 +134,32 @@ fn cross_sketch_payloads_rejected() {
     assert!(ReqSketch::decode(&bytes).is_err());
     assert!(UddSketch::decode(&bytes).is_err());
     assert!(MomentsSketch::decode(&bytes).is_err());
+}
+
+#[test]
+fn every_truncation_of_a_valid_payload_is_a_typed_decode_error() {
+    macro_rules! check {
+        ($sketch:expr, $ty:ty) => {{
+            let mut s = $sketch;
+            for i in 1..=2_000 {
+                s.insert(i as f64);
+            }
+            let bytes = s.encode();
+            for cut in 0..bytes.len() {
+                let err: DecodeError = <$ty>::decode(&bytes[..cut])
+                    .err()
+                    .unwrap_or_else(|| panic!("{} decoded a {cut}-byte prefix", s.name()));
+                // Rendering must not panic either (the error carries
+                // context for operators, not just a discriminant).
+                let _ = err.to_string();
+            }
+        }};
+    }
+    check!(KllSketch::with_seed(128, 1), KllSketch);
+    check!(ReqSketch::with_seed(12, RankAccuracy::High, 1), ReqSketch);
+    check!(DdSketch::paper_configuration(), DdSketch);
+    check!(UddSketch::paper_configuration(), UddSketch);
+    check!(MomentsSketch::with_compression(12), MomentsSketch);
 }
 
 #[test]

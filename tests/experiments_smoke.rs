@@ -12,6 +12,7 @@ fn tiny() -> Args {
         runs: Some(1),
         metrics: false,
         threads: None,
+        sketch: None,
     }
 }
 
@@ -132,6 +133,27 @@ fn ext_parallel_scaling_runs() {
     assert!(json.contains("\"threads\":[1,2]"));
     assert!(json.contains("\"sketch\":\"KLL\",\"threads\":2"));
     assert!(json.contains("\"merged_count\":20000"));
+}
+
+#[test]
+fn ext_checkpoint_runs_and_recovery_is_bit_identical() {
+    let (out, json) = e::ext_checkpoint::run_with_json(&tiny());
+    assert!(out.contains("checkpoint overhead"));
+    // The table is keyed by canonical spec strings, not display labels.
+    for spec in ["req:", "kll:", "udds:", "dds:", "moments:"] {
+        assert!(out.contains(spec), "ext_checkpoint missing {spec}\n{out}");
+    }
+    assert!(out.contains("recovery"));
+    // Every sketch's fault-injected recovery must verify bit-identical.
+    assert!(!out.contains("FAIL"), "{out}");
+    assert!(json.starts_with("{\"experiment\":\"ext_checkpoint\""));
+    assert!(json.contains("\"recovery_ok\":true"));
+    assert!(!json.contains("\"recovery_ok\":false"));
+    // With a single --sketch override only that sketch runs.
+    let mut args = tiny();
+    args.sketch = Some("kll:200".parse().unwrap());
+    let out = e::ext_checkpoint::run(&args);
+    assert!(out.contains("kll:200") && !out.contains("dds:"));
 }
 
 #[test]
