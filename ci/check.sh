@@ -26,6 +26,30 @@ cargo run --release --offline -p qsketch-bench --bin ext_parallel_scaling -- \
 echo "==> wire-format round-trip smoke (all sketches, all datasets)"
 cargo test --release --offline -q --test codec_roundtrip
 
+echo "==> batch-insert equivalence (bit-identical scalar vs batch state)"
+cargo test --release --offline -q --test batch_insert_equivalence
+
+echo "==> insert-throughput baseline (quick; fails on batch regression)"
+# The bin exits non-zero and prints REGRESSION if any sketch's batch
+# path falls >5% below its scalar path. It writes BENCH_insert.json to
+# its cwd, so run it from a scratch dir inside the workspace — the
+# committed full-scale BENCH_insert.json at the repo root is the
+# durable baseline and must not be clobbered by the quick CI run.
+scratch="target/ci-insert-bench"
+mkdir -p "$scratch"
+rm -f "$scratch/BENCH_insert.json"
+(cd "$scratch" && cargo run --release --offline -p qsketch-bench --bin bench_insert_throughput -- --quick)
+if [ ! -s "$scratch/BENCH_insert.json" ]; then
+    echo "BENCH_insert.json missing or empty" >&2
+    exit 1
+fi
+for key in ext_insert_throughput scalar_mvps batch_mvps speedup REQ KLL UDDS DDS Moments; do
+    if ! grep -q "$key" "$scratch/BENCH_insert.json"; then
+        echo "BENCH_insert.json malformed: missing $key" >&2
+        exit 1
+    fi
+done
+
 echo "==> checkpoint smoke run (tiny: kill one shard, recover, verify bit-identical)"
 out=$(cargo run --release --offline -p qsketch-bench --bin ext_checkpoint -- --tiny)
 echo "$out"

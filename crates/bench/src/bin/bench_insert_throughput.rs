@@ -1,0 +1,26 @@
+//! Extension experiment: scalar vs. batched insert throughput for the
+//! five paper sketches (the committed baseline for the batch kernels).
+//!
+//! Prints the table; at `--quick`/`--full` scale also writes the raw
+//! measurements to `BENCH_insert.json` at the repo root (skipped at
+//! `--tiny`, which exists for CI smoke runs that should not clobber the
+//! committed baseline). `ci/check.sh` runs the `--quick` scale and fails
+//! on the `REGRESSION` marker.
+
+use qsketch_bench::cli::Scale;
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    let (table, json) = qsketch_bench::experiments::ext_insert_throughput::run_with_json(&args);
+    print!("{table}");
+    if args.scale != Scale::Tiny {
+        let path = std::path::Path::new("BENCH_insert.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+    if table.contains("REGRESSION") {
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,7 @@ use crate::table::{fmt_ns, Table};
 use crate::timing::time_reps;
 use qsketch_core::quantiles::QUERIED;
 use qsketch_core::QuantileSketch;
-use qsketch_datagen::{FixedPareto, ValueStream};
+use qsketch_datagen::FixedPareto;
 
 /// Sketch fill sizes per scale (paper: 1 M … 1 B).
 fn sizes(scale: Scale) -> Vec<u64> {
@@ -43,9 +43,7 @@ pub fn run(args: &Args) -> String {
         for &kind in &sketches {
             let mut sketch = kind.build(args.seed, true);
             let mut gen = FixedPareto::paper_speed_workload(args.seed);
-            for _ in 0..n {
-                sketch.insert(gen.next_value());
-            }
+            super::fill_batched(&mut sketch, &mut gen, n);
             let timing = time_reps(2, reps(args.scale), || {
                 for &q in &QUERIED {
                     std::hint::black_box(sketch.query(q).ok());

@@ -28,9 +28,7 @@ fn populate(kind: crate::SketchKind, seed: u64, shard: usize, events: usize) -> 
         1 => Box::new(BinomialGen::new(seed + shard as u64, 100, 0.2)),
         _ => Box::new(ZipfGen::new(seed + shard as u64, 20, 0.6)),
     };
-    for _ in 0..events {
-        sketch.insert(gen.next_value());
-    }
+    super::fill_batched(&mut sketch, gen.as_mut(), events as u64);
     sketch
 }
 

@@ -4,6 +4,7 @@
 //! at reduced scale.
 
 pub mod ext_checkpoint;
+pub mod ext_insert_throughput;
 pub mod ext_parallel_scaling;
 pub mod ext_space_accuracy;
 pub mod ext_watermark_lag;
@@ -152,6 +153,29 @@ impl AccuracyOutcome {
         } else {
             self.dropped as f64 / self.total as f64
         }
+    }
+}
+
+/// Fill `sketch` with `n` values from `gen` through the batched insert
+/// path, buffering engine-sized chunks — the same shape the sharded
+/// engine's workers see, and bit-identical to `n` scalar inserts (the
+/// `batch_insert_equivalence` suite enforces this), so experiments that
+/// only need a populated sketch get the fast path for free.
+pub(crate) fn fill_batched(
+    sketch: &mut crate::AnySketch,
+    gen: &mut dyn qsketch_datagen::ValueStream,
+    n: u64,
+) {
+    use qsketch_core::QuantileSketch as _;
+    const CHUNK: usize = qsketch_streamsim::engine::DEFAULT_BATCH_SIZE;
+    let mut buf = Vec::with_capacity(CHUNK);
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK as u64) as usize;
+        buf.clear();
+        buf.extend((0..take).map(|_| gen.next_value()));
+        sketch.insert_batch(&buf);
+        remaining -= take as u64;
     }
 }
 

@@ -325,6 +325,33 @@ impl QuantileSketch for AnySketch {
         }
     }
 
+    fn insert_n(&mut self, value: f64, count: u64) {
+        match self {
+            AnySketch::Req(s) => s.insert_n(value, count),
+            AnySketch::Kll(s) => s.insert_n(value, count),
+            AnySketch::Udds(s) => s.insert_n(value, count),
+            AnySketch::Dds(s) => s.insert_n(value, count),
+            AnySketch::Moments(s) => s.insert_n(value, count),
+            AnySketch::Gk(s) => s.insert_n(value, count),
+            AnySketch::TDigest(s) => s.insert_n(value, count),
+        }
+    }
+
+    // Forwarded explicitly so the per-sketch batch kernels are reached
+    // through the type-erased enum (the default impl would fall back to
+    // the scalar loop).
+    fn insert_batch(&mut self, values: &[f64]) {
+        match self {
+            AnySketch::Req(s) => s.insert_batch(values),
+            AnySketch::Kll(s) => s.insert_batch(values),
+            AnySketch::Udds(s) => s.insert_batch(values),
+            AnySketch::Dds(s) => s.insert_batch(values),
+            AnySketch::Moments(s) => s.insert_batch(values),
+            AnySketch::Gk(s) => s.insert_batch(values),
+            AnySketch::TDigest(s) => s.insert_batch(values),
+        }
+    }
+
     fn query(&self, q: f64) -> Result<f64, QueryError> {
         match self {
             AnySketch::Req(s) => s.query(q),

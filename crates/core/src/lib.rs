@@ -41,6 +41,7 @@
 pub mod codec;
 pub mod error;
 pub mod exact;
+pub mod fastlog;
 pub mod metrics;
 pub mod profile;
 pub mod quantiles;
@@ -51,6 +52,7 @@ pub mod stats;
 
 pub use codec::{DecodeError, SketchSerialize};
 pub use error::{rank_error, relative_error};
+pub use fastlog::FastCeilIndexer;
 pub use exact::ExactQuantiles;
 pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
 pub use profile::Profile;

@@ -736,6 +736,27 @@ impl<S: QuantileSketch> QuantileSketch for Instrumented<S> {
         }
     }
 
+    fn insert_n(&mut self, value: f64, count: u64) {
+        self.ticks = self.ticks.wrapping_add(count);
+        self.inner.insert_n(value, count);
+        self.flush();
+    }
+
+    fn insert_batch(&mut self, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        self.ticks = self.ticks.wrapping_add(values.len() as u64);
+        let start = Instant::now();
+        self.inner.insert_batch(values);
+        // One amortised per-value latency sample per batch, so batched
+        // pipelines keep feeding the same histogram the scalar path does.
+        self.metrics
+            .insert_ns
+            .record(start.elapsed().as_nanos() as u64 / values.len() as u64);
+        self.flush();
+    }
+
     fn query(&self, q: f64) -> Result<f64, QueryError> {
         let start = Instant::now();
         let result = self.inner.query(q);

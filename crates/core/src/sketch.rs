@@ -115,8 +115,19 @@ impl From<DecodeError> for SketchError {
 /// (§4.4.1), `query` (§4.4.2), and — through [`MergeableSketch`] —
 /// `merge` (§4.4.3). [`memory_footprint`](QuantileSketch::memory_footprint)
 /// supports the data-structure analysis of §4.3 / Table 3.
+///
+/// # NaN policy
+///
+/// `NaN` carries no ordering information and cannot be ranked, so every
+/// ingestion method (`insert`, [`insert_n`](QuantileSketch::insert_n),
+/// [`insert_batch`](QuantileSketch::insert_batch)) **ignores** it: a NaN
+/// input is silently skipped — it is not recorded, does not perturb
+/// min/max, and [`count`](QuantileSketch::count) does not advance. All
+/// five paper sketches enforce this uniformly (previously NaN was only a
+/// `debug_assert!`, so release builds could corrupt sketch state).
 pub trait QuantileSketch {
-    /// Consume one value from the stream.
+    /// Consume one value from the stream. NaN is ignored (see the
+    /// trait-level NaN policy).
     fn insert(&mut self, value: f64);
 
     /// Estimate the `q`-quantile of everything inserted so far.
@@ -139,6 +150,35 @@ pub trait QuantileSketch {
     /// Short human-readable name used in experiment output
     /// (`"KLL"`, `"Moments"`, `"DDS"`, `"UDDS"`, `"REQ"`).
     fn name(&self) -> &'static str;
+
+    /// Insert `count` occurrences of `value` at once (weighted or
+    /// pre-aggregated ingestion). Equivalent to calling
+    /// [`insert`](QuantileSketch::insert) `count` times — the default does
+    /// exactly that; sketches with constant-work weighted updates override
+    /// it (DDSketch/UDDSketch bump one bucket, Moments scales each power
+    /// term by `count`).
+    fn insert_n(&mut self, value: f64, count: u64) {
+        for _ in 0..count {
+            self.insert(value);
+        }
+    }
+
+    /// Consume a slice of values in one call.
+    ///
+    /// Semantically identical to inserting every element in order, and the
+    /// paper sketches guarantee more: their overrides produce
+    /// **bit-identical serialized state** to the scalar loop (asserted by
+    /// the `batch_insert_equivalence` property suite) while skipping
+    /// per-value overhead — an ln-free interpolated index mapping plus
+    /// same-bucket run coalescing (DDSketch/UDDSketch), one capacity check
+    /// per chunk instead of per value (KLL/REQ), and an ILP-friendly
+    /// blocked power-sum accumulator (Moments). The sharded ingestion
+    /// engine and the bench harness ingest through this method.
+    fn insert_batch(&mut self, values: &[f64]) {
+        for &v in values {
+            self.insert(v);
+        }
+    }
 
     /// Estimate several quantiles at once. The default loops over
     /// [`query`](QuantileSketch::query); implementations with per-query

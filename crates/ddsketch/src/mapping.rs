@@ -1,5 +1,7 @@
 //! The logarithmic index mapping at the heart of DDSketch and UDDSketch.
 
+use qsketch_core::fastlog::FastCeilIndexer;
+
 /// Maps positive values to bucket indices via `i = ⌈log_γ(x)⌉` and back to
 /// the bucket midpoint `2γ^i/(γ+1)` (§3.3).
 ///
@@ -10,8 +12,10 @@
 pub struct LogarithmicMapping {
     alpha: f64,
     gamma: f64,
-    /// 1 / ln(γ), cached: indexing is the hot path of every insert.
-    inv_ln_gamma: f64,
+    /// Cached indexer: the exact `1/ln γ` path plus the ln-free
+    /// polynomial fast path (bit-identical by construction) used by the
+    /// batch insert kernels.
+    indexer: FastCeilIndexer,
 }
 
 impl LogarithmicMapping {
@@ -25,7 +29,7 @@ impl LogarithmicMapping {
         Self {
             alpha,
             gamma,
-            inv_ln_gamma: 1.0 / gamma.ln(),
+            indexer: FastCeilIndexer::new(gamma),
         }
     }
 
@@ -38,7 +42,7 @@ impl LogarithmicMapping {
         Self {
             alpha,
             gamma,
-            inv_ln_gamma: 1.0 / gamma.ln(),
+            indexer: FastCeilIndexer::new(gamma),
         }
     }
 
@@ -54,11 +58,32 @@ impl LogarithmicMapping {
         self.gamma
     }
 
-    /// Bucket index of a positive value: `⌈log_γ(x)⌉`.
+    /// Bucket index of a positive value: `⌈log_γ(x)⌉`, computed through
+    /// `ln` — the paper-faithful reference path used by scalar inserts.
     #[inline]
     pub fn index(&self, x: f64) -> i32 {
         debug_assert!(x > 0.0, "logarithmic mapping requires positive values");
-        (x.ln() * self.inv_ln_gamma).ceil() as i32
+        self.indexer.index_exact(x)
+    }
+
+    /// Bucket index via the ln-free polynomial `log2` with an exact
+    /// fallback inside the proven error band — always returns the same
+    /// index as [`index`](Self::index) (see [`qsketch_core::fastlog`]).
+    /// The batch insert kernels use this.
+    #[inline]
+    pub fn index_fast(&self, x: f64) -> i32 {
+        debug_assert!(x > 0.0, "logarithmic mapping requires positive values");
+        self.indexer.index(x)
+    }
+
+    /// Branch-free speculative index plus a "needs exact fallback" flag —
+    /// the building block of the blocked batch kernels, which run it
+    /// across a whole block (vectorized), then redo only flagged lanes
+    /// through [`index`](Self::index). See
+    /// [`FastCeilIndexer::index_checked`].
+    #[inline(always)]
+    pub fn index_checked(&self, x: f64) -> (i32, bool) {
+        self.indexer.index_checked(x)
     }
 
     /// Midpoint estimate `2γ^i/(γ+1)` for bucket `i` (§3.3).
@@ -175,6 +200,28 @@ mod tests {
     #[should_panic(expected = "relative accuracy")]
     fn rejects_alpha_of_one() {
         LogarithmicMapping::new(1.0);
+    }
+
+    #[test]
+    fn fast_index_agrees_with_logarithmic_index() {
+        // The bit-exactness contract the batch kernels rely on: sweep
+        // across magnitudes plus adversarial ulp-walks over bucket edges,
+        // where an unguarded approximate log would flip the ceiling.
+        for alpha in [0.001, 0.01, 0.05] {
+            let m = LogarithmicMapping::new(alpha);
+            let mut x = 1e-9;
+            while x < 1e9 {
+                assert_eq!(m.index_fast(x), m.index(x), "alpha={alpha} x={x}");
+                x *= 1.0007;
+            }
+            for i in [-40, -1, 0, 1, 13, 512] {
+                let mut y = m.upper_bound(i) * (1.0 - 32.0 * f64::EPSILON);
+                for _ in 0..65 {
+                    assert_eq!(m.index_fast(y), m.index(y), "alpha={alpha} edge {i}");
+                    y = f64::from_bits(y.to_bits() + 1);
+                }
+            }
+        }
     }
 
     #[test]

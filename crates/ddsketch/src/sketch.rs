@@ -91,27 +91,6 @@ impl<S: BucketStore> DdSketch<S> {
         self.max
     }
 
-    /// Insert `count` occurrences of `value` at once — pre-aggregated
-    /// ingestion (e.g. rollups) costs one bucket update regardless of
-    /// weight, an advantage histogram sketches have over sampling
-    /// sketches.
-    pub fn insert_n(&mut self, value: f64, count: u64) {
-        debug_assert!(!value.is_nan(), "NaN inserted into DDSketch");
-        if count == 0 {
-            return;
-        }
-        self.count += count;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        if value > 0.0 {
-            self.positives.add(self.mapping.index(value), count);
-        } else if value < 0.0 {
-            self.negatives.add(self.mapping.index(-value), count);
-        } else {
-            self.zero_count += count;
-        }
-    }
-
     /// Estimated rank of `x`: the number of inserted values `≤ x`, read
     /// off the bucket counts (the CDF query dual to `query`).
     pub fn rank(&self, x: f64) -> u64 {
@@ -185,9 +164,53 @@ impl<S: BucketStore> DdSketch<S> {
     }
 }
 
+impl<S: BucketStore> DdSketch<S> {
+    /// Per-value fallback for batch blocks containing NaN, zeros, or
+    /// negatives: the ln-free mapping plus run coalescing of consecutive
+    /// same-bucket values, processing each value exactly as scalar
+    /// `insert` would (same NaN skip, same zero counting, same min/max
+    /// update order).
+    fn insert_run_coalesced(&mut self, values: &[f64]) {
+        // Pending run: sign (true = positives store), bucket index, count.
+        let mut run: Option<(bool, i32, u64)> = None;
+        for &value in values {
+            if value.is_nan() {
+                continue;
+            }
+            self.count += 1;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+            let keyed = if value > 0.0 {
+                (true, self.mapping.index_fast(value))
+            } else if value < 0.0 {
+                (false, self.mapping.index_fast(-value))
+            } else {
+                self.zero_count += 1;
+                continue; // zeros don't touch the stores; keep the run open
+            };
+            match run {
+                Some((pos, idx, ref mut n)) if (pos, idx) == keyed => *n += 1,
+                _ => {
+                    if let Some((pos, idx, n)) = run.take() {
+                        let store = if pos { &mut self.positives } else { &mut self.negatives };
+                        store.add(idx, n);
+                    }
+                    run = Some((keyed.0, keyed.1, 1));
+                }
+            }
+        }
+        if let Some((pos, idx, n)) = run {
+            let store = if pos { &mut self.positives } else { &mut self.negatives };
+            store.add(idx, n);
+        }
+    }
+}
+
 impl<S: BucketStore> QuantileSketch for DdSketch<S> {
     fn insert(&mut self, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN inserted into DDSketch");
+        if value.is_nan() {
+            return; // trait-level NaN policy: ignore
+        }
         self.count += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
@@ -198,6 +221,100 @@ impl<S: BucketStore> QuantileSketch for DdSketch<S> {
         } else {
             self.zero_count += 1;
         }
+    }
+
+    /// Insert `count` occurrences of `value` at once — pre-aggregated
+    /// ingestion (e.g. rollups) costs one bucket update regardless of
+    /// weight, an advantage histogram sketches have over sampling
+    /// sketches.
+    fn insert_n(&mut self, value: f64, count: u64) {
+        if count == 0 || value.is_nan() {
+            return;
+        }
+        self.count += count;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value > 0.0 {
+            self.positives.add(self.mapping.index(value), count);
+        } else if value < 0.0 {
+            self.negatives.add(self.mapping.index(-value), count);
+        } else {
+            self.zero_count += count;
+        }
+    }
+
+    /// Batch kernel: blocked, ln-free, branch-free in the hot loop.
+    ///
+    /// Each 128-value block that is entirely positive (the common case for
+    /// the paper's value distributions) takes the fast path: a single
+    /// vectorizable pass of
+    /// [`index_checked`](LogarithmicMapping::index_checked) fills an index
+    /// array plus needs-exact flags, the (provably rare) flagged lanes are
+    /// redone through the exact `ln` mapping, min/max fold over the block,
+    /// and the whole index block goes to the store's bulk
+    /// [`add_block`](BucketStore::add_block) (grow once, increment without
+    /// per-value range checks). Blocks containing NaN, zeros, or negatives
+    /// fall back to a per-value run-coalescing loop with the same ln-free
+    /// mapping.
+    ///
+    /// Bit-identity with the scalar path: the guarded fast index always
+    /// equals the `ln` index (see [`qsketch_core::fastlog`]); min/max of
+    /// an all-positive, NaN-free block is order-independent; and bucket
+    /// counts are plain `u64` additions, so the serialized store is
+    /// bit-identical to the scalar path's.
+    fn insert_batch(&mut self, values: &[f64]) {
+        const BLOCK: usize = 128;
+        let mut idx = [0i32; BLOCK];
+        // Fixed-size blocks: every loop below runs over exactly BLOCK
+        // elements, so the compiler drops bounds checks and trip-count
+        // prologues and vectorizes cleanly. The tail (and any block
+        // containing NaN, zeros, or negatives) takes the per-value path.
+        let mut blocks = values.chunks_exact(BLOCK);
+        for block in blocks.by_ref() {
+            let block: &[f64; BLOCK] = block.try_into().expect("chunks_exact");
+            // Screen + min/max pass. lo/hi are only used when the block
+            // is all-positive (min/max of an all-positive, NaN-free
+            // block is order-independent; the cmp-selects are
+            // `vminpd`/`vmaxpd`, valid because NaN-containing blocks
+            // are discarded).
+            let mut all_pos = true;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in block {
+                all_pos &= v > 0.0; // also rejects NaN
+                lo = if v < lo { v } else { lo };
+                hi = if v > hi { v } else { hi };
+            }
+            if !all_pos {
+                self.insert_run_coalesced(block);
+                continue;
+            }
+            // Branch-free speculative index pass — no libm calls, so
+            // the compiler unrolls and vectorizes it.
+            let mut any = false;
+            for i in 0..BLOCK {
+                let (index, needs_exact) = self.mapping.index_checked(block[i]);
+                idx[i] = index;
+                any |= needs_exact;
+            }
+            if any {
+                // Rare (the guard band covers ~7 in 100 000 values):
+                // recompute the block, redoing flagged lanes exactly.
+                for i in 0..BLOCK {
+                    let (index, needs_exact) = self.mapping.index_checked(block[i]);
+                    idx[i] = if needs_exact {
+                        self.mapping.index(block[i])
+                    } else {
+                        index
+                    };
+                }
+            }
+            self.min = self.min.min(lo);
+            self.max = self.max.max(hi);
+            self.count += BLOCK as u64;
+            self.positives.add_block(&idx);
+        }
+        self.insert_run_coalesced(blocks.remainder());
     }
 
     fn query(&self, q: f64) -> Result<f64, QueryError> {
@@ -535,6 +652,13 @@ mod codec {
             let alpha = r.f64()?;
             if !(alpha > 0.0 && alpha < 1.0) {
                 return Err(DecodeError::Corrupt(format!("alpha {alpha} out of range")));
+            }
+            // A subnormal-tiny alpha passes the range check but rounds
+            // (1+α)/(1−α) to exactly 1 — no usable bucket base.
+            if (1.0 + alpha) / (1.0 - alpha) <= 1.0 {
+                return Err(DecodeError::Corrupt(format!(
+                    "alpha {alpha} collapses gamma to 1"
+                )));
             }
             let zero_count = r.varint()?;
             let count = r.varint()?;

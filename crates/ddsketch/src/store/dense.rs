@@ -76,6 +76,34 @@ impl BucketStore for UnboundedDenseStore {
         self.total += count;
     }
 
+    /// Bulk path for the batch insert kernels: one vectorizable min/max
+    /// scan over the block's indices, at most two growth steps, then a
+    /// tight increment loop with no per-value range branches. The
+    /// resulting counts are plain `u64` sums, identical to per-value
+    /// `add`s in any order.
+    fn add_block(&mut self, indices: &[i32]) {
+        if indices.is_empty() {
+            return;
+        }
+        // First touch matches the scalar path (initial allocation is
+        // centred on the first observed index), then one growth to the
+        // block's full range.
+        self.slot_for(indices[0]);
+        let mut lo = indices[0];
+        let mut hi = indices[0];
+        for &i in indices {
+            lo = lo.min(i);
+            hi = hi.max(i);
+        }
+        self.slot_for(lo);
+        self.slot_for(hi);
+        let offset = self.offset as i64;
+        for &i in indices {
+            self.counts[(i as i64 - offset) as usize] += 1;
+        }
+        self.total += indices.len() as u64;
+    }
+
     fn total(&self) -> u64 {
         self.total
     }

@@ -20,6 +20,27 @@ pub trait BucketStore {
     /// stores.
     fn add(&mut self, index: i32, count: u64);
 
+    /// Add one occurrence of every index in `indices` — the batch-kernel
+    /// bulk entry point. Logically identical to calling
+    /// [`add`](Self::add)`(i, 1)` for each index in order (bucket counts
+    /// are plain `u64` additions, so the serialized store is
+    /// bit-identical); dense stores override it to grow once per block
+    /// and increment without per-value range checks.
+    fn add_block(&mut self, indices: &[i32]) {
+        // Default: coalesce runs of equal consecutive indices into one
+        // `add`, preserving first-touch order of distinct indices.
+        let mut i = 0;
+        while i < indices.len() {
+            let cur = indices[i];
+            let start = i;
+            i += 1;
+            while i < indices.len() && indices[i] == cur {
+                i += 1;
+            }
+            self.add(cur, (i - start) as u64);
+        }
+    }
+
     /// Total count across all buckets.
     fn total(&self) -> u64;
 

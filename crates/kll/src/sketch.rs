@@ -190,13 +190,50 @@ impl KllSketch {
 
 impl QuantileSketch for KllSketch {
     fn insert(&mut self, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN inserted into KLL sketch");
+        if value.is_nan() {
+            return; // trait-level NaN policy: ignore
+        }
         self.count += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.levels[0].push(value);
         if self.retained() >= self.total_capacity() {
             self.compact_once();
+        }
+    }
+
+    /// Batch kernel: the scalar path pays an O(levels) `retained()` +
+    /// `total_capacity()` scan per value; the bulk path computes the free
+    /// room once, reserves it, appends a whole chunk, and compacts at most
+    /// once per chunk. Because the scalar trigger is exactly "compact when
+    /// `retained == total_capacity` after a push", filling precisely up to
+    /// capacity before the single compaction reproduces the same
+    /// compaction points — and therefore the same
+    /// [`CoinFlipper`] draw order and bit-identical state.
+    fn insert_batch(&mut self, values: &[f64]) {
+        let mut i = 0;
+        while i < values.len() {
+            let room = self
+                .total_capacity()
+                .saturating_sub(self.retained())
+                // The scalar path always pushes once before re-checking.
+                .max(1);
+            let take = room.min(values.len() - i);
+            let chunk = &values[i..i + take];
+            i += take;
+            self.levels[0].reserve(take);
+            for &value in chunk {
+                if value.is_nan() {
+                    continue;
+                }
+                self.count += 1;
+                self.min = self.min.min(value);
+                self.max = self.max.max(value);
+                self.levels[0].push(value);
+            }
+            if self.retained() >= self.total_capacity() {
+                self.compact_once();
+            }
         }
     }
 

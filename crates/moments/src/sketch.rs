@@ -138,24 +138,6 @@ impl MomentsSketch {
 }
 
 impl MomentsSketch {
-    /// Insert `count` occurrences of `value` at once: each power sum
-    /// grows by `count · yʲ` — constant work per pre-aggregated record.
-    pub fn insert_n(&mut self, value: f64, count: u64) {
-        debug_assert!(!value.is_nan(), "NaN inserted into Moments sketch");
-        if count == 0 {
-            return;
-        }
-        let y = if self.compress { value.asinh() } else { value };
-        self.min = self.min.min(y);
-        self.max = self.max.max(y);
-        let c = count as f64;
-        let mut p = 1.0;
-        for s in &mut self.power_sums {
-            *s += c * p;
-            p *= y;
-        }
-    }
-
     /// Estimated CDF at `x`, read from the fitted maximum-entropy
     /// density.
     pub fn cdf(&self, x: f64) -> Result<f64, QueryError> {
@@ -189,7 +171,9 @@ impl MomentsSketch {
 
 impl QuantileSketch for MomentsSketch {
     fn insert(&mut self, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN inserted into Moments sketch");
+        if value.is_nan() {
+            return; // trait-level NaN policy: ignore
+        }
         let y = if self.compress { value.asinh() } else { value };
         self.min = self.min.min(y);
         self.max = self.max.max(y);
@@ -199,6 +183,79 @@ impl QuantileSketch for MomentsSketch {
         for s in &mut self.power_sums {
             *s += p;
             p *= y;
+        }
+    }
+
+    /// Insert `count` occurrences of `value` at once. The transform and
+    /// the power chain run once (not per occurrence), and each sum
+    /// replays the scalar path's additions — `count` adds of the same
+    /// `yʲ`, in the same order — so the state stays bit-identical to
+    /// `count` calls of [`QuantileSketch::insert`] (a plain `+= count·yʲ`
+    /// rounds differently). Once an addition stops changing the sum it
+    /// never will again, so each sum's loop can stop at its
+    /// floating-point fixed point — worst case this costs the same adds
+    /// as the scalar path, but skips its per-occurrence transform and
+    /// power chain.
+    fn insert_n(&mut self, value: f64, count: u64) {
+        if count == 0 || value.is_nan() {
+            return;
+        }
+        let y = if self.compress { value.asinh() } else { value };
+        self.min = self.min.min(y);
+        self.max = self.max.max(y);
+        let mut p = 1.0;
+        for s in &mut self.power_sums {
+            for _ in 0..count {
+                let next = *s + p;
+                if next.to_bits() == s.to_bits() {
+                    break; // fixed point: further adds are no-ops
+                }
+                *s = next;
+            }
+            p *= y;
+        }
+    }
+
+    /// Batch kernel: the scalar loop's `p *= y` chain serialises every
+    /// multiply; processing four values at a time keeps four independent
+    /// power chains in flight (ILP / auto-vectorizable) while performing
+    /// *the same additions in the same order* per power sum — each `sums[j]`
+    /// still receives `y₀ʲ, y₁ʲ, y₂ʲ, y₃ʲ` sequentially and every `yᵢʲ` is
+    /// still the j-fold repeated product — so the accumulated state is
+    /// bit-identical to four scalar inserts. The arcsinh variant
+    /// (`compress = true`) flows through the same block with the transform
+    /// applied up front.
+    fn insert_batch(&mut self, values: &[f64]) {
+        let mut blocks = values.chunks_exact(4);
+        for block in blocks.by_ref() {
+            let (v0, v1, v2, v3) = (block[0], block[1], block[2], block[3]);
+            if v0.is_nan() || v1.is_nan() || v2.is_nan() || v3.is_nan() {
+                for &v in block {
+                    self.insert(v); // rare path: per-value NaN skipping
+                }
+                continue;
+            }
+            let (y0, y1, y2, y3) = if self.compress {
+                (v0.asinh(), v1.asinh(), v2.asinh(), v3.asinh())
+            } else {
+                (v0, v1, v2, v3)
+            };
+            self.min = self.min.min(y0).min(y1).min(y2).min(y3);
+            self.max = self.max.max(y0).max(y1).max(y2).max(y3);
+            let (mut p0, mut p1, mut p2, mut p3) = (1.0f64, 1.0f64, 1.0f64, 1.0f64);
+            for s in &mut self.power_sums {
+                *s += p0;
+                *s += p1;
+                *s += p2;
+                *s += p3;
+                p0 *= y0;
+                p1 *= y1;
+                p2 *= y2;
+                p3 *= y3;
+            }
+        }
+        for &v in blocks.remainder() {
+            self.insert(v);
         }
     }
 

@@ -117,6 +117,12 @@ impl RelativeCompactor {
         self.buffer.extend_from_slice(values);
     }
 
+    /// Pre-allocate room for `additional` more items (the sketch's bulk
+    /// insert path reserves a whole chunk at once).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buffer.reserve(additional);
+    }
+
     /// Borrow the retained items (unsorted).
     pub fn items(&self) -> &[f64] {
         &self.buffer

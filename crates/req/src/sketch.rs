@@ -125,13 +125,49 @@ impl ReqSketch {
 
 impl QuantileSketch for ReqSketch {
     fn insert(&mut self, value: f64) {
-        debug_assert!(!value.is_nan(), "NaN inserted into ReqSketch");
+        if value.is_nan() {
+            return; // trait-level NaN policy: ignore
+        }
         self.count += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.levels[0].push(value);
         if self.levels[0].is_full() {
             self.compress();
+        }
+    }
+
+    /// Batch kernel: only level 0 can fill during inserts, so the bulk
+    /// path reserves its free room once, appends a chunk, and cascades at
+    /// most one `compress` per chunk. Chunks are sized to hit the exact
+    /// fill level the scalar trigger (`levels[0].is_full()` after a push)
+    /// would compact at, so the compaction sequence — and with it the
+    /// [`CoinFlipper`] draw order and the adaptive section schedule — is
+    /// bit-identical to inserting value by value.
+    fn insert_batch(&mut self, values: &[f64]) {
+        let mut i = 0;
+        while i < values.len() {
+            let room = self.levels[0]
+                .capacity()
+                .saturating_sub(self.levels[0].len())
+                // The scalar path always pushes once before re-checking.
+                .max(1);
+            let take = room.min(values.len() - i);
+            let chunk = &values[i..i + take];
+            i += take;
+            self.levels[0].reserve(take);
+            for &value in chunk {
+                if value.is_nan() {
+                    continue;
+                }
+                self.count += 1;
+                self.min = self.min.min(value);
+                self.max = self.max.max(value);
+                self.levels[0].push(value);
+            }
+            if self.levels[0].is_full() {
+                self.compress();
+            }
         }
     }
 

@@ -460,9 +460,10 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
                             {
                                 let mut sketch =
                                     worker_sketch.lock().expect("shard sketch poisoned");
-                                for &v in &batch {
-                                    sketch.insert(v);
-                                }
+                                // Bulk kernel: bit-identical to the scalar
+                                // loop, so recovery replay and the engine's
+                                // determinism guarantees are unaffected.
+                                sketch.insert_batch(&batch);
                                 values_done += batch.len() as u64;
                                 if let Some(plan) = &worker_plan {
                                     if values_done - last_ckpt >= plan.config.interval_values {

@@ -1,0 +1,231 @@
+//! The batch-insert contract, enforced: for every sketch,
+//! `insert_batch(values)` (and `insert_n`) must leave the sketch in
+//! **bit-identical** state to inserting the same values one at a time —
+//! same serialized bytes, not just close answers. This is what lets the
+//! sharded engine, the bench harness, and recovery replay route through
+//! the batch kernels without changing a single result.
+//!
+//! Bytes are compared via [`SketchSerialize::encode`], which captures the
+//! full state: retained items per level, compaction-coin state (KLL/REQ),
+//! bucket maps and the current γ (UDDS), store layout (DDS), power sums
+//! (Moments), plus count/min/max everywhere.
+
+use proptest::prelude::*;
+use quantile_sketches::{
+    DataSet, DdSketch, KllSketch, MomentsSketch, QuantileSketch, RankAccuracy, ReqSketch,
+    SketchSerialize, UddSketch, ValueStream,
+};
+
+/// Pre-generate `n` values from one paper data set.
+fn stream(ds: DataSet, seed: u64, n: usize) -> Vec<f64> {
+    let mut gen = ds.generator(seed, 50);
+    (0..n).map(|_| gen.next_value()).collect()
+}
+
+/// Feed `values` to `scalar` one at a time and to `batch` in `chunks`,
+/// then assert the serialized bytes agree.
+fn assert_equivalent<S: QuantileSketch + SketchSerialize>(
+    mut scalar: S,
+    mut batch: S,
+    values: &[f64],
+    chunks: &[usize],
+    context: &str,
+) {
+    for &v in values {
+        scalar.insert(v);
+    }
+    let mut rest = values;
+    let mut chunk_idx = 0;
+    while !rest.is_empty() {
+        let take = chunks[chunk_idx % chunks.len()].min(rest.len()).max(1);
+        chunk_idx += 1;
+        let (head, tail) = rest.split_at(take);
+        batch.insert_batch(head);
+        rest = tail;
+    }
+    assert_eq!(
+        scalar.encode(),
+        batch.encode(),
+        "{context}: batch state diverged from scalar"
+    );
+}
+
+/// Chunk-size schedule mixing tiny, engine-sized, and huge chunks so
+/// batches repeatedly straddle compaction (KLL/REQ), collapse (UDDS),
+/// and store-growth (DDS) boundaries.
+const CHUNKS: [usize; 7] = [1, 3, 256, 7, 1024, 64, 5000];
+
+#[test]
+fn all_five_sketches_batch_bit_identically_on_all_four_datasets() {
+    for ds in DataSet::ALL {
+        let values = stream(ds, 42, 30_000);
+        macro_rules! check {
+            ($make:expr) => {
+                assert_equivalent($make, $make, &values, &CHUNKS, &format!("{ds:?}"))
+            };
+        }
+        check!(KllSketch::with_seed(350, 1));
+        check!(ReqSketch::with_seed(30, RankAccuracy::High, 1));
+        check!(DdSketch::paper_configuration());
+        check!(UddSketch::paper_configuration());
+        check!(MomentsSketch::with_compression(12));
+    }
+}
+
+#[test]
+fn one_giant_batch_straddles_many_compactions() {
+    // A single insert_batch call far larger than any internal buffer:
+    // KLL/REQ must compact repeatedly inside one call, UDDS (shrunk to a
+    // 32-bucket budget) must collapse repeatedly, and all must match the
+    // scalar replay bit for bit.
+    let values = stream(DataSet::Pareto, 7, 60_000);
+    let whole = [usize::MAX];
+    assert_equivalent(
+        KllSketch::with_seed(350, 9),
+        KllSketch::with_seed(350, 9),
+        &values,
+        &whole,
+        "KLL giant batch",
+    );
+    assert_equivalent(
+        ReqSketch::with_seed(30, RankAccuracy::High, 9),
+        ReqSketch::with_seed(30, RankAccuracy::High, 9),
+        &values,
+        &whole,
+        "REQ giant batch",
+    );
+    assert_equivalent(
+        UddSketch::new(0.01, 32),
+        UddSketch::new(0.01, 32),
+        &values,
+        &whole,
+        "UDDS tight-budget giant batch",
+    );
+    assert_equivalent(
+        DdSketch::paper_configuration(),
+        DdSketch::paper_configuration(),
+        &values,
+        &whole,
+        "DDS giant batch",
+    );
+}
+
+#[test]
+fn nan_is_ignored_identically_by_scalar_and_batch_paths() {
+    // Interleave NaNs through a real stream: the NaN-free scalar fill,
+    // the NaN-laden scalar fill, and the NaN-laden batch fill must all
+    // produce the same bytes — NaN is not recorded, does not perturb
+    // min/max, and count does not advance.
+    let clean = stream(DataSet::Nyt, 11, 5_000);
+    let mut dirty = Vec::with_capacity(clean.len() + clean.len() / 3 + 2);
+    dirty.push(f64::NAN); // leading NaN: min/max must stay untouched
+    for (i, &v) in clean.iter().enumerate() {
+        dirty.push(v);
+        if i % 3 == 0 {
+            dirty.push(f64::NAN);
+        }
+    }
+    dirty.push(f64::NAN);
+
+    macro_rules! check {
+        ($make:expr) => {{
+            let mut reference = $make;
+            for &v in &clean {
+                reference.insert(v);
+            }
+            let mut scalar_dirty = $make;
+            for &v in &dirty {
+                scalar_dirty.insert(v);
+            }
+            let mut batch_dirty = $make;
+            for chunk in dirty.chunks(97) {
+                batch_dirty.insert_batch(chunk);
+            }
+            assert_eq!(reference.count(), clean.len() as u64);
+            assert_eq!(
+                reference.encode(),
+                scalar_dirty.encode(),
+                "scalar insert must ignore NaN"
+            );
+            assert_eq!(
+                reference.encode(),
+                batch_dirty.encode(),
+                "insert_batch must ignore NaN"
+            );
+        }};
+    }
+    check!(KllSketch::with_seed(350, 5));
+    check!(ReqSketch::with_seed(30, RankAccuracy::High, 5));
+    check!(DdSketch::paper_configuration());
+    check!(UddSketch::paper_configuration());
+    check!(MomentsSketch::with_compression(12));
+}
+
+#[test]
+fn insert_n_matches_repeated_insert() {
+    macro_rules! check {
+        ($make:expr) => {{
+            let mut repeated = $make;
+            let mut bulk = $make;
+            for (value, count) in [(2.5, 1u64), (1e-6, 1000), (42.0, 1), (-3.0, 17), (0.0, 5)] {
+                for _ in 0..count {
+                    repeated.insert(value);
+                }
+                bulk.insert_n(value, count);
+            }
+            bulk.insert_n(9.0, 0); // count 0 is a no-op
+            bulk.insert_n(f64::NAN, 3); // NaN is ignored regardless of count
+            assert_eq!(repeated.encode(), bulk.encode());
+        }};
+    }
+    check!(KllSketch::with_seed(350, 2));
+    check!(ReqSketch::with_seed(30, RankAccuracy::High, 2));
+    check!(DdSketch::paper_configuration());
+    check!(UddSketch::paper_configuration());
+    check!(MomentsSketch::with_compression(12));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random chunk partitions of a random-length stream from a random
+    /// paper data set: batch bytes == scalar bytes for every sketch.
+    #[test]
+    fn random_chunking_is_bit_identical(
+        seed in 0u64..10_000,
+        ds_idx in 0usize..4,
+        n in 1usize..8_000,
+        chunks in proptest::collection::vec(1usize..700, 1..12),
+    ) {
+        let ds = DataSet::ALL[ds_idx];
+        let values = stream(ds, seed, n);
+        let ctx = format!("{ds:?} seed={seed} n={n}");
+        assert_equivalent(
+            KllSketch::with_seed(350, seed),
+            KllSketch::with_seed(350, seed),
+            &values, &chunks, &ctx,
+        );
+        assert_equivalent(
+            ReqSketch::with_seed(30, RankAccuracy::High, seed),
+            ReqSketch::with_seed(30, RankAccuracy::High, seed),
+            &values, &chunks, &ctx,
+        );
+        assert_equivalent(
+            DdSketch::paper_configuration(),
+            DdSketch::paper_configuration(),
+            &values, &chunks, &ctx,
+        );
+        // A tight bucket budget makes collapses frequent enough for small
+        // streams to straddle them.
+        assert_equivalent(
+            UddSketch::new(0.01, 64),
+            UddSketch::new(0.01, 64),
+            &values, &chunks, &ctx,
+        );
+        assert_equivalent(
+            MomentsSketch::with_compression(12),
+            MomentsSketch::with_compression(12),
+            &values, &chunks, &ctx,
+        );
+    }
+}
