@@ -58,4 +58,58 @@ if echo "$out" | grep -q FAIL; then
     exit 1
 fi
 
+echo "==> server smoke (ingest, checkpoint, kill -9, recover, bit-identical re-query)"
+# Drives the real binaries over real TCP: start durable, ingest, take a
+# synchronous checkpoint, query (capturing exact result bits), kill -9,
+# restart with --recover, and require the recovered answers bit-for-bit.
+SERVER=./target/release/qsketch_server
+CLIENT=./target/release/qsketch_client
+ckpt_dir="target/ci-server-smoke/ckpt"
+server_log="target/ci-server-smoke/server.log"
+rm -rf "target/ci-server-smoke"
+mkdir -p "$ckpt_dir"
+
+wait_ready() { # $1 = logfile; prints the listen address
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on \([^ ]*\) .*/\1/p' "$1")
+        if [ -n "$addr" ]; then echo "$addr"; return 0; fi
+        sleep 0.1
+    done
+    echo "server never became ready; log:" >&2; cat "$1" >&2; return 1
+}
+
+"$SERVER" --addr 127.0.0.1:0 --shards 2 --ckpt-dir "$ckpt_dir" > "$server_log" 2>&1 &
+server_pid=$!
+addr=$(wait_ready "$server_log")
+"$CLIENT" "$addr" ingest-seq acme api.latency 0 50000
+"$CLIENT" "$addr" checkpoint
+before=$("$CLIENT" "$addr" query acme api.latency 0.01 0.5 0.99)
+echo "$before"
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+
+"$SERVER" --addr 127.0.0.1:0 --shards 2 --ckpt-dir "$ckpt_dir" --recover > "$server_log" 2>&1 &
+server_pid=$!
+addr=$(wait_ready "$server_log")
+after=$("$CLIENT" "$addr" query acme api.latency 0.01 0.5 0.99)
+if [ "$before" != "$after" ]; then
+    echo "recovered answers differ from pre-crash answers:" >&2
+    diff <(echo "$before") <(echo "$after") >&2 || true
+    exit 1
+fi
+echo "recovered answers bit-identical"
+"$CLIENT" "$addr" shutdown
+wait "$server_pid" 2>/dev/null || true
+if ! grep -q "shutdown complete" "$server_log"; then
+    echo "server did not report a clean shutdown; log:" >&2
+    cat "$server_log" >&2
+    exit 1
+fi
+
+echo "==> server load baseline (tiny; throughput + tenant isolation)"
+cargo run --release --offline -p qsketch-bench --bin bench_server_load -- --tiny
+
+echo "==> markdown link check (PROTOCOL.md / OPERATIONS.md doc set)"
+bash ci/linkcheck.sh
+
 echo "All checks passed."

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Markdown link/anchor checker for the repo-root doc set. Verifies that
+# every relative link in the checked files points at a file that exists,
+# and that every `#anchor` (same-file or cross-file) matches a heading
+# in its target, using GitHub's slug rules (lowercase, strip punctuation,
+# spaces to dashes). External links (http/https/mailto) are skipped —
+# the CI gate runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILES=(README.md ARCHITECTURE.md PROTOCOL.md OPERATIONS.md EXPERIMENTS.md DESIGN.md ROADMAP.md)
+
+# GitHub heading slug: lowercase, drop everything but alphanumerics,
+# spaces and hyphens, then spaces become hyphens.
+slugify() {
+    printf '%s\n' "$1" \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+# All heading slugs of one file, one per line.
+anchors_of() {
+    local file="$1"
+    grep -E '^#{1,6} ' "$file" | sed -E 's/^#{1,6} //' | while IFS= read -r h; do
+        slugify "$h"
+    done
+}
+
+fail=0
+for file in "${FILES[@]}"; do
+    [ -f "$file" ] || continue
+    # Pull out every inline-link target: ](...)
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        path="${target%%#*}"
+        anchor=""
+        case "$target" in
+            *'#'*) anchor="${target#*#}" ;;
+        esac
+        if [ -n "$path" ] && [ ! -e "$path" ]; then
+            echo "$file: broken link target: $target (no such file: $path)" >&2
+            fail=1
+            continue
+        fi
+        if [ -n "$anchor" ]; then
+            anchor_file="${path:-$file}"
+            case "$anchor_file" in
+                *.md) ;;
+                *) continue ;;  # anchors into non-markdown are not checked
+            esac
+            # grep -c (not -q): -q exits at first match and SIGPIPEs the
+            # upstream, which pipefail would misreport as a miss.
+            hits=$(anchors_of "$anchor_file" | grep -cx -- "$anchor" || true)
+            if [ "$hits" -eq 0 ]; then
+                echo "$file: broken anchor: $target (no heading slugs to '$anchor' in $anchor_file)" >&2
+                fail=1
+            fi
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -e 's/^](//' -e 's/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check FAILED" >&2
+    exit 1
+fi
+echo "link check passed (${FILES[*]})"

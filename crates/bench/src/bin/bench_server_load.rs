@@ -1,0 +1,23 @@
+//! Extension experiment: many-connection load test of the TCP server
+//! (`qsketch-server`) — ingest throughput, ack latency percentiles, and
+//! noisy-neighbor isolation under a per-tenant quota.
+//!
+//! Prints the table; at `--quick`/`--full` scale also writes the raw
+//! measurements to `BENCH_server.json` at the repo root (skipped at
+//! `--tiny`, which exists for CI smoke runs that should not clobber the
+//! committed baseline).
+
+use qsketch_bench::cli::Scale;
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    let (table, json) = qsketch_bench::experiments::ext_server_load::run_with_json(&args);
+    print!("{table}");
+    if args.scale != Scale::Tiny {
+        let path = std::path::Path::new("BENCH_server.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

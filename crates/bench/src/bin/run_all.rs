@@ -5,7 +5,7 @@ fn main() {
     let args = qsketch_bench::cli::Args::parse();
     use qsketch_bench::experiments as e;
     type Experiment = fn(&qsketch_bench::cli::Args) -> String;
-    let runs: [(&str, Experiment); 17] = [
+    let runs: [(&str, Experiment); 18] = [
         ("fig4_datasets", e::fig4_datasets::run),
         ("table3_memory", e::table3_memory::run),
         ("fig5a_insertion", e::fig5a_insertion::run),
@@ -22,6 +22,7 @@ fn main() {
         ("ext_parallel_scaling", e::ext_parallel_scaling::run),
         ("ext_checkpoint", e::ext_checkpoint::run),
         ("ext_insert_throughput", e::ext_insert_throughput::run),
+        ("ext_server_load", e::ext_server_load::run),
         ("metrics_overhead", e::metrics_overhead::run),
     ];
     for (name, run) in runs {

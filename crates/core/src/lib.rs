@@ -58,5 +58,5 @@ pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
 pub use profile::Profile;
 pub use sketch::{
     merge_tree, snapshot_merge, MergeError, MergeableSketch, QuantileSketch, QueryError,
-    SketchError,
+    SketchError, SketchFactory,
 };

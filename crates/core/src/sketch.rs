@@ -212,6 +212,61 @@ pub trait MergeableSketch: QuantileSketch {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
 }
 
+/// A reusable recipe for building identically-configured sketches.
+///
+/// Keyed aggregation (one sketch per `(tenant, metric-key)` pair in a
+/// registry, as the multi-tenant ingest engine keeps) needs to mint new
+/// sketches *lazily, from many threads, long after configuration time* —
+/// a plain `FnMut() -> S` closure can't be shared by shard workers, and a
+/// factory whose successive calls differ (e.g. bumping a seed counter)
+/// would make a key's sketch depend on registry arrival order, breaking
+/// the bit-identical recovery contract. `SketchFactory` is the plumbing
+/// that fixes both: `make` takes `&self`, so every call yields the same
+/// initial state, and the factory value itself can be cloned into each
+/// worker.
+///
+/// Any `Fn() -> S` closure (capturing only its parameters) is a factory
+/// via the blanket impl:
+///
+/// ```
+/// use qsketch_core::sketch::SketchFactory;
+/// # use qsketch_core::sketch::{check_quantile, QuantileSketch, QueryError};
+/// # #[derive(Clone)]
+/// # struct Dummy(f64);
+/// # impl QuantileSketch for Dummy {
+/// #     fn insert(&mut self, v: f64) { self.0 = v; }
+/// #     fn query(&self, q: f64) -> Result<f64, QueryError> {
+/// #         check_quantile(q)?;
+/// #         Ok(self.0)
+/// #     }
+/// #     fn count(&self) -> u64 { 1 }
+/// #     fn memory_footprint(&self) -> usize { 8 }
+/// #     fn name(&self) -> &'static str { "dummy" }
+/// # }
+/// let alpha = 0.01;
+/// let factory = move || Dummy(alpha);
+/// let a = factory.make();
+/// let b = factory.make(); // same initial state as `a`, by contract
+/// assert_eq!(a.query(1.0).unwrap(), b.query(1.0).unwrap());
+/// ```
+pub trait SketchFactory {
+    /// The sketch type this factory builds.
+    type Sketch: QuantileSketch;
+
+    /// Build one sketch. Every call must produce the same initial state
+    /// (parameters *and* seeds), so that which call built a key's sketch
+    /// can never be observed.
+    fn make(&self) -> Self::Sketch;
+}
+
+impl<S: QuantileSketch, F: Fn() -> S> SketchFactory for F {
+    type Sketch = S;
+
+    fn make(&self) -> S {
+        self()
+    }
+}
+
 /// Fold sketches through a binary merge tree (§2.4, the aggregation shape
 /// of Fig. 5c): pairwise rounds, so `k` shards take `⌈log₂ k⌉` rounds and
 /// every sketch participates in at most `⌈log₂ k⌉` merges — the same

@@ -1,0 +1,165 @@
+//! Scriptable CLI client for the qsketch server — the tool `ci/check.sh`
+//! drives for the ingest → query → kill → recover → re-query smoke test.
+//!
+//! Quantile output includes the raw IEEE-754 bit pattern (`bits=0x…`) so
+//! scripts can assert bit-identical answers across a recovery without
+//! worrying about decimal formatting.
+
+use std::process::ExitCode;
+
+use qsketch_server::client::Client;
+
+const USAGE: &str = "\
+qsketch_client — CLI for the qsketch server
+
+USAGE:
+    qsketch_client ADDR COMMAND [ARGS…]
+
+COMMANDS:
+    ping
+    ingest TENANT KEY VALUE…
+    ingest-seq TENANT KEY START COUNT     ingest START, START+1, …, START+COUNT-1
+    query TENANT KEY Q…                   quantile point query
+    cdf TENANT KEY POINTS                 discretized CDF grid
+    merged TENANT PREFIX Q…               query the merge of a key-prefix range
+    flush                                 wait until all ingested data is queryable
+    checkpoint                            write a durable checkpoint now
+    stats
+    shutdown                              graceful server shutdown
+";
+
+fn parse_f64s(args: &[String], what: &str) -> Result<Vec<f64>, String> {
+    if args.is_empty() {
+        return Err(format!("need at least one {what}"));
+    }
+    args.iter()
+        .map(|a| {
+            a.parse::<f64>()
+                .map_err(|_| format!("bad {what} {a:?}"))
+        })
+        .collect()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.len() < 2 {
+        print!("{USAGE}");
+        return if args.len() < 2 && !args.iter().any(|a| a == "--help" || a == "-h") {
+            Err("need ADDR and COMMAND".into())
+        } else {
+            Ok(())
+        };
+    }
+    let addr = &args[0];
+    let command = args[1].as_str();
+    let rest = &args[2..];
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match command {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+        }
+        "ingest" => {
+            if rest.len() < 3 {
+                return Err("ingest needs TENANT KEY VALUE…".into());
+            }
+            let values = parse_f64s(&rest[2..], "value")?;
+            let accepted = client
+                .ingest(&rest[0], &rest[1], &values)
+                .map_err(|e| e.to_string())?;
+            println!("accepted={accepted}");
+        }
+        "ingest-seq" => {
+            if rest.len() != 4 {
+                return Err("ingest-seq needs TENANT KEY START COUNT".into());
+            }
+            let start: i64 = rest[2].parse().map_err(|_| "bad START")?;
+            let count: u64 = rest[3].parse().map_err(|_| "bad COUNT")?;
+            let mut sent = 0u64;
+            let mut batch = Vec::with_capacity(4096);
+            for i in 0..count {
+                batch.push((start + i as i64) as f64);
+                if batch.len() == 4096 || i + 1 == count {
+                    sent += client
+                        .ingest(&rest[0], &rest[1], &batch)
+                        .map_err(|e| e.to_string())?;
+                    batch.clear();
+                }
+            }
+            println!("accepted={sent}");
+        }
+        "query" => {
+            if rest.len() < 3 {
+                return Err("query needs TENANT KEY Q…".into());
+            }
+            let qs = parse_f64s(&rest[2..], "quantile")?;
+            let (values, count) = client
+                .query(&rest[0], &rest[1], &qs)
+                .map_err(|e| e.to_string())?;
+            for (q, v) in qs.iter().zip(&values) {
+                println!("q={q} value={v} bits={:#018x}", v.to_bits());
+            }
+            println!("count={count}");
+        }
+        "cdf" => {
+            if rest.len() != 3 {
+                return Err("cdf needs TENANT KEY POINTS".into());
+            }
+            let points: u32 = rest[2].parse().map_err(|_| "bad POINTS")?;
+            let (grid, count) = client
+                .cdf(&rest[0], &rest[1], points)
+                .map_err(|e| e.to_string())?;
+            for (q, v) in &grid {
+                println!("q={q} value={v}");
+            }
+            println!("count={count}");
+        }
+        "merged" => {
+            if rest.len() < 3 {
+                return Err("merged needs TENANT PREFIX Q…".into());
+            }
+            let qs = parse_f64s(&rest[2..], "quantile")?;
+            let (values, count, merged_keys) = client
+                .merged_query(&rest[0], &rest[1], &qs)
+                .map_err(|e| e.to_string())?;
+            for (q, v) in qs.iter().zip(&values) {
+                println!("q={q} value={v} bits={:#018x}", v.to_bits());
+            }
+            println!("count={count} merged_keys={merged_keys}");
+        }
+        "flush" => {
+            client.flush().map_err(|e| e.to_string())?;
+            println!("flushed");
+        }
+        "checkpoint" => {
+            client.checkpoint().map_err(|e| e.to_string())?;
+            println!("checkpointed");
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "events={} keys={} shards={} quota_rejected={}",
+                stats.events, stats.keys, stats.shards, stats.quota_rejected
+            );
+            for (tenant, n) in &stats.rejected_by_tenant {
+                println!("rejected tenant={tenant} batches={n}");
+            }
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("shutdown acknowledged");
+        }
+        other => return Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The qsketch server binary. See `OPERATIONS.md` for the runbook.
+//!
+//! ```text
+//! qsketch_server --addr 127.0.0.1:7071 --shards 4 --sketch kll:200 \
+//!                --ckpt-dir /var/lib/qsketch --ckpt-interval 1048576 --recover \
+//!                --quota free-tier=10000 --default-quota 1000000
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (scripts wait for that
+//! line), serves until a client sends the `Shutdown` op, then drains,
+//! writes a final checkpoint (when durability is on), and exits 0.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use qsketch_core::codec::SketchSerialize;
+use qsketch_core::sketch::{MergeableSketch, SketchFactory};
+use qsketch_ddsketch::DdSketch;
+use qsketch_kll::KllSketch;
+use qsketch_server::config::{ServerConfig, ServerSketchSpec, SERVER_SKETCH_SEED};
+use qsketch_server::server::{spawn_core, Server};
+use qsketch_uddsketch::UddSketch;
+
+const USAGE: &str = "\
+qsketch_server — multi-tenant quantile sketch server
+
+USAGE:
+    qsketch_server [OPTIONS]
+
+OPTIONS:
+    --addr ADDR            listen address (default 127.0.0.1:7071; port 0 = ephemeral)
+    --shards N             shard worker count (default 4)
+    --queue-capacity N     per-shard queue capacity in batches (default 256)
+    --sketch SPEC          kll[:k] | dds[:alpha] | udds[:alpha:buckets] (default kll:200)
+    --ckpt-dir DIR         enable durability: checkpoint registries into DIR
+    --ckpt-interval N      values per shard between automatic checkpoints (default 1048576)
+    --recover              restore state from DIR's checkpoints at start
+    --quota TENANT=RATE    per-tenant ingest quota, events/s (repeatable)
+    --default-quota RATE   quota for tenants without an explicit one
+    --help                 print this help
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::new("127.0.0.1:7071");
+    let mut it = args.iter();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = next_value("--addr", &mut it)?,
+            "--shards" => {
+                config.shards = next_value("--shards", &mut it)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--shards needs a positive integer")?;
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = next_value("--queue-capacity", &mut it)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--queue-capacity needs a positive integer")?;
+            }
+            "--sketch" => {
+                config.sketch = next_value("--sketch", &mut it)?.parse()?;
+            }
+            "--ckpt-dir" => {
+                config.checkpoint_dir = Some(next_value("--ckpt-dir", &mut it)?.into());
+            }
+            "--ckpt-interval" => {
+                config.checkpoint_interval = next_value("--ckpt-interval", &mut it)?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--ckpt-interval needs a positive integer")?;
+            }
+            "--recover" => config.recover = true,
+            "--quota" => {
+                let spec = next_value("--quota", &mut it)?;
+                let (tenant, rate) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--quota expects TENANT=RATE, got {spec:?}"))?;
+                let rate: f64 = rate
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| format!("bad quota rate in {spec:?}"))?;
+                config = config.with_tenant_quota(tenant, rate);
+            }
+            "--default-quota" => {
+                let rate = next_value("--default-quota", &mut it)?;
+                config.default_quota = Some(
+                    rate.parse::<f64>()
+                        .ok()
+                        .filter(|r| r.is_finite() && *r > 0.0)
+                        .ok_or_else(|| format!("bad default quota {rate:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+    }
+    if config.recover && config.checkpoint_dir.is_none() {
+        return Err("--recover needs --ckpt-dir".into());
+    }
+    Ok(config)
+}
+
+fn run<S, F>(config: &ServerConfig, factory: F) -> Result<(), String>
+where
+    S: MergeableSketch + SketchSerialize + Clone + Send + Sync + 'static,
+    F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+{
+    let core = Arc::new(
+        spawn_core(config.engine_config(), factory, config.recover)
+            .map_err(|e| format!("engine startup failed: {e}"))?,
+    );
+    let server = Server::start(&config.addr, Arc::clone(&core))
+        .map_err(|e| format!("bind {} failed: {e}", config.addr))?;
+    println!(
+        "listening on {} ({}, {} shards{})",
+        server.local_addr(),
+        config.sketch,
+        config.shards,
+        if config.checkpoint_dir.is_some() {
+            if config.recover {
+                ", durable, recovered"
+            } else {
+                ", durable"
+            }
+        } else {
+            ""
+        }
+    );
+    std::io::stdout().flush().ok();
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    server.join();
+    core.final_checkpoint()
+        .map_err(|e| format!("final checkpoint failed: {e}"))?;
+    println!("shutdown complete");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match config.sketch {
+        ServerSketchSpec::Kll { k } => {
+            run(&config, move || KllSketch::with_seed(k, SERVER_SKETCH_SEED))
+        }
+        ServerSketchSpec::Dds { alpha } => run(&config, move || DdSketch::unbounded(alpha)),
+        ServerSketchSpec::Udds { alpha, buckets } => {
+            run(&config, move || UddSketch::new(alpha, buckets))
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! A blocking client for the qsketch wire protocol: one request in
+//! flight per connection, typed results, typed errors.
+//!
+//! ```no_run
+//! use qsketch_server::client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:7071").unwrap();
+//! client.hello().unwrap();
+//! client.ingest("acme", "checkout.latency", &[12.5, 45.0, 7.1]).unwrap();
+//! client.flush().unwrap();
+//! let (values, count) = client.query("acme", "checkout.latency", &[0.5, 0.99]).unwrap();
+//! assert_eq!(count, 3);
+//! assert_eq!(values.len(), 2);
+//! ```
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use qsketch_core::codec::DecodeError;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, ServerStats};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (refused, reset, timed out, EOF).
+    Io(io::Error),
+    /// The server's bytes did not parse as a response.
+    Decode(DecodeError),
+    /// The server answered with a protocol error.
+    Server {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Retry hint for [`ErrorCode::QuotaExceeded`], milliseconds.
+        retry_after_ms: u64,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with the wrong response type for the request.
+    UnexpectedResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Decode(e) => write!(f, "malformed server response: {e}"),
+            ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                write!(f, "server error ({code}): {message}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " [retry after {retry_after_ms} ms]")?;
+                }
+                Ok(())
+            }
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response type: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking connection to a qsketch server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:7071"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Connect with a timeout on establishing the connection.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// One request/response exchange.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        let response = Response::decode(&payload)?;
+        if let Response::Error {
+            code,
+            retry_after_ms,
+            message,
+        } = response
+        {
+            return Err(ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            });
+        }
+        Ok(response)
+    }
+
+    /// Negotiate the protocol version; returns the agreed version.
+    pub fn hello(&mut self) -> Result<u8, ClientError> {
+        match self.call(&Request::Hello {
+            min_version: 1,
+            max_version: crate::protocol::PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk { version, .. } => Ok(version),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Ingest a value batch; returns the number of values accepted.
+    pub fn ingest(
+        &mut self,
+        tenant: &str,
+        key: &str,
+        values: &[f64],
+    ) -> Result<u64, ClientError> {
+        match self.call(&Request::Ingest {
+            tenant: tenant.into(),
+            key: key.into(),
+            values: values.to_vec(),
+        })? {
+            Response::IngestOk { accepted } => Ok(accepted),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Quantile point query; returns `(estimates, stream count)`.
+    pub fn query(
+        &mut self,
+        tenant: &str,
+        key: &str,
+        qs: &[f64],
+    ) -> Result<(Vec<f64>, u64), ClientError> {
+        match self.call(&Request::Query {
+            tenant: tenant.into(),
+            key: key.into(),
+            qs: qs.to_vec(),
+        })? {
+            Response::QueryOk { values, count } => Ok((values, count)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Discretized CDF; returns `((q, value) grid, stream count)`.
+    pub fn cdf(
+        &mut self,
+        tenant: &str,
+        key: &str,
+        points: u32,
+    ) -> Result<(Vec<(f64, f64)>, u64), ClientError> {
+        match self.call(&Request::Cdf {
+            tenant: tenant.into(),
+            key: key.into(),
+            points,
+        })? {
+            Response::CdfOk { qs, values, count } => {
+                Ok((qs.into_iter().zip(values).collect(), count))
+            }
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Merged-range quantile query over a key prefix; returns
+    /// `(estimates, merged count, merged key count)`.
+    pub fn merged_query(
+        &mut self,
+        tenant: &str,
+        prefix: &str,
+        qs: &[f64],
+    ) -> Result<(Vec<f64>, u64, u64), ClientError> {
+        match self.call(&Request::MergedQuery {
+            tenant: tenant.into(),
+            prefix: prefix.into(),
+            qs: qs.to_vec(),
+        })? {
+            Response::MergedOk {
+                values,
+                count,
+                merged_keys,
+            } => Ok((values, count, merged_keys)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Block until everything already ingested is queryable.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Flush)? {
+            Response::FlushOk => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Write a durable checkpoint of every shard registry.
+    pub fn checkpoint(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::CheckpointOk => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Operational stats snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsOk(stats) => Ok(stats),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}

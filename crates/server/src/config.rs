@@ -1,0 +1,288 @@
+//! Server configuration: the sketch family served, shard topology,
+//! quotas, and checkpointing — everything the `qsketch_server` binary
+//! parses from its command line. `OPERATIONS.md` documents every knob
+//! from the operator's side; this module is the typed form.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+use qsketch_streamsim::checkpoint::CheckpointConfig;
+use qsketch_streamsim::keyed_engine::{KeyedEngineConfig, TenantQuota};
+
+/// Fixed RNG seed for server-minted randomized sketches (KLL's
+/// compaction coin). A fixed seed keeps the [`SketchFactory`] contract —
+/// every minted sketch starts bit-identical — which recovery and the
+/// shard workers rely on. Distinct keys still compact independently
+/// because their sketches see different data.
+///
+/// [`SketchFactory`]: qsketch_core::sketch::SketchFactory
+pub const SERVER_SKETCH_SEED: u64 = 0x5EED_C0DE_D00D_F00D;
+
+/// Which sketch family the server instantiates per `(tenant, key)`.
+///
+/// The textual form (accepted by `--sketch` and [`FromStr`]) is
+/// `family[:param[:param]]`:
+///
+/// ```
+/// use qsketch_server::config::ServerSketchSpec;
+///
+/// let spec: ServerSketchSpec = "kll:200".parse().unwrap();
+/// assert_eq!(spec, ServerSketchSpec::Kll { k: 200 });
+/// assert_eq!(spec.to_string(), "kll:200");
+///
+/// let spec: ServerSketchSpec = "dds:0.01".parse().unwrap();
+/// assert_eq!(spec, ServerSketchSpec::Dds { alpha: 0.01 });
+///
+/// let spec: ServerSketchSpec = "udds:0.001:1024".parse().unwrap();
+/// assert_eq!(
+///     spec,
+///     ServerSketchSpec::Udds { alpha: 0.001, buckets: 1024 }
+/// );
+///
+/// // Bare family names take the paper-tuned defaults.
+/// assert_eq!("kll".parse(), Ok(ServerSketchSpec::Kll { k: 200 }));
+/// assert!("tdigest:100".parse::<ServerSketchSpec>().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerSketchSpec {
+    /// KLL with parameter `k` (rank-error guarantee; randomized).
+    Kll {
+        /// The KLL `k` parameter.
+        k: u16,
+    },
+    /// DDSketch (unbounded store) with relative accuracy `alpha`.
+    Dds {
+        /// Relative-error target.
+        alpha: f64,
+    },
+    /// UDDSketch with initial `alpha` and a bucket budget (collapses
+    /// to stay within it).
+    Udds {
+        /// Initial relative-error target.
+        alpha: f64,
+        /// Maximum bucket count before a collapse.
+        buckets: usize,
+    },
+}
+
+impl Default for ServerSketchSpec {
+    fn default() -> Self {
+        ServerSketchSpec::Kll { k: 200 }
+    }
+}
+
+impl fmt::Display for ServerSketchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerSketchSpec::Kll { k } => write!(f, "kll:{k}"),
+            ServerSketchSpec::Dds { alpha } => write!(f, "dds:{alpha}"),
+            ServerSketchSpec::Udds { alpha, buckets } => write!(f, "udds:{alpha}:{buckets}"),
+        }
+    }
+}
+
+impl FromStr for ServerSketchSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let family = parts.next().unwrap_or("");
+        let params: Vec<&str> = parts.collect();
+        let parse_f64 = |p: &str, what: &str| {
+            p.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| format!("bad {what} {p:?} in sketch spec {s:?}"))
+        };
+        match (family, params.as_slice()) {
+            ("kll", []) => Ok(ServerSketchSpec::Kll { k: 200 }),
+            ("kll", [k]) => k
+                .parse::<u16>()
+                .ok()
+                .filter(|k| *k >= 8)
+                .map(|k| ServerSketchSpec::Kll { k })
+                .ok_or_else(|| format!("bad k {k:?} in sketch spec {s:?} (need 8..=65535)")),
+            ("dds", []) => Ok(ServerSketchSpec::Dds { alpha: 0.01 }),
+            ("dds", [a]) => Ok(ServerSketchSpec::Dds {
+                alpha: parse_f64(a, "alpha")?,
+            }),
+            ("udds", []) => Ok(ServerSketchSpec::Udds {
+                alpha: 0.001,
+                buckets: 1024,
+            }),
+            ("udds", [a, b]) => Ok(ServerSketchSpec::Udds {
+                alpha: parse_f64(a, "alpha")?,
+                buckets: b
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|b| *b >= 8)
+                    .ok_or_else(|| format!("bad bucket count {b:?} in sketch spec {s:?}"))?,
+            }),
+            _ => Err(format!(
+                "unknown sketch spec {s:?} (expected kll[:k], dds[:alpha], udds[:alpha:buckets])"
+            )),
+        }
+    }
+}
+
+/// Everything the server binary needs to run: address, engine topology,
+/// sketch family, quotas, durability.
+///
+/// ```
+/// use qsketch_server::config::ServerConfig;
+///
+/// let config = ServerConfig::new("127.0.0.1:7071")
+///     .with_shards(4)
+///     .with_default_quota(50_000.0)
+///     .with_tenant_quota("free-tier", 1_000.0);
+/// assert_eq!(config.shards, 4);
+/// assert_eq!(config.sketch.to_string(), "kll:200");
+/// assert!(config.checkpoint_dir.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7071` (port 0 = ephemeral).
+    pub addr: String,
+    /// Shard worker count.
+    pub shards: usize,
+    /// Per-shard queue capacity in batches.
+    pub queue_capacity: usize,
+    /// Sketch family per `(tenant, key)`.
+    pub sketch: ServerSketchSpec,
+    /// Checkpoint directory (`None` = durability disabled; the
+    /// `Checkpoint` op then answers `unavailable`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Values per shard between automatic checkpoints.
+    pub checkpoint_interval: u64,
+    /// Recover from existing checkpoints in `checkpoint_dir` at start.
+    pub recover: bool,
+    /// Events/s granted to tenants without an explicit quota
+    /// (`None` = unlimited).
+    pub default_quota: Option<f64>,
+    /// Explicit per-tenant quotas, events/s.
+    pub quotas: Vec<(String, f64)>,
+}
+
+impl ServerConfig {
+    /// A config listening on `addr` with 4 shards, KLL sketches, no
+    /// quotas, and durability disabled.
+    pub fn new(addr: &str) -> Self {
+        Self {
+            addr: addr.to_string(),
+            shards: 4,
+            queue_capacity: 256,
+            sketch: ServerSketchSpec::default(),
+            checkpoint_dir: None,
+            checkpoint_interval: 1 << 20,
+            recover: false,
+            default_quota: None,
+            quotas: Vec::new(),
+        }
+    }
+
+    /// Set the shard worker count (min 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the per-shard queue capacity in batches (min 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the sketch family.
+    pub fn with_sketch(mut self, sketch: ServerSketchSpec) -> Self {
+        self.sketch = sketch;
+        self
+    }
+
+    /// Enable checkpointing into `dir`.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the automatic checkpoint interval in values per shard.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval.max(1);
+        self
+    }
+
+    /// Recover from checkpoints at start (requires a checkpoint dir).
+    pub fn with_recover(mut self, recover: bool) -> Self {
+        self.recover = recover;
+        self
+    }
+
+    /// Grant `events_per_sec` to every tenant without an explicit quota.
+    pub fn with_default_quota(mut self, events_per_sec: f64) -> Self {
+        self.default_quota = Some(events_per_sec);
+        self
+    }
+
+    /// Set one tenant's quota in events/s (burst = one second's worth).
+    pub fn with_tenant_quota(mut self, tenant: &str, events_per_sec: f64) -> Self {
+        self.quotas.retain(|(t, _)| t != tenant);
+        self.quotas.push((tenant.to_string(), events_per_sec));
+        self
+    }
+
+    /// The engine config this server config implies.
+    pub fn engine_config(&self) -> KeyedEngineConfig {
+        let mut config = KeyedEngineConfig::new(self.shards)
+            .with_queue_capacity(self.queue_capacity);
+        for (tenant, rate) in &self.quotas {
+            config = config.with_tenant_quota(tenant, TenantQuota::per_sec(*rate));
+        }
+        if let Some(rate) = self.default_quota {
+            config = config.with_default_quota(TenantQuota::per_sec(rate));
+        }
+        if let Some(dir) = &self.checkpoint_dir {
+            config = config.with_checkpoint(CheckpointConfig::new(dir, self.checkpoint_interval));
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_specs_round_trip_through_display() {
+        for text in ["kll:200", "kll:512", "dds:0.01", "udds:0.001:1024"] {
+            let spec: ServerSketchSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(spec.to_string().parse::<ServerSketchSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for text in [
+            "", "kll:0", "kll:7", "kll:abc", "dds:-1", "dds:nan", "udds:0.001",
+            "udds:0.001:4", "moments:10", "kll:200:9",
+        ] {
+            let err = text.parse::<ServerSketchSpec>().unwrap_err();
+            assert!(!err.is_empty(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn engine_config_carries_quotas_and_checkpoints() {
+        let config = ServerConfig::new("127.0.0.1:0")
+            .with_shards(3)
+            .with_default_quota(100.0)
+            .with_tenant_quota("noisy", 10.0)
+            .with_checkpoint_dir("/tmp/qsketch-test")
+            .with_checkpoint_interval(500);
+        let engine = config.engine_config();
+        assert_eq!(engine.shards, 3);
+        assert_eq!(engine.quotas.len(), 1);
+        assert_eq!(engine.default_quota.unwrap().events_per_sec, 100.0);
+        assert_eq!(engine.checkpoint.as_ref().unwrap().interval_values, 500);
+    }
+}

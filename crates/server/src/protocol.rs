@@ -1,0 +1,861 @@
+//! The qsketch wire protocol: length-prefixed binary frames carrying
+//! versioned request/response payloads.
+//!
+//! The full byte-level specification lives in `PROTOCOL.md` at the repo
+//! root; this module is its executable form. In brief:
+//!
+//! ```text
+//! frame    := length(u32 LE) payload
+//! payload  := magic(0x51) version(u8) opcode(u8) body…
+//! ```
+//!
+//! The payload header reuses the repo-wide codec conventions
+//! ([`qsketch_core::codec`]): the same `magic, version, …` shape as every
+//! sketch payload and checkpoint envelope, encoded with the same
+//! [`Writer`]/[`Reader`] primitives (little-endian scalars, LEB128
+//! varints, length-prefixed strings), and the same hostile-input
+//! contract — [`Request::decode`]/[`Response::decode`] return a typed
+//! [`DecodeError`] on truncated, corrupt, foreign, or oversized input,
+//! **never** a panic and never an unbounded allocation.
+//!
+//! Responses echo their request's opcode with the high bit set
+//! ([`response_opcode`]); errors use the dedicated [`OP_ERROR`] opcode
+//! with a machine-readable [`ErrorCode`] plus a human-readable message.
+
+use qsketch_core::codec::{DecodeError, Reader, Writer};
+use std::io::{self, Read, Write};
+
+/// First payload byte of every frame: `'Q'`.
+pub const FRAME_MAGIC: u8 = 0x51;
+
+/// Highest protocol version this build speaks. Version 1 is the initial
+/// protocol; see `PROTOCOL.md` § Versioning for the negotiation rules.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame's payload length (16 MiB). A frame header
+/// declaring more is rejected before any allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Longest tenant or metric-key identifier, in bytes.
+pub const MAX_IDENT: u64 = 256;
+
+/// Most values a single ingest batch may carry.
+pub const MAX_BATCH: u64 = 1 << 20;
+
+/// Most quantiles a single query may ask for.
+pub const MAX_QUANTILES: u64 = 1024;
+
+/// Most grid points a CDF request may ask for.
+pub const MAX_CDF_POINTS: u64 = 4096;
+
+/// Longest error message the server will put on the wire.
+pub const MAX_ERROR_MESSAGE: u64 = 1024;
+
+/// Most per-tenant rows a stats response may carry.
+pub const MAX_STATS_TENANTS: u64 = 1 << 16;
+
+/// Request opcodes (`0x01..=0x0A`).
+pub mod op {
+    /// Version negotiation; must not change meaning across versions.
+    pub const HELLO: u8 = 0x01;
+    /// Ingest a value batch for one `(tenant, key)`.
+    pub const INGEST: u8 = 0x02;
+    /// Quantile point query on one `(tenant, key)`.
+    pub const QUERY: u8 = 0x03;
+    /// Discretized CDF of one `(tenant, key)`.
+    pub const CDF: u8 = 0x04;
+    /// Quantile query over the merge of a tenant's key-prefix range.
+    pub const MERGED_QUERY: u8 = 0x05;
+    /// Block until all enqueued batches are inserted.
+    pub const FLUSH: u8 = 0x06;
+    /// Write a synchronous durable checkpoint of every shard registry.
+    pub const CHECKPOINT: u8 = 0x07;
+    /// Operational stats snapshot.
+    pub const STATS: u8 = 0x08;
+    /// Liveness probe.
+    pub const PING: u8 = 0x09;
+    /// Ask the server to shut down gracefully.
+    pub const SHUTDOWN: u8 = 0x0A;
+}
+
+/// Error responses use this opcode instead of `request | 0x80`.
+pub const OP_ERROR: u8 = 0xEE;
+
+/// The response opcode for a request opcode: high bit set.
+#[inline]
+pub const fn response_opcode(request: u8) -> u8 {
+    request | 0x80
+}
+
+/// Machine-readable error classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The tenant exceeded its ingest quota; retry after the hint.
+    QuotaExceeded = 1,
+    /// The queried `(tenant, key)` has no recorded values.
+    UnknownKey = 2,
+    /// The request was malformed (bad quantile, empty identifier, …).
+    BadRequest = 3,
+    /// No protocol version is shared by client and server.
+    UnsupportedVersion = 4,
+    /// The operation is valid but the server cannot perform it
+    /// (e.g. checkpointing disabled).
+    Unavailable = 5,
+    /// An internal failure (merge error, IO error on checkpoint, …).
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte (`None` for unknown codes).
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::QuotaExceeded),
+            2 => Some(ErrorCode::UnknownKey),
+            3 => Some(ErrorCode::BadRequest),
+            4 => Some(ErrorCode::UnsupportedVersion),
+            5 => Some(ErrorCode::Unavailable),
+            6 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::QuotaExceeded => "quota-exceeded",
+            ErrorCode::UnknownKey => "unknown-key",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A client→server request payload (everything after the frame length).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Negotiate the protocol version: the client's supported range.
+    Hello {
+        /// Lowest version the client speaks.
+        min_version: u8,
+        /// Highest version the client speaks.
+        max_version: u8,
+    },
+    /// Ingest `values` into `(tenant, key)`'s sketch.
+    Ingest {
+        /// Tenant identifier (1..=[`MAX_IDENT`] bytes of UTF-8).
+        tenant: String,
+        /// Metric-key identifier (1..=[`MAX_IDENT`] bytes of UTF-8).
+        key: String,
+        /// The batch (1..=[`MAX_BATCH`] values).
+        values: Vec<f64>,
+    },
+    /// Estimate quantiles of one key's stream.
+    Query {
+        /// Tenant identifier.
+        tenant: String,
+        /// Metric-key identifier.
+        key: String,
+        /// Quantiles in `(0, 1]` (1..=[`MAX_QUANTILES`]).
+        qs: Vec<f64>,
+    },
+    /// Discretized CDF of one key's stream: `points` evenly spaced
+    /// quantiles from `1/points` to `1`.
+    Cdf {
+        /// Tenant identifier.
+        tenant: String,
+        /// Metric-key identifier.
+        key: String,
+        /// Grid size (1..=[`MAX_CDF_POINTS`]).
+        points: u32,
+    },
+    /// Estimate quantiles of the merged stream of every key of `tenant`
+    /// starting with `prefix` (empty prefix = the whole tenant).
+    MergedQuery {
+        /// Tenant identifier.
+        tenant: String,
+        /// Key prefix (0..=[`MAX_IDENT`] bytes; empty allowed).
+        prefix: String,
+        /// Quantiles in `(0, 1]`.
+        qs: Vec<f64>,
+    },
+    /// Block until everything already ingested is queryable.
+    Flush,
+    /// Write a synchronous durable checkpoint.
+    Checkpoint,
+    /// Operational stats.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown (final checkpoint, then exit).
+    Shutdown,
+}
+
+/// Operational counters carried by [`Response::StatsOk`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Values admitted past quota since start.
+    pub events: u64,
+    /// Distinct `(tenant, key)` sketches.
+    pub keys: u64,
+    /// Shard worker count.
+    pub shards: u64,
+    /// Ingest batches rejected by quota.
+    pub quota_rejected: u64,
+    /// Per-tenant rejected batch counts, sorted by tenant.
+    pub rejected_by_tenant: Vec<(String, u64)>,
+}
+
+/// A server→client response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Version agreed; the connection speaks `version` from now on.
+    HelloOk {
+        /// The negotiated protocol version.
+        version: u8,
+        /// Server software identifier (diagnostic only).
+        server: String,
+    },
+    /// Batch accepted and enqueued.
+    IngestOk {
+        /// Number of values accepted.
+        accepted: u64,
+    },
+    /// Quantile estimates, in request order.
+    QueryOk {
+        /// One estimate per requested quantile.
+        values: Vec<f64>,
+        /// Values recorded in the queried sketch.
+        count: u64,
+    },
+    /// Discretized CDF grid.
+    CdfOk {
+        /// The quantile grid `i/points` for `i in 1..=points`.
+        qs: Vec<f64>,
+        /// The value estimate at each grid quantile.
+        values: Vec<f64>,
+        /// Values recorded in the queried sketch.
+        count: u64,
+    },
+    /// Merged-range quantile estimates.
+    MergedOk {
+        /// One estimate per requested quantile.
+        values: Vec<f64>,
+        /// Total values across the merged sketches.
+        count: u64,
+        /// Number of per-key sketches merged.
+        merged_keys: u64,
+    },
+    /// Everything ingested before the flush is now queryable.
+    FlushOk,
+    /// All shard registries durably checkpointed.
+    CheckpointOk,
+    /// Operational stats snapshot.
+    StatsOk(ServerStats),
+    /// Liveness answer.
+    Pong,
+    /// Shutdown acknowledged; the server stops accepting and exits.
+    ShutdownOk,
+    /// The request failed; see the code and message.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// For [`ErrorCode::QuotaExceeded`]: suggested retry delay
+        /// (0 = the batch exceeds the burst and can never pass).
+        retry_after_ms: u64,
+        /// Human-readable detail (≤ [`MAX_ERROR_MESSAGE`] bytes).
+        message: String,
+    },
+}
+
+fn write_str(w: &mut Writer, s: &str) {
+    w.bytes(s.as_bytes());
+}
+
+fn read_str(r: &mut Reader<'_>, max_len: u64) -> Result<String, DecodeError> {
+    let bytes = r.byte_vec(max_len)?;
+    String::from_utf8(bytes).map_err(|_| DecodeError::Corrupt("identifier is not UTF-8".into()))
+}
+
+fn header(opcode: u8) -> Writer {
+    let mut w = Writer::with_header(FRAME_MAGIC, PROTOCOL_VERSION);
+    w.u8(opcode);
+    w
+}
+
+fn open(payload: &[u8]) -> Result<(Reader<'_>, u8), DecodeError> {
+    let mut r = Reader::with_header(payload, FRAME_MAGIC, PROTOCOL_VERSION)?;
+    let opcode = r.u8()?;
+    Ok((r, opcode))
+}
+
+impl Request {
+    /// This request's opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => op::HELLO,
+            Request::Ingest { .. } => op::INGEST,
+            Request::Query { .. } => op::QUERY,
+            Request::Cdf { .. } => op::CDF,
+            Request::MergedQuery { .. } => op::MERGED_QUERY,
+            Request::Flush => op::FLUSH,
+            Request::Checkpoint => op::CHECKPOINT,
+            Request::Stats => op::STATS,
+            Request::Ping => op::PING,
+            Request::Shutdown => op::SHUTDOWN,
+        }
+    }
+
+    /// Serialise the payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = header(self.opcode());
+        match self {
+            Request::Hello {
+                min_version,
+                max_version,
+            } => {
+                w.u8(*min_version);
+                w.u8(*max_version);
+            }
+            Request::Ingest {
+                tenant,
+                key,
+                values,
+            } => {
+                write_str(&mut w, tenant);
+                write_str(&mut w, key);
+                w.f64_slice(values);
+            }
+            Request::Query { tenant, key, qs } => {
+                write_str(&mut w, tenant);
+                write_str(&mut w, key);
+                w.f64_slice(qs);
+            }
+            Request::Cdf {
+                tenant,
+                key,
+                points,
+            } => {
+                write_str(&mut w, tenant);
+                write_str(&mut w, key);
+                w.varint(u64::from(*points));
+            }
+            Request::MergedQuery { tenant, prefix, qs } => {
+                write_str(&mut w, tenant);
+                write_str(&mut w, prefix);
+                w.f64_slice(qs);
+            }
+            Request::Flush
+            | Request::Checkpoint
+            | Request::Stats
+            | Request::Ping
+            | Request::Shutdown => {}
+        }
+        w.finish()
+    }
+
+    /// Parse a request payload, validating header, opcode, bounds, and
+    /// UTF-8. Returns a typed [`DecodeError`] on any hostile input.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let (mut r, opcode) = open(payload)?;
+        let req = match opcode {
+            op::HELLO => Request::Hello {
+                min_version: r.u8()?,
+                max_version: r.u8()?,
+            },
+            op::INGEST => {
+                let tenant = read_str(&mut r, MAX_IDENT)?;
+                let key = read_str(&mut r, MAX_IDENT)?;
+                let values = r.f64_vec(MAX_BATCH)?;
+                if tenant.is_empty() || key.is_empty() {
+                    return Err(DecodeError::Corrupt("empty identifier".into()));
+                }
+                if values.is_empty() {
+                    return Err(DecodeError::Corrupt("empty ingest batch".into()));
+                }
+                Request::Ingest {
+                    tenant,
+                    key,
+                    values,
+                }
+            }
+            op::QUERY => {
+                let tenant = read_str(&mut r, MAX_IDENT)?;
+                let key = read_str(&mut r, MAX_IDENT)?;
+                let qs = r.f64_vec(MAX_QUANTILES)?;
+                if tenant.is_empty() || key.is_empty() {
+                    return Err(DecodeError::Corrupt("empty identifier".into()));
+                }
+                if qs.is_empty() {
+                    return Err(DecodeError::Corrupt("no quantiles requested".into()));
+                }
+                Request::Query { tenant, key, qs }
+            }
+            op::CDF => {
+                let tenant = read_str(&mut r, MAX_IDENT)?;
+                let key = read_str(&mut r, MAX_IDENT)?;
+                let points = r.varint()?;
+                if tenant.is_empty() || key.is_empty() {
+                    return Err(DecodeError::Corrupt("empty identifier".into()));
+                }
+                if points == 0 || points > MAX_CDF_POINTS {
+                    return Err(DecodeError::Corrupt(format!(
+                        "cdf points {points} outside 1..={MAX_CDF_POINTS}"
+                    )));
+                }
+                Request::Cdf {
+                    tenant,
+                    key,
+                    points: points as u32,
+                }
+            }
+            op::MERGED_QUERY => {
+                let tenant = read_str(&mut r, MAX_IDENT)?;
+                let prefix = read_str(&mut r, MAX_IDENT)?;
+                let qs = r.f64_vec(MAX_QUANTILES)?;
+                if tenant.is_empty() {
+                    return Err(DecodeError::Corrupt("empty identifier".into()));
+                }
+                if qs.is_empty() {
+                    return Err(DecodeError::Corrupt("no quantiles requested".into()));
+                }
+                Request::MergedQuery { tenant, prefix, qs }
+            }
+            op::FLUSH => Request::Flush,
+            op::CHECKPOINT => Request::Checkpoint,
+            op::STATS => Request::Stats,
+            op::PING => Request::Ping,
+            op::SHUTDOWN => Request::Shutdown,
+            other => {
+                return Err(DecodeError::Corrupt(format!(
+                    "unknown request opcode {other:#04x}"
+                )))
+            }
+        };
+        r.expect_exhausted()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// This response's opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::HelloOk { .. } => response_opcode(op::HELLO),
+            Response::IngestOk { .. } => response_opcode(op::INGEST),
+            Response::QueryOk { .. } => response_opcode(op::QUERY),
+            Response::CdfOk { .. } => response_opcode(op::CDF),
+            Response::MergedOk { .. } => response_opcode(op::MERGED_QUERY),
+            Response::FlushOk => response_opcode(op::FLUSH),
+            Response::CheckpointOk => response_opcode(op::CHECKPOINT),
+            Response::StatsOk(_) => response_opcode(op::STATS),
+            Response::Pong => response_opcode(op::PING),
+            Response::ShutdownOk => response_opcode(op::SHUTDOWN),
+            Response::Error { .. } => OP_ERROR,
+        }
+    }
+
+    /// Serialise the payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = header(self.opcode());
+        match self {
+            Response::HelloOk { version, server } => {
+                w.u8(*version);
+                write_str(&mut w, server);
+            }
+            Response::IngestOk { accepted } => w.varint(*accepted),
+            Response::QueryOk { values, count } => {
+                w.f64_slice(values);
+                w.varint(*count);
+            }
+            Response::CdfOk { qs, values, count } => {
+                w.f64_slice(qs);
+                w.f64_slice(values);
+                w.varint(*count);
+            }
+            Response::MergedOk {
+                values,
+                count,
+                merged_keys,
+            } => {
+                w.f64_slice(values);
+                w.varint(*count);
+                w.varint(*merged_keys);
+            }
+            Response::FlushOk
+            | Response::CheckpointOk
+            | Response::Pong
+            | Response::ShutdownOk => {}
+            Response::StatsOk(stats) => {
+                w.varint(stats.events);
+                w.varint(stats.keys);
+                w.varint(stats.shards);
+                w.varint(stats.quota_rejected);
+                w.varint(stats.rejected_by_tenant.len() as u64);
+                for (tenant, n) in &stats.rejected_by_tenant {
+                    write_str(&mut w, tenant);
+                    w.varint(*n);
+                }
+            }
+            Response::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                w.u8(*code as u8);
+                w.varint(*retry_after_ms);
+                write_str(&mut w, message);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse a response payload with the same hostile-input contract as
+    /// [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let (mut r, opcode) = open(payload)?;
+        let resp = match opcode {
+            _ if opcode == response_opcode(op::HELLO) => Response::HelloOk {
+                version: r.u8()?,
+                server: read_str(&mut r, MAX_IDENT)?,
+            },
+            _ if opcode == response_opcode(op::INGEST) => Response::IngestOk {
+                accepted: r.varint()?,
+            },
+            _ if opcode == response_opcode(op::QUERY) => Response::QueryOk {
+                values: r.f64_vec(MAX_QUANTILES)?,
+                count: r.varint()?,
+            },
+            _ if opcode == response_opcode(op::CDF) => Response::CdfOk {
+                qs: r.f64_vec(MAX_CDF_POINTS)?,
+                values: r.f64_vec(MAX_CDF_POINTS)?,
+                count: r.varint()?,
+            },
+            _ if opcode == response_opcode(op::MERGED_QUERY) => Response::MergedOk {
+                values: r.f64_vec(MAX_QUANTILES)?,
+                count: r.varint()?,
+                merged_keys: r.varint()?,
+            },
+            _ if opcode == response_opcode(op::FLUSH) => Response::FlushOk,
+            _ if opcode == response_opcode(op::CHECKPOINT) => Response::CheckpointOk,
+            _ if opcode == response_opcode(op::STATS) => {
+                let events = r.varint()?;
+                let keys = r.varint()?;
+                let shards = r.varint()?;
+                let quota_rejected = r.varint()?;
+                let n = r.varint()?;
+                if n > MAX_STATS_TENANTS {
+                    return Err(DecodeError::Corrupt(format!(
+                        "stats declares {n} tenants (limit {MAX_STATS_TENANTS})"
+                    )));
+                }
+                let mut rejected_by_tenant = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let tenant = read_str(&mut r, MAX_IDENT)?;
+                    let count = r.varint()?;
+                    rejected_by_tenant.push((tenant, count));
+                }
+                Response::StatsOk(ServerStats {
+                    events,
+                    keys,
+                    shards,
+                    quota_rejected,
+                    rejected_by_tenant,
+                })
+            }
+            _ if opcode == response_opcode(op::PING) => Response::Pong,
+            _ if opcode == response_opcode(op::SHUTDOWN) => Response::ShutdownOk,
+            OP_ERROR => {
+                let raw = r.u8()?;
+                let code = ErrorCode::from_u8(raw).ok_or_else(|| {
+                    DecodeError::Corrupt(format!("unknown error code {raw}"))
+                })?;
+                Response::Error {
+                    code,
+                    retry_after_ms: r.varint()?,
+                    message: read_str(&mut r, MAX_ERROR_MESSAGE)?,
+                }
+            }
+            other => {
+                return Err(DecodeError::Corrupt(format!(
+                    "unknown response opcode {other:#04x}"
+                )))
+            }
+        };
+        r.expect_exhausted()?;
+        Ok(resp)
+    }
+}
+
+/// Write one frame: `u32` little-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` on clean EOF at a frame
+/// boundary; `InvalidData` when the header declares more than
+/// [`MAX_FRAME`] bytes (nothing is allocated in that case);
+/// `UnexpectedEof` when the stream dies mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a frame header",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame declares {len} bytes (limit {MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                min_version: 1,
+                max_version: 3,
+            },
+            Request::Ingest {
+                tenant: "acme".into(),
+                key: "checkout.latency".into(),
+                values: vec![1.5, 2.5, f64::MAX, -0.0],
+            },
+            Request::Query {
+                tenant: "acme".into(),
+                key: "checkout.latency".into(),
+                qs: vec![0.5, 0.99],
+            },
+            Request::Cdf {
+                tenant: "t".into(),
+                key: "k".into(),
+                points: 100,
+            },
+            Request::MergedQuery {
+                tenant: "acme".into(),
+                prefix: "".into(),
+                qs: vec![0.5],
+            },
+            Request::Flush,
+            Request::Checkpoint,
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::HelloOk {
+                version: 1,
+                server: "qsketch-server/0.1".into(),
+            },
+            Response::IngestOk { accepted: 4 },
+            Response::QueryOk {
+                values: vec![2.0, 2.5],
+                count: 4,
+            },
+            Response::CdfOk {
+                qs: vec![0.5, 1.0],
+                values: vec![2.0, 2.5],
+                count: 4,
+            },
+            Response::MergedOk {
+                values: vec![2.0],
+                count: 8,
+                merged_keys: 2,
+            },
+            Response::FlushOk,
+            Response::CheckpointOk,
+            Response::StatsOk(ServerStats {
+                events: 10,
+                keys: 2,
+                shards: 4,
+                quota_rejected: 1,
+                rejected_by_tenant: vec![("noisy".into(), 1)],
+            }),
+            Response::Pong,
+            Response::ShutdownOk,
+            Response::Error {
+                code: ErrorCode::QuotaExceeded,
+                retry_after_ms: 250,
+                message: "tenant noisy exceeded its quota".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let enc = req.encode();
+            assert_eq!(Request::decode(&enc).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&enc).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for req in sample_requests() {
+            let enc = req.encode();
+            for cut in 0..enc.len() {
+                assert!(
+                    Request::decode(&enc[..cut]).is_err(),
+                    "{req:?} truncated to {cut} bytes decoded"
+                );
+            }
+        }
+        for resp in sample_responses() {
+            let enc = resp.encode();
+            for cut in 0..enc.len() {
+                assert!(
+                    Response::decode(&enc[..cut]).is_err(),
+                    "{resp:?} truncated to {cut} bytes decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_version_opcode_rejected() {
+        let enc = Request::Ping.encode();
+        let mut bad = enc.clone();
+        bad[0] = 0xC5;
+        assert!(matches!(
+            Request::decode(&bad),
+            Err(DecodeError::WrongMagic { .. })
+        ));
+        let mut bad = enc.clone();
+        bad[1] = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            Request::decode(&bad),
+            Err(DecodeError::UnsupportedVersion(_))
+        ));
+        let mut bad = enc;
+        bad[2] = 0x7F;
+        assert!(matches!(Request::decode(&bad), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = Request::Flush.encode();
+        enc.push(0);
+        assert!(matches!(Request::decode(&enc), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_declared_lengths_rejected_without_allocation() {
+        // An ingest frame declaring a 2^60-value batch must be rejected
+        // by the bound check, not by an allocation attempt.
+        let mut w = Writer::with_header(FRAME_MAGIC, PROTOCOL_VERSION);
+        w.u8(op::INGEST);
+        w.bytes(b"t");
+        w.bytes(b"k");
+        w.varint(1 << 60);
+        let enc = w.finish();
+        assert!(matches!(Request::decode(&enc), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_identifiers_and_batches_rejected() {
+        let bad = Request::Ingest {
+            tenant: "".into(),
+            key: "k".into(),
+            values: vec![1.0],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
+        let bad = Request::Ingest {
+            tenant: "t".into(),
+            key: "k".into(),
+            values: vec![],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
+        let bad = Request::Query {
+            tenant: "t".into(),
+            key: "k".into(),
+            qs: vec![],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
+    fn non_utf8_identifier_rejected() {
+        let mut w = Writer::with_header(FRAME_MAGIC, PROTOCOL_VERSION);
+        w.u8(op::QUERY);
+        w.bytes(&[0xFF, 0xFE]);
+        w.bytes(b"k");
+        w.f64_slice(&[0.5]);
+        let enc = w.finish();
+        assert!(matches!(Request::decode(&enc), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_bounds() {
+        let payload = Request::Ping.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = io::Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        // A header declaring > MAX_FRAME is InvalidData.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut cursor = io::Cursor::new(&huge[..]);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A stream dying mid-frame is UnexpectedEof.
+        let mut partial = buf.clone();
+        partial.truncate(buf.len() - 2);
+        let mut cursor = io::Cursor::new(&partial);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::QuotaExceeded,
+            ErrorCode::UnknownKey,
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Unavailable,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(7), None);
+    }
+}

@@ -1,0 +1,665 @@
+//! The server itself: a pure request handler ([`ServerCore`]) over a
+//! [`KeyedEngine`], and the thread-per-connection TCP front end
+//! ([`Server`]) that frames it.
+//!
+//! The split is deliberate: every protocol decision (validation, error
+//! mapping, version negotiation) lives in `ServerCore::handle`, which
+//! takes a [`Request`] and returns a [`Response`] with no IO at all —
+//! directly unit-testable. The TCP layer only moves frames:
+//!
+//! ```text
+//! accept loop ──▶ one thread per connection
+//!                   loop { read_frame → Request::decode → core.handle → write_frame }
+//! ```
+//!
+//! Queries run on the connection thread against registry *snapshots*
+//! (clone-behind-lock + merge tree), so a slow query never blocks
+//! ingestion — the same non-blocking-query design as the sharded
+//! engine's `snapshot_merged`.
+//!
+//! Shutdown is graceful and durable: the `Shutdown` op (or
+//! [`Server::request_shutdown`]) stops the accept loop, connection
+//! threads notice within their read-timeout tick, and the binary then
+//! drains the engine and writes a final checkpoint before exiting.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qsketch_core::codec::SketchSerialize;
+use qsketch_core::sketch::{MergeableSketch, SketchFactory};
+use qsketch_streamsim::keyed_engine::{KeyedEngine, KeyedEngineError};
+
+use crate::protocol::{
+    write_frame, ErrorCode, Request, Response, ServerStats, PROTOCOL_VERSION,
+};
+
+/// Server software identifier sent in `HelloOk`.
+pub const SERVER_NAME: &str = concat!("qsketch-server/", env!("CARGO_PKG_VERSION"));
+
+/// How often an idle connection thread checks the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// The protocol brain: maps every [`Request`] to a [`Response`] against
+/// a [`KeyedEngine`]. No IO; fully unit-testable.
+pub struct ServerCore<S> {
+    engine: KeyedEngine<S>,
+    checkpointing: bool,
+}
+
+impl<S> ServerCore<S>
+where
+    S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+{
+    /// Wrap an engine. `checkpointing` gates the `Checkpoint` op (and
+    /// the final checkpoint on shutdown); pass `true` only when the
+    /// engine was spawned with a checkpoint config.
+    pub fn new(engine: KeyedEngine<S>, checkpointing: bool) -> Self {
+        Self {
+            engine,
+            checkpointing,
+        }
+    }
+
+    /// The engine behind this core (for stats and tests).
+    pub fn engine(&self) -> &KeyedEngine<S> {
+        &self.engine
+    }
+
+    /// Drain and durably checkpoint (used on graceful shutdown). A
+    /// no-op when checkpointing is disabled.
+    pub fn final_checkpoint(&self) -> Result<(), KeyedEngineError> {
+        if self.checkpointing {
+            self.engine.checkpoint_now()
+        } else {
+            Ok(())
+        }
+    }
+
+    fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            retry_after_ms: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Handle one request. Never panics; every failure becomes a typed
+    /// [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Hello {
+                min_version,
+                max_version,
+            } => {
+                if min_version > PROTOCOL_VERSION || max_version < 1 || min_version > max_version
+                {
+                    return Self::err(
+                        ErrorCode::UnsupportedVersion,
+                        format!(
+                            "server speaks versions 1..={PROTOCOL_VERSION}, \
+                             client offered {min_version}..={max_version}"
+                        ),
+                    );
+                }
+                Response::HelloOk {
+                    version: max_version.min(PROTOCOL_VERSION),
+                    server: SERVER_NAME.to_string(),
+                }
+            }
+            Request::Ingest {
+                tenant,
+                key,
+                values,
+            } => {
+                if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+                    return Self::err(
+                        ErrorCode::BadRequest,
+                        format!("non-finite value {bad} in ingest batch"),
+                    );
+                }
+                match self.engine.ingest(&tenant, &key, values) {
+                    Ok(accepted) => Response::IngestOk { accepted },
+                    Err(KeyedEngineError::QuotaExceeded {
+                        tenant,
+                        retry_after_ms,
+                    }) => Response::Error {
+                        code: ErrorCode::QuotaExceeded,
+                        retry_after_ms,
+                        message: format!("tenant {tenant} exceeded its ingest quota"),
+                    },
+                    Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                }
+            }
+            Request::Query { tenant, key, qs } => match self.engine.snapshot(&tenant, &key) {
+                None => Self::err(
+                    ErrorCode::UnknownKey,
+                    format!("no sketch for tenant {tenant}, key {key}"),
+                ),
+                Some(snap) => match snap.query_many(&qs) {
+                    Ok(values) => Response::QueryOk {
+                        values,
+                        count: snap.count(),
+                    },
+                    Err(e) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                },
+            },
+            Request::Cdf {
+                tenant,
+                key,
+                points,
+            } => match self.engine.snapshot(&tenant, &key) {
+                None => Self::err(
+                    ErrorCode::UnknownKey,
+                    format!("no sketch for tenant {tenant}, key {key}"),
+                ),
+                Some(snap) => {
+                    let qs: Vec<f64> = (1..=points)
+                        .map(|i| f64::from(i) / f64::from(points))
+                        .collect();
+                    match snap.query_many(&qs) {
+                        Ok(values) => Response::CdfOk {
+                            qs,
+                            values,
+                            count: snap.count(),
+                        },
+                        Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                    }
+                }
+            },
+            Request::MergedQuery { tenant, prefix, qs } => {
+                let merged_keys = self
+                    .engine
+                    .keys(&tenant)
+                    .iter()
+                    .filter(|k| k.starts_with(&prefix))
+                    .count() as u64;
+                match self.engine.merged_prefix(&tenant, &prefix) {
+                    Ok(None) => Self::err(
+                        ErrorCode::UnknownKey,
+                        format!("no key of tenant {tenant} starts with {prefix:?}"),
+                    ),
+                    Ok(Some(merged)) => match merged.query_many(&qs) {
+                        Ok(values) => Response::MergedOk {
+                            values,
+                            count: merged.count(),
+                            merged_keys,
+                        },
+                        Err(e) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                    },
+                    Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                }
+            }
+            Request::Flush => {
+                self.engine.drain();
+                Response::FlushOk
+            }
+            Request::Checkpoint => {
+                if !self.checkpointing {
+                    return Self::err(
+                        ErrorCode::Unavailable,
+                        "server started without --ckpt-dir; checkpointing disabled",
+                    );
+                }
+                match self.engine.checkpoint_now() {
+                    Ok(()) => Response::CheckpointOk,
+                    Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                }
+            }
+            Request::Stats => {
+                let stats = self.engine.stats();
+                Response::StatsOk(ServerStats {
+                    events: stats.events_ingested,
+                    keys: stats.keys,
+                    shards: stats.shards,
+                    quota_rejected: stats.quota_rejected_batches,
+                    rejected_by_tenant: stats.quota_rejected_by_tenant,
+                })
+            }
+            Request::Ping => Response::Pong,
+            Request::Shutdown => Response::ShutdownOk,
+        }
+    }
+}
+
+/// A running TCP server: accept thread + one thread per connection.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 = ephemeral) and start serving `core`.
+    pub fn start<S>(addr: &str, core: Arc<ServerCore<S>>) -> io::Result<Self>
+    where
+        S: MergeableSketch + SketchSerialize + Clone + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("qsketch-accept".into())
+            .spawn(move || {
+                let mut connections: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let conn_core = Arc::clone(&core);
+                    let conn_shutdown = Arc::clone(&accept_shutdown);
+                    let wake_addr = local;
+                    if let Ok(handle) = std::thread::Builder::new()
+                        .name("qsketch-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, conn_core, conn_shutdown, wake_addr)
+                        })
+                    {
+                        connections.push(handle);
+                    }
+                    connections.retain(|h| !h.is_finished());
+                }
+                for handle in connections {
+                    let _ = handle.join();
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a shutdown was requested (by op or by
+    /// [`request_shutdown`](Self::request_shutdown)).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Ask the server to stop accepting and wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_accept(self.addr);
+    }
+
+    /// Block until the accept loop and every connection thread exit.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_accept(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Unblock a blocking `accept` by connecting and immediately dropping.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+/// Read exactly `buf.len()` bytes, tolerating read-timeout ticks so the
+/// shutdown flag is observed on idle connections. Returns `Ok(false)` on
+/// clean EOF before the first byte (only when `mid_frame` is false) or
+/// on shutdown while idle; mid-frame EOF is an error.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    mid_frame: bool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && !mid_frame {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) && filled == 0 && !mid_frame {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn handle_connection<S>(
+    mut stream: TcpStream,
+    core: Arc<ServerCore<S>>,
+    shutdown: Arc<AtomicBool>,
+    wake_addr: SocketAddr,
+) where
+    S: MergeableSketch + SketchSerialize + Clone + Send + Sync + 'static,
+{
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    loop {
+        // Frame header (interruptible so idle connections see shutdown).
+        let mut header = [0u8; 4];
+        match read_exact_interruptible(&mut stream, &mut header, &shutdown, false) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > crate::protocol::MAX_FRAME {
+            // Cannot resynchronise after refusing to read the payload:
+            // answer and drop the connection.
+            let resp = Response::Error {
+                code: ErrorCode::BadRequest,
+                retry_after_ms: 0,
+                message: format!(
+                    "frame declares {len} bytes (limit {})",
+                    crate::protocol::MAX_FRAME
+                ),
+            };
+            let _ = write_frame(&mut stream, &resp.encode());
+            break;
+        }
+        let mut payload = vec![0u8; len];
+        match read_exact_interruptible(&mut stream, &mut payload, &shutdown, true) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        // Framing is intact from here on, so a payload that fails to
+        // decode only poisons this request, not the connection.
+        let response = match Request::decode(&payload) {
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let response = core.handle(request);
+                if is_shutdown {
+                    let _ = write_frame(&mut stream, &response.encode());
+                    shutdown.store(true, Ordering::SeqCst);
+                    wake_accept(wake_addr);
+                    break;
+                }
+                response
+            }
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                retry_after_ms: 0,
+                message: e.to_string(),
+            },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Spawn a [`ServerCore`] directly from an engine config and factory,
+/// recovering from checkpoints if asked. This is the binary's
+/// startup path, shared with the in-process bench harness.
+pub fn spawn_core<S, F>(
+    engine_config: qsketch_streamsim::keyed_engine::KeyedEngineConfig,
+    factory: F,
+    recover: bool,
+) -> Result<ServerCore<S>, KeyedEngineError>
+where
+    S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+    F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+{
+    let checkpointing = engine_config.checkpoint.is_some();
+    let engine = if recover {
+        KeyedEngine::recover(engine_config, factory)?
+    } else if checkpointing {
+        KeyedEngine::spawn_with_checkpoints(engine_config, factory)?
+    } else {
+        KeyedEngine::spawn(engine_config, factory)?
+    };
+    Ok(ServerCore::new(engine, checkpointing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsketch_kll::KllSketch;
+    use qsketch_streamsim::keyed_engine::{KeyedEngineConfig, TenantQuota};
+
+    fn core() -> ServerCore<KllSketch> {
+        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(2), || {
+            KllSketch::with_seed(200, 7)
+        })
+        .unwrap();
+        ServerCore::new(engine, false)
+    }
+
+    #[test]
+    fn hello_negotiates_highest_common_version() {
+        let core = core();
+        match core.handle(Request::Hello {
+            min_version: 1,
+            max_version: 9,
+        }) {
+            Response::HelloOk { version, server } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert!(server.starts_with("qsketch-server/"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match core.handle(Request::Hello {
+            min_version: 42,
+            max_version: 99,
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_then_query_round_trips() {
+        let core = core();
+        let values: Vec<f64> = (1..=1_000).map(f64::from).collect();
+        match core.handle(Request::Ingest {
+            tenant: "t".into(),
+            key: "k".into(),
+            values,
+        }) {
+            Response::IngestOk { accepted } => assert_eq!(accepted, 1_000),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(core.handle(Request::Flush), Response::FlushOk);
+        match core.handle(Request::Query {
+            tenant: "t".into(),
+            key: "k".into(),
+            qs: vec![0.5],
+        }) {
+            Response::QueryOk { values, count } => {
+                assert_eq!(count, 1_000);
+                assert!((values[0] - 500.0).abs() <= 20.0, "{values:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_key_bad_quantile_and_nan_are_typed_errors() {
+        let core = core();
+        match core.handle(Request::Query {
+            tenant: "ghost".into(),
+            key: "k".into(),
+            qs: vec![0.5],
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownKey),
+            other => panic!("{other:?}"),
+        }
+        core.handle(Request::Ingest {
+            tenant: "t".into(),
+            key: "k".into(),
+            values: vec![1.0],
+        });
+        core.handle(Request::Flush);
+        match core.handle(Request::Query {
+            tenant: "t".into(),
+            key: "k".into(),
+            qs: vec![1.5],
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("{other:?}"),
+        }
+        match core.handle(Request::Ingest {
+            tenant: "t".into(),
+            key: "k".into(),
+            values: vec![f64::NAN],
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cdf_returns_monotone_grid() {
+        let core = core();
+        core.handle(Request::Ingest {
+            tenant: "t".into(),
+            key: "k".into(),
+            values: (1..=10_000).map(f64::from).collect(),
+        });
+        core.handle(Request::Flush);
+        match core.handle(Request::Cdf {
+            tenant: "t".into(),
+            key: "k".into(),
+            points: 10,
+        }) {
+            Response::CdfOk { qs, values, count } => {
+                assert_eq!(qs.len(), 10);
+                assert_eq!(values.len(), 10);
+                assert_eq!(count, 10_000);
+                assert_eq!(qs[0], 0.1);
+                assert_eq!(qs[9], 1.0);
+                assert!(values.windows(2).all(|w| w[0] <= w[1]), "{values:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn merged_query_spans_prefix() {
+        let core = core();
+        for key in ["api.a", "api.b", "db.c"] {
+            core.handle(Request::Ingest {
+                tenant: "t".into(),
+                key: key.into(),
+                values: (1..=100).map(f64::from).collect(),
+            });
+        }
+        core.handle(Request::Flush);
+        match core.handle(Request::MergedQuery {
+            tenant: "t".into(),
+            prefix: "api.".into(),
+            qs: vec![0.5],
+        }) {
+            Response::MergedOk {
+                count, merged_keys, ..
+            } => {
+                assert_eq!(count, 200);
+                assert_eq!(merged_keys, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        match core.handle(Request::MergedQuery {
+            tenant: "t".into(),
+            prefix: "nope.".into(),
+            qs: vec![0.5],
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownKey),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quota_maps_to_wire_error_with_retry_hint() {
+        let engine = KeyedEngine::spawn(
+            KeyedEngineConfig::new(1)
+                .with_tenant_quota("noisy", TenantQuota::per_sec(10.0).with_burst(10.0)),
+            || KllSketch::with_seed(200, 7),
+        )
+        .unwrap();
+        let core = ServerCore::new(engine, false);
+        core.handle(Request::Ingest {
+            tenant: "noisy".into(),
+            key: "k".into(),
+            values: vec![1.0; 10],
+        });
+        match core.handle(Request::Ingest {
+            tenant: "noisy".into(),
+            key: "k".into(),
+            values: vec![1.0; 10],
+        }) {
+            Response::Error {
+                code,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(code, ErrorCode::QuotaExceeded);
+                assert!(retry_after_ms > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_without_dir_is_unavailable() {
+        let core = core();
+        match core.handle(Request::Checkpoint) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unavailable),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reflect_ingest() {
+        let core = core();
+        core.handle(Request::Ingest {
+            tenant: "t".into(),
+            key: "a".into(),
+            values: vec![1.0, 2.0],
+        });
+        core.handle(Request::Ingest {
+            tenant: "t".into(),
+            key: "b".into(),
+            values: vec![3.0],
+        });
+        core.handle(Request::Flush);
+        match core.handle(Request::Stats) {
+            Response::StatsOk(stats) => {
+                assert_eq!(stats.events, 3);
+                assert_eq!(stats.keys, 2);
+                assert_eq!(stats.shards, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic mutation fuzz of the wire protocol: every decode of
+//! hostile bytes must return a typed error or a valid value — never
+//! panic, never allocate unboundedly. Mirrors the `DecodeError`
+//! contract the sketch codecs uphold.
+
+use qsketch_server::protocol::{Request, Response, MAX_FRAME};
+
+/// SplitMix64 — tiny deterministic generator for mutation fuzzing.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn corpus() -> Vec<Vec<u8>> {
+    let requests = [
+        Request::Hello {
+            min_version: 1,
+            max_version: 1,
+        },
+        Request::Ingest {
+            tenant: "tenant-with-a-long-name".into(),
+            key: "api.checkout.latency.p99".into(),
+            values: (0..64).map(f64::from).collect(),
+        },
+        Request::Query {
+            tenant: "t".into(),
+            key: "k".into(),
+            qs: vec![0.01, 0.5, 0.99],
+        },
+        Request::Cdf {
+            tenant: "t".into(),
+            key: "k".into(),
+            points: 1000,
+        },
+        Request::MergedQuery {
+            tenant: "t".into(),
+            prefix: "api.".into(),
+            qs: vec![0.5],
+        },
+        Request::Flush,
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    let responses = [
+        Response::HelloOk {
+            version: 1,
+            server: "qsketch-server/0.1.0".into(),
+        },
+        Response::QueryOk {
+            values: vec![1.0, 2.0, 3.0],
+            count: 1_000_000,
+        },
+        Response::CdfOk {
+            qs: (1..=100).map(|i| f64::from(i) / 100.0).collect(),
+            values: (1..=100).map(f64::from).collect(),
+            count: 42,
+        },
+        Response::StatsOk(qsketch_server::protocol::ServerStats {
+            events: u64::MAX,
+            keys: 3,
+            shards: 16,
+            quota_rejected: 9,
+            rejected_by_tenant: vec![("a".into(), 1), ("b".into(), 8)],
+        }),
+    ];
+    requests
+        .iter()
+        .map(Request::encode)
+        .chain(responses.iter().map(Response::encode))
+        .collect()
+}
+
+/// Decoding must be total: typed error or valid value, never a panic.
+/// (The call itself is the assertion — a panic fails the test.)
+fn assert_total(bytes: &[u8]) {
+    let _ = Request::decode(bytes);
+    let _ = Response::decode(bytes);
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = SplitMix(0xFEED_FACE);
+    for len in 0..=256 {
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        assert_total(&bytes);
+    }
+}
+
+#[test]
+fn single_byte_mutations_of_valid_payloads_never_panic() {
+    for payload in corpus() {
+        for pos in 0..payload.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = payload.clone();
+                mutated[pos] ^= flip;
+                assert_total(&mutated);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_truncations_and_extensions_never_panic() {
+    let mut rng = SplitMix(0xD1CE);
+    for payload in corpus() {
+        for cut in 0..payload.len() {
+            assert_total(&payload[..cut]);
+        }
+        for _ in 0..32 {
+            let mut extended = payload.clone();
+            let extra = 1 + rng.below(16);
+            for _ in 0..extra {
+                extended.push(rng.next() as u8);
+            }
+            assert_total(&extended);
+        }
+    }
+}
+
+#[test]
+fn random_splices_never_panic() {
+    // Swap random chunks between pairs of valid payloads — shapes that
+    // pass the header check but go wrong deeper in the body.
+    let corpus = corpus();
+    let mut rng = SplitMix(0x5EED);
+    for _ in 0..2_000 {
+        let a = &corpus[rng.below(corpus.len())];
+        let b = &corpus[rng.below(corpus.len())];
+        let cut_a = rng.below(a.len() + 1);
+        let cut_b = rng.below(b.len() + 1);
+        let mut spliced = a[..cut_a].to_vec();
+        spliced.extend_from_slice(&b[cut_b..]);
+        assert_total(&spliced);
+    }
+}
+
+#[test]
+fn declared_lengths_cannot_force_allocation() {
+    // Hand-build payloads whose varint length fields claim up to 2^63
+    // bytes; decode must reject via bounds, instantly.
+    use qsketch_core::codec::Writer;
+    for declared in [
+        MAX_FRAME as u64 + 1,
+        u64::from(u32::MAX),
+        1 << 40,
+        1 << 62,
+    ] {
+        let mut w = Writer::with_header(0x51, 1);
+        w.u8(0x02); // Ingest
+        w.varint(declared); // tenant length claims `declared` bytes
+        let payload = w.finish();
+        assert!(Request::decode(&payload).is_err());
+    }
+}

@@ -124,6 +124,131 @@ impl ShardCheckpoint {
     }
 }
 
+/// Magic byte of a keyed-registry checkpoint file (`registry-<i>.ckpt`).
+pub const REGISTRY_MAGIC: u8 = 0xC6;
+const REGISTRY_VERSION: u8 = 1;
+/// Bound on tenant / metric-key byte lengths inside a registry
+/// checkpoint (matches the server protocol's identifier cap).
+const MAX_IDENT: u64 = 4096;
+/// Bound on entries per registry checkpoint shard.
+const MAX_ENTRIES: u64 = 1 << 22;
+
+/// One serialized `(tenant, key)` sketch inside a registry checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// Tenant the sketch belongs to.
+    pub tenant: String,
+    /// Metric key within the tenant.
+    pub key: String,
+    /// The sketch's [`SketchSerialize`] payload.
+    pub payload: Vec<u8>,
+}
+
+/// A whole keyed shard registry as one checkpoint file: every
+/// `(tenant, key)` sketch the shard owns, plus the topology pin.
+///
+/// ```text
+/// magic 0xC6 | version | shard | num_shards | values_done |
+///   n | n × (tenant | key | payload)
+/// ```
+///
+/// Unlike [`ShardCheckpoint`] there is no replay-skip contract: the
+/// keyed engine serves a network ingest stream that cannot be replayed
+/// by the caller, so recovery restores the registry *as of the
+/// checkpoint* — the durability boundary is the last checkpoint, which
+/// is why the server offers a synchronous checkpoint op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryCheckpoint {
+    /// Which shard this registry belongs to.
+    pub shard: usize,
+    /// Shard count of the engine that wrote it (hash routing pins each
+    /// key to `shard_for(hash, num_shards)`, so recovery must keep it).
+    pub num_shards: usize,
+    /// Values the shard had inserted when the checkpoint was cut.
+    pub values_done: u64,
+    /// Every keyed sketch of the shard, in unspecified order.
+    pub entries: Vec<RegistryEntry>,
+}
+
+impl RegistryCheckpoint {
+    /// Serialise the registry envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_header(REGISTRY_MAGIC, REGISTRY_VERSION);
+        w.varint(self.shard as u64);
+        w.varint(self.num_shards as u64);
+        w.u64(self.values_done);
+        w.varint(self.entries.len() as u64);
+        for e in &self.entries {
+            w.bytes(e.tenant.as_bytes());
+            w.bytes(e.key.as_bytes());
+            w.bytes(&e.payload);
+        }
+        w.finish()
+    }
+
+    /// Decode a registry envelope, validating magic/version/bounds.
+    /// Corrupt, truncated, or foreign input yields a typed
+    /// [`DecodeError`] — never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::with_header(bytes, REGISTRY_MAGIC, REGISTRY_VERSION)?;
+        let shard = r.varint()? as usize;
+        let num_shards = r.varint()? as usize;
+        if num_shards == 0 || shard >= num_shards {
+            return Err(DecodeError::Corrupt(format!(
+                "shard {shard} outside topology of {num_shards}"
+            )));
+        }
+        let values_done = r.u64()?;
+        let n = r.varint()?;
+        if n > MAX_ENTRIES {
+            return Err(DecodeError::Corrupt(format!(
+                "declared {n} registry entries exceeds limit {MAX_ENTRIES}"
+            )));
+        }
+        let mut entries = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let tenant = String::from_utf8(r.byte_vec(MAX_IDENT)?)
+                .map_err(|_| DecodeError::Corrupt("tenant is not UTF-8".into()))?;
+            let key = String::from_utf8(r.byte_vec(MAX_IDENT)?)
+                .map_err(|_| DecodeError::Corrupt("key is not UTF-8".into()))?;
+            let payload = r.byte_vec(MAX_PAYLOAD)?;
+            entries.push(RegistryEntry {
+                tenant,
+                key,
+                payload,
+            });
+        }
+        r.expect_exhausted()?;
+        Ok(Self {
+            shard,
+            num_shards,
+            values_done,
+            entries,
+        })
+    }
+}
+
+impl CheckpointConfig {
+    /// The keyed-registry checkpoint file path for shard `i`.
+    pub fn registry_path(&self, i: usize) -> PathBuf {
+        self.dir.join(format!("registry-{i}.ckpt"))
+    }
+}
+
+/// Read and decode the registry checkpoint for shard `i`, if one exists
+/// (`Ok(None)` when absent; IO errors and decode errors stay distinct).
+pub fn read_registry(
+    config: &CheckpointConfig,
+    i: usize,
+) -> io::Result<Option<Result<RegistryCheckpoint, DecodeError>>> {
+    let path = config.registry_path(i);
+    match fs::read(&path) {
+        Ok(bytes) => Ok(Some(RegistryCheckpoint::decode(&bytes))),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// Write `bytes` to `path` atomically: write + flush a sibling tmp file,
 /// then rename over the target, so a crash mid-write never leaves a
 /// half-written checkpoint where a reader could find it.
@@ -200,6 +325,89 @@ mod tests {
             ..sample()
         };
         assert!(ShardCheckpoint::decode(&broken.encode()).is_err());
+    }
+
+    fn registry_sample() -> RegistryCheckpoint {
+        RegistryCheckpoint {
+            shard: 1,
+            num_shards: 4,
+            values_done: 9_999,
+            entries: vec![
+                RegistryEntry {
+                    tenant: "acme".into(),
+                    key: "checkout.latency".into(),
+                    payload: vec![0xD0, 1, 2, 3],
+                },
+                RegistryEntry {
+                    tenant: "globex".into(),
+                    key: "api.p99".into(),
+                    payload: vec![0xDD, 1],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn registry_envelope_round_trips() {
+        let ckpt = registry_sample();
+        assert_eq!(RegistryCheckpoint::decode(&ckpt.encode()).unwrap(), ckpt);
+        // Empty registry is valid too (a shard that owns no keys yet).
+        let empty = RegistryCheckpoint {
+            entries: Vec::new(),
+            ..registry_sample()
+        };
+        assert_eq!(RegistryCheckpoint::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn registry_rejects_corruption_without_panicking() {
+        let bytes = registry_sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                RegistryCheckpoint::decode(&bytes[..cut]).is_err(),
+                "cut={cut}"
+            );
+        }
+        let mut wrong = bytes.clone();
+        wrong[0] = 0xC5; // a shard checkpoint is not a registry checkpoint
+        assert!(matches!(
+            RegistryCheckpoint::decode(&wrong),
+            Err(DecodeError::WrongMagic { .. })
+        ));
+        let mut future = bytes.clone();
+        future[1] = 9;
+        assert!(matches!(
+            RegistryCheckpoint::decode(&future),
+            Err(DecodeError::UnsupportedVersion(9))
+        ));
+        let broken = RegistryCheckpoint {
+            shard: 7,
+            ..registry_sample()
+        };
+        assert!(RegistryCheckpoint::decode(&broken.encode()).is_err());
+        // Non-UTF-8 tenant bytes: flip a tenant byte to 0xFF in place.
+        let mut enc = registry_sample().encode();
+        let pos = enc
+            .windows(4)
+            .position(|w| w == b"acme")
+            .expect("tenant bytes present");
+        enc[pos] = 0xFF;
+        assert!(matches!(
+            RegistryCheckpoint::decode(&enc),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn registry_read_absent_is_none() {
+        let dir = std::env::temp_dir().join(format!("qsketch-reg-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let config = CheckpointConfig::new(&dir, 1_000);
+        assert!(read_registry(&config, 0).unwrap().is_none());
+        let ckpt = registry_sample();
+        write_atomic(&config.registry_path(1), &ckpt.encode()).unwrap();
+        assert_eq!(read_registry(&config, 1).unwrap().unwrap().unwrap(), ckpt);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

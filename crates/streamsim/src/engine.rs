@@ -16,7 +16,11 @@
 //!
 //! * The **router** runs on the caller's thread. It packs inserted values
 //!   into batches (default [`DEFAULT_BATCH_SIZE`]) to amortise channel
-//!   overhead, and ships each full batch to the next shard round-robin.
+//!   overhead, and ships each full batch either to the next shard
+//!   round-robin ([`insert`](ShardedEngine::insert)) or to the key's
+//!   hash-pinned home shard
+//!   ([`insert_keyed`](ShardedEngine::insert_keyed)); both policies live
+//!   in [`crate::routing`].
 //! * Each **shard worker** owns one sketch and drains a bounded SPSC
 //!   channel (a `std`-only mutex+condvar ring with explicit capacity
 //!   accounting — the build environment has no crossbeam).
@@ -60,6 +64,7 @@ use qsketch_core::sketch::{merge_tree, MergeError, MergeableSketch, SketchError}
 
 use crate::checkpoint::{self, CheckpointConfig, ShardCheckpoint};
 use crate::metrics::EngineMetrics;
+use crate::routing::{shard_for, Router, RoutingPolicy};
 
 /// Default values per batch: large enough that the per-batch channel
 /// rendezvous (one mutex lock) is amortised to well under a nanosecond
@@ -203,7 +208,7 @@ struct QueueState<T> {
 /// accounting. `push` blocks when full (that blocking *is* the engine's
 /// backpressure); `pop` blocks when empty; `wait_drained` blocks until
 /// every pushed batch has been fully processed.
-struct BoundedQueue<T> {
+pub(crate) struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     /// Signalled by the worker when it pops (space freed).
     not_full: Condvar,
@@ -215,7 +220,7 @@ struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         Self {
             state: Mutex::new(QueueState {
                 buf: VecDeque::with_capacity(capacity),
@@ -235,7 +240,7 @@ impl<T> BoundedQueue<T> {
     /// nanoseconds spent blocked (0 for an immediate push) and the queue
     /// depth after the push. A push to a dead queue drops the batch
     /// immediately (the values are lost until recovery replays them).
-    fn push(&self, item: T) -> (u64, usize) {
+    pub(crate) fn push(&self, item: T) -> (u64, usize) {
         let mut state = self.state.lock().expect("queue poisoned");
         let mut waited_ns = 0u64;
         while state.buf.len() >= self.capacity && !state.dead {
@@ -256,7 +261,7 @@ impl<T> BoundedQueue<T> {
 
     /// Pop the next batch, blocking while empty. `None` once the queue is
     /// closed and fully drained. Also returns the post-pop depth.
-    fn pop(&self) -> Option<(T, usize)> {
+    pub(crate) fn pop(&self) -> Option<(T, usize)> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(item) = state.buf.pop_front() {
@@ -274,7 +279,7 @@ impl<T> BoundedQueue<T> {
 
     /// Worker-side acknowledgement that one popped batch is fully
     /// inserted into the shard sketch.
-    fn mark_done(&self) {
+    pub(crate) fn mark_done(&self) {
         let mut state = self.state.lock().expect("queue poisoned");
         state.done += 1;
         drop(state);
@@ -283,7 +288,7 @@ impl<T> BoundedQueue<T> {
 
     /// Block until every pushed batch has been processed end-to-end, or
     /// the worker died (a dead shard will never make more progress).
-    fn wait_drained(&self) {
+    pub(crate) fn wait_drained(&self) {
         let mut state = self.state.lock().expect("queue poisoned");
         while state.done < state.sent && !state.dead {
             state = self.progress.wait(state).expect("queue poisoned");
@@ -306,7 +311,7 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Close the queue: the worker drains what is buffered and exits.
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         let mut state = self.state.lock().expect("queue poisoned");
         state.closed = true;
         drop(state);
@@ -355,10 +360,15 @@ struct ShardInit<S> {
 /// already routed, discarding any unflushed partial batch).
 pub struct ShardedEngine<S> {
     shards: Vec<Shard<S>>,
-    /// Values accepted but not yet shipped as a batch.
+    /// Values accepted but not yet shipped as a batch (unkeyed path).
     pending: Vec<f64>,
-    /// Next shard in the round-robin rotation.
-    next: usize,
+    /// Per-shard pending batches for the keyed path
+    /// ([`insert_keyed`](Self::insert_keyed)): hash routing fixes each
+    /// value's shard at insert time, so the batches accumulate per
+    /// destination instead of per rotation slot.
+    keyed_pending: Vec<Vec<f64>>,
+    /// Routing policy for unkeyed batches (round-robin rotation).
+    router: Router,
     batch_size: usize,
     metrics: Option<EngineMetrics>,
     /// Values routed (shipped or pending).
@@ -524,10 +534,12 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
                 }
             })
             .collect();
+        let num_shards = config.shards;
         Ok(Self {
             shards,
             pending: Vec::with_capacity(batch_size),
-            next: 0,
+            keyed_pending: vec![Vec::new(); num_shards],
+            router: Router::new(RoutingPolicy::RoundRobin, num_shards),
             batch_size,
             metrics,
             routed: 0,
@@ -564,22 +576,54 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         }
     }
 
-    /// Ship the router's partial batch (if any) immediately.
+    /// Route one value by **key hash** instead of round-robin: every
+    /// value of a key lands on the shard
+    /// [`routing::shard_for`](crate::routing::shard_for) picks, so one
+    /// shard's sketch summarises each key's whole substream. Batches
+    /// accumulate per destination shard and ship at `batch_size`, same
+    /// backpressure as [`insert`](Self::insert).
+    ///
+    /// Hash with [`routing::hash_pair`](crate::routing::hash_pair) (or
+    /// any stable 64-bit hash). Keyed and unkeyed inserts may be mixed;
+    /// they share [`events_routed`](Self::events_routed) and drain
+    /// together. Hash routing is deterministic per key, so the recovery
+    /// replay contract holds for this path too.
+    #[inline]
+    pub fn insert_keyed(&mut self, key_hash: u64, value: f64) {
+        let shard = shard_for(key_hash, self.shards.len());
+        self.keyed_pending[shard].push(value);
+        self.routed += 1;
+        if self.keyed_pending[shard].len() >= self.batch_size {
+            let batch = std::mem::take(&mut self.keyed_pending[shard]);
+            self.ship_to(shard, batch);
+        }
+    }
+
+    /// Ship every partial batch (round-robin and keyed) immediately.
     pub fn flush(&mut self) {
         if !self.pending.is_empty() {
             self.ship_pending();
         }
+        for shard in 0..self.keyed_pending.len() {
+            if !self.keyed_pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.keyed_pending[shard]);
+                self.ship_to(shard, batch);
+            }
+        }
     }
 
     fn ship_pending(&mut self) {
-        let mut batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_size));
-        let shard = self.next;
-        self.next = (self.next + 1) % self.shards.len();
+        let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_size));
+        let shard = self.router.route(None);
+        self.ship_to(shard, batch);
+    }
+
+    fn ship_to(&mut self, shard: usize, mut batch: Vec<f64>) {
         // Recovery replay: this shard's restored sketch already holds the
         // stream prefix routed to it — drop whole batches (and trim the
         // one straddling batch) until the skip budget is spent. The
-        // round-robin rotation above still advances, so the replayed
-        // routing reproduces the original run batch-for-batch.
+        // rotation (or key hash) above still advances identically, so the
+        // replayed routing reproduces the original run batch-for-batch.
         let skip = &mut self.skip[shard];
         if *skip > 0 {
             let n = batch.len() as u64;
@@ -908,6 +952,35 @@ mod tests {
         assert!(shard0 > 0 && shard1 > 0);
         assert!(snap.gauge("engine.shard.0.queue_depth").is_some());
         assert!(snap.histogram("engine.merge_ns").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn keyed_inserts_pin_each_key_to_one_shard() {
+        use crate::routing::{hash_pair, shard_for};
+        let mut engine = ShardedEngine::spawn(
+            EngineConfig::new(4).with_batch_size(8),
+            || DdSketch::unbounded(0.01),
+        );
+        // Two keys whose hashes land on different shards; values are
+        // disjoint ranges so the shard contents identify the key.
+        let keys = ["alpha", "beta", "gamma", "delta"];
+        for (k, key) in keys.iter().enumerate() {
+            let h = hash_pair("tenant", key);
+            for i in 0..500 {
+                engine.insert_keyed(h, (k * 1_000 + i) as f64 + 1.0);
+            }
+        }
+        assert_eq!(engine.events_routed(), 2_000);
+        engine.drain();
+        let shards = engine.snapshot_shards();
+        let total: u64 = shards.iter().map(|s| s.count()).sum();
+        assert_eq!(total, 2_000);
+        // Every key's full substream sits on its hash-chosen home shard.
+        for key in keys {
+            let home = shard_for(hash_pair("tenant", key), 4);
+            assert!(shards[home].count() >= 500, "key {key} not pinned");
+        }
+        assert_eq!(engine.finish().unwrap().count(), 2_000);
     }
 
     #[test]

@@ -1,0 +1,1148 @@
+//! Multi-tenant keyed sharded ingestion: the serving-side sibling of
+//! [`crate::engine::ShardedEngine`].
+//!
+//! The plain sharded engine summarises **one** stream across N shards
+//! (round-robin, merge-on-query). A quantile *service* faces the
+//! transposed problem: **millions of independent streams** — one per
+//! `(tenant, metric-key)` pair — each of which must stay queryable on
+//! its own. [`KeyedEngine`] restructures the same worker/queue/merge
+//! machinery around that shape:
+//!
+//! ```text
+//!                 hash(tenant,key) % N            per-shard registry
+//!  producers ──▶ router ──[KeyedBatch]──▶ worker i ──▶ { (tenant,key) → sketch }
+//!  (any thread)     │                                       │
+//!                   └── per-tenant token-bucket quota        └─ snapshot / merge
+//!                       (reject, don't block)                   on query
+//! ```
+//!
+//! * **Hash routing** ([`crate::routing`]): every value of a key lands on
+//!   `shard_for(hash_pair(tenant, key), N)`, so a point query touches
+//!   exactly one shard's registry and cross-key queries merge snapshots
+//!   (mergeability, §2.4 — the property arXiv:2004.08604 leans on for
+//!   UDDSketch's distributed story).
+//! * **Registry per shard** (the `streamsim::keyed` per-key-state idea,
+//!   without windows): a `HashMap<(tenant, key), S>` owned by the shard
+//!   worker, sketches minted lazily from a shared
+//!   [`SketchFactory`] — every key starts from the same initial state,
+//!   which is what keeps recovery bit-identical.
+//! * **Quotas ride the backpressure machinery, inverted.** Queue-full
+//!   backpressure still blocks (a *global* overload must slow everyone),
+//!   but a tenant exceeding its own token-bucket budget is **rejected
+//!   immediately** with a retry hint instead of being allowed to fill
+//!   the shared queues — the noisy neighbor never converts its overload
+//!   into other tenants' latency. Rejections are counted per tenant and
+//!   in the `quota_rejected` metric.
+//! * **Ingestion is multi-producer**: [`ingest`](KeyedEngine::ingest)
+//!   takes `&self`, so one engine behind an `Arc` serves every server
+//!   connection thread concurrently.
+//! * **Checkpoints** write each shard's whole registry as one atomic
+//!   [`RegistryCheckpoint`] file. There is no replay contract (a network
+//!   stream cannot be replayed by the caller), so recovery restores
+//!   state *as of the last checkpoint* — the server exposes a
+//!   synchronous checkpoint op for a durable cut.
+//!
+//! # Example
+//!
+//! ```
+//! use qsketch_ddsketch::DdSketch;
+//! use qsketch_core::QuantileSketch;
+//! use qsketch_streamsim::keyed_engine::{KeyedEngine, KeyedEngineConfig};
+//!
+//! let engine = KeyedEngine::spawn(
+//!     KeyedEngineConfig::new(2),
+//!     || DdSketch::unbounded(0.01),
+//! )
+//! .unwrap();
+//! for i in 1..=1_000 {
+//!     engine.ingest("acme", "checkout.latency", vec![i as f64]).unwrap();
+//!     engine.ingest("acme", "search.latency", vec![(i % 10) as f64 + 1.0]).unwrap();
+//! }
+//! engine.drain();
+//! let p50 = engine.quantile("acme", "checkout.latency", 0.5).unwrap();
+//! assert!((p50 - 500.0).abs() / 500.0 <= 0.01);
+//! // Cross-key query: merge every "…latency" sketch of the tenant.
+//! let merged = engine.merged_prefix("acme", "").unwrap().unwrap();
+//! assert_eq!(merged.count(), 2_000);
+//! engine.finish();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use qsketch_core::codec::SketchSerialize;
+use qsketch_core::sketch::{
+    merge_tree, MergeableSketch, SketchError, SketchFactory,
+};
+
+use crate::checkpoint::{
+    read_registry, write_atomic, CheckpointConfig, RegistryCheckpoint, RegistryEntry,
+};
+use crate::engine::BoundedQueue;
+use crate::metrics::KeyedEngineMetrics;
+use crate::routing::{hash_pair, shard_for};
+
+/// Default bounded-queue capacity per shard, in ingest batches.
+pub const DEFAULT_KEYED_QUEUE_CAPACITY: usize = 256;
+
+/// A per-tenant ingest budget: a token bucket refilled at
+/// `events_per_sec`, holding at most `burst` tokens. One inserted value
+/// costs one token; a batch that cannot be paid for is rejected whole.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained refill rate, values per second.
+    pub events_per_sec: f64,
+    /// Bucket capacity: the largest burst admitted at once.
+    pub burst: f64,
+}
+
+impl TenantQuota {
+    /// A quota of `events_per_sec` sustained, with a burst of one
+    /// second's worth of events (min 1).
+    pub fn per_sec(events_per_sec: f64) -> Self {
+        Self {
+            events_per_sec,
+            burst: events_per_sec.max(1.0),
+        }
+    }
+
+    /// Override the burst capacity (min 1 token).
+    pub fn with_burst(mut self, burst: f64) -> Self {
+        self.burst = burst.max(1.0);
+        self
+    }
+}
+
+/// Configuration for a [`KeyedEngine`].
+///
+/// ```
+/// use qsketch_streamsim::keyed_engine::{KeyedEngineConfig, TenantQuota};
+///
+/// let config = KeyedEngineConfig::new(4)
+///     .with_queue_capacity(128)
+///     .with_tenant_quota("free-tier", TenantQuota::per_sec(10_000.0))
+///     .with_default_quota(TenantQuota::per_sec(1_000_000.0));
+/// assert_eq!(config.shards, 4);
+/// assert_eq!(config.quotas.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyedEngineConfig {
+    /// Number of shard worker threads (and shard registries).
+    pub shards: usize,
+    /// Bounded capacity of each shard's queue, in ingest batches.
+    pub queue_capacity: usize,
+    /// Per-tenant quotas by tenant name.
+    pub quotas: Vec<(String, TenantQuota)>,
+    /// Quota applied to tenants without an explicit entry (`None` =
+    /// unlimited).
+    pub default_quota: Option<TenantQuota>,
+    /// Periodic registry checkpointing (`None` = only explicit
+    /// [`KeyedEngine::checkpoint_now`] calls write files).
+    pub checkpoint: Option<CheckpointConfig>,
+}
+
+impl KeyedEngineConfig {
+    /// Config with `shards` workers, default queue capacity, no quotas,
+    /// no checkpointing.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            queue_capacity: DEFAULT_KEYED_QUEUE_CAPACITY,
+            quotas: Vec::new(),
+            default_quota: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Override the per-shard queue capacity in batches (min 1).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+
+    /// Set `tenant`'s ingest quota (replacing an earlier entry).
+    pub fn with_tenant_quota(mut self, tenant: &str, quota: TenantQuota) -> Self {
+        self.quotas.retain(|(t, _)| t != tenant);
+        self.quotas.push((tenant.to_string(), quota));
+        self
+    }
+
+    /// Apply `quota` to every tenant without an explicit entry.
+    pub fn with_default_quota(mut self, quota: TenantQuota) -> Self {
+        self.default_quota = Some(quota);
+        self
+    }
+
+    /// Enable periodic registry checkpoints (and recovery) in
+    /// `ckpt.dir`, every `ckpt.interval_values` values per shard.
+    pub fn with_checkpoint(mut self, ckpt: CheckpointConfig) -> Self {
+        self.checkpoint = Some(ckpt);
+        self
+    }
+}
+
+/// Error from constructing, feeding, querying, or recovering a
+/// [`KeyedEngine`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KeyedEngineError {
+    /// The configuration asked for zero shards.
+    NoShards,
+    /// A tenant exceeded its ingest quota; the batch was rejected whole.
+    QuotaExceeded {
+        /// The over-budget tenant.
+        tenant: String,
+        /// Suggested wait before retrying, in milliseconds (0 when the
+        /// batch is larger than the tenant's burst capacity and could
+        /// never be admitted — split it instead).
+        retry_after_ms: u64,
+    },
+    /// A query named a `(tenant, key)` pair with no recorded values.
+    UnknownKey {
+        /// Tenant queried.
+        tenant: String,
+        /// Key queried.
+        key: String,
+    },
+    /// A sketch operation (query/merge/decode) failed.
+    Sketch(SketchError),
+    /// A checkpoint file could not be read or written.
+    Io(String),
+    /// A checkpoint was taken under a different shard count, or holds a
+    /// key that does not hash to its shard.
+    TopologyMismatch(String),
+    /// The engine was spawned without a checkpoint config but a
+    /// checkpoint operation was requested.
+    CheckpointingDisabled,
+}
+
+impl std::fmt::Display for KeyedEngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyedEngineError::NoShards => write!(f, "engine needs at least one shard"),
+            KeyedEngineError::QuotaExceeded {
+                tenant,
+                retry_after_ms,
+            } => write!(
+                f,
+                "tenant {tenant} exceeded its ingest quota (retry after {retry_after_ms} ms)"
+            ),
+            KeyedEngineError::UnknownKey { tenant, key } => {
+                write!(f, "no sketch for tenant {tenant}, key {key}")
+            }
+            KeyedEngineError::Sketch(e) => write!(f, "sketch operation failed: {e}"),
+            KeyedEngineError::Io(e) => write!(f, "checkpoint io failed: {e}"),
+            KeyedEngineError::TopologyMismatch(e) => {
+                write!(f, "checkpoint topology mismatch: {e}")
+            }
+            KeyedEngineError::CheckpointingDisabled => {
+                write!(f, "engine was spawned without a checkpoint config")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyedEngineError {}
+
+impl From<SketchError> for KeyedEngineError {
+    fn from(e: SketchError) -> Self {
+        KeyedEngineError::Sketch(e)
+    }
+}
+
+/// One routed ingest batch: a run of values for a single
+/// `(tenant, key)` pair.
+struct KeyedBatch {
+    tenant: String,
+    key: String,
+    values: Vec<f64>,
+}
+
+/// A token bucket tracking one tenant's ingest budget.
+#[derive(Debug)]
+struct TokenBucket {
+    quota: TenantQuota,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(quota: TenantQuota, now: Instant) -> Self {
+        Self {
+            quota,
+            tokens: quota.burst,
+            last_refill: now,
+        }
+    }
+
+    /// Try to pay for `n` values; on failure return the suggested retry
+    /// delay in milliseconds (0 = the batch exceeds the burst capacity
+    /// outright).
+    fn try_take(&mut self, n: f64, now: Instant) -> Result<(), u64> {
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.quota.events_per_sec).min(self.quota.burst);
+        if n > self.quota.burst {
+            return Err(0);
+        }
+        if self.tokens >= n {
+            self.tokens -= n;
+            return Ok(());
+        }
+        let missing = n - self.tokens;
+        Err(((missing / self.quota.events_per_sec) * 1_000.0).ceil() as u64)
+    }
+}
+
+/// One shard's keyed registry: `(tenant, key) → sketch`.
+type KeyedRegistry<S> = HashMap<(String, String), S>;
+
+/// A shard's restore state: its registry plus the values-done counter
+/// as of the checkpoint it was decoded from.
+type ShardInit<S> = (KeyedRegistry<S>, u64);
+
+/// How the keyed engine checkpoints, resolved at spawn time (the keyed
+/// analogue of the plain engine's checkpoint plan — the encode hook is a
+/// plain `fn` pointer so worker threads stay free of the
+/// `SketchSerialize` bound).
+struct KeyedCheckpointPlan<S> {
+    config: CheckpointConfig,
+    num_shards: usize,
+    encode: fn(&S) -> Vec<u8>,
+}
+
+impl<S> KeyedCheckpointPlan<S> {
+    /// Encode shard `i`'s registry under the caller-held lock.
+    fn encode_registry(
+        &self,
+        i: usize,
+        registry: &KeyedRegistry<S>,
+        values_done: u64,
+    ) -> Vec<u8> {
+        let entries = registry
+            .iter()
+            .map(|((tenant, key), sketch)| RegistryEntry {
+                tenant: tenant.clone(),
+                key: key.clone(),
+                payload: (self.encode)(sketch),
+            })
+            .collect();
+        RegistryCheckpoint {
+            shard: i,
+            num_shards: self.num_shards,
+            values_done,
+            entries,
+        }
+        .encode()
+    }
+}
+
+/// One shard: its queue, its keyed registry (shared with the worker),
+/// its values-done counter, the worker handle, and the last
+/// checkpoint-write error.
+struct KeyedShard<S> {
+    queue: Arc<BoundedQueue<KeyedBatch>>,
+    registry: Arc<Mutex<KeyedRegistry<S>>>,
+    values_done: Arc<AtomicU64>,
+    worker: Option<JoinHandle<()>>,
+    ckpt_error: Arc<Mutex<Option<String>>>,
+}
+
+/// Point-in-time operational stats of a [`KeyedEngine`] (what the
+/// server's `Stats` op reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedEngineStats {
+    /// Values accepted by the router (admitted past quota).
+    pub events_ingested: u64,
+    /// Distinct `(tenant, key)` sketches across all shards.
+    pub keys: u64,
+    /// Shard worker count.
+    pub shards: u64,
+    /// Batches rejected by quota, total.
+    pub quota_rejected_batches: u64,
+    /// Per-tenant rejected batch counts, sorted by tenant.
+    pub quota_rejected_by_tenant: Vec<(String, u64)>,
+}
+
+/// A multi-tenant keyed sharded ingestion engine: hash-routed per-key
+/// sketches behind bounded queues, per-tenant quotas, snapshot queries.
+/// See the [module docs](self) for the architecture.
+pub struct KeyedEngine<S> {
+    shards: Vec<KeyedShard<S>>,
+    quotas: Mutex<HashMap<String, TokenBucket>>,
+    explicit_quotas: HashMap<String, TenantQuota>,
+    default_quota: Option<TenantQuota>,
+    rejected: Mutex<HashMap<String, u64>>,
+    rejected_total: AtomicU64,
+    events: AtomicU64,
+    metrics: Option<KeyedEngineMetrics>,
+    plan: Option<Arc<KeyedCheckpointPlan<S>>>,
+}
+
+impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
+    /// Spawn `config.shards` workers, each owning an empty keyed
+    /// registry. `factory` mints one sketch per new `(tenant, key)` pair
+    /// — every call must produce the same initial state (the
+    /// [`SketchFactory`] contract).
+    pub fn spawn<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        Self::spawn_impl(config, factory, Vec::new(), None, None)
+    }
+
+    /// [`spawn`](Self::spawn) with engine metrics registered under
+    /// `prefix` in `registry` (see [`KeyedEngineMetrics`]).
+    pub fn spawn_instrumented<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+        registry: &qsketch_core::metrics::MetricsRegistry,
+        prefix: &str,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        let metrics = KeyedEngineMetrics::register(registry, prefix, config.shards);
+        Self::spawn_impl(config, factory, Vec::new(), Some(metrics), None)
+    }
+
+    fn spawn_impl<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+        preload: Vec<ShardInit<S>>,
+        metrics: Option<KeyedEngineMetrics>,
+        plan: Option<Arc<KeyedCheckpointPlan<S>>>,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        if config.shards == 0 {
+            return Err(KeyedEngineError::NoShards);
+        }
+        let capacity = config.queue_capacity.max(1);
+        let mut inits: Vec<ShardInit<S>> = preload;
+        while inits.len() < config.shards {
+            inits.push((HashMap::new(), 0));
+        }
+        let interval = config
+            .checkpoint
+            .as_ref()
+            .map(|c| c.interval_values)
+            .unwrap_or(u64::MAX);
+        let shards = inits
+            .into_iter()
+            .enumerate()
+            .map(|(i, (map, done))| {
+                let queue = Arc::new(BoundedQueue::<KeyedBatch>::new(capacity));
+                let registry = Arc::new(Mutex::new(map));
+                let values_done = Arc::new(AtomicU64::new(done));
+                let ckpt_error = Arc::new(Mutex::new(None));
+                let worker_queue = Arc::clone(&queue);
+                let worker_registry = Arc::clone(&registry);
+                let worker_done = Arc::clone(&values_done);
+                let worker_error = Arc::clone(&ckpt_error);
+                let worker_metrics = metrics.clone();
+                let worker_plan = plan.clone();
+                let worker_factory = factory.clone();
+                let worker = std::thread::Builder::new()
+                    .name(format!("qsketch-keyed-{i}"))
+                    .spawn(move || {
+                        let mut last_ckpt = done;
+                        while let Some((batch, depth)) = worker_queue.pop() {
+                            let KeyedBatch {
+                                tenant,
+                                key,
+                                values,
+                            } = batch;
+                            let n = values.len() as u64;
+                            // Insert under the registry lock; encode a
+                            // due checkpoint under the same lock (a
+                            // consistent cut) but write it outside, so
+                            // queries never wait on the filesystem.
+                            let mut ckpt_bytes: Option<Vec<u8>> = None;
+                            {
+                                let mut registry =
+                                    worker_registry.lock().expect("keyed registry poisoned");
+                                registry
+                                    .entry((tenant, key))
+                                    .or_insert_with(|| worker_factory.make())
+                                    .insert_batch(&values);
+                                let total = worker_done.fetch_add(n, Ordering::Relaxed) + n;
+                                if let Some(plan) = &worker_plan {
+                                    if total - last_ckpt >= interval {
+                                        ckpt_bytes =
+                                            Some(plan.encode_registry(i, &registry, total));
+                                        last_ckpt = total;
+                                    }
+                                }
+                            }
+                            if let (Some(bytes), Some(plan)) = (&ckpt_bytes, &worker_plan) {
+                                let start = Instant::now();
+                                let result =
+                                    write_atomic(&plan.config.registry_path(i), bytes);
+                                if let Err(e) = result {
+                                    *worker_error.lock().expect("ckpt error poisoned") =
+                                        Some(e.to_string());
+                                } else if let Some(m) = &worker_metrics {
+                                    m.engine.checkpoints.inc();
+                                    m.engine
+                                        .checkpoint_ns
+                                        .record(start.elapsed().as_nanos() as u64);
+                                    m.engine.checkpoint_bytes.record(bytes.len() as u64);
+                                }
+                            }
+                            if let Some(m) = &worker_metrics {
+                                m.engine.shard_events.record_many(i, n);
+                                m.engine.queue_depth[i].set(depth as u64);
+                            }
+                            worker_queue.mark_done();
+                        }
+                    })
+                    .expect("spawn keyed shard worker");
+                KeyedShard {
+                    queue,
+                    registry,
+                    values_done,
+                    worker: Some(worker),
+                    ckpt_error,
+                }
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            quotas: Mutex::new(HashMap::new()),
+            explicit_quotas: config.quotas.iter().cloned().collect(),
+            default_quota: config.default_quota,
+            rejected: Mutex::new(HashMap::new()),
+            rejected_total: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            metrics,
+            plan,
+        })
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Values admitted past quota so far (enqueued or inserted).
+    pub fn events_ingested(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Check and charge `tenant`'s quota for `n` values.
+    fn check_quota(&self, tenant: &str, n: u64) -> Result<(), KeyedEngineError> {
+        let quota = match self.explicit_quotas.get(tenant) {
+            Some(q) => *q,
+            None => match self.default_quota {
+                Some(q) => q,
+                None => return Ok(()),
+            },
+        };
+        let now = Instant::now();
+        let mut buckets = self.quotas.lock().expect("quota table poisoned");
+        let bucket = buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| TokenBucket::new(quota, now));
+        match bucket.try_take(n as f64, now) {
+            Ok(()) => Ok(()),
+            Err(retry_after_ms) => {
+                drop(buckets);
+                self.rejected_total.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .rejected
+                    .lock()
+                    .expect("rejection table poisoned")
+                    .entry(tenant.to_string())
+                    .or_insert(0) += 1;
+                if let Some(m) = &self.metrics {
+                    m.quota_rejected.inc();
+                }
+                Err(KeyedEngineError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    retry_after_ms,
+                })
+            }
+        }
+    }
+
+    /// Ingest a batch of values for one `(tenant, key)` pair.
+    ///
+    /// Callable from any thread (`&self`). The batch is charged against
+    /// the tenant's quota **before** touching the queues: an over-quota
+    /// batch is rejected whole with a retry hint and consumes no shared
+    /// capacity. An admitted batch blocks only when its home shard's
+    /// queue is full (global backpressure), with the wait recorded in
+    /// the `backpressure_wait_ns` histogram.
+    ///
+    /// Returns the number of values accepted (0 for an empty batch).
+    pub fn ingest(
+        &self,
+        tenant: &str,
+        key: &str,
+        values: Vec<f64>,
+    ) -> Result<u64, KeyedEngineError> {
+        let n = values.len() as u64;
+        if n == 0 {
+            return Ok(0);
+        }
+        self.check_quota(tenant, n)?;
+        let shard = shard_for(hash_pair(tenant, key), self.shards.len());
+        let (waited_ns, depth) = self.shards[shard].queue.push(KeyedBatch {
+            tenant: tenant.to_string(),
+            key: key.to_string(),
+            values,
+        });
+        self.events.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.engine.events.add(n);
+            m.engine.batches.inc();
+            m.engine.queue_depth[shard].set(depth as u64);
+            if waited_ns > 0 {
+                m.engine.backpressure_wait_ns.record(waited_ns);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Block until every enqueued batch has been fully inserted.
+    pub fn drain(&self) {
+        for shard in &self.shards {
+            shard.queue.wait_drained();
+        }
+    }
+
+    /// Point-in-time clone of one key's sketch (`None` if the pair has
+    /// never been ingested). Touches exactly one shard's registry lock.
+    pub fn snapshot(&self, tenant: &str, key: &str) -> Option<S> {
+        let shard = shard_for(hash_pair(tenant, key), self.shards.len());
+        self.shards[shard]
+            .registry
+            .lock()
+            .expect("keyed registry poisoned")
+            .get(&(tenant.to_string(), key.to_string()))
+            .cloned()
+    }
+
+    /// Estimate the `q`-quantile of one key's stream.
+    pub fn quantile(&self, tenant: &str, key: &str, q: f64) -> Result<f64, KeyedEngineError> {
+        let snap = self
+            .snapshot(tenant, key)
+            .ok_or_else(|| KeyedEngineError::UnknownKey {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+            })?;
+        snap.query(q)
+            .map_err(|e| KeyedEngineError::Sketch(SketchError::Query(e)))
+    }
+
+    /// Merge a snapshot of **every key of `tenant` whose key starts with
+    /// `prefix`** (empty prefix = all of the tenant's keys) through a
+    /// binary merge tree. `Ok(None)` when no key matches. The fold runs
+    /// on clones, so ingestion never blocks on it; its latency lands in
+    /// the `merge_ns` histogram when instrumented.
+    pub fn merged_prefix(
+        &self,
+        tenant: &str,
+        prefix: &str,
+    ) -> Result<Option<S>, KeyedEngineError> {
+        let start = Instant::now();
+        let mut snapshots = Vec::new();
+        for shard in &self.shards {
+            let registry = shard.registry.lock().expect("keyed registry poisoned");
+            for ((t, k), sketch) in registry.iter() {
+                if t == tenant && k.starts_with(prefix) {
+                    snapshots.push(sketch.clone());
+                }
+            }
+        }
+        let merged = merge_tree(snapshots)
+            .map_err(|e| KeyedEngineError::Sketch(SketchError::Merge(e)))?;
+        if let Some(m) = &self.metrics {
+            m.engine.merge_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        Ok(merged)
+    }
+
+    /// Every key currently registered for `tenant`, sorted.
+    pub fn keys(&self, tenant: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let registry = shard.registry.lock().expect("keyed registry poisoned");
+            out.extend(
+                registry
+                    .keys()
+                    .filter(|(t, _)| t == tenant)
+                    .map(|(_, k)| k.clone()),
+            );
+        }
+        out.sort();
+        out
+    }
+
+    /// Operational stats (the server's `Stats` op). Registry sizes are
+    /// read behind the shard locks; counts are point-in-time.
+    pub fn stats(&self) -> KeyedEngineStats {
+        let keys = self
+            .shards
+            .iter()
+            .map(|s| s.registry.lock().expect("keyed registry poisoned").len() as u64)
+            .sum();
+        if let Some(m) = &self.metrics {
+            m.keys.set(keys);
+        }
+        let mut by_tenant: Vec<(String, u64)> = self
+            .rejected
+            .lock()
+            .expect("rejection table poisoned")
+            .iter()
+            .map(|(t, n)| (t.clone(), *n))
+            .collect();
+        by_tenant.sort();
+        KeyedEngineStats {
+            events_ingested: self.events_ingested(),
+            keys,
+            shards: self.shards.len() as u64,
+            quota_rejected_batches: self.rejected_total.load(Ordering::Relaxed),
+            quota_rejected_by_tenant: by_tenant,
+        }
+    }
+
+    /// Last checkpoint-write error per shard (`None` = healthy);
+    /// checkpointing is best-effort and never stops ingestion.
+    pub fn checkpoint_errors(&self) -> Vec<Option<String>> {
+        self.shards
+            .iter()
+            .map(|s| s.ckpt_error.lock().expect("ckpt error poisoned").clone())
+            .collect()
+    }
+
+    /// Drain, close the queues, and join the workers (graceful
+    /// shutdown). Call [`checkpoint_now`](Self::checkpoint_now) first
+    /// for a durable final cut.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<S> {
+    /// [`spawn`](Self::spawn) with checkpointing resolved from
+    /// `config.checkpoint`: workers write their registry every
+    /// `interval_values` inserted values, and
+    /// [`checkpoint_now`](Self::checkpoint_now) /
+    /// [`recover`](Self::recover) become available. Fails with
+    /// [`KeyedEngineError::CheckpointingDisabled`] if the config has no
+    /// checkpoint section.
+    pub fn spawn_with_checkpoints<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        Self::spawn_with_checkpoints_impl(config, factory, None)
+    }
+
+    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
+    /// engine metrics under `prefix` in `registry`.
+    pub fn spawn_with_checkpoints_instrumented<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+        registry: &qsketch_core::metrics::MetricsRegistry,
+        prefix: &str,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        let metrics = KeyedEngineMetrics::register(registry, prefix, config.shards);
+        Self::spawn_with_checkpoints_impl(config, factory, Some(metrics))
+    }
+
+    fn spawn_with_checkpoints_impl<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+        metrics: Option<KeyedEngineMetrics>,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        let plan = Self::make_plan(&config)?;
+        Self::spawn_impl(config, factory, Vec::new(), metrics, Some(plan))
+    }
+
+    /// Write every shard's registry checkpoint **now**, synchronously,
+    /// from the calling thread: drain first (so the cut covers every
+    /// acknowledged batch), then encode each registry under its lock and
+    /// write atomically. This is the durable-cut primitive behind the
+    /// server's `Checkpoint` op and its graceful shutdown.
+    pub fn checkpoint_now(&self) -> Result<(), KeyedEngineError> {
+        let plan = self
+            .plan
+            .as_ref()
+            .ok_or(KeyedEngineError::CheckpointingDisabled)?;
+        self.drain();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let bytes = {
+                let registry = shard.registry.lock().expect("keyed registry poisoned");
+                plan.encode_registry(i, &registry, shard.values_done.load(Ordering::Relaxed))
+            };
+            write_atomic(&plan.config.registry_path(i), &bytes)
+                .map_err(|e| KeyedEngineError::Io(e.to_string()))?;
+            if let Some(m) = &self.metrics {
+                m.engine.checkpoints.inc();
+                m.engine.checkpoint_bytes.record(bytes.len() as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild an engine from the registry checkpoints in
+    /// `config.checkpoint.dir`. Shards without a file start empty.
+    /// State is restored **as of the checkpoint** (there is no stream to
+    /// replay); every restored sketch answers queries bit-identically to
+    /// the instant the checkpoint was cut, because the wire payloads
+    /// carry full state (including the randomized sketches' coin-flipper
+    /// state).
+    ///
+    /// Fails with [`KeyedEngineError::TopologyMismatch`] if a checkpoint
+    /// was taken under a different shard count or holds a key that does
+    /// not hash to its shard (hash routing is part of the persisted
+    /// contract), and with [`KeyedEngineError::Sketch`] on a corrupt
+    /// file.
+    pub fn recover<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        let plan = Self::make_plan(&config)?;
+        let mut preload = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            match read_registry(&plan.config, i).map_err(|e| KeyedEngineError::Io(e.to_string()))?
+            {
+                Some(decoded) => {
+                    let envelope =
+                        decoded.map_err(|e| KeyedEngineError::Sketch(SketchError::Decode(e)))?;
+                    if envelope.num_shards != config.shards {
+                        return Err(KeyedEngineError::TopologyMismatch(format!(
+                            "registry checkpoint for shard {i} was taken with {} shards, \
+                             recovering with {}",
+                            envelope.num_shards, config.shards,
+                        )));
+                    }
+                    let mut map = HashMap::with_capacity(envelope.entries.len());
+                    for entry in &envelope.entries {
+                        let home = shard_for(hash_pair(&entry.tenant, &entry.key), config.shards);
+                        if home != i {
+                            return Err(KeyedEngineError::TopologyMismatch(format!(
+                                "key ({}, {}) in shard {i}'s checkpoint hashes to shard {home}",
+                                entry.tenant, entry.key,
+                            )));
+                        }
+                        let sketch = S::decode(&entry.payload)
+                            .map_err(|e| KeyedEngineError::Sketch(SketchError::Decode(e)))?;
+                        map.insert((entry.tenant.clone(), entry.key.clone()), sketch);
+                    }
+                    preload.push((map, envelope.values_done));
+                }
+                None => preload.push((HashMap::new(), 0)),
+            }
+        }
+        Self::spawn_impl(config, factory, preload, None, Some(plan))
+    }
+
+    fn make_plan(
+        config: &KeyedEngineConfig,
+    ) -> Result<Arc<KeyedCheckpointPlan<S>>, KeyedEngineError> {
+        let ckpt = config
+            .checkpoint
+            .clone()
+            .ok_or(KeyedEngineError::CheckpointingDisabled)?;
+        std::fs::create_dir_all(&ckpt.dir).map_err(|e| KeyedEngineError::Io(e.to_string()))?;
+        if config.shards == 0 {
+            return Err(KeyedEngineError::NoShards);
+        }
+        Ok(Arc::new(KeyedCheckpointPlan {
+            num_shards: config.shards,
+            encode: S::encode,
+            config: ckpt,
+        }))
+    }
+}
+
+impl<S> Drop for KeyedEngine<S> {
+    fn drop(&mut self) {
+        // Everything already enqueued is still inserted before the
+        // workers see the close; `finish` is the explicit form.
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsketch_core::metrics::MetricsRegistry;
+    use qsketch_core::QuantileSketch;
+    use qsketch_ddsketch::DdSketch;
+    use qsketch_kll::KllSketch;
+
+    fn dds() -> impl Fn() -> DdSketch + Clone + Send {
+        || DdSketch::unbounded(0.01)
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qsketch-keyed-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn per_key_streams_stay_separate() {
+        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(3), dds()).unwrap();
+        for i in 1..=2_000u64 {
+            engine.ingest("acme", "fast", vec![10.0 + (i % 5) as f64]).unwrap();
+            engine.ingest("acme", "slow", vec![1_000.0 + (i % 7) as f64]).unwrap();
+            engine.ingest("globex", "fast", vec![50.0]).unwrap();
+        }
+        engine.drain();
+        assert_eq!(engine.events_ingested(), 6_000);
+        let fast = engine.quantile("acme", "fast", 0.5).unwrap();
+        let slow = engine.quantile("acme", "slow", 0.5).unwrap();
+        assert!(fast < 20.0, "fast p50 {fast}");
+        assert!(slow > 900.0, "slow p50 {slow}");
+        // Same key name under another tenant is a different stream.
+        let other = engine.quantile("globex", "fast", 0.5).unwrap();
+        assert!((other - 50.0).abs() / 50.0 <= 0.01, "globex fast p50 {other}");
+        assert_eq!(
+            engine.keys("acme"),
+            vec!["fast".to_string(), "slow".to_string()]
+        );
+        engine.finish();
+    }
+
+    #[test]
+    fn unknown_key_is_a_typed_error() {
+        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(1), dds()).unwrap();
+        let err = engine.quantile("nobody", "nothing", 0.5).unwrap_err();
+        assert!(matches!(err, KeyedEngineError::UnknownKey { .. }));
+        assert!(err.to_string().contains("nobody"));
+    }
+
+    #[test]
+    fn merged_prefix_folds_matching_keys() {
+        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(4), dds()).unwrap();
+        for i in 1..=500u64 {
+            engine.ingest("t", "api.a", vec![i as f64]).unwrap();
+            engine.ingest("t", "api.b", vec![i as f64 + 500.0]).unwrap();
+            engine.ingest("t", "db.c", vec![1e6]).unwrap();
+            engine.ingest("other", "api.z", vec![1e6]).unwrap();
+        }
+        engine.drain();
+        let api = engine.merged_prefix("t", "api.").unwrap().unwrap();
+        assert_eq!(api.count(), 1_000);
+        let p99 = api.query(0.99).unwrap();
+        assert!(p99 < 1_100.0, "api p99 {p99} should exclude db.c and other tenant");
+        assert!(engine.merged_prefix("t", "nope.").unwrap().is_none());
+        engine.finish();
+    }
+
+    #[test]
+    fn quota_rejects_noisy_tenant_not_quiet_one() {
+        let engine = KeyedEngine::spawn_instrumented(
+            KeyedEngineConfig::new(2)
+                .with_tenant_quota("noisy", TenantQuota::per_sec(100.0).with_burst(100.0)),
+            dds(),
+            &MetricsRegistry::new(),
+            "keyed",
+        )
+        .unwrap();
+        // The noisy tenant burns its burst, then gets rejected.
+        let mut rejected = 0;
+        for _ in 0..100 {
+            match engine.ingest("noisy", "k", vec![1.0; 10]) {
+                Ok(_) => {}
+                Err(KeyedEngineError::QuotaExceeded {
+                    tenant,
+                    retry_after_ms,
+                }) => {
+                    assert_eq!(tenant, "noisy");
+                    assert!(retry_after_ms > 0);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected >= 80, "rejected {rejected}/100");
+        // The quiet tenant is untouched.
+        for _ in 0..100 {
+            engine.ingest("quiet", "k", vec![1.0; 10]).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.quota_rejected_batches, rejected);
+        assert_eq!(stats.quota_rejected_by_tenant.len(), 1);
+        assert_eq!(stats.quota_rejected_by_tenant[0].0, "noisy");
+        engine.finish();
+    }
+
+    #[test]
+    fn oversized_batch_can_never_pass_and_says_so() {
+        let engine = KeyedEngine::spawn(
+            KeyedEngineConfig::new(1)
+                .with_default_quota(TenantQuota::per_sec(10.0).with_burst(10.0)),
+            dds(),
+        )
+        .unwrap();
+        let err = engine.ingest("t", "k", vec![1.0; 1_000]).unwrap_err();
+        assert_eq!(
+            err,
+            KeyedEngineError::QuotaExceeded {
+                tenant: "t".into(),
+                retry_after_ms: 0
+            }
+        );
+        engine.finish();
+    }
+
+    #[test]
+    fn checkpoint_now_then_recover_is_bit_identical() {
+        let dir = ckpt_dir("recover");
+        let factory = || KllSketch::with_seed(200, 0xC0FFEE);
+        let config = KeyedEngineConfig::new(3)
+            .with_checkpoint(CheckpointConfig::new(&dir, u64::MAX));
+        let engine = KeyedEngine::spawn_with_checkpoints(config.clone(), factory).unwrap();
+        for i in 0..10_000u64 {
+            let key = format!("k{}", i % 7);
+            let x = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64;
+            engine.ingest("acme", &key, vec![x + 1e-9]).unwrap();
+        }
+        engine.checkpoint_now().unwrap();
+        let mut expected = Vec::new();
+        for k in 0..7 {
+            let snap = engine.snapshot("acme", &format!("k{k}")).unwrap();
+            expected.push(
+                [0.01, 0.5, 0.99, 1.0]
+                    .map(|q| snap.query(q).unwrap().to_bits()),
+            );
+        }
+        engine.finish();
+
+        let recovered = KeyedEngine::<KllSketch>::recover(config, factory).unwrap();
+        for (k, want) in expected.iter().enumerate() {
+            let snap = recovered.snapshot("acme", &format!("k{k}")).unwrap();
+            let got = [0.01, 0.5, 0.99, 1.0].map(|q| snap.query(q).unwrap().to_bits());
+            assert_eq!(&got, want, "key k{k}");
+        }
+        recovered.finish();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written_by_workers() {
+        let dir = ckpt_dir("periodic");
+        let config = KeyedEngineConfig::new(2)
+            .with_checkpoint(CheckpointConfig::new(&dir, 500));
+        let engine =
+            KeyedEngine::spawn_with_checkpoints(config.clone(), || {
+                KllSketch::with_seed(200, 1)
+            })
+            .unwrap();
+        for i in 0..4_000u64 {
+            engine
+                .ingest("t", &format!("k{}", i % 4), vec![i as f64 + 1.0])
+                .unwrap();
+        }
+        engine.drain();
+        assert!(engine.checkpoint_errors().iter().all(Option::is_none));
+        // Both shards crossed the 500-value interval.
+        for i in 0..2 {
+            let ckpt = read_registry(&CheckpointConfig::new(&dir, 500), i)
+                .unwrap()
+                .unwrap_or_else(|| panic!("missing registry-{i}.ckpt"))
+                .unwrap();
+            assert_eq!(ckpt.num_shards, 2);
+            assert!(ckpt.values_done >= 500);
+        }
+        engine.finish();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_wrong_topology() {
+        let dir = ckpt_dir("topology");
+        let config = KeyedEngineConfig::new(2)
+            .with_checkpoint(CheckpointConfig::new(&dir, u64::MAX));
+        let engine =
+            KeyedEngine::spawn_with_checkpoints(config, || KllSketch::with_seed(200, 1)).unwrap();
+        engine.ingest("t", "k", vec![1.0, 2.0, 3.0]).unwrap();
+        engine.checkpoint_now().unwrap();
+        engine.finish();
+        let bad = KeyedEngineConfig::new(3)
+            .with_checkpoint(CheckpointConfig::new(&dir, u64::MAX));
+        let err = KeyedEngine::<KllSketch>::recover(bad, || KllSketch::with_seed(200, 1))
+            .err()
+            .expect("3-shard recovery must fail");
+        assert!(matches!(err, KeyedEngineError::TopologyMismatch(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpointing_disabled_is_a_typed_error() {
+        let engine = KeyedEngine::<KllSketch>::spawn(KeyedEngineConfig::new(1), || {
+            KllSketch::with_seed(200, 1)
+        })
+        .unwrap();
+        assert_eq!(
+            engine.checkpoint_now().unwrap_err(),
+            KeyedEngineError::CheckpointingDisabled
+        );
+        engine.finish();
+    }
+
+    #[test]
+    fn multi_producer_ingest_from_many_threads() {
+        let engine = Arc::new(
+            KeyedEngine::spawn(KeyedEngineConfig::new(2), dds()).unwrap(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let e = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    e.ingest(&format!("tenant-{t}"), "k", vec![i as f64 + 1.0])
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        engine.drain();
+        assert_eq!(engine.events_ingested(), 4_000);
+        let stats = engine.stats();
+        assert_eq!(stats.keys, 4);
+        assert_eq!(stats.quota_rejected_batches, 0);
+    }
+}

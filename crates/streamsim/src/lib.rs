@@ -34,7 +34,14 @@
 //! * [`checkpoint`] — periodic per-shard checkpoints (atomic file
 //!   replace of each sketch's wire payload) and the deterministic
 //!   replay-skip recovery the engine builds on them, with fault
-//!   injection to prove a killed shard worker loses nothing durable.
+//!   injection to prove a killed shard worker loses nothing durable,
+//! * [`routing`] — the key→shard vocabulary shared by both engines:
+//!   stable FNV-1a hashing, multiply-shift range reduction, and the
+//!   round-robin / hashed [`Router`] policies,
+//! * [`keyed_engine`] — the serving-side engine: hash-routed
+//!   per-`(tenant, key)` sketch registries, per-tenant token-bucket
+//!   quotas that reject instead of block, snapshot/merged queries, and
+//!   whole-registry checkpoints — what `qsketch-server` fronts over TCP.
 //!
 //! # Example
 //!
@@ -66,8 +73,10 @@ pub mod engine;
 pub mod event;
 pub mod harness;
 pub mod keyed;
+pub mod keyed_engine;
 pub mod metrics;
 pub mod parallel;
+pub mod routing;
 pub mod session;
 pub mod sliding;
 pub mod source;
@@ -79,7 +88,11 @@ pub use engine::{EngineConfig, EngineError, FaultInjection, ShardedEngine};
 pub use event::Event;
 pub use harness::{AccuracyConfig, RunSummary, WindowAccuracy};
 pub use keyed::{KeyedEvent, KeyedTumblingWindows};
-pub use metrics::{EngineMetrics, PartitionMetrics, PipelineMetrics};
+pub use keyed_engine::{
+    KeyedEngine, KeyedEngineConfig, KeyedEngineError, KeyedEngineStats, TenantQuota,
+};
+pub use metrics::{EngineMetrics, KeyedEngineMetrics, PartitionMetrics, PipelineMetrics};
+pub use routing::{hash_bytes, hash_pair, shard_for, Router, RoutingPolicy};
 pub use parallel::PartitionedWindow;
 pub use session::SessionWindows;
 pub use sliding::SlidingWindows;

@@ -182,6 +182,39 @@ impl EngineMetrics {
     }
 }
 
+/// Metric handles for one keyed multi-tenant engine
+/// ([`crate::keyed_engine::KeyedEngine`]): the full [`EngineMetrics`] set
+/// (same names, same meanings) plus the serving-side additions.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `<prefix>.*` | — | everything in [`EngineMetrics`] |
+/// | `<prefix>.quota_rejected` | counter | ingest batches rejected by a tenant quota |
+/// | `<prefix>.keys` | gauge | distinct `(tenant, key)` sketches (updated on `stats()`) |
+#[derive(Debug, Clone)]
+pub struct KeyedEngineMetrics {
+    /// The shared engine metric set (`<prefix>.events`, queue depths,
+    /// backpressure, checkpoints, …).
+    pub engine: EngineMetrics,
+    /// Batches rejected by a per-tenant quota
+    /// (`<prefix>.quota_rejected`).
+    pub quota_rejected: Counter,
+    /// Distinct `(tenant, key)` sketches across all shards
+    /// (`<prefix>.keys`).
+    pub keys: Gauge,
+}
+
+impl KeyedEngineMetrics {
+    /// Register keyed-engine metrics for `shards` workers under `prefix`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str, shards: usize) -> Self {
+        Self {
+            engine: EngineMetrics::register(registry, prefix, shards),
+            quota_rejected: registry.counter(&format!("{prefix}.quota_rejected")),
+            keys: registry.gauge(&format!("{prefix}.keys")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +281,18 @@ mod tests {
             1
         );
         assert_eq!(snap.histogram("engine.merge_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn keyed_engine_metrics_extend_engine_names() {
+        let r = MetricsRegistry::new();
+        let m = KeyedEngineMetrics::register(&r, "server", 2);
+        m.engine.events.add(10);
+        m.quota_rejected.inc();
+        m.keys.set(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("server.events"), Some(10));
+        assert_eq!(snap.counter("server.quota_rejected"), Some(1));
+        assert_eq!(snap.gauge("server.keys"), Some(7));
     }
 }

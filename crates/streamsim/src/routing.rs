@@ -1,0 +1,225 @@
+//! Key→shard routing for the sharded engines.
+//!
+//! The original [`ShardedEngine`](crate::engine::ShardedEngine) routed
+//! batches **round-robin**: perfect balance, but a value's shard depends
+//! on its position in the stream, so per-key state cannot live on one
+//! shard. Multi-tenant serving needs the opposite trade: route by a
+//! **hash of the key**, so that every value of a `(tenant, metric-key)`
+//! pair lands on the same shard and a point query touches exactly one
+//! shard's registry — the property that makes per-key sharded serving
+//! cheap (UDDSketch-style mergeability then covers cross-key queries).
+//!
+//! This module is the shared routing vocabulary of both policies:
+//!
+//! * [`hash_bytes`] / [`hash_pair`] — FNV-1a 64, a std-only, stable,
+//!   seedless hash. Stability matters: the hash is part of the *recovery
+//!   contract* (a registry checkpoint pins each key to the shard the
+//!   hash chose, and `SipHash`'s per-process random keys would break
+//!   that across restarts).
+//! * [`shard_for`] — hash → shard index by multiply-shift mixing then
+//!   range reduction, so low-entropy FNV outputs still spread.
+//! * [`Router`] — the policy object: `RoundRobin` (stateful rotation)
+//!   or `Hashed` (stateless, keyed).
+//!
+//! ```
+//! use qsketch_streamsim::routing::{hash_pair, shard_for, Router, RoutingPolicy};
+//!
+//! // The same (tenant, key) always routes to the same shard…
+//! let h = hash_pair("acme", "checkout.latency");
+//! assert_eq!(shard_for(h, 8), shard_for(h, 8));
+//!
+//! // …while a round-robin router rotates regardless of the key.
+//! let mut rr = Router::new(RoutingPolicy::RoundRobin, 3);
+//! assert_eq!(
+//!     [rr.route(None), rr.route(None), rr.route(None), rr.route(None)],
+//!     [0, 1, 2, 0],
+//! );
+//! ```
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte string. Stable across processes and builds —
+/// safe to persist in checkpoints and to compare across a server restart.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hash a `(tenant, key)` pair as one identity. The `0xFF` separator
+/// (never valid inside UTF-8 text) keeps the pair unambiguous:
+/// `("ab", "c")` and `("a", "bc")` hash differently.
+#[inline]
+pub fn hash_pair(tenant: &str, key: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in tenant.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= 0xFF;
+    h = h.wrapping_mul(FNV_PRIME);
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Map a 64-bit hash onto `0..shards`. A Fibonacci multiply-shift mix
+/// runs first so that hashes differing only in high bits (FNV mixes
+/// low-to-high) still spread over small shard counts.
+///
+/// # Panics
+/// If `shards == 0`.
+#[inline]
+pub fn shard_for(hash: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard_for needs at least one shard");
+    let mixed = hash.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mixed >> 32) as usize) % shards
+}
+
+/// Which routing policy a router applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Rotate through the shards in order, ignoring keys. Perfect
+    /// balance; a value's shard depends on stream position.
+    RoundRobin,
+    /// Route by key hash ([`shard_for`]). Every value of a key lands on
+    /// one shard; balance depends on the key distribution.
+    Hashed,
+}
+
+/// A routing decision maker over a fixed shard count.
+///
+/// `route(None)` is an unkeyed value: round-robin rotates, hashed
+/// routers fall back to rotation too (an unkeyed value has no home
+/// shard, and dropping it would be worse). `route(Some(hash))` is a
+/// keyed value: hashed routers pin it, round-robin ignores the key.
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    shards: usize,
+    next: usize,
+}
+
+impl Router {
+    /// A router over `shards` shards (must be ≥ 1).
+    ///
+    /// # Panics
+    /// If `shards == 0`.
+    pub fn new(policy: RoutingPolicy, shards: usize) -> Self {
+        assert!(shards > 0, "router needs at least one shard");
+        Self {
+            policy,
+            shards,
+            next: 0,
+        }
+    }
+
+    /// The policy this router applies.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Number of shards routed over.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Pick the shard for the next batch. See the type docs for the
+    /// `None` / `Some(hash)` semantics.
+    #[inline]
+    pub fn route(&mut self, key_hash: Option<u64>) -> usize {
+        match (self.policy, key_hash) {
+            (RoutingPolicy::Hashed, Some(h)) => shard_for(h, self.shards),
+            _ => {
+                let shard = self.next;
+                self.next = (self.next + 1) % self.shards;
+                shard
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn pair_separator_disambiguates() {
+        assert_ne!(hash_pair("ab", "c"), hash_pair("a", "bc"));
+        assert_ne!(hash_pair("", "x"), hash_pair("x", ""));
+        assert_eq!(hash_pair("t", "k"), hash_pair("t", "k"));
+    }
+
+    #[test]
+    fn shard_for_is_stable_and_in_range() {
+        for shards in 1..=16 {
+            for i in 0..1_000u64 {
+                let h = hash_bytes(&i.to_le_bytes());
+                let s = shard_for(h, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(h, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_for_spreads_realistic_keys() {
+        // 1000 metric-style keys over 8 shards: no shard may be starved
+        // or hold more than twice its fair share.
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for t in 0..10 {
+            for k in 0..100 {
+                let h = hash_pair(&format!("tenant-{t}"), &format!("api.endpoint.{k}.latency"));
+                counts[shard_for(h, shards)] += 1;
+            }
+        }
+        for &c in &counts {
+            assert!(c > 0, "starved shard: {counts:?}");
+            assert!(c < 2 * 1000 / shards, "hot shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_ignores_keys() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 2);
+        assert_eq!(r.route(Some(123)), 0);
+        assert_eq!(r.route(Some(123)), 1);
+        assert_eq!(r.route(Some(123)), 0);
+    }
+
+    #[test]
+    fn hashed_pins_keys_and_rotates_unkeyed() {
+        let mut r = Router::new(RoutingPolicy::Hashed, 4);
+        let h = hash_pair("t", "k");
+        let home = r.route(Some(h));
+        for _ in 0..10 {
+            assert_eq!(r.route(Some(h)), home);
+        }
+        // Unkeyed values still go somewhere, rotating.
+        let a = r.route(None);
+        let b = r.route(None);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        Router::new(RoutingPolicy::Hashed, 0);
+    }
+}
