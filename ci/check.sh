@@ -78,17 +78,23 @@ wait_ready() { # $1 = logfile; prints the listen address
     echo "server never became ready; log:" >&2; cat "$1" >&2; return 1
 }
 
-"$SERVER" --addr 127.0.0.1:0 --shards 2 --ckpt-dir "$ckpt_dir" > "$server_log" 2>&1 &
+rollup_dir="target/ci-server-smoke/rollup"
+"$SERVER" --addr 127.0.0.1:0 --shards 2 --ckpt-dir "$ckpt_dir" \
+    --rollup-window 1000 --rollup-dir "$rollup_dir" > "$server_log" 2>&1 &
 server_pid=$!
 addr=$(wait_ready "$server_log")
 "$CLIENT" "$addr" ingest-seq acme api.latency 0 50000
+"$CLIENT" "$addr" flush
 "$CLIENT" "$addr" checkpoint
 before=$("$CLIENT" "$addr" query acme api.latency 0.01 0.5 0.99)
 echo "$before"
+range_before=$("$CLIENT" "$addr" range acme api.latency 0 32 0.5 0.99)
+echo "$range_before"
 kill -9 "$server_pid" 2>/dev/null || true
 wait "$server_pid" 2>/dev/null || true
 
-"$SERVER" --addr 127.0.0.1:0 --shards 2 --ckpt-dir "$ckpt_dir" --recover > "$server_log" 2>&1 &
+"$SERVER" --addr 127.0.0.1:0 --shards 2 --ckpt-dir "$ckpt_dir" --recover \
+    --rollup-window 1000 --rollup-dir "$rollup_dir" > "$server_log" 2>&1 &
 server_pid=$!
 addr=$(wait_ready "$server_log")
 after=$("$CLIENT" "$addr" query acme api.latency 0.01 0.5 0.99)
@@ -97,7 +103,13 @@ if [ "$before" != "$after" ]; then
     diff <(echo "$before") <(echo "$after") >&2 || true
     exit 1
 fi
-echo "recovered answers bit-identical"
+range_after=$("$CLIENT" "$addr" range acme api.latency 0 32 0.5 0.99)
+if [ "$range_before" != "$range_after" ]; then
+    echo "recovered rollup range answers differ from pre-crash answers:" >&2
+    diff <(echo "$range_before") <(echo "$range_after") >&2 || true
+    exit 1
+fi
+echo "recovered answers bit-identical (point query and rollup range query)"
 "$CLIENT" "$addr" shutdown
 wait "$server_pid" 2>/dev/null || true
 if ! grep -q "shutdown complete" "$server_log"; then
@@ -108,6 +120,51 @@ fi
 
 echo "==> server load baseline (tiny; throughput + tenant isolation)"
 cargo run --release --offline -p qsketch-bench --bin bench_server_load -- --tiny
+
+echo "==> rollup smoke (ingest, cascade, age-out, range query, kill -9, recover, bit-identical)"
+SMOKE=./target/release/rollup_smoke
+smoke_dir="target/ci-rollup-smoke/tiers"
+smoke_log="target/ci-rollup-smoke/serve.log"
+rm -rf "target/ci-rollup-smoke"
+mkdir -p "$smoke_dir"
+"$SMOKE" --dir "$smoke_dir" --windows 32 --serve > "$smoke_log" 2>&1 &
+smoke_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "^ready$" "$smoke_log" 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "^ready$" "$smoke_log"; then
+    echo "rollup_smoke never became ready; log:" >&2; cat "$smoke_log" >&2; exit 1
+fi
+kill -9 "$smoke_pid" 2>/dev/null || true
+wait "$smoke_pid" 2>/dev/null || true
+rollup_before=$(sed '/^ready$/d' "$smoke_log")
+echo "$rollup_before"
+rollup_after=$("$SMOKE" --dir "$smoke_dir" --recover)
+if [ "$rollup_before" != "$rollup_after" ]; then
+    echo "recovered rollup store answers differ:" >&2
+    diff <(echo "$rollup_before") <(echo "$rollup_after") >&2 || true
+    exit 1
+fi
+echo "rollup store recovered bit-identically after kill -9"
+
+echo "==> rollup cascade baseline (quick; fails on malformed JSON)"
+# Quick-scale run from a scratch dir so the committed full-scale
+# BENCH_rollup.json at the repo root stays the durable baseline.
+scratch="target/ci-rollup-bench"
+mkdir -p "$scratch"
+rm -f "$scratch/BENCH_rollup.json"
+(cd "$scratch" && cargo run --release --offline -p qsketch-bench --bin ext_rollup_cascade -- --quick --runs 1)
+if [ ! -s "$scratch/BENCH_rollup.json" ]; then
+    echo "BENCH_rollup.json missing or empty" >&2
+    exit 1
+fi
+for key in ext_rollup_cascade tier_widths mean_rel_err alpha_deepest REQ KLL UDDS DDS Moments UDDS-fused; do
+    if ! grep -q "$key" "$scratch/BENCH_rollup.json"; then
+        echo "BENCH_rollup.json malformed: missing $key" >&2
+        exit 1
+    fi
+done
 
 echo "==> markdown link check (PROTOCOL.md / OPERATIONS.md doc set)"
 bash ci/linkcheck.sh

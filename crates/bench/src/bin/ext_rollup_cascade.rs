@@ -1,0 +1,24 @@
+//! Extension experiment: error growth down the rollup cascade — all
+//! five paper sketches plus the fused-merge UDDSketch variant, ingested
+//! as 64 closed windows into a four-tier rollup store and probed per
+//! tier against an exact oracle.
+//!
+//! Prints the table; at `--quick`/`--full` scale also writes the raw
+//! measurements to `BENCH_rollup.json` at the repo root (skipped at
+//! `--tiny`, which exists for CI smoke runs that should not clobber the
+//! committed baseline).
+
+use qsketch_bench::cli::Scale;
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    let (table, json) = qsketch_bench::experiments::ext_rollup_cascade::run_with_json(&args);
+    print!("{table}");
+    if args.scale != Scale::Tiny {
+        let path = std::path::Path::new("BENCH_rollup.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

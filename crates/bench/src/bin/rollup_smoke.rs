@@ -1,0 +1,126 @@
+//! Rollup kill -9 smoke for `ci/check.sh`: ingest a deterministic
+//! window stream into a disk-spilled three-tier rollup store, print a
+//! fixed set of range-query answers bit-exactly, then either exit or
+//! (`--serve`) sleep so the harness can `kill -9` the process and
+//! re-run with `--recover` — whose output must match the pre-kill
+//! answers byte for byte.
+//!
+//! ```text
+//! rollup_smoke --dir DIR --windows N [--serve]   ingest, print, maybe sleep
+//! rollup_smoke --dir DIR --recover               recover, print the same answers
+//! ```
+//!
+//! The ladder (1:8, 4:8, 16:4) ages fine slots out well before 32
+//! windows, so the smoke exercises ingest → cascade → age-out → range
+//! query → crash → recover in one run. KLL with a fixed seed keeps
+//! every answer deterministic.
+
+use std::process::ExitCode;
+
+use qsketch_kll::KllSketch;
+use qsketch_core::QuantileSketch;
+use qsketch_server::config::SERVER_SKETCH_SEED;
+use qsketch_streamsim::rollup::{RollupConfig, RollupStore, TierSpec};
+
+/// Values per window.
+const WINDOW_VALUES: u64 = 1_000;
+
+fn config(dir: &str) -> RollupConfig {
+    RollupConfig::new(vec![
+        TierSpec { width: 1, keep: 8 },
+        TierSpec { width: 4, keep: 8 },
+        TierSpec { width: 16, keep: 4 },
+    ])
+    .with_spill_dir(dir)
+    .with_hot_slots(2)
+}
+
+fn window_sketch(w: u64) -> KllSketch {
+    let mut sketch = KllSketch::with_seed(200, SERVER_SKETCH_SEED);
+    for i in 0..WINDOW_VALUES {
+        let x = (w * WINDOW_VALUES + i).wrapping_mul(2_654_435_761) % 100_000;
+        sketch.insert(x as f64 / 7.0);
+    }
+    sketch
+}
+
+fn print_answers(store: &RollupStore<KllSketch>) -> Result<(), String> {
+    let frontier = store.frontier();
+    println!("frontier={frontier}");
+    // Full range (coarse tiers), a mid-cascade subrange, a fine recent
+    // range, and a mostly-aged-out prefix.
+    let probes = [(0, frontier), (16, frontier), (frontier - 4, frontier), (0, 4)];
+    for (t0, t1) in probes {
+        let answer = store.range_query(t0, t1).map_err(|e| e.to_string())?;
+        match answer.sketch {
+            Some(sketch) => {
+                let p50 = sketch.query(0.5).map_err(|e| e.to_string())?;
+                let p99 = sketch.query(0.99).map_err(|e| e.to_string())?;
+                println!(
+                    "range {t0}..{t1} count={} merged_slots={} p50={:#018x} p99={:#018x}",
+                    sketch.count(),
+                    answer.merged_slots,
+                    p50.to_bits(),
+                    p99.to_bits(),
+                );
+            }
+            None => println!("range {t0}..{t1} empty"),
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = None;
+    let mut windows = 32u64;
+    let mut serve = false;
+    let mut recover = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = Some(it.next().ok_or("--dir needs a value")?.clone()),
+            "--windows" => {
+                windows = it
+                    .next()
+                    .ok_or("--windows needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --windows")?;
+            }
+            "--serve" => serve = true,
+            "--recover" => recover = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let dir = dir.ok_or("--dir is required")?;
+
+    let store = if recover {
+        RollupStore::recover(config(&dir)).map_err(|e| format!("recover: {e}"))?
+    } else {
+        let mut store = RollupStore::new(config(&dir)).map_err(|e| format!("config: {e}"))?;
+        for w in 0..windows {
+            store
+                .ingest_window(w, window_sketch(w))
+                .map_err(|e| format!("ingest window {w}: {e}"))?;
+        }
+        store
+    };
+    print_answers(&store)?;
+    if serve {
+        println!("ready");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_secs(600));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

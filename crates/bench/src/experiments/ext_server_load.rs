@@ -30,26 +30,47 @@ use qsketch_server::config::{ServerConfig, SERVER_SKETCH_SEED};
 use qsketch_server::protocol::ErrorCode;
 use qsketch_server::server::{spawn_core, Server, ServerCore};
 
-/// Shard workers (kept small: the container the benches run in is
-/// effectively single-core, and shard threads compete with connection
-/// threads for it).
-const SHARDS: usize = 2;
-/// Concurrent load connections in the throughput phase.
-const CONNECTIONS: usize = 4;
-/// Values per ingest batch in the throughput phase.
-const BATCH: usize = 512;
-/// Distinct metric keys per connection (exercises the hash router).
-const KEYS_PER_CONN: usize = 8;
-/// The noisy tenant's quota in the isolation phase, events/s.
-const NOISY_QUOTA: f64 = 50_000.0;
-/// Quiet-tenant probes in the isolation phase.
-const QUIET_PROBES: usize = 400;
+/// Every scale-dependent knob of the experiment, resolved in exactly
+/// one place so the table header, the phases, and the JSON schema can
+/// never disagree about what a `--quick` or `--full` run means.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Shard workers (kept small: the container the benches run in is
+    /// effectively single-core, and shard threads compete with
+    /// connection threads for it).
+    pub shards: usize,
+    /// Concurrent load connections in the throughput phase.
+    pub connections: usize,
+    /// Values per ingest batch in the throughput phase.
+    pub batch: usize,
+    /// Distinct metric keys per connection (exercises the hash router).
+    pub keys_per_conn: usize,
+    /// Events each connection streams in the throughput phase.
+    pub events_per_conn: usize,
+    /// The noisy tenant's quota in the isolation phase, events/s.
+    pub noisy_quota: f64,
+    /// Quiet-tenant probes in the isolation phase.
+    pub quiet_probes: usize,
+}
 
-fn events_per_conn(scale: Scale) -> usize {
-    match scale {
-        Scale::Tiny => 16_384,
-        Scale::Quick => 262_144,
-        Scale::Full => 2_097_152,
+impl LoadConfig {
+    /// The knobs for one scale. Only `events_per_conn` varies today,
+    /// but every consumer goes through this struct rather than module
+    /// constants so a future scale split cannot drift.
+    pub fn for_scale(scale: Scale) -> Self {
+        Self {
+            shards: 2,
+            connections: 4,
+            batch: 512,
+            keys_per_conn: 8,
+            events_per_conn: match scale {
+                Scale::Tiny => 16_384,
+                Scale::Quick => 262_144,
+                Scale::Full => 2_097_152,
+            },
+            noisy_quota: 50_000.0,
+            quiet_probes: 400,
+        }
     }
 }
 
@@ -91,29 +112,29 @@ struct ThroughputResult {
 }
 
 /// Phase 1: C connections stream batches as fast as the server acks.
-fn run_throughput(scale: Scale) -> ThroughputResult {
-    let (server, _core) = start_server(&ServerConfig::new("unused").with_shards(SHARDS));
+fn run_throughput(load: LoadConfig) -> ThroughputResult {
+    let (server, _core) = start_server(&ServerConfig::new("unused").with_shards(load.shards));
     let addr = server.local_addr();
-    let per_conn = events_per_conn(scale);
+    let per_conn = load.events_per_conn;
 
     let start = Instant::now();
     let mut handles = Vec::new();
-    for conn in 0..CONNECTIONS {
+    for conn in 0..load.connections {
         handles.push(std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("connect");
             let tenant = format!("tenant-{conn}");
-            let mut lat = Vec::with_capacity(per_conn / BATCH + 1);
+            let mut lat = Vec::with_capacity(per_conn / load.batch + 1);
             let mut sent = 0usize;
             let mut value = conn as f64;
             while sent < per_conn {
-                let n = BATCH.min(per_conn - sent);
+                let n = load.batch.min(per_conn - sent);
                 let batch: Vec<f64> = (0..n)
                     .map(|i| {
                         value += 1.0;
                         value + (i % 97) as f64
                     })
                     .collect();
-                let key = format!("api.endpoint.{}", (sent / BATCH) % KEYS_PER_CONN);
+                let key = format!("api.endpoint.{}", (sent / load.batch) % load.keys_per_conn);
                 let t0 = Instant::now();
                 client.ingest(&tenant, &key, &batch).expect("ingest");
                 lat.push(t0.elapsed().as_nanos() as u64);
@@ -126,7 +147,7 @@ fn run_throughput(scale: Scale) -> ThroughputResult {
     for handle in handles {
         all_lat.extend(handle.join().expect("load thread"));
     }
-    let events = (CONNECTIONS * per_conn) as u64;
+    let events = (load.connections * per_conn) as u64;
 
     // Drain before stopping the clock: throughput covers insertion, not
     // just enqueueing.
@@ -159,10 +180,10 @@ struct IsolationResult {
 
 /// Phase 2: a noisy neighbor runs into its quota while a quiet tenant
 /// sends sparse probes; the quiet ack latency is the isolation measure.
-fn run_isolation() -> IsolationResult {
+fn run_isolation(load: LoadConfig) -> IsolationResult {
     let config = ServerConfig::new("unused")
-        .with_shards(SHARDS)
-        .with_tenant_quota("noisy", NOISY_QUOTA);
+        .with_shards(load.shards)
+        .with_tenant_quota("noisy", load.noisy_quota);
     let (server, _core) = start_server(&config);
     let addr = server.local_addr();
 
@@ -193,8 +214,8 @@ fn run_isolation() -> IsolationResult {
 
     // Quiet tenant: sparse single-value ingests, 1 ms apart.
     let mut client = Client::connect(addr).expect("connect");
-    let mut lat = Vec::with_capacity(QUIET_PROBES);
-    for i in 0..QUIET_PROBES {
+    let mut lat = Vec::with_capacity(load.quiet_probes);
+    for i in 0..load.quiet_probes {
         let t0 = Instant::now();
         client
             .ingest("quiet", "heartbeat", &[i as f64])
@@ -208,7 +229,7 @@ fn run_isolation() -> IsolationResult {
 
     client.flush().expect("flush");
     let (_, count) = client.query("quiet", "heartbeat", &[0.5]).expect("query");
-    assert_eq!(count, QUIET_PROBES as u64, "quiet tenant lost events");
+    assert_eq!(count, load.quiet_probes as u64, "quiet tenant lost events");
 
     drop(server);
     IsolationResult {
@@ -228,13 +249,14 @@ pub fn run(args: &Args) -> String {
 /// Run the experiment; returns `(rendered report, JSON document)`. The
 /// binary writes the JSON to `BENCH_server.json` at the repo root.
 pub fn run_with_json(args: &Args) -> (String, String) {
-    let per_conn = events_per_conn(args.scale);
-    let throughput = run_throughput(args.scale);
-    let isolation = run_isolation();
+    let load = LoadConfig::for_scale(args.scale);
+    let throughput = run_throughput(load);
+    let isolation = run_isolation(load);
 
     let mut out = format!(
-        "Ext: server load — {CONNECTIONS} connections × {per_conn} events \
-         (batches of {BATCH}, {KEYS_PER_CONN} keys/conn, kll:200, {SHARDS} shards)\n\n"
+        "Ext: server load — {} connections × {} events \
+         (batches of {}, {} keys/conn, kll:200, {} shards)\n\n",
+        load.connections, load.events_per_conn, load.batch, load.keys_per_conn, load.shards,
     );
     let mut table = crate::table::Table::new(["metric", "value"]);
     table.row(vec![
@@ -273,12 +295,12 @@ pub fn run_with_json(args: &Args) -> (String, String) {
     out.push_str(&format!(
         "\nReading: the ack covers quota check + hash route + enqueue (insertion is\n\
          asynchronous in the shard workers); throughput is measured to full drain.\n\
-         In the isolation phase the noisy tenant is capped at {NOISY_QUOTA:.0} events/s\n\
+         In the isolation phase the noisy tenant is capped at {:.0} events/s\n\
          and rejected-not-blocked, so its overload never occupies queue slots —\n\
          the quiet tenant's p99 staying in the ack-latency ballpark (not the\n\
          seconds a blocked queue would cost) is the isolation guarantee.\n\
          Sanity: tenant-0/api.endpoint.0 p50 answered {:.1}.\n",
-        throughput.query_p50
+        load.noisy_quota, throughput.query_p50
     ));
 
     let scale = match args.scale {
@@ -288,14 +310,18 @@ pub fn run_with_json(args: &Args) -> (String, String) {
     };
     let json = format!(
         "{{\"experiment\":\"ext_server_load\",\"scale\":\"{scale}\",\
-         \"sketch\":\"kll:200\",\"shards\":{SHARDS},\
-         \"connections\":{CONNECTIONS},\"batch\":{BATCH},\
+         \"sketch\":\"kll:200\",\"shards\":{shards},\
+         \"connections\":{connections},\"batch\":{batch},\
          \"events\":{events},\"events_per_sec\":{eps:.1},\
          \"ack_us\":{{\"p50\":{p50:.2},\"p99\":{p99:.2},\"max\":{max:.2}}},\
-         \"isolation\":{{\"noisy_quota_events_per_sec\":{NOISY_QUOTA:.0},\
+         \"isolation\":{{\"noisy_quota_events_per_sec\":{quota:.0},\
          \"noisy_rejected_batches\":{rej},\"noisy_admitted_events\":{adm},\
          \"max_retry_hint_ms\":{hint},\
          \"quiet_ack_us\":{{\"p50\":{qp50:.2},\"p99\":{qp99:.2},\"max\":{qmax:.2}}}}}}}",
+        shards = load.shards,
+        connections = load.connections,
+        batch = load.batch,
+        quota = load.noisy_quota,
         events = throughput.events,
         eps = throughput.events_per_sec,
         p50 = throughput.ack.p50_us,

@@ -6,6 +6,7 @@
 pub mod ext_checkpoint;
 pub mod ext_insert_throughput;
 pub mod ext_parallel_scaling;
+pub mod ext_rollup_cascade;
 pub mod ext_server_load;
 pub mod ext_space_accuracy;
 pub mod ext_watermark_lag;

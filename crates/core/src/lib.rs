@@ -57,6 +57,6 @@ pub use exact::ExactQuantiles;
 pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
 pub use profile::Profile;
 pub use sketch::{
-    merge_tree, snapshot_merge, MergeError, MergeableSketch, QuantileSketch, QueryError,
-    SketchError, SketchFactory,
+    merge_tree, merge_tree_counted, snapshot_merge, MergeError, MergeableSketch, QuantileSketch,
+    QueryError, SketchError, SketchFactory,
 };

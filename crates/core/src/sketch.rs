@@ -313,19 +313,31 @@ impl<S: QuantileSketch, F: Fn() -> S> SketchFactory for F {
 /// assert_eq!(merged.count(), 100);
 /// assert_eq!(merged.query(0.5).unwrap(), 50.0);
 /// ```
-pub fn merge_tree<S: MergeableSketch>(mut shards: Vec<S>) -> Result<Option<S>, MergeError> {
+pub fn merge_tree<S: MergeableSketch>(shards: Vec<S>) -> Result<Option<S>, MergeError> {
+    Ok(merge_tree_counted(shards)?.map(|(s, _)| s))
+}
+
+/// [`merge_tree`] with merge-count instrumentation: also returns how many
+/// pairwise `merge` calls the fold performed (`k - 1` for `k` inputs).
+/// The rollup store's range queries use this to *assert* their O(log n)
+/// stored-sketch bound rather than just claim it.
+pub fn merge_tree_counted<S: MergeableSketch>(
+    mut shards: Vec<S>,
+) -> Result<Option<(S, usize)>, MergeError> {
+    let mut merges = 0usize;
     while shards.len() > 1 {
         let mut next = Vec::with_capacity(shards.len().div_ceil(2));
         let mut it = shards.into_iter();
         while let Some(mut left) = it.next() {
             if let Some(right) = it.next() {
                 left.merge(&right)?;
+                merges += 1;
             }
             next.push(left);
         }
         shards = next;
     }
-    Ok(shards.pop())
+    Ok(shards.pop().map(|s| (s, merges)))
 }
 
 /// Merge point-in-time *snapshots* of live shard sketches: clone each

@@ -22,6 +22,7 @@ COMMANDS:
     query TENANT KEY Q…                   quantile point query
     cdf TENANT KEY POINTS                 discretized CDF grid
     merged TENANT PREFIX Q…               query the merge of a key-prefix range
+    range TENANT KEY T0 T1 Q…             rollup range query over windows [T0, T1)
     flush                                 wait until all ingested data is queryable
     checkpoint                            write a durable checkpoint now
     stats
@@ -126,6 +127,21 @@ fn run() -> Result<(), String> {
                 println!("q={q} value={v} bits={:#018x}", v.to_bits());
             }
             println!("count={count} merged_keys={merged_keys}");
+        }
+        "range" => {
+            if rest.len() < 5 {
+                return Err("range needs TENANT KEY T0 T1 Q…".into());
+            }
+            let t0: u64 = rest[2].parse().map_err(|_| "bad T0")?;
+            let t1: u64 = rest[3].parse().map_err(|_| "bad T1")?;
+            let qs = parse_f64s(&rest[4..], "quantile")?;
+            let (values, count, merged_slots) = client
+                .range_query(&rest[0], &rest[1], t0, t1, &qs)
+                .map_err(|e| e.to_string())?;
+            for (q, v) in qs.iter().zip(&values) {
+                println!("q={q} value={v} bits={:#018x}", v.to_bits());
+            }
+            println!("count={count} merged_slots={merged_slots}");
         }
         "flush" => {
             client.flush().map_err(|e| e.to_string())?;

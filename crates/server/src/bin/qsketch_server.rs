@@ -38,6 +38,10 @@ OPTIONS:
     --recover              restore state from DIR's checkpoints at start
     --quota TENANT=RATE    per-tenant ingest quota, events/s (repeatable)
     --default-quota RATE   quota for tenants without an explicit one
+    --rollup-window N      enable rollups: values per window per (tenant, key)
+    --rollup-tiers SPEC    tier ladder width:keep[,width:keep…] in windows
+                           (default 1:16,4:16,16:16)
+    --rollup-dir DIR       spill rollup tiers to per-key subdirectories of DIR
     --help                 print this help
 ";
 
@@ -101,11 +105,35 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                         .ok_or_else(|| format!("bad default quota {rate:?}"))?,
                 );
             }
+            "--rollup-window" => {
+                config.rollup_window = Some(
+                    next_value("--rollup-window", &mut it)?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--rollup-window needs a positive integer")?,
+                );
+            }
+            "--rollup-tiers" => {
+                config.rollup_tiers =
+                    qsketch_server::config::parse_rollup_tiers(&next_value(
+                        "--rollup-tiers",
+                        &mut it,
+                    )?)?;
+            }
+            "--rollup-dir" => {
+                config.rollup_dir = Some(next_value("--rollup-dir", &mut it)?.into());
+            }
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
     }
     if config.recover && config.checkpoint_dir.is_none() {
         return Err("--recover needs --ckpt-dir".into());
+    }
+    if config.rollup_window.is_none()
+        && (!config.rollup_tiers.is_empty() || config.rollup_dir.is_some())
+    {
+        return Err("--rollup-tiers/--rollup-dir need --rollup-window".into());
     }
     Ok(config)
 }

@@ -214,6 +214,34 @@ impl Client {
         }
     }
 
+    /// Rollup range query over `[t0, t1)` windows; returns
+    /// `(estimates, merged count, merged slot count)`. An empty range
+    /// (fully aged out or beyond the frontier) answers with zero count
+    /// and no estimates rather than an error.
+    pub fn range_query(
+        &mut self,
+        tenant: &str,
+        key: &str,
+        t0: u64,
+        t1: u64,
+        qs: &[f64],
+    ) -> Result<(Vec<f64>, u64, u64), ClientError> {
+        match self.call(&Request::RangeQuery {
+            tenant: tenant.into(),
+            key: key.into(),
+            t0,
+            t1,
+            qs: qs.to_vec(),
+        })? {
+            Response::RangeOk {
+                values,
+                count,
+                merged_slots,
+            } => Ok((values, count, merged_slots)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     /// Block until everything already ingested is queryable.
     pub fn flush(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Flush)? {

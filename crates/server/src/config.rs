@@ -8,7 +8,8 @@ use std::path::PathBuf;
 use std::str::FromStr;
 
 use qsketch_streamsim::checkpoint::CheckpointConfig;
-use qsketch_streamsim::keyed_engine::{KeyedEngineConfig, TenantQuota};
+use qsketch_streamsim::keyed_engine::{KeyedEngineConfig, RollupOptions, TenantQuota};
+use qsketch_streamsim::rollup::TierSpec;
 
 /// Fixed RNG seed for server-minted randomized sketches (KLL's
 /// compaction coin). A fixed seed keeps the [`SketchFactory`] contract —
@@ -162,6 +163,53 @@ pub struct ServerConfig {
     pub default_quota: Option<f64>,
     /// Explicit per-tenant quotas, events/s.
     pub quotas: Vec<(String, f64)>,
+    /// Values per rollup window (`None` = rollups disabled; the
+    /// `RangeQuery` op then answers `unavailable`).
+    pub rollup_window: Option<u64>,
+    /// Rollup tier ladder, parsed from `--rollup-tiers` (see
+    /// [`parse_rollup_tiers`]). Ignored unless `rollup_window` is set.
+    pub rollup_tiers: Vec<TierSpec>,
+    /// Root directory for per-key rollup spill files (`None` =
+    /// memory-only rollups).
+    pub rollup_dir: Option<PathBuf>,
+}
+
+/// Parse a rollup tier ladder of the form `width:keep,width:keep,...`
+/// where `width` is in windows — e.g. `1:8,4:8,16:8`. Widths must be
+/// increasing multiples; the [`RollupStore`] constructor validates
+/// that, this only parses.
+///
+/// [`RollupStore`]: qsketch_streamsim::rollup::RollupStore
+///
+/// ```
+/// use qsketch_server::config::parse_rollup_tiers;
+///
+/// let tiers = parse_rollup_tiers("1:8,4:8").unwrap();
+/// assert_eq!((tiers[1].width, tiers[1].keep), (4, 8));
+/// assert!(parse_rollup_tiers("1:8,oops").is_err());
+/// ```
+pub fn parse_rollup_tiers(s: &str) -> Result<Vec<TierSpec>, String> {
+    let mut tiers = Vec::new();
+    for part in s.split(',') {
+        let (w, k) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad tier {part:?} in {s:?} (expected width:keep)"))?;
+        let width = w
+            .parse::<u64>()
+            .ok()
+            .filter(|w| *w > 0)
+            .ok_or_else(|| format!("bad tier width {w:?} in {s:?}"))?;
+        let keep = k
+            .parse::<usize>()
+            .ok()
+            .filter(|k| *k > 0)
+            .ok_or_else(|| format!("bad tier keep {k:?} in {s:?}"))?;
+        tiers.push(TierSpec { width, keep });
+    }
+    if tiers.is_empty() {
+        return Err(format!("empty tier ladder {s:?}"));
+    }
+    Ok(tiers)
 }
 
 impl ServerConfig {
@@ -178,7 +226,25 @@ impl ServerConfig {
             recover: false,
             default_quota: None,
             quotas: Vec::new(),
+            rollup_window: None,
+            rollup_tiers: Vec::new(),
+            rollup_dir: None,
         }
+    }
+
+    /// Enable rollups: every `window_values` ingested values per
+    /// `(tenant, key)` close one window, which cascades through
+    /// `tiers` (widths in windows).
+    pub fn with_rollup(mut self, window_values: u64, tiers: Vec<TierSpec>) -> Self {
+        self.rollup_window = Some(window_values.max(1));
+        self.rollup_tiers = tiers;
+        self
+    }
+
+    /// Spill rollup tiers to per-key directories under `dir`.
+    pub fn with_rollup_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.rollup_dir = Some(dir.into());
+        self
     }
 
     /// Set the shard worker count (min 1).
@@ -243,6 +309,22 @@ impl ServerConfig {
         if let Some(dir) = &self.checkpoint_dir {
             config = config.with_checkpoint(CheckpointConfig::new(dir, self.checkpoint_interval));
         }
+        if let Some(window) = self.rollup_window {
+            let tiers = if self.rollup_tiers.is_empty() {
+                vec![
+                    TierSpec { width: 1, keep: 16 },
+                    TierSpec { width: 4, keep: 16 },
+                    TierSpec { width: 16, keep: 16 },
+                ]
+            } else {
+                self.rollup_tiers.clone()
+            };
+            let mut options = RollupOptions::new(window, tiers);
+            if let Some(dir) = &self.rollup_dir {
+                options = options.with_spill_root(dir.clone());
+            }
+            config = config.with_rollup(options);
+        }
         config
     }
 }
@@ -268,6 +350,39 @@ mod tests {
         ] {
             let err = text.parse::<ServerSketchSpec>().unwrap_err();
             assert!(!err.is_empty(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn engine_config_carries_rollup_options() {
+        let config = ServerConfig::new("127.0.0.1:0")
+            .with_rollup(1_000, parse_rollup_tiers("1:8,4:8").unwrap())
+            .with_rollup_dir("/tmp/qsketch-rollup-test");
+        let engine = config.engine_config();
+        let rollup = engine.rollup.expect("rollup options plumbed through");
+        assert_eq!(rollup.window_values, 1_000);
+        assert_eq!(rollup.tiers.len(), 2);
+        assert_eq!(rollup.tiers[1].width, 4);
+        assert!(rollup.spill_root.is_some());
+
+        // Rollups enabled without an explicit ladder take the default
+        // three-tier 1/4/16 ladder.
+        let engine = ServerConfig::new("127.0.0.1:0")
+            .with_rollup(500, Vec::new())
+            .engine_config();
+        assert_eq!(engine.rollup.unwrap().tiers.len(), 3);
+
+        // Disabled by default.
+        assert!(ServerConfig::new("127.0.0.1:0").engine_config().rollup.is_none());
+    }
+
+    #[test]
+    fn tier_ladders_parse_and_reject_garbage() {
+        let tiers = parse_rollup_tiers("1:16,4:16,16:16").unwrap();
+        assert_eq!(tiers.len(), 3);
+        assert_eq!((tiers[0].width, tiers[0].keep), (1, 16));
+        for bad in ["", "1", "1:0", "0:8", "1:8,", "a:b", "1:8;4:8"] {
+            assert!(parse_rollup_tiers(bad).is_err(), "{bad:?}");
         }
     }
 

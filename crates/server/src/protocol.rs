@@ -29,8 +29,14 @@ use std::io::{self, Read, Write};
 pub const FRAME_MAGIC: u8 = 0x51;
 
 /// Highest protocol version this build speaks. Version 1 is the initial
-/// protocol; see `PROTOCOL.md` § Versioning for the negotiation rules.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// protocol; version 2 adds [`op::RANGE_QUERY`]. See `PROTOCOL.md`
+/// § Versioning for the negotiation rules.
+///
+/// Every frame carries the *lowest* version that defines its opcode
+/// ([`min_version_for`]), not this constant — so every version-1
+/// operation stays byte-identical on the wire and a version-1 peer
+/// keeps decoding it.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame's payload length (16 MiB). A frame header
 /// declaring more is rejected before any allocation.
@@ -54,7 +60,7 @@ pub const MAX_ERROR_MESSAGE: u64 = 1024;
 /// Most per-tenant rows a stats response may carry.
 pub const MAX_STATS_TENANTS: u64 = 1 << 16;
 
-/// Request opcodes (`0x01..=0x0A`).
+/// Request opcodes (`0x01..=0x0B`).
 pub mod op {
     /// Version negotiation; must not change meaning across versions.
     pub const HELLO: u8 = 0x01;
@@ -76,10 +82,27 @@ pub mod op {
     pub const PING: u8 = 0x09;
     /// Ask the server to shut down gracefully.
     pub const SHUTDOWN: u8 = 0x0A;
+    /// Rollup range query over one `(tenant, key)`'s tiered store
+    /// (protocol version ≥ 2).
+    pub const RANGE_QUERY: u8 = 0x0B;
 }
 
 /// Error responses use this opcode instead of `request | 0x80`.
 pub const OP_ERROR: u8 = 0xEE;
+
+/// The lowest protocol version that defines `opcode` (request or
+/// response form). Frames carry exactly this version: a version-1 peer
+/// keeps accepting every version-1 operation byte-identically, and
+/// rejects only the opcodes it genuinely cannot know.
+pub const fn min_version_for(opcode: u8) -> u8 {
+    if opcode == OP_ERROR {
+        return 1;
+    }
+    match opcode & 0x7F {
+        op::RANGE_QUERY => 2,
+        _ => 1,
+    }
+}
 
 /// The response opcode for a request opcode: high bit set.
 #[inline]
@@ -193,6 +216,20 @@ pub enum Request {
     Ping,
     /// Graceful shutdown (final checkpoint, then exit).
     Shutdown,
+    /// Estimate quantiles over the rollup slots of one key covering
+    /// `[t0, t1)` in the server's rollup time units (protocol ≥ 2).
+    RangeQuery {
+        /// Tenant identifier.
+        tenant: String,
+        /// Metric-key identifier.
+        key: String,
+        /// Inclusive range start, in rollup time units.
+        t0: u64,
+        /// Exclusive range end.
+        t1: u64,
+        /// Quantiles in `(0, 1]` (1..=[`MAX_QUANTILES`]).
+        qs: Vec<f64>,
+    },
 }
 
 /// Operational counters carried by [`Response::StatsOk`].
@@ -260,6 +297,16 @@ pub enum Response {
     Pong,
     /// Shutdown acknowledged; the server stops accepting and exits.
     ShutdownOk,
+    /// Rollup range-query estimates (protocol ≥ 2).
+    RangeOk {
+        /// One estimate per requested quantile.
+        values: Vec<f64>,
+        /// Values recorded across the covered slots (0 when the range
+        /// covers no stored slot — `values` is then empty too).
+        count: u64,
+        /// Stored sketches merged to answer (the O(log n) bound).
+        merged_slots: u64,
+    },
     /// The request failed; see the code and message.
     Error {
         /// Machine-readable class.
@@ -282,7 +329,7 @@ fn read_str(r: &mut Reader<'_>, max_len: u64) -> Result<String, DecodeError> {
 }
 
 fn header(opcode: u8) -> Writer {
-    let mut w = Writer::with_header(FRAME_MAGIC, PROTOCOL_VERSION);
+    let mut w = Writer::with_header(FRAME_MAGIC, min_version_for(opcode));
     w.u8(opcode);
     w
 }
@@ -290,6 +337,13 @@ fn header(opcode: u8) -> Writer {
 fn open(payload: &[u8]) -> Result<(Reader<'_>, u8), DecodeError> {
     let mut r = Reader::with_header(payload, FRAME_MAGIC, PROTOCOL_VERSION)?;
     let opcode = r.u8()?;
+    if r.version() < min_version_for(opcode) {
+        return Err(DecodeError::Corrupt(format!(
+            "opcode {opcode:#04x} requires protocol version {}, frame declares {}",
+            min_version_for(opcode),
+            r.version()
+        )));
+    }
     Ok((r, opcode))
 }
 
@@ -307,6 +361,7 @@ impl Request {
             Request::Stats => op::STATS,
             Request::Ping => op::PING,
             Request::Shutdown => op::SHUTDOWN,
+            Request::RangeQuery { .. } => op::RANGE_QUERY,
         }
     }
 
@@ -347,6 +402,19 @@ impl Request {
             Request::MergedQuery { tenant, prefix, qs } => {
                 write_str(&mut w, tenant);
                 write_str(&mut w, prefix);
+                w.f64_slice(qs);
+            }
+            Request::RangeQuery {
+                tenant,
+                key,
+                t0,
+                t1,
+                qs,
+            } => {
+                write_str(&mut w, tenant);
+                write_str(&mut w, key);
+                w.varint(*t0);
+                w.varint(*t1);
                 w.f64_slice(qs);
             }
             Request::Flush
@@ -425,6 +493,31 @@ impl Request {
                 }
                 Request::MergedQuery { tenant, prefix, qs }
             }
+            op::RANGE_QUERY => {
+                let tenant = read_str(&mut r, MAX_IDENT)?;
+                let key = read_str(&mut r, MAX_IDENT)?;
+                let t0 = r.varint()?;
+                let t1 = r.varint()?;
+                let qs = r.f64_vec(MAX_QUANTILES)?;
+                if tenant.is_empty() || key.is_empty() {
+                    return Err(DecodeError::Corrupt("empty identifier".into()));
+                }
+                if t1 <= t0 {
+                    return Err(DecodeError::Corrupt(format!(
+                        "empty range [{t0}, {t1})"
+                    )));
+                }
+                if qs.is_empty() {
+                    return Err(DecodeError::Corrupt("no quantiles requested".into()));
+                }
+                Request::RangeQuery {
+                    tenant,
+                    key,
+                    t0,
+                    t1,
+                    qs,
+                }
+            }
             op::FLUSH => Request::Flush,
             op::CHECKPOINT => Request::Checkpoint,
             op::STATS => Request::Stats,
@@ -455,6 +548,7 @@ impl Response {
             Response::StatsOk(_) => response_opcode(op::STATS),
             Response::Pong => response_opcode(op::PING),
             Response::ShutdownOk => response_opcode(op::SHUTDOWN),
+            Response::RangeOk { .. } => response_opcode(op::RANGE_QUERY),
             Response::Error { .. } => OP_ERROR,
         }
     }
@@ -485,6 +579,15 @@ impl Response {
                 w.f64_slice(values);
                 w.varint(*count);
                 w.varint(*merged_keys);
+            }
+            Response::RangeOk {
+                values,
+                count,
+                merged_slots,
+            } => {
+                w.f64_slice(values);
+                w.varint(*count);
+                w.varint(*merged_slots);
             }
             Response::FlushOk
             | Response::CheckpointOk
@@ -569,6 +672,11 @@ impl Response {
             }
             _ if opcode == response_opcode(op::PING) => Response::Pong,
             _ if opcode == response_opcode(op::SHUTDOWN) => Response::ShutdownOk,
+            _ if opcode == response_opcode(op::RANGE_QUERY) => Response::RangeOk {
+                values: r.f64_vec(MAX_QUANTILES)?,
+                count: r.varint()?,
+                merged_slots: r.varint()?,
+            },
             OP_ERROR => {
                 let raw = r.u8()?;
                 let code = ErrorCode::from_u8(raw).ok_or_else(|| {
@@ -666,6 +774,13 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::RangeQuery {
+                tenant: "acme".into(),
+                key: "checkout.latency".into(),
+                t0: 0,
+                t1: 1 << 40,
+                qs: vec![0.5, 0.99],
+            },
         ]
     }
 
@@ -701,6 +816,11 @@ mod tests {
             }),
             Response::Pong,
             Response::ShutdownOk,
+            Response::RangeOk {
+                values: vec![2.0, 2.5],
+                count: 3_200,
+                merged_slots: 6,
+            },
             Response::Error {
                 code: ErrorCode::QuotaExceeded,
                 retry_after_ms: 250,
@@ -765,6 +885,59 @@ mod tests {
         let mut bad = enc;
         bad[2] = 0x7F;
         assert!(matches!(Request::decode(&bad), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn version1_operations_stay_byte_identical() {
+        // Every pre-v2 frame must still declare version 1 so v1 peers
+        // keep decoding it; only RangeQuery frames declare version 2.
+        for req in sample_requests() {
+            let enc = req.encode();
+            let want = min_version_for(req.opcode());
+            assert_eq!(enc[1], want, "{req:?}");
+            assert_eq!(
+                want,
+                if matches!(req, Request::RangeQuery { .. }) { 2 } else { 1 }
+            );
+        }
+        for resp in sample_responses() {
+            let enc = resp.encode();
+            let want = min_version_for(resp.opcode());
+            assert_eq!(enc[1], want, "{resp:?}");
+            assert_eq!(
+                want,
+                if matches!(resp, Response::RangeOk { .. }) { 2 } else { 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn v2_opcode_in_v1_frame_rejected() {
+        // A frame claiming version 1 but carrying a v2-only opcode is
+        // malformed, not silently accepted.
+        let mut enc = Request::RangeQuery {
+            tenant: "t".into(),
+            key: "k".into(),
+            t0: 0,
+            t1: 4,
+            qs: vec![0.5],
+        }
+        .encode();
+        assert_eq!(enc[1], 2);
+        enc[1] = 1;
+        assert!(matches!(Request::decode(&enc), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let bad = Request::RangeQuery {
+            tenant: "t".into(),
+            key: "k".into(),
+            t0: 5,
+            t1: 5,
+            qs: vec![0.5],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
     }
 
     #[test]

@@ -221,6 +221,40 @@ where
             }
             Request::Ping => Response::Pong,
             Request::Shutdown => Response::ShutdownOk,
+            Request::RangeQuery {
+                tenant,
+                key,
+                t0,
+                t1,
+                qs,
+            } => match self.engine.range_query(&tenant, &key, t0, t1) {
+                Ok(answer) => match answer.sketch {
+                    // A range covering no stored slot is an empty (not
+                    // erroneous) answer: the data may have aged out.
+                    None => Response::RangeOk {
+                        values: Vec::new(),
+                        count: 0,
+                        merged_slots: 0,
+                    },
+                    Some(sketch) => match sketch.query_many(&qs) {
+                        Ok(values) => Response::RangeOk {
+                            values,
+                            count: sketch.count(),
+                            merged_slots: answer.merged_slots as u64,
+                        },
+                        Err(e) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                    },
+                },
+                Err(KeyedEngineError::RollupDisabled) => Self::err(
+                    ErrorCode::Unavailable,
+                    "server started without rollups; range queries disabled",
+                ),
+                Err(KeyedEngineError::UnknownKey { tenant, key }) => Self::err(
+                    ErrorCode::UnknownKey,
+                    format!("no rollup state for tenant {tenant}, key {key}"),
+                ),
+                Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+            },
         }
     }
 }
@@ -634,6 +668,84 @@ mod tests {
     fn checkpoint_without_dir_is_unavailable() {
         let core = core();
         match core.handle(Request::Checkpoint) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unavailable),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_query_serves_rollup_slots() {
+        use qsketch_streamsim::keyed_engine::RollupOptions;
+        use qsketch_streamsim::rollup::TierSpec;
+        let engine = KeyedEngine::spawn(
+            KeyedEngineConfig::new(2).with_rollup(RollupOptions::new(
+                100,
+                vec![
+                    TierSpec { width: 1, keep: 8 },
+                    TierSpec { width: 4, keep: 8 },
+                ],
+            )),
+            || KllSketch::with_seed(200, 7),
+        )
+        .unwrap();
+        let core = ServerCore::new(engine, false);
+        core.handle(Request::Ingest {
+            tenant: "t".into(),
+            key: "k".into(),
+            values: (1..=1_600).map(f64::from).collect(),
+        });
+        core.handle(Request::Flush);
+        match core.handle(Request::RangeQuery {
+            tenant: "t".into(),
+            key: "k".into(),
+            t0: 0,
+            t1: 16,
+            qs: vec![0.5],
+        }) {
+            Response::RangeOk {
+                values,
+                count,
+                merged_slots,
+            } => {
+                assert_eq!(count, 1_600);
+                assert_eq!(merged_slots, 4, "16 windows = 4 tier-1 slots");
+                assert!((values[0] - 800.0).abs() <= 40.0, "{values:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Beyond the frontier: empty coverage, not an error.
+        match core.handle(Request::RangeQuery {
+            tenant: "t".into(),
+            key: "k".into(),
+            t0: 100,
+            t1: 200,
+            qs: vec![0.5],
+        }) {
+            Response::RangeOk { count, .. } => assert_eq!(count, 0),
+            other => panic!("{other:?}"),
+        }
+        match core.handle(Request::RangeQuery {
+            tenant: "ghost".into(),
+            key: "k".into(),
+            t0: 0,
+            t1: 16,
+            qs: vec![0.5],
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownKey),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_query_without_rollups_is_unavailable() {
+        let core = core();
+        match core.handle(Request::RangeQuery {
+            tenant: "t".into(),
+            key: "k".into(),
+            t0: 0,
+            t1: 16,
+            qs: vec![0.5],
+        }) {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unavailable),
             other => panic!("{other:?}"),
         }

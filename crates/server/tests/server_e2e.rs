@@ -36,7 +36,7 @@ fn full_session_over_tcp() {
     let addr = server.local_addr().to_string();
 
     let mut client = Client::connect(&addr).unwrap();
-    assert_eq!(client.hello().unwrap(), 1);
+    assert_eq!(client.hello().unwrap(), qsketch_server::protocol::PROTOCOL_VERSION);
     client.ping().unwrap();
 
     let values: Vec<f64> = (1..=5_000).map(f64::from).collect();

@@ -68,6 +68,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -82,7 +83,8 @@ use crate::checkpoint::{
     read_registry, write_atomic, CheckpointConfig, RegistryCheckpoint, RegistryEntry,
 };
 use crate::engine::BoundedQueue;
-use crate::metrics::KeyedEngineMetrics;
+use crate::metrics::{KeyedEngineMetrics, RollupMetrics};
+use crate::rollup::{RangeAnswer, RollupConfig, RollupStore, TierSpec};
 use crate::routing::{hash_pair, shard_for};
 
 /// Default bounded-queue capacity per shard, in ingest batches.
@@ -116,6 +118,95 @@ impl TenantQuota {
     }
 }
 
+/// Per-key hierarchical rollup riding on the keyed workers: every
+/// `window_values` inserted values of a `(tenant, key)` pair close one
+/// fine-tier window of that key's [`RollupStore`], which then cascades,
+/// ages out, and answers range queries in *window units* (fine slot `i`
+/// covers values `[i·window_values, (i+1)·window_values)` of the key's
+/// stream, in ingest order).
+///
+/// With a `spill_root`, each key's store writes through to its own
+/// subdirectory (`<hash>-<tenant>-<key>`, non-portable characters
+/// replaced) and is lazily recovered from disk the next time the key is
+/// touched — including by a process that never ingested it.
+#[derive(Debug, Clone)]
+pub struct RollupOptions {
+    /// Values per fine-tier window. A window closes (and is ingested
+    /// into the store) only when full; a trailing partial window is
+    /// queryable via [`KeyedEngine::snapshot`] but not via range
+    /// queries, and is not durable.
+    pub window_values: u64,
+    /// The tier ladder, finest first, widths in window units (see
+    /// [`RollupStore::new`] for the invariants).
+    pub tiers: Vec<TierSpec>,
+    /// Root directory for per-key spill subdirectories (`None` =
+    /// memory-only rollups, not recoverable).
+    pub spill_root: Option<PathBuf>,
+    /// Newest slots per tier kept decoded when spilling (see
+    /// [`RollupConfig::with_hot_slots`]).
+    pub hot_slots: usize,
+}
+
+impl RollupOptions {
+    /// Rollups of `window_values`-value windows over `tiers`, memory
+    /// only, default hot-slot count.
+    pub fn new(window_values: u64, tiers: Vec<TierSpec>) -> Self {
+        Self {
+            window_values: window_values.max(1),
+            tiers,
+            spill_root: None,
+            hot_slots: RollupConfig::new(Vec::new()).hot_slots,
+        }
+    }
+
+    /// Spill every key's store under `root` (created on first write).
+    #[must_use]
+    pub fn with_spill_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.spill_root = Some(root.into());
+        self
+    }
+
+    /// Set how many newest slots per tier stay decoded in memory.
+    #[must_use]
+    pub fn with_hot_slots(mut self, hot: usize) -> Self {
+        self.hot_slots = hot;
+        self
+    }
+
+    /// The store config for one key (per-key spill dir resolved).
+    fn store_config(&self, tenant: &str, key: &str) -> RollupConfig {
+        let mut config =
+            RollupConfig::new(self.tiers.clone()).with_hot_slots(self.hot_slots);
+        if let Some(root) = &self.spill_root {
+            config = config.with_spill_dir(root.join(rollup_dir_name(tenant, key)));
+        }
+        config
+    }
+}
+
+/// Filesystem-safe per-key spill directory name: the routing hash (for
+/// uniqueness) plus sanitized, truncated tenant/key (for operators).
+fn rollup_dir_name(tenant: &str, key: &str) -> String {
+    fn sanitize(s: &str) -> String {
+        s.chars()
+            .take(40)
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    }
+    format!(
+        "{:016x}-{}-{}",
+        hash_pair(tenant, key),
+        sanitize(tenant),
+        sanitize(key)
+    )
+}
+
 /// Configuration for a [`KeyedEngine`].
 ///
 /// ```
@@ -142,6 +233,9 @@ pub struct KeyedEngineConfig {
     /// Periodic registry checkpointing (`None` = only explicit
     /// [`KeyedEngine::checkpoint_now`] calls write files).
     pub checkpoint: Option<CheckpointConfig>,
+    /// Per-key hierarchical rollups (`None` = range queries are a typed
+    /// error).
+    pub rollup: Option<RollupOptions>,
 }
 
 impl KeyedEngineConfig {
@@ -154,6 +248,7 @@ impl KeyedEngineConfig {
             quotas: Vec::new(),
             default_quota: None,
             checkpoint: None,
+            rollup: None,
         }
     }
 
@@ -180,6 +275,12 @@ impl KeyedEngineConfig {
     /// `ckpt.dir`, every `ckpt.interval_values` values per shard.
     pub fn with_checkpoint(mut self, ckpt: CheckpointConfig) -> Self {
         self.checkpoint = Some(ckpt);
+        self
+    }
+
+    /// Enable per-key hierarchical rollups (see [`RollupOptions`]).
+    pub fn with_rollup(mut self, rollup: RollupOptions) -> Self {
+        self.rollup = Some(rollup);
         self
     }
 }
@@ -217,6 +318,11 @@ pub enum KeyedEngineError {
     /// The engine was spawned without a checkpoint config but a
     /// checkpoint operation was requested.
     CheckpointingDisabled,
+    /// The engine was spawned without rollup options but a range query
+    /// was requested.
+    RollupDisabled,
+    /// A rollup-store operation failed (stringified [`crate::rollup::RollupError`]).
+    Rollup(String),
 }
 
 impl std::fmt::Display for KeyedEngineError {
@@ -241,6 +347,10 @@ impl std::fmt::Display for KeyedEngineError {
             KeyedEngineError::CheckpointingDisabled => {
                 write!(f, "engine was spawned without a checkpoint config")
             }
+            KeyedEngineError::RollupDisabled => {
+                write!(f, "engine was spawned without rollup options")
+            }
+            KeyedEngineError::Rollup(e) => write!(f, "rollup operation failed: {e}"),
         }
     }
 }
@@ -304,10 +414,79 @@ type KeyedRegistry<S> = HashMap<(String, String), S>;
 /// as of the checkpoint it was decoded from.
 type ShardInit<S> = (KeyedRegistry<S>, u64);
 
+/// One key's live rollup: the partially filled fine window (`None`
+/// until the worker first feeds it — a query-side lazy recovery has no
+/// factory to mint one) and the tiered store.
+struct RollupState<S> {
+    window: Option<S>,
+    filled: u64,
+    store: RollupStore<S>,
+}
+
+/// Rollup wiring shared by every shard, resolved at spawn time.
+struct RollupRuntime {
+    options: RollupOptions,
+    metrics: Option<RollupMetrics>,
+    /// Last rollup error (best-effort, like checkpoint errors: a failed
+    /// spill or cascade never stops ingestion).
+    error: Mutex<Option<String>>,
+}
+
+/// Open a key's store: recover from its spill directory when one
+/// exists, otherwise start empty.
+fn open_rollup_store<S>(
+    runtime: &RollupRuntime,
+    tenant: &str,
+    key: &str,
+) -> Result<RollupStore<S>, crate::rollup::RollupError>
+where
+    S: MergeableSketch + SketchSerialize + Clone,
+{
+    let config = runtime.options.store_config(tenant, key);
+    let mut store = match &config.spill_dir {
+        Some(dir) if dir.is_dir() => RollupStore::recover(config),
+        _ => RollupStore::new(config),
+    }?;
+    if let Some(m) = &runtime.metrics {
+        store.attach_metrics(m.clone());
+    }
+    Ok(store)
+}
+
+/// Feed one admitted batch into a key's rollup, closing (and ingesting)
+/// every fine window it fills.
+fn feed_rollup<S, F>(
+    state: &mut RollupState<S>,
+    values: &[f64],
+    window_values: u64,
+    factory: &F,
+) -> Result<(), crate::rollup::RollupError>
+where
+    S: MergeableSketch + SketchSerialize + Clone,
+    F: SketchFactory<Sketch = S>,
+{
+    let mut idx = 0;
+    while idx < values.len() {
+        let window = state.window.get_or_insert_with(|| factory.make());
+        let room = (window_values - state.filled) as usize;
+        let take = room.min(values.len() - idx);
+        window.insert_batch(&values[idx..idx + take]);
+        state.filled += take as u64;
+        idx += take;
+        if state.filled == window_values {
+            let start = state.store.frontier();
+            let full = state.window.take().expect("window just filled");
+            state.store.ingest_window(start, full)?;
+            state.filled = 0;
+        }
+    }
+    Ok(())
+}
+
 /// How the keyed engine checkpoints, resolved at spawn time (the keyed
 /// analogue of the plain engine's checkpoint plan — the encode hook is a
-/// plain `fn` pointer so worker threads stay free of the
-/// `SketchSerialize` bound).
+/// plain `fn` pointer resolved once rather than re-monomorphised per
+/// call site).
 struct KeyedCheckpointPlan<S> {
     config: CheckpointConfig,
     num_shards: usize,
@@ -340,12 +519,17 @@ impl<S> KeyedCheckpointPlan<S> {
     }
 }
 
+/// A shard's per-`(tenant, key)` rollup stores, shared between the
+/// worker (window closes) and the query side (range queries).
+type SharedRollups<S> = Arc<Mutex<HashMap<(String, String), RollupState<S>>>>;
+
 /// One shard: its queue, its keyed registry (shared with the worker),
 /// its values-done counter, the worker handle, and the last
 /// checkpoint-write error.
 struct KeyedShard<S> {
     queue: Arc<BoundedQueue<KeyedBatch>>,
     registry: Arc<Mutex<KeyedRegistry<S>>>,
+    rollup: SharedRollups<S>,
     values_done: Arc<AtomicU64>,
     worker: Option<JoinHandle<()>>,
     ckpt_error: Arc<Mutex<Option<String>>>,
@@ -380,9 +564,10 @@ pub struct KeyedEngine<S> {
     events: AtomicU64,
     metrics: Option<KeyedEngineMetrics>,
     plan: Option<Arc<KeyedCheckpointPlan<S>>>,
+    rollup: Option<Arc<RollupRuntime>>,
 }
 
-impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
+impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<S> {
     /// Spawn `config.shards` workers, each owning an empty keyed
     /// registry. `factory` mints one sketch per new `(tenant, key)` pair
     /// — every call must produce the same initial state (the
@@ -391,7 +576,7 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
     where
         F: SketchFactory<Sketch = S> + Clone + Send + 'static,
     {
-        Self::spawn_impl(config, factory, Vec::new(), None, None)
+        Self::spawn_impl(config, factory, Vec::new(), None, None, None)
     }
 
     /// [`spawn`](Self::spawn) with engine metrics registered under
@@ -406,7 +591,10 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
         F: SketchFactory<Sketch = S> + Clone + Send + 'static,
     {
         let metrics = KeyedEngineMetrics::register(registry, prefix, config.shards);
-        Self::spawn_impl(config, factory, Vec::new(), Some(metrics), None)
+        let rollup_metrics = config.rollup.as_ref().map(|r| {
+            RollupMetrics::register(registry, &format!("{prefix}.rollup"), r.tiers.len())
+        });
+        Self::spawn_impl(config, factory, Vec::new(), Some(metrics), None, rollup_metrics)
     }
 
     fn spawn_impl<F>(
@@ -415,6 +603,7 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
         preload: Vec<ShardInit<S>>,
         metrics: Option<KeyedEngineMetrics>,
         plan: Option<Arc<KeyedCheckpointPlan<S>>>,
+        rollup_metrics: Option<RollupMetrics>,
     ) -> Result<Self, KeyedEngineError>
     where
         F: SketchFactory<Sketch = S> + Clone + Send + 'static,
@@ -423,6 +612,13 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
             return Err(KeyedEngineError::NoShards);
         }
         let capacity = config.queue_capacity.max(1);
+        let rollup = config.rollup.clone().map(|options| {
+            Arc::new(RollupRuntime {
+                options,
+                metrics: rollup_metrics,
+                error: Mutex::new(None),
+            })
+        });
         let mut inits: Vec<ShardInit<S>> = preload;
         while inits.len() < config.shards {
             inits.push((HashMap::new(), 0));
@@ -438,14 +634,17 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
             .map(|(i, (map, done))| {
                 let queue = Arc::new(BoundedQueue::<KeyedBatch>::new(capacity));
                 let registry = Arc::new(Mutex::new(map));
+                let rollup_states = Arc::new(Mutex::new(HashMap::new()));
                 let values_done = Arc::new(AtomicU64::new(done));
                 let ckpt_error = Arc::new(Mutex::new(None));
                 let worker_queue = Arc::clone(&queue);
                 let worker_registry = Arc::clone(&registry);
+                let worker_rollup_states = Arc::clone(&rollup_states);
                 let worker_done = Arc::clone(&values_done);
                 let worker_error = Arc::clone(&ckpt_error);
                 let worker_metrics = metrics.clone();
                 let worker_plan = plan.clone();
+                let worker_rollup = rollup.clone();
                 let worker_factory = factory.clone();
                 let worker = std::thread::Builder::new()
                     .name(format!("qsketch-keyed-{i}"))
@@ -458,6 +657,9 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
                                 values,
                             } = batch;
                             let n = values.len() as u64;
+                            let rollup_key = worker_rollup
+                                .as_ref()
+                                .map(|_| (tenant.clone(), key.clone()));
                             // Insert under the registry lock; encode a
                             // due checkpoint under the same lock (a
                             // consistent cut) but write it outside, so
@@ -477,6 +679,43 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
                                             Some(plan.encode_registry(i, &registry, total));
                                         last_ckpt = total;
                                     }
+                                }
+                            }
+                            // Feed the key's rollup under its own lock
+                            // (never nested with the registry lock).
+                            if let (Some(rt), Some((tenant, key))) =
+                                (&worker_rollup, rollup_key)
+                            {
+                                let mut states = worker_rollup_states
+                                    .lock()
+                                    .expect("rollup states poisoned");
+                                let result = match states.entry((tenant, key)) {
+                                    std::collections::hash_map::Entry::Occupied(e) => {
+                                        Ok(e.into_mut())
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(e) => {
+                                        open_rollup_store(rt, &e.key().0, &e.key().1).map(
+                                            |store| {
+                                                e.insert(RollupState {
+                                                    window: None,
+                                                    filled: 0,
+                                                    store,
+                                                })
+                                            },
+                                        )
+                                    }
+                                }
+                                .and_then(|state| {
+                                    feed_rollup(
+                                        state,
+                                        &values,
+                                        rt.options.window_values,
+                                        &worker_factory,
+                                    )
+                                });
+                                if let Err(e) = result {
+                                    *rt.error.lock().expect("rollup error poisoned") =
+                                        Some(e.to_string());
                                 }
                             }
                             if let (Some(bytes), Some(plan)) = (&ckpt_bytes, &worker_plan) {
@@ -505,6 +744,7 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
                 KeyedShard {
                     queue,
                     registry,
+                    rollup: rollup_states,
                     values_done,
                     worker: Some(worker),
                     ckpt_error,
@@ -521,6 +761,7 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
             events: AtomicU64::new(0),
             metrics,
             plan,
+            rollup,
         })
     }
 
@@ -668,6 +909,88 @@ impl<S: MergeableSketch + Clone + Send + 'static> KeyedEngine<S> {
         Ok(merged)
     }
 
+    /// Range-query one key's rollup store over `[t0, t1)` in the
+    /// store's time units (fine slot `i` covers the key's values
+    /// `[i·window_values, (i+1)·window_values)` in ingest order, at
+    /// slot starts `i × tiers[0].width`).
+    ///
+    /// Point-in-time like [`snapshot`](Self::snapshot): only windows
+    /// already closed *and processed by the shard worker* are visible —
+    /// call [`drain`](Self::drain) first for a barrier. When the key
+    /// has never been touched by this process but has a spill
+    /// directory, the store is lazily recovered from disk, so a fresh
+    /// process answers range queries for keys it never ingested.
+    ///
+    /// Fails with [`KeyedEngineError::RollupDisabled`] when the engine
+    /// was spawned without [`RollupOptions`], and with
+    /// [`KeyedEngineError::UnknownKey`] when the key has no rollup
+    /// state in memory or on disk.
+    pub fn range_query(
+        &self,
+        tenant: &str,
+        key: &str,
+        t0: u64,
+        t1: u64,
+    ) -> Result<RangeAnswer<S>, KeyedEngineError> {
+        let rt = self
+            .rollup
+            .as_ref()
+            .ok_or(KeyedEngineError::RollupDisabled)?;
+        let shard = shard_for(hash_pair(tenant, key), self.shards.len());
+        let mut states = self.shards[shard]
+            .rollup
+            .lock()
+            .expect("rollup states poisoned");
+        let entry = (tenant.to_string(), key.to_string());
+        if !states.contains_key(&entry) {
+            let config = rt.options.store_config(tenant, key);
+            let on_disk = config.spill_dir.as_ref().is_some_and(|d| d.is_dir());
+            if !on_disk {
+                return Err(KeyedEngineError::UnknownKey {
+                    tenant: tenant.to_string(),
+                    key: key.to_string(),
+                });
+            }
+            let store = open_rollup_store(rt, tenant, key)
+                .map_err(|e| KeyedEngineError::Rollup(e.to_string()))?;
+            states.insert(
+                entry.clone(),
+                RollupState {
+                    window: None,
+                    filled: 0,
+                    store,
+                },
+            );
+        }
+        states[&entry]
+            .store
+            .range_query(t0, t1)
+            .map_err(|e| KeyedEngineError::Rollup(e.to_string()))
+    }
+
+    /// The rollup ingest frontier of one key (exclusive end of its
+    /// cascaded windows, in store time units), `None` when the key has
+    /// no in-memory rollup state.
+    pub fn rollup_frontier(&self, tenant: &str, key: &str) -> Option<u64> {
+        self.rollup.as_ref()?;
+        let shard = shard_for(hash_pair(tenant, key), self.shards.len());
+        self.shards[shard]
+            .rollup
+            .lock()
+            .expect("rollup states poisoned")
+            .get(&(tenant.to_string(), key.to_string()))
+            .map(|s| s.store.frontier())
+    }
+
+    /// Last rollup error (`None` = healthy or rollups disabled).
+    /// Rollups are best-effort: a failed spill or cascade never stops
+    /// ingestion, it lands here instead.
+    pub fn rollup_error(&self) -> Option<String> {
+        self.rollup
+            .as_ref()
+            .and_then(|rt| rt.error.lock().expect("rollup error poisoned").clone())
+    }
+
     /// Every key currently registered for `tenant`, sorted.
     pub fn keys(&self, tenant: &str) -> Vec<String> {
         let mut out = Vec::new();
@@ -755,7 +1078,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
     where
         F: SketchFactory<Sketch = S> + Clone + Send + 'static,
     {
-        Self::spawn_with_checkpoints_impl(config, factory, None)
+        Self::spawn_with_checkpoints_impl(config, factory, None, None)
     }
 
     /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
@@ -770,19 +1093,23 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         F: SketchFactory<Sketch = S> + Clone + Send + 'static,
     {
         let metrics = KeyedEngineMetrics::register(registry, prefix, config.shards);
-        Self::spawn_with_checkpoints_impl(config, factory, Some(metrics))
+        let rollup_metrics = config.rollup.as_ref().map(|r| {
+            RollupMetrics::register(registry, &format!("{prefix}.rollup"), r.tiers.len())
+        });
+        Self::spawn_with_checkpoints_impl(config, factory, Some(metrics), rollup_metrics)
     }
 
     fn spawn_with_checkpoints_impl<F>(
         config: KeyedEngineConfig,
         factory: F,
         metrics: Option<KeyedEngineMetrics>,
+        rollup_metrics: Option<RollupMetrics>,
     ) -> Result<Self, KeyedEngineError>
     where
         F: SketchFactory<Sketch = S> + Clone + Send + 'static,
     {
         let plan = Self::make_plan(&config)?;
-        Self::spawn_impl(config, factory, Vec::new(), metrics, Some(plan))
+        Self::spawn_impl(config, factory, Vec::new(), metrics, Some(plan), rollup_metrics)
     }
 
     /// Write every shard's registry checkpoint **now**, synchronously,
@@ -861,7 +1188,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
                 None => preload.push((HashMap::new(), 0)),
             }
         }
-        Self::spawn_impl(config, factory, preload, None, Some(plan))
+        Self::spawn_impl(config, factory, preload, None, Some(plan), None)
     }
 
     fn make_plan(
@@ -1118,6 +1445,101 @@ mod tests {
             engine.checkpoint_now().unwrap_err(),
             KeyedEngineError::CheckpointingDisabled
         );
+        engine.finish();
+    }
+
+    fn window_tiers() -> Vec<crate::rollup::TierSpec> {
+        use crate::rollup::TierSpec;
+        vec![
+            TierSpec { width: 1, keep: 8 },
+            TierSpec { width: 4, keep: 8 },
+            TierSpec { width: 16, keep: 8 },
+        ]
+    }
+
+    #[test]
+    fn rollup_windows_cascade_and_answer_range_queries() {
+        let config = KeyedEngineConfig::new(2)
+            .with_rollup(RollupOptions::new(100, window_tiers()));
+        let engine = KeyedEngine::spawn(config, dds()).unwrap();
+        // 32 full windows of 100 values, split across ragged batches,
+        // plus 50 trailing values that never close a window.
+        for i in 0..(3_250 / 13) {
+            engine
+                .ingest("acme", "lat", (0..13).map(|j| (i * 13 + j) as f64 + 1.0).collect())
+                .unwrap();
+        }
+        engine.ingest("acme", "lat", vec![1.0; 3_250 - 13 * (3_250 / 13)]).unwrap();
+        engine.drain();
+        assert_eq!(engine.rollup_error(), None);
+        assert_eq!(engine.rollup_frontier("acme", "lat"), Some(32));
+        let all = engine.range_query("acme", "lat", 0, 32).unwrap();
+        assert_eq!(all.sketch.unwrap().count(), 3_200, "partial window excluded");
+        // 32 aligned windows decompose into 2 tier-2 slots.
+        assert_eq!(all.merged_slots, 2);
+        // [20, 32) decomposes into 3 tier-1 slots (tier 0 only retains
+        // the newest 8 windows, but tier 1 still covers this range).
+        let mid = engine.range_query("acme", "lat", 20, 32).unwrap();
+        assert_eq!(mid.sketch.unwrap().count(), 1_200);
+        assert_eq!(mid.merged_slots, 3);
+        engine.finish();
+    }
+
+    #[test]
+    fn rollup_spills_per_key_and_recovers_in_a_fresh_process() {
+        let root = ckpt_dir("rollup-spill");
+        let options = RollupOptions::new(50, window_tiers())
+            .with_spill_root(&root)
+            .with_hot_slots(2);
+        let config = KeyedEngineConfig::new(2).with_rollup(options.clone());
+        let engine = KeyedEngine::spawn(config, dds()).unwrap();
+        for i in 0..800u64 {
+            engine.ingest("acme", "a/b c", vec![i as f64 + 1.0]).unwrap();
+            engine.ingest("globex", "k", vec![2.0 * i as f64 + 1.0]).unwrap();
+        }
+        engine.drain();
+        assert_eq!(engine.rollup_error(), None);
+        let want = engine.range_query("acme", "a/b c", 0, 16).unwrap();
+        let want_bits = [0.1, 0.5, 0.9]
+            .map(|q| want.sketch.as_ref().unwrap().query(q).unwrap().to_bits());
+        engine.finish();
+        // The per-key dir is operator-readable and filesystem-safe.
+        let dirs: Vec<String> = std::fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(dirs.len(), 2);
+        assert!(dirs.iter().any(|d| d.ends_with("-acme-a_b_c")), "{dirs:?}");
+
+        // A fresh engine that never ingested the key lazily recovers
+        // its store from disk on the first range query.
+        let fresh = KeyedEngine::spawn(
+            KeyedEngineConfig::new(2).with_rollup(options),
+            dds(),
+        )
+        .unwrap();
+        let got = fresh.range_query("acme", "a/b c", 0, 16).unwrap();
+        assert_eq!(got.parts, want.parts);
+        let got_bits = [0.1, 0.5, 0.9]
+            .map(|q| got.sketch.as_ref().unwrap().query(q).unwrap().to_bits());
+        assert_eq!(got_bits, want_bits, "recovered answers must be bit-identical");
+        // A key with no state anywhere is still UnknownKey.
+        assert!(matches!(
+            fresh.range_query("acme", "nope", 0, 16),
+            Err(KeyedEngineError::UnknownKey { .. })
+        ));
+        fresh.finish();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn range_query_without_rollup_is_a_typed_error() {
+        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(1), dds()).unwrap();
+        assert!(matches!(
+            engine.range_query("t", "k", 0, 10),
+            Err(KeyedEngineError::RollupDisabled)
+        ));
+        assert_eq!(engine.rollup_frontier("t", "k"), None);
         engine.finish();
     }
 

@@ -41,7 +41,12 @@
 //! * [`keyed_engine`] — the serving-side engine: hash-routed
 //!   per-`(tenant, key)` sketch registries, per-tenant token-bucket
 //!   quotas that reject instead of block, snapshot/merged queries, and
-//!   whole-registry checkpoints — what `qsketch-server` fronts over TCP.
+//!   whole-registry checkpoints — what `qsketch-server` fronts over TCP,
+//! * [`rollup`] — the hierarchical time-series rollup store: closed
+//!   windows cascade into coarser tiers via `merge_tree`, arbitrary
+//!   `[t0, t1)` range queries merge O(log n) stored sketches, retention
+//!   ages tiers out, and warm tiers spill to disk in the checkpoint
+//!   format (atomic replace, versioned envelope, kill-9 recoverable).
 //!
 //! # Example
 //!
@@ -76,6 +81,7 @@ pub mod keyed;
 pub mod keyed_engine;
 pub mod metrics;
 pub mod parallel;
+pub mod rollup;
 pub mod routing;
 pub mod session;
 pub mod sliding;
@@ -89,9 +95,13 @@ pub use event::Event;
 pub use harness::{AccuracyConfig, RunSummary, WindowAccuracy};
 pub use keyed::{KeyedEvent, KeyedTumblingWindows};
 pub use keyed_engine::{
-    KeyedEngine, KeyedEngineConfig, KeyedEngineError, KeyedEngineStats, TenantQuota,
+    KeyedEngine, KeyedEngineConfig, KeyedEngineError, KeyedEngineStats, RollupOptions,
+    TenantQuota,
 };
-pub use metrics::{EngineMetrics, KeyedEngineMetrics, PartitionMetrics, PipelineMetrics};
+pub use metrics::{
+    EngineMetrics, KeyedEngineMetrics, PartitionMetrics, PipelineMetrics, RollupMetrics,
+};
+pub use rollup::{RangeAnswer, RollupConfig, RollupError, RollupStore, TierSpec};
 pub use routing::{hash_bytes, hash_pair, shard_for, Router, RoutingPolicy};
 pub use parallel::PartitionedWindow;
 pub use session::SessionWindows;

@@ -215,6 +215,63 @@ impl KeyedEngineMetrics {
     }
 }
 
+/// Metric handles for a hierarchical rollup store
+/// ([`crate::rollup::RollupStore`]). Cheap to clone; clones share the
+/// underlying metrics. When many per-key stores share one handle set
+/// (the keyed engine), the counters aggregate across stores and the
+/// per-tier gauges show the most recently updated store.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `<prefix>.windows_ingested` | counter | closed windows entering the fine tier |
+/// | `<prefix>.cascades` | counter | coarse slots produced by cascading |
+/// | `<prefix>.spills` | counter | slot files written through to disk |
+/// | `<prefix>.spill_bytes` | histogram | spilled slot file size |
+/// | `<prefix>.aged_out` | counter | slots removed by retention |
+/// | `<prefix>.range_queries` | counter | range queries answered |
+/// | `<prefix>.range_merged_slots` | histogram | stored sketches merged per range query |
+/// | `<prefix>.tier.<i>.slots` | gauge | slots currently stored in tier `i` |
+#[derive(Debug, Clone)]
+pub struct RollupMetrics {
+    /// Closed windows ingested into the fine tier
+    /// (`<prefix>.windows_ingested`).
+    pub windows_ingested: Counter,
+    /// Coarse slots produced by cascading (`<prefix>.cascades`).
+    pub cascades: Counter,
+    /// Slot files written through to disk (`<prefix>.spills`).
+    pub spills: Counter,
+    /// Spilled slot file sizes, bytes (`<prefix>.spill_bytes`).
+    pub spill_bytes: LogHistogram,
+    /// Slots removed by retention (`<prefix>.aged_out`).
+    pub aged_out: Counter,
+    /// Range queries answered (`<prefix>.range_queries`).
+    pub range_queries: Counter,
+    /// Stored sketches merged per range query
+    /// (`<prefix>.range_merged_slots`).
+    pub range_merged_slots: LogHistogram,
+    /// Per-tier stored-slot counts (`<prefix>.tier.<i>.slots`).
+    pub tier_slots: Vec<Gauge>,
+}
+
+impl RollupMetrics {
+    /// Register rollup metrics for a `tiers`-level ladder under `prefix`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str, tiers: usize) -> Self {
+        let name = |metric: &str| format!("{prefix}.{metric}");
+        Self {
+            windows_ingested: registry.counter(&name("windows_ingested")),
+            cascades: registry.counter(&name("cascades")),
+            spills: registry.counter(&name("spills")),
+            spill_bytes: registry.histogram(&name("spill_bytes")),
+            aged_out: registry.counter(&name("aged_out")),
+            range_queries: registry.counter(&name("range_queries")),
+            range_merged_slots: registry.histogram(&name("range_merged_slots")),
+            tier_slots: (0..tiers)
+                .map(|i| registry.gauge(&name(&format!("tier.{i}.slots"))))
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,1087 @@
+//! Hierarchical time-series rollup store: closed windows cascade into
+//! coarser tiers, range queries merge O(log n) stored sketches.
+//!
+//! The paper stops at single tumbling windows; a production quantile
+//! service answers "p99 over the last 5 minutes / hour / day" from
+//! pre-aggregated **rollups**. [`RollupStore`] is that layer:
+//!
+//! * **Tiers.** A configurable ladder of [`TierSpec`]s — e.g. 1 s → 1 m
+//!   → 1 h widths — each holding one sketch per *slot* (an aligned
+//!   `[start, start+width)` time range). Closed windows enter the finest
+//!   tier via [`RollupStore::ingest_window`].
+//! * **Cascade.** When time advances past a coarse slot boundary, the
+//!   finer tier's slots covering that range are folded through
+//!   [`merge_tree`](qsketch_core::sketch::merge_tree) (in time order, so
+//!   the result is deterministic) and the merged sketch becomes the
+//!   coarse tier's slot. Mergeability (§2.4) is what makes this lossless
+//!   in count and bounded in error — the *growth* of that error down the
+//!   cascade is exactly what `ext_rollup_cascade` measures (Fig. 8's
+//!   α-deterioration, as a rollup-depth column).
+//! * **Range queries.** [`RollupStore::range_query`] decomposes an
+//!   arbitrary `[t0, t1)` greedily, coarsest-fit-first, so a query
+//!   merges at most `O(Σ ratioᵢ) = O(log n)` stored sketches; the
+//!   per-query merge count is returned (and asserted in tests), not just
+//!   claimed.
+//! * **Retention.** Each tier keeps its newest `keep` slots; older slots
+//!   age out (file deleted, memory freed) — but never before they have
+//!   cascaded into the next tier, so retention can not drop data the
+//!   coarse tiers still need.
+//! * **Spill + recovery.** With a spill directory configured, every slot
+//!   is written through to its own file using the checkpoint module's
+//!   atomic tmp+fsync+rename ([`write_atomic`]) and a versioned envelope
+//!   ([`ROLLUP_SLOT_MAGIC`]). [`RollupStore::recover`] rescans the
+//!   directory after a crash (kill -9 included), re-runs any cascade the
+//!   crash interrupted (deterministic, hence bit-identical to an
+//!   uninterrupted run), and re-applies retention. Only the newest
+//!   [`RollupConfig::hot_slots`] slots per tier stay decoded in memory;
+//!   older slots are demoted to disk and decoded on demand.
+//!
+//! The durability unit is the **closed window**: a window still being
+//! filled upstream is not yet in the store and is lost on a crash, the
+//! same contract the keyed engine's registry checkpoints already make.
+//!
+//! ```
+//! use qsketch_streamsim::rollup::{RollupConfig, RollupStore, TierSpec};
+//! use qsketch_uddsketch::UddSketch;
+//!
+//! // Three tiers: 1-unit slots roll into 4-unit, then 16-unit slots.
+//! let config = RollupConfig::new(vec![
+//!     TierSpec { width: 1, keep: 8 },
+//!     TierSpec { width: 4, keep: 8 },
+//!     TierSpec { width: 16, keep: 8 },
+//! ]);
+//! let mut store: RollupStore<UddSketch> = RollupStore::new(config).unwrap();
+//! for slot in 0..32u64 {
+//!     let mut w = UddSketch::new(0.01, 256);
+//!     for i in 0..100 {
+//!         w.insert(1.0 + (slot * 100 + i) as f64);
+//!     }
+//!     store.ingest_window(slot, w).unwrap();
+//! }
+//! let ans = store.range_query(0, 32).unwrap();
+//! assert_eq!(ans.sketch.unwrap().count(), 3_200);
+//! assert_eq!(ans.merged_slots, 2); // two 16-wide slots, not 32 fine ones
+//! # use qsketch_core::QuantileSketch;
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+use qsketch_core::sketch::{merge_tree_counted, MergeError, MergeableSketch, QuantileSketch};
+
+use crate::checkpoint::write_atomic;
+use crate::metrics::RollupMetrics;
+
+/// Magic byte of a spilled rollup-slot file's envelope.
+pub const ROLLUP_SLOT_MAGIC: u8 = 0xB5;
+
+/// Current rollup-slot envelope version.
+pub const ROLLUP_SLOT_VERSION: u8 = 1;
+
+/// Upper bound on a spilled slot's inner sketch payload (matches the
+/// checkpoint module's payload bound).
+pub const MAX_SLOT_PAYLOAD: u64 = 64 << 20;
+
+/// One level of the rollup ladder: slot width (in the store's abstract
+/// time units) and how many slots the tier retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Slot width in time units. Must be a multiple (≥ 2×) of the
+    /// previous tier's width.
+    pub width: u64,
+    /// How many slots this tier retains before aging the oldest out.
+    pub keep: usize,
+}
+
+impl TierSpec {
+    /// Retention span of the tier in time units (`width × keep`).
+    pub fn span(&self) -> u64 {
+        self.width * self.keep as u64
+    }
+}
+
+/// Configuration of a [`RollupStore`].
+#[derive(Debug, Clone)]
+pub struct RollupConfig {
+    /// The tier ladder, finest first. See [`RollupStore::new`] for the
+    /// invariants enforced.
+    pub tiers: Vec<TierSpec>,
+    /// Directory slots are written through to (one file per slot). When
+    /// `None` the store is memory-only and not recoverable.
+    pub spill_dir: Option<PathBuf>,
+    /// How many of the newest slots per tier stay decoded in memory when
+    /// spilling is enabled; older slots are read back from disk on
+    /// demand. Ignored (everything stays hot) without a spill dir.
+    pub hot_slots: usize,
+}
+
+impl RollupConfig {
+    /// A memory-only store over `tiers` keeping the newest 4 slots per
+    /// tier hot once spilling is enabled.
+    pub fn new(tiers: Vec<TierSpec>) -> Self {
+        Self {
+            tiers,
+            spill_dir: None,
+            hot_slots: 4,
+        }
+    }
+
+    /// Enable write-through spill to `dir` (created on first write).
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Set how many newest slots per tier stay decoded in memory.
+    #[must_use]
+    pub fn with_hot_slots(mut self, hot: usize) -> Self {
+        self.hot_slots = hot;
+        self
+    }
+}
+
+/// Errors a [`RollupStore`] can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RollupError {
+    /// The tier configuration violates an invariant.
+    Config(String),
+    /// A window arrived at or before the ingest frontier (ingest must be
+    /// in time order).
+    OutOfOrder {
+        /// Slot start of the rejected window.
+        start: u64,
+        /// Exclusive end of everything already ingested.
+        frontier: u64,
+    },
+    /// A slot start was not aligned to its tier's width.
+    Misaligned {
+        /// The offending slot start.
+        start: u64,
+        /// The width it must be a multiple of.
+        width: u64,
+    },
+    /// A sketch merge failed (incompatible parameters).
+    Merge(MergeError),
+    /// Reading or writing a spill file failed.
+    Io(io::Error),
+    /// A spill file failed to decode (corrupt, truncated, or foreign).
+    Decode {
+        /// The file that failed.
+        file: PathBuf,
+        /// Why it failed.
+        error: DecodeError,
+    },
+    /// A slot the in-memory index names is missing from disk.
+    MissingSlot {
+        /// Tier index.
+        tier: usize,
+        /// Slot start.
+        start: u64,
+    },
+}
+
+impl fmt::Display for RollupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RollupError::Config(why) => write!(f, "invalid rollup config: {why}"),
+            RollupError::OutOfOrder { start, frontier } => write!(
+                f,
+                "window at {start} is behind the ingest frontier {frontier}"
+            ),
+            RollupError::Misaligned { start, width } => {
+                write!(f, "slot start {start} is not aligned to width {width}")
+            }
+            RollupError::Merge(e) => write!(f, "cascade merge failed: {e}"),
+            RollupError::Io(e) => write!(f, "rollup spill I/O failed: {e}"),
+            RollupError::Decode { file, error } => {
+                write!(f, "rollup slot {} failed to decode: {error}", file.display())
+            }
+            RollupError::MissingSlot { tier, start } => {
+                write!(f, "slot t{tier}-{start} is indexed but not loadable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RollupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RollupError::Merge(e) => Some(e),
+            RollupError::Io(e) => Some(e),
+            RollupError::Decode { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<MergeError> for RollupError {
+    fn from(e: MergeError) -> Self {
+        RollupError::Merge(e)
+    }
+}
+
+impl From<io::Error> for RollupError {
+    fn from(e: io::Error) -> Self {
+        RollupError::Io(e)
+    }
+}
+
+/// Answer to a [`RollupStore::range_query`].
+#[derive(Debug, Clone)]
+pub struct RangeAnswer<S> {
+    /// The merged sketch over every fully covered slot, `None` when the
+    /// range covers no stored slot.
+    pub sketch: Option<S>,
+    /// How many stored sketches the query merged (the O(log n) bound).
+    pub merged_slots: usize,
+    /// How many pairwise `merge` calls the fold performed
+    /// (`merged_slots − 1` when non-empty).
+    pub merge_ops: usize,
+    /// The exact `(tier, slot_start)` decomposition, in time order.
+    pub parts: Vec<(usize, u64)>,
+}
+
+impl<S> RangeAnswer<S> {
+    fn empty() -> Self {
+        Self {
+            sketch: None,
+            merged_slots: 0,
+            merge_ops: 0,
+            parts: Vec::new(),
+        }
+    }
+}
+
+enum SlotState<S> {
+    /// Decoded and resident.
+    Hot(S),
+    /// On disk only; decoded on demand.
+    Spilled,
+}
+
+struct Tier<S> {
+    spec: TierSpec,
+    slots: BTreeMap<u64, SlotState<S>>,
+}
+
+/// The hierarchical rollup store. See the [module docs](self) for the
+/// full contract.
+pub struct RollupStore<S> {
+    tiers: Vec<Tier<S>>,
+    spill_dir: Option<PathBuf>,
+    hot_slots: usize,
+    /// Exclusive end of everything ingested; meaningful once `started`.
+    frontier: u64,
+    started: bool,
+    /// `next_cascade[i]` = start of the next coarse slot tier `i`
+    /// produces into tier `i+1`.
+    next_cascade: Vec<u64>,
+    metrics: Option<RollupMetrics>,
+    /// Fault injection: remaining successful spill writes before an
+    /// injected failure (test hook, mirrors the engine's
+    /// `FaultInjection`).
+    fail_spill_after: Option<u64>,
+}
+
+fn align_down(t: u64, w: u64) -> u64 {
+    t - t % w
+}
+
+fn align_up(t: u64, w: u64) -> u64 {
+    t.div_ceil(w) * w
+}
+
+impl<S> RollupStore<S>
+where
+    S: QuantileSketch + MergeableSketch + SketchSerialize + Clone,
+{
+    /// Build an empty store. Validates the ladder:
+    ///
+    /// * at least one tier, every width ≥ 1, every `keep` ≥ 1;
+    /// * each width a multiple of the previous, with ratio ≥ 2;
+    /// * retention spans non-decreasing up the ladder
+    ///   (`widthᵢ₊₁ × keepᵢ₊₁ ≥ widthᵢ × keepᵢ`) — coarser tiers look
+    ///   further back, which is both the point of a rollup store and
+    ///   what keeps crash recovery's cascade re-run exact.
+    pub fn new(config: RollupConfig) -> Result<Self, RollupError> {
+        let RollupConfig {
+            tiers,
+            spill_dir,
+            hot_slots,
+        } = config;
+        if tiers.is_empty() {
+            return Err(RollupError::Config("at least one tier required".into()));
+        }
+        for (i, t) in tiers.iter().enumerate() {
+            if t.width == 0 {
+                return Err(RollupError::Config(format!("tier {i} width must be ≥ 1")));
+            }
+            if t.keep == 0 {
+                return Err(RollupError::Config(format!("tier {i} keep must be ≥ 1")));
+            }
+            if i > 0 {
+                let prev = &tiers[i - 1];
+                if t.width % prev.width != 0 || t.width / prev.width < 2 {
+                    return Err(RollupError::Config(format!(
+                        "tier {i} width {} must be a ≥2× multiple of tier {} width {}",
+                        t.width,
+                        i - 1,
+                        prev.width
+                    )));
+                }
+                if t.span() < prev.span() {
+                    return Err(RollupError::Config(format!(
+                        "tier {i} retention span {} shorter than tier {}'s {}",
+                        t.span(),
+                        i - 1,
+                        prev.span()
+                    )));
+                }
+            }
+        }
+        let n = tiers.len();
+        Ok(Self {
+            tiers: tiers
+                .into_iter()
+                .map(|spec| Tier {
+                    spec,
+                    slots: BTreeMap::new(),
+                })
+                .collect(),
+            spill_dir,
+            hot_slots,
+            frontier: 0,
+            started: false,
+            next_cascade: vec![0; n.saturating_sub(1)],
+            metrics: None,
+            fail_spill_after: None,
+        })
+    }
+
+    /// Attach metric handles; the store updates them from then on. With
+    /// many stores sharing one handle set (the keyed engine's per-key
+    /// stores) the counters aggregate and the per-tier gauges show the
+    /// most recent updater.
+    pub fn attach_metrics(&mut self, metrics: RollupMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Fault injection for crash tests: after `writes` more successful
+    /// spill writes, every further write fails with an injected
+    /// [`io::Error`] — simulating a crash mid-cascade without killing
+    /// the test process.
+    pub fn fail_spill_after(&mut self, writes: u64) {
+        self.fail_spill_after = Some(writes);
+    }
+
+    /// Number of tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The spec of tier `i`.
+    pub fn tier_spec(&self, i: usize) -> TierSpec {
+        self.tiers[i].spec
+    }
+
+    /// Slot starts currently stored in tier `i`, in time order.
+    pub fn slot_starts(&self, i: usize) -> Vec<u64> {
+        self.tiers[i].slots.keys().copied().collect()
+    }
+
+    /// Exclusive end of everything ingested so far (0 for a fresh store).
+    pub fn frontier(&self) -> u64 {
+        if self.started {
+            self.frontier
+        } else {
+            0
+        }
+    }
+
+    /// Load (clone or decode) the sketch stored for `(tier, start)`.
+    pub fn slot(&self, tier: usize, start: u64) -> Result<S, RollupError> {
+        match self.tiers[tier].slots.get(&start) {
+            Some(SlotState::Hot(s)) => Ok(s.clone()),
+            Some(SlotState::Spilled) => {
+                let dir = self
+                    .spill_dir
+                    .as_ref()
+                    .ok_or(RollupError::MissingSlot { tier, start })?;
+                let path = slot_path(dir, tier, start);
+                let bytes = fs::read(&path).map_err(|e| {
+                    if e.kind() == io::ErrorKind::NotFound {
+                        RollupError::MissingSlot { tier, start }
+                    } else {
+                        RollupError::Io(e)
+                    }
+                })?;
+                let (t, s, payload) =
+                    decode_slot_envelope(&bytes, self.tiers.len(), |t| self.tiers[t].spec.width)
+                        .map_err(|error| RollupError::Decode {
+                            file: path.clone(),
+                            error,
+                        })?;
+                if t != tier || s != start {
+                    return Err(RollupError::Decode {
+                        file: path,
+                        error: DecodeError::Corrupt(format!(
+                            "envelope names t{t}-{s}, file names t{tier}-{start}"
+                        )),
+                    });
+                }
+                S::decode(&payload).map_err(|error| RollupError::Decode { file: path, error })
+            }
+            None => Err(RollupError::MissingSlot { tier, start }),
+        }
+    }
+
+    /// Ingest one closed window into the finest tier. `start` must be
+    /// aligned to the finest width and at or past the frontier (gaps are
+    /// fine; going backwards is not). Triggers any cascades and
+    /// retention the new frontier implies.
+    pub fn ingest_window(&mut self, start: u64, sketch: S) -> Result<(), RollupError> {
+        let w0 = self.tiers[0].spec.width;
+        if !start.is_multiple_of(w0) {
+            return Err(RollupError::Misaligned { start, width: w0 });
+        }
+        if self.started && start < self.frontier {
+            return Err(RollupError::OutOfOrder {
+                start,
+                frontier: self.frontier,
+            });
+        }
+        if !self.started {
+            for i in 0..self.next_cascade.len() {
+                self.next_cascade[i] = align_down(start, self.tiers[i + 1].spec.width);
+            }
+            self.started = true;
+        }
+        self.write_slot(0, start, &sketch)?;
+        self.store_slot(0, start, sketch);
+        self.frontier = start + w0;
+        if let Some(m) = &self.metrics {
+            m.windows_ingested.inc();
+        }
+        self.advance_cascades()?;
+        self.apply_retention();
+        self.update_gauges();
+        Ok(())
+    }
+
+    /// Answer `[t0, t1)` by merging every stored slot fully contained in
+    /// the range, preferring the coarsest fitting slot at each step.
+    /// Partial slot overlap at the edges is excluded — the answer covers
+    /// the aligned interior of the range, which [`RangeAnswer::parts`]
+    /// spells out exactly.
+    pub fn range_query(&self, t0: u64, t1: u64) -> Result<RangeAnswer<S>, RollupError> {
+        if t1 <= t0 {
+            return Ok(RangeAnswer::empty());
+        }
+        let w0 = self.tiers[0].spec.width;
+        let mut parts = Vec::new();
+        let mut t = align_up(t0, w0);
+        while t + w0 <= t1 {
+            let mut advanced = false;
+            for i in (0..self.tiers.len()).rev() {
+                let w = self.tiers[i].spec.width;
+                if t.is_multiple_of(w) && t + w <= t1 && self.tiers[i].slots.contains_key(&t) {
+                    parts.push((i, t));
+                    t += w;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                t += w0; // gap: nothing stored covers this fine slot
+            }
+        }
+        let mut sketches = Vec::with_capacity(parts.len());
+        for &(tier, start) in &parts {
+            sketches.push(self.slot(tier, start)?);
+        }
+        let merged_slots = sketches.len();
+        let folded = merge_tree_counted(sketches)?;
+        let (sketch, merge_ops) = match folded {
+            Some((s, ops)) => (Some(s), ops),
+            None => (None, 0),
+        };
+        if let Some(m) = &self.metrics {
+            m.range_queries.inc();
+            m.range_merged_slots.record(merged_slots as u64);
+        }
+        Ok(RangeAnswer {
+            sketch,
+            merged_slots,
+            merge_ops,
+            parts,
+        })
+    }
+
+    /// Rebuild a store from its spill directory after a crash. Re-runs
+    /// any cascade the crash interrupted (deterministic merge order over
+    /// the same durable children ⇒ bit-identical slots) and re-applies
+    /// retention. A missing directory yields an empty store.
+    pub fn recover(config: RollupConfig) -> Result<Self, RollupError> {
+        if config.spill_dir.is_none() {
+            return Err(RollupError::Config(
+                "recover requires a spill directory".into(),
+            ));
+        }
+        let mut store = Self::new(config)?;
+        let dir = store.spill_dir.clone().expect("checked above");
+        if !dir.exists() {
+            return Ok(store);
+        }
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("slot") {
+                continue; // stray tmp files from an interrupted write
+            }
+            let bytes = fs::read(&path)?;
+            let (tier, start, _payload) =
+                decode_slot_envelope(&bytes, store.tiers.len(), |t| store.tiers[t].spec.width)
+                    .map_err(|error| RollupError::Decode {
+                        file: path.clone(),
+                        error,
+                    })?;
+            if path.file_name() != slot_path(&dir, tier, start).file_name() {
+                return Err(RollupError::Decode {
+                    file: path,
+                    error: DecodeError::Corrupt(format!(
+                        "file name does not match envelope t{tier}-{start}"
+                    )),
+                });
+            }
+            store.tiers[tier].slots.insert(start, SlotState::Spilled);
+        }
+        if store.tiers.iter().all(|t| t.slots.is_empty()) {
+            return Ok(store);
+        }
+        store.started = true;
+        store.frontier = store
+            .tiers
+            .iter()
+            .filter_map(|t| t.slots.keys().next_back().map(|&s| s + t.spec.width))
+            .max()
+            .expect("some tier is non-empty");
+        let earliest = store
+            .tiers
+            .iter()
+            .filter_map(|t| t.slots.keys().next().copied())
+            .min()
+            .expect("some tier is non-empty");
+        for i in 0..store.next_cascade.len() {
+            let cw = store.tiers[i + 1].spec.width;
+            // Resume exactly after the last durably produced coarse slot;
+            // with none produced yet, start from the earliest data.
+            store.next_cascade[i] = match store.tiers[i + 1].slots.keys().next_back() {
+                Some(&last) => last + cw,
+                None => align_down(earliest, cw),
+            };
+        }
+        store.advance_cascades()?;
+        store.apply_retention();
+        store.update_gauges();
+        Ok(store)
+    }
+
+    fn advance_cascades(&mut self) -> Result<(), RollupError> {
+        for i in 0..self.tiers.len() - 1 {
+            let cw = self.tiers[i + 1].spec.width;
+            while self.next_cascade[i] + cw <= self.frontier {
+                let c = self.next_cascade[i];
+                let child_starts: Vec<u64> =
+                    self.tiers[i].slots.range(c..c + cw).map(|(&k, _)| k).collect();
+                if !child_starts.is_empty() {
+                    let mut children = Vec::with_capacity(child_starts.len());
+                    for s in child_starts {
+                        children.push(self.slot(i, s)?);
+                    }
+                    let (merged, _) =
+                        merge_tree_counted(children)?.expect("non-empty child set");
+                    self.write_slot(i + 1, c, &merged)?;
+                    self.store_slot(i + 1, c, merged);
+                    if let Some(m) = &self.metrics {
+                        m.cascades.inc();
+                    }
+                }
+                self.next_cascade[i] = c + cw;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_retention(&mut self) {
+        for i in 0..self.tiers.len() {
+            let keep = self.tiers[i].spec.keep;
+            let width = self.tiers[i].spec.width;
+            while self.tiers[i].slots.len() > keep {
+                let &oldest = self.tiers[i].slots.keys().next().expect("len > keep > 0");
+                // Never age out a slot the next tier has not absorbed yet.
+                if i + 1 < self.tiers.len() && oldest + width > self.next_cascade[i] {
+                    break;
+                }
+                self.tiers[i].slots.remove(&oldest);
+                if let Some(dir) = &self.spill_dir {
+                    match fs::remove_file(slot_path(dir, i, oldest)) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                        // Retention is best-effort on the filesystem; a
+                        // leftover file is re-aged at next recovery.
+                        Err(_) => {}
+                    }
+                }
+                if let Some(m) = &self.metrics {
+                    m.aged_out.inc();
+                }
+            }
+        }
+    }
+
+    fn store_slot(&mut self, tier: usize, start: u64, sketch: S) {
+        self.tiers[tier].slots.insert(start, SlotState::Hot(sketch));
+        if self.spill_dir.is_none() {
+            return; // nothing to demote to — keep everything resident
+        }
+        let hot: Vec<u64> = self.tiers[tier]
+            .slots
+            .iter()
+            .filter(|(_, s)| matches!(s, SlotState::Hot(_)))
+            .map(|(&k, _)| k)
+            .collect();
+        if hot.len() > self.hot_slots {
+            for &k in &hot[..hot.len() - self.hot_slots] {
+                self.tiers[tier].slots.insert(k, SlotState::Spilled);
+            }
+        }
+    }
+
+    fn write_slot(&mut self, tier: usize, start: u64, sketch: &S) -> Result<(), RollupError> {
+        let Some(dir) = self.spill_dir.clone() else {
+            return Ok(());
+        };
+        if let Some(n) = self.fail_spill_after {
+            if n == 0 {
+                return Err(RollupError::Io(io::Error::other(
+                    "injected rollup spill failure",
+                )));
+            }
+            self.fail_spill_after = Some(n - 1);
+        }
+        fs::create_dir_all(&dir)?;
+        let mut w = Writer::with_header(ROLLUP_SLOT_MAGIC, ROLLUP_SLOT_VERSION);
+        w.varint(tier as u64);
+        w.u64(start);
+        w.u64(self.tiers[tier].spec.width);
+        w.bytes(&sketch.encode());
+        let bytes = w.finish();
+        write_atomic(&slot_path(&dir, tier, start), &bytes)?;
+        if let Some(m) = &self.metrics {
+            m.spills.inc();
+            m.spill_bytes.record(bytes.len() as u64);
+        }
+        Ok(())
+    }
+
+    fn update_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            for (i, g) in m.tier_slots.iter().enumerate() {
+                if let Some(t) = self.tiers.get(i) {
+                    g.set(t.slots.len() as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Path of the spill file for `(tier, start)` under `dir`. Zero-padded
+/// so lexicographic listing equals time order.
+pub fn slot_path(dir: &Path, tier: usize, start: u64) -> PathBuf {
+    dir.join(format!("t{tier}-{start:020}.slot"))
+}
+
+/// Decode a spilled slot's envelope: `(tier, slot_start, payload)`.
+/// `width_of` supplies the expected width per tier so a file from a
+/// differently-laddered store fails loudly.
+fn decode_slot_envelope(
+    bytes: &[u8],
+    num_tiers: usize,
+    width_of: impl Fn(usize) -> u64,
+) -> Result<(usize, u64, Vec<u8>), DecodeError> {
+    let mut r = Reader::with_header(bytes, ROLLUP_SLOT_MAGIC, ROLLUP_SLOT_VERSION)?;
+    let tier = r.varint()? as usize;
+    if tier >= num_tiers {
+        return Err(DecodeError::Corrupt(format!(
+            "tier {tier} out of range (store has {num_tiers})"
+        )));
+    }
+    let start = r.u64()?;
+    let width = r.u64()?;
+    if width != width_of(tier) {
+        return Err(DecodeError::Corrupt(format!(
+            "tier {tier} width {width} does not match configured {}",
+            width_of(tier)
+        )));
+    }
+    if width == 0 || start % width != 0 {
+        return Err(DecodeError::Corrupt(format!(
+            "slot start {start} misaligned to width {width}"
+        )));
+    }
+    let payload = r.byte_vec(MAX_SLOT_PAYLOAD)?;
+    r.expect_exhausted()?;
+    Ok((tier, start, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsketch_core::sketch::{check_quantile, QueryError};
+
+    /// Keep-all test sketch with a trivial wire format: exact answers,
+    /// deterministic bytes, order-sensitive enough to catch merge-order
+    /// bugs via its stored insertion sequence.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    struct KeepAll(Vec<f64>);
+
+    impl QuantileSketch for KeepAll {
+        fn insert(&mut self, v: f64) {
+            self.0.push(v);
+        }
+        fn query(&self, q: f64) -> Result<f64, QueryError> {
+            check_quantile(q)?;
+            let mut s = self.0.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+            s.get(rank - 1).copied().ok_or(QueryError::Empty)
+        }
+        fn count(&self) -> u64 {
+            self.0.len() as u64
+        }
+        fn memory_footprint(&self) -> usize {
+            self.0.len() * 8
+        }
+        fn name(&self) -> &'static str {
+            "keep-all"
+        }
+    }
+
+    impl MergeableSketch for KeepAll {
+        fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+            self.0.extend_from_slice(&other.0);
+            Ok(())
+        }
+    }
+
+    impl SketchSerialize for KeepAll {
+        fn encode(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(0x7E, 1);
+            w.f64_slice(&self.0);
+            w.finish()
+        }
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, 0x7E, 1)?;
+            let values = r.f64_vec(1 << 24)?;
+            r.expect_exhausted()?;
+            Ok(Self(values))
+        }
+    }
+
+    fn window(slot: u64, per: u64) -> KeepAll {
+        let mut s = KeepAll::default();
+        for i in 0..per {
+            s.insert((slot * per + i) as f64 + 1.0);
+        }
+        s
+    }
+
+    fn ladder(keep: usize) -> Vec<TierSpec> {
+        vec![
+            TierSpec { width: 1, keep },
+            TierSpec { width: 4, keep },
+            TierSpec { width: 16, keep },
+        ]
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RollupStore::<KeepAll>::new(RollupConfig::new(vec![])).is_err());
+        // width not a multiple
+        assert!(RollupStore::<KeepAll>::new(RollupConfig::new(vec![
+            TierSpec { width: 2, keep: 8 },
+            TierSpec { width: 3, keep: 8 },
+        ]))
+        .is_err());
+        // ratio 1
+        assert!(RollupStore::<KeepAll>::new(RollupConfig::new(vec![
+            TierSpec { width: 2, keep: 8 },
+            TierSpec { width: 2, keep: 8 },
+        ]))
+        .is_err());
+        // shrinking retention span
+        assert!(RollupStore::<KeepAll>::new(RollupConfig::new(vec![
+            TierSpec { width: 1, keep: 100 },
+            TierSpec { width: 4, keep: 2 },
+        ]))
+        .is_err());
+        assert!(RollupStore::<KeepAll>::new(RollupConfig::new(ladder(8))).is_ok());
+    }
+
+    #[test]
+    fn in_order_ingest_enforced() {
+        let mut s = RollupStore::<KeepAll>::new(RollupConfig::new(ladder(64))).unwrap();
+        s.ingest_window(3, window(3, 10)).unwrap();
+        assert!(matches!(
+            s.ingest_window(2, window(2, 10)),
+            Err(RollupError::OutOfOrder { .. })
+        ));
+        // Gaps are fine.
+        s.ingest_window(7, window(7, 10)).unwrap();
+        assert_eq!(s.frontier(), 8);
+    }
+
+    #[test]
+    fn cascade_builds_coarse_tiers() {
+        let mut s = RollupStore::<KeepAll>::new(RollupConfig::new(ladder(64))).unwrap();
+        for slot in 0..32 {
+            s.ingest_window(slot, window(slot, 10)).unwrap();
+        }
+        assert_eq!(s.slot_starts(0).len(), 32);
+        assert_eq!(s.slot_starts(1), vec![0, 4, 8, 12, 16, 20, 24, 28]);
+        assert_eq!(s.slot_starts(2), vec![0, 16]);
+        // A coarse slot holds exactly its children's data.
+        let coarse = s.slot(2, 16).unwrap();
+        assert_eq!(coarse.count(), 160);
+        assert_eq!(coarse.query(1.0).unwrap(), 320.0);
+    }
+
+    #[test]
+    fn range_query_prefers_coarse_and_counts_merges() {
+        let mut s = RollupStore::<KeepAll>::new(RollupConfig::new(ladder(64))).unwrap();
+        for slot in 0..32 {
+            s.ingest_window(slot, window(slot, 10)).unwrap();
+        }
+        let full = s.range_query(0, 32).unwrap();
+        assert_eq!(full.parts, vec![(2, 0), (2, 16)]);
+        assert_eq!(full.merged_slots, 2);
+        assert_eq!(full.merge_ops, 1);
+        assert_eq!(full.sketch.unwrap().count(), 320);
+
+        let inner = s.range_query(1, 31).unwrap();
+        assert_eq!(
+            inner.parts,
+            vec![
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (1, 8),
+                (1, 12),
+                (1, 16),
+                (1, 20),
+                (1, 24),
+                (0, 28),
+                (0, 29),
+                (0, 30),
+            ]
+        );
+        assert_eq!(inner.sketch.unwrap().count(), 300);
+
+        // Empty and degenerate ranges.
+        assert_eq!(s.range_query(5, 5).unwrap().merged_slots, 0);
+        assert!(s.range_query(1000, 2000).unwrap().sketch.is_none());
+    }
+
+    #[test]
+    fn range_query_merge_count_is_logarithmic_for_all_subranges() {
+        let tiers = vec![
+            TierSpec { width: 1, keep: 64 },
+            TierSpec { width: 4, keep: 64 },
+            TierSpec { width: 16, keep: 64 },
+            TierSpec { width: 64, keep: 64 },
+        ];
+        let mut s = RollupStore::<KeepAll>::new(RollupConfig::new(tiers.clone())).unwrap();
+        let n = 64u64;
+        for slot in 0..n {
+            s.ingest_window(slot, window(slot, 3)).unwrap();
+        }
+        // Greedy coarsest-fit uses < ratio slots of each tier per range
+        // edge, plus the top tier's count over the whole span.
+        let ratio_sum: u64 = (1..tiers.len())
+            .map(|i| tiers[i].width / tiers[i - 1].width - 1)
+            .sum();
+        let bound = (2 * ratio_sum + n / tiers.last().unwrap().width) as usize;
+        for t0 in 0..n {
+            for t1 in t0..=n {
+                let ans = s.range_query(t0, t1).unwrap();
+                assert!(
+                    ans.merged_slots <= bound,
+                    "[{t0}, {t1}) merged {} slots, bound {bound}",
+                    ans.merged_slots
+                );
+                // Coverage is exact: every fine slot in [t0, t1) once.
+                let expect = (t1 - t0) * 3;
+                let got = ans.sketch.map_or(0, |sk| sk.count());
+                assert_eq!(got, expect, "[{t0}, {t1}) covered wrong count");
+            }
+        }
+    }
+
+    #[test]
+    fn retention_ages_fine_slots_out_but_coarse_tiers_answer() {
+        let tiers = vec![
+            TierSpec { width: 1, keep: 4 },
+            TierSpec { width: 4, keep: 100 },
+        ];
+        let mut s = RollupStore::<KeepAll>::new(RollupConfig::new(tiers)).unwrap();
+        for slot in 0..16 {
+            s.ingest_window(slot, window(slot, 5)).unwrap();
+        }
+        assert_eq!(s.slot_starts(0), vec![12, 13, 14, 15]);
+        assert_eq!(s.slot_starts(1), vec![0, 4, 8, 12]);
+        // The aged range is served by tier 1.
+        let ans = s.range_query(0, 12).unwrap();
+        assert_eq!(ans.parts, vec![(1, 0), (1, 4), (1, 8)]);
+        assert_eq!(ans.sketch.unwrap().count(), 60);
+        // A range only fine slots could cover, now aged, reports a gap.
+        assert_eq!(s.range_query(1, 3).unwrap().merged_slots, 0);
+    }
+
+    #[test]
+    fn spill_demotes_cold_slots_and_reloads_identically() {
+        let dir = std::env::temp_dir().join(format!("rollup-spill-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let config = RollupConfig::new(ladder(64))
+            .with_spill_dir(&dir)
+            .with_hot_slots(1);
+        let mut spilled = RollupStore::<KeepAll>::new(config).unwrap();
+        let mut resident = RollupStore::<KeepAll>::new(RollupConfig::new(ladder(64))).unwrap();
+        for slot in 0..32 {
+            spilled.ingest_window(slot, window(slot, 7)).unwrap();
+            resident.ingest_window(slot, window(slot, 7)).unwrap();
+        }
+        for (t0, t1) in [(0, 32), (3, 29), (1, 2), (8, 24)] {
+            let a = spilled.range_query(t0, t1).unwrap();
+            let b = resident.range_query(t0, t1).unwrap();
+            assert_eq!(a.parts, b.parts);
+            let (a, b) = (a.sketch.unwrap(), b.sketch.unwrap());
+            assert_eq!(a, b, "disk-backed answer differs for [{t0}, {t1})");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_rebuilds_bit_identical_store() {
+        let dir = std::env::temp_dir().join(format!("rollup-recover-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let config = RollupConfig::new(ladder(8)).with_spill_dir(&dir);
+        let mut before = RollupStore::<KeepAll>::new(config.clone()).unwrap();
+        for slot in 0..37 {
+            before.ingest_window(slot, window(slot, 11)).unwrap();
+        }
+        let after = RollupStore::<KeepAll>::recover(config).unwrap();
+        assert_eq!(after.frontier(), before.frontier());
+        for i in 0..3 {
+            assert_eq!(after.slot_starts(i), before.slot_starts(i), "tier {i}");
+        }
+        for (t0, t1) in [(0, 37), (5, 31), (20, 37)] {
+            let a = before.range_query(t0, t1).unwrap().sketch;
+            let b = after.range_query(t0, t1).unwrap().sketch;
+            assert_eq!(a, b, "[{t0}, {t1})");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_replays_interrupted_cascade() {
+        let dir = std::env::temp_dir().join(format!("rollup-midcrash-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let config = RollupConfig::new(ladder(8)).with_spill_dir(&dir);
+        let mut s = RollupStore::<KeepAll>::new(config.clone()).unwrap();
+        // Ingesting slot 15 performs three writes: the fine slot (#19),
+        // the tier-1 slot [12,16) (#20), and the tier-2 slot [0,16)
+        // (#21). Allowing exactly 20 writes crashes *between* the two
+        // cascade writes — the interrupted-cascade case.
+        s.fail_spill_after(20);
+        let mut crashed_at = None;
+        for slot in 0..24 {
+            if let Err(e) = s.ingest_window(slot, window(slot, 5)) {
+                assert!(matches!(e, RollupError::Io(_)));
+                crashed_at = Some(slot);
+                break;
+            }
+        }
+        let crashed_at = crashed_at.expect("injected failure fired");
+        assert_eq!(crashed_at, 15);
+        drop(s);
+        let recovered = RollupStore::<KeepAll>::recover(config.clone()).unwrap();
+        // Reference: an uninterrupted run over the windows that became
+        // durable (the crashed window's fine write itself succeeded; the
+        // tier-2 cascade write did not and must be replayed).
+        let refdir = dir.with_extension("ref");
+        let _ = fs::remove_dir_all(&refdir);
+        let refcfg = RollupConfig::new(ladder(8)).with_spill_dir(&refdir);
+        let mut reference = RollupStore::<KeepAll>::new(refcfg).unwrap();
+        for slot in 0..=crashed_at {
+            reference.ingest_window(slot, window(slot, 5)).unwrap();
+        }
+        for i in 0..3 {
+            assert_eq!(
+                recovered.slot_starts(i),
+                reference.slot_starts(i),
+                "tier {i} after mid-cascade crash"
+            );
+        }
+        let end = crashed_at + 1;
+        let a = recovered.range_query(0, end).unwrap().sketch.unwrap();
+        let b = reference.range_query(0, end).unwrap().sketch.unwrap();
+        assert_eq!(a, b);
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&refdir);
+    }
+
+    #[test]
+    fn corrupt_slot_file_fails_recovery_loudly() {
+        let dir = std::env::temp_dir().join(format!("rollup-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let config = RollupConfig::new(ladder(8)).with_spill_dir(&dir);
+        let mut s = RollupStore::<KeepAll>::new(config.clone()).unwrap();
+        for slot in 0..4 {
+            s.ingest_window(slot, window(slot, 5)).unwrap();
+        }
+        drop(s);
+        let victim = slot_path(&dir, 0, 2);
+        fs::write(&victim, b"garbage").unwrap();
+        assert!(matches!(
+            RollupStore::<KeepAll>::recover(config),
+            Err(RollupError::Decode { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_track_ingest_cascade_and_queries() {
+        use qsketch_core::metrics::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let metrics = RollupMetrics::register(&registry, "rollup", 3);
+        let mut s = RollupStore::<KeepAll>::new(RollupConfig::new(ladder(64))).unwrap();
+        s.attach_metrics(metrics);
+        for slot in 0..16 {
+            s.ingest_window(slot, window(slot, 5)).unwrap();
+        }
+        let _ = s.range_query(0, 16).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rollup.windows_ingested"), Some(16));
+        assert_eq!(snap.counter("rollup.cascades"), Some(5)); // 4×t1 + 1×t2
+        assert_eq!(snap.counter("rollup.range_queries"), Some(1));
+        assert_eq!(snap.gauge("rollup.tier.0.slots"), Some(16));
+        assert_eq!(snap.gauge("rollup.tier.1.slots"), Some(4));
+        assert_eq!(snap.gauge("rollup.tier.2.slots"), Some(1));
+    }
+}

@@ -1,0 +1,163 @@
+//! [`FusedUddSketch`]: a UDDSketch whose *merge* uses the stream-fusion
+//! rule ([`UddSketch::merge_fused`], arxiv 2101.06758) instead of the
+//! standard collapse-to-align merge.
+//!
+//! The wrapper exists so merge-driven machinery that is generic over
+//! [`MergeableSketch`] — `merge_tree`, the sharded engines, the rollup
+//! store — picks up the fused rule without any new trait surface:
+//! everything else (inserts, queries, the wire format) delegates to the
+//! inner [`UddSketch`] unchanged. The `ext_rollup_cascade` experiment
+//! runs the same cascade over both wrappers to measure what the rule
+//! buys on merge-heavy rollup paths.
+
+use qsketch_core::codec::{DecodeError, SketchSerialize};
+use qsketch_core::sketch::{MergeError, MergeableSketch, QuantileSketch, QueryError};
+
+use crate::UddSketch;
+
+/// UDDSketch with the stream-fusion merge rule as its
+/// [`MergeableSketch::merge`]. See [`UddSketch::merge_fused`] for the
+/// rule itself.
+#[derive(Debug, Clone)]
+pub struct FusedUddSketch(UddSketch);
+
+impl FusedUddSketch {
+    /// Create a sketch with initial accuracy `alpha_0` and a bucket
+    /// budget (the same parameters as [`UddSketch::new`]).
+    pub fn new(alpha_0: f64, max_buckets: usize) -> Self {
+        Self(UddSketch::new(alpha_0, max_buckets))
+    }
+
+    /// The paper's configuration (§4.2), fused merge rule on top.
+    pub fn paper_configuration() -> Self {
+        Self(UddSketch::paper_configuration())
+    }
+
+    /// Wrap an existing [`UddSketch`], keeping its state and switching
+    /// its merge behaviour.
+    pub fn from_inner(inner: UddSketch) -> Self {
+        Self(inner)
+    }
+
+    /// The wrapped sketch.
+    pub fn inner(&self) -> &UddSketch {
+        &self.0
+    }
+
+    /// Unwrap back to a standard-merge [`UddSketch`].
+    pub fn into_inner(self) -> UddSketch {
+        self.0
+    }
+
+    /// Current relative-error guarantee α (see
+    /// [`UddSketch::current_alpha`]).
+    pub fn current_alpha(&self) -> f64 {
+        self.0.current_alpha()
+    }
+}
+
+impl QuantileSketch for FusedUddSketch {
+    fn insert(&mut self, value: f64) {
+        self.0.insert(value);
+    }
+
+    fn insert_n(&mut self, value: f64, count: u64) {
+        self.0.insert_n(value, count);
+    }
+
+    fn insert_batch(&mut self, values: &[f64]) {
+        self.0.insert_batch(values);
+    }
+
+    fn query(&self, q: f64) -> Result<f64, QueryError> {
+        self.0.query(q)
+    }
+
+    fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.0.memory_footprint()
+    }
+
+    fn name(&self) -> &'static str {
+        "UDDS-fused"
+    }
+}
+
+impl MergeableSketch for FusedUddSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.0.merge_fused(&other.0)
+    }
+}
+
+impl SketchSerialize for FusedUddSketch {
+    fn encode(&self) -> Vec<u8> {
+        self.0.encode()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        UddSketch::decode(bytes).map(Self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsketch_core::sketch::merge_tree;
+
+    fn filled(lo: u64, hi: u64, alpha: f64, buckets: usize) -> FusedUddSketch {
+        let mut s = FusedUddSketch::new(alpha, buckets);
+        for i in lo..hi {
+            s.insert(i as f64 + 1.0);
+        }
+        s
+    }
+
+    #[test]
+    fn behaves_like_udd_outside_merge() {
+        let fused = filled(0, 10_000, 0.01, 1024);
+        let mut plain = UddSketch::new(0.01, 1024);
+        for i in 0..10_000 {
+            plain.insert(i as f64 + 1.0);
+        }
+        assert_eq!(fused.count(), plain.count());
+        for q in [0.05, 0.5, 0.99] {
+            assert_eq!(fused.query(q).unwrap(), plain.query(q).unwrap());
+        }
+        assert_eq!(fused.encode(), plain.encode());
+    }
+
+    #[test]
+    fn merge_tree_uses_fused_rule_and_preserves_counts() {
+        let parts: Vec<FusedUddSketch> = (0..8)
+            .map(|i| filled(i * 1_000, (i + 1) * 1_000, 0.01, 64))
+            .collect();
+        let merged = merge_tree(parts).unwrap().unwrap();
+        assert_eq!(merged.count(), 8_000);
+        let est = merged.query(0.5).unwrap();
+        let alpha = merged.current_alpha();
+        assert!(
+            ((est - 4_000.0) / 4_000.0).abs() <= alpha + 1e-9,
+            "p50 {est} outside α = {alpha}"
+        );
+    }
+
+    #[test]
+    fn round_trips_through_the_wire() {
+        let mut a = filled(0, 5_000, 0.005, 32);
+        let b = filled(5_000, 10_000, 0.005, 32);
+        a.merge(&b).unwrap();
+        let restored = FusedUddSketch::decode(&a.encode()).unwrap();
+        assert_eq!(restored.count(), a.count());
+        assert_eq!(restored.inner().gamma(), a.inner().gamma());
+        assert_eq!(
+            restored.inner().gamma_exponent(),
+            a.inner().gamma_exponent()
+        );
+        for q in [0.1, 0.5, 0.9] {
+            assert_eq!(restored.query(q).unwrap(), a.query(q).unwrap());
+        }
+    }
+}

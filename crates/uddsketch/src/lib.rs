@@ -39,8 +39,10 @@
 //! assert!(((est - 50_000.0) / 50_000.0).abs() <= 0.01);
 //! ```
 
+mod fused;
 mod sketch;
 
+pub use fused::FusedUddSketch;
 pub use sketch::{UddSketch, WIRE_MAGIC};
 
 /// Paper parameters (§4.2): 1024 buckets, `num_collapses = 12`, final

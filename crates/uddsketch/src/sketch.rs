@@ -25,6 +25,12 @@ pub struct UddSketch {
     initial_alpha: f64,
     /// Number of uniform collapses performed so far.
     collapses: u32,
+    /// Integer grid exponent `m` with `γ = γ₀^m`. The standard collapse
+    /// path keeps `m = 2^collapses`; the fused merge rule
+    /// ([`merge_fused`](Self::merge_fused)) can move to any coarser
+    /// integer grid, so `m` is tracked explicitly and `γ` is always
+    /// exactly [`gamma_for_exponent`]`(γ₀, m)`.
+    gamma_exponent: u64,
     max_buckets: usize,
     positives: BTreeMap<i32, u64>,
     negatives: BTreeMap<i32, u64>,
@@ -48,6 +54,7 @@ impl UddSketch {
             indexer: FastCeilIndexer::new(gamma),
             initial_alpha: alpha_0,
             collapses: 0,
+            gamma_exponent: 1,
             max_buckets,
             positives: BTreeMap::new(),
             negatives: BTreeMap::new(),
@@ -100,6 +107,13 @@ impl UddSketch {
         self.collapses
     }
 
+    /// The integer grid exponent `m` with `γ = γ₀^m`. Stays `2^collapses`
+    /// under the standard collapse path; the fused merge rule can land on
+    /// any coarser integer grid.
+    pub fn gamma_exponent(&self) -> u64 {
+        self.gamma_exponent
+    }
+
     /// Number of non-empty buckets across both maps (§4.3, §4.4.2 report
     /// these counts).
     pub fn num_buckets(&self) -> usize {
@@ -133,7 +147,12 @@ impl UddSketch {
     fn uniform_collapse(&mut self) {
         self.positives = collapse_map(&self.positives);
         self.negatives = collapse_map(&self.negatives);
+        // Squaring γ doubles the grid exponent, and `γ² == γ₀^(2m)`
+        // holds *exactly* in floating point: appending a zero bit to the
+        // exponent is precisely one more squaring in the square-multiply
+        // ladder of [`gamma_for_exponent`].
         self.gamma *= self.gamma;
+        self.gamma_exponent <<= 1;
         self.indexer = FastCeilIndexer::new(self.gamma);
         self.collapses += 1;
     }
@@ -198,6 +217,171 @@ impl UddSketch {
         }
         self.max
     }
+
+    /// Move the sketch onto the coarser grid `γ₀^m_new`, remapping both
+    /// bucket maps. Exact (pure integer regrouping) when the old grid
+    /// nests in the new one; otherwise each straddling bucket splits
+    /// proportionally over the two target buckets it overlaps, with a
+    /// deterministic rounded split that preserves the total count.
+    fn remap_to_exponent(&mut self, m_new: u64) {
+        debug_assert!(m_new > self.gamma_exponent);
+        self.positives = remap_map(&self.positives, self.gamma_exponent, m_new);
+        self.negatives = remap_map(&self.negatives, self.gamma_exponent, m_new);
+        self.gamma_exponent = m_new;
+        let gamma0 = (1.0 + self.initial_alpha) / (1.0 - self.initial_alpha);
+        self.gamma = gamma_for_exponent(gamma0, m_new);
+        self.indexer = FastCeilIndexer::new(self.gamma);
+    }
+
+    /// Gentle budget enforcement for the fused merge path: instead of
+    /// squaring γ (the standard collapse, which *doubles* the log-bucket
+    /// width whether needed or not), find the smallest integer factor
+    /// `k ≥ 2` whose regrid fits the budget and move to `γ^k`.
+    fn rescale_until_within_budget(&mut self) {
+        while self.num_buckets() > self.max_buckets {
+            let mut k = 2u64;
+            while projected_buckets(&self.positives, k) + projected_buckets(&self.negatives, k)
+                > self.max_buckets
+            {
+                k += 1;
+            }
+            self.remap_to_exponent(self.gamma_exponent * k);
+            self.collapses += 1;
+        }
+    }
+
+    /// The stream-fusion merge rule (arxiv 2101.06758): merge into the
+    /// **coarser of the two grids as it stands** instead of collapsing
+    /// both sketches down a shared power-of-two schedule.
+    ///
+    /// The standard [`merge`](MergeableSketch::merge) aligns γ by
+    /// repeatedly *squaring* the finer sketch's γ — each alignment step
+    /// deteriorates α by the full collapse law even when the grids are
+    /// nearly equal, which is exactly the Fig. 8 weakness that rollup
+    /// cascades amplify. The fused rule instead:
+    ///
+    /// 1. picks the coarser current grid `γ_t = γ₀^max(m_a, m_b)` as the
+    ///    target (no pre-collapse of either side),
+    /// 2. remaps the finer sketch onto it — exactly when the grids nest
+    ///    (`m_t` a multiple of `m_s`), otherwise by proportionally
+    ///    splitting each straddling bucket over the ≤ 2 target buckets
+    ///    it overlaps (counts preserved exactly),
+    /// 3. on budget overflow, rescales by the *smallest* integer factor
+    ///    `k ≥ 2` that fits (`γ → γ^k`) instead of repeatedly squaring.
+    ///
+    /// Like the standard merge this requires equal `initial_alpha`.
+    pub fn merge_fused(&mut self, other: &Self) -> Result<(), MergeError> {
+        if (self.initial_alpha - other.initial_alpha).abs() > 1e-15 {
+            return Err(MergeError::IncompatibleParameters(format!(
+                "initial alpha mismatch: {} vs {}",
+                self.initial_alpha, other.initial_alpha
+            )));
+        }
+        let m_t = self.gamma_exponent.max(other.gamma_exponent);
+        if self.gamma_exponent < m_t {
+            self.remap_to_exponent(m_t);
+        }
+        let remapped;
+        let other = if other.gamma_exponent < m_t {
+            let mut o = other.clone();
+            o.remap_to_exponent(m_t);
+            remapped = o;
+            &remapped
+        } else {
+            other
+        };
+        for (&i, &c) in &other.positives {
+            *self.positives.entry(i).or_insert(0) += c;
+        }
+        for (&i, &c) in &other.negatives {
+            *self.negatives.entry(i).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.rescale_until_within_budget();
+        Ok(())
+    }
+}
+
+/// `γ₀^m` by left-to-right binary exponentiation (square-and-multiply).
+/// The fixed evaluation order makes the result a pure function of
+/// `(γ₀, m)` — encoder, decoder, and every merge path agree bit-for-bit
+/// — and reduces to the classic repeated squaring (`γ₀²ᶜ`) exactly when
+/// `m` is a power of two, so version-1 payloads rederive the same γ they
+/// always did.
+fn gamma_for_exponent(gamma0: f64, m: u64) -> f64 {
+    debug_assert!(m >= 1);
+    let mut result = gamma0;
+    for b in (0..63 - m.leading_zeros()).rev() {
+        result *= result;
+        if (m >> b) & 1 == 1 {
+            result *= gamma0;
+        }
+    }
+    result
+}
+
+/// Regrid a bucket map from `γ₀^m_old` onto the coarser `γ₀^m_new`.
+/// In units of `ln γ₀`, source bucket `i` covers `((i−1)·m_old, i·m_old]`
+/// and target bucket `j` covers `((j−1)·m_new, j·m_new]` — all integer
+/// arithmetic, so the nesting test and overlap splits are exact.
+fn remap_map(map: &BTreeMap<i32, u64>, m_old: u64, m_new: u64) -> BTreeMap<i32, u64> {
+    debug_assert!(0 < m_old && m_old < m_new);
+    let mut out = BTreeMap::new();
+    if m_new.is_multiple_of(m_old) {
+        // The old grid nests in the new one: every source bucket lies in
+        // exactly one target bucket (generalizes the uniform collapse,
+        // whose ratio is always 2).
+        let r = (m_new / m_old) as i64;
+        for (&i, &c) in map {
+            let j = (i64::from(i) + r - 1).div_euclid(r) as i32;
+            *out.entry(j).or_insert(0) += c;
+        }
+    } else {
+        // Non-nesting grids: a source bucket (narrower than a target
+        // bucket) overlaps at most two targets. Split its count in
+        // proportion to the log-space overlap, rounding the lower share
+        // so the total is preserved exactly.
+        let (mo, mn) = (m_old as i128, m_new as i128);
+        for (&i, &c) in map {
+            let lo = (i128::from(i) - 1) * mo;
+            let hi = i128::from(i) * mo;
+            let j_lo = (lo.div_euclid(mn) + 1) as i32;
+            let j_hi = (hi + mn - 1).div_euclid(mn) as i32;
+            if j_lo == j_hi {
+                *out.entry(j_lo).or_insert(0) += c;
+            } else {
+                let cut = i128::from(j_lo) * mn;
+                let frac_lo = (cut - lo) as f64 / mo as f64;
+                let c_lo = (((c as f64) * frac_lo).round() as u64).min(c);
+                let c_hi = c - c_lo;
+                if c_lo > 0 {
+                    *out.entry(j_lo).or_insert(0) += c_lo;
+                }
+                if c_hi > 0 {
+                    *out.entry(j_hi).or_insert(0) += c_hi;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Bucket count a map would have after regridding by integer factor `k`.
+fn projected_buckets(map: &BTreeMap<i32, u64>, k: u64) -> usize {
+    let r = k as i64;
+    let mut last = None;
+    let mut n = 0;
+    for &i in map.keys() {
+        let j = (i64::from(i) + r - 1).div_euclid(r);
+        if last != Some(j) {
+            n += 1;
+            last = Some(j);
+        }
+    }
+    n
 }
 
 /// Collapse every `(odd i, i+1)` pair of a bucket map into index `⌈i/2⌉`.
@@ -387,15 +571,26 @@ impl MergeableSketch for UddSketch {
                 self.initial_alpha, other.initial_alpha
             )));
         }
-        // Align γ by collapsing the finer sketch (γ squares per collapse,
-        // so equal collapse counts mean equal γ; §3.4 "bucket ranges of the
-        // two sketches being merged align if they have the same γ").
+        // Align γ by collapsing the finer sketch (§3.4 "bucket ranges of
+        // the two sketches being merged align if they have the same γ").
+        // Alignment is by grid exponent, not collapse count: uniform
+        // collapses only ever double the exponent, so two sketches whose
+        // grids diverged through the fused merge rule (arbitrary integer
+        // exponents) may never meet — that is a parameter error here, and
+        // what [`UddSketch::merge_fused`] exists for.
         let mut other = other.clone();
-        while self.collapses < other.collapses {
+        while self.gamma_exponent < other.gamma_exponent {
             self.uniform_collapse();
         }
-        while other.collapses < self.collapses {
+        while other.gamma_exponent < self.gamma_exponent {
             other.uniform_collapse();
+        }
+        if self.gamma_exponent != other.gamma_exponent {
+            return Err(MergeError::IncompatibleParameters(format!(
+                "gamma grids diverged (exponents {} vs {}, a fused-merge \
+                 history); use merge_fused",
+                self.gamma_exponent, other.gamma_exponent
+            )));
         }
         for (&i, &c) in &other.positives {
             *self.positives.entry(i).or_insert(0) += c;
@@ -580,6 +775,149 @@ mod tests {
     }
 
     #[test]
+    fn gamma_for_exponent_matches_repeated_squaring() {
+        let gamma0 = (1.0 + 0.01) / (1.0 - 0.01);
+        let mut squared = gamma0;
+        for c in 0..8 {
+            assert_eq!(
+                gamma_for_exponent(gamma0, 1u64 << c),
+                squared,
+                "exponent 2^{c}"
+            );
+            squared *= squared;
+        }
+        // Non-powers of two stay exact pure functions of (γ₀, m).
+        for m in [3u64, 5, 6, 7, 12, 100] {
+            let g = gamma_for_exponent(gamma0, m);
+            assert!(g > 1.0 && g.is_finite());
+            assert_eq!(g, gamma_for_exponent(gamma0, m));
+        }
+    }
+
+    #[test]
+    fn fused_merge_equals_standard_on_aligned_grids() {
+        // Same γ on both sides: the fused rule adds buckets directly,
+        // exactly like the standard merge (no collapse triggered).
+        let mut a1 = UddSketch::new(0.01, 1024);
+        let mut b1 = UddSketch::new(0.01, 1024);
+        for i in 1..=10_000 {
+            a1.insert(i as f64);
+            b1.insert((i + 10_000) as f64);
+        }
+        let mut a2 = a1.clone();
+        let b2 = b1.clone();
+        a1.merge(&b1).unwrap();
+        a2.merge_fused(&b2).unwrap();
+        assert_eq!(a1.count(), a2.count());
+        assert_eq!(a1.gamma(), a2.gamma());
+        for q in [0.05, 0.5, 0.99] {
+            assert_eq!(a1.query(q).unwrap(), a2.query(q).unwrap(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn fused_merge_adopts_coarser_grid_without_squaring() {
+        let mut coarse = UddSketch::new(0.001, 32);
+        let mut fine = UddSketch::new(0.001, 32);
+        let mut x = 1.0;
+        for _ in 0..10_000 {
+            x = if x > 1e6 { 1.0 } else { x * 1.01 };
+            coarse.insert(x);
+        }
+        for i in 1..=1000 {
+            fine.insert(i as f64);
+        }
+        assert!(coarse.gamma_exponent() > fine.gamma_exponent());
+        let target = coarse.gamma_exponent();
+        let mut fused = coarse.clone();
+        fused.merge_fused(&fine).unwrap();
+        assert_eq!(fused.count(), 11_000);
+        // The fused target grid is the coarser side's grid as it stood —
+        // never finer, and only coarser if the budget overflowed.
+        assert!(fused.gamma_exponent() >= target);
+        assert!(fused.num_buckets() <= 32);
+    }
+
+    /// Two no-collapse sketches over bucket positions that skip every
+    /// multiple of 3: the 32-bucket union projects to 24 targets under
+    /// k = 2 (over a 16 budget) but exactly 16 under k = 3, so the
+    /// gentle rescale must land on k = 3 — a grid the standard
+    /// power-of-two schedule can never reach.
+    fn skip3_pair(budget: usize) -> (UddSketch, UddSketch) {
+        let mut a = UddSketch::new(0.01, budget);
+        let mut b = UddSketch::new(0.01, budget);
+        let gamma0 = a.gamma();
+        let positions: Vec<u64> = (1u64..).filter(|i| !i.is_multiple_of(3)).take(32).collect();
+        for &i in &positions[..16] {
+            a.insert(gamma0.powf(i as f64 - 0.5));
+        }
+        for &i in &positions[16..] {
+            b.insert(gamma0.powf(i as f64 - 0.5));
+        }
+        assert_eq!((a.collapses(), b.collapses()), (0, 0));
+        (a, b)
+    }
+
+    #[test]
+    fn fused_rescale_uses_smallest_sufficient_factor() {
+        let budget = 16;
+        let (a, b) = skip3_pair(budget);
+        let mut fused = a.clone();
+        fused.merge_fused(&b).unwrap();
+        assert_eq!(fused.count(), 32);
+        assert!(fused.num_buckets() <= budget);
+        assert_eq!(
+            fused.gamma_exponent(),
+            3,
+            "k=2 leaves 24 buckets, k=3 exactly 16"
+        );
+        // The standard merge can only square: strictly coarser grid.
+        let mut std = a.clone();
+        std.merge(&b).unwrap();
+        assert!(std.gamma_exponent() > fused.gamma_exponent());
+        assert!(std.current_alpha() > fused.current_alpha());
+    }
+
+    #[test]
+    fn fused_merge_splits_non_nesting_grids_preserving_count() {
+        // An m=3 sketch (via gentle rescale, see skip3_pair) merged
+        // with an m=2 sketch (one standard collapse): 2 ∤ 3, so the
+        // remap takes the proportional-split path.
+        let budget = 16;
+        let (mut a, b) = skip3_pair(budget);
+        a.merge_fused(&b).unwrap();
+        assert_eq!(a.gamma_exponent(), 3);
+        let gamma0 = (1.0 + a.initial_alpha()) / (1.0 - a.initial_alpha());
+        let mut two = UddSketch::new(0.01, budget);
+        for i in 1..=(2 * budget) {
+            two.insert(gamma0.powf(i as f64 - 0.5));
+        }
+        assert_eq!(two.gamma_exponent(), 2);
+        let before = a.count() + two.count();
+        a.merge_fused(&two).unwrap();
+        assert_eq!(a.count(), before, "split rounding must preserve totals");
+        assert!(a.gamma_exponent() >= 3);
+        assert!(a.num_buckets() <= budget);
+        // Every mass is still inside [min, max] and quantiles answer.
+        let est = a.query(0.5).unwrap();
+        assert!(est >= a.min() && est <= a.max());
+    }
+
+    #[test]
+    fn standard_merge_rejects_diverged_fused_grids() {
+        let budget = 16;
+        let (mut a, b) = skip3_pair(budget);
+        a.merge_fused(&b).unwrap();
+        assert_eq!(a.gamma_exponent(), 3); // not reachable by doubling
+        let mut std = UddSketch::new(0.01, budget);
+        std.insert(1.0);
+        assert!(matches!(
+            std.merge(&a),
+            Err(MergeError::IncompatibleParameters(_))
+        ));
+    }
+
+    #[test]
     fn collapse_map_pairs_correctly() {
         let mut m = BTreeMap::new();
         // (1,2)->1, (3,4)->2, (-1,0)->0, (-3,-2)->-1
@@ -653,9 +991,13 @@ mod tests {
     }
 }
 
-/// Wire format: magic `0xDD`, version 1. Encodes the initial α, the
+/// Wire format: magic `0xDD`. Version 1 encodes the initial α, the
 /// collapse count (γ is rederived by squaring, keeping the deterioration
-/// law exact), and both bucket maps.
+/// law exact), and both bucket maps. Version 2 appends the explicit grid
+/// exponent after the collapse count and is emitted **only** when the
+/// exponent is not `2^collapses` (a fused-merge history) — a sketch with
+/// a pure standard history still encodes byte-identical version-1
+/// payloads, so old readers keep decoding everything they could before.
 pub use codec::MAGIC as WIRE_MAGIC;
 
 mod codec {
@@ -665,7 +1007,7 @@ mod codec {
     /// Sketch tag on the wire (shared with checkpoint files and the
     /// bench harness's type-erased envelope).
     pub const MAGIC: u8 = 0xDD;
-    const VERSION: u8 = 1;
+    const VERSION: u8 = 2;
     const MAX_BUCKETS_WIRE: u64 = 1 << 22;
 
     fn write_map(w: &mut Writer, map: &BTreeMap<i32, u64>) {
@@ -692,9 +1034,15 @@ mod codec {
 
     impl SketchSerialize for UddSketch {
         fn encode(&self) -> Vec<u8> {
-            let mut w = Writer::with_header(MAGIC, VERSION);
+            let standard_grid = self.collapses < 64
+                && self.gamma_exponent == 1u64 << self.collapses;
+            let version = if standard_grid { 1 } else { VERSION };
+            let mut w = Writer::with_header(MAGIC, version);
             w.f64(self.initial_alpha);
             w.varint(u64::from(self.collapses));
+            if !standard_grid {
+                w.varint(self.gamma_exponent);
+            }
             w.varint(self.max_buckets as u64);
             w.varint(self.zero_count);
             w.varint(self.count);
@@ -717,6 +1065,15 @@ mod codec {
             if collapses > 64 {
                 return Err(DecodeError::Corrupt(format!("{collapses} collapses")));
             }
+            let explicit_exponent = if r.version() >= 2 {
+                let m = r.varint()?;
+                if m == 0 {
+                    return Err(DecodeError::Corrupt("grid exponent 0".into()));
+                }
+                Some(m)
+            } else {
+                None
+            };
             let max_buckets = r.varint()? as usize;
             if !(2..=(MAX_BUCKETS_WIRE as usize)).contains(&max_buckets) {
                 return Err(DecodeError::Corrupt(format!("max_buckets {max_buckets}")));
@@ -736,11 +1093,19 @@ mod codec {
                     "bucket totals {stored} disagree with count {count}"
                 )));
             }
-            // Rebuild gamma by the exact squaring sequence so the
-            // deterioration law stays bit-identical to the encoder's.
-            let mut gamma = (1.0 + initial_alpha) / (1.0 - initial_alpha);
-            for _ in 0..collapses {
-                gamma *= gamma;
+            // Rebuild gamma by the exact encoder-side sequence so the
+            // deterioration law stays bit-identical: repeated squaring
+            // for version-1 payloads, the square-multiply ladder for an
+            // explicit version-2 grid exponent (the two agree exactly on
+            // power-of-two exponents).
+            let gamma0 = (1.0 + initial_alpha) / (1.0 - initial_alpha);
+            let mut gamma = gamma0;
+            if let Some(m) = explicit_exponent {
+                gamma = super::gamma_for_exponent(gamma0, m);
+            } else {
+                for _ in 0..collapses {
+                    gamma *= gamma;
+                }
             }
             // A subnormal-tiny alpha passes the range check but rounds
             // gamma to exactly 1; overflowing squarings reach infinity.
@@ -751,11 +1116,15 @@ mod codec {
                      unusable gamma {gamma}"
                 )));
             }
+            // With a finite γ > 1 the implicit power-of-two exponent is
+            // far below 2^63, so the shift cannot overflow.
+            let gamma_exponent = explicit_exponent.unwrap_or(1u64 << collapses);
             Ok(Self {
                 gamma,
                 indexer: FastCeilIndexer::new(gamma),
                 initial_alpha,
                 collapses: collapses as u32,
+                gamma_exponent,
                 max_buckets,
                 positives,
                 negatives,
