@@ -26,6 +26,15 @@ cargo run --release --offline -p qsketch-bench --bin ext_parallel_scaling -- \
 echo "==> wire-format round-trip smoke (all sketches, all datasets)"
 cargo test --release --offline -q --test codec_roundtrip
 
+echo "==> zero-copy view contract (quantile_from_bytes ≡ decode-then-query, corruption fuzz)"
+cargo test --release --offline -q --test flatwire_view
+
+echo "==> golden wire fixtures (committed legacy payloads still answer pinned bits)"
+# tests/fixtures/wire/ holds one payload per frozen format generation
+# plus expected.txt with the exact answer bits (FORMATS.md § Golden
+# fixtures). A failure is a format compatibility break.
+cargo test --release --offline -q --test wire_fixtures
+
 echo "==> batch-insert equivalence (bit-identical scalar vs batch state)"
 cargo test --release --offline -q --test batch_insert_equivalence
 
@@ -57,6 +66,28 @@ if echo "$out" | grep -q FAIL; then
     echo "checkpoint recovery verification FAILED" >&2
     exit 1
 fi
+
+echo "==> query-from-bytes regression gate (view must not regress past decode-then-query)"
+# The table's `q bytes µs` column (field 11 of each 13-field data row)
+# is the zero-copy SketchView quantile; `q dec µs` (field 12) decodes
+# first. The flat layout's whole point is that the view path wins, so a
+# view slower than 1.10 × decode is a regression — except Moments,
+# whose view deliberately routes through decode (FORMATS.md), so it
+# only has to stay within noise (1.5 ×) of the decode path.
+echo "$out" | awk '
+    NF == 13 && $1 ~ /:/ && ($13 == "ok" || $13 == "FAIL") {
+        limit = ($1 ~ /^moments/) ? 1.5 : 1.10
+        if ($11 + 0 > ($12 + 0) * limit) {
+            printf "REGRESSION: %s quantile_from_bytes %sus > %.2f x decode-then-query %sus\n", $1, $11, limit, $12
+            bad = 1
+        }
+        rows++
+    }
+    END {
+        if (rows < 5) { print "query-latency gate parsed " rows " rows, expected 5"; exit 1 }
+        exit bad
+    }
+' || { echo "query-from-bytes latency regression" >&2; exit 1; }
 
 echo "==> server smoke (ingest, checkpoint, kill -9, recover, bit-identical re-query)"
 # Drives the real binaries over real TCP: start durable, ingest, take a
@@ -92,6 +123,24 @@ range_before=$("$CLIENT" "$addr" range acme api.latency 0 32 0.5 0.99)
 echo "$range_before"
 kill -9 "$server_pid" 2>/dev/null || true
 wait "$server_pid" 2>/dev/null || true
+
+echo "==> lazy recovery probe (pre-crash bits straight from checkpoint bytes, no rebuild)"
+# Before restarting anything, prove the checkpoint directory alone can
+# answer the same query: ckpt_probe opens it with LazyRegistryRecovery
+# (payloads stay serialized, queries run zero-copy via SketchView),
+# must print the same q=/count= lines the live server answered before
+# the kill -9, and exits non-zero if any sketch had to be rebuilt.
+probe_out=$(./target/release/ckpt_probe "$ckpt_dir" 2 acme api.latency 0.01 0.5 0.99)
+echo "$probe_out"
+if [ "$(echo "$probe_out" | grep -v '^lazy ok')" != "$before" ]; then
+    echo "lazy probe answers differ from pre-crash answers:" >&2
+    diff <(echo "$before") <(echo "$probe_out" | grep -v '^lazy ok') >&2 || true
+    exit 1
+fi
+if ! echo "$probe_out" | grep -q '^lazy ok'; then
+    echo "lazy probe did not confirm zero rebuilds" >&2
+    exit 1
+fi
 
 "$SERVER" --addr 127.0.0.1:0 --shards 2 --ckpt-dir "$ckpt_dir" --recover \
     --rollup-window 1000 --rollup-dir "$rollup_dir" > "$server_log" 2>&1 &

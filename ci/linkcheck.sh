@@ -8,7 +8,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILES=(README.md ARCHITECTURE.md PROTOCOL.md OPERATIONS.md EXPERIMENTS.md DESIGN.md ROADMAP.md)
+FILES=(README.md ARCHITECTURE.md FORMATS.md PROTOCOL.md OPERATIONS.md EXPERIMENTS.md DESIGN.md ROADMAP.md)
 
 # GitHub heading slug: lowercase, drop everything but alphanumerics,
 # spaces and hyphens, then spaces become hyphens.

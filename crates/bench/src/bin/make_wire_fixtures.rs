@@ -1,0 +1,166 @@
+//! Regenerate the golden wire fixtures under `tests/fixtures/wire/`.
+//!
+//! The fixtures pin the **previous** (pre-flatwire) format generation on
+//! disk: sketch payloads as v1/v2 bytes plus checkpoint envelopes
+//! embedding them, together with the exact result bits every payload
+//! must keep answering. CI's back-compat canary decodes them with the
+//! current reader and compares bit-for-bit (see `tests/wire_fixtures.rs`
+//! and FORMATS.md § Compatibility), so the fixtures must **never** be
+//! regenerated casually: a diff under `tests/fixtures/wire/` means the
+//! legacy encoders changed, which is exactly what the canary exists to
+//! catch.
+//!
+//! Usage: `cargo run -p qsketch-bench --bin make_wire_fixtures -- <dir>`
+//! (the directory defaults to `tests/fixtures/wire` relative to the
+//! workspace root).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use qsketch_core::QuantileSketch;
+use qsketch_ddsketch::DdSketch;
+use qsketch_kll::KllSketch;
+use qsketch_moments::MomentsSketch;
+use qsketch_req::{RankAccuracy, ReqSketch};
+use qsketch_streamsim::checkpoint::{RegistryCheckpoint, RegistryEntry, ShardCheckpoint};
+use qsketch_uddsketch::UddSketch;
+
+/// Quantiles whose exact result bits the fixtures pin.
+const QS: [f64; 6] = [0.01, 0.25, 0.5, 0.9, 0.99, 1.0];
+/// Values per fixture stream.
+const N: u64 = 60_000;
+
+/// Deterministic xorshift stream in (0, 1).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f64 {
+        // xorshift64* — stable across platforms, no dependencies.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        (bits as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// Positive-only stream (KLL / REQ / Moments).
+fn positive_stream() -> impl Iterator<Item = f64> {
+    let mut rng = Lcg(0x9E37_79B9_7F4A_7C15);
+    (0..N).map(move |_| rng.next_unit() * 1000.0)
+}
+
+/// Mixed stream with negatives and exact zeros (DDS / UDDS).
+fn mixed_stream() -> impl Iterator<Item = f64> {
+    let mut rng = Lcg(0xD1B5_4A32_D192_ED03);
+    (0..N).map(move |i| {
+        if i % 97 == 0 {
+            0.0
+        } else {
+            rng.next_unit() * 1000.0 - 200.0
+        }
+    })
+}
+
+fn record(expected: &mut String, name: &str, sketch: &impl QuantileSketch) {
+    write!(expected, "{name} count={}", sketch.count()).unwrap();
+    for q in QS {
+        let bits = sketch.query(q).expect("fixture sketch answers").to_bits();
+        write!(expected, " q{q}={bits:016x}").unwrap();
+    }
+    expected.push('\n');
+}
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| PathBuf::from("tests/fixtures/wire"));
+    std::fs::create_dir_all(&dir).expect("fixture dir is creatable");
+    let mut expected = String::new();
+
+    let mut kll = KllSketch::with_seed(350, 7);
+    for v in positive_stream() {
+        kll.insert(v);
+    }
+    std::fs::write(dir.join("kll.bin"), kll.encode_legacy()).unwrap();
+    record(&mut expected, "kll.bin", &kll);
+
+    let mut req = ReqSketch::with_seed(30, RankAccuracy::High, 7);
+    for v in positive_stream() {
+        req.insert(v);
+    }
+    std::fs::write(dir.join("req.bin"), req.encode_legacy()).unwrap();
+    record(&mut expected, "req.bin", &req);
+
+    let mut dds = DdSketch::unbounded(0.01);
+    for v in mixed_stream() {
+        dds.insert(v);
+    }
+    std::fs::write(dir.join("dds.bin"), dds.encode_legacy()).unwrap();
+    record(&mut expected, "dds.bin", &dds);
+
+    // Small bucket budget forces uniform collapses (a non-trivial grid).
+    let mut udds = UddSketch::new(0.001, 256);
+    for v in mixed_stream() {
+        udds.insert(v);
+    }
+    std::fs::write(dir.join("udds.bin"), udds.encode_legacy()).unwrap();
+    record(&mut expected, "udds.bin", &udds);
+
+    // A fused-merge history lands on a non-power-of-two grid exponent,
+    // which is what the (pre-flatwire) v2 UDDSketch payload carries.
+    let mut fused = UddSketch::new(0.001, 256);
+    let mut other = UddSketch::new(0.001, 64);
+    let mut rng = Lcg(0xBADC_0FFE_E0DD_F00D);
+    for _ in 0..N {
+        fused.insert(rng.next_unit() * 10.0);
+        other.insert(rng.next_unit() * 1e6);
+    }
+    fused.merge_fused(&other).expect("fused merge");
+    std::fs::write(dir.join("udds_fused.bin"), fused.encode_legacy()).unwrap();
+    record(&mut expected, "udds_fused.bin", &fused);
+
+    let mut moments = MomentsSketch::with_compression(12);
+    for v in positive_stream() {
+        moments.insert(v);
+    }
+    std::fs::write(dir.join("moments.bin"), moments.encode_legacy()).unwrap();
+    record(&mut expected, "moments.bin", &moments);
+
+    // Checkpoint envelope (0xC5) embedding the KLL payload: the canary
+    // proves the whole file, not just the inner sketch, keeps decoding.
+    let ckpt = ShardCheckpoint {
+        shard: 1,
+        num_shards: 4,
+        batch_size: 256,
+        values_done: 42_000,
+        payload: kll.encode_legacy(),
+    };
+    std::fs::write(dir.join("checkpoint.ckpt"), ckpt.encode()).unwrap();
+
+    // Registry envelope (0xC6) with two tenants' payloads.
+    let registry = RegistryCheckpoint {
+        shard: 0,
+        num_shards: 2,
+        values_done: 2 * N,
+        entries: vec![
+            RegistryEntry {
+                tenant: "acme".into(),
+                key: "checkout.latency".into(),
+                payload: dds.encode_legacy(),
+            },
+            RegistryEntry {
+                tenant: "globex".into(),
+                key: "api.p99".into(),
+                payload: udds.encode_legacy(),
+            },
+        ],
+    };
+    std::fs::write(dir.join("registry.ckpt"), registry.encode()).unwrap();
+
+    std::fs::write(dir.join("expected.txt"), expected).unwrap();
+    println!("fixtures written to {}", dir.display());
+}

@@ -16,6 +16,20 @@
 //!   followed by [`ShardedEngine::recover`] + full replay, verified
 //!   **bit-identical** against an uninterrupted reference run.
 //!
+//! Since the v3 flat wire layout (FORMATS.md) the experiment also
+//! measures the format itself:
+//!
+//! * **v2/v3 KB** — the same final sketch state encoded with the legacy
+//!   generation vs. the current compressed flat layout,
+//! * **q bytes / q dec µs** — median latency of answering a quantile
+//!   straight over the serialized payload
+//!   ([`SketchView::quantile_from_bytes`]) vs. decode-then-query,
+//! * **lazy** — after the crash, a [`LazyEngineRecovery`] opens the
+//!   checkpoint directory and serves every checkpointed shard's median
+//!   from its bytes, verified bit-identical against decode-then-query
+//!   and verified to have rebuilt **nothing** — with the time it took
+//!   next to the full recover+replay time.
+//!
 //! Expected shape: overhead tracks serialized size over interval —
 //! Moments (~100 B payloads) is near-free, KLL/REQ cost a few percent at
 //! aggressive intervals. The recovery column must read `ok` everywhere;
@@ -27,9 +41,11 @@ use std::time::Instant;
 use crate::cli::{Args, Scale};
 use crate::registry::AnySketch;
 use crate::spec::SketchSpec;
+use qsketch_core::flatwire::SketchView;
 use qsketch_core::metrics::MetricsRegistry;
-use qsketch_core::QuantileSketch;
+use qsketch_core::{QuantileSketch, SketchSerialize};
 use qsketch_datagen::{FixedPareto, ValueStream};
+use qsketch_streamsim::checkpoint::LazyEngineRecovery;
 use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
 use qsketch_streamsim::CheckpointConfig;
 
@@ -52,6 +68,12 @@ struct CheckpointPoint {
     p99_write_us: f64,
     recovery_ok: bool,
     recovery_ms: f64,
+    legacy_kb: f64,
+    flat_kb: f64,
+    q_bytes_us: f64,
+    q_decode_us: f64,
+    lazy_ok: bool,
+    lazy_ms: f64,
 }
 
 fn stream_len(scale: Scale) -> u64 {
@@ -101,6 +123,11 @@ pub fn run_with_json(args: &Args) -> (String, String) {
         "mean KB",
         "p99 wr (µs)",
         "recovery",
+        "v2 KB",
+        "v3 KB",
+        "q bytes µs",
+        "q dec µs",
+        "lazy",
     ]);
 
     let mut points = Vec::new();
@@ -115,6 +142,11 @@ pub fn run_with_json(args: &Args) -> (String, String) {
             format!("{:.2}", point.mean_kb),
             format!("{:.1}", point.p99_write_us),
             if point.recovery_ok { "ok" } else { "FAIL" }.to_string(),
+            format!("{:.2}", point.legacy_kb),
+            format!("{:.2}", point.flat_kb),
+            format!("{:.2}", point.q_bytes_us),
+            format!("{:.2}", point.q_decode_us),
+            if point.lazy_ok { "ok" } else { "FAIL" }.to_string(),
         ]);
         points.push(point);
     }
@@ -127,7 +159,12 @@ pub fn run_with_json(args: &Args) -> (String, String) {
          `recovery ok` means a run whose shard died mid-stream, once recovered from\n\
          its checkpoints and replayed, answered every probe quantile with the same\n\
          bits as an uninterrupted run — the determinism contract of the wire format\n\
-         (KLL/REQ v2 carry their compaction-coin state).\n",
+         (KLL/REQ v2 carry their compaction-coin state).\n\
+         v2/v3 KB encode the same final merged state in the legacy vs. the flat\n\
+         compressed layout (FORMATS.md); `q bytes` answers a quantile straight over\n\
+         those bytes (SketchView, zero decode) vs. `q dec` decoding first. `lazy ok`\n\
+         means a LazyEngineRecovery served every checkpointed shard's median from\n\
+         checkpoint bytes bit-identically without rebuilding any sketch.\n",
     );
 
     (out, render_json(args, n, interval, &points))
@@ -203,6 +240,34 @@ fn measure(spec: &SketchSpec, values: &[f64], args: &Args, interval: u64) -> Che
     let died = crashed.failed_shards() == vec![KILLED_SHARD];
     drop(crashed);
 
+    // Lazy recovery probe: open the crashed run's checkpoint directory
+    // and serve each checkpointed shard's median straight from its
+    // serialized payload — verified bit-identical against decoding that
+    // same checkpoint, and verified to have decoded nothing.
+    let lazy_start = Instant::now();
+    let lazy_ok = match LazyEngineRecovery::<AnySketch>::open(&ckpt, SHARDS) {
+        Ok(rec) => {
+            let checkpointed: Vec<usize> =
+                (0..SHARDS).filter(|&i| rec.values_done(i) > 0).collect();
+            !checkpointed.is_empty()
+                && checkpointed.iter().all(|&i| {
+                    let from_bytes = rec.shard_quantile(i, 0.5);
+                    let decoded = qsketch_streamsim::checkpoint::read_shard(&ckpt, i)
+                        .ok()
+                        .flatten()
+                        .and_then(|r| r.ok())
+                        .and_then(|c| c.sketch::<AnySketch>().ok());
+                    let agree = match (from_bytes, decoded.map(|s| s.query(0.5))) {
+                        (Ok(a), Some(Ok(b))) => a.to_bits() == b.to_bits(),
+                        _ => false,
+                    };
+                    agree && !rec.is_live(i)
+                })
+        }
+        Err(_) => false,
+    };
+    let lazy_ms = lazy_start.elapsed().as_secs_f64() * 1e3;
+
     // Recover + replay, then compare against the uninterrupted reference.
     let start = Instant::now();
     let recovered = ShardedEngine::recover(config, factory_for(spec, args.seed), ckpt);
@@ -225,6 +290,20 @@ fn measure(spec: &SketchSpec, values: &[f64], args: &Args, interval: u64) -> Che
     let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Format measurements on the final merged state: legacy vs. flat
+    // bytes, and quantile latency over bytes vs. decode-then-query.
+    let flat_bytes = reference.encode();
+    let legacy_bytes = reference.encode_legacy();
+    let q_bytes_us = median_query_us(|| {
+        AnySketch::quantile_from_bytes(&flat_bytes, 0.5).expect("view answers")
+    });
+    let q_decode_us = median_query_us(|| {
+        AnySketch::decode(&flat_bytes)
+            .expect("own bytes decode")
+            .query(0.5)
+            .expect("decoded sketch answers")
+    });
+
     CheckpointPoint {
         sketch: label,
         base_eps,
@@ -235,7 +314,28 @@ fn measure(spec: &SketchSpec, values: &[f64], args: &Args, interval: u64) -> Che
         p99_write_us,
         recovery_ok,
         recovery_ms,
+        legacy_kb: legacy_bytes.len() as f64 / 1024.0,
+        flat_kb: flat_bytes.len() as f64 / 1024.0,
+        q_bytes_us,
+        q_decode_us,
+        lazy_ok,
+        lazy_ms,
     }
+}
+
+/// Median latency in µs of `op` over enough repetitions to be stable at
+/// CI scale (the absolute numbers are machine-dependent; the committed
+/// JSON is read as a ratio between the two query paths).
+fn median_query_us<T>(mut op: impl FnMut() -> T) -> f64 {
+    const REPS: usize = 64;
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        std::hint::black_box(op());
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    samples[REPS / 2]
 }
 
 /// Hand-rolled JSON document (no serde in the offline build).
@@ -258,7 +358,10 @@ fn render_json(args: &Args, n: u64, interval: u64, points: &[CheckpointPoint]) -
         json.push_str(&format!(
             "{{\"sketch\":\"{}\",\"base_eps\":{:.1},\"ckpt_eps\":{:.1},\
              \"overhead\":{:.4},\"checkpoints\":{},\"mean_kb\":{:.3},\
-             \"p99_write_us\":{:.2},\"recovery_ok\":{},\"recovery_ms\":{:.2}}}",
+             \"p99_write_us\":{:.2},\"recovery_ok\":{},\"recovery_ms\":{:.2},\
+             \"legacy_kb\":{:.3},\"flat_kb\":{:.3},\
+             \"q_from_bytes_us\":{:.2},\"q_decode_us\":{:.2},\
+             \"lazy_ok\":{},\"lazy_ms\":{:.2}}}",
             p.sketch,
             p.base_eps,
             p.ckpt_eps,
@@ -268,6 +371,12 @@ fn render_json(args: &Args, n: u64, interval: u64, points: &[CheckpointPoint]) -
             p.p99_write_us,
             p.recovery_ok,
             p.recovery_ms,
+            p.legacy_kb,
+            p.flat_kb,
+            p.q_bytes_us,
+            p.q_decode_us,
+            p.lazy_ok,
+            p.lazy_ms,
         ));
     }
     json.push_str("]}");

@@ -191,10 +191,96 @@ pub use codec::ENVELOPE_MAGIC;
 mod codec {
     use super::*;
     use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+    use qsketch_core::flatwire::{self, SketchView};
+    use qsketch_core::sketch::SketchError;
 
     /// Envelope magic for the type-erased sketch payload.
     pub const ENVELOPE_MAGIC: u8 = 0x5E;
     const VERSION: u8 = 1;
+
+    impl AnySketch {
+        /// Encode with the inner payload in its previous wire generation
+        /// (the envelope itself is unversioned beyond v1). Used by the
+        /// fixture tooling to produce back-compat payloads; the baselines
+        /// only have one wire generation so they encode normally.
+        pub fn encode_legacy(&self) -> Vec<u8> {
+            let inner = match self {
+                AnySketch::Req(s) => s.encode_legacy(),
+                AnySketch::Kll(s) => s.encode_legacy(),
+                AnySketch::Udds(s) => s.encode_legacy(),
+                AnySketch::Dds(s) => s.encode_legacy(),
+                AnySketch::Moments(s) => s.encode_legacy(),
+                AnySketch::Gk(s) => s.encode(),
+                AnySketch::TDigest(s) => s.encode(),
+            };
+            let mut w = Writer::with_header(ENVELOPE_MAGIC, VERSION);
+            w.u8(inner[0]); // tag = the inner payload's own magic
+            w.raw(&inner);
+            w.finish()
+        }
+
+        /// Split an envelope into `(tag, inner payload)` without copying.
+        fn envelope_parts(bytes: &[u8]) -> Result<(u8, &[u8]), DecodeError> {
+            let mut r = Reader::with_header(bytes, ENVELOPE_MAGIC, VERSION)?;
+            let tag = r.u8()?;
+            Ok((tag, r.rest()))
+        }
+    }
+
+    impl SketchView for AnySketch {
+        fn count_from_bytes(bytes: &[u8]) -> Result<u64, DecodeError> {
+            let (tag, inner) = Self::envelope_parts(bytes)?;
+            match tag {
+                qsketch_req::WIRE_MAGIC => ReqSketch::count_from_bytes(inner),
+                qsketch_kll::WIRE_MAGIC => KllSketch::count_from_bytes(inner),
+                qsketch_uddsketch::WIRE_MAGIC => UddSketch::count_from_bytes(inner),
+                qsketch_ddsketch::WIRE_MAGIC => DdSketch::count_from_bytes(inner),
+                qsketch_moments::WIRE_MAGIC => MomentsSketch::count_from_bytes(inner),
+                // The baselines ship a single wire generation with no
+                // borrowed-view reader: decode and count.
+                _ => Ok(Self::decode(bytes)?.count()),
+            }
+        }
+
+        fn bounds_from_bytes(bytes: &[u8]) -> Result<(f64, f64), DecodeError> {
+            let (tag, inner) = Self::envelope_parts(bytes)?;
+            match tag {
+                qsketch_req::WIRE_MAGIC => ReqSketch::bounds_from_bytes(inner),
+                qsketch_kll::WIRE_MAGIC => KllSketch::bounds_from_bytes(inner),
+                qsketch_uddsketch::WIRE_MAGIC => UddSketch::bounds_from_bytes(inner),
+                qsketch_ddsketch::WIRE_MAGIC => DdSketch::bounds_from_bytes(inner),
+                qsketch_moments::WIRE_MAGIC => MomentsSketch::bounds_from_bytes(inner),
+                // Baseline fallback: both GK and t-digest keep the exact
+                // extremes at rank 1 and rank n, so recover the bounds
+                // through quantile queries on the decoded sketch.
+                _ => {
+                    let s = Self::decode(bytes)?;
+                    if s.count() == 0 {
+                        return Ok((f64::INFINITY, f64::NEG_INFINITY));
+                    }
+                    let min = s.query(f64::MIN_POSITIVE).map_err(|e| {
+                        DecodeError::Corrupt(format!("bounds query failed: {e}"))
+                    })?;
+                    let max = s
+                        .query(1.0)
+                        .map_err(|e| DecodeError::Corrupt(format!("bounds query failed: {e}")))?;
+                    Ok((min, max))
+                }
+            }
+        }
+
+        fn quantile_from_bytes(bytes: &[u8], q: f64) -> Result<f64, SketchError> {
+            let (tag, inner) = Self::envelope_parts(bytes)?;
+            match tag {
+                qsketch_req::WIRE_MAGIC => ReqSketch::quantile_from_bytes(inner, q),
+                qsketch_kll::WIRE_MAGIC => KllSketch::quantile_from_bytes(inner, q),
+                qsketch_uddsketch::WIRE_MAGIC => UddSketch::quantile_from_bytes(inner, q),
+                qsketch_ddsketch::WIRE_MAGIC => DdSketch::quantile_from_bytes(inner, q),
+                qsketch_moments::WIRE_MAGIC => MomentsSketch::quantile_from_bytes(inner, q),
+                _ => flatwire::quantile_via_decode::<Self>(bytes, q),
+            }
+        }
+    }
 
     impl SketchSerialize for AnySketch {
         fn encode(&self) -> Vec<u8> {
@@ -262,6 +348,37 @@ mod codec {
                         "{} q={q}",
                         kind.label()
                     );
+                }
+            }
+        }
+
+        #[test]
+        fn envelope_view_matches_decode_then_query() {
+            for kind in SketchKind::ALL {
+                let mut s = kind.build(11, false);
+                for i in 1..=20_000 {
+                    s.insert(f64::from(i) * 0.61);
+                }
+                for bytes in [s.encode(), s.encode_legacy()] {
+                    let decoded = AnySketch::decode(&bytes).unwrap();
+                    assert_eq!(
+                        AnySketch::count_from_bytes(&bytes).unwrap(),
+                        s.count(),
+                        "{}",
+                        kind.label()
+                    );
+                    let (lo, hi) = AnySketch::bounds_from_bytes(&bytes).unwrap();
+                    assert!(lo <= hi, "{} bounds ({lo}, {hi})", kind.label());
+                    for q in [0.01, 0.5, 0.99, 1.0] {
+                        assert_eq!(
+                            AnySketch::quantile_from_bytes(&bytes, q)
+                                .unwrap()
+                                .to_bits(),
+                            decoded.query(q).unwrap().to_bits(),
+                            "{} q={q}",
+                            kind.label()
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,913 @@
+//! The v3 *flatwire* layout: compressed sketch payloads that answer
+//! quantile queries directly from borrowed bytes.
+//!
+//! Version 3 of every sketch payload (FORMATS.md §3) is built from three
+//! primitives defined here:
+//!
+//! * **prefix varints** ([`write_uvarint`] / [`FlatReader::uvarint`]) — the
+//!   byte length is recoverable from the *first* byte alone, so a decoder
+//!   never over-reads and a corrupted length cannot make it allocate,
+//! * **zigzag mapping** ([`zigzag`] / [`unzigzag`]) for signed bucket
+//!   indices,
+//! * **the ordered-`f64` bijection** ([`ordered_from_f64`] /
+//!   [`f64_from_ordered`]) — a monotone map from `f64` (IEEE-754 total
+//!   order) to `u64`, so a *sorted* array of doubles becomes a
+//!   non-decreasing `u64` sequence whose deltas are non-negative and
+//!   varint-friendly.
+//!
+//! On top of those sit two run codecs — [`write_sorted_run`] /
+//! [`SortedRunCursor`] for KLL/REQ level arrays and [`write_bucket_run`] /
+//! [`BucketRunCursor`] for DDSketch/UDDSketch `(index, count)` stores —
+//! plus [`WeightedMergeWalk`], a fixed-capacity (≤ 64 levels, stack-only)
+//! k-way merge that evaluates a cumulative rank over many sorted runs
+//! without decoding them into heap memory.
+//!
+//! The [`SketchView`] trait ties it together: a sketch that implements it
+//! can answer `count`, `bounds`, and `quantile` straight from a serialized
+//! payload. For v1/v2 payloads implementations fall back to
+//! decode-then-query (see [`quantile_via_decode`]), so every historical
+//! byte stream keeps answering.
+//!
+//! All decode paths use checked arithmetic and typed [`DecodeError`]s —
+//! hostile bytes must never panic or allocate proportionally to a
+//! declared (unverified) length.
+//!
+//! # Example
+//!
+//! ```
+//! use qsketch_core::flatwire::{write_sorted_run, SortedRunCursor};
+//!
+//! let values = [0.5, -3.25, 11.0, 0.5];
+//! let mut buf = Vec::new();
+//! write_sorted_run(&mut buf, &values);
+//!
+//! let mut cursor = SortedRunCursor::new(&buf, values.len() as u64);
+//! let mut decoded = Vec::new();
+//! while let Some(v) = cursor.next().unwrap() {
+//!     decoded.push(v);
+//! }
+//! // The run comes back sorted ascending, bit-for-bit.
+//! assert_eq!(decoded, vec![-3.25, 0.5, 0.5, 11.0]);
+//! ```
+
+use crate::codec::DecodeError;
+use crate::sketch::{QuantileSketch, SketchError};
+use crate::SketchSerialize;
+
+/// Hard cap on the number of runs a [`WeightedMergeWalk`] accepts.
+///
+/// Matches the deepest level structure any sketch in the workspace can
+/// produce (KLL and REQ both cap at 64 levels), and bounds the walk's
+/// stack footprint.
+pub const MAX_WALK_LEVELS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Prefix varints
+// ---------------------------------------------------------------------------
+
+/// Append `v` to `out` as a prefix varint (1–9 bytes).
+///
+/// An `n`-byte encoding (`n ≤ 8`) stores the value shifted left by `n`
+/// bits, with the low `n − 1` bits of the first byte set to one followed
+/// by a zero bit — so `first_byte.trailing_ones() + 1` recovers the
+/// length without touching later bytes. Values ≥ 2⁵⁶ use the 9-byte
+/// escape: a `0xFF` marker followed by the raw little-endian `u64`.
+/// Encoders always emit the minimal length.
+///
+/// ```
+/// use qsketch_core::flatwire::write_uvarint;
+///
+/// let mut buf = Vec::new();
+/// write_uvarint(&mut buf, 5);      // 1 byte
+/// write_uvarint(&mut buf, 300);    // 2 bytes
+/// write_uvarint(&mut buf, u64::MAX); // 9 bytes
+/// assert_eq!(buf.len(), 1 + 2 + 9);
+/// ```
+pub fn write_uvarint(out: &mut Vec<u8>, v: u64) {
+    let bits = 64 - u64::leading_zeros(v | 1) as usize;
+    let n = bits.div_ceil(7);
+    if n > 8 {
+        out.push(0xFF);
+        out.extend_from_slice(&v.to_le_bytes());
+        return;
+    }
+    let tagged = (v << n) | ((1u64 << (n - 1)) - 1);
+    out.extend_from_slice(&tagged.to_le_bytes()[..n]);
+}
+
+/// Append `v` to `out` as a zigzag-mapped prefix varint.
+///
+/// ```
+/// use qsketch_core::flatwire::{write_ivarint, FlatReader};
+///
+/// let mut buf = Vec::new();
+/// write_ivarint(&mut buf, -7);
+/// assert_eq!(FlatReader::new(&buf).ivarint().unwrap(), -7);
+/// ```
+pub fn write_ivarint(out: &mut Vec<u8>, v: i64) {
+    write_uvarint(out, zigzag(v));
+}
+
+/// Append an `f64` to `out` as its 8 raw little-endian bytes.
+///
+/// ```
+/// use qsketch_core::flatwire::{write_f64, FlatReader};
+///
+/// let mut buf = Vec::new();
+/// write_f64(&mut buf, -0.125);
+/// assert_eq!(FlatReader::new(&buf).f64().unwrap(), -0.125);
+/// ```
+pub fn write_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Map a signed integer onto the unsigned line so small magnitudes of
+/// either sign get short varints: `0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`.
+///
+/// ```
+/// use qsketch_core::flatwire::{zigzag, unzigzag};
+///
+/// assert_eq!(zigzag(0), 0);
+/// assert_eq!(zigzag(-1), 1);
+/// assert_eq!(zigzag(1), 2);
+/// assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+/// ```
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Map an `f64` to a `u64` that preserves IEEE-754 total order:
+/// `a ≤ b ⟹ ordered_from_f64(a) ≤ ordered_from_f64(b)`.
+///
+/// Negative values flip all bits; non-negative values set the sign bit.
+/// Sorting by this key instead of `partial_cmp` gives the wire format a
+/// *total* order (`-0.0` sorts before `+0.0`), so deltas between
+/// consecutive sorted values are always non-negative.
+///
+/// ```
+/// use qsketch_core::flatwire::{ordered_from_f64, f64_from_ordered};
+///
+/// assert!(ordered_from_f64(-1.0) < ordered_from_f64(-0.0));
+/// assert!(ordered_from_f64(-0.0) < ordered_from_f64(0.0));
+/// assert!(ordered_from_f64(0.0) < ordered_from_f64(f64::INFINITY));
+/// let x = -123.456;
+/// assert_eq!(f64_from_ordered(ordered_from_f64(x)).to_bits(), x.to_bits());
+/// ```
+#[inline]
+pub fn ordered_from_f64(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`ordered_from_f64`].
+#[inline]
+pub fn f64_from_ordered(u: u64) -> f64 {
+    f64::from_bits(if u >> 63 == 1 { u & !(1 << 63) } else { !u })
+}
+
+// ---------------------------------------------------------------------------
+// FlatReader
+// ---------------------------------------------------------------------------
+
+/// Allocation-free cursor over a flatwire byte slice.
+///
+/// Unlike [`crate::codec::Reader`] (the LEB128 v1/v2 reader) this reader
+/// speaks the prefix-varint dialect and performs no header handling —
+/// sketch decoders sniff magic/version themselves and hand the payload
+/// tail to a `FlatReader`.
+///
+/// ```
+/// use qsketch_core::flatwire::{write_uvarint, write_f64, FlatReader};
+///
+/// let mut buf = Vec::new();
+/// write_uvarint(&mut buf, 42);
+/// write_f64(&mut buf, 2.5);
+/// let mut r = FlatReader::new(&buf);
+/// assert_eq!(r.uvarint().unwrap(), 42);
+/// assert_eq!(r.f64().unwrap(), 2.5);
+/// assert!(r.expect_exhausted().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FlatReader<'a> {
+    /// Wrap a byte slice, starting at offset zero.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if n > self.remaining() {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a prefix varint (see [`write_uvarint`] for the layout).
+    pub fn uvarint(&mut self) -> Result<u64, DecodeError> {
+        let first = self.bytes.get(self.pos).copied().ok_or(DecodeError::UnexpectedEnd)?;
+        let n = first.trailing_ones() as usize + 1;
+        if n == 9 {
+            self.pos += 1;
+            return self.u64();
+        }
+        let raw = self.take(n)?;
+        let mut buf = [0u8; 8];
+        buf[..n].copy_from_slice(raw);
+        Ok(u64::from_le_bytes(buf) >> n)
+    }
+
+    /// Read a zigzag-mapped prefix varint.
+    pub fn ivarint(&mut self) -> Result<i64, DecodeError> {
+        Ok(unzigzag(self.uvarint()?))
+    }
+
+    /// Borrow the next `n` bytes without copying.
+    pub fn slice(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Error with [`DecodeError::Corrupt`] if any bytes remain.
+    pub fn expect_exhausted(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted f64 runs (KLL / REQ level arrays)
+// ---------------------------------------------------------------------------
+
+/// Append a delta-compressed sorted run of `f64` values to `out`.
+///
+/// The values are sorted by [`ordered_from_f64`] (IEEE-754 total order —
+/// the caller need not pre-sort), then written as the first value's
+/// ordered bits followed by `len − 1` non-negative deltas, all prefix
+/// varints. The count is *not* stored — the enclosing layout carries it
+/// (KLL/REQ per-level headers), which is what lets
+/// [`WeightedMergeWalk`] skip runs without parsing them.
+///
+/// An empty slice writes nothing.
+pub fn write_sorted_run(out: &mut Vec<u8>, values: &[f64]) {
+    let mut ordered: Vec<u64> = values.iter().map(|&v| ordered_from_f64(v)).collect();
+    ordered.sort_unstable();
+    let mut prev = 0u64;
+    for (i, &u) in ordered.iter().enumerate() {
+        if i == 0 {
+            write_uvarint(out, u);
+        } else {
+            write_uvarint(out, u - prev);
+        }
+        prev = u;
+    }
+}
+
+/// Streaming decoder for a [`write_sorted_run`] payload.
+///
+/// Yields the values in ascending order with zero heap allocation. The
+/// expected count comes from the enclosing layout; a run that ends early
+/// yields [`DecodeError::UnexpectedEnd`], and a delta that overflows the
+/// ordered-`u64` line yields [`DecodeError::Corrupt`].
+#[derive(Debug, Clone)]
+pub struct SortedRunCursor<'a> {
+    reader: FlatReader<'a>,
+    remaining: u64,
+    prev: u64,
+    started: bool,
+}
+
+impl<'a> SortedRunCursor<'a> {
+    /// Decode `count` values from `bytes` (which may extend past the run;
+    /// excess bytes are simply never read).
+    pub fn new(bytes: &'a [u8], count: u64) -> Self {
+        Self {
+            reader: FlatReader::new(bytes),
+            remaining: count,
+            prev: 0,
+            started: false,
+        }
+    }
+
+    /// Next value in ascending order, or `Ok(None)` when the run is done.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<f64>, DecodeError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let delta = self.reader.uvarint()?;
+        let u = if self.started {
+            self.prev
+                .checked_add(delta)
+                .ok_or_else(|| DecodeError::Corrupt("sorted-run delta overflow".into()))?
+        } else {
+            self.started = true;
+            delta
+        };
+        self.prev = u;
+        self.remaining -= 1;
+        Ok(Some(f64_from_ordered(u)))
+    }
+
+    /// Bytes consumed from the underlying slice so far. Decoders use this
+    /// to verify a run filled exactly the byte length its header declared.
+    pub fn bytes_read(&self) -> usize {
+        self.reader.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bucket runs (DDSketch / UDDSketch stores)
+// ---------------------------------------------------------------------------
+
+/// Which way the bucket indices of a run move.
+///
+/// Negative-value stores are written highest-index-first so a quantile
+/// walk visits buckets in ascending *value* order in a single pass;
+/// positive stores are written ascending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunDirection {
+    /// Indices strictly increase along the run.
+    Ascending,
+    /// Indices strictly decrease along the run.
+    Descending,
+}
+
+/// Append a delta-compressed `(bucket index, count)` run to `out`.
+///
+/// The first index is zigzag-encoded; each subsequent index is stored as
+/// the (positive) magnitude of its step in the run's direction. Counts
+/// are plain prefix varints. Buckets must already be ordered per
+/// `direction` with strictly monotone indices and non-zero counts —
+/// encoders iterate sorted map stores, so both hold by construction.
+///
+/// ```
+/// use qsketch_core::flatwire::{write_bucket_run, BucketRunCursor, RunDirection};
+///
+/// let buckets = [(-3, 7u64), (0, 1), (12, 2)];
+/// let mut buf = Vec::new();
+/// write_bucket_run(&mut buf, &buckets);
+/// let mut cursor = BucketRunCursor::new(&buf, 3, RunDirection::Ascending, 1 << 22);
+/// assert_eq!(cursor.next().unwrap(), Some((-3, 7)));
+/// assert_eq!(cursor.next().unwrap(), Some((0, 1)));
+/// assert_eq!(cursor.next().unwrap(), Some((12, 2)));
+/// assert_eq!(cursor.next().unwrap(), None);
+/// ```
+pub fn write_bucket_run(out: &mut Vec<u8>, buckets: &[(i32, u64)]) {
+    let mut prev: i64 = 0;
+    for (i, &(index, count)) in buckets.iter().enumerate() {
+        let index = i64::from(index);
+        if i == 0 {
+            write_ivarint(out, index);
+        } else {
+            write_uvarint(out, index.abs_diff(prev));
+        }
+        write_uvarint(out, count);
+        prev = index;
+    }
+}
+
+/// Streaming decoder for a [`write_bucket_run`] payload.
+///
+/// Yields `(index, count)` pairs with zero heap allocation. Every decoded
+/// index is validated against `max_abs_index` so a hostile delta cannot
+/// walk the index off the sketch's legal range, and every count must be
+/// non-zero.
+#[derive(Debug, Clone)]
+pub struct BucketRunCursor<'a> {
+    reader: FlatReader<'a>,
+    remaining: u64,
+    direction: RunDirection,
+    max_abs_index: i64,
+    prev: i64,
+    started: bool,
+}
+
+impl<'a> BucketRunCursor<'a> {
+    /// Decode `count` buckets moving in `direction`, rejecting any index
+    /// with magnitude above `max_abs_index`.
+    pub fn new(bytes: &'a [u8], count: u64, direction: RunDirection, max_abs_index: i64) -> Self {
+        Self {
+            reader: FlatReader::new(bytes),
+            remaining: count,
+            direction,
+            max_abs_index,
+            prev: 0,
+            started: false,
+        }
+    }
+
+    /// Next `(index, count)` pair, or `Ok(None)` when the run is done.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(i32, u64)>, DecodeError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let index = if self.started {
+            let step = self.reader.uvarint()?;
+            let step = i64::try_from(step)
+                .map_err(|_| DecodeError::Corrupt("bucket-run step overflow".into()))?;
+            let next = match self.direction {
+                RunDirection::Ascending => self.prev.checked_add(step),
+                RunDirection::Descending => self.prev.checked_sub(step),
+            };
+            next.ok_or_else(|| DecodeError::Corrupt("bucket-run index overflow".into()))?
+        } else {
+            self.started = true;
+            self.reader.ivarint()?
+        };
+        if index.abs() > self.max_abs_index {
+            return Err(DecodeError::Corrupt(format!(
+                "bucket index {index} outside ±{}",
+                self.max_abs_index
+            )));
+        }
+        let count = self.reader.uvarint()?;
+        if count == 0 {
+            return Err(DecodeError::Corrupt("zero-count bucket in run".into()));
+        }
+        self.prev = index;
+        self.remaining -= 1;
+        Ok(Some((index as i32, count)))
+    }
+
+    /// Bytes consumed from the underlying slice so far.
+    pub fn bytes_read(&self) -> usize {
+        self.reader.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted k-way merge walk
+// ---------------------------------------------------------------------------
+
+struct WalkLevel<'a> {
+    cursor: SortedRunCursor<'a>,
+    weight: u64,
+    /// Next value this level will contribute (primed ahead of selection).
+    head: f64,
+}
+
+/// Stack-only k-way merge over weighted sorted runs, used to evaluate a
+/// cumulative rank across KLL/REQ levels without materializing the
+/// merged array.
+///
+/// Push up to [`MAX_WALK_LEVELS`] runs, each with a per-item weight
+/// (`1 << level` for the compactor hierarchies), then call
+/// [`value_at_rank`](Self::value_at_rank). The walk repeatedly takes the
+/// smallest head value among the runs and accumulates its weight; the
+/// first value whose cumulative weight reaches the target rank is the
+/// answer — exactly the semantics of the in-memory sorted views.
+///
+/// ```
+/// use qsketch_core::flatwire::{write_sorted_run, SortedRunCursor, WeightedMergeWalk};
+///
+/// let (lo, hi) = ([1.0, 3.0], [2.0]);
+/// let (mut a, mut b) = (Vec::new(), Vec::new());
+/// write_sorted_run(&mut a, &lo);
+/// write_sorted_run(&mut b, &hi);
+///
+/// let mut walk = WeightedMergeWalk::new();
+/// walk.push(SortedRunCursor::new(&a, 2), 1).unwrap();
+/// walk.push(SortedRunCursor::new(&b, 1), 2).unwrap();
+/// // Merged weighted stream: 1.0(w1), 2.0(w2), 3.0(w1) — total weight 4.
+/// assert_eq!(walk.value_at_rank(2).unwrap(), 2.0);
+/// ```
+pub struct WeightedMergeWalk<'a> {
+    levels: [Option<WalkLevel<'a>>; MAX_WALK_LEVELS],
+    len: usize,
+}
+
+impl<'a> WeightedMergeWalk<'a> {
+    /// Create an empty walk.
+    pub fn new() -> Self {
+        Self {
+            levels: std::array::from_fn(|_| None),
+            len: 0,
+        }
+    }
+
+    /// Add a run whose items all carry `weight`. Empty runs are skipped.
+    ///
+    /// Fails with [`DecodeError::Corrupt`] if more than
+    /// [`MAX_WALK_LEVELS`] non-empty runs are pushed, and propagates any
+    /// decode error from priming the run's first value.
+    pub fn push(&mut self, mut cursor: SortedRunCursor<'a>, weight: u64) -> Result<(), DecodeError> {
+        let Some(head) = cursor.next()? else {
+            return Ok(());
+        };
+        if self.len == MAX_WALK_LEVELS {
+            return Err(DecodeError::Corrupt(format!(
+                "more than {MAX_WALK_LEVELS} runs in merge walk"
+            )));
+        }
+        self.levels[self.len] = Some(WalkLevel {
+            cursor,
+            weight,
+            head,
+        });
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Consume the walk and return the value whose cumulative weight first
+    /// reaches `rank` (1-based; the caller clamps it to `[1, total]`).
+    ///
+    /// Fails with [`DecodeError::Corrupt`] if the runs exhaust before the
+    /// rank is reached — that means the declared level counts disagree
+    /// with the rank the caller derived from them.
+    pub fn value_at_rank(mut self, rank: u64) -> Result<f64, DecodeError> {
+        let mut cum = 0u64;
+        loop {
+            // Select the level holding the smallest head value. Ties pick
+            // the first such level — the tied values are identical, so
+            // the returned value is unaffected.
+            let mut best: Option<usize> = None;
+            for i in 0..self.len {
+                if let Some(level) = &self.levels[i] {
+                    match best {
+                        Some(b) => {
+                            let b_head = self.levels[b].as_ref().expect("live level").head;
+                            if level.head < b_head {
+                                best = Some(i);
+                            }
+                        }
+                        None => best = Some(i),
+                    }
+                }
+            }
+            let Some(i) = best else {
+                return Err(DecodeError::Corrupt(
+                    "merge walk exhausted before rank".into(),
+                ));
+            };
+            let level = self.levels[i].as_mut().expect("selected level");
+            let value = level.head;
+            cum = cum.saturating_add(level.weight);
+            if cum >= rank {
+                return Ok(value);
+            }
+            match level.cursor.next()? {
+                Some(next) => level.head = next,
+                None => self.levels[i] = None,
+            }
+        }
+    }
+}
+
+impl Default for WeightedMergeWalk<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SketchView
+// ---------------------------------------------------------------------------
+
+/// Answer queries directly from a serialized sketch payload.
+///
+/// Implementations must return **bit-identical** results to decoding the
+/// same bytes and querying the rebuilt sketch — that equivalence is
+/// enforced by property tests for every sketch in the workspace. For v3
+/// (flatwire) payloads the evaluation runs over the borrowed bytes with
+/// no heap allocation (exception: Moments, whose maximum-entropy solver
+/// allocates scratch — documented in FORMATS.md §3.6); v1/v2 payloads
+/// transparently fall back to decode-then-query.
+///
+/// ```
+/// use qsketch_core::{QuantileSketch, SketchSerialize};
+/// use qsketch_core::flatwire::SketchView;
+/// use qsketch_kll::KllSketch;
+///
+/// let mut sketch = KllSketch::new(200);
+/// for i in 0..1000 {
+///     sketch.insert(i as f64);
+/// }
+/// let bytes = sketch.encode();
+/// let from_bytes = KllSketch::quantile_from_bytes(&bytes, 0.5).unwrap();
+/// assert_eq!(from_bytes, sketch.query(0.5).unwrap());
+/// assert_eq!(KllSketch::count_from_bytes(&bytes).unwrap(), 1000);
+/// ```
+pub trait SketchView: SketchSerialize {
+    /// Total number of inserted values recorded in the payload.
+    fn count_from_bytes(bytes: &[u8]) -> Result<u64, DecodeError>;
+
+    /// The `(min, max)` bounds recorded in the payload. An empty sketch
+    /// reports the sentinel `(+∞, −∞)` pair its in-memory counterpart
+    /// carries.
+    fn bounds_from_bytes(bytes: &[u8]) -> Result<(f64, f64), DecodeError>;
+
+    /// Evaluate the `q`-quantile against the payload, bit-identical to
+    /// `Self::decode(bytes)?.query(q)`.
+    fn quantile_from_bytes(bytes: &[u8], q: f64) -> Result<f64, SketchError>;
+}
+
+/// Read the `(magic, version)` header every sketch payload and envelope
+/// starts with, without validating either.
+///
+/// Used by [`SketchView`] implementations to route v1/v2 payloads to the
+/// decode-then-query fallback and v3 payloads to the flat evaluator.
+///
+/// ```
+/// use qsketch_core::flatwire::wire_header;
+///
+/// assert_eq!(wire_header(&[0xA1, 0x03, 0x55]).unwrap(), (0xA1, 3));
+/// assert!(wire_header(&[0xA1]).is_err());
+/// ```
+pub fn wire_header(bytes: &[u8]) -> Result<(u8, u8), DecodeError> {
+    match bytes {
+        [magic, version, ..] => Ok((*magic, *version)),
+        _ => Err(DecodeError::UnexpectedEnd),
+    }
+}
+
+/// Decode-then-query fallback for pre-v3 payloads: rebuild the sketch and
+/// evaluate the quantile on it.
+///
+/// ```
+/// use qsketch_core::{QuantileSketch, SketchSerialize};
+/// use qsketch_core::flatwire::quantile_via_decode;
+/// use qsketch_moments::MomentsSketch;
+///
+/// let mut sketch = MomentsSketch::new(10);
+/// for i in 1..=100 {
+///     sketch.insert(i as f64);
+/// }
+/// let bytes = sketch.encode();
+/// let expected = MomentsSketch::decode(&bytes).unwrap().query(0.5).unwrap();
+/// assert_eq!(quantile_via_decode::<MomentsSketch>(&bytes, 0.5).unwrap(), expected);
+/// ```
+pub fn quantile_via_decode<S>(bytes: &[u8], q: f64) -> Result<f64, SketchError>
+where
+    S: SketchSerialize + QuantileSketch,
+{
+    let sketch = S::decode(bytes)?;
+    Ok(sketch.query(q)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_uvarint(v: u64) {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, v);
+        let mut r = FlatReader::new(&buf);
+        assert_eq!(r.uvarint().unwrap(), v, "value {v}");
+        assert!(r.expect_exhausted().is_ok(), "value {v} left bytes");
+    }
+
+    #[test]
+    fn uvarint_roundtrips_across_boundaries() {
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            roundtrip_uvarint(v - 1);
+            roundtrip_uvarint(v);
+            roundtrip_uvarint(v | (v >> 1));
+        }
+        roundtrip_uvarint(u64::MAX);
+    }
+
+    #[test]
+    fn uvarint_lengths_are_minimal() {
+        let len = |v: u64| {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            buf.len()
+        };
+        assert_eq!(len(0), 1);
+        assert_eq!(len(127), 1);
+        assert_eq!(len(128), 2);
+        assert_eq!(len((1 << 14) - 1), 2);
+        assert_eq!(len(1 << 14), 3);
+        assert_eq!(len((1 << 56) - 1), 8);
+        assert_eq!(len(1 << 56), 9);
+        assert_eq!(len(u64::MAX), 9);
+    }
+
+    #[test]
+    fn uvarint_truncation_is_unexpected_end() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1 << 40);
+        for cut in 0..buf.len() {
+            let mut r = FlatReader::new(&buf[..cut]);
+            assert_eq!(r.uvarint(), Err(DecodeError::UnexpectedEnd), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for v in [0, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn ordered_f64_is_monotone() {
+        let ordered = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for pair in ordered.windows(2) {
+            assert!(
+                ordered_from_f64(pair[0]) < ordered_from_f64(pair[1]),
+                "{} !< {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for v in ordered {
+            assert_eq!(f64_from_ordered(ordered_from_f64(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sorted_run_roundtrips_and_sorts() {
+        let values = [3.5, -2.0, 3.5, 0.0, -0.0, 1e-9];
+        let mut buf = Vec::new();
+        write_sorted_run(&mut buf, &values);
+        let mut cursor = SortedRunCursor::new(&buf, values.len() as u64);
+        let mut out = Vec::new();
+        while let Some(v) = cursor.next().unwrap() {
+            out.push(v);
+        }
+        let mut expected = values.to_vec();
+        expected.sort_by_key(|&v| ordered_from_f64(v));
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&expected));
+    }
+
+    #[test]
+    fn sorted_run_truncation_never_panics() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64 * 1.25).collect();
+        let mut buf = Vec::new();
+        write_sorted_run(&mut buf, &values);
+        for cut in 0..buf.len() {
+            let mut cursor = SortedRunCursor::new(&buf[..cut], values.len() as u64);
+            let mut result = Ok(Some(0.0));
+            while let Ok(Some(_)) = result {
+                result = cursor.next();
+            }
+            assert!(result.is_err(), "cut {cut} decoded fully");
+        }
+    }
+
+    #[test]
+    fn bucket_run_roundtrips_both_directions() {
+        let asc = [(-100, 3u64), (-99, 1), (5, 9), (2000, 2)];
+        let mut buf = Vec::new();
+        write_bucket_run(&mut buf, &asc);
+        let mut cursor = BucketRunCursor::new(&buf, 4, RunDirection::Ascending, 1 << 22);
+        for want in asc {
+            assert_eq!(cursor.next().unwrap(), Some(want));
+        }
+        assert_eq!(cursor.next().unwrap(), None);
+
+        let desc = [(2000, 2u64), (5, 9), (-99, 1), (-100, 3)];
+        let mut buf = Vec::new();
+        write_bucket_run(&mut buf, &desc);
+        let mut cursor = BucketRunCursor::new(&buf, 4, RunDirection::Descending, 1 << 22);
+        for want in desc {
+            assert_eq!(cursor.next().unwrap(), Some(want));
+        }
+        assert_eq!(cursor.next().unwrap(), None);
+    }
+
+    #[test]
+    fn bucket_run_rejects_out_of_range_and_zero_counts() {
+        let mut buf = Vec::new();
+        write_bucket_run(&mut buf, &[(1 << 23, 1)]);
+        let mut cursor = BucketRunCursor::new(&buf, 1, RunDirection::Ascending, 1 << 22);
+        assert!(matches!(cursor.next(), Err(DecodeError::Corrupt(_))));
+
+        // Hand-craft a zero count: index 0, count 0.
+        let mut buf = Vec::new();
+        write_ivarint(&mut buf, 0);
+        write_uvarint(&mut buf, 0);
+        let mut cursor = BucketRunCursor::new(&buf, 1, RunDirection::Ascending, 1 << 22);
+        assert!(matches!(cursor.next(), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bucket_run_overflowing_delta_is_corrupt() {
+        // First index at the positive cap, then a huge ascending step.
+        let mut buf = Vec::new();
+        write_ivarint(&mut buf, i64::MAX);
+        write_uvarint(&mut buf, 1);
+        write_uvarint(&mut buf, u64::MAX);
+        write_uvarint(&mut buf, 1);
+        let mut cursor = BucketRunCursor::new(&buf, 2, RunDirection::Ascending, i64::MAX);
+        // The first bucket decodes (cap is i64::MAX here)...
+        assert!(cursor.next().is_ok());
+        // ...and the follow-up step must fail checked addition, not wrap.
+        assert!(matches!(cursor.next(), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn merge_walk_matches_flat_merge() {
+        // Three weighted runs; brute-force the merged weighted sequence.
+        let runs: [(&[f64], u64); 3] = [
+            (&[1.0, 4.0, 4.0, 9.0], 1),
+            (&[2.0, 4.0, 10.0], 2),
+            (&[0.5, 8.0], 4),
+        ];
+        let mut flat: Vec<(f64, u64)> = Vec::new();
+        for (values, w) in runs {
+            flat.extend(values.iter().map(|&v| (v, w)));
+        }
+        flat.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total: u64 = flat.iter().map(|&(_, w)| w).sum();
+
+        let mut encoded = Vec::new();
+        for (values, w) in runs {
+            let mut buf = Vec::new();
+            write_sorted_run(&mut buf, values);
+            encoded.push((buf, values.len() as u64, w));
+        }
+        for rank in 1..=total {
+            let mut cum = 0;
+            let mut expected = f64::NAN;
+            for &(v, w) in &flat {
+                cum += w;
+                if cum >= rank {
+                    expected = v;
+                    break;
+                }
+            }
+            let mut walk = WeightedMergeWalk::new();
+            for (buf, n, w) in &encoded {
+                walk.push(SortedRunCursor::new(buf, *n), *w).unwrap();
+            }
+            assert_eq!(walk.value_at_rank(rank).unwrap(), expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn merge_walk_rank_past_total_is_corrupt() {
+        let mut buf = Vec::new();
+        write_sorted_run(&mut buf, &[1.0]);
+        let mut walk = WeightedMergeWalk::new();
+        walk.push(SortedRunCursor::new(&buf, 1), 1).unwrap();
+        assert!(matches!(
+            walk.value_at_rank(2),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wire_header_reads_first_two_bytes() {
+        assert_eq!(wire_header(&[0xD0, 1, 9, 9]).unwrap(), (0xD0, 1));
+        assert_eq!(wire_header(&[0xD0]), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(wire_header(&[]), Err(DecodeError::UnexpectedEnd));
+    }
+}

@@ -17,6 +17,10 @@
 //!   params + state, little-endian), with typed [`DecodeError`] rejection
 //!   of corrupt/foreign payloads — the basis of distributed merge and of
 //!   the sharded engine's checkpoint/recovery,
+//! * the v3 flatwire layout ([`flatwire`]): delta + prefix-varint
+//!   compressed payloads and the [`flatwire::SketchView`] trait that
+//!   answers quantile queries directly from serialized bytes with no
+//!   decode step (FORMATS.md is the normative spec),
 //! * a zero-dependency observability layer ([`metrics`]): named counters,
 //!   gauges, and log-bucketed latency histograms, plus the
 //!   [`metrics::Instrumented`] wrapper that records per-operation metrics
@@ -38,10 +42,13 @@
 //! assert!((relative_error(30.0, 18.0) - 0.4).abs() < 1e-12);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod codec;
 pub mod error;
 pub mod exact;
 pub mod fastlog;
+pub mod flatwire;
 pub mod metrics;
 pub mod profile;
 pub mod quantiles;
@@ -52,6 +59,7 @@ pub mod stats;
 
 pub use codec::{DecodeError, SketchSerialize};
 pub use error::{rank_error, relative_error};
+pub use flatwire::SketchView;
 pub use fastlog::FastCeilIndexer;
 pub use exact::ExactQuantiles;
 pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};

@@ -585,20 +585,29 @@ mod tests {
     }
 }
 
-/// Wire format: magic `0xD0`, version 1. Encodes γ, scalar state, and the
-/// non-empty buckets of both stores as `(index, count)` pairs. Only the
-/// unbounded-store sketch is encodable — a collapsed store has already
-/// discarded information that the receiving side could not validate.
+/// Wire format: magic `0xD0`, version 3 (flatwire — FORMATS.md §3.4;
+/// version 2 was never issued for DDSketch, so the numbering stays
+/// aligned across sketches). Encodes α, scalar state, and both stores as
+/// delta + prefix-varint compressed `(index, count)` runs — positives in
+/// ascending index order, negatives in *descending* index order, which is
+/// ascending value order, so a quantile query walks the bytes in a single
+/// pass ([`qsketch_core::flatwire::SketchView`]). Version-1 payloads
+/// (LEB128, fixed 4-byte indices) still decode. Only the unbounded-store
+/// sketch is encodable — a collapsed store has already discarded
+/// information that the receiving side could not validate.
 pub use codec::MAGIC as WIRE_MAGIC;
 
 mod codec {
     use super::*;
     use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+    use qsketch_core::flatwire::{self, BucketRunCursor, FlatReader, RunDirection, SketchView};
+    use qsketch_core::sketch::SketchError;
 
     /// Sketch tag on the wire (shared with checkpoint files and the
     /// bench harness's type-erased envelope).
     pub const MAGIC: u8 = 0xD0;
-    const VERSION: u8 = 1;
+    const LEGACY_VERSION: u8 = 1;
+    const FLAT_VERSION: u8 = 3;
     /// Upper bound on buckets accepted from a payload (a 2048-bucket
     /// sketch already spans 17 decades at α = 0.01, §4.8).
     const MAX_BUCKETS: u64 = 1 << 22;
@@ -634,9 +643,100 @@ mod codec {
         Ok(store)
     }
 
-    impl SketchSerialize for DdSketch<UnboundedDenseStore> {
-        fn encode(&self) -> Vec<u8> {
-            let mut w = Writer::with_header(MAGIC, VERSION);
+    /// The fixed-position scalar fields of a v3 payload.
+    struct FlatHeader {
+        alpha: f64,
+        zero_count: u64,
+        count: u64,
+        min: f64,
+        max: f64,
+    }
+
+    fn read_flat_header(r: &mut FlatReader<'_>) -> Result<FlatHeader, DecodeError> {
+        let alpha = r.f64()?;
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(DecodeError::Corrupt(format!("alpha {alpha} out of range")));
+        }
+        // A subnormal-tiny alpha passes the range check but rounds
+        // (1+α)/(1−α) to exactly 1 — no usable bucket base.
+        if (1.0 + alpha) / (1.0 - alpha) <= 1.0 {
+            return Err(DecodeError::Corrupt(format!(
+                "alpha {alpha} collapses gamma to 1"
+            )));
+        }
+        let zero_count = r.uvarint()?;
+        let count = r.uvarint()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        if min.is_nan() || max.is_nan() {
+            return Err(DecodeError::Corrupt("NaN extremes".into()));
+        }
+        if count > 0 && min > max {
+            return Err(DecodeError::Corrupt("min above max".into()));
+        }
+        Ok(FlatHeader {
+            alpha,
+            zero_count,
+            count,
+            min,
+            max,
+        })
+    }
+
+    /// Read one store's run header, returning `(bucket count, run bytes)`.
+    fn read_flat_run<'a>(r: &mut FlatReader<'a>) -> Result<(u64, &'a [u8]), DecodeError> {
+        let n = r.uvarint()?;
+        if n > MAX_BUCKETS {
+            return Err(DecodeError::Corrupt(format!("{n} buckets exceeds limit")));
+        }
+        let byte_len = r.uvarint()?;
+        let byte_len = usize::try_from(byte_len)
+            .ok()
+            .filter(|&b| b <= r.remaining())
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        Ok((n, r.slice(byte_len)?))
+    }
+
+    /// Append a store as a delta-compressed run with a `(count, byte
+    /// length)` header. Negative stores are written highest-index-first
+    /// (ascending value order).
+    fn write_flat_store(out: &mut Vec<u8>, store: &UnboundedDenseStore, descending: bool) {
+        let mut buckets: Vec<(i32, u64)> = store.iter_ascending().collect();
+        if descending {
+            buckets.reverse();
+        }
+        let mut run = Vec::new();
+        flatwire::write_bucket_run(&mut run, &buckets);
+        flatwire::write_uvarint(out, buckets.len() as u64);
+        flatwire::write_uvarint(out, run.len() as u64);
+        out.extend_from_slice(&run);
+    }
+
+    /// Drain a run into an [`UnboundedDenseStore`], enforcing the run's
+    /// byte length and index bounds.
+    fn read_store_from_run(
+        n: u64,
+        run: &[u8],
+        direction: RunDirection,
+    ) -> Result<UnboundedDenseStore, DecodeError> {
+        let mut cursor = BucketRunCursor::new(run, n, direction, MAX_BUCKETS as i64);
+        let mut store = UnboundedDenseStore::new();
+        while let Some((i, c)) = cursor.next()? {
+            store.add(i, c);
+        }
+        if cursor.bytes_read() != run.len() {
+            return Err(DecodeError::Corrupt("store run length mismatch".into()));
+        }
+        Ok(store)
+    }
+
+    impl DdSketch<UnboundedDenseStore> {
+        /// Encode in the previous wire generation (magic `0xD0`, version
+        /// 1: LEB128 varints, fixed 4-byte bucket indices). Kept so the
+        /// committed back-compat fixtures can be regenerated and so
+        /// operators can write payloads for pre-v3 readers.
+        pub fn encode_legacy(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, LEGACY_VERSION);
             w.f64(self.mapping.alpha());
             w.varint(self.zero_count);
             w.varint(self.count);
@@ -647,8 +747,9 @@ mod codec {
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
-            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+        /// Decode a pre-flatwire (v1) payload.
+        fn decode_legacy(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
             let alpha = r.f64()?;
             if !(alpha > 0.0 && alpha < 1.0) {
                 return Err(DecodeError::Corrupt(format!("alpha {alpha} out of range")));
@@ -667,13 +768,19 @@ mod codec {
             if min.is_nan() || max.is_nan() {
                 return Err(DecodeError::Corrupt("NaN extremes".into()));
             }
+            if count > 0 && min > max {
+                return Err(DecodeError::Corrupt("min above max".into()));
+            }
             let positives = read_store(&mut r)?;
             let negatives = read_store(&mut r)?;
             r.expect_exhausted()?;
-            let stored = positives.total() + negatives.total() + zero_count;
-            if stored != count {
+            let stored = positives
+                .total()
+                .checked_add(negatives.total())
+                .and_then(|t| t.checked_add(zero_count));
+            if stored != Some(count) {
                 return Err(DecodeError::Corrupt(format!(
-                    "bucket totals {stored} disagree with count {count}"
+                    "bucket totals disagree with count {count}"
                 )));
             }
             Ok(Self {
@@ -685,6 +792,136 @@ mod codec {
                 min,
                 max,
             })
+        }
+    }
+
+    impl SketchSerialize for DdSketch<UnboundedDenseStore> {
+        fn encode(&self) -> Vec<u8> {
+            let mut out = vec![MAGIC, FLAT_VERSION];
+            flatwire::write_f64(&mut out, self.mapping.alpha());
+            flatwire::write_uvarint(&mut out, self.zero_count);
+            flatwire::write_uvarint(&mut out, self.count);
+            flatwire::write_f64(&mut out, self.min);
+            flatwire::write_f64(&mut out, self.max);
+            write_flat_store(&mut out, &self.positives, false);
+            write_flat_store(&mut out, &self.negatives, true);
+            out
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return Self::decode_legacy(bytes);
+            }
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            let (pos_n, pos_run) = read_flat_run(&mut r)?;
+            let positives = read_store_from_run(pos_n, pos_run, RunDirection::Ascending)?;
+            let (neg_n, neg_run) = read_flat_run(&mut r)?;
+            let negatives = read_store_from_run(neg_n, neg_run, RunDirection::Descending)?;
+            r.expect_exhausted()?;
+            let stored = positives
+                .total()
+                .checked_add(negatives.total())
+                .and_then(|t| t.checked_add(h.zero_count));
+            if stored != Some(h.count) {
+                return Err(DecodeError::Corrupt(format!(
+                    "bucket totals disagree with count {}",
+                    h.count
+                )));
+            }
+            Ok(Self {
+                mapping: LogarithmicMapping::new(h.alpha),
+                positives,
+                negatives,
+                zero_count: h.zero_count,
+                count: h.count,
+                min: h.min,
+                max: h.max,
+            })
+        }
+    }
+
+    impl SketchView for DdSketch<UnboundedDenseStore> {
+        fn count_from_bytes(bytes: &[u8]) -> Result<u64, DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                Ok(read_flat_header(&mut r)?.count)
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.f64()?; // alpha
+                r.varint()?; // zero_count
+                r.varint()
+            }
+        }
+
+        fn bounds_from_bytes(bytes: &[u8]) -> Result<(f64, f64), DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                let h = read_flat_header(&mut r)?;
+                Ok((h.min, h.max))
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.f64()?; // alpha
+                r.varint()?; // zero_count
+                r.varint()?; // count
+                Ok((r.f64()?, r.f64()?))
+            }
+        }
+
+        fn quantile_from_bytes(bytes: &[u8], q: f64) -> Result<f64, SketchError> {
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return flatwire::quantile_via_decode::<Self>(bytes, q);
+            }
+            qsketch_core::sketch::check_quantile(q)?;
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            if h.count == 0 {
+                return Err(QueryError::Empty.into());
+            }
+            // Same rank arithmetic and walk order as the in-memory
+            // `value_at_rank`: negatives in ascending value order (the
+            // wire already stores them highest-index-first), then zeros,
+            // then positives.
+            let rank = ((q * h.count as f64).ceil() as u64).clamp(1, h.count);
+            let mapping = LogarithmicMapping::new(h.alpha);
+            let (pos_n, pos_run) = read_flat_run(&mut r)?;
+            let (neg_n, neg_run) = read_flat_run(&mut r)?;
+            let mut cum = 0u64;
+            let overflow = || DecodeError::Corrupt("bucket counts overflow".into());
+            let mut negatives =
+                BucketRunCursor::new(neg_run, neg_n, RunDirection::Descending, MAX_BUCKETS as i64);
+            let mut est = None;
+            while let Some((i, c)) = negatives.next()? {
+                cum = cum.checked_add(c).ok_or_else(overflow)?;
+                if cum >= rank {
+                    est = Some(-mapping.value(i));
+                    break;
+                }
+            }
+            if est.is_none() {
+                cum = cum.checked_add(h.zero_count).ok_or_else(overflow)?;
+                if cum >= rank {
+                    est = Some(0.0);
+                }
+            }
+            if est.is_none() {
+                let mut positives = BucketRunCursor::new(
+                    pos_run,
+                    pos_n,
+                    RunDirection::Ascending,
+                    MAX_BUCKETS as i64,
+                );
+                while let Some((i, c)) = positives.next()? {
+                    cum = cum.checked_add(c).ok_or_else(overflow)?;
+                    if cum >= rank {
+                        est = Some(mapping.value(i));
+                        break;
+                    }
+                }
+            }
+            // Rank beyond the stored totals falls back to the tracked max,
+            // exactly as the in-memory walk does.
+            Ok(est.unwrap_or(h.max).clamp(h.min, h.max))
         }
     }
 
@@ -736,8 +973,9 @@ mod codec {
             let mut s = DdSketch::unbounded(0.01);
             s.insert(1.0);
             let mut bytes = s.encode();
-            // Count is the varint after alpha+zero_count: flip a bucket
-            // count byte at the tail instead (last byte is a bucket count).
+            // The payload ends with the (empty) negatives run header:
+            // flipping its byte-length varint declares bytes that are
+            // not there.
             let last = bytes.len() - 1;
             bytes[last] = bytes[last].wrapping_add(1);
             assert!(DdSketch::decode(&bytes).is_err());
@@ -753,6 +991,99 @@ mod codec {
             // ~700 non-empty buckets x ~7 bytes + header: far below the
             // dense in-memory footprint.
             assert!(bytes.len() < 16 * 1024, "payload {} bytes", bytes.len());
+        }
+
+        fn mixed_sketch() -> DdSketch {
+            let mut s = DdSketch::unbounded(0.01);
+            for i in 1..=50_000u64 {
+                match i % 97 {
+                    0 => s.insert(0.0),
+                    k if k < 20 => s.insert(-(i as f64) * 0.11),
+                    _ => s.insert(i as f64 * 0.37),
+                }
+            }
+            s
+        }
+
+        #[test]
+        fn v1_payload_still_decodes() {
+            let s = mixed_sketch();
+            let legacy = s.encode_legacy();
+            assert_eq!(legacy[..2], [MAGIC, 1]);
+            let restored = DdSketch::decode(&legacy).unwrap();
+            assert_eq!(restored.count(), s.count());
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap(), "q={q}");
+            }
+        }
+
+        #[test]
+        fn v3_is_smaller_than_v1() {
+            let mut s = DdSketch::unbounded(0.01);
+            for i in 1..=1_000_000 {
+                s.insert(i as f64);
+            }
+            let v3 = s.encode();
+            let v1 = s.encode_legacy();
+            assert_eq!(v3[..2], [MAGIC, 3]);
+            // Delta + prefix-varint indices vs fixed 4-byte indices: the
+            // dense consecutive-index runs compress to ~2 bytes/bucket.
+            assert!(
+                v3.len() * 2 < v1.len(),
+                "v3 {} bytes vs v1 {} bytes",
+                v3.len(),
+                v1.len()
+            );
+        }
+
+        #[test]
+        fn quantile_from_bytes_matches_decode_then_query() {
+            use qsketch_core::flatwire::SketchView;
+            let s = mixed_sketch();
+            for bytes in [s.encode(), s.encode_legacy()] {
+                let decoded = DdSketch::decode(&bytes).unwrap();
+                assert_eq!(DdSketch::count_from_bytes(&bytes).unwrap(), s.count());
+                assert_eq!(
+                    DdSketch::bounds_from_bytes(&bytes).unwrap(),
+                    (decoded.min, decoded.max)
+                );
+                for q in [0.001, 0.01, 0.2, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+                    let from_bytes = DdSketch::quantile_from_bytes(&bytes, q).unwrap();
+                    let via_decode = decoded.query(q).unwrap();
+                    assert_eq!(
+                        from_bytes.to_bits(),
+                        via_decode.to_bits(),
+                        "q={q} from_bytes={from_bytes} via_decode={via_decode}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn v3_truncations_and_flips_never_panic() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = DdSketch::unbounded(0.02);
+            for i in 1..=2_000u64 {
+                if i % 31 == 0 {
+                    s.insert(0.0);
+                } else if i % 7 == 0 {
+                    s.insert(-(i as f64));
+                } else {
+                    s.insert(i as f64);
+                }
+            }
+            let bytes = s.encode();
+            for len in 0..bytes.len() {
+                let truncated = &bytes[..len];
+                let _ = DdSketch::decode(truncated);
+                let _ = DdSketch::quantile_from_bytes(truncated, 0.5);
+            }
+            for i in 0..bytes.len() {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 0xA5;
+                let _ = DdSketch::decode(&flipped);
+                let _ = DdSketch::quantile_from_bytes(&flipped, 0.5);
+            }
         }
     }
 }

@@ -544,30 +544,96 @@ mod tests {
     }
 }
 
-/// Wire format: magic `0xA1`, version 2. Encodes `k`, scalar state, each
-/// level's retained items, and (since v2) the compaction coin's exact
-/// xorshift state — so a checkpointed-and-recovered sketch replays the
-/// *same* future compactions bit-for-bit as the uninterrupted run.
-/// Version-1 payloads (no RNG state) still decode; their coin is reseeded
-/// from `k` and the count, which keeps the sketch correct but makes its
-/// future compactions diverge from the encoder's.
+/// Wire format: magic `0xA1`, version 3 (flatwire — FORMATS.md §3.2).
+/// Encodes `k`, scalar state, the compaction coin's exact xorshift state,
+/// and each level as a delta + prefix-varint compressed sorted run with a
+/// `(count, byte length)` header — so quantile queries can run directly
+/// over the bytes ([`qsketch_core::flatwire::SketchView`]) and the k-way
+/// level walk can skip runs without parsing them. Version-2 payloads
+/// (LEB128, uncompressed item arrays) and version-1 payloads (v2 minus
+/// the RNG state; the coin is reseeded from `k` and the count) both still
+/// decode.
 pub use codec::MAGIC as WIRE_MAGIC;
 
 mod codec {
     use super::*;
     use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+    use qsketch_core::flatwire::{
+        self, FlatReader, SketchView, SortedRunCursor, WeightedMergeWalk,
+    };
+    use qsketch_core::sketch::SketchError;
 
     /// Sketch tag on the wire (shared with checkpoint files and the
     /// bench harness's type-erased envelope).
     pub const MAGIC: u8 = 0xA1;
-    const VERSION: u8 = 2;
+    const LEGACY_VERSION: u8 = 2;
+    const FLAT_VERSION: u8 = 3;
     /// Far above any real retained-sample size (§4.3: ~1k items at k=350).
     const MAX_ITEMS_PER_LEVEL: u64 = 1 << 24;
     const MAX_LEVELS: u64 = 64;
 
-    impl SketchSerialize for KllSketch {
-        fn encode(&self) -> Vec<u8> {
-            let mut w = Writer::with_header(MAGIC, VERSION);
+    /// The fixed-position scalar fields of a v3 payload.
+    struct FlatHeader {
+        k: u64,
+        count: u64,
+        min: f64,
+        max: f64,
+        rng_state: u64,
+        num_levels: u64,
+    }
+
+    /// Parse and validate the v3 header; the reader is left positioned at
+    /// the first level's `(count, byte length)` pair.
+    fn read_flat_header(r: &mut FlatReader<'_>) -> Result<FlatHeader, DecodeError> {
+        let k = r.uvarint()?;
+        if !(8..=u64::from(u16::MAX)).contains(&k) {
+            return Err(DecodeError::Corrupt(format!("k {k} out of range")));
+        }
+        let count = r.uvarint()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        if min.is_nan() || max.is_nan() {
+            return Err(DecodeError::Corrupt("NaN extreme".into()));
+        }
+        if count > 0 && min > max {
+            return Err(DecodeError::Corrupt("min above max".into()));
+        }
+        let rng_state = r.u64()?;
+        let num_levels = r.uvarint()?;
+        if num_levels == 0 || num_levels > MAX_LEVELS {
+            return Err(DecodeError::Corrupt(format!("{num_levels} levels")));
+        }
+        Ok(FlatHeader {
+            k,
+            count,
+            min,
+            max,
+            rng_state,
+            num_levels,
+        })
+    }
+
+    /// Read one level's run header, returning `(item count, run bytes)`.
+    fn read_level_run<'a>(r: &mut FlatReader<'a>) -> Result<(u64, &'a [u8]), DecodeError> {
+        let n = r.uvarint()?;
+        if n > MAX_ITEMS_PER_LEVEL {
+            return Err(DecodeError::Corrupt(format!("{n} items in level")));
+        }
+        let byte_len = r.uvarint()?;
+        let byte_len = usize::try_from(byte_len)
+            .ok()
+            .filter(|&b| b <= r.remaining())
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        Ok((n, r.slice(byte_len)?))
+    }
+
+    impl KllSketch {
+        /// Encode in the previous wire generation (magic `0xA1`, version
+        /// 2: LEB128 varints, uncompressed per-level item arrays). Kept so
+        /// the committed back-compat fixtures can be regenerated and so
+        /// operators can write payloads for pre-v3 readers.
+        pub fn encode_legacy(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, LEGACY_VERSION);
             w.varint(u64::from(self.k));
             w.varint(self.count);
             w.f64(self.min);
@@ -579,9 +645,66 @@ mod codec {
             w.u64(self.rng.state());
             w.finish()
         }
+    }
+
+    impl SketchSerialize for KllSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut out = vec![MAGIC, FLAT_VERSION];
+            flatwire::write_uvarint(&mut out, u64::from(self.k));
+            flatwire::write_uvarint(&mut out, self.count);
+            flatwire::write_f64(&mut out, self.min);
+            flatwire::write_f64(&mut out, self.max);
+            out.extend_from_slice(&self.rng.state().to_le_bytes());
+            flatwire::write_uvarint(&mut out, self.levels.len() as u64);
+            let mut run = Vec::new();
+            for level in &self.levels {
+                run.clear();
+                flatwire::write_sorted_run(&mut run, level);
+                flatwire::write_uvarint(&mut out, level.len() as u64);
+                flatwire::write_uvarint(&mut out, run.len() as u64);
+                out.extend_from_slice(&run);
+            }
+            out
+        }
 
         fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
-            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return Self::decode_legacy(bytes);
+            }
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            let mut levels = Vec::with_capacity(h.num_levels as usize);
+            for _ in 0..h.num_levels {
+                let (n, run) = read_level_run(&mut r)?;
+                let mut cursor = SortedRunCursor::new(run, n);
+                let mut level = Vec::with_capacity(n as usize);
+                while let Some(v) = cursor.next()? {
+                    if v.is_nan() {
+                        return Err(DecodeError::Corrupt("NaN item".into()));
+                    }
+                    level.push(v);
+                }
+                if cursor.bytes_read() != run.len() {
+                    return Err(DecodeError::Corrupt("level run length mismatch".into()));
+                }
+                levels.push(level);
+            }
+            r.expect_exhausted()?;
+            Ok(Self {
+                k: h.k as u16,
+                levels,
+                count: h.count,
+                min: h.min,
+                max: h.max,
+                rng: CoinFlipper::from_state(h.rng_state),
+            })
+        }
+    }
+
+    impl KllSketch {
+        /// Decode a pre-flatwire (v1/v2) payload.
+        fn decode_legacy(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
             let k = r.varint()?;
             if !(8..=u64::from(u16::MAX)).contains(&k) {
                 return Err(DecodeError::Corrupt(format!("k {k} out of range")));
@@ -589,6 +712,12 @@ mod codec {
             let count = r.varint()?;
             let min = r.f64()?;
             let max = r.f64()?;
+            if min.is_nan() || max.is_nan() {
+                return Err(DecodeError::Corrupt("NaN extreme".into()));
+            }
+            if count > 0 && min > max {
+                return Err(DecodeError::Corrupt("min above max".into()));
+            }
             let num_levels = r.varint()?;
             if num_levels == 0 || num_levels > MAX_LEVELS {
                 return Err(DecodeError::Corrupt(format!("{num_levels} levels")));
@@ -617,6 +746,69 @@ mod codec {
                 max,
                 rng,
             })
+        }
+    }
+
+    impl SketchView for KllSketch {
+        fn count_from_bytes(bytes: &[u8]) -> Result<u64, DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                Ok(read_flat_header(&mut r)?.count)
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.varint()?; // k
+                r.varint()
+            }
+        }
+
+        fn bounds_from_bytes(bytes: &[u8]) -> Result<(f64, f64), DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                let h = read_flat_header(&mut r)?;
+                Ok((h.min, h.max))
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.varint()?; // k
+                r.varint()?; // count
+                Ok((r.f64()?, r.f64()?))
+            }
+        }
+
+        fn quantile_from_bytes(bytes: &[u8], q: f64) -> Result<f64, SketchError> {
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return flatwire::quantile_via_decode::<Self>(bytes, q);
+            }
+            qsketch_core::sketch::check_quantile(q)?;
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            if h.count == 0 {
+                return Err(QueryError::Empty.into());
+            }
+            // Exact extremes are tracked outside the compactors; answer
+            // before walking, exactly as the in-memory query does.
+            if q == 1.0 {
+                return Ok(h.max);
+            }
+            let mut walk = WeightedMergeWalk::new();
+            let mut total_weight = 0u64;
+            for height in 0..h.num_levels {
+                let (n, run) = read_level_run(&mut r)?;
+                let weight = 1u64
+                    .checked_shl(height as u32)
+                    .ok_or_else(|| DecodeError::Corrupt("level weight overflow".into()))?;
+                total_weight = n
+                    .checked_mul(weight)
+                    .and_then(|lw| total_weight.checked_add(lw))
+                    .ok_or_else(|| DecodeError::Corrupt("total weight overflow".into()))?;
+                walk.push(SortedRunCursor::new(run, n), weight)?;
+            }
+            if total_weight == 0 {
+                return Err(DecodeError::Corrupt("positive count but no items".into()).into());
+            }
+            // Same rank arithmetic as `SortedView::quantile`.
+            let rank = ((q * total_weight as f64).ceil() as u64).clamp(1, total_weight);
+            let est = walk.value_at_rank(rank)?;
+            Ok(est.clamp(h.min, h.max))
         }
     }
 
@@ -684,13 +876,58 @@ mod codec {
             for i in 0..10_000 {
                 s.insert(f64::from(i));
             }
-            let mut bytes = s.encode();
+            let mut bytes = s.encode_legacy();
             bytes[1] = 1; // version byte
             bytes.truncate(bytes.len() - 8); // drop the RNG state
             let restored = KllSketch::decode(&bytes).unwrap();
             assert_eq!(restored.count(), s.count());
             for q in [0.5, 0.99] {
                 assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap());
+            }
+        }
+
+        #[test]
+        fn v2_payload_still_decodes() {
+            let mut s = KllSketch::with_seed(64, 3);
+            for i in 0..10_000 {
+                s.insert(f64::from(i));
+            }
+            let bytes = s.encode_legacy();
+            assert_eq!(bytes[1], 2);
+            let restored = KllSketch::decode(&bytes).unwrap();
+            assert_eq!(restored.count(), s.count());
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap());
+            }
+        }
+
+        #[test]
+        fn v3_is_smaller_than_v2() {
+            let mut s = KllSketch::with_seed(350, 5);
+            for i in 0..1_000_000 {
+                s.insert(f64::from(i));
+            }
+            let (v3, v2) = (s.encode().len(), s.encode_legacy().len());
+            assert!(v3 < v2, "v3 {v3} bytes vs v2 {v2} bytes");
+        }
+
+        #[test]
+        fn quantile_from_bytes_matches_decode_then_query() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = KllSketch::with_seed(350, 17);
+            for i in 0..200_000 {
+                s.insert(((i * 2_654_435_761u64) % 200_000) as f64);
+            }
+            for bytes in [s.encode(), s.encode_legacy()] {
+                let decoded = KllSketch::decode(&bytes).unwrap();
+                for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    let via_decode = decoded.query(q).unwrap();
+                    let via_view = KllSketch::quantile_from_bytes(&bytes, q).unwrap();
+                    assert_eq!(via_view.to_bits(), via_decode.to_bits(), "q={q}");
+                }
+                assert_eq!(KllSketch::count_from_bytes(&bytes).unwrap(), 200_000);
+                let (lo, hi) = KllSketch::bounds_from_bytes(&bytes).unwrap();
+                assert_eq!((lo, hi), (s.min(), s.max()));
             }
         }
 
@@ -709,13 +946,33 @@ mod codec {
         fn nan_item_rejected() {
             let mut s = KllSketch::with_seed(64, 1);
             s.insert(1.0);
-            let mut bytes = s.encode();
+            let mut bytes = s.encode_legacy();
             // Overwrite the single item with a NaN pattern. The item is the
             // second-to-last word: the trailing 8 bytes are the v2 RNG state.
             let nan = f64::NAN.to_le_bytes();
             let n = bytes.len();
             bytes[n - 16..n - 8].copy_from_slice(&nan);
             assert!(KllSketch::decode(&bytes).is_err());
+        }
+
+        #[test]
+        fn v3_truncations_and_flips_never_panic() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = KllSketch::with_seed(64, 1);
+            for i in 0..5_000 {
+                s.insert(f64::from(i));
+            }
+            let bytes = s.encode();
+            for cut in 0..bytes.len() {
+                let _ = KllSketch::decode(&bytes[..cut]);
+                let _ = KllSketch::quantile_from_bytes(&bytes[..cut], 0.5);
+            }
+            for i in 0..bytes.len() {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 0xA5;
+                let _ = KllSketch::decode(&flipped);
+                let _ = KllSketch::quantile_from_bytes(&flipped, 0.5);
+            }
         }
     }
 }

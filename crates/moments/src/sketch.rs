@@ -537,16 +537,66 @@ mod tests {
 
 /// Wire format: magic `0x30`, version 1 — the most compact of all sketch
 /// payloads (the §4.4.3 merge-speed winner is also the cheapest to ship).
+///
+/// Moments deliberately has no v3 flatwire generation (FORMATS.md §3.6):
+/// the payload is a fixed handful of `f64` power sums, so delta +
+/// prefix-varint compression has nothing to bite on. The
+/// [`qsketch_core::flatwire::SketchView`] impl still exists for uniform
+/// query-over-bytes plumbing, but `quantile_from_bytes` decodes first —
+/// the maximum-entropy solver allocates its working set regardless, so a
+/// borrowed-view walk would save nothing.
 pub use codec::MAGIC as WIRE_MAGIC;
 
 mod codec {
     use super::*;
     use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+    use qsketch_core::flatwire::{self, SketchView};
+    use qsketch_core::sketch::SketchError;
 
     /// Sketch tag on the wire (shared with checkpoint files and the
     /// bench harness's type-erased envelope).
     pub const MAGIC: u8 = 0x30;
     const VERSION: u8 = 1;
+
+    impl MomentsSketch {
+        /// Encode in the previous wire generation. Moments never moved
+        /// past version 1, so this is byte-identical to
+        /// [`SketchSerialize::encode`]; it exists so the cross-sketch
+        /// fixture tooling can treat every sketch uniformly.
+        pub fn encode_legacy(&self) -> Vec<u8> {
+            self.encode()
+        }
+    }
+
+    impl SketchView for MomentsSketch {
+        fn count_from_bytes(bytes: &[u8]) -> Result<u64, DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            r.u8()?; // compress flag
+            r.f64()?; // min
+            r.f64()?; // max
+            let len = r.varint()?; // power-sum slice length
+            if len == 0 {
+                return Err(DecodeError::Corrupt("empty power sums".into()));
+            }
+            let s0 = r.f64()?;
+            if s0 < 0.0 || s0.is_nan() {
+                return Err(DecodeError::Corrupt("negative count".into()));
+            }
+            Ok(s0 as u64)
+        }
+
+        fn bounds_from_bytes(bytes: &[u8]) -> Result<(f64, f64), DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+            r.u8()?; // compress flag
+            Ok((r.f64()?, r.f64()?))
+        }
+
+        fn quantile_from_bytes(bytes: &[u8], q: f64) -> Result<f64, SketchError> {
+            // Documented exemption from the zero-allocation walk: the
+            // maxent solver allocates either way (see module docs).
+            flatwire::quantile_via_decode::<Self>(bytes, q)
+        }
+    }
 
     impl SketchSerialize for MomentsSketch {
         fn encode(&self) -> Vec<u8> {
@@ -624,6 +674,50 @@ mod codec {
             let mut restored = MomentsSketch::decode(&a.encode()).unwrap();
             restored.merge(&b).unwrap();
             assert_eq!(restored.count(), 2_000);
+        }
+
+        #[test]
+        fn quantile_from_bytes_matches_decode_then_query() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = MomentsSketch::with_compression(12);
+            for i in 1..=20_000 {
+                s.insert(i as f64 * 1.7);
+            }
+            let bytes = s.encode();
+            assert_eq!(MomentsSketch::count_from_bytes(&bytes).unwrap(), s.count());
+            assert_eq!(
+                MomentsSketch::bounds_from_bytes(&bytes).unwrap(),
+                (s.min, s.max)
+            );
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(
+                    MomentsSketch::quantile_from_bytes(&bytes, q)
+                        .unwrap()
+                        .to_bits(),
+                    s.query(q).unwrap().to_bits(),
+                    "q={q}"
+                );
+            }
+        }
+
+        #[test]
+        fn truncations_and_flips_never_panic() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = MomentsSketch::new(8);
+            for i in 1..=500 {
+                s.insert(i as f64);
+            }
+            let bytes = s.encode();
+            for len in 0..bytes.len() {
+                let _ = MomentsSketch::decode(&bytes[..len]);
+                let _ = MomentsSketch::quantile_from_bytes(&bytes[..len], 0.5);
+            }
+            for i in 0..bytes.len() {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 0xA5;
+                let _ = MomentsSketch::decode(&flipped);
+                let _ = MomentsSketch::quantile_from_bytes(&flipped, 0.5);
+            }
         }
 
         #[test]

@@ -415,29 +415,109 @@ mod tests {
     }
 }
 
-/// Wire format: magic `0xE0`, version 2. Encodes `k`, orientation, scalar
-/// state, each relative compactor's buffer plus its compaction schedule
+/// Wire format: magic `0xE0`, version 3 (flatwire — FORMATS.md §3.3).
+/// Encodes `k`, orientation, scalar state, the compaction coin's exact
+/// xorshift state, and each relative compactor's buffer as a delta +
+/// prefix-varint compressed sorted run alongside its compaction schedule
 /// (section size, section count, state word — the state must survive the
-/// trip because merges OR it, §3.5), and (since v2) the compaction coin's
-/// exact xorshift state so recovery replays future compactions
-/// bit-for-bit. Version-1 payloads (no RNG state) still decode with a
-/// reseeded coin.
+/// trip because merges OR it, §3.5). Queries can run directly over the
+/// bytes ([`qsketch_core::flatwire::SketchView`]). Version-2 payloads
+/// (LEB128, uncompressed buffers) and version-1 payloads (v2 minus the
+/// RNG state; the coin is reseeded) both still decode.
 pub use codec::MAGIC as WIRE_MAGIC;
 
 mod codec {
     use super::*;
     use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+    use qsketch_core::flatwire::{
+        self, FlatReader, SketchView, SortedRunCursor, WeightedMergeWalk,
+    };
+    use qsketch_core::sketch::SketchError;
 
     /// Sketch tag on the wire (shared with checkpoint files and the
     /// bench harness's type-erased envelope).
     pub const MAGIC: u8 = 0xE0;
-    const VERSION: u8 = 2;
+    const LEGACY_VERSION: u8 = 2;
+    const FLAT_VERSION: u8 = 3;
     const MAX_LEVELS: u64 = 64;
     const MAX_ITEMS_PER_LEVEL: u64 = 1 << 24;
 
-    impl SketchSerialize for ReqSketch {
-        fn encode(&self) -> Vec<u8> {
-            let mut w = Writer::with_header(MAGIC, VERSION);
+    /// The fixed-position scalar fields of a v3 payload.
+    struct FlatHeader {
+        k: usize,
+        hra: bool,
+        count: u64,
+        min: f64,
+        max: f64,
+        rng_state: u64,
+        num_levels: u64,
+    }
+
+    /// Parse and validate the v3 header; the reader is left positioned at
+    /// the first level's schedule fields.
+    fn read_flat_header(r: &mut FlatReader<'_>) -> Result<FlatHeader, DecodeError> {
+        let k = r.uvarint()? as usize;
+        if k == 0 || k > 1 << 16 {
+            return Err(DecodeError::Corrupt(format!("k {k} out of range")));
+        }
+        let hra = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(DecodeError::Corrupt(format!("bad orientation {other}"))),
+        };
+        let count = r.uvarint()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        if min.is_nan() || max.is_nan() {
+            return Err(DecodeError::Corrupt("NaN extreme".into()));
+        }
+        if count > 0 && min > max {
+            return Err(DecodeError::Corrupt("min above max".into()));
+        }
+        let rng_state = r.u64()?;
+        let num_levels = r.uvarint()?;
+        if num_levels == 0 || num_levels > MAX_LEVELS {
+            return Err(DecodeError::Corrupt(format!("{num_levels} levels")));
+        }
+        Ok(FlatHeader {
+            k,
+            hra,
+            count,
+            min,
+            max,
+            rng_state,
+            num_levels,
+        })
+    }
+
+    /// Read one level's schedule triple and compressed run, returning
+    /// `(section_size, num_sections, state, item count, run bytes)`.
+    #[allow(clippy::type_complexity)]
+    fn read_level<'a>(
+        r: &mut FlatReader<'a>,
+    ) -> Result<(usize, usize, u64, u64, &'a [u8]), DecodeError> {
+        let section_size = r.uvarint()? as usize;
+        let num_sections = r.uvarint()? as usize;
+        let state = r.uvarint()?;
+        let n = r.uvarint()?;
+        if n > MAX_ITEMS_PER_LEVEL {
+            return Err(DecodeError::Corrupt(format!("{n} items in level")));
+        }
+        let byte_len = r.uvarint()?;
+        let byte_len = usize::try_from(byte_len)
+            .ok()
+            .filter(|&b| b <= r.remaining())
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        Ok((section_size, num_sections, state, n, r.slice(byte_len)?))
+    }
+
+    impl ReqSketch {
+        /// Encode in the previous wire generation (magic `0xE0`, version
+        /// 2: LEB128 varints, uncompressed buffers). Kept so the committed
+        /// back-compat fixtures can be regenerated and so operators can
+        /// write payloads for pre-v3 readers.
+        pub fn encode_legacy(&self) -> Vec<u8> {
+            let mut w = Writer::with_header(MAGIC, LEGACY_VERSION);
             w.varint(self.k as u64);
             w.u8(u8::from(self.accuracy == RankAccuracy::High));
             w.varint(self.count);
@@ -454,8 +534,9 @@ mod codec {
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
-            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+        /// Decode a pre-flatwire (v1/v2) payload.
+        fn decode_legacy(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
             let k = r.varint()? as usize;
             if k == 0 || k > 1 << 16 {
                 return Err(DecodeError::Corrupt(format!("k {k} out of range")));
@@ -470,6 +551,12 @@ mod codec {
             let count = r.varint()?;
             let min = r.f64()?;
             let max = r.f64()?;
+            if min.is_nan() || max.is_nan() {
+                return Err(DecodeError::Corrupt("NaN extreme".into()));
+            }
+            if count > 0 && min > max {
+                return Err(DecodeError::Corrupt("min above max".into()));
+            }
             let num_levels = r.varint()?;
             if num_levels == 0 || num_levels > MAX_LEVELS {
                 return Err(DecodeError::Corrupt(format!("{num_levels} levels")));
@@ -504,6 +591,134 @@ mod codec {
                 max,
                 rng,
             })
+        }
+    }
+
+    impl SketchSerialize for ReqSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut out = vec![MAGIC, FLAT_VERSION];
+            flatwire::write_uvarint(&mut out, self.k as u64);
+            out.push(u8::from(self.accuracy == RankAccuracy::High));
+            flatwire::write_uvarint(&mut out, self.count);
+            flatwire::write_f64(&mut out, self.min);
+            flatwire::write_f64(&mut out, self.max);
+            out.extend_from_slice(&self.rng.state().to_le_bytes());
+            flatwire::write_uvarint(&mut out, self.levels.len() as u64);
+            let mut run = Vec::new();
+            for level in &self.levels {
+                flatwire::write_uvarint(&mut out, level.section_size() as u64);
+                flatwire::write_uvarint(&mut out, level.num_sections() as u64);
+                flatwire::write_uvarint(&mut out, level.state());
+                run.clear();
+                flatwire::write_sorted_run(&mut run, level.items());
+                flatwire::write_uvarint(&mut out, level.items().len() as u64);
+                flatwire::write_uvarint(&mut out, run.len() as u64);
+                out.extend_from_slice(&run);
+            }
+            out
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return Self::decode_legacy(bytes);
+            }
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            let mut levels = Vec::with_capacity(h.num_levels as usize);
+            for _ in 0..h.num_levels {
+                let (section_size, num_sections, state, n, run) = read_level(&mut r)?;
+                let mut cursor = SortedRunCursor::new(run, n);
+                let mut buffer = Vec::with_capacity(n as usize);
+                while let Some(v) = cursor.next()? {
+                    buffer.push(v);
+                }
+                if cursor.bytes_read() != run.len() {
+                    return Err(DecodeError::Corrupt("level run length mismatch".into()));
+                }
+                let level =
+                    RelativeCompactor::from_parts(buffer, section_size, num_sections, state, h.hra)
+                        .map_err(DecodeError::Corrupt)?;
+                levels.push(level);
+            }
+            r.expect_exhausted()?;
+            Ok(Self {
+                k: h.k,
+                accuracy: if h.hra {
+                    RankAccuracy::High
+                } else {
+                    RankAccuracy::Low
+                },
+                levels,
+                count: h.count,
+                min: h.min,
+                max: h.max,
+                rng: CoinFlipper::from_state(h.rng_state),
+            })
+        }
+    }
+
+    impl SketchView for ReqSketch {
+        fn count_from_bytes(bytes: &[u8]) -> Result<u64, DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                Ok(read_flat_header(&mut r)?.count)
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.varint()?; // k
+                r.u8()?; // orientation
+                r.varint()
+            }
+        }
+
+        fn bounds_from_bytes(bytes: &[u8]) -> Result<(f64, f64), DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                let h = read_flat_header(&mut r)?;
+                Ok((h.min, h.max))
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.varint()?; // k
+                r.u8()?; // orientation
+                r.varint()?; // count
+                Ok((r.f64()?, r.f64()?))
+            }
+        }
+
+        fn quantile_from_bytes(bytes: &[u8], q: f64) -> Result<f64, SketchError> {
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return flatwire::quantile_via_decode::<Self>(bytes, q);
+            }
+            qsketch_core::sketch::check_quantile(q)?;
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            if h.count == 0 {
+                return Err(QueryError::Empty.into());
+            }
+            // The in-memory query answers `q == 1.0` from the exact max
+            // before building any view; mirror that.
+            if q == 1.0 {
+                return Ok(h.max);
+            }
+            let mut walk = WeightedMergeWalk::new();
+            let mut total_weight = 0u64;
+            for height in 0..h.num_levels {
+                let (_, _, _, n, run) = read_level(&mut r)?;
+                let weight = 1u64
+                    .checked_shl(height as u32)
+                    .ok_or_else(|| DecodeError::Corrupt("level weight overflow".into()))?;
+                total_weight = n
+                    .checked_mul(weight)
+                    .and_then(|lw| total_weight.checked_add(lw))
+                    .ok_or_else(|| DecodeError::Corrupt("total weight overflow".into()))?;
+                walk.push(SortedRunCursor::new(run, n), weight)?;
+            }
+            if total_weight == 0 {
+                return Err(DecodeError::Corrupt("positive count but no items".into()).into());
+            }
+            // Same rank arithmetic as `SortedView::quantile`.
+            let rank = ((q * total_weight as f64).ceil() as u64).clamp(1, total_weight);
+            let est = walk.value_at_rank(rank)?;
+            Ok(est.clamp(h.min, h.max))
         }
     }
 
@@ -599,12 +814,77 @@ mod codec {
             for i in 0..20_000 {
                 s.insert(f64::from(i));
             }
-            let mut bytes = s.encode();
+            let mut bytes = s.encode_legacy();
             bytes.truncate(bytes.len() - 8);
             bytes[1] = 1;
             let restored = ReqSketch::decode(&bytes).unwrap();
             assert_eq!(restored.count(), s.count());
             assert_eq!(restored.query(0.5).unwrap(), s.query(0.5).unwrap());
+        }
+
+        #[test]
+        fn v2_payload_still_decodes() {
+            let mut s = ReqSketch::with_seed(30, RankAccuracy::High, 5);
+            for i in 0..20_000 {
+                s.insert(f64::from(i));
+            }
+            let bytes = s.encode_legacy();
+            assert_eq!(bytes[1], 2);
+            let restored = ReqSketch::decode(&bytes).unwrap();
+            assert_eq!(restored.count(), s.count());
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap(), "q={q}");
+            }
+        }
+
+        #[test]
+        fn v3_is_smaller_than_v2() {
+            let mut s = ReqSketch::with_seed(30, RankAccuracy::High, 5);
+            for i in 0..1_000_000u64 {
+                s.insert(((i * 2_654_435_761) % 1_000_000) as f64);
+            }
+            let (v3, v2) = (s.encode().len(), s.encode_legacy().len());
+            assert!(v3 < v2, "v3 {v3} bytes vs v2 {v2} bytes");
+        }
+
+        #[test]
+        fn quantile_from_bytes_matches_decode_then_query() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = ReqSketch::with_seed(30, RankAccuracy::High, 17);
+            for i in 0..200_000u64 {
+                s.insert(((i * 2_654_435_761) % 200_000) as f64);
+            }
+            for bytes in [s.encode(), s.encode_legacy()] {
+                let decoded = ReqSketch::decode(&bytes).unwrap();
+                for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    let via_decode = decoded.query(q).unwrap();
+                    let via_view = ReqSketch::quantile_from_bytes(&bytes, q).unwrap();
+                    assert_eq!(via_view.to_bits(), via_decode.to_bits(), "q={q}");
+                }
+                assert_eq!(ReqSketch::count_from_bytes(&bytes).unwrap(), 200_000);
+                let (lo, hi) = ReqSketch::bounds_from_bytes(&bytes).unwrap();
+                assert_eq!((lo, hi), (s.min(), s.max()));
+            }
+        }
+
+        #[test]
+        fn v3_truncations_and_flips_never_panic() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = ReqSketch::with_seed(12, RankAccuracy::High, 1);
+            for i in 0..5_000 {
+                s.insert(f64::from(i));
+            }
+            let bytes = s.encode();
+            for cut in 0..bytes.len() {
+                let _ = ReqSketch::decode(&bytes[..cut]);
+                let _ = ReqSketch::quantile_from_bytes(&bytes[..cut], 0.5);
+            }
+            for i in 0..bytes.len() {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 0xA5;
+                let _ = ReqSketch::decode(&flipped);
+                let _ = ReqSketch::quantile_from_bytes(&flipped, 0.5);
+            }
         }
     }
 }

@@ -1,0 +1,131 @@
+//! Lazy checkpoint probe: answer quantile queries for one `(tenant,
+//! key)` **straight from a server checkpoint directory**, without
+//! starting a server and without decoding a single sketch payload
+//! (`LazyRegistryRecovery`; FORMATS.md covers the `0xC6` envelope and
+//! the zero-copy query contract).
+//!
+//! ```text
+//! ckpt_probe [--sketch SPEC] DIR SHARDS TENANT KEY Q [Q …]
+//! ```
+//!
+//! Prints the same `q=… value=… bits=…` / `count=…` lines as
+//! `qsketch_client query`, so a script can diff the two outputs
+//! byte-for-byte, followed by a `lazy …` summary line. Exits non-zero
+//! if any payload had to be rebuilt (the lazy guarantee is that a
+//! read-only probe never rebuilds), if the key is missing, or if the
+//! checkpoint set is unreadable — which makes it both an operator tool
+//! ("what would the server answer if I recovered right now?") and the
+//! CI gate that lazy recovery serves correct answers without a rebuild.
+
+use std::process::ExitCode;
+
+use qsketch_core::codec::SketchSerialize;
+use qsketch_core::flatwire::SketchView;
+use qsketch_core::sketch::QuantileSketch;
+use qsketch_ddsketch::DdSketch;
+use qsketch_kll::KllSketch;
+use qsketch_server::config::ServerSketchSpec;
+use qsketch_streamsim::checkpoint::{CheckpointConfig, LazyRegistryRecovery};
+use qsketch_uddsketch::UddSketch;
+
+const USAGE: &str = "\
+ckpt_probe — query a server checkpoint directory lazily (no rebuild)
+
+USAGE:
+    ckpt_probe [--sketch SPEC] DIR SHARDS TENANT KEY Q [Q ...]
+
+    --sketch SPEC   kll[:k] | dds[:alpha] | udds[:alpha:buckets]
+                    (default kll:200 — must match the server that
+                    wrote the checkpoints)
+";
+
+fn run<S>(dir: &str, shards: usize, tenant: &str, key: &str, qs: &[f64]) -> Result<(), String>
+where
+    S: SketchSerialize + SketchView + QuantileSketch,
+{
+    let config = CheckpointConfig::new(dir, 1);
+    let rec = LazyRegistryRecovery::<S>::open(&config, shards)
+        .map_err(|e| format!("opening checkpoint set in {dir}: {e}"))?;
+    if rec.is_empty() {
+        return Err(format!("no registry checkpoints found in {dir}"));
+    }
+    for &q in qs {
+        let v = rec
+            .quantile(tenant, key, q)
+            .map_err(|e| format!("quantile q={q} for ({tenant}, {key}): {e}"))?;
+        println!("q={q} value={v} bits={:#018x}", v.to_bits());
+    }
+    let count = rec
+        .count(tenant, key)
+        .map_err(|e| format!("count for ({tenant}, {key}): {e}"))?;
+    println!("count={count}");
+    if rec.live_keys() != 0 {
+        return Err(format!(
+            "lazy guarantee violated: {} of {} keys were rebuilt by a read-only probe",
+            rec.live_keys(),
+            rec.len()
+        ));
+    }
+    println!(
+        "lazy ok: served from checkpoint bytes ({} keys recovered, 0 rebuilt)",
+        rec.len()
+    );
+    Ok(())
+}
+
+fn main_inner(args: &[String]) -> Result<(), String> {
+    let mut spec = ServerSketchSpec::default();
+    let mut rest: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sketch" => {
+                let v = it.next().ok_or("--sketch needs a value")?;
+                spec = v.parse()?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            _ => rest.push(arg),
+        }
+    }
+    if rest.len() < 5 {
+        return Err(USAGE.to_string());
+    }
+    let dir = rest[0];
+    let shards: usize = rest[1]
+        .parse()
+        .ok()
+        .filter(|s| *s > 0)
+        .ok_or_else(|| format!("bad shard count {:?}", rest[1]))?;
+    let (tenant, key) = (rest[2], rest[3]);
+    let qs: Vec<f64> = rest[4..]
+        .iter()
+        .map(|s| {
+            s.parse::<f64>()
+                .ok()
+                .filter(|q| (0.0..=1.0).contains(q))
+                .ok_or_else(|| format!("bad quantile {s:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // The sketch type only picks the decoder; the parameters inside the
+    // payloads are whatever the writing server used.
+    match spec {
+        ServerSketchSpec::Kll { .. } => run::<KllSketch>(dir, shards, tenant, key, &qs),
+        ServerSketchSpec::Dds { .. } => run::<DdSketch>(dir, shards, tenant, key, &qs),
+        ServerSketchSpec::Udds { .. } => run::<UddSketch>(dir, shards, tenant, key, &qs),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match main_inner(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

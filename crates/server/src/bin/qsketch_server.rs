@@ -15,6 +15,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use qsketch_core::codec::SketchSerialize;
+use qsketch_core::flatwire::SketchView;
 use qsketch_core::sketch::{MergeableSketch, SketchFactory};
 use qsketch_ddsketch::DdSketch;
 use qsketch_kll::KllSketch;
@@ -140,7 +141,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
 
 fn run<S, F>(config: &ServerConfig, factory: F) -> Result<(), String>
 where
-    S: MergeableSketch + SketchSerialize + Clone + Send + Sync + 'static,
+    S: MergeableSketch + SketchSerialize + SketchView + Clone + Send + Sync + 'static,
     F: SketchFactory<Sketch = S> + Clone + Send + 'static,
 {
     let core = Arc::new(

@@ -30,7 +30,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use qsketch_core::codec::SketchSerialize;
+use qsketch_core::flatwire::SketchView;
 use qsketch_core::sketch::{MergeableSketch, SketchFactory};
+use qsketch_core::SketchError;
 use qsketch_streamsim::keyed_engine::{KeyedEngine, KeyedEngineError};
 
 use crate::protocol::{
@@ -52,7 +54,7 @@ pub struct ServerCore<S> {
 
 impl<S> ServerCore<S>
 where
-    S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+    S: MergeableSketch + SketchSerialize + SketchView + Clone + Send + 'static,
 {
     /// Wrap an engine. `checkpointing` gates the `Checkpoint` op (and
     /// the final checkpoint on shutdown); pass `true` only when the
@@ -227,24 +229,19 @@ where
                 t0,
                 t1,
                 qs,
-            } => match self.engine.range_query(&tenant, &key, t0, t1) {
-                Ok(answer) => match answer.sketch {
-                    // A range covering no stored slot is an empty (not
-                    // erroneous) answer: the data may have aged out.
-                    None => Response::RangeOk {
-                        values: Vec::new(),
-                        count: 0,
-                        merged_slots: 0,
-                    },
-                    Some(sketch) => match sketch.query_many(&qs) {
-                        Ok(values) => Response::RangeOk {
-                            values,
-                            count: sketch.count(),
-                            merged_slots: answer.merged_slots as u64,
-                        },
-                        Err(e) => Self::err(ErrorCode::BadRequest, e.to_string()),
-                    },
+            } => match self.engine.range_query_quantiles(&tenant, &key, t0, t1, &qs) {
+                // A range covering no stored slot is an empty (not
+                // erroneous) answer: the data may have aged out. Ranges
+                // resolved by a single spilled slot are answered from the
+                // slot file's bytes without rehydrating the sketch.
+                Ok(answer) => Response::RangeOk {
+                    values: answer.values,
+                    count: answer.count,
+                    merged_slots: answer.merged_slots as u64,
                 },
+                Err(KeyedEngineError::Sketch(SketchError::Query(e))) => {
+                    Self::err(ErrorCode::BadRequest, e.to_string())
+                }
                 Err(KeyedEngineError::RollupDisabled) => Self::err(
                     ErrorCode::Unavailable,
                     "server started without rollups; range queries disabled",
@@ -270,7 +267,7 @@ impl Server {
     /// Bind `addr` (port 0 = ephemeral) and start serving `core`.
     pub fn start<S>(addr: &str, core: Arc<ServerCore<S>>) -> io::Result<Self>
     where
-        S: MergeableSketch + SketchSerialize + Clone + Send + Sync + 'static,
+        S: MergeableSketch + SketchSerialize + SketchView + Clone + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -396,7 +393,7 @@ fn handle_connection<S>(
     shutdown: Arc<AtomicBool>,
     wake_addr: SocketAddr,
 ) where
-    S: MergeableSketch + SketchSerialize + Clone + Send + Sync + 'static,
+    S: MergeableSketch + SketchSerialize + SketchView + Clone + Send + Sync + 'static,
 {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
@@ -462,7 +459,7 @@ pub fn spawn_core<S, F>(
     recover: bool,
 ) -> Result<ServerCore<S>, KeyedEngineError>
 where
-    S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+    S: MergeableSketch + SketchSerialize + SketchView + Clone + Send + 'static,
     F: SketchFactory<Sketch = S> + Clone + Send + 'static,
 {
     let checkpointing = engine_config.checkpoint.is_some();

@@ -30,6 +30,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+use qsketch_core::flatwire::SketchView;
+use qsketch_core::{QuantileSketch, SketchError};
 
 /// Magic byte of a shard checkpoint file.
 pub const CHECKPOINT_MAGIC: u8 = 0xC5;
@@ -278,6 +280,388 @@ pub fn read_shard(
     }
 }
 
+/// Error from lazily recovering checkpoint state.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// Reading a checkpoint file failed.
+    Io(io::Error),
+    /// A checkpoint envelope or sketch payload failed to decode.
+    Decode(DecodeError),
+    /// A query against checkpoint bytes failed (bad quantile, empty
+    /// sketch, or corrupt payload discovered mid-walk).
+    Query(SketchError),
+    /// The checkpoint was taken under a different topology.
+    TopologyMismatch(String),
+    /// The requested shard or `(tenant, key)` has no checkpoint state.
+    Missing(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "checkpoint read failed: {e}"),
+            RecoveryError::Decode(e) => write!(f, "checkpoint failed to decode: {e}"),
+            RecoveryError::Query(e) => write!(f, "query over checkpoint bytes failed: {e}"),
+            RecoveryError::TopologyMismatch(why) => write!(f, "topology mismatch: {why}"),
+            RecoveryError::Missing(what) => write!(f, "no checkpoint state for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Io(e) => Some(e),
+            RecoveryError::Decode(e) => Some(e),
+            RecoveryError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+impl From<DecodeError> for RecoveryError {
+    fn from(e: DecodeError) -> Self {
+        RecoveryError::Decode(e)
+    }
+}
+
+/// A sketch recovered lazily: held as serialized bytes (queries run over
+/// the payload via [`SketchView`]) until the first mutation forces a
+/// decode into a live sketch.
+///
+/// This is the state machine behind [`LazyEngineRecovery`] and
+/// [`LazyRegistryRecovery`]. The two states are observable through
+/// [`is_live`](Self::is_live) so tests and metrics can assert that a
+/// query-only workload never rebuilt anything.
+#[derive(Debug, Clone)]
+pub enum LazySketch<S> {
+    /// Still serialized; queries are evaluated over these bytes.
+    Bytes(Vec<u8>),
+    /// Decoded (the first ingest, merge, or explicit
+    /// [`rebuild`](Self::rebuild) landed here).
+    Live(S),
+}
+
+impl<S: SketchSerialize + SketchView> LazySketch<S> {
+    /// Wrap a serialized payload without decoding it.
+    pub fn from_bytes(payload: Vec<u8>) -> Self {
+        LazySketch::Bytes(payload)
+    }
+
+    /// Whether the sketch has been decoded into live state.
+    pub fn is_live(&self) -> bool {
+        matches!(self, LazySketch::Live(_))
+    }
+
+    /// Quantile estimate: over bytes when still serialized (zero decode,
+    /// zero allocation for the flatwire sketches), on the live sketch
+    /// otherwise. Bit-identical either way — that is the [`SketchView`]
+    /// contract.
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError>
+    where
+        S: QuantileSketch,
+    {
+        match self {
+            LazySketch::Bytes(payload) => S::quantile_from_bytes(payload, q),
+            LazySketch::Live(s) => s.query(q).map_err(SketchError::from),
+        }
+    }
+
+    /// Number of values the sketch has absorbed.
+    pub fn count(&self) -> Result<u64, DecodeError>
+    where
+        S: QuantileSketch,
+    {
+        match self {
+            LazySketch::Bytes(payload) => S::count_from_bytes(payload),
+            LazySketch::Live(s) => Ok(s.count()),
+        }
+    }
+
+    /// Decode into live state if still serialized, returning the live
+    /// sketch. Idempotent; this is the "first ingest" transition.
+    pub fn rebuild(&mut self) -> Result<&mut S, DecodeError> {
+        if let LazySketch::Bytes(payload) = self {
+            let live = S::decode(payload)?;
+            *self = LazySketch::Live(live);
+        }
+        match self {
+            LazySketch::Live(s) => Ok(s),
+            LazySketch::Bytes(_) => unreachable!("rebuild just installed Live"),
+        }
+    }
+
+    /// Insert one value, rebuilding first if needed.
+    pub fn insert(&mut self, value: f64) -> Result<(), DecodeError>
+    where
+        S: QuantileSketch,
+    {
+        self.rebuild()?.insert(value);
+        Ok(())
+    }
+}
+
+/// Lazily-decoded recovery of the sharded engine's `shard-<i>.ckpt`
+/// files: envelopes are decoded eagerly (they are a few bytes and pin
+/// the topology), but each shard's sketch payload stays serialized until
+/// that shard first ingests. Per-shard quantile and count queries are
+/// served straight from the checkpoint bytes.
+///
+/// A *global* quantile over all shards inherently requires merging the
+/// shard sketches, which requires decoding them — use
+/// [`rebuild_all`](Self::rebuild_all) for that transition. The lazy win
+/// is for recovery paths that only need per-shard inspection (progress
+/// reporting, spot queries, deciding whether to resume at all) before
+/// committing to a full rebuild.
+pub struct LazyEngineRecovery<S> {
+    shards: Vec<Option<(u64, LazySketch<S>)>>,
+    num_shards: usize,
+    batch_size: usize,
+}
+
+impl<S: SketchSerialize + SketchView + QuantileSketch>
+    LazyEngineRecovery<S>
+{
+    /// Read every `shard-<i>.ckpt` under `config.dir`, decoding only the
+    /// envelopes. Missing files are shards that never checkpointed
+    /// (valid — they restart from zero). Fails on a corrupt envelope or
+    /// a topology mismatch across files; the sketch payloads are **not**
+    /// validated here (a corrupt payload surfaces as a typed error from
+    /// the first query or rebuild that touches it).
+    pub fn open(config: &CheckpointConfig, num_shards: usize) -> Result<Self, RecoveryError> {
+        if num_shards == 0 {
+            return Err(RecoveryError::TopologyMismatch("zero shards".into()));
+        }
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut batch_size = None;
+        for i in 0..num_shards {
+            match read_shard(config, i)? {
+                Some(decoded) => {
+                    let ckpt = decoded?;
+                    if ckpt.num_shards != num_shards {
+                        return Err(RecoveryError::TopologyMismatch(format!(
+                            "shard {i} checkpoint was taken with {} shards, opening with \
+                             {num_shards}",
+                            ckpt.num_shards
+                        )));
+                    }
+                    if let Some(b) = batch_size {
+                        if ckpt.batch_size != b {
+                            return Err(RecoveryError::TopologyMismatch(format!(
+                                "shard {i} checkpoint batch size {} disagrees with {b}",
+                                ckpt.batch_size
+                            )));
+                        }
+                    }
+                    batch_size = Some(ckpt.batch_size);
+                    shards.push(Some((ckpt.values_done, LazySketch::from_bytes(ckpt.payload))));
+                }
+                None => shards.push(None),
+            }
+        }
+        Ok(Self {
+            shards,
+            num_shards,
+            batch_size: batch_size.unwrap_or(0),
+        })
+    }
+
+    /// Shard count this recovery was opened with.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Router batch size pinned by the checkpoints (0 when no shard had
+    /// a checkpoint file).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Values shard `i` had inserted at its checkpoint (0 when the shard
+    /// never checkpointed).
+    pub fn values_done(&self, shard: usize) -> u64 {
+        self.shards
+            .get(shard)
+            .and_then(|s| s.as_ref())
+            .map_or(0, |(v, _)| *v)
+    }
+
+    /// Per-shard quantile straight from checkpoint bytes (or the live
+    /// sketch once the shard has been rebuilt).
+    pub fn shard_quantile(&self, shard: usize, q: f64) -> Result<f64, RecoveryError> {
+        self.lazy(shard)?.quantile(q).map_err(RecoveryError::Query)
+    }
+
+    /// Per-shard value count straight from checkpoint bytes.
+    pub fn shard_count(&self, shard: usize) -> Result<u64, RecoveryError> {
+        self.lazy(shard)?.count().map_err(RecoveryError::Decode)
+    }
+
+    /// Whether shard `i` has been decoded into live state.
+    pub fn is_live(&self, shard: usize) -> bool {
+        self.shards
+            .get(shard)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|(_, l)| l.is_live())
+    }
+
+    /// Mutable access to shard `i`'s sketch, rebuilding it on first use
+    /// (the ingest transition).
+    pub fn shard_mut(&mut self, shard: usize) -> Result<&mut S, RecoveryError> {
+        match self.shards.get_mut(shard).and_then(|s| s.as_mut()) {
+            Some((_, lazy)) => lazy.rebuild().map_err(RecoveryError::Decode),
+            None => Err(RecoveryError::Missing(format!("shard {shard}"))),
+        }
+    }
+
+    /// Rebuild every checkpointed shard and return the live sketches in
+    /// shard order (`None` for shards that never checkpointed) — the
+    /// bridge to a full engine resume or a global merged query.
+    pub fn rebuild_all(mut self) -> Result<Vec<Option<S>>, RecoveryError> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            match self.shards[i].as_mut() {
+                Some((_, lazy)) => {
+                    lazy.rebuild().map_err(RecoveryError::Decode)?;
+                    match self.shards[i].take() {
+                        Some((_, LazySketch::Live(s))) => out.push(Some(s)),
+                        _ => unreachable!("rebuild just installed Live"),
+                    }
+                }
+                None => out.push(None),
+            }
+        }
+        Ok(out)
+    }
+
+    fn lazy(&self, shard: usize) -> Result<&LazySketch<S>, RecoveryError> {
+        match self.shards.get(shard).and_then(|s| s.as_ref()) {
+            Some((_, lazy)) => Ok(lazy),
+            None => Err(RecoveryError::Missing(format!("shard {shard}"))),
+        }
+    }
+}
+
+/// Lazily-decoded recovery of the keyed engine's `registry-<i>.ckpt`
+/// files: every `(tenant, key)` payload stays serialized, and quantile /
+/// count queries run straight over the bytes. Only keys that actually
+/// receive writes get decoded ([`sketch_mut`](Self::sketch_mut)) — a
+/// recovery that only serves reads never rebuilds anything, which is the
+/// difference between O(total state) and O(touched keys) restart cost.
+pub struct LazyRegistryRecovery<S> {
+    entries: std::collections::HashMap<(String, String), LazySketch<S>>,
+    values_done: Vec<u64>,
+    num_shards: usize,
+}
+
+impl<S: SketchSerialize + SketchView + QuantileSketch>
+    LazyRegistryRecovery<S>
+{
+    /// Read every `registry-<i>.ckpt` under `config.dir`, decoding the
+    /// envelopes (strings and topology) but none of the sketch payloads.
+    /// Missing files are shards that never checkpointed.
+    pub fn open(config: &CheckpointConfig, num_shards: usize) -> Result<Self, RecoveryError> {
+        if num_shards == 0 {
+            return Err(RecoveryError::TopologyMismatch("zero shards".into()));
+        }
+        let mut entries = std::collections::HashMap::new();
+        let mut values_done = vec![0u64; num_shards];
+        for (i, done) in values_done.iter_mut().enumerate() {
+            if let Some(decoded) = read_registry(config, i)? {
+                let ckpt = decoded?;
+                if ckpt.num_shards != num_shards {
+                    return Err(RecoveryError::TopologyMismatch(format!(
+                        "registry checkpoint for shard {i} was taken with {} shards, \
+                         opening with {num_shards}",
+                        ckpt.num_shards
+                    )));
+                }
+                *done = ckpt.values_done;
+                for e in ckpt.entries {
+                    entries.insert((e.tenant, e.key), LazySketch::from_bytes(e.payload));
+                }
+            }
+        }
+        Ok(Self {
+            entries,
+            values_done,
+            num_shards,
+        })
+    }
+
+    /// Shard count this recovery was opened with.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Values each shard had inserted at its checkpoint.
+    pub fn values_done(&self) -> &[u64] {
+        &self.values_done
+    }
+
+    /// Number of recovered `(tenant, key)` sketches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no key was recovered at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many recovered keys have been decoded into live sketches (0
+    /// for a query-only workload — the lazy guarantee).
+    pub fn live_keys(&self) -> usize {
+        self.entries.values().filter(|l| l.is_live()).count()
+    }
+
+    /// Quantile for one key straight from its checkpoint bytes.
+    pub fn quantile(&self, tenant: &str, key: &str, q: f64) -> Result<f64, RecoveryError> {
+        self.entry(tenant, key)?
+            .quantile(q)
+            .map_err(RecoveryError::Query)
+    }
+
+    /// Value count for one key straight from its checkpoint bytes.
+    pub fn count(&self, tenant: &str, key: &str) -> Result<u64, RecoveryError> {
+        self.entry(tenant, key)?.count().map_err(RecoveryError::Decode)
+    }
+
+    /// Keys recovered for `tenant`, in unspecified order.
+    pub fn keys(&self, tenant: &str) -> Vec<String> {
+        self.entries
+            .keys()
+            .filter(|(t, _)| t == tenant)
+            .map(|(_, k)| k.clone())
+            .collect()
+    }
+
+    /// Mutable access to one key's sketch, decoding it on first use (the
+    /// ingest transition; every other key stays serialized).
+    pub fn sketch_mut(&mut self, tenant: &str, key: &str) -> Result<&mut S, RecoveryError> {
+        match self
+            .entries
+            .get_mut(&(tenant.to_string(), key.to_string()))
+        {
+            Some(lazy) => lazy.rebuild().map_err(RecoveryError::Decode),
+            None => Err(RecoveryError::Missing(format!("({tenant}, {key})"))),
+        }
+    }
+
+    fn entry(&self, tenant: &str, key: &str) -> Result<&LazySketch<S>, RecoveryError> {
+        self.entries
+            .get(&(tenant.to_string(), key.to_string()))
+            .ok_or_else(|| RecoveryError::Missing(format!("({tenant}, {key})")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +807,193 @@ mod tests {
         assert!(read_shard(&config, 3).unwrap().is_none());
         // No tmp residue.
         assert!(!config.shard_path(2).with_extension("ckpt.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    use qsketch_kll::KllSketch;
+
+    fn kll(seed: u64, n: u64) -> KllSketch {
+        let mut s = KllSketch::with_seed(200, seed);
+        for i in 0..n {
+            s.insert((i as f64) * 0.7 - 100.0);
+        }
+        s
+    }
+
+    fn lazy_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qsketch-lazy-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lazy_engine_recovery_serves_queries_without_rebuilding() {
+        let dir = lazy_dir("engine");
+        let config = CheckpointConfig::new(&dir, 1_000);
+        let sketches: Vec<KllSketch> = (0..3).map(|i| kll(i, 5_000 + 1_000 * i)).collect();
+        for (i, s) in sketches.iter().enumerate() {
+            let ckpt = ShardCheckpoint {
+                shard: i,
+                num_shards: 4, // shard 3 never checkpointed
+                batch_size: 128,
+                values_done: s.count(),
+                payload: s.encode(),
+            };
+            write_atomic(&config.shard_path(i), &ckpt.encode()).unwrap();
+        }
+
+        let rec = LazyEngineRecovery::<KllSketch>::open(&config, 4).unwrap();
+        assert_eq!(rec.num_shards(), 4);
+        assert_eq!(rec.batch_size(), 128);
+        assert_eq!(rec.values_done(3), 0);
+        for (i, s) in sketches.iter().enumerate() {
+            assert_eq!(rec.values_done(i), s.count());
+            assert_eq!(rec.shard_count(i).unwrap(), s.count());
+            for q in [0.01, 0.5, 0.99] {
+                // Bit-identical to decoding the checkpoint and querying.
+                assert_eq!(
+                    rec.shard_quantile(i, q).unwrap().to_bits(),
+                    s.query(q).unwrap().to_bits(),
+                    "shard {i} q={q}"
+                );
+            }
+            // The queries above must not have decoded anything.
+            assert!(!rec.is_live(i), "shard {i} rebuilt by a read");
+        }
+        assert!(matches!(
+            rec.shard_quantile(3, 0.5),
+            Err(RecoveryError::Missing(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_engine_first_ingest_rebuilds_one_shard() {
+        let dir = lazy_dir("ingest");
+        let config = CheckpointConfig::new(&dir, 1_000);
+        for i in 0..2 {
+            let s = kll(i as u64, 2_000);
+            let ckpt = ShardCheckpoint {
+                shard: i,
+                num_shards: 2,
+                batch_size: 64,
+                values_done: s.count(),
+                payload: s.encode(),
+            };
+            write_atomic(&config.shard_path(i), &ckpt.encode()).unwrap();
+        }
+        let mut rec = LazyEngineRecovery::<KllSketch>::open(&config, 2).unwrap();
+        rec.shard_mut(0).unwrap().insert(1.0);
+        assert!(rec.is_live(0));
+        assert!(!rec.is_live(1), "untouched shard stayed serialized");
+        assert_eq!(rec.shard_count(0).unwrap(), 2_001);
+
+        // Rebuilding everything is the bridge back to a live engine.
+        let live = rec.rebuild_all().unwrap();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].as_ref().unwrap().count(), 2_001);
+        assert_eq!(live[1].as_ref().unwrap().count(), 2_000);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_engine_rejects_topology_mismatch() {
+        let dir = lazy_dir("topo");
+        let config = CheckpointConfig::new(&dir, 1_000);
+        let s = kll(9, 1_000);
+        let ckpt = ShardCheckpoint {
+            shard: 0,
+            num_shards: 2,
+            batch_size: 64,
+            values_done: s.count(),
+            payload: s.encode(),
+        };
+        write_atomic(&config.shard_path(0), &ckpt.encode()).unwrap();
+        assert!(matches!(
+            LazyEngineRecovery::<KllSketch>::open(&config, 4),
+            Err(RecoveryError::TopologyMismatch(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_engine_corrupt_payload_is_a_typed_query_error() {
+        let dir = lazy_dir("corrupt");
+        let config = CheckpointConfig::new(&dir, 1_000);
+        let ckpt = ShardCheckpoint {
+            shard: 0,
+            num_shards: 1,
+            batch_size: 64,
+            values_done: 7,
+            payload: vec![0xA1, 9, 0xFF], // bad version: decodes as envelope, not as a sketch
+        };
+        write_atomic(&config.shard_path(0), &ckpt.encode()).unwrap();
+        // Opening succeeds: payloads are not validated until touched.
+        let mut rec = LazyEngineRecovery::<KllSketch>::open(&config, 1).unwrap();
+        assert!(matches!(
+            rec.shard_quantile(0, 0.5),
+            Err(RecoveryError::Query(_))
+        ));
+        assert!(matches!(rec.shard_mut(0), Err(RecoveryError::Decode(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_registry_recovery_serves_keys_from_bytes() {
+        let dir = lazy_dir("registry");
+        let config = CheckpointConfig::new(&dir, 1_000);
+        let a = kll(1, 4_000);
+        let b = kll(2, 6_000);
+        let ckpt = RegistryCheckpoint {
+            shard: 0,
+            num_shards: 1,
+            values_done: a.count() + b.count(),
+            entries: vec![
+                RegistryEntry {
+                    tenant: "acme".into(),
+                    key: "checkout.latency".into(),
+                    payload: a.encode(),
+                },
+                RegistryEntry {
+                    tenant: "acme".into(),
+                    key: "api.p99".into(),
+                    payload: b.encode(),
+                },
+            ],
+        };
+        write_atomic(&config.registry_path(0), &ckpt.encode()).unwrap();
+
+        let mut rec = LazyRegistryRecovery::<KllSketch>::open(&config, 1).unwrap();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.values_done(), &[10_000]);
+        let mut keys = rec.keys("acme");
+        keys.sort();
+        assert_eq!(keys, vec!["api.p99".to_string(), "checkout.latency".into()]);
+        for q in [0.1, 0.5, 0.9] {
+            assert_eq!(
+                rec.quantile("acme", "checkout.latency", q).unwrap().to_bits(),
+                a.query(q).unwrap().to_bits()
+            );
+            assert_eq!(
+                rec.quantile("acme", "api.p99", q).unwrap().to_bits(),
+                b.query(q).unwrap().to_bits()
+            );
+        }
+        assert_eq!(rec.count("acme", "api.p99").unwrap(), 6_000);
+        // A pure-read recovery decoded nothing.
+        assert_eq!(rec.live_keys(), 0);
+
+        // First write to one key rebuilds only that key.
+        rec.sketch_mut("acme", "api.p99").unwrap().insert(5.0);
+        assert_eq!(rec.live_keys(), 1);
+        assert_eq!(rec.count("acme", "api.p99").unwrap(), 6_001);
+        assert_eq!(rec.count("acme", "checkout.latency").unwrap(), 4_000);
+
+        assert!(matches!(
+            rec.quantile("acme", "nope", 0.5),
+            Err(RecoveryError::Missing(_))
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -84,7 +84,7 @@ use crate::checkpoint::{
 };
 use crate::engine::BoundedQueue;
 use crate::metrics::{KeyedEngineMetrics, RollupMetrics};
-use crate::rollup::{RangeAnswer, RollupConfig, RollupStore, TierSpec};
+use crate::rollup::{RangeAnswer, RangeQuantiles, RollupConfig, RollupStore, TierSpec};
 use crate::routing::{hash_pair, shard_for};
 
 /// Default bounded-queue capacity per shard, in ingest batches.
@@ -932,6 +932,29 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         t0: u64,
         t1: u64,
     ) -> Result<RangeAnswer<S>, KeyedEngineError> {
+        let (states, entry) = self.rollup_state_for(tenant, key)?;
+        states[&entry]
+            .store
+            .range_query(t0, t1)
+            .map_err(|e| KeyedEngineError::Rollup(e.to_string()))
+    }
+
+    /// Lock the owning shard's rollup map, lazily recovering the key's
+    /// store from its spill directory when the key is cold. Shared by
+    /// [`range_query`](Self::range_query) and
+    /// [`range_query_quantiles`](Self::range_query_quantiles).
+    #[allow(clippy::type_complexity)]
+    fn rollup_state_for(
+        &self,
+        tenant: &str,
+        key: &str,
+    ) -> Result<
+        (
+            std::sync::MutexGuard<'_, HashMap<(String, String), RollupState<S>>>,
+            (String, String),
+        ),
+        KeyedEngineError,
+    > {
         let rt = self
             .rollup
             .as_ref()
@@ -962,10 +985,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
                 },
             );
         }
-        states[&entry]
-            .store
-            .range_query(t0, t1)
-            .map_err(|e| KeyedEngineError::Rollup(e.to_string()))
+        Ok((states, entry))
     }
 
     /// The rollup ingest frontier of one key (exclusive end of its
@@ -1207,6 +1227,43 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             encode: S::encode,
             config: ckpt,
         }))
+    }
+}
+
+impl<S> KeyedEngine<S>
+where
+    S: MergeableSketch
+        + SketchSerialize
+        + qsketch_core::flatwire::SketchView
+        + Clone
+        + Send
+        + 'static,
+{
+    /// Range-query one key's rollup store for quantile values only,
+    /// letting warm (spilled) single-slot ranges be answered straight
+    /// from slot bytes with no sketch rehydration — see
+    /// [`RollupStore::range_query_quantiles`]. Cold keys with a spill
+    /// directory are lazily recovered exactly as
+    /// [`range_query`](Self::range_query) does; the recovered store's
+    /// spilled slots then serve view queries without decoding.
+    pub fn range_query_quantiles(
+        &self,
+        tenant: &str,
+        key: &str,
+        t0: u64,
+        t1: u64,
+        qs: &[f64],
+    ) -> Result<RangeQuantiles, KeyedEngineError> {
+        let (states, entry) = self.rollup_state_for(tenant, key)?;
+        states[&entry]
+            .store
+            .range_query_quantiles(t0, t1, qs)
+            .map_err(|e| match e {
+                crate::rollup::RollupError::Query(q) => {
+                    KeyedEngineError::Sketch(SketchError::Query(q))
+                }
+                other => KeyedEngineError::Rollup(other.to_string()),
+            })
     }
 }
 

@@ -249,6 +249,9 @@ pub struct RollupMetrics {
     /// Stored sketches merged per range query
     /// (`<prefix>.range_merged_slots`).
     pub range_merged_slots: LogHistogram,
+    /// Range queries answered straight from spilled slot bytes, with no
+    /// sketch rehydration (`<prefix>.range_view_serves`).
+    pub range_view_serves: Counter,
     /// Per-tier stored-slot counts (`<prefix>.tier.<i>.slots`).
     pub tier_slots: Vec<Gauge>,
 }
@@ -265,6 +268,7 @@ impl RollupMetrics {
             aged_out: registry.counter(&name("aged_out")),
             range_queries: registry.counter(&name("range_queries")),
             range_merged_slots: registry.histogram(&name("range_merged_slots")),
+            range_view_serves: registry.counter(&name("range_view_serves")),
             tier_slots: (0..tiers)
                 .map(|i| registry.gauge(&name(&format!("tier.{i}.slots"))))
                 .collect(),

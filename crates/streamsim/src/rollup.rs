@@ -71,7 +71,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
-use qsketch_core::sketch::{merge_tree_counted, MergeError, MergeableSketch, QuantileSketch};
+use qsketch_core::flatwire::SketchView;
+use qsketch_core::sketch::{
+    merge_tree_counted, MergeError, MergeableSketch, QuantileSketch, QueryError, SketchError,
+};
 
 use crate::checkpoint::write_atomic;
 use crate::metrics::RollupMetrics;
@@ -184,6 +187,9 @@ pub enum RollupError {
         /// Slot start.
         start: u64,
     },
+    /// A quantile evaluated against a stored slot was invalid (NaN or
+    /// outside `(0, 1]`) or the slot was empty.
+    Query(QueryError),
 }
 
 impl fmt::Display for RollupError {
@@ -205,6 +211,7 @@ impl fmt::Display for RollupError {
             RollupError::MissingSlot { tier, start } => {
                 write!(f, "slot t{tier}-{start} is indexed but not loadable")
             }
+            RollupError::Query(e) => write!(f, "range quantile failed: {e}"),
         }
     }
 }
@@ -215,8 +222,15 @@ impl std::error::Error for RollupError {
             RollupError::Merge(e) => Some(e),
             RollupError::Io(e) => Some(e),
             RollupError::Decode { error, .. } => Some(error),
+            RollupError::Query(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<QueryError> for RollupError {
+    fn from(e: QueryError) -> Self {
+        RollupError::Query(e)
     }
 }
 
@@ -245,17 +259,6 @@ pub struct RangeAnswer<S> {
     pub merge_ops: usize,
     /// The exact `(tier, slot_start)` decomposition, in time order.
     pub parts: Vec<(usize, u64)>,
-}
-
-impl<S> RangeAnswer<S> {
-    fn empty() -> Self {
-        Self {
-            sketch: None,
-            merged_slots: 0,
-            merge_ops: 0,
-            parts: Vec::new(),
-        }
-    }
 }
 
 enum SlotState<S> {
@@ -480,27 +483,7 @@ where
     /// the aligned interior of the range, which [`RangeAnswer::parts`]
     /// spells out exactly.
     pub fn range_query(&self, t0: u64, t1: u64) -> Result<RangeAnswer<S>, RollupError> {
-        if t1 <= t0 {
-            return Ok(RangeAnswer::empty());
-        }
-        let w0 = self.tiers[0].spec.width;
-        let mut parts = Vec::new();
-        let mut t = align_up(t0, w0);
-        while t + w0 <= t1 {
-            let mut advanced = false;
-            for i in (0..self.tiers.len()).rev() {
-                let w = self.tiers[i].spec.width;
-                if t.is_multiple_of(w) && t + w <= t1 && self.tiers[i].slots.contains_key(&t) {
-                    parts.push((i, t));
-                    t += w;
-                    advanced = true;
-                    break;
-                }
-            }
-            if !advanced {
-                t += w0; // gap: nothing stored covers this fine slot
-            }
-        }
+        let parts = self.range_parts(t0, t1);
         let mut sketches = Vec::with_capacity(parts.len());
         for &(tier, start) in &parts {
             sketches.push(self.slot(tier, start)?);
@@ -521,6 +504,69 @@ where
             merge_ops,
             parts,
         })
+    }
+
+    /// The exact `(tier, slot_start)` decomposition of `[t0, t1)`:
+    /// coarsest fitting slot at each step, partial edge overlap excluded,
+    /// gaps skipped. This is the shared planner behind both
+    /// [`range_query`](Self::range_query) and
+    /// [`range_query_quantiles`](Self::range_query_quantiles).
+    fn range_parts(&self, t0: u64, t1: u64) -> Vec<(usize, u64)> {
+        if t1 <= t0 {
+            return Vec::new();
+        }
+        let w0 = self.tiers[0].spec.width;
+        let mut parts = Vec::new();
+        let mut t = align_up(t0, w0);
+        while t + w0 <= t1 {
+            let mut advanced = false;
+            for i in (0..self.tiers.len()).rev() {
+                let w = self.tiers[i].spec.width;
+                if t.is_multiple_of(w) && t + w <= t1 && self.tiers[i].slots.contains_key(&t) {
+                    parts.push((i, t));
+                    t += w;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                t += w0; // gap: nothing stored covers this fine slot
+            }
+        }
+        parts
+    }
+
+    /// Read a spilled slot's raw file bytes and return the inner sketch
+    /// payload's byte range, validating only the envelope — the sketch
+    /// itself stays undecoded.
+    fn slot_file_payload(&self, tier: usize, start: u64) -> Result<Vec<u8>, RollupError> {
+        let dir = self
+            .spill_dir
+            .as_ref()
+            .ok_or(RollupError::MissingSlot { tier, start })?;
+        let path = slot_path(dir, tier, start);
+        let bytes = fs::read(&path).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                RollupError::MissingSlot { tier, start }
+            } else {
+                RollupError::Io(e)
+            }
+        })?;
+        let (t, s, payload) =
+            decode_slot_envelope(&bytes, self.tiers.len(), |t| self.tiers[t].spec.width)
+                .map_err(|error| RollupError::Decode {
+                    file: path.clone(),
+                    error,
+                })?;
+        if t != tier || s != start {
+            return Err(RollupError::Decode {
+                file: path,
+                error: DecodeError::Corrupt(format!(
+                    "envelope names t{t}-{s}, file names t{tier}-{start}"
+                )),
+            });
+        }
+        Ok(payload)
     }
 
     /// Rebuild a store from its spill directory after a crash. Re-runs
@@ -697,6 +743,129 @@ where
                 }
             }
         }
+    }
+}
+
+/// Answer to a [`RollupStore::range_query_quantiles`]: quantile values
+/// without handing back a sketch, so warm (spilled) single-slot ranges
+/// can be served straight from the slot file's bytes.
+#[derive(Debug, Clone)]
+pub struct RangeQuantiles {
+    /// One estimate per requested quantile, empty when the range covers
+    /// no stored slot.
+    pub values: Vec<f64>,
+    /// Total values in the covered slots.
+    pub count: u64,
+    /// How many stored sketches the answer drew on.
+    pub merged_slots: usize,
+    /// The exact `(tier, slot_start)` decomposition, in time order.
+    pub parts: Vec<(usize, u64)>,
+    /// `true` when the answer was evaluated directly over serialized
+    /// slot bytes ([`SketchView`]) with no sketch rehydration.
+    pub served_from_bytes: bool,
+}
+
+impl<S> RollupStore<S>
+where
+    S: QuantileSketch + MergeableSketch + SketchSerialize + SketchView + Clone,
+{
+    /// Answer `[t0, t1)` with quantile estimates only, avoiding slot
+    /// rehydration where possible. The range decomposes exactly as
+    /// [`range_query`](Self::range_query) does; when it lands on a
+    /// **single** slot that is spilled (warm), the quantiles are
+    /// evaluated straight over the slot file's serialized payload via
+    /// [`SketchView::quantile_from_bytes`] — no sketch is decoded. A
+    /// single hot slot is queried in place (no clone). Multi-slot ranges
+    /// fall back to the decode-and-merge path, since merging requires
+    /// live sketches.
+    pub fn range_query_quantiles(
+        &self,
+        t0: u64,
+        t1: u64,
+        qs: &[f64],
+    ) -> Result<RangeQuantiles, RollupError> {
+        let parts = self.range_parts(t0, t1);
+        let answer = match parts.as_slice() {
+            [] => RangeQuantiles {
+                values: Vec::new(),
+                count: 0,
+                merged_slots: 0,
+                parts,
+                served_from_bytes: false,
+            },
+            &[(tier, start)] => match self.tiers[tier].slots.get(&start) {
+                Some(SlotState::Hot(s)) => RangeQuantiles {
+                    values: s.query_many(qs).map_err(sketch_to_rollup_error)?,
+                    count: s.count(),
+                    merged_slots: 1,
+                    parts,
+                    served_from_bytes: false,
+                },
+                Some(SlotState::Spilled) => {
+                    let payload = self.slot_file_payload(tier, start)?;
+                    let corrupt = |error: DecodeError| RollupError::Decode {
+                        file: self
+                            .spill_dir
+                            .as_ref()
+                            .map(|d| slot_path(d, tier, start))
+                            .unwrap_or_default(),
+                        error,
+                    };
+                    let mut values = Vec::with_capacity(qs.len());
+                    for &q in qs {
+                        values.push(S::quantile_from_bytes(&payload, q).map_err(
+                            |e| match e {
+                                SketchError::Decode(d) => corrupt(d),
+                                other => sketch_to_rollup_error(other),
+                            },
+                        )?);
+                    }
+                    let count = S::count_from_bytes(&payload).map_err(corrupt)?;
+                    if let Some(m) = &self.metrics {
+                        m.range_view_serves.inc();
+                    }
+                    RangeQuantiles {
+                        values,
+                        count,
+                        merged_slots: 1,
+                        parts,
+                        served_from_bytes: true,
+                    }
+                }
+                None => return Err(RollupError::MissingSlot { tier, start }),
+            },
+            _ => {
+                // `range_query` records its own metrics, so return here
+                // rather than double-counting below.
+                let answer = self.range_query(t0, t1)?;
+                let sketch = answer.sketch.expect("non-empty parts merge to a sketch");
+                return Ok(RangeQuantiles {
+                    values: sketch.query_many(qs).map_err(sketch_to_rollup_error)?,
+                    count: sketch.count(),
+                    merged_slots: answer.merged_slots,
+                    parts: answer.parts,
+                    served_from_bytes: false,
+                });
+            }
+        };
+        if let Some(m) = &self.metrics {
+            m.range_queries.inc();
+            m.range_merged_slots.record(answer.merged_slots as u64);
+        }
+        Ok(answer)
+    }
+}
+
+/// Map a [`SketchError`] out of a view/query call onto [`RollupError`].
+/// Decode failures are handled at the call sites (they carry the file
+/// path); anything else unexpected degrades to a query error.
+fn sketch_to_rollup_error(e: impl Into<SketchError>) -> RollupError {
+    match e.into() {
+        SketchError::Query(q) => RollupError::Query(q),
+        SketchError::Merge(m) => RollupError::Merge(m),
+        _ => RollupError::Query(QueryError::EstimationFailed(
+            "view query failed to decode slot bytes".into(),
+        )),
     }
 }
 
@@ -1083,5 +1252,62 @@ mod tests {
         assert_eq!(snap.gauge("rollup.tier.0.slots"), Some(16));
         assert_eq!(snap.gauge("rollup.tier.1.slots"), Some(4));
         assert_eq!(snap.gauge("rollup.tier.2.slots"), Some(1));
+    }
+
+    #[test]
+    fn range_quantiles_serve_single_spilled_slot_from_bytes() {
+        use qsketch_core::metrics::MetricsRegistry;
+        use qsketch_kll::KllSketch;
+        let dir = std::env::temp_dir().join(format!("rollup-view-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let config = RollupConfig::new(ladder(64))
+            .with_spill_dir(&dir)
+            .with_hot_slots(1);
+        let mut store = RollupStore::<KllSketch>::new(config).unwrap();
+        let registry = MetricsRegistry::new();
+        store.attach_metrics(RollupMetrics::register(&registry, "rollup", 3));
+        for slot in 0..16 {
+            let mut s = KllSketch::with_seed(200, slot);
+            for i in 0..400 {
+                s.insert((slot * 1_000 + i) as f64);
+            }
+            store.ingest_window(slot, s).unwrap();
+        }
+
+        // A single old fine slot is warm (spilled): served from bytes,
+        // bit-identical to decoding the slot and querying it.
+        let qs = [0.05, 0.5, 0.95];
+        let view = store.range_query_quantiles(2, 3, &qs).unwrap();
+        assert!(view.served_from_bytes);
+        assert_eq!(view.merged_slots, 1);
+        let reference = store.range_query(2, 3).unwrap().sketch.unwrap();
+        assert_eq!(view.count, reference.count());
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(
+                view.values[i].to_bits(),
+                reference.query(q).unwrap().to_bits(),
+                "q={q}"
+            );
+        }
+
+        // Multi-slot ranges must merge, so they fall back to decoding —
+        // but the answers still agree with the merge path bit-for-bit.
+        let multi = store.range_query_quantiles(0, 16, &qs).unwrap();
+        assert!(!multi.served_from_bytes);
+        let merged = store.range_query(0, 16).unwrap().sketch.unwrap();
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(multi.values[i].to_bits(), merged.query(q).unwrap().to_bits());
+        }
+
+        // An empty range answers empty, not an error.
+        let empty = store.range_query_quantiles(40, 50, &qs).unwrap();
+        assert!(empty.values.is_empty());
+        assert_eq!(empty.count, 0);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rollup.range_view_serves"), Some(1));
+        // 3 quantile queries + the 2 reference range_query calls above.
+        assert_eq!(snap.counter("rollup.range_queries"), Some(5));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

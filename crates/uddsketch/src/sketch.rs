@@ -1003,11 +1003,14 @@ pub use codec::MAGIC as WIRE_MAGIC;
 mod codec {
     use super::*;
     use qsketch_core::codec::{DecodeError, Reader, SketchSerialize, Writer};
+    use qsketch_core::flatwire::{self, BucketRunCursor, FlatReader, RunDirection, SketchView};
+    use qsketch_core::sketch::SketchError;
 
     /// Sketch tag on the wire (shared with checkpoint files and the
     /// bench harness's type-erased envelope).
     pub const MAGIC: u8 = 0xDD;
-    const VERSION: u8 = 2;
+    const LEGACY_VERSION: u8 = 2;
+    const FLAT_VERSION: u8 = 3;
     const MAX_BUCKETS_WIRE: u64 = 1 << 22;
 
     fn write_map(w: &mut Writer, map: &BTreeMap<i32, u64>) {
@@ -1032,11 +1035,148 @@ mod codec {
         Ok(map)
     }
 
-    impl SketchSerialize for UddSketch {
-        fn encode(&self) -> Vec<u8> {
+    /// Sum both maps plus the zero counter with overflow detection
+    /// (hostile payloads can carry counts that sum past `u64::MAX`).
+    fn map_totals(
+        positives: &BTreeMap<i32, u64>,
+        negatives: &BTreeMap<i32, u64>,
+        zero_count: u64,
+    ) -> Option<u64> {
+        positives
+            .values()
+            .chain(negatives.values())
+            .try_fold(zero_count, |acc, &c| acc.checked_add(c))
+    }
+
+    /// The fixed-position scalar fields of a v3 payload.
+    struct FlatHeader {
+        initial_alpha: f64,
+        collapses: u64,
+        gamma_exponent: u64,
+        max_buckets: usize,
+        zero_count: u64,
+        count: u64,
+        min: f64,
+        max: f64,
+    }
+
+    fn read_flat_header(r: &mut FlatReader<'_>) -> Result<FlatHeader, DecodeError> {
+        let initial_alpha = r.f64()?;
+        if !(initial_alpha > 0.0 && initial_alpha < 1.0) {
+            return Err(DecodeError::Corrupt(format!(
+                "initial alpha {initial_alpha} out of range"
+            )));
+        }
+        let collapses = r.uvarint()?;
+        if collapses > 64 {
+            return Err(DecodeError::Corrupt(format!("{collapses} collapses")));
+        }
+        let gamma_exponent = r.uvarint()?;
+        if gamma_exponent == 0 {
+            return Err(DecodeError::Corrupt("grid exponent 0".into()));
+        }
+        let max_buckets = r.uvarint()? as usize;
+        if !(2..=(MAX_BUCKETS_WIRE as usize)).contains(&max_buckets) {
+            return Err(DecodeError::Corrupt(format!("max_buckets {max_buckets}")));
+        }
+        let zero_count = r.uvarint()?;
+        let count = r.uvarint()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        if min.is_nan() || max.is_nan() {
+            return Err(DecodeError::Corrupt("NaN extremes".into()));
+        }
+        if count > 0 && min > max {
+            return Err(DecodeError::Corrupt("min above max".into()));
+        }
+        Ok(FlatHeader {
+            initial_alpha,
+            collapses,
+            gamma_exponent,
+            max_buckets,
+            zero_count,
+            count,
+            min,
+            max,
+        })
+    }
+
+    /// Rebuild γ from a v3 header via the square-multiply ladder (exactly
+    /// the encoder-side [`gamma_for_exponent`] sequence) and reject bases
+    /// that collapsed to 1 or overflowed to infinity.
+    fn flat_gamma(h: &FlatHeader) -> Result<f64, DecodeError> {
+        let gamma0 = (1.0 + h.initial_alpha) / (1.0 - h.initial_alpha);
+        let gamma = super::gamma_for_exponent(gamma0, h.gamma_exponent);
+        if !(gamma > 1.0 && gamma.is_finite()) {
+            return Err(DecodeError::Corrupt(format!(
+                "alpha {} with grid exponent {} yields unusable gamma {gamma}",
+                h.initial_alpha, h.gamma_exponent
+            )));
+        }
+        Ok(gamma)
+    }
+
+    /// Read one bucket map's run header, returning `(bucket count, run
+    /// bytes)`.
+    fn read_flat_run<'a>(r: &mut FlatReader<'a>) -> Result<(u64, &'a [u8]), DecodeError> {
+        let n = r.uvarint()?;
+        if n > MAX_BUCKETS_WIRE {
+            return Err(DecodeError::Corrupt(format!("{n} buckets exceeds limit")));
+        }
+        let byte_len = r.uvarint()?;
+        let byte_len = usize::try_from(byte_len)
+            .ok()
+            .filter(|&b| b <= r.remaining())
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        Ok((n, r.slice(byte_len)?))
+    }
+
+    /// Append a bucket map as a delta-compressed run with a `(count, byte
+    /// length)` header. Negative maps are written highest-index-first
+    /// (ascending value order).
+    fn write_flat_map(out: &mut Vec<u8>, map: &BTreeMap<i32, u64>, descending: bool) {
+        let mut buckets: Vec<(i32, u64)> = map.iter().map(|(&i, &c)| (i, c)).collect();
+        if descending {
+            buckets.reverse();
+        }
+        let mut run = Vec::new();
+        flatwire::write_bucket_run(&mut run, &buckets);
+        flatwire::write_uvarint(out, buckets.len() as u64);
+        flatwire::write_uvarint(out, run.len() as u64);
+        out.extend_from_slice(&run);
+    }
+
+    /// Drain a run back into an ordered bucket map, enforcing the run's
+    /// byte length.
+    fn read_map_from_run(
+        n: u64,
+        run: &[u8],
+        direction: RunDirection,
+    ) -> Result<BTreeMap<i32, u64>, DecodeError> {
+        let mut cursor = BucketRunCursor::new(run, n, direction, i64::from(i32::MAX));
+        let mut map = BTreeMap::new();
+        while let Some((i, c)) = cursor.next()? {
+            let slot = map.entry(i).or_insert(0u64);
+            *slot = slot
+                .checked_add(c)
+                .ok_or_else(|| DecodeError::Corrupt("bucket count overflow".into()))?;
+        }
+        if cursor.bytes_read() != run.len() {
+            return Err(DecodeError::Corrupt("bucket run length mismatch".into()));
+        }
+        Ok(map)
+    }
+
+    impl UddSketch {
+        /// Encode in the previous wire generation (magic `0xDD`, version 1
+        /// for standard power-of-two grids, version 2 when the fused merge
+        /// rule landed on an arbitrary grid exponent). Kept so the
+        /// committed back-compat fixtures can be regenerated and so
+        /// operators can write payloads for pre-v3 readers.
+        pub fn encode_legacy(&self) -> Vec<u8> {
             let standard_grid = self.collapses < 64
                 && self.gamma_exponent == 1u64 << self.collapses;
-            let version = if standard_grid { 1 } else { VERSION };
+            let version = if standard_grid { 1 } else { LEGACY_VERSION };
             let mut w = Writer::with_header(MAGIC, version);
             w.f64(self.initial_alpha);
             w.varint(u64::from(self.collapses));
@@ -1053,8 +1193,9 @@ mod codec {
             w.finish()
         }
 
-        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
-            let mut r = Reader::with_header(bytes, MAGIC, VERSION)?;
+        /// Decode a pre-flatwire (v1/v2) payload.
+        fn decode_legacy(bytes: &[u8]) -> Result<Self, DecodeError> {
+            let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
             let initial_alpha = r.f64()?;
             if !(initial_alpha > 0.0 && initial_alpha < 1.0) {
                 return Err(DecodeError::Corrupt(format!(
@@ -1082,15 +1223,18 @@ mod codec {
             let count = r.varint()?;
             let min = r.f64()?;
             let max = r.f64()?;
+            if min.is_nan() || max.is_nan() {
+                return Err(DecodeError::Corrupt("NaN extremes".into()));
+            }
+            if count > 0 && min > max {
+                return Err(DecodeError::Corrupt("min above max".into()));
+            }
             let positives = read_map(&mut r)?;
             let negatives = read_map(&mut r)?;
             r.expect_exhausted()?;
-            let stored: u64 = positives.values().sum::<u64>()
-                + negatives.values().sum::<u64>()
-                + zero_count;
-            if stored != count {
+            if map_totals(&positives, &negatives, zero_count) != Some(count) {
                 return Err(DecodeError::Corrupt(format!(
-                    "bucket totals {stored} disagree with count {count}"
+                    "bucket totals disagree with count {count}"
                 )));
             }
             // Rebuild gamma by the exact encoder-side sequence so the
@@ -1133,6 +1277,151 @@ mod codec {
                 min,
                 max,
             })
+        }
+    }
+
+    impl SketchSerialize for UddSketch {
+        fn encode(&self) -> Vec<u8> {
+            let mut out = vec![MAGIC, FLAT_VERSION];
+            flatwire::write_f64(&mut out, self.initial_alpha);
+            flatwire::write_uvarint(&mut out, u64::from(self.collapses));
+            flatwire::write_uvarint(&mut out, self.gamma_exponent);
+            flatwire::write_uvarint(&mut out, self.max_buckets as u64);
+            flatwire::write_uvarint(&mut out, self.zero_count);
+            flatwire::write_uvarint(&mut out, self.count);
+            flatwire::write_f64(&mut out, self.min);
+            flatwire::write_f64(&mut out, self.max);
+            write_flat_map(&mut out, &self.positives, false);
+            write_flat_map(&mut out, &self.negatives, true);
+            out
+        }
+
+        fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return Self::decode_legacy(bytes);
+            }
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            let gamma = flat_gamma(&h)?;
+            let (pos_n, pos_run) = read_flat_run(&mut r)?;
+            let positives = read_map_from_run(pos_n, pos_run, RunDirection::Ascending)?;
+            let (neg_n, neg_run) = read_flat_run(&mut r)?;
+            let negatives = read_map_from_run(neg_n, neg_run, RunDirection::Descending)?;
+            r.expect_exhausted()?;
+            if map_totals(&positives, &negatives, h.zero_count) != Some(h.count) {
+                return Err(DecodeError::Corrupt(format!(
+                    "bucket totals disagree with count {}",
+                    h.count
+                )));
+            }
+            Ok(Self {
+                gamma,
+                indexer: FastCeilIndexer::new(gamma),
+                initial_alpha: h.initial_alpha,
+                collapses: h.collapses as u32,
+                gamma_exponent: h.gamma_exponent,
+                max_buckets: h.max_buckets,
+                positives,
+                negatives,
+                zero_count: h.zero_count,
+                count: h.count,
+                min: h.min,
+                max: h.max,
+            })
+        }
+    }
+
+    impl SketchView for UddSketch {
+        fn count_from_bytes(bytes: &[u8]) -> Result<u64, DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                Ok(read_flat_header(&mut r)?.count)
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.f64()?; // initial alpha
+                r.varint()?; // collapses
+                if r.version() >= 2 {
+                    r.varint()?; // grid exponent
+                }
+                r.varint()?; // max_buckets
+                r.varint()?; // zero_count
+                r.varint()
+            }
+        }
+
+        fn bounds_from_bytes(bytes: &[u8]) -> Result<(f64, f64), DecodeError> {
+            if flatwire::wire_header(bytes)? == (MAGIC, FLAT_VERSION) {
+                let mut r = FlatReader::new(&bytes[2..]);
+                let h = read_flat_header(&mut r)?;
+                Ok((h.min, h.max))
+            } else {
+                let mut r = Reader::with_header(bytes, MAGIC, LEGACY_VERSION)?;
+                r.f64()?; // initial alpha
+                r.varint()?; // collapses
+                if r.version() >= 2 {
+                    r.varint()?; // grid exponent
+                }
+                r.varint()?; // max_buckets
+                r.varint()?; // zero_count
+                r.varint()?; // count
+                Ok((r.f64()?, r.f64()?))
+            }
+        }
+
+        fn quantile_from_bytes(bytes: &[u8], q: f64) -> Result<f64, SketchError> {
+            if flatwire::wire_header(bytes)? != (MAGIC, FLAT_VERSION) {
+                return flatwire::quantile_via_decode::<Self>(bytes, q);
+            }
+            check_quantile(q)?;
+            let mut r = FlatReader::new(&bytes[2..]);
+            let h = read_flat_header(&mut r)?;
+            if h.count == 0 {
+                return Err(QueryError::Empty.into());
+            }
+            let gamma = flat_gamma(&h)?;
+            // Same rank arithmetic and walk order as the in-memory
+            // `value_at_rank`: negatives in ascending value order (the
+            // wire already stores them highest-index-first), then zeros,
+            // then positives; bucket midpoint `2γ^i/(γ+1)` throughout.
+            let rank = ((q * h.count as f64).ceil() as u64).clamp(1, h.count);
+            let (pos_n, pos_run) = read_flat_run(&mut r)?;
+            let (neg_n, neg_run) = read_flat_run(&mut r)?;
+            let mut cum = 0u64;
+            let overflow = || DecodeError::Corrupt("bucket counts overflow".into());
+            let mut negatives =
+                BucketRunCursor::new(neg_run, neg_n, RunDirection::Descending, i64::from(i32::MAX));
+            let mut est = None;
+            while let Some((i, c)) = negatives.next()? {
+                cum = cum.checked_add(c).ok_or_else(overflow)?;
+                if cum >= rank {
+                    est = Some(-(2.0 * gamma.powi(i) / (gamma + 1.0)));
+                    break;
+                }
+            }
+            if est.is_none() {
+                cum = cum.checked_add(h.zero_count).ok_or_else(overflow)?;
+                if cum >= rank {
+                    est = Some(0.0);
+                }
+            }
+            if est.is_none() {
+                let mut positives = BucketRunCursor::new(
+                    pos_run,
+                    pos_n,
+                    RunDirection::Ascending,
+                    i64::from(i32::MAX),
+                );
+                while let Some((i, c)) = positives.next()? {
+                    cum = cum.checked_add(c).ok_or_else(overflow)?;
+                    if cum >= rank {
+                        est = Some(2.0 * gamma.powi(i) / (gamma + 1.0));
+                        break;
+                    }
+                }
+            }
+            // Rank beyond the stored totals falls back to the tracked max,
+            // exactly as the in-memory walk does.
+            Ok(est.unwrap_or(h.max).clamp(h.min, h.max))
         }
     }
 
@@ -1196,6 +1485,112 @@ mod codec {
             let last = bytes.len() - 1;
             bytes[last] = bytes[last].wrapping_add(1);
             assert!(UddSketch::decode(&bytes).is_err());
+        }
+
+        fn mixed_sketch() -> UddSketch {
+            let mut s = UddSketch::new(0.001, 256);
+            for i in 1..=50_000u64 {
+                match i % 97 {
+                    0 => s.insert(0.0),
+                    k if k < 20 => s.insert(-(i as f64) * 0.11),
+                    _ => s.insert(i as f64 * 0.37),
+                }
+            }
+            assert!(s.collapses() > 0);
+            s
+        }
+
+        /// A sketch the fused merge rule has moved onto a non-power-of-two
+        /// grid (the case the legacy v2 header exists for).
+        fn fused_sketch() -> UddSketch {
+            let mut a = UddSketch::new(0.001, 256);
+            let mut b = UddSketch::new(0.001, 64);
+            for i in 1..=30_000u64 {
+                a.insert(i as f64 * 10.0);
+                b.insert(i as f64 * 1e6);
+            }
+            a.merge_fused(&b).unwrap();
+            a
+        }
+
+        #[test]
+        fn v1_and_v2_payloads_still_decode() {
+            for (s, expected_version) in [(mixed_sketch(), 1u8), (fused_sketch(), 2u8)] {
+                let legacy = s.encode_legacy();
+                assert_eq!(legacy[..2], [MAGIC, expected_version]);
+                let restored = UddSketch::decode(&legacy).unwrap();
+                assert_eq!(restored.count(), s.count());
+                assert_eq!(restored.gamma(), s.gamma());
+                assert_eq!(restored.gamma_exponent(), s.gamma_exponent());
+                for q in [0.01, 0.5, 0.99, 1.0] {
+                    assert_eq!(restored.query(q).unwrap(), s.query(q).unwrap(), "q={q}");
+                }
+            }
+        }
+
+        #[test]
+        fn v3_is_smaller_than_legacy() {
+            let s = mixed_sketch();
+            let v3 = s.encode();
+            let legacy = s.encode_legacy();
+            assert_eq!(v3[..2], [MAGIC, 3]);
+            assert!(
+                v3.len() < legacy.len(),
+                "v3 {} bytes vs legacy {} bytes",
+                v3.len(),
+                legacy.len()
+            );
+        }
+
+        #[test]
+        fn quantile_from_bytes_matches_decode_then_query() {
+            use qsketch_core::flatwire::SketchView;
+            for s in [mixed_sketch(), fused_sketch()] {
+                for bytes in [s.encode(), s.encode_legacy()] {
+                    let decoded = UddSketch::decode(&bytes).unwrap();
+                    assert_eq!(UddSketch::count_from_bytes(&bytes).unwrap(), s.count());
+                    assert_eq!(
+                        UddSketch::bounds_from_bytes(&bytes).unwrap(),
+                        (decoded.min, decoded.max)
+                    );
+                    for q in [0.001, 0.01, 0.2, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+                        let from_bytes = UddSketch::quantile_from_bytes(&bytes, q).unwrap();
+                        let via_decode = decoded.query(q).unwrap();
+                        assert_eq!(
+                            from_bytes.to_bits(),
+                            via_decode.to_bits(),
+                            "q={q} from_bytes={from_bytes} via_decode={via_decode}"
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn v3_truncations_and_flips_never_panic() {
+            use qsketch_core::flatwire::SketchView;
+            let mut s = UddSketch::new(0.02, 64);
+            for i in 1..=2_000u64 {
+                if i % 31 == 0 {
+                    s.insert(0.0);
+                } else if i % 7 == 0 {
+                    s.insert(-(i as f64));
+                } else {
+                    s.insert(i as f64);
+                }
+            }
+            let bytes = s.encode();
+            for len in 0..bytes.len() {
+                let truncated = &bytes[..len];
+                let _ = UddSketch::decode(truncated);
+                let _ = UddSketch::quantile_from_bytes(truncated, 0.5);
+            }
+            for i in 0..bytes.len() {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 0xA5;
+                let _ = UddSketch::decode(&flipped);
+                let _ = UddSketch::quantile_from_bytes(&flipped, 0.5);
+            }
         }
     }
 }

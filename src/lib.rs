@@ -46,10 +46,18 @@
 //! Every sketch implements [`SketchSerialize`] — a versioned, std-only
 //! binary wire format (`magic | version | params | state`) whose
 //! decoder rejects corrupt, truncated or foreign payloads with a typed
-//! [`DecodeError`], never a panic. The sharded ingestion engine layers
-//! periodic per-shard checkpoints and deterministic crash recovery on
-//! top of it ([`ShardedEngine::recover`], [`CheckpointConfig`]); see
-//! `ARCHITECTURE.md` for the wire-format and recovery contracts.
+//! [`DecodeError`], never a panic. The current v3 generation is the
+//! [`flatwire`] flat layout: delta + prefix-varint compressed payloads
+//! that [`SketchView`] queries **zero-copy** — quantile/count/bounds
+//! straight off the borrowed bytes, bit-identical to decode-then-query
+//! — while every earlier payload generation still decodes. The sharded
+//! ingestion engine layers periodic per-shard checkpoints and
+//! deterministic crash recovery on top of it
+//! ([`ShardedEngine::recover`], [`CheckpointConfig`], plus the lazy
+//! `streamsim::checkpoint::LazyEngineRecovery` that serves queries
+//! from checkpoint bytes without rebuilding); `FORMATS.md` is the
+//! normative byte-level spec, `ARCHITECTURE.md` the recovery
+//! contracts.
 //!
 //! See `examples/` for streaming-window, latency-monitoring and
 //! distributed-merge scenarios, and `crates/bench` for the paper's
@@ -57,6 +65,7 @@
 
 pub use qsketch_baselines::{DyadicCountSketch, GkSketch, HdrHistogram, RandomSketch, TDigest};
 pub use qsketch_core::codec::{DecodeError, SketchSerialize};
+pub use qsketch_core::flatwire::{self, SketchView};
 pub use qsketch_core::error::{rank_error, relative_error, ErrorStats};
 pub use qsketch_core::exact::{ExactQuantiles, ExactSketch};
 pub use qsketch_core::metrics::{Instrumented, LogHistogram, MetricsRegistry, MetricsSnapshot};

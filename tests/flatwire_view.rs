@@ -1,0 +1,200 @@
+//! Cross-crate contract tests for the v3 flat wire layout (FORMATS.md):
+//! every sketch's [`SketchView`] answers **bit-for-bit** identically to
+//! decode-then-query, across all four paper data sets; version sniffing
+//! keeps every prior payload generation decodable; and mangled bytes are
+//! rejected with a typed error, never a panic.
+
+use quantile_sketches::flatwire::wire_header;
+use quantile_sketches::{
+    DataSet, DdSketch, KllSketch, MomentsSketch, QuantileSketch, RankAccuracy, ReqSketch,
+    SketchSerialize, SketchView, UddSketch,
+};
+
+const QS: [f64; 9] = [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+const N: usize = 20_000;
+
+fn fill<S: QuantileSketch>(sketch: &mut S, ds: DataSet, seed: u64) {
+    let mut gen = ds.generator(seed, 50);
+    for _ in 0..N {
+        sketch.insert(gen.next_value());
+    }
+}
+
+/// The core acceptance criterion: for a filled sketch, queries evaluated
+/// over its encoded bytes equal queries on the decoded sketch, bit for
+/// bit, and the decoded sketch itself answers exactly like the original.
+fn assert_view_matches<S>(mut sketch: S, ds: DataSet, seed: u64)
+where
+    S: QuantileSketch + SketchSerialize + SketchView,
+{
+    fill(&mut sketch, ds, seed);
+    let bytes = sketch.encode();
+    let decoded = S::decode(&bytes).expect("own encoding decodes");
+    assert_eq!(
+        S::count_from_bytes(&bytes).expect("count from bytes"),
+        sketch.count(),
+        "{} on {ds:?}: count_from_bytes",
+        sketch.name()
+    );
+    let (lo, hi) = S::bounds_from_bytes(&bytes).expect("bounds from bytes");
+    assert!(lo <= hi, "{} on {ds:?}: bounds inverted", sketch.name());
+    for q in QS {
+        // The Moments max-entropy solver can legitimately fail on some
+        // (distribution, q) combinations — the contract is that the view
+        // and decode-then-query agree on the *outcome*, bit for bit when
+        // it is a value.
+        let from_bytes = S::quantile_from_bytes(&bytes, q);
+        let from_decoded = decoded.query(q);
+        let from_live = sketch.query(q);
+        match (&from_bytes, &from_decoded, &from_live) {
+            (Ok(b), Ok(d), Ok(l)) => {
+                assert_eq!(
+                    b.to_bits(),
+                    d.to_bits(),
+                    "{} on {ds:?} q={q}: view vs decode-then-query",
+                    sketch.name()
+                );
+                assert_eq!(
+                    d.to_bits(),
+                    l.to_bits(),
+                    "{} on {ds:?} q={q}: decode round-trip drift",
+                    sketch.name()
+                );
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            _ => panic!(
+                "{} on {ds:?} q={q}: view and decode paths disagree on success \
+                 ({from_bytes:?} vs {from_decoded:?} vs {from_live:?})",
+                sketch.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn view_matches_decode_then_query_for_all_sketches_and_datasets() {
+    for (i, ds) in DataSet::ALL.into_iter().enumerate() {
+        let seed = 4_000 + i as u64;
+        assert_view_matches(KllSketch::with_seed(350, seed), ds, seed);
+        assert_view_matches(ReqSketch::with_seed(30, RankAccuracy::High, seed), ds, seed);
+        assert_view_matches(DdSketch::unbounded(0.01), ds, seed);
+        assert_view_matches(UddSketch::new(0.001, 256), ds, seed);
+        assert_view_matches(MomentsSketch::with_compression(12), ds, seed);
+    }
+}
+
+/// Version sniffing: current encoders emit the v3 flat layout (Moments
+/// deliberately stays at v1 — see FORMATS.md § Compatibility), while the
+/// `encode_legacy` constructors emit the previous generation that the
+/// same `decode` must keep accepting.
+#[test]
+fn version_matrix_current_and_legacy() {
+    let ds = DataSet::Nyt;
+
+    let mut kll = KllSketch::with_seed(350, 1);
+    fill(&mut kll, ds, 1);
+    assert_eq!(wire_header(&kll.encode()).unwrap(), (0xA1, 3));
+    assert_eq!(wire_header(&kll.encode_legacy()).unwrap(), (0xA1, 2));
+
+    let mut req = ReqSketch::with_seed(30, RankAccuracy::High, 2);
+    fill(&mut req, ds, 2);
+    assert_eq!(wire_header(&req.encode()).unwrap(), (0xE0, 3));
+    assert_eq!(wire_header(&req.encode_legacy()).unwrap(), (0xE0, 2));
+
+    // DDSketch never had a v2: its history is v1 → v3.
+    let mut dds = DdSketch::unbounded(0.01);
+    fill(&mut dds, ds, 3);
+    assert_eq!(wire_header(&dds.encode()).unwrap(), (0xD0, 3));
+    assert_eq!(wire_header(&dds.encode_legacy()).unwrap(), (0xD0, 1));
+
+    let mut udds = UddSketch::new(0.001, 256);
+    fill(&mut udds, ds, 4);
+    assert_eq!(wire_header(&udds.encode()).unwrap(), (0xDD, 3));
+    let legacy = udds.encode_legacy();
+    let (magic, version) = wire_header(&legacy).unwrap();
+    assert_eq!(magic, 0xDD);
+    assert!(version == 1 || version == 2, "legacy UDDS is v1 or v2");
+
+    // Moments has nothing to flatten: a handful of f64 power sums. It
+    // stays at v1 and its legacy encoding *is* its current encoding.
+    let mut moments = MomentsSketch::with_compression(12);
+    fill(&mut moments, ds, 5);
+    assert_eq!(wire_header(&moments.encode()).unwrap(), (0x30, 1));
+    assert_eq!(moments.encode_legacy(), moments.encode());
+
+    // Every legacy payload decodes to a sketch answering identically.
+    let back = KllSketch::decode(&kll.encode_legacy()).unwrap();
+    assert_eq!(
+        back.query(0.5).unwrap().to_bits(),
+        kll.query(0.5).unwrap().to_bits()
+    );
+    let back = UddSketch::decode(&legacy).unwrap();
+    assert_eq!(
+        back.query(0.5).unwrap().to_bits(),
+        udds.query(0.5).unwrap().to_bits()
+    );
+}
+
+/// Legacy payloads flow through the same [`SketchView`] entry points as
+/// v3 — the view sniffs the version and falls back to decode-then-query
+/// where it must, with identical answers either way.
+#[test]
+fn view_accepts_legacy_payloads() {
+    let ds = DataSet::Power;
+    let mut kll = KllSketch::with_seed(350, 6);
+    fill(&mut kll, ds, 6);
+    let legacy = kll.encode_legacy();
+    for q in QS {
+        assert_eq!(
+            KllSketch::quantile_from_bytes(&legacy, q).unwrap().to_bits(),
+            kll.query(q).unwrap().to_bits()
+        );
+    }
+    assert_eq!(KllSketch::count_from_bytes(&legacy).unwrap(), kll.count());
+
+    let mut dds = DdSketch::unbounded(0.01);
+    fill(&mut dds, ds, 7);
+    let legacy = dds.encode_legacy();
+    for q in QS {
+        assert_eq!(
+            DdSketch::quantile_from_bytes(&legacy, q).unwrap().to_bits(),
+            dds.query(q).unwrap().to_bits()
+        );
+    }
+}
+
+/// Mangled bytes — every truncation and a flipped byte at every offset —
+/// must yield `Err`, an alternate-but-valid decode, or a clean query
+/// result. Never a panic. (Release builds are exercised by CI; debug
+/// builds additionally catch arithmetic overflow on hostile lengths.)
+fn assert_mangling_never_panics<S>(mut sketch: S, seed: u64)
+where
+    S: QuantileSketch + SketchSerialize + SketchView,
+{
+    fill(&mut sketch, DataSet::Pareto, seed);
+    let bytes = sketch.encode();
+    for cut in 0..bytes.len() {
+        let _ = S::quantile_from_bytes(&bytes[..cut], 0.5);
+        let _ = S::count_from_bytes(&bytes[..cut]);
+        let _ = S::bounds_from_bytes(&bytes[..cut]);
+        let _ = S::decode(&bytes[..cut]);
+    }
+    let stride = (bytes.len() / 256).max(1);
+    for i in (0..bytes.len()).step_by(stride) {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0xA5;
+        let _ = S::quantile_from_bytes(&flipped, 0.5);
+        let _ = S::count_from_bytes(&flipped);
+        let _ = S::bounds_from_bytes(&flipped);
+        let _ = S::decode(&flipped);
+    }
+}
+
+#[test]
+fn corruption_never_panics_any_sketch() {
+    assert_mangling_never_panics(KllSketch::with_seed(350, 11), 11);
+    assert_mangling_never_panics(ReqSketch::with_seed(30, RankAccuracy::High, 12), 12);
+    assert_mangling_never_panics(DdSketch::unbounded(0.01), 13);
+    assert_mangling_never_panics(UddSketch::new(0.001, 256), 14);
+    assert_mangling_never_panics(MomentsSketch::with_compression(12), 15);
+}

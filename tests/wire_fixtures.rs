@@ -1,0 +1,148 @@
+//! Back-compat canary: the committed golden fixtures under
+//! `tests/fixtures/wire/` are payloads of the **previous** format
+//! generation (v1/v2 sketches, checkpoint envelopes embedding them).
+//! This test decodes them with the current readers and compares the
+//! answers bit-for-bit against `expected.txt`, which was recorded when
+//! the fixtures were cut.
+//!
+//! A failure here means a format compatibility break: either a legacy
+//! decoder changed behaviour, or the fixtures were regenerated with
+//! drifted `encode_legacy` implementations (see
+//! `crates/bench/src/bin/make_wire_fixtures.rs` and FORMATS.md
+//! § Compatibility).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use quantile_sketches::streamsim::checkpoint::{RegistryCheckpoint, ShardCheckpoint};
+use quantile_sketches::{
+    DdSketch, KllSketch, MomentsSketch, QuantileSketch, ReqSketch, SketchSerialize, SketchView,
+    UddSketch,
+};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wire")
+}
+
+fn load(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_dir().join(name))
+        .unwrap_or_else(|e| panic!("committed fixture {name} is readable: {e}"))
+}
+
+/// `expected.txt` line: `<file> count=<n> q<q>=<bits:016x> ...`
+struct Expected {
+    count: u64,
+    quantiles: Vec<(f64, u64)>,
+}
+
+fn expectations() -> HashMap<String, Expected> {
+    let text = std::fs::read_to_string(fixture_dir().join("expected.txt"))
+        .expect("expected.txt is readable");
+    let mut out = HashMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let mut fields = line.split_whitespace();
+        let name = fields.next().expect("fixture name").to_string();
+        let count = fields
+            .next()
+            .and_then(|f| f.strip_prefix("count="))
+            .and_then(|v| v.parse().ok())
+            .expect("count field");
+        let quantiles = fields
+            .map(|f| {
+                let (q, bits) = f
+                    .strip_prefix('q')
+                    .and_then(|f| f.split_once('='))
+                    .expect("q<q>=<bits> field");
+                (
+                    q.parse().expect("quantile parses"),
+                    u64::from_str_radix(bits, 16).expect("bits parse"),
+                )
+            })
+            .collect();
+        out.insert(name, Expected { count, quantiles });
+    }
+    assert_eq!(out.len(), 6, "expected.txt covers all six sketch fixtures");
+    out
+}
+
+/// Decode one legacy fixture and check every pinned answer, through both
+/// the decode path and the zero-copy view path.
+fn check_fixture<S>(name: &str, expected: &Expected)
+where
+    S: QuantileSketch + SketchSerialize + SketchView,
+{
+    let bytes = load(name);
+    let sketch = S::decode(&bytes).unwrap_or_else(|e| panic!("{name} decodes: {e}"));
+    assert_eq!(sketch.count(), expected.count, "{name}: count");
+    assert_eq!(
+        S::count_from_bytes(&bytes).expect("count from bytes"),
+        expected.count,
+        "{name}: count_from_bytes"
+    );
+    for &(q, bits) in &expected.quantiles {
+        assert_eq!(
+            sketch.query(q).expect("fixture answers").to_bits(),
+            bits,
+            "{name}: decode-then-query q={q}"
+        );
+        assert_eq!(
+            S::quantile_from_bytes(&bytes, q)
+                .expect("view answers")
+                .to_bits(),
+            bits,
+            "{name}: quantile_from_bytes q={q}"
+        );
+    }
+}
+
+#[test]
+fn legacy_sketch_fixtures_answer_bit_identically() {
+    let expected = expectations();
+    check_fixture::<KllSketch>("kll.bin", &expected["kll.bin"]);
+    check_fixture::<ReqSketch>("req.bin", &expected["req.bin"]);
+    check_fixture::<DdSketch>("dds.bin", &expected["dds.bin"]);
+    check_fixture::<UddSketch>("udds.bin", &expected["udds.bin"]);
+    check_fixture::<UddSketch>("udds_fused.bin", &expected["udds_fused.bin"]);
+    check_fixture::<MomentsSketch>("moments.bin", &expected["moments.bin"]);
+}
+
+#[test]
+fn legacy_checkpoint_envelope_still_decodes() {
+    let expected = expectations();
+    let ckpt = ShardCheckpoint::decode(&load("checkpoint.ckpt")).expect("0xC5 envelope decodes");
+    assert_eq!(ckpt.shard, 1);
+    assert_eq!(ckpt.num_shards, 4);
+    assert_eq!(ckpt.batch_size, 256);
+    assert_eq!(ckpt.values_done, 42_000);
+    // The embedded payload is the KLL fixture: same pinned answers.
+    let sketch: KllSketch = ckpt.sketch().expect("embedded sketch decodes");
+    let exp = &expected["kll.bin"];
+    assert_eq!(sketch.count(), exp.count);
+    for &(q, bits) in &exp.quantiles {
+        assert_eq!(sketch.query(q).unwrap().to_bits(), bits, "embedded KLL q={q}");
+    }
+}
+
+#[test]
+fn legacy_registry_envelope_still_decodes() {
+    let expected = expectations();
+    let reg = RegistryCheckpoint::decode(&load("registry.ckpt")).expect("0xC6 envelope decodes");
+    assert_eq!(reg.shard, 0);
+    assert_eq!(reg.num_shards, 2);
+    assert_eq!(reg.values_done, 120_000);
+    assert_eq!(reg.entries.len(), 2);
+    assert_eq!(reg.entries[0].tenant, "acme");
+    assert_eq!(reg.entries[0].key, "checkout.latency");
+    let dds = DdSketch::decode(&reg.entries[0].payload).expect("DDS payload decodes");
+    let exp = &expected["dds.bin"];
+    for &(q, bits) in &exp.quantiles {
+        assert_eq!(dds.query(q).unwrap().to_bits(), bits, "registry DDS q={q}");
+    }
+    assert_eq!(reg.entries[1].tenant, "globex");
+    assert_eq!(reg.entries[1].key, "api.p99");
+    let udds = UddSketch::decode(&reg.entries[1].payload).expect("UDDS payload decodes");
+    let exp = &expected["udds.bin"];
+    for &(q, bits) in &exp.quantiles {
+        assert_eq!(udds.query(q).unwrap().to_bits(), bits, "registry UDDS q={q}");
+    }
+}
