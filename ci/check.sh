@@ -23,6 +23,13 @@ echo "==> sharded-engine smoke run (tiny, 1 and 2 threads)"
 cargo run --release --offline -p qsketch-bench --bin ext_parallel_scaling -- \
     --tiny --threads 1,2 --metrics
 
+echo "==> concurrent-ingest stress suite (ring handoff, epoch publication, per-key determinism)"
+cargo test --release --offline -q --test concurrent_engine
+cargo test --release --offline -q --test parallel_engine
+
+echo "==> deprecation shims compile and run (old constructors must warn, not break, for one release)"
+cargo test --release --offline -q --test deprecated_shims
+
 echo "==> wire-format round-trip smoke (all sketches, all datasets)"
 cargo test --release --offline -q --test codec_roundtrip
 
@@ -55,6 +62,26 @@ fi
 for key in ext_insert_throughput scalar_mvps batch_mvps speedup REQ KLL UDDS DDS Moments; do
     if ! grep -q "$key" "$scratch/BENCH_insert.json"; then
         echo "BENCH_insert.json malformed: missing $key" >&2
+        exit 1
+    fi
+done
+
+echo "==> concurrent-ingest baseline (quick; 2-producer smoke, fails on malformed JSON)"
+# Exercises the lock-free handoff vs a mutex queue, wait-free queries
+# under live ingest, and a 2-producer MPSC run. Quick-scale from a
+# scratch dir so the committed BENCH_concurrent.json at the repo root
+# (with its single-CPU caveat) stays the durable baseline.
+scratch="target/ci-concurrent-bench"
+mkdir -p "$scratch"
+rm -f "$scratch/BENCH_concurrent.json"
+(cd "$scratch" && cargo run --release --offline -p qsketch-bench --bin ext_concurrent_ingest -- --quick)
+if [ ! -s "$scratch/BENCH_concurrent.json" ]; then
+    echo "BENCH_concurrent.json missing or empty" >&2
+    exit 1
+fi
+for key in ext_concurrent_ingest caveat mutex_ns_per_value ring_ns_per_value query_under_ingest p99_us epochs_observed one_meps two_meps; do
+    if ! grep -q "$key" "$scratch/BENCH_concurrent.json"; then
+        echo "BENCH_concurrent.json malformed: missing $key" >&2
         exit 1
     fi
 done
@@ -159,6 +186,18 @@ if [ "$range_before" != "$range_after" ]; then
     exit 1
 fi
 echo "recovered answers bit-identical (point query and rollup range query)"
+# The recovered engine must keep ingesting: land another 10k values and
+# require the count to grow exactly — recovery that serves stale reads
+# but drops writes would pass the bit-identity check above.
+"$CLIENT" "$addr" ingest-seq acme api.latency 50000 10000
+"$CLIENT" "$addr" flush
+post=$("$CLIENT" "$addr" query acme api.latency 0.5)
+echo "$post"
+if ! echo "$post" | grep -q "count=60000"; then
+    echo "post-recovery ingest did not land (want count=60000): $post" >&2
+    exit 1
+fi
+echo "post-recovery ingest round accepted (count grew to 60000)"
 "$CLIENT" "$addr" shutdown
 wait "$server_pid" 2>/dev/null || true
 if ! grep -q "shutdown complete" "$server_log"; then

@@ -1,0 +1,25 @@
+//! Extension experiment: lock-free handoff cost, wait-free query
+//! latency under ingest, and producer scaling of the concurrent engine
+//! (beyond the paper; reference behavior: Quancurrent,
+//! arXiv:2208.09265).
+//!
+//! Prints the table; at `--quick`/`--full` scale also writes the raw
+//! measurements to `BENCH_concurrent.json` at the repo root (skipped at
+//! `--tiny`, which exists for CI smoke runs that should not clobber the
+//! committed baseline). The JSON carries an explicit single-CPU caveat
+//! — see the experiment module docs.
+
+use qsketch_bench::cli::Scale;
+
+fn main() {
+    let args = qsketch_bench::cli::Args::parse();
+    let (table, json) = qsketch_bench::experiments::ext_concurrent_ingest::run_with_json(&args);
+    print!("{table}");
+    if args.scale != Scale::Tiny {
+        let path = std::path::Path::new("BENCH_concurrent.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

@@ -5,7 +5,7 @@ fn main() {
     let args = qsketch_bench::cli::Args::parse();
     use qsketch_bench::experiments as e;
     type Experiment = fn(&qsketch_bench::cli::Args) -> String;
-    let runs: [(&str, Experiment); 18] = [
+    let runs: [(&str, Experiment); 19] = [
         ("fig4_datasets", e::fig4_datasets::run),
         ("table3_memory", e::table3_memory::run),
         ("fig5a_insertion", e::fig5a_insertion::run),
@@ -20,6 +20,7 @@ fn main() {
         ("ext_watermark_lag", e::ext_watermark_lag::run),
         ("ext_space_accuracy", e::ext_space_accuracy::run),
         ("ext_parallel_scaling", e::ext_parallel_scaling::run),
+        ("ext_concurrent_ingest", e::ext_concurrent_ingest::run),
         ("ext_checkpoint", e::ext_checkpoint::run),
         ("ext_insert_throughput", e::ext_insert_throughput::run),
         ("ext_server_load", e::ext_server_load::run),

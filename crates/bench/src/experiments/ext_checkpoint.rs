@@ -13,7 +13,7 @@
 //! * **ckpts / KB / p99 µs** — checkpoint count, mean file size and p99
 //!   write latency from the engine's metrics registry,
 //! * **recovery** — a fault-injected run (one shard killed mid-stream)
-//!   followed by [`ShardedEngine::recover`] + full replay, verified
+//!   followed by builder `recover` + full replay, verified
 //!   **bit-identical** against an uninterrupted reference run.
 //!
 //! Since the v3 flat wire layout (FORMATS.md) the experiment also
@@ -46,7 +46,7 @@ use qsketch_core::metrics::MetricsRegistry;
 use qsketch_core::{QuantileSketch, SketchSerialize};
 use qsketch_datagen::{FixedPareto, ValueStream};
 use qsketch_streamsim::checkpoint::LazyEngineRecovery;
-use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
+use qsketch_streamsim::builder::EngineBuilder;
 use qsketch_streamsim::CheckpointConfig;
 
 /// Shard count for every run (small enough for CI, enough to make the
@@ -181,11 +181,12 @@ fn factory_for(spec: &SketchSpec, base_seed: u64) -> impl FnMut() -> AnySketch +
 }
 
 fn measure(spec: &SketchSpec, values: &[f64], args: &Args, interval: u64) -> CheckpointPoint {
-    let config = EngineConfig::new(SHARDS);
     let label = spec.to_string();
 
     // Baseline: no checkpointing.
-    let mut engine = ShardedEngine::spawn(config.clone(), factory_for(spec, args.seed));
+    let mut engine = EngineBuilder::sharded(SHARDS)
+        .spawn(factory_for(spec, args.seed))
+        .expect("at least one shard");
     let start = Instant::now();
     engine.extend(values.iter().copied());
     engine.drain();
@@ -201,14 +202,11 @@ fn measure(spec: &SketchSpec, values: &[f64], args: &Args, interval: u64) -> Che
     let _ = std::fs::remove_dir_all(&dir);
     let ckpt = CheckpointConfig::new(&dir, interval);
     let registry = MetricsRegistry::new();
-    let mut engine = ShardedEngine::spawn_with_checkpoints_instrumented(
-        config.clone(),
-        factory_for(spec, args.seed),
-        ckpt.clone(),
-        &registry,
-        "engine",
-    )
-    .expect("checkpoint dir is creatable");
+    let mut engine = EngineBuilder::sharded(SHARDS)
+        .checkpoints(ckpt.clone())
+        .metrics(&registry, "engine")
+        .spawn(factory_for(spec, args.seed))
+        .expect("checkpoint dir is creatable");
     let start = Instant::now();
     engine.extend(values.iter().copied());
     engine.drain();
@@ -229,12 +227,11 @@ fn measure(spec: &SketchSpec, values: &[f64], args: &Args, interval: u64) -> Che
         / qsketch_streamsim::engine::DEFAULT_BATCH_SIZE as u64
         / 2)
     .max(1);
-    let mut crashed = ShardedEngine::spawn_with_checkpoints(
-        config.clone().with_fault_injection(KILLED_SHARD, kill_after),
-        factory_for(spec, args.seed),
-        ckpt.clone(),
-    )
-    .expect("checkpoint dir is creatable");
+    let mut crashed = EngineBuilder::sharded(SHARDS)
+        .fault_injection(KILLED_SHARD, kill_after)
+        .checkpoints(ckpt.clone())
+        .spawn(factory_for(spec, args.seed))
+        .expect("checkpoint dir is creatable");
     crashed.extend(values.iter().copied());
     crashed.drain();
     let died = crashed.failed_shards() == vec![KILLED_SHARD];
@@ -270,7 +267,9 @@ fn measure(spec: &SketchSpec, values: &[f64], args: &Args, interval: u64) -> Che
 
     // Recover + replay, then compare against the uninterrupted reference.
     let start = Instant::now();
-    let recovered = ShardedEngine::recover(config, factory_for(spec, args.seed), ckpt);
+    let recovered = EngineBuilder::sharded(SHARDS)
+        .checkpoints(ckpt)
+        .recover(factory_for(spec, args.seed));
     let recovery_ok = died
         && match recovered {
             Ok(mut engine) => {

@@ -32,7 +32,7 @@ use crate::table::Table;
 use qsketch_core::metrics::MetricsRegistry;
 use qsketch_core::QuantileSketch;
 use qsketch_datagen::{FixedPareto, ValueStream};
-use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
+use qsketch_streamsim::builder::EngineBuilder;
 
 /// Default worker-thread sweep (override with `--threads`).
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -167,15 +167,14 @@ fn measure(
         shard_seed = shard_seed.wrapping_add(1);
         kind.build(shard_seed, true)
     };
-    let config = EngineConfig::new(threads);
-    let mut engine = match registry {
-        Some(r) => {
-            let prefix = format!("engine.{}.t{}", kind.label().to_lowercase(), threads);
-            ShardedEngine::spawn_instrumented(config, factory, r, &prefix)
-                .expect("threads >= 1 enforced by the CLI")
-        }
-        None => ShardedEngine::spawn(config, factory),
-    };
+    let mut builder = EngineBuilder::sharded(threads);
+    if let Some(r) = registry {
+        let prefix = format!("engine.{}.t{}", kind.label().to_lowercase(), threads);
+        builder = builder.metrics(r, &prefix);
+    }
+    let mut engine = builder
+        .spawn(factory)
+        .expect("threads >= 1 enforced by the CLI");
 
     let mut latency_samples: Vec<u64> =
         Vec::with_capacity(values.len() / LATENCY_SAMPLE_PERIOD + 1);

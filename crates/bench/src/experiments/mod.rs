@@ -4,6 +4,7 @@
 //! at reduced scale.
 
 pub mod ext_checkpoint;
+pub mod ext_concurrent_ingest;
 pub mod ext_insert_throughput;
 pub mod ext_parallel_scaling;
 pub mod ext_rollup_cascade;

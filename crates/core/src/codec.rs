@@ -19,6 +19,7 @@ use std::fmt;
 
 /// Errors produced when decoding a sketch payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DecodeError {
     /// The payload ended before the declared content.
     UnexpectedEnd,

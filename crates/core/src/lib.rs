@@ -65,6 +65,8 @@ pub use exact::ExactQuantiles;
 pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
 pub use profile::Profile;
 pub use sketch::{
-    merge_tree, merge_tree_counted, snapshot_merge, MergeError, MergeableSketch, QuantileSketch,
-    QueryError, SketchError, SketchFactory,
+    merge_tree, merge_tree_counted, MergeError, MergeableSketch, QuantileSketch, QueryError,
+    SketchError, SketchFactory,
 };
+#[allow(deprecated)]
+pub use sketch::snapshot_merge;

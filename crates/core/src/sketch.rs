@@ -6,6 +6,7 @@ use crate::codec::DecodeError;
 
 /// Error returned by [`QuantileSketch::query`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// The sketch has not consumed any values yet.
     Empty,
@@ -31,6 +32,7 @@ impl std::error::Error for QueryError {}
 
 /// Error returned by [`MergeableSketch::merge`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MergeError {
     /// The two sketches were configured with incompatible parameters
     /// (e.g. different γ for DDSketch/UDDSketch, different number of
@@ -343,8 +345,17 @@ pub fn merge_tree_counted<S: MergeableSketch>(
 /// Merge point-in-time *snapshots* of live shard sketches: clone each
 /// shard, then fold the clones through [`merge_tree`]. The shards are
 /// only read, so concurrent writers (behind their own locks) keep going
-/// while the query side folds an isolated copy — the `Send`-safe query
-/// path of the sharded ingestion engine.
+/// while the query side folds an isolated copy.
+///
+/// This was the clone-behind-lock query path of the sharded ingestion
+/// engine; the engines now publish serialized epoch snapshots and
+/// answer through a `SnapshotHandle` (which folds multi-part handles
+/// through [`merge_tree`] itself), so nothing on the hot path calls
+/// this any more.
+#[deprecated(
+    since = "0.9.0",
+    note = "query through an engine SnapshotHandle, or fold owned sketches with merge_tree"
+)]
 pub fn snapshot_merge<S: MergeableSketch + Clone>(shards: &[S]) -> Result<Option<S>, MergeError> {
     merge_tree(shards.to_vec())
 }
@@ -497,6 +508,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn snapshot_merge_leaves_sources_untouched() {
         let shards = vec![Labelled::new("a"), Labelled::new("b")];
         let merged = snapshot_merge(&shards).unwrap().unwrap();

@@ -24,6 +24,7 @@ use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, Ser
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ClientError {
     /// The connection failed (refused, reset, timed out, EOF).
     Io(io::Error),

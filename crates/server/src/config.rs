@@ -298,16 +298,18 @@ impl ServerConfig {
 
     /// The engine config this server config implies.
     pub fn engine_config(&self) -> KeyedEngineConfig {
-        let mut config = KeyedEngineConfig::new(self.shards)
-            .with_queue_capacity(self.queue_capacity);
+        let mut config = KeyedEngineConfig::new(self.shards);
+        config.queue_capacity = self.queue_capacity.max(1);
         for (tenant, rate) in &self.quotas {
-            config = config.with_tenant_quota(tenant, TenantQuota::per_sec(*rate));
+            config
+                .quotas
+                .push((tenant.clone(), TenantQuota::per_sec(*rate)));
         }
         if let Some(rate) = self.default_quota {
-            config = config.with_default_quota(TenantQuota::per_sec(rate));
+            config.default_quota = Some(TenantQuota::per_sec(rate));
         }
         if let Some(dir) = &self.checkpoint_dir {
-            config = config.with_checkpoint(CheckpointConfig::new(dir, self.checkpoint_interval));
+            config.checkpoint = Some(CheckpointConfig::new(dir, self.checkpoint_interval));
         }
         if let Some(window) = self.rollup_window {
             let tiers = if self.rollup_tiers.is_empty() {
@@ -323,7 +325,7 @@ impl ServerConfig {
             if let Some(dir) = &self.rollup_dir {
                 options = options.with_spill_root(dir.clone());
             }
-            config = config.with_rollup(options);
+            config.rollup = Some(options);
         }
         config
     }

@@ -12,10 +12,13 @@
 //!                   loop { read_frame → Request::decode → core.handle → write_frame }
 //! ```
 //!
-//! Queries run on the connection thread against registry *snapshots*
-//! (clone-behind-lock + merge tree), so a slow query never blocks
-//! ingestion — the same non-blocking-query design as the sharded
-//! engine's `snapshot_merged`.
+//! Queries run on the connection thread against the engine's wait-free
+//! epoch snapshots ([`KeyedEngine::query`] /
+//! [`KeyedEngine::query_prefix`] returning a `SnapshotHandle`), so a
+//! slow query never blocks ingestion — and ingestion never blocks a
+//! query. Snapshots are published every `epoch_interval` values per
+//! shard; a client that needs read-your-writes sends `Flush` first
+//! (which drains the rings and forces a publication).
 //!
 //! Shutdown is graceful and durable: the `Shutdown` op (or
 //! [`Server::request_shutdown`]) stops the accept loop, connection
@@ -33,6 +36,7 @@ use qsketch_core::codec::SketchSerialize;
 use qsketch_core::flatwire::SketchView;
 use qsketch_core::sketch::{MergeableSketch, SketchFactory};
 use qsketch_core::SketchError;
+use qsketch_streamsim::builder::KeyedEngineBuilder;
 use qsketch_streamsim::keyed_engine::{KeyedEngine, KeyedEngineError};
 
 use crate::protocol::{
@@ -136,63 +140,58 @@ where
                     Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
                 }
             }
-            Request::Query { tenant, key, qs } => match self.engine.snapshot(&tenant, &key) {
-                None => Self::err(
+            Request::Query { tenant, key, qs } => match self.engine.query(&tenant, &key) {
+                Err(KeyedEngineError::UnknownKey { tenant, key }) => Self::err(
                     ErrorCode::UnknownKey,
                     format!("no sketch for tenant {tenant}, key {key}"),
                 ),
-                Some(snap) => match snap.query_many(&qs) {
-                    Ok(values) => Response::QueryOk {
-                        values,
-                        count: snap.count(),
-                    },
-                    Err(e) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                Ok(snap) => match (snap.quantiles(&qs), snap.count()) {
+                    (Ok(values), Ok(count)) => Response::QueryOk { values, count },
+                    (Err(e), _) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                    (_, Err(e)) => Self::err(ErrorCode::Internal, e.to_string()),
                 },
             },
             Request::Cdf {
                 tenant,
                 key,
                 points,
-            } => match self.engine.snapshot(&tenant, &key) {
-                None => Self::err(
+            } => match self.engine.query(&tenant, &key) {
+                Err(KeyedEngineError::UnknownKey { tenant, key }) => Self::err(
                     ErrorCode::UnknownKey,
                     format!("no sketch for tenant {tenant}, key {key}"),
                 ),
-                Some(snap) => {
+                Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                Ok(snap) => {
                     let qs: Vec<f64> = (1..=points)
                         .map(|i| f64::from(i) / f64::from(points))
                         .collect();
-                    match snap.query_many(&qs) {
-                        Ok(values) => Response::CdfOk {
-                            qs,
-                            values,
-                            count: snap.count(),
-                        },
-                        Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                    match (snap.quantiles(&qs), snap.count()) {
+                        (Ok(values), Ok(count)) => Response::CdfOk { qs, values, count },
+                        (Err(e), _) | (_, Err(e)) => {
+                            Self::err(ErrorCode::Internal, e.to_string())
+                        }
                     }
                 }
             },
             Request::MergedQuery { tenant, prefix, qs } => {
-                let merged_keys = self
-                    .engine
-                    .keys(&tenant)
-                    .iter()
-                    .filter(|k| k.starts_with(&prefix))
-                    .count() as u64;
-                match self.engine.merged_prefix(&tenant, &prefix) {
-                    Ok(None) => Self::err(
+                // One published part per matching (tenant, key) pair.
+                let snap = self.engine.query_prefix(&tenant, &prefix);
+                let merged_keys = snap.parts().len() as u64;
+                if merged_keys == 0 {
+                    return Self::err(
                         ErrorCode::UnknownKey,
                         format!("no key of tenant {tenant} starts with {prefix:?}"),
-                    ),
-                    Ok(Some(merged)) => match merged.query_many(&qs) {
-                        Ok(values) => Response::MergedOk {
-                            values,
-                            count: merged.count(),
-                            merged_keys,
-                        },
-                        Err(e) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                    );
+                }
+                match (snap.quantiles(&qs), snap.count()) {
+                    (Ok(values), Ok(count)) => Response::MergedOk {
+                        values,
+                        count,
+                        merged_keys,
                     },
-                    Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                    (Err(e), _) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                    (_, Err(e)) => Self::err(ErrorCode::Internal, e.to_string()),
                 }
             }
             Request::Flush => {
@@ -463,12 +462,11 @@ where
     F: SketchFactory<Sketch = S> + Clone + Send + 'static,
 {
     let checkpointing = engine_config.checkpoint.is_some();
+    let builder = KeyedEngineBuilder::from_config(engine_config);
     let engine = if recover {
-        KeyedEngine::recover(engine_config, factory)?
-    } else if checkpointing {
-        KeyedEngine::spawn_with_checkpoints(engine_config, factory)?
+        builder.recover(factory)?
     } else {
-        KeyedEngine::spawn(engine_config, factory)?
+        builder.spawn(factory)?
     };
     Ok(ServerCore::new(engine, checkpointing))
 }
@@ -477,13 +475,13 @@ where
 mod tests {
     use super::*;
     use qsketch_kll::KllSketch;
-    use qsketch_streamsim::keyed_engine::{KeyedEngineConfig, TenantQuota};
+    use qsketch_streamsim::builder::EngineBuilder;
+    use qsketch_streamsim::keyed_engine::TenantQuota;
 
     fn core() -> ServerCore<KllSketch> {
-        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(2), || {
-            KllSketch::with_seed(200, 7)
-        })
-        .unwrap();
+        let engine = EngineBuilder::keyed(2)
+            .spawn(|| KllSketch::with_seed(200, 7))
+            .unwrap();
         ServerCore::new(engine, false)
     }
 
@@ -632,12 +630,10 @@ mod tests {
 
     #[test]
     fn quota_maps_to_wire_error_with_retry_hint() {
-        let engine = KeyedEngine::spawn(
-            KeyedEngineConfig::new(1)
-                .with_tenant_quota("noisy", TenantQuota::per_sec(10.0).with_burst(10.0)),
-            || KllSketch::with_seed(200, 7),
-        )
-        .unwrap();
+        let engine = EngineBuilder::keyed(1)
+            .tenant_quota("noisy", TenantQuota::per_sec(10.0).with_burst(10.0))
+            .spawn(|| KllSketch::with_seed(200, 7))
+            .unwrap();
         let core = ServerCore::new(engine, false);
         core.handle(Request::Ingest {
             tenant: "noisy".into(),
@@ -674,17 +670,16 @@ mod tests {
     fn range_query_serves_rollup_slots() {
         use qsketch_streamsim::keyed_engine::RollupOptions;
         use qsketch_streamsim::rollup::TierSpec;
-        let engine = KeyedEngine::spawn(
-            KeyedEngineConfig::new(2).with_rollup(RollupOptions::new(
+        let engine = EngineBuilder::keyed(2)
+            .rollup(RollupOptions::new(
                 100,
                 vec![
                     TierSpec { width: 1, keep: 8 },
                     TierSpec { width: 4, keep: 8 },
                 ],
-            )),
-            || KllSketch::with_seed(200, 7),
-        )
-        .unwrap();
+            ))
+            .spawn(|| KllSketch::with_seed(200, 7))
+            .unwrap();
         let core = ServerCore::new(engine, false);
         core.handle(Request::Ingest {
             tenant: "t".into(),

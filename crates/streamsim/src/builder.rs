@@ -1,0 +1,293 @@
+//! One construction surface for both engines.
+//!
+//! Four PRs of growth left the engines with three overlapping ways to be
+//! built (`spawn` / `spawn_instrumented` / `spawn_with_checkpoints` /
+//! `spawn_with_checkpoints_instrumented` / `recover`, times two engines,
+//! plus `with_*` config chains). [`EngineBuilder`] replaces all of them
+//! with one typed-state builder: [`EngineBuilder::sharded`] yields a
+//! [`ShardedEngineBuilder`] (round-robin / hash-routed single-stream
+//! engine), [`EngineBuilder::keyed`] a [`KeyedEngineBuilder`]
+//! (multi-tenant per-key registries, quotas, rollups). The type encodes
+//! which options exist: batch size and fault injection are sharded-only,
+//! quotas and rollups keyed-only; checkpoints and metrics exist on both.
+//! The old constructors remain as `#[deprecated]` shims for one release.
+//!
+//! ```
+//! use qsketch_core::QuantileSketch;
+//! use qsketch_ddsketch::DdSketch;
+//! use qsketch_streamsim::builder::EngineBuilder;
+//!
+//! // Sharded: single logical stream fanned over worker threads.
+//! let mut engine = EngineBuilder::sharded(2)
+//!     .batch_size(128)
+//!     .spawn(|| DdSketch::unbounded(0.01))
+//!     .unwrap();
+//! engine.extend((1..=1_000).map(f64::from));
+//! assert_eq!(engine.query_fresh().count().unwrap(), 1_000);
+//! engine.finish().unwrap();
+//!
+//! // Keyed: independent (tenant, key) streams behind the same builder.
+//! use qsketch_streamsim::keyed_engine::TenantQuota;
+//! let engine = EngineBuilder::keyed(2)
+//!     .default_quota(TenantQuota::per_sec(1_000_000.0))
+//!     .spawn(|| DdSketch::unbounded(0.01))
+//!     .unwrap();
+//! engine.ingest("acme", "latency", vec![1.0, 2.0, 3.0]).unwrap();
+//! engine.drain();
+//! assert_eq!(engine.query("acme", "latency").unwrap().count().unwrap(), 3);
+//! engine.finish();
+//! ```
+
+use qsketch_core::codec::SketchSerialize;
+use qsketch_core::metrics::MetricsRegistry;
+use qsketch_core::sketch::{MergeableSketch, SketchFactory};
+
+use crate::checkpoint::CheckpointConfig;
+use crate::engine::{EngineConfig, EngineError, FaultInjection, ShardedEngine};
+use crate::keyed_engine::{
+    KeyedEngine, KeyedEngineConfig, KeyedEngineError, RollupOptions, TenantQuota,
+};
+use crate::metrics::EngineMetrics;
+
+/// Entry point of the unified construction API. See the
+/// [module docs](self).
+pub struct EngineBuilder;
+
+impl EngineBuilder {
+    /// Build a [`ShardedEngine`]: one logical stream, `shards` worker
+    /// threads, merge-on-query.
+    pub fn sharded(shards: usize) -> ShardedEngineBuilder {
+        ShardedEngineBuilder {
+            config: EngineConfig::new(shards),
+            ckpt: None,
+            metrics: None,
+        }
+    }
+
+    /// Build a [`KeyedEngine`]: independent `(tenant, key)` streams
+    /// hash-routed over `shards` worker-owned registries.
+    pub fn keyed(shards: usize) -> KeyedEngineBuilder {
+        KeyedEngineBuilder {
+            config: KeyedEngineConfig::new(shards),
+            metrics: None,
+        }
+    }
+}
+
+/// Builder state for a [`ShardedEngine`]; make one with
+/// [`EngineBuilder::sharded`].
+pub struct ShardedEngineBuilder {
+    config: EngineConfig,
+    ckpt: Option<CheckpointConfig>,
+    metrics: Option<(MetricsRegistry, String)>,
+}
+
+impl ShardedEngineBuilder {
+    /// Wrap an already-assembled [`EngineConfig`] (for callers that
+    /// build configs programmatically, e.g. from CLI flags).
+    pub fn from_config(config: EngineConfig) -> Self {
+        Self {
+            config,
+            ckpt: None,
+            metrics: None,
+        }
+    }
+
+    /// Values per routed batch (min 1; default
+    /// [`DEFAULT_BATCH_SIZE`](crate::engine::DEFAULT_BATCH_SIZE)).
+    #[must_use]
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Per-shard handoff-ring capacity in batches (min 1, rounded up to
+    /// a power of two; default
+    /// [`DEFAULT_QUEUE_CAPACITY`](crate::engine::DEFAULT_QUEUE_CAPACITY)).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Values a shard worker inserts between two wait-free snapshot
+    /// publications (min 1; default
+    /// [`DEFAULT_EPOCH_INTERVAL`](crate::concurrent::DEFAULT_EPOCH_INTERVAL)).
+    /// Smaller = fresher [`query`](ShardedEngine::query) views, more
+    /// serialization work per shard; see OPERATIONS.md.
+    #[must_use]
+    pub fn epoch_interval(mut self, values: u64) -> Self {
+        self.config.epoch_interval = values.max(1);
+        self
+    }
+
+    /// Kill `shard`'s worker after `after_batches` processed batches
+    /// (deterministic crash for recovery tests).
+    #[must_use]
+    pub fn fault_injection(mut self, shard: usize, after_batches: u64) -> Self {
+        self.config.fault = Some(FaultInjection {
+            shard,
+            after_batches,
+        });
+        self
+    }
+
+    /// Enable periodic per-shard checkpoints in `ckpt.dir` (and make
+    /// [`recover`](Self::recover) available).
+    #[must_use]
+    pub fn checkpoints(mut self, ckpt: CheckpointConfig) -> Self {
+        self.ckpt = Some(ckpt);
+        self
+    }
+
+    /// Register engine metrics under `prefix` in `registry` (see
+    /// [`EngineMetrics`] for the metric names). The registry handle is
+    /// cheap to clone; the builder keeps its own.
+    #[must_use]
+    pub fn metrics(mut self, registry: &MetricsRegistry, prefix: &str) -> Self {
+        self.metrics = Some((registry.clone(), prefix.to_string()));
+        self
+    }
+
+    fn resolve_metrics(&self) -> Option<EngineMetrics> {
+        self.metrics
+            .as_ref()
+            .map(|(registry, prefix)| EngineMetrics::register(registry, prefix, self.config.shards))
+    }
+
+    /// Spawn the engine. `factory` mints one sketch per shard, called in
+    /// shard order — seed per-shard randomness from a captured counter
+    /// if the sketch needs it.
+    pub fn spawn<S>(self, factory: impl FnMut() -> S) -> Result<ShardedEngine<S>, EngineError>
+    where
+        S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+    {
+        let metrics = self.resolve_metrics();
+        ShardedEngine::build(self.config, factory, metrics, self.ckpt, false)
+    }
+
+    /// Rebuild the engine from the checkpoints in the directory given to
+    /// [`checkpoints`](Self::checkpoints), then let the caller replay
+    /// the input stream from the start (the engine skips everything each
+    /// shard already holds — see
+    /// [`ShardedEngine::recover`](crate::engine::ShardedEngine) docs for
+    /// the bit-identical replay contract). Fails with
+    /// [`EngineError::CheckpointingDisabled`] when no checkpoint config
+    /// was set.
+    pub fn recover<S>(self, factory: impl FnMut() -> S) -> Result<ShardedEngine<S>, EngineError>
+    where
+        S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+    {
+        let metrics = self.resolve_metrics();
+        ShardedEngine::build(self.config, factory, metrics, self.ckpt, true)
+    }
+}
+
+/// Builder state for a [`KeyedEngine`]; make one with
+/// [`EngineBuilder::keyed`].
+pub struct KeyedEngineBuilder {
+    config: KeyedEngineConfig,
+    metrics: Option<(MetricsRegistry, String)>,
+}
+
+impl KeyedEngineBuilder {
+    /// Wrap an already-assembled [`KeyedEngineConfig`] (the server
+    /// binary's startup path: CLI flags → config → builder).
+    pub fn from_config(config: KeyedEngineConfig) -> Self {
+        Self {
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Per-shard handoff-ring capacity in ingest batches (min 1, rounded
+    /// up to a power of two; default
+    /// [`DEFAULT_KEYED_QUEUE_CAPACITY`](crate::keyed_engine::DEFAULT_KEYED_QUEUE_CAPACITY)).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Values a shard worker inserts between two wait-free snapshot
+    /// publications (min 1; default
+    /// [`DEFAULT_EPOCH_INTERVAL`](crate::concurrent::DEFAULT_EPOCH_INTERVAL)).
+    #[must_use]
+    pub fn epoch_interval(mut self, values: u64) -> Self {
+        self.config.epoch_interval = values.max(1);
+        self
+    }
+
+    /// Set `tenant`'s ingest quota (replacing an earlier entry).
+    #[must_use]
+    pub fn tenant_quota(mut self, tenant: &str, quota: TenantQuota) -> Self {
+        self.config.quotas.retain(|(t, _)| t != tenant);
+        self.config.quotas.push((tenant.to_string(), quota));
+        self
+    }
+
+    /// Apply `quota` to every tenant without an explicit entry.
+    #[must_use]
+    pub fn default_quota(mut self, quota: TenantQuota) -> Self {
+        self.config.default_quota = Some(quota);
+        self
+    }
+
+    /// Enable periodic registry checkpoints in `ckpt.dir` (and make
+    /// [`KeyedEngine::checkpoint_now`] / [`recover`](Self::recover)
+    /// available).
+    #[must_use]
+    pub fn checkpoints(mut self, ckpt: CheckpointConfig) -> Self {
+        self.config.checkpoint = Some(ckpt);
+        self
+    }
+
+    /// Enable per-key hierarchical rollups (see [`RollupOptions`]).
+    #[must_use]
+    pub fn rollup(mut self, rollup: RollupOptions) -> Self {
+        self.config.rollup = Some(rollup);
+        self
+    }
+
+    /// Register keyed-engine metrics under `prefix` in `registry` (see
+    /// [`KeyedEngineMetrics`](crate::metrics::KeyedEngineMetrics)).
+    #[must_use]
+    pub fn metrics(mut self, registry: &MetricsRegistry, prefix: &str) -> Self {
+        self.metrics = Some((registry.clone(), prefix.to_string()));
+        self
+    }
+
+    /// Spawn the engine. `factory` mints one sketch per new
+    /// `(tenant, key)` pair; every call must produce the same initial
+    /// state (the [`SketchFactory`] contract — this is what keeps
+    /// recovery bit-identical). Checkpointing is enabled iff
+    /// [`checkpoints`](Self::checkpoints) was set.
+    pub fn spawn<S, F>(self, factory: F) -> Result<KeyedEngine<S>, KeyedEngineError>
+    where
+        S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        let metrics = self
+            .metrics
+            .as_ref()
+            .map(|(registry, prefix)| (registry, prefix.as_str()));
+        KeyedEngine::build(self.config, factory, metrics, false)
+    }
+
+    /// Rebuild the engine from the registry checkpoints in the directory
+    /// given to [`checkpoints`](Self::checkpoints); state is restored as
+    /// of the last checkpoint (there is no stream to replay). Fails with
+    /// [`KeyedEngineError::CheckpointingDisabled`] when no checkpoint
+    /// config was set.
+    pub fn recover<S, F>(self, factory: F) -> Result<KeyedEngine<S>, KeyedEngineError>
+    where
+        S: MergeableSketch + SketchSerialize + Clone + Send + 'static,
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        let metrics = self
+            .metrics
+            .as_ref()
+            .map(|(registry, prefix)| (registry, prefix.as_str()));
+        KeyedEngine::build(self.config, factory, metrics, true)
+    }
+}

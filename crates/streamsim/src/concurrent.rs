@@ -1,0 +1,981 @@
+//! Lock-free ingest substrate: CAS-claimed buffer handoff and epoch
+//! snapshot publication, in the style of Quancurrent (arXiv:2208.09265).
+//!
+//! The engines in [`crate::engine`] and [`crate::keyed_engine`] run on
+//! two primitives from this module:
+//!
+//! * [`HandoffRing`] — a bounded multi-producer / single-consumer ring
+//!   of pre-filled batches. Producers claim slots with a CAS on the
+//!   tail ticket and publish the payload with one release store; the
+//!   shard worker (the single consumer) drains claimed slots in FIFO
+//!   order. **No mutex is acquired anywhere on the ingest path** —
+//!   backpressure when the ring is full is a spin/yield/nap loop, and
+//!   every retry is counted so saturation is observable, not silent.
+//! * [`EpochCell`] — a single-writer, wait-free-reader publication
+//!   slot. The shard worker periodically serializes its sketch into a
+//!   [`ShardSnapshot`] and publishes it; queries [`load`](EpochCell::load)
+//!   the latest snapshot with three atomic operations and **never block
+//!   ingest** (and ingest never blocks them). Snapshots hold serialized
+//!   bytes, so queries answer zero-copy through
+//!   [`SketchView`] instead of
+//!   cloning live shard state.
+//!
+//! Query results travel as a [`SnapshotHandle`] — the one query surface
+//! shared by `ShardedEngine`, `KeyedEngine`, and the server's
+//! `ServerCore`.
+//!
+//! # Memory-ordering argument
+//!
+//! Every atomic in this module is annotated at its use site; the
+//! summary (mirrored in ARCHITECTURE.md):
+//!
+//! * Ring slot `seq`: `Acquire` loads / `Release` stores form the
+//!   publication edge for the slot payload (Vyukov's bounded-queue
+//!   protocol). A consumer that observes `seq == pos + 1` sees the
+//!   producer's fully written payload; a producer that observes
+//!   `seq == pos + capacity` (after wrap) sees the consumer's take.
+//! * Ring `tail`: claimed with `AcqRel` CAS — the ticket is a pure
+//!   allocation, the payload handoff rides on `seq`.
+//! * Ring `head`: single consumer, so a `Relaxed` store suffices for
+//!   the counter itself; the payload edge is again `seq`.
+//! * `sent_*`/`done_*` counters: `AcqRel`/`Acquire` so that
+//!   `wait_drained` observing `done == sent` happens-after every
+//!   payload insert that `done` accounts for.
+//! * `closed`/`dead` flags: `Release` store / `Acquire` load — the
+//!   consumer must re-poll the ring *after* observing `closed` so the
+//!   flag cannot outrun in-flight slot publications.
+//! * `EpochCell` uses `SeqCst` throughout: reclamation soundness
+//!   depends on a total order between a reader's `active` increment and
+//!   the writer's `active == 0` quiescence check (see the proof on
+//!   [`EpochCell::publish`]). These are per-epoch operations, far off
+//!   the per-value hot path, so the fence cost is irrelevant.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use qsketch_core::flatwire::SketchView;
+use qsketch_core::sketch::{merge_tree, MergeableSketch, SketchError};
+use qsketch_core::SketchSerialize;
+
+/// Default number of inserted values between two epoch snapshot
+/// publications by a shard worker. Each publication serializes the
+/// shard sketch once; at 8192 values the amortised cost is well under a
+/// nanosecond per value for every sketch in the zoo, while queries lag
+/// live state by at most one epoch (plus ring depth).
+pub const DEFAULT_EPOCH_INTERVAL: u64 = 8192;
+
+/// How long the consumer naps when the ring is empty and no close /
+/// publish request is pending. Requests `unpark` the worker, so this
+/// bounds only the idle-poll cadence, not request latency.
+const CONSUMER_PARK: Duration = Duration::from_millis(1);
+
+/// Producer-side backpressure ladder: spin this many times, then yield,
+/// then nap. On the 1-CPU CI container the yield rung is the one doing
+/// the work — a spinning producer would starve the consumer it is
+/// waiting for.
+const PUSH_SPIN_LIMIT: u32 = 64;
+const PUSH_YIELD_LIMIT: u32 = 96;
+const PUSH_NAP: Duration = Duration::from_micros(50);
+
+fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// One ring slot: a sequence ticket plus an uninitialised payload cell.
+/// `seq` is the slot's state machine (Vyukov): `pos` = free for the
+/// producer holding ticket `pos`, `pos + 1` = full, awaiting the
+/// consumer, `pos + capacity` = consumed, free for the next lap.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Outcome of a blocking [`HandoffRing::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushReport {
+    /// Nanoseconds spent in the backpressure ladder (0 = immediate).
+    pub waited_ns: u64,
+    /// Failed claim attempts before the slot CAS succeeded.
+    pub retries: u64,
+    /// Approximate ring depth (batches) right after the push.
+    pub depth: usize,
+    /// The ring was dead and the batch was dropped (recovery replays it).
+    pub dropped: bool,
+}
+
+/// Consumer-side outcome of one [`HandoffRing::pop_wait`] round.
+pub enum PopState<T> {
+    /// A batch, plus the approximate depth after the pop.
+    Item(T, usize),
+    /// The ring was empty for one park interval (or the worker was
+    /// unparked by a request); service pending requests and re-poll.
+    Idle,
+    /// The ring is closed and fully drained; the worker should exit.
+    Closed,
+}
+
+/// A bounded MPSC ring: producers claim slots by CAS on a tail ticket,
+/// hand off pre-filled batches, and never touch a mutex. The single
+/// consumer (the shard worker) drains in ticket order, so per-shard
+/// batch order is FIFO — the property the deterministic-replay
+/// contract and the recovery skip logic stand on.
+///
+/// `try_push` / `try_pop` are exposed so interleaving tests can drive
+/// the protocol step by step. **`try_pop`/`pop_wait` must only ever be
+/// called from one thread at a time** (the consumer); the producer side
+/// is safe from any number of threads.
+pub struct HandoffRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Capacity as requested by the caller. The slot array is at least
+    /// two entries even for a capacity-1 ring, because Vyukov's `seq`
+    /// state machine cannot distinguish "full" from "free for the next
+    /// lap" when the lap length is 1; the logical bound is enforced by
+    /// an explicit `tail - head` check instead.
+    logical_cap: usize,
+    /// Next producer ticket.
+    tail: AtomicUsize,
+    /// Next consumer ticket (single consumer).
+    head: AtomicUsize,
+    closed: AtomicBool,
+    /// Fault injection: the worker died. Pushes drop their batch
+    /// instead of blocking and `wait_drained` stops waiting — a dead
+    /// shard must never deadlock the producer.
+    dead: AtomicBool,
+    sent_batches: AtomicU64,
+    sent_values: AtomicU64,
+    done_batches: AtomicU64,
+    done_values: AtomicU64,
+    /// Dekker flag for the consumer's park: set before the final empty
+    /// re-check, cleared on wake. Producers `unpark` only when they see
+    /// it, so the steady-state push cost is one relaxed-ish load.
+    consumer_parked: AtomicBool,
+    /// The consumer registers its `Thread` handle on first `pop_wait`.
+    consumer: OnceLock<std::thread::Thread>,
+}
+
+// SAFETY: the ring moves `T` values across threads by value (producer
+// writes the payload cell, exactly one consumer reads it, guarded by
+// the `seq` protocol), which is exactly the `T: Send` contract. No `&T`
+// is ever shared.
+unsafe impl<T: Send> Send for HandoffRing<T> {}
+unsafe impl<T: Send> Sync for HandoffRing<T> {}
+
+impl<T> HandoffRing<T> {
+    /// A ring holding up to `capacity` batches (min 1; the backing slot
+    /// array is the next power of two, min 2).
+    pub fn new(capacity: usize) -> Self {
+        let logical_cap = capacity.max(1);
+        let cap = next_power_of_two(logical_cap).max(2);
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: cap - 1,
+            logical_cap,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            sent_batches: AtomicU64::new(0),
+            sent_values: AtomicU64::new(0),
+            done_batches: AtomicU64::new(0),
+            done_values: AtomicU64::new(0),
+            consumer_parked: AtomicBool::new(false),
+            consumer: OnceLock::new(),
+        }
+    }
+
+    /// Batches the ring admits at once (the caller's capacity).
+    pub fn capacity(&self) -> usize {
+        self.logical_cap
+    }
+
+    /// One claim attempt. `Ok(depth)` on success; `Err(item)` hands the
+    /// batch back when the ring is full. `weight` is the number of
+    /// values the batch carries (for the drain accounting).
+    pub fn try_push(&self, item: T, weight: u64) -> Result<usize, T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            // Logical-capacity gate (see `logical_cap`). `head` only
+            // ever grows, so a stale load can only make the ring look
+            // fuller than it is — a spurious `Err` the blocking `push`
+            // retries, never an overrun.
+            if pos.wrapping_sub(self.head.load(Ordering::Relaxed)) >= self.logical_cap {
+                return Err(item);
+            }
+            let slot = &self.slots[pos & self.mask];
+            // Acquire: pairs with the consumer's Release store of
+            // `pos + capacity` — seeing it means the slot's previous
+            // payload has been fully moved out.
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // Slot free for this ticket: claim it. AcqRel so a won
+                // ticket is ordered with other producers' claims;
+                // failure reloads the current tail.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // `sent` must be visible before the payload is
+                        // consumable, so `done` can never overtake it.
+                        self.sent_batches.fetch_add(1, Ordering::AcqRel);
+                        self.sent_values.fetch_add(weight, Ordering::AcqRel);
+                        // SAFETY: the CAS above made this producer the
+                        // unique owner of slot `pos` until the seq
+                        // store below publishes it.
+                        unsafe { (*slot.value.get()).write(item) };
+                        // Release: publishes the payload write to the
+                        // consumer's Acquire load of `seq`.
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        let depth = pos
+                            .wrapping_add(1)
+                            .wrapping_sub(self.head.load(Ordering::Relaxed));
+                        return Ok(depth.min(self.capacity()));
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // The slot still holds a payload from `capacity`
+                // tickets ago: the ring is full.
+                return Err(item);
+            } else {
+                // Another producer claimed this ticket; chase the tail.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Push with blocking backpressure: spin, then yield, then nap until
+    /// a slot frees up. Returns how long and how often it waited — a
+    /// full ring is a *signal* (recorded in `handoff_retries` /
+    /// `backpressure_wait_ns`), not an error. A push to a dead ring
+    /// drops the batch (`dropped: true`); the lost values are exactly
+    /// what recovery replays.
+    pub fn push(&self, item: T, weight: u64) -> PushReport {
+        let mut item = item;
+        let mut retries = 0u64;
+        let mut waited_ns = 0u64;
+        let mut rung = 0u32;
+        loop {
+            // Acquire: pairs with `mark_dead`'s Release so the drop
+            // decision happens-after the worker's last insert.
+            if self.dead.load(Ordering::Acquire) {
+                return PushReport {
+                    waited_ns,
+                    retries,
+                    depth: 0,
+                    dropped: true,
+                };
+            }
+            match self.try_push(item, weight) {
+                Ok(depth) => {
+                    self.wake_consumer();
+                    return PushReport {
+                        waited_ns,
+                        retries,
+                        depth,
+                        dropped: false,
+                    };
+                }
+                Err(back) => {
+                    item = back;
+                    retries += 1;
+                    let start = Instant::now();
+                    if rung < PUSH_SPIN_LIMIT {
+                        rung += 1;
+                        std::hint::spin_loop();
+                    } else if rung < PUSH_YIELD_LIMIT {
+                        rung += 1;
+                        std::thread::yield_now();
+                    } else {
+                        // Nobody unparks producers; the timeout bounds
+                        // the nap. 50µs keeps worst-case added latency
+                        // far below one batch's processing time.
+                        std::thread::park_timeout(PUSH_NAP);
+                    }
+                    waited_ns += start.elapsed().as_nanos() as u64;
+                }
+            }
+        }
+    }
+
+    /// One consumer-side take attempt (single consumer only). Returns
+    /// the batch and the approximate post-pop depth.
+    pub fn try_pop(&self) -> Option<(T, usize)> {
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        // Acquire: pairs with the producer's Release publication of the
+        // payload.
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq as isize - pos.wrapping_add(1) as isize != 0 {
+            return None;
+        }
+        // Single consumer: no contention on head, Relaxed suffices (the
+        // payload edge is `seq`).
+        self.head.store(pos.wrapping_add(1), Ordering::Relaxed);
+        // SAFETY: observing seq == pos + 1 (Acquire) means the producer
+        // fully wrote this payload and will not touch the slot again
+        // until we free it via the seq store below.
+        let item = unsafe { (*slot.value.get()).assume_init_read() };
+        // Release: frees the slot for the producer `capacity` tickets
+        // later; pairs with try_push's Acquire load.
+        slot.seq
+            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+        let depth = self
+            .tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(pos.wrapping_add(1));
+        Some((item, depth.min(self.capacity())))
+    }
+
+    /// Consumer-side wait loop: take a batch, report a drained+closed
+    /// ring, or park briefly and return [`PopState::Idle`] so the
+    /// worker can service publish/checkpoint requests.
+    pub fn pop_wait(&self) -> PopState<T> {
+        let _ = self.consumer.set(std::thread::current());
+        if let Some((item, depth)) = self.try_pop() {
+            return PopState::Item(item, depth);
+        }
+        // Dekker handshake with `wake_consumer`: publish the parked
+        // flag, then re-check the ring. SeqCst on both sides means
+        // either we see the producer's slot publication here, or the
+        // producer sees our flag and unparks us.
+        self.consumer_parked.store(true, Ordering::SeqCst);
+        if let Some((item, depth)) = self.try_pop() {
+            self.consumer_parked.store(false, Ordering::SeqCst);
+            return PopState::Item(item, depth);
+        }
+        // Acquire pairs with `close`'s Release; the re-poll above
+        // already covered batches published before the close.
+        if self.closed.load(Ordering::Acquire) {
+            self.consumer_parked.store(false, Ordering::SeqCst);
+            return match self.try_pop() {
+                Some((item, depth)) => PopState::Item(item, depth),
+                None => PopState::Closed,
+            };
+        }
+        std::thread::park_timeout(CONSUMER_PARK);
+        self.consumer_parked.store(false, Ordering::SeqCst);
+        PopState::Idle
+    }
+
+    fn wake_consumer(&self) {
+        // SeqCst: see the handshake note in `pop_wait`.
+        if self.consumer_parked.load(Ordering::SeqCst) {
+            if let Some(t) = self.consumer.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Worker-side acknowledgement that one popped batch (of `weight`
+    /// values) is fully inserted into the shard sketch.
+    pub fn mark_done(&self, weight: u64) {
+        // AcqRel: `wait_drained`'s Acquire load of `done` must
+        // happen-after the sketch inserts this done accounts for.
+        self.done_values.fetch_add(weight, Ordering::AcqRel);
+        self.done_batches.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Batches handed off so far.
+    pub fn sent_batches(&self) -> u64 {
+        self.sent_batches.load(Ordering::Acquire)
+    }
+
+    /// Values handed off so far.
+    pub fn sent_values(&self) -> u64 {
+        self.sent_values.load(Ordering::Acquire)
+    }
+
+    /// Values fully processed by the consumer so far.
+    pub fn done_values(&self) -> u64 {
+        self.done_values.load(Ordering::Acquire)
+    }
+
+    /// Block until every handed-off batch has been fully processed, or
+    /// the worker died (a dead shard will never make more progress).
+    pub fn wait_drained(&self) {
+        loop {
+            if self.dead.load(Ordering::Acquire) {
+                return;
+            }
+            if self.done_batches.load(Ordering::Acquire)
+                >= self.sent_batches.load(Ordering::Acquire)
+            {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Close the ring: the consumer drains what is buffered and exits.
+    pub fn close(&self) {
+        // Release pairs with pop_wait's Acquire: a consumer that sees
+        // the flag has already re-polled everything pushed before it.
+        self.closed.store(true, Ordering::Release);
+        if let Some(t) = self.consumer.get() {
+            t.unpark();
+        }
+    }
+
+    /// Worker-side: declare this shard dead (fault injection). Unblocks
+    /// producers (their pushes become drops) and `wait_drained`.
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Whether the worker died.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for HandoffRing<T> {
+    fn drop(&mut self) {
+        // Drop any published-but-unconsumed payloads. `&mut self` means
+        // no producer or consumer is live, so plain loads are exact.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut pos = head;
+        while pos != tail {
+            let slot = &mut self.slots[pos & self.mask];
+            if *slot.seq.get_mut() == pos.wrapping_add(1) {
+                // SAFETY: seq == pos + 1 marks a fully written,
+                // never-consumed payload.
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+            pos = pos.wrapping_add(1);
+        }
+    }
+}
+
+/// A single-writer publication cell with wait-free readers, used to
+/// hand epoch snapshots from a shard worker to query threads.
+///
+/// [`load`](Self::load) is three atomic operations and never blocks the
+/// writer; [`publish`](Self::publish) swaps in a new `Arc` and reclaims
+/// superseded values only at an observed quiescent point. The retired
+/// list sits behind a mutex, but that mutex is **writer-only** (one
+/// shard worker per cell, touched once per epoch) — no reader and no
+/// ingest producer ever takes it.
+pub struct EpochCell<T> {
+    /// Raw pointer from `Arc::into_raw`; the cell owns one strong count
+    /// of whatever it currently points at.
+    current: AtomicPtr<T>,
+    /// Readers inside the load critical section (between the counter
+    /// increment and the refcount acquisition).
+    active: AtomicUsize,
+    epoch: AtomicU64,
+    /// Superseded pointers not yet proven unreachable. Writer-only.
+    retired: Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: the cell shares `Arc<T>` values across threads; that is
+// sound exactly when `Arc<T>: Send + Sync`, i.e. `T: Send + Sync`.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    /// A cell born holding `initial` at epoch 0, so readers always find
+    /// a value (a freshly spawned shard publishes its starting state —
+    /// empty or recovered — before the first batch arrives).
+    pub fn new(initial: Arc<T>) -> Self {
+        Self {
+            current: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+            active: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Wait-free snapshot read: returns the most recently published
+    /// value. Never blocks `publish` and is never blocked by it.
+    pub fn load(&self) -> Arc<T> {
+        // SeqCst on active/current: establishes the total order the
+        // reclamation proof in `publish` relies on.
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: `ptr` came from Arc::into_raw. Its strong count
+        // cannot reach zero while we sit between the fetch_add above
+        // and the fetch_sub below: the writer only drops a retired
+        // pointer's count after observing `active == 0`, and ours is
+        // non-zero for this whole window (see `publish`). So bumping
+        // the count and re-materialising the Arc is sound.
+        let arc = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        arc
+    }
+
+    /// Publish `next`, retiring the previous value; returns the new
+    /// epoch number. Single writer per cell by contract (the shard
+    /// worker); concurrent calls are safe but the epoch/value pairing
+    /// becomes unspecified.
+    ///
+    /// Reclamation soundness: superseded pointers are freed only when
+    /// the writer observes `active == 0` *after* retiring them. In the
+    /// SeqCst total order, a zero read of `active` means every reader
+    /// increment before it has a matching decrement before it — so
+    /// every reader still inside `load`'s unsafe window started *after*
+    /// the zero read, and such a reader's `current.load` is ordered
+    /// after this publish's `swap` and returns the new pointer, never a
+    /// retired one. Readers that grabbed an old pointer before the
+    /// quiescent point already hold their own strong count; dropping
+    /// the cell's count cannot free their value.
+    pub fn publish(&self, next: Arc<T>) -> u64 {
+        let fresh = Arc::into_raw(next) as *mut T;
+        let old = self.current.swap(fresh, Ordering::SeqCst);
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut retired = self.retired.lock().expect("epoch retire list poisoned");
+        retired.push(old);
+        if self.active.load(Ordering::SeqCst) == 0 {
+            for ptr in retired.drain(..) {
+                // SAFETY: quiescent point observed after retirement;
+                // see the proof above.
+                unsafe { drop(Arc::from_raw(ptr)) };
+            }
+        }
+        epoch
+    }
+
+    /// Number of publishes so far (0 = only the initial value).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // &mut self: no readers or writers remain.
+        let current = *self.current.get_mut();
+        // SAFETY: the cell owns one strong count of `current` and of
+        // every retired pointer.
+        unsafe { drop(Arc::from_raw(current)) };
+        for ptr in self.retired.get_mut().expect("epoch retire list poisoned").drain(..) {
+            unsafe { drop(Arc::from_raw(ptr)) };
+        }
+    }
+}
+
+/// Publish request/acknowledgement pair: queries that need
+/// read-your-writes freshness (`drain`, `checkpoint_now`, the
+/// deprecated exact-snapshot shims) bump `req` and wait for the worker
+/// to publish and bump `ack` past their ticket. Pure atomics — the
+/// waiter spins/yields, the worker never blocks.
+#[derive(Default)]
+pub struct EpochRequest {
+    req: AtomicU64,
+    ack: AtomicU64,
+}
+
+impl EpochRequest {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caller side: request a fresh publication; returns the ticket to
+    /// wait on.
+    pub fn request(&self) -> u64 {
+        self.req.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Worker side: the latest outstanding ticket, if any work is due.
+    pub fn pending(&self) -> Option<u64> {
+        let req = self.req.load(Ordering::SeqCst);
+        if req > self.ack.load(Ordering::SeqCst) {
+            Some(req)
+        } else {
+            None
+        }
+    }
+
+    /// Worker side: acknowledge everything up to `ticket` (monotonic).
+    /// Must be called *after* the publication it vouches for.
+    pub fn ack(&self, ticket: u64) {
+        self.ack.fetch_max(ticket, Ordering::SeqCst);
+    }
+
+    /// Caller side: has `ticket` been acknowledged?
+    pub fn acked(&self, ticket: u64) -> bool {
+        self.ack.load(Ordering::SeqCst) >= ticket
+    }
+
+    /// Caller side: wait until `ticket` is acknowledged or `dead`
+    /// reports true (a dead worker will never ack).
+    pub fn wait(&self, ticket: u64, dead: impl Fn() -> bool) {
+        while !self.acked(ticket) {
+            if dead() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One shard's published state at some epoch: the serialized sketch
+/// plus enough metadata to reason about freshness.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Which shard published this.
+    pub shard: usize,
+    /// The publishing shard's epoch counter at publication.
+    pub epoch: u64,
+    /// Values the shard had fully inserted when it published.
+    pub values_done: u64,
+    /// The sketch in wire format ([`SketchSerialize::encode`]) —
+    /// queries answer straight from these bytes via
+    /// [`SketchView`].
+    pub bytes: Vec<u8>,
+}
+
+/// A point-in-time query handle over one or more published
+/// [`ShardSnapshot`]s — the single query surface returned by
+/// `ShardedEngine::query`, `KeyedEngine::query`, and used by the
+/// server.
+///
+/// Single-part handles answer quantile/count/bounds **zero-copy** from
+/// the serialized bytes via [`SketchView`]; multi-part handles decode
+/// and fold through [`merge_tree`] once, then answer from the merged
+/// sketch. Either way the handle is fully detached from the engine:
+/// holding or querying it never blocks ingest, and ingest never
+/// invalidates it.
+pub struct SnapshotHandle<S> {
+    parts: Vec<Arc<ShardSnapshot>>,
+    /// Merged-sketch cache: pre-filled by [`Self::from_sketch`], or
+    /// lazily by the first multi-part quantile query.
+    decoded: Mutex<Option<S>>,
+}
+
+impl<S> std::fmt::Debug for SnapshotHandle<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotHandle")
+            .field("parts", &self.parts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> SnapshotHandle<S> {
+    /// A handle over published shard parts.
+    pub fn from_parts(parts: Vec<Arc<ShardSnapshot>>) -> Self {
+        Self {
+            parts,
+            decoded: Mutex::new(None),
+        }
+    }
+
+    /// The serialized shard parts backing this handle.
+    pub fn parts(&self) -> &[Arc<ShardSnapshot>] {
+        &self.parts
+    }
+
+    /// Highest epoch among the parts (0 for an empty handle).
+    pub fn max_epoch(&self) -> u64 {
+        self.parts.iter().map(|p| p.epoch).max().unwrap_or(0)
+    }
+}
+
+impl<S: MergeableSketch + SketchSerialize> SnapshotHandle<S> {
+    /// A handle over an already-materialised sketch (e.g. the merged
+    /// result of a rollup range query). The sketch is serialized into a
+    /// single part, so the handle answers exactly like a published one.
+    pub fn from_sketch(sketch: S) -> Self {
+        let bytes = sketch.encode();
+        let values_done = sketch.count();
+        Self {
+            parts: vec![Arc::new(ShardSnapshot {
+                shard: 0,
+                epoch: 0,
+                values_done,
+                bytes,
+            })],
+            decoded: Mutex::new(Some(sketch)),
+        }
+    }
+
+    /// Decode and merge every part into one sketch (`None` if the
+    /// handle has no parts). The result is cached, so repeated
+    /// multi-part queries decode once.
+    pub fn merged(&self) -> Result<Option<S>, SketchError>
+    where
+        S: Clone,
+    {
+        let mut cache = self.decoded.lock().expect("snapshot cache poisoned");
+        if let Some(s) = cache.as_ref() {
+            return Ok(Some(s.clone()));
+        }
+        if self.parts.is_empty() {
+            return Ok(None);
+        }
+        let decoded: Result<Vec<S>, _> =
+            self.parts.iter().map(|p| S::decode(&p.bytes)).collect();
+        let merged = merge_tree(decoded?).map_err(SketchError::Merge)?;
+        *cache = merged.clone();
+        Ok(merged)
+    }
+}
+
+impl<S: MergeableSketch + SketchView + Clone> SnapshotHandle<S> {
+    /// Total values across the parts — zero-copy via
+    /// [`SketchView::count_from_bytes`].
+    pub fn count(&self) -> Result<u64, SketchError> {
+        let mut total = 0u64;
+        for p in &self.parts {
+            total += S::count_from_bytes(&p.bytes)?;
+        }
+        Ok(total)
+    }
+
+    /// (min, max) across the parts, `None` while empty — zero-copy via
+    /// [`SketchView::bounds_from_bytes`] (which reports the empty
+    /// sketch's `(+∞, −∞)` sentinel; this method folds it away).
+    pub fn bounds(&self) -> Result<Option<(f64, f64)>, SketchError> {
+        let mut acc: Option<(f64, f64)> = None;
+        for p in &self.parts {
+            let (lo, hi) = S::bounds_from_bytes(&p.bytes)?;
+            if lo <= hi {
+                acc = Some(match acc {
+                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                    None => (lo, hi),
+                });
+            }
+        }
+        Ok(acc)
+    }
+
+    /// The `q`-quantile. Single-part handles answer zero-copy from the
+    /// wire bytes (bit-identical to decode-then-query — the
+    /// [`SketchView`] contract); multi-part handles answer from the
+    /// cached merged sketch.
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        if self.parts.len() == 1 {
+            return S::quantile_from_bytes(&self.parts[0].bytes, q);
+        }
+        match self.merged()? {
+            Some(s) => s.query(q).map_err(SketchError::Query),
+            None => Err(SketchError::Query(qsketch_core::QueryError::Empty)),
+        }
+    }
+
+    /// Many quantiles in one call; the multi-part path pays the
+    /// decode+merge once.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        if self.parts.len() == 1 && qs.len() <= 2 {
+            return qs
+                .iter()
+                .map(|&q| S::quantile_from_bytes(&self.parts[0].bytes, q))
+                .collect();
+        }
+        match self.merged()? {
+            Some(s) => s.query_many(qs).map_err(SketchError::Query),
+            None => Err(SketchError::Query(qsketch_core::QueryError::Empty)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn ring_roundtrips_in_fifo_order() {
+        let ring = HandoffRing::<u64>::new(8);
+        for i in 0..5 {
+            assert!(ring.try_push(i, 1).is_ok());
+        }
+        for i in 0..5 {
+            let (got, _) = ring.try_pop().expect("item");
+            assert_eq!(got, i);
+            ring.mark_done(1);
+        }
+        assert!(ring.try_pop().is_none());
+        assert_eq!(ring.sent_values(), 5);
+        assert_eq!(ring.done_values(), 5);
+    }
+
+    #[test]
+    fn full_ring_hands_the_item_back() {
+        let ring = HandoffRing::<u64>::new(2);
+        assert!(ring.try_push(1, 1).is_ok());
+        assert!(ring.try_push(2, 1).is_ok());
+        assert_eq!(ring.try_push(3, 1), Err(3));
+        let _ = ring.try_pop().unwrap();
+        ring.mark_done(1);
+        assert!(ring.try_push(3, 1).is_ok());
+    }
+
+    #[test]
+    fn capacity_one_ring_still_works() {
+        let ring = HandoffRing::<u64>::new(1);
+        for lap in 0..100u64 {
+            assert!(ring.try_push(lap, 1).is_ok());
+            assert_eq!(ring.try_push(lap, 1), Err(lap));
+            assert_eq!(ring.try_pop().unwrap().0, lap);
+            ring.mark_done(1);
+        }
+    }
+
+    #[test]
+    fn multi_producer_handoff_loses_nothing() {
+        let ring = Arc::new(HandoffRing::<Vec<u64>>::new(4));
+        let producers = 4;
+        let batches = 500;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let r = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for b in 0..batches {
+                    let payload = vec![(p * batches + b) as u64; 3];
+                    let report = r.push(payload, 3);
+                    assert!(!report.dropped);
+                }
+            }));
+        }
+        let consumer = {
+            let r = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match r.pop_wait() {
+                        PopState::Item(batch, _) => {
+                            seen.push(batch[0]);
+                            r.mark_done(batch.len() as u64);
+                        }
+                        PopState::Idle => {}
+                        PopState::Closed => break,
+                    }
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        ring.close();
+        let mut seen = consumer.join().unwrap();
+        assert_eq!(seen.len(), producers * batches);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), producers * batches, "duplicate or lost batch");
+        assert_eq!(ring.sent_values(), (producers * batches * 3) as u64);
+        assert_eq!(ring.done_values(), ring.sent_values());
+    }
+
+    #[test]
+    fn dropped_ring_frees_unconsumed_payloads() {
+        // Box payloads + a drop counter would need a custom type; Arc
+        // strong counts give the same signal for free.
+        let payload = Arc::new(42u64);
+        let ring = HandoffRing::<Arc<u64>>::new(4);
+        for _ in 0..3 {
+            assert!(ring.try_push(Arc::clone(&payload), 1).is_ok());
+        }
+        let popped = ring.try_pop().unwrap().0;
+        drop(ring);
+        // Alive: the original and the popped clone; the two unconsumed
+        // ring slots must have been freed by the ring's Drop.
+        assert_eq!(Arc::strong_count(&payload), 2, "ring leaked payloads");
+        drop(popped);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn epoch_cell_load_sees_latest_publish() {
+        let cell = EpochCell::new(Arc::new(0u64));
+        assert_eq!(*cell.load(), 0);
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(cell.publish(Arc::new(7)), 1);
+        assert_eq!(*cell.load(), 7);
+        assert_eq!(cell.epoch(), 1);
+    }
+
+    #[test]
+    fn epoch_cell_reclaims_retired_values() {
+        static LIVE: TestCounter = TestCounter::new(0);
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let cell = EpochCell::new(Arc::new(Tracked::new()));
+            for _ in 0..100 {
+                cell.publish(Arc::new(Tracked::new()));
+            }
+            // No reader is active, so every superseded value must have
+            // been reclaimed at its publish's quiescence check.
+            assert_eq!(LIVE.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn epoch_cell_readers_race_writer_safely() {
+        let cell = Arc::new(EpochCell::new(Arc::new(vec![0u64; 16])));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let c = Arc::clone(&cell);
+            let s = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !s.load(Ordering::Relaxed) {
+                    let v = c.load();
+                    // Every element equals the epoch that wrote it: a
+                    // torn or freed read would break this.
+                    assert!(v.iter().all(|&x| x == v[0]));
+                    assert!(v[0] >= last, "epoch went backwards");
+                    last = v[0];
+                }
+            }));
+        }
+        for e in 1..=2_000u64 {
+            cell.publish(Arc::new(vec![e; 16]));
+            if e % 256 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.epoch(), 2_000);
+    }
+
+    #[test]
+    fn epoch_request_roundtrip() {
+        let req = EpochRequest::new();
+        assert_eq!(req.pending(), None);
+        let t1 = req.request();
+        let t2 = req.request();
+        assert_eq!((t1, t2), (1, 2));
+        assert_eq!(req.pending(), Some(2));
+        req.ack(2);
+        assert!(req.acked(1) && req.acked(2));
+        assert_eq!(req.pending(), None);
+        req.wait(2, || false); // already acked: returns immediately
+        req.wait(99, || true); // dead worker: must not hang
+    }
+}

@@ -6,47 +6,67 @@
 //! turns the same property into a concurrent sketch that scales
 //! near-linearly with threads by giving each thread local state and
 //! merging on query. [`ShardedEngine`] is that architecture over *any*
-//! [`MergeableSketch`]:
+//! [`MergeableSketch`], rebuilt on the lock-free substrate in
+//! [`crate::concurrent`]:
 //!
 //! ```text
-//!                 ┌────────────── worker 0: SPSC queue ──▶ shard sketch 0 ─┐
-//!  producer ──▶ router (batches of `batch_size` values,   ...             ├─▶ binary merge
-//!                 └────────────── worker N-1 ──────────▶ shard sketch N-1 ─┘   tree (query)
+//!                ┌── worker 0: handoff ring ─▶ shard sketch 0 ─▶ epoch snapshot 0 ─┐
+//! producer ──▶ router (CAS-claims a ring slot  ...                                 ├─▶ SnapshotHandle
+//!                └── worker N-1 ────────────▶ shard sketch N-1 ─▶ snapshot N-1 ────┘   (zero-copy query)
 //! ```
 //!
-//! * The **router** runs on the caller's thread. It packs inserted values
-//!   into batches (default [`DEFAULT_BATCH_SIZE`]) to amortise channel
-//!   overhead, and ships each full batch either to the next shard
-//!   round-robin ([`insert`](ShardedEngine::insert)) or to the key's
-//!   hash-pinned home shard
-//!   ([`insert_keyed`](ShardedEngine::insert_keyed)); both policies live
-//!   in [`crate::routing`].
-//! * Each **shard worker** owns one sketch and drains a bounded SPSC
-//!   channel (a `std`-only mutex+condvar ring with explicit capacity
-//!   accounting — the build environment has no crossbeam).
-//! * **Backpressure** is blocking: when a shard's queue is at capacity
-//!   the producer waits on the queue's condvar, and the wait is recorded
-//!   in the `backpressure_wait_ns` histogram of [`EngineMetrics`] — a
-//!   full queue is a *signal*, not an error.
-//! * **Queries** snapshot every shard (clone behind the shard lock) and
-//!   fold the snapshots through [`qsketch_core::merge_tree`], so readers
-//!   never stop the ingest path for longer than one clone.
+//! * The **router** runs on the caller's thread. It packs inserted
+//!   values into batches (default [`DEFAULT_BATCH_SIZE`]) and ships
+//!   each full batch round-robin ([`insert`](ShardedEngine::insert)) or
+//!   to the key's hash-pinned home shard
+//!   ([`insert_keyed`](ShardedEngine::insert_keyed)); both policies
+//!   live in [`crate::routing`].
+//! * Each **shard worker** *owns* its sketch outright — no lock guards
+//!   it — and drains a [`HandoffRing`] of CAS-claimed batches. **No
+//!   mutex is acquired anywhere on the ingest path.**
+//! * **Backpressure** is a counted spin/yield/nap loop: when a shard's
+//!   ring is full the producer's wait lands in the
+//!   `backpressure_wait_ns` histogram and its failed claim attempts in
+//!   the `handoff_retries` counter of [`EngineMetrics`] — a full ring
+//!   is a *signal*, not an error.
+//! * **Queries are wait-free**: each worker periodically serializes its
+//!   sketch into an [`EpochCell`] (every
+//!   [`epoch_interval`](EngineConfig::epoch_interval) values, after a
+//!   drain, and at shutdown), and [`query`](ShardedEngine::query) just
+//!   loads the latest [`ShardSnapshot`] pointers — three atomic ops per
+//!   shard, never cloning live state, never blocking ingest. The
+//!   returned [`SnapshotHandle`] answers quantile/count/bounds
+//!   zero-copy from the serialized bytes via
+//!   [`SketchView`](qsketch_core::flatwire::SketchView).
+//!
+//! # Determinism contract (per shard)
+//!
+//! Each shard's sketch state is a deterministic, bit-reproducible
+//! function of the batch sequence its ring delivers. `ShardedEngine`
+//! has a single router thread and per-shard FIFO rings, so whole-engine
+//! determinism (and bit-identical recovery replay) follows — the
+//! routing rotation, batch boundaries, and per-shard arrival order are
+//! all reproducible. Multi-producer engines ([`crate::keyed_engine`])
+//! keep only the per-shard contract; see ARCHITECTURE.md.
 //!
 //! # Example
 //!
 //! ```
 //! use qsketch_core::QuantileSketch;
 //! use qsketch_ddsketch::DdSketch;
-//! use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
+//! use qsketch_streamsim::builder::EngineBuilder;
 //!
-//! let mut engine = ShardedEngine::spawn(EngineConfig::new(2), || DdSketch::unbounded(0.01));
+//! let mut engine = EngineBuilder::sharded(2)
+//!     .spawn(|| DdSketch::unbounded(0.01))
+//!     .unwrap();
 //! for i in 1..=10_000 {
 //!     engine.insert(i as f64);
 //! }
-//! // Point-in-time query while ingestion could still be running:
-//! engine.drain(); // here: settle everything so counts are exact
-//! let live = engine.snapshot_merged().unwrap().unwrap();
-//! assert_eq!(live.count(), 10_000);
+//! // Wait-free point-in-time query while ingestion could still be
+//! // running (here: drain first so counts are exact):
+//! engine.drain();
+//! let snap = engine.query();
+//! assert_eq!(snap.count().unwrap(), 10_000);
 //!
 //! // Tear down: join the workers and keep the final merged sketch.
 //! let merged = engine.finish().unwrap();
@@ -54,8 +74,7 @@
 //! assert!((median - 5_000.0).abs() / 10_000.0 <= 0.01);
 //! ```
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -63,26 +82,30 @@ use qsketch_core::codec::{DecodeError, SketchSerialize};
 use qsketch_core::sketch::{merge_tree, MergeError, MergeableSketch, SketchError};
 
 use crate::checkpoint::{self, CheckpointConfig, ShardCheckpoint};
+use crate::concurrent::{
+    EpochCell, EpochRequest, HandoffRing, PopState, ShardSnapshot, SnapshotHandle,
+    DEFAULT_EPOCH_INTERVAL,
+};
 use crate::metrics::EngineMetrics;
 use crate::routing::{shard_for, Router, RoutingPolicy};
 
-/// Default values per batch: large enough that the per-batch channel
-/// rendezvous (one mutex lock) is amortised to well under a nanosecond
+/// Default values per batch: large enough that the per-batch handoff
+/// (one CAS plus two fences) is amortised to well under a nanosecond
 /// per value, small enough that a batch is a few cache lines of payload.
 pub const DEFAULT_BATCH_SIZE: usize = 256;
 
-/// Default bounded-queue capacity per shard, in batches. With the default
-/// batch size this is ≈ 16 K values of slack per shard before the
-/// producer blocks.
+/// Default handoff-ring capacity per shard, in batches. With the
+/// default batch size this is ≈ 16 K values of slack per shard before
+/// the producer backs off.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// Deterministic fault injection: kill one shard worker mid-stream.
 ///
 /// The named worker processes exactly `after_batches` batches, then
-/// marks its queue dead and exits — the crash the checkpoint/recovery
-/// path exists for, made reproducible for tests. A dead shard's queue
+/// marks its ring dead and exits — the crash the checkpoint/recovery
+/// path exists for, made reproducible for tests. A dead shard's ring
 /// drops further batches instead of blocking the producer; the lost
-/// values are exactly what [`ShardedEngine::recover`] replays.
+/// values are exactly what recovery replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultInjection {
     /// Index of the shard whose worker dies.
@@ -91,39 +114,52 @@ pub struct FaultInjection {
     pub after_batches: u64,
 }
 
-/// Configuration for a [`ShardedEngine`].
+/// Configuration for a [`ShardedEngine`]. Construct through
+/// [`EngineBuilder`](crate::builder::EngineBuilder); the `with_*`
+/// methods are deprecated shims kept for one release.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of shard worker threads (and shard sketches).
     pub shards: usize,
     /// Values per routed batch.
     pub batch_size: usize,
-    /// Bounded capacity of each shard's queue, in batches; the producer
-    /// blocks (backpressure) when the next shard's queue is full.
+    /// Bounded capacity of each shard's handoff ring, in batches
+    /// (rounded up to a power of two); the producer backs off when the
+    /// destination ring is full.
     pub queue_capacity: usize,
+    /// Values a shard worker inserts between two epoch snapshot
+    /// publications (wait-free queries lag live state by at most this
+    /// plus ring depth).
+    pub epoch_interval: u64,
     /// Kill one shard worker after a set number of batches (tests only).
     pub fault: Option<FaultInjection>,
 }
 
 impl EngineConfig {
-    /// Config with `shards` workers and the default batch size and queue
-    /// capacity.
+    /// Config with `shards` workers and the default batch size, ring
+    /// capacity, and epoch interval.
     pub fn new(shards: usize) -> Self {
         Self {
             shards,
             batch_size: DEFAULT_BATCH_SIZE,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            epoch_interval: DEFAULT_EPOCH_INTERVAL,
             fault: None,
         }
     }
 
     /// Override the number of values per routed batch (min 1).
+    #[deprecated(since = "0.9.0", note = "use EngineBuilder::sharded(..).batch_size(..)")]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
         self
     }
 
-    /// Override the per-shard queue capacity in batches (min 1).
+    /// Override the per-shard ring capacity in batches (min 1).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use EngineBuilder::sharded(..).queue_capacity(..)"
+    )]
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity.max(1);
         self
@@ -131,6 +167,10 @@ impl EngineConfig {
 
     /// Kill `shard`'s worker after it processes `after_batches` batches
     /// (see [`FaultInjection`]).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use EngineBuilder::sharded(..).fault_injection(..)"
+    )]
     pub fn with_fault_injection(mut self, shard: usize, after_batches: u64) -> Self {
         self.fault = Some(FaultInjection {
             shard,
@@ -149,13 +189,16 @@ pub enum EngineError {
     /// Folding the shard snapshots failed (incompatible sketch
     /// parameters; impossible when all shards come from one factory).
     Merge(MergeError),
-    /// A checkpoint file failed to decode during recovery.
+    /// A checkpoint file failed to decode during recovery, or a
+    /// published snapshot failed to answer a query.
     Sketch(SketchError),
     /// A checkpoint file could not be read during recovery.
     Io(String),
     /// A checkpoint was taken under a different topology (shard count /
     /// batch size) than the recovering engine's.
     TopologyMismatch(String),
+    /// Recovery was requested without a checkpoint configuration.
+    CheckpointingDisabled,
 }
 
 impl std::fmt::Display for EngineError {
@@ -166,6 +209,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Sketch(e) => write!(f, "checkpoint decode failed: {e}"),
             EngineError::Io(e) => write!(f, "checkpoint io failed: {e}"),
             EngineError::TopologyMismatch(e) => write!(f, "checkpoint topology mismatch: {e}"),
+            EngineError::CheckpointingDisabled => {
+                write!(f, "recovery requires a checkpoint configuration")
+            }
         }
     }
 }
@@ -190,140 +236,7 @@ impl From<DecodeError> for EngineError {
     }
 }
 
-/// Shared state of one shard's bounded SPSC channel.
-struct QueueState<T> {
-    buf: VecDeque<T>,
-    closed: bool,
-    /// The worker died (fault injection). Pushes are dropped instead of
-    /// blocking, and `wait_drained` stops waiting — a dead shard must
-    /// never deadlock the producer.
-    dead: bool,
-    /// Batches the router has pushed.
-    sent: u64,
-    /// Batches the worker has fully processed (popped *and* inserted).
-    done: u64,
-}
-
-/// A bounded SPSC channel: mutex+condvar ring with explicit capacity
-/// accounting. `push` blocks when full (that blocking *is* the engine's
-/// backpressure); `pop` blocks when empty; `wait_drained` blocks until
-/// every pushed batch has been fully processed.
-pub(crate) struct BoundedQueue<T> {
-    state: Mutex<QueueState<T>>,
-    /// Signalled by the worker when it pops (space freed).
-    not_full: Condvar,
-    /// Signalled by the router on push and on close.
-    not_empty: Condvar,
-    /// Signalled by the worker when a batch finishes processing.
-    progress: Condvar,
-    capacity: usize,
-}
-
-impl<T> BoundedQueue<T> {
-    pub(crate) fn new(capacity: usize) -> Self {
-        Self {
-            state: Mutex::new(QueueState {
-                buf: VecDeque::with_capacity(capacity),
-                closed: false,
-                dead: false,
-                sent: 0,
-                done: 0,
-            }),
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
-            progress: Condvar::new(),
-            capacity,
-        }
-    }
-
-    /// Push a batch, blocking while the queue is at capacity. Returns the
-    /// nanoseconds spent blocked (0 for an immediate push) and the queue
-    /// depth after the push. A push to a dead queue drops the batch
-    /// immediately (the values are lost until recovery replays them).
-    pub(crate) fn push(&self, item: T) -> (u64, usize) {
-        let mut state = self.state.lock().expect("queue poisoned");
-        let mut waited_ns = 0u64;
-        while state.buf.len() >= self.capacity && !state.dead {
-            let start = Instant::now();
-            state = self.not_full.wait(state).expect("queue poisoned");
-            waited_ns += start.elapsed().as_nanos() as u64;
-        }
-        if state.dead {
-            return (waited_ns, state.buf.len());
-        }
-        state.buf.push_back(item);
-        state.sent += 1;
-        let depth = state.buf.len();
-        drop(state);
-        self.not_empty.notify_one();
-        (waited_ns, depth)
-    }
-
-    /// Pop the next batch, blocking while empty. `None` once the queue is
-    /// closed and fully drained. Also returns the post-pop depth.
-    pub(crate) fn pop(&self) -> Option<(T, usize)> {
-        let mut state = self.state.lock().expect("queue poisoned");
-        loop {
-            if let Some(item) = state.buf.pop_front() {
-                let depth = state.buf.len();
-                drop(state);
-                self.not_full.notify_one();
-                return Some((item, depth));
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.not_empty.wait(state).expect("queue poisoned");
-        }
-    }
-
-    /// Worker-side acknowledgement that one popped batch is fully
-    /// inserted into the shard sketch.
-    pub(crate) fn mark_done(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
-        state.done += 1;
-        drop(state);
-        self.progress.notify_all();
-    }
-
-    /// Block until every pushed batch has been processed end-to-end, or
-    /// the worker died (a dead shard will never make more progress).
-    pub(crate) fn wait_drained(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
-        while state.done < state.sent && !state.dead {
-            state = self.progress.wait(state).expect("queue poisoned");
-        }
-    }
-
-    /// Worker-side: declare this shard dead (fault injection). Unblocks
-    /// any waiting producer and `wait_drained` callers.
-    fn mark_dead(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
-        state.dead = true;
-        drop(state);
-        self.not_full.notify_all();
-        self.progress.notify_all();
-    }
-
-    /// Whether the worker died.
-    fn is_dead(&self) -> bool {
-        self.state.lock().expect("queue poisoned").dead
-    }
-
-    /// Close the queue: the worker drains what is buffered and exits.
-    pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
-        state.closed = true;
-        drop(state);
-        self.not_empty.notify_all();
-    }
-}
-
-/// How the engine checkpoints, resolved at spawn time. Holds the encode
-/// hook as a plain `fn` pointer (coerced from
-/// [`SketchSerialize::encode`]) so the worker threads stay free of the
-/// `SketchSerialize` bound — only the checkpoint-enabled constructors
-/// require it.
+/// How the engine checkpoints, resolved at spawn time.
 struct CheckpointPlan<S> {
     config: CheckpointConfig,
     num_shards: usize,
@@ -331,13 +244,17 @@ struct CheckpointPlan<S> {
     encode: fn(&S) -> Vec<u8>,
 }
 
-/// One shard: its channel, its sketch (shared with the worker thread),
-/// the worker's join handle, and the last checkpoint-write error (if
-/// any — checkpointing is best-effort, ingestion never stops for a full
-/// disk).
+/// One shard: its handoff ring, the worker's epoch snapshot cell and
+/// publish-request mailbox, the slot the worker parks its final sketch
+/// in at shutdown, and the last checkpoint-write error (if any —
+/// checkpointing is best-effort, ingestion never stops for a full
+/// disk). The sketch itself lives *inside* the worker thread; nothing
+/// here locks it.
 struct Shard<S> {
-    queue: Arc<BoundedQueue<Vec<f64>>>,
-    sketch: Arc<Mutex<S>>,
+    ring: Arc<HandoffRing<Vec<f64>>>,
+    cell: Arc<EpochCell<ShardSnapshot>>,
+    epoch_req: Arc<EpochRequest>,
+    final_sketch: Arc<Mutex<Option<S>>>,
     worker: Option<JoinHandle<()>>,
     ckpt_error: Arc<Mutex<Option<String>>>,
 }
@@ -351,13 +268,14 @@ struct ShardInit<S> {
 
 /// A multi-threaded sharded ingestion engine over any mergeable sketch.
 ///
-/// See the [module docs](self) for the architecture. The engine is the
-/// single producer: [`insert`](Self::insert) routes values; queries
-/// ([`snapshot_merged`](Self::snapshot_merged)) fold per-shard snapshots
-/// through a binary merge tree; [`finish`](Self::finish) tears the
-/// engine down and returns the final merged sketch. Dropping the engine
-/// without `finish` also joins the workers (after processing everything
-/// already routed, discarding any unflushed partial batch).
+/// See the [module docs](self) for the architecture. Construct through
+/// [`EngineBuilder`](crate::builder::EngineBuilder). The engine is the
+/// single producer: [`insert`](Self::insert) routes values;
+/// [`query`](Self::query) returns a wait-free [`SnapshotHandle`];
+/// [`finish`](Self::finish) tears the engine down and returns the final
+/// merged sketch. Dropping the engine without `finish` also joins the
+/// workers (after processing everything already routed, discarding any
+/// unflushed partial batch).
 pub struct ShardedEngine<S> {
     shards: Vec<Shard<S>>,
     /// Values accepted but not yet shipped as a batch (unkeyed path).
@@ -379,7 +297,7 @@ pub struct ShardedEngine<S> {
     skip: Vec<u64>,
 }
 
-impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
+impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngine<S> {
     /// Spawn `config.shards` worker threads, each owning one sketch from
     /// `factory` (called once per shard, in shard order — seed per-shard
     /// randomness from a captured counter if the sketch needs it).
@@ -387,22 +305,27 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
     /// # Panics
     /// If `config.shards == 0`; use [`try_spawn`](Self::try_spawn) for a
     /// `Result`.
+    #[deprecated(since = "0.9.0", note = "use EngineBuilder::sharded(..).spawn(..)")]
     pub fn spawn(config: EngineConfig, factory: impl FnMut() -> S) -> Self {
-        Self::try_spawn(config, factory).expect("engine needs at least one shard")
+        Self::build(config, factory, None, None, false).expect("engine needs at least one shard")
     }
 
     /// [`spawn`](Self::spawn), returning an error instead of panicking on
     /// a zero-shard config.
+    #[deprecated(since = "0.9.0", note = "use EngineBuilder::sharded(..).spawn(..)")]
     pub fn try_spawn(
         config: EngineConfig,
         factory: impl FnMut() -> S,
     ) -> Result<Self, EngineError> {
-        let inits = Self::fresh_inits(&config, factory)?;
-        Self::spawn_impl(config, inits, None, None)
+        Self::build(config, factory, None, None, false)
     }
 
     /// Spawn with observability: engine metrics registered under `prefix`
     /// in `registry` (see [`EngineMetrics`] for the metric names).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use EngineBuilder::sharded(..).metrics(..).spawn(..)"
+    )]
     pub fn spawn_instrumented(
         config: EngineConfig,
         factory: impl FnMut() -> S,
@@ -410,23 +333,142 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         prefix: &str,
     ) -> Result<Self, EngineError> {
         let metrics = EngineMetrics::register(registry, prefix, config.shards);
-        let inits = Self::fresh_inits(&config, factory)?;
-        Self::spawn_impl(config, inits, Some(metrics), None)
+        Self::build(config, factory, Some(metrics), None, false)
     }
 
-    fn fresh_inits(
-        config: &EngineConfig,
+    /// [`spawn`](Self::spawn) with periodic per-shard checkpointing: each
+    /// worker serialises its sketch every
+    /// [`ckpt.interval_values`](CheckpointConfig::interval_values)
+    /// inserted values and atomically replaces `shard-<i>.ckpt` in
+    /// [`ckpt.dir`](CheckpointConfig::dir) (created if absent).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use EngineBuilder::sharded(..).checkpoints(..).spawn(..)"
+    )]
+    pub fn spawn_with_checkpoints(
+        config: EngineConfig,
+        factory: impl FnMut() -> S,
+        ckpt: CheckpointConfig,
+    ) -> Result<Self, EngineError> {
+        Self::build(config, factory, None, Some(ckpt), false)
+    }
+
+    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
+    /// engine metrics under `prefix` in `registry`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use EngineBuilder::sharded(..).checkpoints(..).metrics(..).spawn(..)"
+    )]
+    pub fn spawn_with_checkpoints_instrumented(
+        config: EngineConfig,
+        factory: impl FnMut() -> S,
+        ckpt: CheckpointConfig,
+        registry: &qsketch_core::metrics::MetricsRegistry,
+        prefix: &str,
+    ) -> Result<Self, EngineError> {
+        let metrics = EngineMetrics::register(registry, prefix, config.shards);
+        Self::build(config, factory, Some(metrics), Some(ckpt), false)
+    }
+
+    /// Rebuild an engine from the checkpoints in
+    /// [`ckpt.dir`](CheckpointConfig::dir), then let the caller **replay
+    /// the input stream from the start**: each shard restored from a
+    /// checkpoint already holds its first `values_done` values, and the
+    /// router skips exactly that many values destined for it, so nothing
+    /// already counted is inserted twice. Shards without a checkpoint
+    /// file start fresh from `factory` (which must produce the same
+    /// sketches — parameters *and* seeds — as the original spawn).
+    ///
+    /// Because the round-robin batching is deterministic and the KLL/REQ
+    /// wire formats carry their compaction-coin state, the recovered
+    /// engine's final state is bit-identical to an uninterrupted run over
+    /// the same input. Checkpointing stays enabled with the same plan.
+    ///
+    /// Fails with [`EngineError::TopologyMismatch`] if a checkpoint was
+    /// taken under a different shard count or batch size, and with
+    /// [`EngineError::Sketch`] if a checkpoint file is corrupt.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use EngineBuilder::sharded(..).checkpoints(..).recover(..)"
+    )]
+    pub fn recover(
+        config: EngineConfig,
+        factory: impl FnMut() -> S,
+        ckpt: CheckpointConfig,
+    ) -> Result<Self, EngineError> {
+        Self::build(config, factory, None, Some(ckpt), true)
+    }
+
+    /// The one real constructor — every public spawn/recover entry
+    /// point (and [`EngineBuilder`](crate::builder::EngineBuilder))
+    /// funnels here.
+    pub(crate) fn build(
+        config: EngineConfig,
         mut factory: impl FnMut() -> S,
-    ) -> Result<Vec<ShardInit<S>>, EngineError> {
+        metrics: Option<EngineMetrics>,
+        ckpt: Option<CheckpointConfig>,
+        recover: bool,
+    ) -> Result<Self, EngineError> {
         if config.shards == 0 {
             return Err(EngineError::NoShards);
         }
-        Ok((0..config.shards)
-            .map(|_| ShardInit {
-                sketch: factory(),
-                values_done: 0,
-            })
-            .collect())
+        let batch_size = config.batch_size.max(1);
+        let inits = if recover {
+            let ckpt = ckpt.as_ref().ok_or(EngineError::CheckpointingDisabled)?;
+            let mut inits = Vec::with_capacity(config.shards);
+            for i in 0..config.shards {
+                let fresh = factory();
+                let init = match checkpoint::read_shard(ckpt, i)
+                    .map_err(|e| EngineError::Io(e.to_string()))?
+                {
+                    Some(decoded) => {
+                        let envelope = decoded?;
+                        if envelope.num_shards != config.shards
+                            || envelope.batch_size != batch_size
+                        {
+                            return Err(EngineError::TopologyMismatch(format!(
+                                "checkpoint for shard {i} was taken with {} shards × batch {}, \
+                                 recovering with {} × {}",
+                                envelope.num_shards,
+                                envelope.batch_size,
+                                config.shards,
+                                batch_size,
+                            )));
+                        }
+                        ShardInit {
+                            sketch: envelope.sketch::<S>()?,
+                            values_done: envelope.values_done,
+                        }
+                    }
+                    None => ShardInit {
+                        sketch: fresh,
+                        values_done: 0,
+                    },
+                };
+                inits.push(init);
+            }
+            inits
+        } else {
+            (0..config.shards)
+                .map(|_| ShardInit {
+                    sketch: factory(),
+                    values_done: 0,
+                })
+                .collect()
+        };
+        let plan = match ckpt {
+            Some(ckpt) => {
+                std::fs::create_dir_all(&ckpt.dir).map_err(|e| EngineError::Io(e.to_string()))?;
+                Some(Arc::new(CheckpointPlan {
+                    num_shards: config.shards,
+                    batch_size,
+                    encode: S::encode,
+                    config: ckpt,
+                }))
+            }
+            None => None,
+        };
+        Self::spawn_impl(config, inits, metrics, plan)
     }
 
     fn spawn_impl(
@@ -435,100 +477,154 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         metrics: Option<EngineMetrics>,
         plan: Option<Arc<CheckpointPlan<S>>>,
     ) -> Result<Self, EngineError> {
-        if config.shards == 0 {
-            return Err(EngineError::NoShards);
-        }
         debug_assert_eq!(inits.len(), config.shards);
         let batch_size = config.batch_size.max(1);
         let capacity = config.queue_capacity.max(1);
+        let epoch_interval = config.epoch_interval.max(1);
         let skip: Vec<u64> = inits.iter().map(|init| init.values_done).collect();
         let shards = inits
             .into_iter()
             .enumerate()
             .map(|(i, init)| {
-                let queue = Arc::new(BoundedQueue::<Vec<f64>>::new(capacity));
-                let sketch = Arc::new(Mutex::new(init.sketch));
+                let ring = Arc::new(HandoffRing::<Vec<f64>>::new(capacity));
+                // Publish the starting state (empty or recovered) before
+                // the worker even runs, so queries always find a value.
+                let cell = Arc::new(EpochCell::new(Arc::new(ShardSnapshot {
+                    shard: i,
+                    epoch: 0,
+                    values_done: init.values_done,
+                    bytes: init.sketch.encode(),
+                })));
+                let epoch_req = Arc::new(EpochRequest::new());
+                let final_sketch = Arc::new(Mutex::new(None));
                 let ckpt_error = Arc::new(Mutex::new(None));
-                let worker_queue = Arc::clone(&queue);
-                let worker_sketch = Arc::clone(&sketch);
-                let worker_error = Arc::clone(&ckpt_error);
-                let worker_metrics = metrics.clone();
-                let worker_plan = plan.clone();
+                let w_ring = Arc::clone(&ring);
+                let w_cell = Arc::clone(&cell);
+                let w_req = Arc::clone(&epoch_req);
+                let w_final = Arc::clone(&final_sketch);
+                let w_error = Arc::clone(&ckpt_error);
+                let w_metrics = metrics.clone();
+                let w_plan = plan.clone();
                 let fault = config.fault.filter(|f| f.shard == i);
                 let start_values = init.values_done;
+                let mut sketch = init.sketch;
                 let worker = std::thread::Builder::new()
                     .name(format!("qsketch-shard-{i}"))
                     .spawn(move || {
                         let mut values_done = start_values;
                         let mut last_ckpt = start_values;
+                        let mut last_pub = start_values;
                         let mut batches_done = 0u64;
-                        while let Some((batch, depth)) = worker_queue.pop() {
-                            // Encode under the sketch lock (a consistent
-                            // cut); write to disk outside it so queries
-                            // never wait on the filesystem.
-                            let mut ckpt_bytes: Option<Vec<u8>> = None;
-                            {
-                                let mut sketch =
-                                    worker_sketch.lock().expect("shard sketch poisoned");
-                                // Bulk kernel: bit-identical to the scalar
-                                // loop, so recovery replay and the engine's
-                                // determinism guarantees are unaffected.
-                                sketch.insert_batch(&batch);
-                                values_done += batch.len() as u64;
-                                if let Some(plan) = &worker_plan {
-                                    if values_done - last_ckpt >= plan.config.interval_values {
-                                        let payload = (plan.encode)(&sketch);
-                                        ckpt_bytes = Some(
-                                            ShardCheckpoint {
+                        let publish = |sketch: &S, values_done: u64| {
+                            let epoch = w_cell.publish(Arc::new(ShardSnapshot {
+                                shard: i,
+                                epoch: w_cell.epoch() + 1,
+                                values_done,
+                                bytes: sketch.encode(),
+                            }));
+                            if let Some(m) = &w_metrics {
+                                m.epochs_published.inc();
+                            }
+                            epoch
+                        };
+                        loop {
+                            // Service publish requests first: `drain`
+                            // waits on an ack, and the ring may stay
+                            // busy for a long time under load.
+                            if let Some(ticket) = w_req.pending() {
+                                publish(&sketch, values_done);
+                                last_pub = values_done;
+                                w_req.ack(ticket);
+                            }
+                            match w_ring.pop_wait() {
+                                PopState::Item(batch, depth) => {
+                                    // Bulk kernel: bit-identical to the
+                                    // scalar loop, so recovery replay and
+                                    // the per-shard determinism contract
+                                    // are unaffected.
+                                    sketch.insert_batch(&batch);
+                                    values_done += batch.len() as u64;
+                                    if let Some(plan) = &w_plan {
+                                        if values_done - last_ckpt >= plan.config.interval_values
+                                        {
+                                            let payload = (plan.encode)(&sketch);
+                                            let bytes = ShardCheckpoint {
                                                 shard: i,
                                                 num_shards: plan.num_shards,
                                                 batch_size: plan.batch_size,
                                                 values_done,
                                                 payload,
                                             }
-                                            .encode(),
-                                        );
-                                        last_ckpt = values_done;
+                                            .encode();
+                                            last_ckpt = values_done;
+                                            let start = Instant::now();
+                                            let result = checkpoint::write_atomic(
+                                                &plan.config.shard_path(i),
+                                                &bytes,
+                                            );
+                                            if let Err(e) = result {
+                                                *w_error
+                                                    .lock()
+                                                    .expect("ckpt error poisoned") =
+                                                    Some(e.to_string());
+                                            } else if let Some(m) = &w_metrics {
+                                                m.checkpoints.inc();
+                                                m.checkpoint_ns
+                                                    .record(start.elapsed().as_nanos() as u64);
+                                                m.checkpoint_bytes.record(bytes.len() as u64);
+                                            }
+                                        }
                                     }
+                                    if let Some(m) = &w_metrics {
+                                        m.shard_events.record_many(i, batch.len() as u64);
+                                        m.queue_depth[i].set(depth as u64);
+                                    }
+                                    batches_done += 1;
+                                    if values_done - last_pub >= epoch_interval {
+                                        publish(&sketch, values_done);
+                                        last_pub = values_done;
+                                    }
+                                    // Die *before* marking the fatal batch
+                                    // done: if the kill lands on the
+                                    // shard's last queued batch, `drain`
+                                    // could otherwise observe done == sent
+                                    // and return before the dead flag is
+                                    // set, making `failed_shards` racy.
+                                    if let Some(f) = fault {
+                                        if batches_done >= f.after_batches {
+                                            // Leave the crash state
+                                            // queryable and inspectable.
+                                            publish(&sketch, values_done);
+                                            *w_final
+                                                .lock()
+                                                .expect("final sketch poisoned") = Some(sketch);
+                                            w_ring.mark_dead();
+                                            w_ring.mark_done(batch.len() as u64);
+                                            return;
+                                        }
+                                    }
+                                    w_ring.mark_done(batch.len() as u64);
                                 }
-                            }
-                            if let (Some(bytes), Some(plan)) = (&ckpt_bytes, &worker_plan) {
-                                let start = Instant::now();
-                                let result =
-                                    checkpoint::write_atomic(&plan.config.shard_path(i), bytes);
-                                if let Err(e) = result {
-                                    *worker_error.lock().expect("ckpt error poisoned") =
-                                        Some(e.to_string());
-                                } else if let Some(m) = &worker_metrics {
-                                    m.checkpoints.inc();
-                                    m.checkpoint_ns.record(start.elapsed().as_nanos() as u64);
-                                    m.checkpoint_bytes.record(bytes.len() as u64);
-                                }
-                            }
-                            if let Some(m) = &worker_metrics {
-                                m.shard_events.record_many(i, batch.len() as u64);
-                                m.queue_depth[i].set(depth as u64);
-                            }
-                            batches_done += 1;
-                            // Die *before* marking the fatal batch done:
-                            // if the kill lands on the shard's last queued
-                            // batch, `drain` could otherwise observe
-                            // done == sent and return before the dead flag
-                            // is set, making `failed_shards` racy.
-                            if let Some(f) = fault {
-                                if batches_done >= f.after_batches {
-                                    worker_queue.mark_dead();
-                                    worker_queue.mark_done();
+                                PopState::Idle => {}
+                                PopState::Closed => {
+                                    if values_done > last_pub || w_cell.epoch() == 0 {
+                                        publish(&sketch, values_done);
+                                    }
+                                    if let Some(ticket) = w_req.pending() {
+                                        w_req.ack(ticket);
+                                    }
+                                    *w_final.lock().expect("final sketch poisoned") = Some(sketch);
                                     return;
                                 }
                             }
-                            worker_queue.mark_done();
                         }
                     })
                     .expect("spawn shard worker");
                 Shard {
-                    queue,
-                    sketch,
+                    ring,
+                    cell,
+                    epoch_req,
+                    final_sketch,
                     worker: Some(worker),
                     ckpt_error,
                 }
@@ -558,8 +654,9 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         self.routed
     }
 
-    /// Route one value. Ships a batch every `batch_size` values; blocks
-    /// only when the receiving shard's queue is full (backpressure).
+    /// Route one value. Ships a batch every `batch_size` values; backs
+    /// off (spin/yield/nap, counted) only when the receiving shard's
+    /// ring is full.
     #[inline]
     pub fn insert(&mut self, value: f64) {
         self.pending.push(value);
@@ -635,13 +732,19 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
             *skip = 0;
         }
         let n = batch.len() as u64;
-        let (waited_ns, depth) = self.shards[shard].queue.push(batch);
+        let report = self.shards[shard].ring.push(batch, n);
+        if report.dropped {
+            return;
+        }
         if let Some(m) = &self.metrics {
             m.events.add(n);
             m.batches.inc();
-            m.queue_depth[shard].set(depth as u64);
-            if waited_ns > 0 {
-                m.backpressure_wait_ns.record(waited_ns);
+            m.queue_depth[shard].set(report.depth as u64);
+            if report.retries > 0 {
+                m.handoff_retries.add(report.retries);
+            }
+            if report.waited_ns > 0 {
+                m.backpressure_wait_ns.record(report.waited_ns);
             }
         }
     }
@@ -652,7 +755,7 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         self.shards
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.queue.is_dead())
+            .filter(|(_, s)| s.ring.is_dead())
             .map(|(i, _)| i)
             .collect()
     }
@@ -667,35 +770,96 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
             .collect()
     }
 
-    /// Flush, then block until every shard has fully processed everything
-    /// routed so far. Afterwards shard counts sum to
-    /// [`events_routed`](Self::events_routed) exactly.
+    /// Flush, block until every shard has fully processed everything
+    /// routed so far, then have every worker publish a fresh epoch
+    /// snapshot. Afterwards [`query`](Self::query) is exact: shard
+    /// counts sum to [`events_routed`](Self::events_routed).
     pub fn drain(&mut self) {
         self.flush();
         for shard in &self.shards {
-            shard.queue.wait_drained();
+            shard.ring.wait_drained();
+        }
+        self.sync_snapshots();
+    }
+
+    /// Ask every live worker to publish its current state and wait for
+    /// the acknowledgements (a dead shard keeps its last snapshot).
+    fn sync_snapshots(&self) {
+        let tickets: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let t = s.epoch_req.request();
+                if let Some(worker) = &s.worker {
+                    worker.thread().unpark();
+                }
+                t
+            })
+            .collect();
+        for (shard, ticket) in self.shards.iter().zip(tickets) {
+            shard.epoch_req.wait(ticket, || shard.ring.is_dead());
         }
     }
 
-    /// Clone every shard sketch behind its lock — a point-in-time view
-    /// that includes everything the workers have inserted (call
-    /// [`drain`](Self::drain) first for an exact-count view).
+    /// Wait-free point-in-time query: load every shard's latest
+    /// published [`ShardSnapshot`] (three atomic ops per shard — no
+    /// clone, no lock, never blocks ingest) and wrap them in a
+    /// [`SnapshotHandle`]. The view lags live state by at most
+    /// [`epoch_interval`](EngineConfig::epoch_interval) values per
+    /// shard plus ring depth; call [`drain`](Self::drain) first for an
+    /// exact view, or use [`query_fresh`](Self::query_fresh).
+    pub fn query(&self) -> SnapshotHandle<S> {
+        let parts: Vec<Arc<ShardSnapshot>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let part = s.cell.load();
+                if let Some(m) = &self.metrics {
+                    let lag = s.ring.sent_values().saturating_sub(part.values_done);
+                    m.epoch_lag_values.record(lag);
+                }
+                part
+            })
+            .collect();
+        SnapshotHandle::from_parts(parts)
+    }
+
+    /// [`query`](Self::query) with read-your-writes freshness: drains
+    /// first (so the handle covers every value inserted before the
+    /// call), then queries.
+    pub fn query_fresh(&mut self) -> SnapshotHandle<S> {
+        self.drain();
+        self.query()
+    }
+
+    /// Materialise every shard's current sketch from its published
+    /// snapshot. Requests a fresh publication first, so the result
+    /// reflects everything the workers have inserted (call
+    /// [`drain`](Self::drain) first for an exact-count view). The
+    /// decode cost is the price of materialisation — prefer
+    /// [`query`](Self::query) for answering quantiles.
     pub fn snapshot_shards(&self) -> Vec<S> {
+        self.sync_snapshots();
         self.shards
             .iter()
-            .map(|s| s.sketch.lock().expect("shard sketch poisoned").clone())
+            .map(|s| {
+                let part = s.cell.load();
+                S::decode(&part.bytes).expect("engine-published snapshot must decode")
+            })
             .collect()
     }
 
     /// Snapshot every shard and fold the snapshots through a binary merge
-    /// tree. `Ok(None)` is impossible in practice (the engine always has
-    /// ≥ 1 shard) but kept for signature symmetry with
-    /// [`qsketch_core::merge_tree`]. Records the fold latency in the
-    /// engine's `merge_ns` histogram when instrumented.
+    /// tree. Records the fold latency in the engine's `merge_ns`
+    /// histogram when instrumented.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use query().merged() (or query() and answer zero-copy from the handle)"
+    )]
     pub fn snapshot_merged(&self) -> Result<Option<S>, EngineError> {
-        let snapshots = self.snapshot_shards();
+        self.sync_snapshots();
         let start = Instant::now();
-        let merged = merge_tree(snapshots)?;
+        let merged = self.query().merged()?;
         if let Some(m) = &self.metrics {
             m.merge_ns.record(start.elapsed().as_nanos() as u64);
         }
@@ -708,10 +872,12 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         let shards = std::mem::take(&mut self.shards);
         shards
             .into_iter()
-            .map(|s| match Arc::try_unwrap(s.sketch) {
-                Ok(m) => m.into_inner().expect("shard sketch poisoned"),
-                // Unreachable after join, but don't panic over it:
-                Err(arc) => arc.lock().expect("shard sketch poisoned").clone(),
+            .map(|s| {
+                s.final_sketch
+                    .lock()
+                    .expect("final sketch poisoned")
+                    .take()
+                    .expect("joined worker always parks its final sketch")
             })
             .collect()
     }
@@ -728,123 +894,17 @@ impl<S: MergeableSketch + Clone + Send + 'static> ShardedEngine<S> {
         merged.ok_or(EngineError::NoShards)
     }
 
-    /// Flush, close every queue, and join the workers (idempotent).
+    /// Flush, close every ring, and join the workers (idempotent).
     fn shutdown(&mut self) {
         self.flush();
         for shard in &self.shards {
-            shard.queue.close();
+            shard.ring.close();
         }
         for shard in &mut self.shards {
             if let Some(worker) = shard.worker.take() {
                 let _ = worker.join();
             }
         }
-    }
-}
-
-impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngine<S> {
-    /// [`spawn`](Self::spawn) with periodic per-shard checkpointing: each
-    /// worker serialises its sketch every
-    /// [`ckpt.interval_values`](CheckpointConfig::interval_values)
-    /// inserted values and atomically replaces `shard-<i>.ckpt` in
-    /// [`ckpt.dir`](CheckpointConfig::dir) (created if absent).
-    /// Checkpoint latency and size land in the `checkpoint_ns` /
-    /// `checkpoint_bytes` histograms when the engine is instrumented.
-    pub fn spawn_with_checkpoints(
-        config: EngineConfig,
-        factory: impl FnMut() -> S,
-        ckpt: CheckpointConfig,
-    ) -> Result<Self, EngineError> {
-        let inits = Self::fresh_inits(&config, factory)?;
-        let plan = Self::make_plan(&config, ckpt)?;
-        Self::spawn_impl(config, inits, None, Some(plan))
-    }
-
-    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
-    /// engine metrics under `prefix` in `registry`.
-    pub fn spawn_with_checkpoints_instrumented(
-        config: EngineConfig,
-        factory: impl FnMut() -> S,
-        ckpt: CheckpointConfig,
-        registry: &qsketch_core::metrics::MetricsRegistry,
-        prefix: &str,
-    ) -> Result<Self, EngineError> {
-        let metrics = EngineMetrics::register(registry, prefix, config.shards);
-        let inits = Self::fresh_inits(&config, factory)?;
-        let plan = Self::make_plan(&config, ckpt)?;
-        Self::spawn_impl(config, inits, Some(metrics), Some(plan))
-    }
-
-    /// Rebuild an engine from the checkpoints in
-    /// [`ckpt.dir`](CheckpointConfig::dir), then let the caller **replay
-    /// the input stream from the start**: each shard restored from a
-    /// checkpoint already holds its first `values_done` values, and the
-    /// router skips exactly that many values destined for it, so nothing
-    /// already counted is inserted twice. Shards without a checkpoint
-    /// file start fresh from `factory` (which must produce the same
-    /// sketches — parameters *and* seeds — as the original spawn).
-    ///
-    /// Because the round-robin batching is deterministic and the KLL/REQ
-    /// wire formats carry their compaction-coin state, the recovered
-    /// engine's final state is bit-identical to an uninterrupted run over
-    /// the same input. Checkpointing stays enabled with the same plan.
-    ///
-    /// Fails with [`EngineError::TopologyMismatch`] if a checkpoint was
-    /// taken under a different shard count or batch size, and with
-    /// [`EngineError::Sketch`] if a checkpoint file is corrupt.
-    pub fn recover(
-        config: EngineConfig,
-        mut factory: impl FnMut() -> S,
-        ckpt: CheckpointConfig,
-    ) -> Result<Self, EngineError> {
-        if config.shards == 0 {
-            return Err(EngineError::NoShards);
-        }
-        let batch_size = config.batch_size.max(1);
-        let mut inits = Vec::with_capacity(config.shards);
-        for i in 0..config.shards {
-            let fresh = factory();
-            let init = match checkpoint::read_shard(&ckpt, i)
-                .map_err(|e| EngineError::Io(e.to_string()))?
-            {
-                Some(decoded) => {
-                    let envelope = decoded?;
-                    if envelope.num_shards != config.shards
-                        || envelope.batch_size != batch_size
-                    {
-                        return Err(EngineError::TopologyMismatch(format!(
-                            "checkpoint for shard {i} was taken with {} shards × batch {}, \
-                             recovering with {} × {}",
-                            envelope.num_shards, envelope.batch_size, config.shards, batch_size,
-                        )));
-                    }
-                    ShardInit {
-                        sketch: envelope.sketch::<S>()?,
-                        values_done: envelope.values_done,
-                    }
-                }
-                None => ShardInit {
-                    sketch: fresh,
-                    values_done: 0,
-                },
-            };
-            inits.push(init);
-        }
-        let plan = Self::make_plan(&config, ckpt)?;
-        Self::spawn_impl(config, inits, None, Some(plan))
-    }
-
-    fn make_plan(
-        config: &EngineConfig,
-        ckpt: CheckpointConfig,
-    ) -> Result<Arc<CheckpointPlan<S>>, EngineError> {
-        std::fs::create_dir_all(&ckpt.dir).map_err(|e| EngineError::Io(e.to_string()))?;
-        Ok(Arc::new(CheckpointPlan {
-            num_shards: config.shards,
-            batch_size: config.batch_size.max(1),
-            encode: S::encode,
-            config: ckpt,
-        }))
     }
 }
 
@@ -856,7 +916,7 @@ impl<S> Drop for ShardedEngine<S> {
         // but everything already shipped is still processed before the
         // workers see the close.
         for shard in &self.shards {
-            shard.queue.close();
+            shard.ring.close();
         }
         for shard in &mut self.shards {
             if let Some(worker) = shard.worker.take() {
@@ -869,6 +929,7 @@ impl<S> Drop for ShardedEngine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::EngineBuilder;
     use qsketch_core::metrics::MetricsRegistry;
     use qsketch_core::QuantileSketch;
     use qsketch_ddsketch::DdSketch;
@@ -876,7 +937,9 @@ mod tests {
     #[test]
     fn engine_matches_single_sketch_count_and_guarantee() {
         let n = 50_000u64;
-        let mut engine = ShardedEngine::spawn(EngineConfig::new(4), || DdSketch::unbounded(0.01));
+        let mut engine = EngineBuilder::sharded(4)
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
         for i in 1..=n {
             engine.insert(i as f64);
         }
@@ -891,15 +954,17 @@ mod tests {
     }
 
     #[test]
-    fn drain_settles_all_queues() {
-        let mut engine = ShardedEngine::spawn(
-            EngineConfig::new(3).with_batch_size(16),
-            || DdSketch::unbounded(0.01),
-        );
+    fn drain_settles_all_rings_and_query_is_exact() {
+        let mut engine = EngineBuilder::sharded(3)
+            .batch_size(16)
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
         for i in 1..=1_000 {
             engine.insert(i as f64);
         }
         engine.drain();
+        let snap = engine.query();
+        assert_eq!(snap.count().unwrap(), 1_000);
         let shards = engine.snapshot_shards();
         let total: u64 = shards.iter().map(|s| s.count()).sum();
         assert_eq!(total, 1_000);
@@ -911,32 +976,61 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_merged_is_point_in_time() {
-        let mut engine = ShardedEngine::spawn(EngineConfig::new(2), || DdSketch::unbounded(0.01));
+    fn snapshot_handle_is_point_in_time_and_never_blocks() {
+        let mut engine = EngineBuilder::sharded(2)
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
         for i in 1..=10_000 {
             engine.insert(i as f64);
         }
         engine.drain();
-        let snap = engine.snapshot_merged().unwrap().unwrap();
-        assert_eq!(snap.count(), 10_000);
-        // Ingestion continues after the snapshot; the snapshot is isolated.
+        let snap = engine.query();
+        assert_eq!(snap.count().unwrap(), 10_000);
+        let (lo, hi) = snap.bounds().unwrap().unwrap();
+        assert_eq!((lo, hi), (1.0, 10_000.0));
+        // Ingestion continues after the snapshot; the handle is isolated.
         for i in 10_001..=20_000 {
             engine.insert(i as f64);
         }
-        assert_eq!(snap.count(), 10_000);
+        assert_eq!(snap.count().unwrap(), 10_000);
+        let merged = snap.merged().unwrap().unwrap();
+        assert_eq!(merged.count(), 10_000);
         assert_eq!(engine.finish().unwrap().count(), 20_000);
+    }
+
+    #[test]
+    fn wait_free_query_lags_at_most_one_epoch() {
+        let mut engine = EngineBuilder::sharded(1)
+            .batch_size(10)
+            .epoch_interval(100)
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
+        for i in 1..=1_000 {
+            engine.insert(i as f64);
+        }
+        // Wait for the ring to settle without requesting a publication:
+        // the wait-free view must still have advanced on its own.
+        engine.flush();
+        for s in &engine.shards {
+            s.ring.wait_drained();
+        }
+        let snap = engine.query();
+        let seen = snap.count().unwrap();
+        assert!(seen >= 900, "wait-free view too stale: {seen}");
+        assert!(snap.max_epoch() >= 9, "epoch {}", snap.max_epoch());
+        // And the fresh path is exact.
+        assert_eq!(engine.query_fresh().count().unwrap(), 1_000);
+        engine.finish().unwrap();
     }
 
     #[test]
     fn instrumented_engine_records_counters_and_depths() {
         let registry = MetricsRegistry::new();
-        let mut engine = ShardedEngine::spawn_instrumented(
-            EngineConfig::new(2).with_batch_size(64),
-            || DdSketch::unbounded(0.01),
-            &registry,
-            "engine",
-        )
-        .unwrap();
+        let mut engine = EngineBuilder::sharded(2)
+            .batch_size(64)
+            .metrics(&registry, "engine")
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
         for i in 1..=1_000 {
             engine.insert(i as f64);
         }
@@ -951,16 +1045,17 @@ mod tests {
         assert_eq!(shard0 + shard1, 1_000);
         assert!(shard0 > 0 && shard1 > 0);
         assert!(snap.gauge("engine.shard.0.queue_depth").is_some());
+        assert!(snap.counter("engine.epochs_published").unwrap() >= 2);
         assert!(snap.histogram("engine.merge_ns").unwrap().count >= 1);
     }
 
     #[test]
     fn keyed_inserts_pin_each_key_to_one_shard() {
         use crate::routing::{hash_pair, shard_for};
-        let mut engine = ShardedEngine::spawn(
-            EngineConfig::new(4).with_batch_size(8),
-            || DdSketch::unbounded(0.01),
-        );
+        let mut engine = EngineBuilder::sharded(4)
+            .batch_size(8)
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
         // Two keys whose hashes land on different shards; values are
         // disjoint ranges so the shard contents identify the key.
         let keys = ["alpha", "beta", "gamma", "delta"];
@@ -985,14 +1080,16 @@ mod tests {
 
     #[test]
     fn zero_shards_is_an_error_not_a_panic() {
-        let result = ShardedEngine::try_spawn(EngineConfig::new(0), DdSketch::paper_configuration);
+        let result = EngineBuilder::sharded(0).spawn(DdSketch::paper_configuration);
         assert_eq!(result.err(), Some(EngineError::NoShards));
         assert!(EngineError::NoShards.to_string().contains("at least one"));
     }
 
     #[test]
     fn drop_without_finish_joins_workers() {
-        let mut engine = ShardedEngine::spawn(EngineConfig::new(2), || DdSketch::unbounded(0.01));
+        let mut engine = EngineBuilder::sharded(2)
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
         for i in 1..=100 {
             engine.insert(i as f64);
         }
@@ -1000,13 +1097,14 @@ mod tests {
     }
 
     #[test]
-    fn tiny_queue_capacity_still_completes() {
+    fn tiny_ring_capacity_still_completes() {
         // Capacity 1 batch of 8 values: constant backpressure, no
         // deadlock, nothing lost.
-        let mut engine = ShardedEngine::spawn(
-            EngineConfig::new(2).with_batch_size(8).with_queue_capacity(1),
-            || DdSketch::unbounded(0.01),
-        );
+        let mut engine = EngineBuilder::sharded(2)
+            .batch_size(8)
+            .queue_capacity(1)
+            .spawn(|| DdSketch::unbounded(0.01))
+            .unwrap();
         for i in 1..=10_000 {
             engine.insert(i as f64);
         }
@@ -1046,16 +1144,13 @@ mod tests {
     fn checkpoints_are_written_at_the_interval() {
         let dir = ckpt_dir("written");
         let registry = MetricsRegistry::new();
-        let config = EngineConfig::new(2).with_batch_size(64);
         let ckpt = CheckpointConfig::new(&dir, 500);
-        let mut engine = ShardedEngine::spawn_with_checkpoints_instrumented(
-            config,
-            kll_factory(),
-            ckpt.clone(),
-            &registry,
-            "engine",
-        )
-        .unwrap();
+        let mut engine = EngineBuilder::sharded(2)
+            .batch_size(64)
+            .checkpoints(ckpt.clone())
+            .metrics(&registry, "engine")
+            .spawn(kll_factory())
+            .unwrap();
         engine.extend(stream(4_000));
         engine.drain();
         // 2_000 values per shard at interval 500: each shard crossed the
@@ -1083,17 +1178,14 @@ mod tests {
     #[test]
     fn fault_injection_kills_one_shard_without_deadlock() {
         let dir = ckpt_dir("fault");
-        let config = EngineConfig::new(2)
-            .with_batch_size(32)
-            .with_fault_injection(1, 3);
-        let mut engine = ShardedEngine::spawn_with_checkpoints(
-            config,
-            kll_factory(),
-            CheckpointConfig::new(&dir, 100),
-        )
-        .unwrap();
+        let mut engine = EngineBuilder::sharded(2)
+            .batch_size(32)
+            .fault_injection(1, 3)
+            .checkpoints(CheckpointConfig::new(&dir, 100))
+            .spawn(kll_factory())
+            .unwrap();
         // Shard 1 dies after 3 batches (96 values); pushes to the dead
-        // queue are dropped, so ingestion and drain must still terminate.
+        // ring are dropped, so ingestion and drain must still terminate.
         engine.extend(stream(10_000));
         engine.drain();
         assert_eq!(engine.failed_shards(), vec![1]);
@@ -1107,30 +1199,35 @@ mod tests {
     #[test]
     fn recovery_after_fault_is_bit_identical_to_uninterrupted_run() {
         let n = 30_000u64;
-        let config = EngineConfig::new(3).with_batch_size(64);
 
         // Reference: uninterrupted run over the same input.
-        let mut reference = ShardedEngine::spawn(config.clone(), kll_factory());
+        let mut reference = EngineBuilder::sharded(3)
+            .batch_size(64)
+            .spawn(kll_factory())
+            .unwrap();
         reference.extend(stream(n));
         let reference = reference.finish().unwrap();
 
         // Crashing run: shard 1 dies mid-stream; its checkpoint survives.
         let dir = ckpt_dir("recover");
         let ckpt = CheckpointConfig::new(&dir, 1_000);
-        let mut crashed = ShardedEngine::spawn_with_checkpoints(
-            config.clone().with_fault_injection(1, 40),
-            kll_factory(),
-            ckpt.clone(),
-        )
-        .unwrap();
+        let mut crashed = EngineBuilder::sharded(3)
+            .batch_size(64)
+            .fault_injection(1, 40)
+            .checkpoints(ckpt.clone())
+            .spawn(kll_factory())
+            .unwrap();
         crashed.extend(stream(n));
         crashed.drain();
         assert_eq!(crashed.failed_shards(), vec![1]);
         drop(crashed);
 
         // Recover with the same config + factory, replay the whole input.
-        let mut recovered =
-            ShardedEngine::recover(config, kll_factory(), ckpt).unwrap();
+        let mut recovered = EngineBuilder::sharded(3)
+            .batch_size(64)
+            .checkpoints(ckpt)
+            .recover(kll_factory())
+            .unwrap();
         recovered.extend(stream(n));
         let recovered = recovered.finish().unwrap();
 
@@ -1150,32 +1247,29 @@ mod tests {
     fn recovery_rejects_topology_mismatch() {
         let dir = ckpt_dir("topology");
         let ckpt = CheckpointConfig::new(&dir, 100);
-        let mut engine = ShardedEngine::spawn_with_checkpoints(
-            EngineConfig::new(2).with_batch_size(64),
-            kll_factory(),
-            ckpt.clone(),
-        )
-        .unwrap();
+        let mut engine = EngineBuilder::sharded(2)
+            .batch_size(64)
+            .checkpoints(ckpt.clone())
+            .spawn(kll_factory())
+            .unwrap();
         engine.extend(stream(2_000));
         engine.drain();
         drop(engine);
         // Different shard count.
-        let err = ShardedEngine::<KllSketch>::recover(
-            EngineConfig::new(3).with_batch_size(64),
-            kll_factory(),
-            ckpt.clone(),
-        )
-        .err()
-        .expect("3-shard recovery must fail");
+        let err = EngineBuilder::sharded(3)
+            .batch_size(64)
+            .checkpoints(ckpt.clone())
+            .recover(kll_factory())
+            .err()
+            .expect("3-shard recovery must fail");
         assert!(matches!(err, EngineError::TopologyMismatch(_)), "{err:?}");
         // Different batch size.
-        let err = ShardedEngine::<KllSketch>::recover(
-            EngineConfig::new(2).with_batch_size(32),
-            kll_factory(),
-            ckpt.clone(),
-        )
-        .err()
-        .expect("batch-32 recovery must fail");
+        let err = EngineBuilder::sharded(2)
+            .batch_size(32)
+            .checkpoints(ckpt.clone())
+            .recover(kll_factory())
+            .err()
+            .expect("batch-32 recovery must fail");
         assert!(matches!(err, EngineError::TopologyMismatch(_)), "{err:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1184,12 +1278,11 @@ mod tests {
     fn recovery_surfaces_corrupt_checkpoints_as_sketch_errors() {
         let dir = ckpt_dir("corrupt");
         let ckpt = CheckpointConfig::new(&dir, 100);
-        let mut engine = ShardedEngine::spawn_with_checkpoints(
-            EngineConfig::new(2).with_batch_size(64),
-            kll_factory(),
-            ckpt.clone(),
-        )
-        .unwrap();
+        let mut engine = EngineBuilder::sharded(2)
+            .batch_size(64)
+            .checkpoints(ckpt.clone())
+            .spawn(kll_factory())
+            .unwrap();
         engine.extend(stream(2_000));
         engine.drain();
         drop(engine);
@@ -1197,13 +1290,12 @@ mod tests {
         let path = ckpt.shard_path(0);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        let err = ShardedEngine::<KllSketch>::recover(
-            EngineConfig::new(2).with_batch_size(64),
-            kll_factory(),
-            ckpt.clone(),
-        )
-        .err()
-        .expect("corrupt checkpoint must fail recovery");
+        let err = EngineBuilder::sharded(2)
+            .batch_size(64)
+            .checkpoints(ckpt.clone())
+            .recover(kll_factory())
+            .err()
+            .expect("corrupt checkpoint must fail recovery");
         assert!(matches!(err, EngineError::Sketch(_)), "{err:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1215,13 +1307,18 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         // No checkpoint files at all: recovery degenerates to a clean
         // spawn and a full replay reproduces a plain run.
-        let config = EngineConfig::new(2).with_batch_size(64);
-        let mut reference = ShardedEngine::spawn(config.clone(), kll_factory());
+        let mut reference = EngineBuilder::sharded(2)
+            .batch_size(64)
+            .spawn(kll_factory())
+            .unwrap();
         reference.extend(stream(5_000));
         let reference = reference.finish().unwrap();
 
-        let mut recovered =
-            ShardedEngine::recover(config, kll_factory(), ckpt).unwrap();
+        let mut recovered = EngineBuilder::sharded(2)
+            .batch_size(64)
+            .checkpoints(ckpt)
+            .recover(kll_factory())
+            .unwrap();
         recovered.extend(stream(5_000));
         let recovered = recovered.finish().unwrap();
         assert_eq!(recovered.count(), 5_000);

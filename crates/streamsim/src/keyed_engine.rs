@@ -1,73 +1,94 @@
 //! Multi-tenant keyed sharded ingestion: the serving-side sibling of
-//! [`crate::engine::ShardedEngine`].
+//! [`crate::engine::ShardedEngine`], reworked onto the lock-free
+//! substrate in [`crate::concurrent`].
 //!
 //! The plain sharded engine summarises **one** stream across N shards
 //! (round-robin, merge-on-query). A quantile *service* faces the
 //! transposed problem: **millions of independent streams** — one per
 //! `(tenant, metric-key)` pair — each of which must stay queryable on
-//! its own. [`KeyedEngine`] restructures the same worker/queue/merge
+//! its own. [`KeyedEngine`] restructures the same worker/ring/merge
 //! machinery around that shape:
 //!
 //! ```text
-//!                 hash(tenant,key) % N            per-shard registry
-//!  producers ──▶ router ──[KeyedBatch]──▶ worker i ──▶ { (tenant,key) → sketch }
-//!  (any thread)     │                                       │
-//!                   └── per-tenant token-bucket quota        └─ snapshot / merge
-//!                       (reject, don't block)                   on query
+//!                 hash(tenant,key) % N        worker-owned registry
+//!  producers ──▶ router ──[KeyedBatch]──▶ ring i ──▶ { (tenant,key) → sketch }
+//!  (any thread)     │     lock-free MPSC      │               │ epoch publish
+//!                   └─ per-tenant GCRA quota  ▼               ▼
+//!                      (one atomic; reject,  EpochCell⟨{key → snapshot bytes}⟩
+//!                      don't block)                │
+//!                                     wait-free [`query`](KeyedEngine::query) /
+//!                                     [`query_prefix`](KeyedEngine::query_prefix)
 //! ```
 //!
 //! * **Hash routing** ([`crate::routing`]): every value of a key lands on
 //!   `shard_for(hash_pair(tenant, key), N)`, so a point query touches
-//!   exactly one shard's registry and cross-key queries merge snapshots
-//!   (mergeability, §2.4 — the property arXiv:2004.08604 leans on for
-//!   UDDSketch's distributed story).
-//! * **Registry per shard** (the `streamsim::keyed` per-key-state idea,
-//!   without windows): a `HashMap<(tenant, key), S>` owned by the shard
-//!   worker, sketches minted lazily from a shared
-//!   [`SketchFactory`] — every key starts from the same initial state,
-//!   which is what keeps recovery bit-identical.
-//! * **Quotas ride the backpressure machinery, inverted.** Queue-full
-//!   backpressure still blocks (a *global* overload must slow everyone),
-//!   but a tenant exceeding its own token-bucket budget is **rejected
-//!   immediately** with a retry hint instead of being allowed to fill
-//!   the shared queues — the noisy neighbor never converts its overload
-//!   into other tenants' latency. Rejections are counted per tenant and
-//!   in the `quota_rejected` metric.
+//!   exactly one shard's published map and cross-key queries merge
+//!   snapshots (mergeability, §2.4 — the property arXiv:2004.08604 leans
+//!   on for UDDSketch's distributed story).
+//! * **Registry per shard, owned by its worker.** The
+//!   `HashMap<(tenant, key), S>` lives on the worker thread's stack —
+//!   no lock is ever taken around an insert. Sketches are minted lazily
+//!   from a shared [`SketchFactory`]: every key starts from the same
+//!   initial state, which is what keeps recovery bit-identical.
+//! * **Queries read published epochs, not live state.** Every
+//!   `epoch_interval` inserted values (and at every
+//!   [`drain`](KeyedEngine::drain)) the worker re-encodes the keys that
+//!   changed and publishes the map of wire payloads through an
+//!   [`EpochCell`]. [`query`](KeyedEngine::query) returns a
+//!   [`SnapshotHandle`] over those bytes: it never blocks ingestion and
+//!   ingestion never blocks it.
+//! * **Quotas are a single atomic per tenant.** Admission control is
+//!   GCRA (the virtual-scheduling form of the token bucket): one `u64`
+//!   *theoretical arrival time* advanced by CAS. The steady-state ingest
+//!   path touches no mutex — explicit-quota tenants resolve through an
+//!   immutable map, default-quota tenants through a copy-on-write map
+//!   warmed up once per tenant. An over-budget batch is **rejected
+//!   immediately** with a retry hint instead of filling the shared
+//!   rings; the noisy neighbor never converts its overload into other
+//!   tenants' latency.
 //! * **Ingestion is multi-producer**: [`ingest`](KeyedEngine::ingest)
 //!   takes `&self`, so one engine behind an `Arc` serves every server
-//!   connection thread concurrently.
+//!   connection thread concurrently; producers contend only on the CAS
+//!   ticket of the home shard's ring.
 //! * **Checkpoints** write each shard's whole registry as one atomic
-//!   [`RegistryCheckpoint`] file. There is no replay contract (a network
-//!   stream cannot be replayed by the caller), so recovery restores
-//!   state *as of the last checkpoint* — the server exposes a
-//!   synchronous checkpoint op for a durable cut.
+//!   [`RegistryCheckpoint`] file, encoded **on the worker thread** (the
+//!   only thread that can see a consistent registry) on a cadence or on
+//!   a [`checkpoint_now`](KeyedEngine::checkpoint_now) request. There is
+//!   no replay contract (a network stream cannot be replayed by the
+//!   caller), so recovery restores state *as of the last checkpoint*.
+//!
+//! # Determinism
+//!
+//! Keys are partitioned — two shards never touch the same sketch — so
+//! the per-shard determinism contract of the concurrent substrate (see
+//! ARCHITECTURE.md) degenerates to a per-key one: each key's sketch is a
+//! deterministic function of the sequence of batches ingested for that
+//! key. Interleaving across keys and shards never affects any answer.
 //!
 //! # Example
 //!
 //! ```
 //! use qsketch_ddsketch::DdSketch;
 //! use qsketch_core::QuantileSketch;
-//! use qsketch_streamsim::keyed_engine::{KeyedEngine, KeyedEngineConfig};
+//! use qsketch_streamsim::EngineBuilder;
 //!
-//! let engine = KeyedEngine::spawn(
-//!     KeyedEngineConfig::new(2),
-//!     || DdSketch::unbounded(0.01),
-//! )
-//! .unwrap();
+//! let engine = EngineBuilder::keyed(2)
+//!     .spawn(|| DdSketch::unbounded(0.01))
+//!     .unwrap();
 //! for i in 1..=1_000 {
 //!     engine.ingest("acme", "checkout.latency", vec![i as f64]).unwrap();
 //!     engine.ingest("acme", "search.latency", vec![(i % 10) as f64 + 1.0]).unwrap();
 //! }
 //! engine.drain();
-//! let p50 = engine.quantile("acme", "checkout.latency", 0.5).unwrap();
+//! let p50 = engine.query("acme", "checkout.latency").unwrap().quantile(0.5).unwrap();
 //! assert!((p50 - 500.0).abs() / 500.0 <= 0.01);
-//! // Cross-key query: merge every "…latency" sketch of the tenant.
-//! let merged = engine.merged_prefix("acme", "").unwrap().unwrap();
+//! // Cross-key query: merge every key of the tenant, lazily.
+//! let merged = engine.query_prefix("acme", "").merged().unwrap().unwrap();
 //! assert_eq!(merged.count(), 2_000);
 //! engine.finish();
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -75,19 +96,21 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use qsketch_core::codec::SketchSerialize;
-use qsketch_core::sketch::{
-    merge_tree, MergeableSketch, SketchError, SketchFactory,
-};
+use qsketch_core::metrics::MetricsRegistry;
+use qsketch_core::sketch::{MergeableSketch, SketchError, SketchFactory};
 
 use crate::checkpoint::{
     read_registry, write_atomic, CheckpointConfig, RegistryCheckpoint, RegistryEntry,
 };
-use crate::engine::BoundedQueue;
+use crate::concurrent::{
+    EpochCell, EpochRequest, HandoffRing, PopState, ShardSnapshot, SnapshotHandle,
+    DEFAULT_EPOCH_INTERVAL,
+};
 use crate::metrics::{KeyedEngineMetrics, RollupMetrics};
 use crate::rollup::{RangeAnswer, RangeQuantiles, RollupConfig, RollupStore, TierSpec};
 use crate::routing::{hash_pair, shard_for};
 
-/// Default bounded-queue capacity per shard, in ingest batches.
+/// Default handoff-ring capacity per shard, in ingest batches.
 pub const DEFAULT_KEYED_QUEUE_CAPACITY: usize = 256;
 
 /// A per-tenant ingest budget: a token bucket refilled at
@@ -118,6 +141,127 @@ impl TenantQuota {
     }
 }
 
+/// A [`TenantQuota`] enforced by GCRA (generic cell rate algorithm), the
+/// virtual-scheduling formulation of the token bucket: the whole bucket
+/// state is one `u64` — the *theoretical arrival time* (TAT) in
+/// nanoseconds since engine start — advanced by CAS. Equivalent to the
+/// classic refill loop (a batch of `n` values advances the TAT by
+/// `n / rate`; it is admitted iff the advanced TAT stays within
+/// `burst / rate` of now) but needs no mutex and no stored float state,
+/// so admission on the ingest hot path is a handful of atomic ops.
+#[derive(Debug)]
+struct GcraBucket {
+    /// Nanoseconds of budget one value costs (`1e9 / events_per_sec`).
+    token_ns: f64,
+    /// How far the TAT may run ahead of now (`burst · token_ns`).
+    burst_ns: f64,
+    /// Largest batch that can ever be admitted at once.
+    burst_values: f64,
+    /// Theoretical arrival time, ns since the engine's start instant.
+    tat: AtomicU64,
+}
+
+impl GcraBucket {
+    fn new(quota: TenantQuota) -> Self {
+        let token_ns = 1e9 / quota.events_per_sec.max(f64::MIN_POSITIVE);
+        let burst = quota.burst.max(1.0);
+        Self {
+            token_ns,
+            burst_ns: burst * token_ns,
+            burst_values: burst,
+            tat: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to admit `n` values at `now_ns`; on rejection return the
+    /// suggested retry delay in milliseconds (0 = the batch exceeds the
+    /// burst capacity outright and can never pass — split it instead).
+    ///
+    /// AcqRel on the CAS orders concurrent admissions of one tenant
+    /// against each other, so the budget can never be double-spent: each
+    /// successful CAS consumes exactly its cost from the single TAT.
+    fn try_take(&self, n: u64, now_ns: u64) -> Result<(), u64> {
+        if n as f64 > self.burst_values {
+            return Err(0);
+        }
+        let cost = ((n as f64) * self.token_ns).ceil() as u64;
+        let limit = now_ns.saturating_add(self.burst_ns as u64);
+        let mut tat = self.tat.load(Ordering::Acquire);
+        loop {
+            let next = tat.max(now_ns).saturating_add(cost);
+            if next > limit {
+                return Err((((next - limit) as f64) / 1e6).ceil().max(1.0) as u64);
+            }
+            match self
+                .tat
+                .compare_exchange_weak(tat, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Ok(()),
+                Err(current) => tat = current,
+            }
+        }
+    }
+}
+
+/// The engine's quota state: explicit per-tenant buckets resolved at
+/// spawn time (immutable, lock-free lookups forever), plus a
+/// copy-on-write map of lazily created buckets for tenants covered by
+/// the default quota. A default-quota tenant's **first** batch takes the
+/// warm-up mutex once to install its bucket; every later batch resolves
+/// through the published map — atomics only after warm-up.
+struct QuotaTable {
+    start: Instant,
+    explicit: HashMap<String, Arc<GcraBucket>>,
+    default_quota: Option<TenantQuota>,
+    dynamic: EpochCell<HashMap<String, Arc<GcraBucket>>>,
+    warmup: Mutex<()>,
+}
+
+impl QuotaTable {
+    fn new(explicit: &[(String, TenantQuota)], default_quota: Option<TenantQuota>) -> Self {
+        Self {
+            start: Instant::now(),
+            explicit: explicit
+                .iter()
+                .map(|(t, q)| (t.clone(), Arc::new(GcraBucket::new(*q))))
+                .collect(),
+            default_quota,
+            dynamic: EpochCell::new(Arc::new(HashMap::new())),
+            warmup: Mutex::new(()),
+        }
+    }
+
+    /// Nanoseconds since the engine started (the GCRA clock).
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The bucket charging `tenant`, `None` when the tenant is
+    /// unlimited. Lock-free except for the one-time warm-up of a
+    /// default-quota tenant.
+    fn bucket_for(&self, tenant: &str) -> Option<Arc<GcraBucket>> {
+        if let Some(bucket) = self.explicit.get(tenant) {
+            return Some(Arc::clone(bucket));
+        }
+        let default = self.default_quota?;
+        if let Some(bucket) = self.dynamic.load().get(tenant) {
+            return Some(Arc::clone(bucket));
+        }
+        let _warmup = self.warmup.lock().expect("quota warm-up poisoned");
+        // Re-check under the lock: another producer may have warmed this
+        // tenant up while we waited.
+        let current = self.dynamic.load();
+        if let Some(bucket) = current.get(tenant) {
+            return Some(Arc::clone(bucket));
+        }
+        let bucket = Arc::new(GcraBucket::new(default));
+        let mut next = (*current).clone();
+        next.insert(tenant.to_string(), Arc::clone(&bucket));
+        self.dynamic.publish(Arc::new(next));
+        Some(bucket)
+    }
+}
+
 /// Per-key hierarchical rollup riding on the keyed workers: every
 /// `window_values` inserted values of a `(tenant, key)` pair close one
 /// fine-tier window of that key's [`RollupStore`], which then cascades,
@@ -133,7 +277,7 @@ impl TenantQuota {
 pub struct RollupOptions {
     /// Values per fine-tier window. A window closes (and is ingested
     /// into the store) only when full; a trailing partial window is
-    /// queryable via [`KeyedEngine::snapshot`] but not via range
+    /// queryable via [`KeyedEngine::query`] but not via range
     /// queries, and is not durable.
     pub window_values: u64,
     /// The tier ladder, finest first, widths in window units (see
@@ -175,8 +319,7 @@ impl RollupOptions {
 
     /// The store config for one key (per-key spill dir resolved).
     fn store_config(&self, tenant: &str, key: &str) -> RollupConfig {
-        let mut config =
-            RollupConfig::new(self.tiers.clone()).with_hot_slots(self.hot_slots);
+        let mut config = RollupConfig::new(self.tiers.clone()).with_hot_slots(self.hot_slots);
         if let Some(root) = &self.spill_root {
             config = config.with_spill_dir(root.join(rollup_dir_name(tenant, key)));
         }
@@ -207,24 +350,27 @@ fn rollup_dir_name(tenant: &str, key: &str) -> String {
     )
 }
 
-/// Configuration for a [`KeyedEngine`].
+/// Configuration for a [`KeyedEngine`]. Prefer building engines through
+/// [`EngineBuilder::keyed`](crate::builder::EngineBuilder::keyed), which
+/// fills this in for you.
 ///
 /// ```
-/// use qsketch_streamsim::keyed_engine::{KeyedEngineConfig, TenantQuota};
+/// use qsketch_streamsim::keyed_engine::KeyedEngineConfig;
 ///
-/// let config = KeyedEngineConfig::new(4)
-///     .with_queue_capacity(128)
-///     .with_tenant_quota("free-tier", TenantQuota::per_sec(10_000.0))
-///     .with_default_quota(TenantQuota::per_sec(1_000_000.0));
+/// let mut config = KeyedEngineConfig::new(4);
+/// config.queue_capacity = 128;
 /// assert_eq!(config.shards, 4);
-/// assert_eq!(config.quotas.len(), 1);
+/// assert!(config.quotas.is_empty());
 /// ```
 #[derive(Debug, Clone)]
 pub struct KeyedEngineConfig {
     /// Number of shard worker threads (and shard registries).
     pub shards: usize,
-    /// Bounded capacity of each shard's queue, in ingest batches.
+    /// Bounded capacity of each shard's handoff ring, in ingest batches
+    /// (rounded up to a power of two).
     pub queue_capacity: usize,
+    /// Values a shard worker inserts between two snapshot publications.
+    pub epoch_interval: u64,
     /// Per-tenant quotas by tenant name.
     pub quotas: Vec<(String, TenantQuota)>,
     /// Quota applied to tenants without an explicit entry (`None` =
@@ -239,12 +385,13 @@ pub struct KeyedEngineConfig {
 }
 
 impl KeyedEngineConfig {
-    /// Config with `shards` workers, default queue capacity, no quotas,
-    /// no checkpointing.
+    /// Config with `shards` workers, default ring capacity and epoch
+    /// cadence, no quotas, no checkpointing.
     pub fn new(shards: usize) -> Self {
         Self {
             shards,
             queue_capacity: DEFAULT_KEYED_QUEUE_CAPACITY,
+            epoch_interval: DEFAULT_EPOCH_INTERVAL,
             quotas: Vec::new(),
             default_quota: None,
             checkpoint: None,
@@ -252,13 +399,15 @@ impl KeyedEngineConfig {
         }
     }
 
-    /// Override the per-shard queue capacity in batches (min 1).
+    /// Override the per-shard ring capacity in batches (min 1).
+    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).queue_capacity(..)`")]
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity.max(1);
         self
     }
 
     /// Set `tenant`'s ingest quota (replacing an earlier entry).
+    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).tenant_quota(..)`")]
     pub fn with_tenant_quota(mut self, tenant: &str, quota: TenantQuota) -> Self {
         self.quotas.retain(|(t, _)| t != tenant);
         self.quotas.push((tenant.to_string(), quota));
@@ -266,6 +415,7 @@ impl KeyedEngineConfig {
     }
 
     /// Apply `quota` to every tenant without an explicit entry.
+    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).default_quota(..)`")]
     pub fn with_default_quota(mut self, quota: TenantQuota) -> Self {
         self.default_quota = Some(quota);
         self
@@ -273,12 +423,14 @@ impl KeyedEngineConfig {
 
     /// Enable periodic registry checkpoints (and recovery) in
     /// `ckpt.dir`, every `ckpt.interval_values` values per shard.
+    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).checkpoints(..)`")]
     pub fn with_checkpoint(mut self, ckpt: CheckpointConfig) -> Self {
         self.checkpoint = Some(ckpt);
         self
     }
 
     /// Enable per-key hierarchical rollups (see [`RollupOptions`]).
+    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).rollup(..)`")]
     pub fn with_rollup(mut self, rollup: RollupOptions) -> Self {
         self.rollup = Some(rollup);
         self
@@ -371,48 +523,17 @@ struct KeyedBatch {
     values: Vec<f64>,
 }
 
-/// A token bucket tracking one tenant's ingest budget.
-#[derive(Debug)]
-struct TokenBucket {
-    quota: TenantQuota,
-    tokens: f64,
-    last_refill: Instant,
-}
-
-impl TokenBucket {
-    fn new(quota: TenantQuota, now: Instant) -> Self {
-        Self {
-            quota,
-            tokens: quota.burst,
-            last_refill: now,
-        }
-    }
-
-    /// Try to pay for `n` values; on failure return the suggested retry
-    /// delay in milliseconds (0 = the batch exceeds the burst capacity
-    /// outright).
-    fn try_take(&mut self, n: f64, now: Instant) -> Result<(), u64> {
-        let dt = now.duration_since(self.last_refill).as_secs_f64();
-        self.last_refill = now;
-        self.tokens = (self.tokens + dt * self.quota.events_per_sec).min(self.quota.burst);
-        if n > self.quota.burst {
-            return Err(0);
-        }
-        if self.tokens >= n {
-            self.tokens -= n;
-            return Ok(());
-        }
-        let missing = n - self.tokens;
-        Err(((missing / self.quota.events_per_sec) * 1_000.0).ceil() as u64)
-    }
-}
-
-/// One shard's keyed registry: `(tenant, key) → sketch`.
+/// One shard's keyed registry: `(tenant, key) → sketch`. Owned by the
+/// shard worker; nothing else ever sees it.
 type KeyedRegistry<S> = HashMap<(String, String), S>;
 
 /// A shard's restore state: its registry plus the values-done counter
 /// as of the checkpoint it was decoded from.
 type ShardInit<S> = (KeyedRegistry<S>, u64);
+
+/// What a shard publishes for queries: every key's latest snapshot
+/// part, re-encoded only when the key changed since the last epoch.
+type KeyMap = HashMap<(String, String), Arc<ShardSnapshot>>;
 
 /// One key's live rollup: the partially filled fine window (`None`
 /// until the worker first feeds it — a query-side lazy recovery has no
@@ -494,13 +615,9 @@ struct KeyedCheckpointPlan<S> {
 }
 
 impl<S> KeyedCheckpointPlan<S> {
-    /// Encode shard `i`'s registry under the caller-held lock.
-    fn encode_registry(
-        &self,
-        i: usize,
-        registry: &KeyedRegistry<S>,
-        values_done: u64,
-    ) -> Vec<u8> {
+    /// Encode shard `i`'s registry (called on the worker thread, the
+    /// only place a consistent registry is visible).
+    fn encode_registry(&self, i: usize, registry: &KeyedRegistry<S>, values_done: u64) -> Vec<u8> {
         let entries = registry
             .iter()
             .map(|((tenant, key), sketch)| RegistryEntry {
@@ -519,18 +636,85 @@ impl<S> KeyedCheckpointPlan<S> {
     }
 }
 
+/// Re-encode every dirty key and publish the shard's new key map. The
+/// parts of untouched keys are shared (`Arc`) with the previous epoch,
+/// so publication cost scales with the write set, not the key count.
+/// No-op (the published map is already current) when nothing is dirty.
+fn publish_keymap<S: SketchSerialize>(
+    shard: usize,
+    cell: &EpochCell<KeyMap>,
+    registry: &KeyedRegistry<S>,
+    published: &mut KeyMap,
+    dirty: &mut HashSet<(String, String)>,
+    values_done: u64,
+    metrics: &Option<KeyedEngineMetrics>,
+) {
+    if dirty.is_empty() {
+        return;
+    }
+    let epoch = cell.epoch() + 1;
+    for id in dirty.drain() {
+        match registry.get(&id) {
+            Some(sketch) => {
+                published.insert(
+                    id,
+                    Arc::new(ShardSnapshot {
+                        shard,
+                        epoch,
+                        values_done,
+                        bytes: sketch.encode(),
+                    }),
+                );
+            }
+            None => {
+                published.remove(&id);
+            }
+        }
+    }
+    cell.publish(Arc::new(published.clone()));
+    if let Some(m) = metrics {
+        m.engine.epochs_published.inc();
+    }
+}
+
+/// Encode and atomically write shard `i`'s registry checkpoint (worker
+/// thread only), recording checkpoint metrics on success.
+fn write_registry_ckpt<S>(
+    i: usize,
+    plan: &KeyedCheckpointPlan<S>,
+    registry: &KeyedRegistry<S>,
+    values_done: u64,
+    metrics: &Option<KeyedEngineMetrics>,
+) -> Result<(), String> {
+    let start = Instant::now();
+    let bytes = plan.encode_registry(i, registry, values_done);
+    write_atomic(&plan.config.registry_path(i), &bytes).map_err(|e| e.to_string())?;
+    if let Some(m) = metrics {
+        m.engine.checkpoints.inc();
+        m.engine
+            .checkpoint_ns
+            .record(start.elapsed().as_nanos() as u64);
+        m.engine.checkpoint_bytes.record(bytes.len() as u64);
+    }
+    Ok(())
+}
+
 /// A shard's per-`(tenant, key)` rollup stores, shared between the
-/// worker (window closes) and the query side (range queries).
+/// worker (window closes) and the query side (range queries). Rollup
+/// state is deliberately outside the wait-free surface — see
+/// ARCHITECTURE.md.
 type SharedRollups<S> = Arc<Mutex<HashMap<(String, String), RollupState<S>>>>;
 
-/// One shard: its queue, its keyed registry (shared with the worker),
-/// its values-done counter, the worker handle, and the last
-/// checkpoint-write error.
+/// One shard: its handoff ring, its published key map, the request
+/// mailboxes its worker services, the rollup stores, the worker handle,
+/// and the last checkpoint-write error.
 struct KeyedShard<S> {
-    queue: Arc<BoundedQueue<KeyedBatch>>,
-    registry: Arc<Mutex<KeyedRegistry<S>>>,
+    ring: Arc<HandoffRing<KeyedBatch>>,
+    cell: Arc<EpochCell<KeyMap>>,
+    epoch_req: Arc<EpochRequest>,
+    ckpt_req: Arc<EpochRequest>,
+    ckpt_result: Arc<Mutex<Option<Result<(), String>>>>,
     rollup: SharedRollups<S>,
-    values_done: Arc<AtomicU64>,
     worker: Option<JoinHandle<()>>,
     ckpt_error: Arc<Mutex<Option<String>>>,
 }
@@ -541,7 +725,8 @@ struct KeyedShard<S> {
 pub struct KeyedEngineStats {
     /// Values accepted by the router (admitted past quota).
     pub events_ingested: u64,
-    /// Distinct `(tenant, key)` sketches across all shards.
+    /// Distinct `(tenant, key)` sketches across all shards (as of each
+    /// shard's last published epoch).
     pub keys: u64,
     /// Shard worker count.
     pub shards: u64,
@@ -551,14 +736,13 @@ pub struct KeyedEngineStats {
     pub quota_rejected_by_tenant: Vec<(String, u64)>,
 }
 
-/// A multi-tenant keyed sharded ingestion engine: hash-routed per-key
-/// sketches behind bounded queues, per-tenant quotas, snapshot queries.
-/// See the [module docs](self) for the architecture.
+/// A multi-tenant keyed ingestion engine on the lock-free substrate:
+/// hash-routed per-key sketches behind handoff rings, atomic GCRA
+/// quotas, wait-free snapshot queries. See the [module docs](self) for
+/// the architecture.
 pub struct KeyedEngine<S> {
     shards: Vec<KeyedShard<S>>,
-    quotas: Mutex<HashMap<String, TokenBucket>>,
-    explicit_quotas: HashMap<String, TenantQuota>,
-    default_quota: Option<TenantQuota>,
+    quotas: QuotaTable,
     rejected: Mutex<HashMap<String, u64>>,
     rejected_total: AtomicU64,
     events: AtomicU64,
@@ -568,33 +752,77 @@ pub struct KeyedEngine<S> {
 }
 
 impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<S> {
-    /// Spawn `config.shards` workers, each owning an empty keyed
-    /// registry. `factory` mints one sketch per new `(tenant, key)` pair
-    /// — every call must produce the same initial state (the
-    /// [`SketchFactory`] contract).
-    pub fn spawn<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        Self::spawn_impl(config, factory, Vec::new(), None, None, None)
-    }
-
-    /// [`spawn`](Self::spawn) with engine metrics registered under
-    /// `prefix` in `registry` (see [`KeyedEngineMetrics`]).
-    pub fn spawn_instrumented<F>(
+    /// Construct the engine for
+    /// [`EngineBuilder::keyed`](crate::builder::EngineBuilder::keyed):
+    /// resolve metrics and the checkpoint plan, optionally preload every
+    /// shard from its registry checkpoint, then spawn the workers.
+    pub(crate) fn build<F>(
         config: KeyedEngineConfig,
         factory: F,
-        registry: &qsketch_core::metrics::MetricsRegistry,
-        prefix: &str,
+        metrics: Option<(&MetricsRegistry, &str)>,
+        recover: bool,
     ) -> Result<Self, KeyedEngineError>
     where
         F: SketchFactory<Sketch = S> + Clone + Send + 'static,
     {
-        let metrics = KeyedEngineMetrics::register(registry, prefix, config.shards);
-        let rollup_metrics = config.rollup.as_ref().map(|r| {
-            RollupMetrics::register(registry, &format!("{prefix}.rollup"), r.tiers.len())
-        });
-        Self::spawn_impl(config, factory, Vec::new(), Some(metrics), None, rollup_metrics)
+        if config.shards == 0 {
+            return Err(KeyedEngineError::NoShards);
+        }
+        let (metrics, rollup_metrics) = match metrics {
+            Some((registry, prefix)) => (
+                Some(KeyedEngineMetrics::register(registry, prefix, config.shards)),
+                config.rollup.as_ref().map(|r| {
+                    RollupMetrics::register(registry, &format!("{prefix}.rollup"), r.tiers.len())
+                }),
+            ),
+            None => (None, None),
+        };
+        let plan = match &config.checkpoint {
+            Some(_) => Some(Self::make_plan(&config)?),
+            None if recover => return Err(KeyedEngineError::CheckpointingDisabled),
+            None => None,
+        };
+        let preload = if recover {
+            let plan = plan.as_ref().expect("recover implies a checkpoint plan");
+            let mut preload = Vec::with_capacity(config.shards);
+            for i in 0..config.shards {
+                match read_registry(&plan.config, i)
+                    .map_err(|e| KeyedEngineError::Io(e.to_string()))?
+                {
+                    Some(decoded) => {
+                        let envelope = decoded
+                            .map_err(|e| KeyedEngineError::Sketch(SketchError::Decode(e)))?;
+                        if envelope.num_shards != config.shards {
+                            return Err(KeyedEngineError::TopologyMismatch(format!(
+                                "registry checkpoint for shard {i} was taken with {} shards, \
+                                 recovering with {}",
+                                envelope.num_shards, config.shards,
+                            )));
+                        }
+                        let mut map = HashMap::with_capacity(envelope.entries.len());
+                        for entry in &envelope.entries {
+                            let home =
+                                shard_for(hash_pair(&entry.tenant, &entry.key), config.shards);
+                            if home != i {
+                                return Err(KeyedEngineError::TopologyMismatch(format!(
+                                    "key ({}, {}) in shard {i}'s checkpoint hashes to shard {home}",
+                                    entry.tenant, entry.key,
+                                )));
+                            }
+                            let sketch = S::decode(&entry.payload)
+                                .map_err(|e| KeyedEngineError::Sketch(SketchError::Decode(e)))?;
+                            map.insert((entry.tenant.clone(), entry.key.clone()), sketch);
+                        }
+                        preload.push((map, envelope.values_done));
+                    }
+                    None => preload.push((HashMap::new(), 0)),
+                }
+            }
+            preload
+        } else {
+            Vec::new()
+        };
+        Self::spawn_impl(config, factory, preload, metrics, plan, rollup_metrics)
     }
 
     fn spawn_impl<F>(
@@ -612,6 +840,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             return Err(KeyedEngineError::NoShards);
         }
         let capacity = config.queue_capacity.max(1);
+        let epoch_interval = config.epoch_interval.max(1);
         let rollup = config.rollup.clone().map(|options| {
             Arc::new(RollupRuntime {
                 options,
@@ -631,121 +860,214 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         let shards = inits
             .into_iter()
             .enumerate()
-            .map(|(i, (map, done))| {
-                let queue = Arc::new(BoundedQueue::<KeyedBatch>::new(capacity));
-                let registry = Arc::new(Mutex::new(map));
-                let rollup_states = Arc::new(Mutex::new(HashMap::new()));
-                let values_done = Arc::new(AtomicU64::new(done));
+            .map(|(i, (registry, done))| {
+                let ring = Arc::new(HandoffRing::<KeyedBatch>::new(capacity));
+                // The initial publish happens here, on the spawner
+                // thread, so a recovered engine answers queries for its
+                // preloaded keys before the worker runs at all.
+                let initial: KeyMap = registry
+                    .iter()
+                    .map(|(id, sketch)| {
+                        (
+                            id.clone(),
+                            Arc::new(ShardSnapshot {
+                                shard: i,
+                                epoch: 0,
+                                values_done: done,
+                                bytes: sketch.encode(),
+                            }),
+                        )
+                    })
+                    .collect();
+                let cell = Arc::new(EpochCell::new(Arc::new(initial.clone())));
+                let epoch_req = Arc::new(EpochRequest::new());
+                let ckpt_req = Arc::new(EpochRequest::new());
+                let ckpt_result: Arc<Mutex<Option<Result<(), String>>>> =
+                    Arc::new(Mutex::new(None));
+                let rollup_states: SharedRollups<S> = Arc::new(Mutex::new(HashMap::new()));
                 let ckpt_error = Arc::new(Mutex::new(None));
-                let worker_queue = Arc::clone(&queue);
-                let worker_registry = Arc::clone(&registry);
-                let worker_rollup_states = Arc::clone(&rollup_states);
-                let worker_done = Arc::clone(&values_done);
-                let worker_error = Arc::clone(&ckpt_error);
-                let worker_metrics = metrics.clone();
-                let worker_plan = plan.clone();
-                let worker_rollup = rollup.clone();
-                let worker_factory = factory.clone();
+                let w_ring = Arc::clone(&ring);
+                let w_cell = Arc::clone(&cell);
+                let w_epoch_req = Arc::clone(&epoch_req);
+                let w_ckpt_req = Arc::clone(&ckpt_req);
+                let w_ckpt_result = Arc::clone(&ckpt_result);
+                let w_rollup_states = Arc::clone(&rollup_states);
+                let w_ckpt_error = Arc::clone(&ckpt_error);
+                let w_metrics = metrics.clone();
+                let w_plan = plan.clone();
+                let w_rollup = rollup.clone();
+                let w_factory = factory.clone();
                 let worker = std::thread::Builder::new()
                     .name(format!("qsketch-keyed-{i}"))
                     .spawn(move || {
+                        let mut registry = registry;
+                        let mut published = initial;
+                        let mut dirty: HashSet<(String, String)> = HashSet::new();
+                        let mut values_done = done;
                         let mut last_ckpt = done;
-                        while let Some((batch, depth)) = worker_queue.pop() {
-                            let KeyedBatch {
-                                tenant,
-                                key,
-                                values,
-                            } = batch;
-                            let n = values.len() as u64;
-                            let rollup_key = worker_rollup
-                                .as_ref()
-                                .map(|_| (tenant.clone(), key.clone()));
-                            // Insert under the registry lock; encode a
-                            // due checkpoint under the same lock (a
-                            // consistent cut) but write it outside, so
-                            // queries never wait on the filesystem.
-                            let mut ckpt_bytes: Option<Vec<u8>> = None;
-                            {
-                                let mut registry =
-                                    worker_registry.lock().expect("keyed registry poisoned");
-                                registry
-                                    .entry((tenant, key))
-                                    .or_insert_with(|| worker_factory.make())
-                                    .insert_batch(&values);
-                                let total = worker_done.fetch_add(n, Ordering::Relaxed) + n;
-                                if let Some(plan) = &worker_plan {
-                                    if total - last_ckpt >= interval {
-                                        ckpt_bytes =
-                                            Some(plan.encode_registry(i, &registry, total));
-                                        last_ckpt = total;
+                        let mut last_pub = done;
+                        loop {
+                            // Service the request mailboxes first so a
+                            // drain/checkpoint barrier is never starved
+                            // by a full ring.
+                            if let Some(ticket) = w_epoch_req.pending() {
+                                publish_keymap(
+                                    i,
+                                    &w_cell,
+                                    &registry,
+                                    &mut published,
+                                    &mut dirty,
+                                    values_done,
+                                    &w_metrics,
+                                );
+                                last_pub = values_done;
+                                w_epoch_req.ack(ticket);
+                            }
+                            if let Some(ticket) = w_ckpt_req.pending() {
+                                if let Some(plan) = &w_plan {
+                                    let result = write_registry_ckpt(
+                                        i,
+                                        plan,
+                                        &registry,
+                                        values_done,
+                                        &w_metrics,
+                                    );
+                                    if let Err(e) = &result {
+                                        *w_ckpt_error.lock().expect("ckpt error poisoned") =
+                                            Some(e.clone());
                                     }
+                                    *w_ckpt_result.lock().expect("ckpt result poisoned") =
+                                        Some(result);
+                                    last_ckpt = values_done;
                                 }
+                                w_ckpt_req.ack(ticket);
                             }
-                            // Feed the key's rollup under its own lock
-                            // (never nested with the registry lock).
-                            if let (Some(rt), Some((tenant, key))) =
-                                (&worker_rollup, rollup_key)
-                            {
-                                let mut states = worker_rollup_states
-                                    .lock()
-                                    .expect("rollup states poisoned");
-                                let result = match states.entry((tenant, key)) {
-                                    std::collections::hash_map::Entry::Occupied(e) => {
-                                        Ok(e.into_mut())
+                            match w_ring.pop_wait() {
+                                PopState::Item(batch, depth) => {
+                                    let KeyedBatch {
+                                        tenant,
+                                        key,
+                                        values,
+                                    } = batch;
+                                    let n = values.len() as u64;
+                                    let id = (tenant, key);
+                                    registry
+                                        .entry(id.clone())
+                                        .or_insert_with(|| w_factory.make())
+                                        .insert_batch(&values);
+                                    values_done += n;
+                                    dirty.insert(id.clone());
+                                    if let Some(plan) = &w_plan {
+                                        if values_done - last_ckpt >= interval {
+                                            if let Err(e) = write_registry_ckpt(
+                                                i,
+                                                plan,
+                                                &registry,
+                                                values_done,
+                                                &w_metrics,
+                                            ) {
+                                                *w_ckpt_error
+                                                    .lock()
+                                                    .expect("ckpt error poisoned") = Some(e);
+                                            }
+                                            last_ckpt = values_done;
+                                        }
                                     }
-                                    std::collections::hash_map::Entry::Vacant(e) => {
-                                        open_rollup_store(rt, &e.key().0, &e.key().1).map(
-                                            |store| {
-                                                e.insert(RollupState {
-                                                    window: None,
-                                                    filled: 0,
-                                                    store,
-                                                })
-                                            },
-                                        )
+                                    // Feed the key's rollup under the
+                                    // shared rollup mutex — deliberately
+                                    // outside the wait-free surface.
+                                    if let Some(rt) = &w_rollup {
+                                        let mut states = w_rollup_states
+                                            .lock()
+                                            .expect("rollup states poisoned");
+                                        let result = match states.entry(id.clone()) {
+                                            std::collections::hash_map::Entry::Occupied(e) => {
+                                                Ok(e.into_mut())
+                                            }
+                                            std::collections::hash_map::Entry::Vacant(e) => {
+                                                open_rollup_store(rt, &e.key().0, &e.key().1)
+                                                    .map(|store| {
+                                                        e.insert(RollupState {
+                                                            window: None,
+                                                            filled: 0,
+                                                            store,
+                                                        })
+                                                    })
+                                            }
+                                        }
+                                        .and_then(|state| {
+                                            feed_rollup(
+                                                state,
+                                                &values,
+                                                rt.options.window_values,
+                                                &w_factory,
+                                            )
+                                        });
+                                        if let Err(e) = result {
+                                            *rt.error.lock().expect("rollup error poisoned") =
+                                                Some(e.to_string());
+                                        }
                                     }
+                                    if let Some(m) = &w_metrics {
+                                        m.engine.shard_events.record_many(i, n);
+                                        m.engine.queue_depth[i].set(depth as u64);
+                                    }
+                                    if values_done - last_pub >= epoch_interval {
+                                        publish_keymap(
+                                            i,
+                                            &w_cell,
+                                            &registry,
+                                            &mut published,
+                                            &mut dirty,
+                                            values_done,
+                                            &w_metrics,
+                                        );
+                                        last_pub = values_done;
+                                    }
+                                    w_ring.mark_done(n);
                                 }
-                                .and_then(|state| {
-                                    feed_rollup(
-                                        state,
-                                        &values,
-                                        rt.options.window_values,
-                                        &worker_factory,
-                                    )
-                                });
-                                if let Err(e) = result {
-                                    *rt.error.lock().expect("rollup error poisoned") =
-                                        Some(e.to_string());
+                                PopState::Idle => {}
+                                PopState::Closed => {
+                                    publish_keymap(
+                                        i,
+                                        &w_cell,
+                                        &registry,
+                                        &mut published,
+                                        &mut dirty,
+                                        values_done,
+                                        &w_metrics,
+                                    );
+                                    if let Some(ticket) = w_epoch_req.pending() {
+                                        w_epoch_req.ack(ticket);
+                                    }
+                                    if let Some(ticket) = w_ckpt_req.pending() {
+                                        if let Some(plan) = &w_plan {
+                                            let result = write_registry_ckpt(
+                                                i,
+                                                plan,
+                                                &registry,
+                                                values_done,
+                                                &w_metrics,
+                                            );
+                                            *w_ckpt_result
+                                                .lock()
+                                                .expect("ckpt result poisoned") = Some(result);
+                                        }
+                                        w_ckpt_req.ack(ticket);
+                                    }
+                                    return;
                                 }
                             }
-                            if let (Some(bytes), Some(plan)) = (&ckpt_bytes, &worker_plan) {
-                                let start = Instant::now();
-                                let result =
-                                    write_atomic(&plan.config.registry_path(i), bytes);
-                                if let Err(e) = result {
-                                    *worker_error.lock().expect("ckpt error poisoned") =
-                                        Some(e.to_string());
-                                } else if let Some(m) = &worker_metrics {
-                                    m.engine.checkpoints.inc();
-                                    m.engine
-                                        .checkpoint_ns
-                                        .record(start.elapsed().as_nanos() as u64);
-                                    m.engine.checkpoint_bytes.record(bytes.len() as u64);
-                                }
-                            }
-                            if let Some(m) = &worker_metrics {
-                                m.engine.shard_events.record_many(i, n);
-                                m.engine.queue_depth[i].set(depth as u64);
-                            }
-                            worker_queue.mark_done();
                         }
                     })
                     .expect("spawn keyed shard worker");
                 KeyedShard {
-                    queue,
-                    registry,
+                    ring,
+                    cell,
+                    epoch_req,
+                    ckpt_req,
+                    ckpt_result,
                     rollup: rollup_states,
-                    values_done,
                     worker: Some(worker),
                     ckpt_error,
                 }
@@ -753,9 +1075,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             .collect();
         Ok(Self {
             shards,
-            quotas: Mutex::new(HashMap::new()),
-            explicit_quotas: config.quotas.iter().cloned().collect(),
-            default_quota: config.default_quota,
+            quotas: QuotaTable::new(&config.quotas, config.default_quota),
             rejected: Mutex::new(HashMap::new()),
             rejected_total: AtomicU64::new(0),
             events: AtomicU64::new(0),
@@ -763,6 +1083,98 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             plan,
             rollup,
         })
+    }
+
+    fn make_plan(config: &KeyedEngineConfig) -> Result<Arc<KeyedCheckpointPlan<S>>, KeyedEngineError> {
+        let ckpt = config
+            .checkpoint
+            .clone()
+            .ok_or(KeyedEngineError::CheckpointingDisabled)?;
+        std::fs::create_dir_all(&ckpt.dir).map_err(|e| KeyedEngineError::Io(e.to_string()))?;
+        Ok(Arc::new(KeyedCheckpointPlan {
+            num_shards: config.shards,
+            encode: S::encode,
+            config: ckpt,
+        }))
+    }
+
+    /// Spawn `config.shards` workers, each owning an empty keyed
+    /// registry.
+    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).spawn(..)`")]
+    pub fn spawn<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        Self::build(config, factory, None, false)
+    }
+
+    /// [`spawn`](Self::spawn) with engine metrics registered under
+    /// `prefix` in `registry`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `EngineBuilder::keyed(..).metrics(..).spawn(..)`"
+    )]
+    pub fn spawn_instrumented<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+        registry: &MetricsRegistry,
+        prefix: &str,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        Self::build(config, factory, Some((registry, prefix)), false)
+    }
+
+    /// [`spawn`](Self::spawn) requiring `config.checkpoint` to be set
+    /// (checkpointing is otherwise enabled whenever the config carries a
+    /// checkpoint section).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `EngineBuilder::keyed(..).checkpoints(..).spawn(..)`"
+    )]
+    pub fn spawn_with_checkpoints<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        if config.checkpoint.is_none() {
+            return Err(KeyedEngineError::CheckpointingDisabled);
+        }
+        Self::build(config, factory, None, false)
+    }
+
+    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
+    /// engine metrics under `prefix` in `registry`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `EngineBuilder::keyed(..).checkpoints(..).metrics(..).spawn(..)`"
+    )]
+    pub fn spawn_with_checkpoints_instrumented<F>(
+        config: KeyedEngineConfig,
+        factory: F,
+        registry: &MetricsRegistry,
+        prefix: &str,
+    ) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        if config.checkpoint.is_none() {
+            return Err(KeyedEngineError::CheckpointingDisabled);
+        }
+        Self::build(config, factory, Some((registry, prefix)), false)
+    }
+
+    /// Rebuild an engine from the registry checkpoints in
+    /// `config.checkpoint.dir`.
+    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).recover(..)`")]
+    pub fn recover<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
+    where
+        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
+    {
+        Self::build(config, factory, None, true)
     }
 
     /// Number of shard workers.
@@ -775,24 +1187,16 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         self.events.load(Ordering::Relaxed)
     }
 
-    /// Check and charge `tenant`'s quota for `n` values.
+    /// Check and charge `tenant`'s quota for `n` values. Lock-free after
+    /// the tenant's first batch (see [`QuotaTable`]); the bookkeeping
+    /// mutexes below are touched only on the rejection path.
     fn check_quota(&self, tenant: &str, n: u64) -> Result<(), KeyedEngineError> {
-        let quota = match self.explicit_quotas.get(tenant) {
-            Some(q) => *q,
-            None => match self.default_quota {
-                Some(q) => q,
-                None => return Ok(()),
-            },
+        let Some(bucket) = self.quotas.bucket_for(tenant) else {
+            return Ok(());
         };
-        let now = Instant::now();
-        let mut buckets = self.quotas.lock().expect("quota table poisoned");
-        let bucket = buckets
-            .entry(tenant.to_string())
-            .or_insert_with(|| TokenBucket::new(quota, now));
-        match bucket.try_take(n as f64, now) {
+        match bucket.try_take(n, self.quotas.now_ns()) {
             Ok(()) => Ok(()),
             Err(retry_after_ms) => {
-                drop(buckets);
                 self.rejected_total.fetch_add(1, Ordering::Relaxed);
                 *self
                     .rejected
@@ -813,12 +1217,15 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
 
     /// Ingest a batch of values for one `(tenant, key)` pair.
     ///
-    /// Callable from any thread (`&self`). The batch is charged against
-    /// the tenant's quota **before** touching the queues: an over-quota
-    /// batch is rejected whole with a retry hint and consumes no shared
-    /// capacity. An admitted batch blocks only when its home shard's
-    /// queue is full (global backpressure), with the wait recorded in
-    /// the `backpressure_wait_ns` histogram.
+    /// Callable from any thread (`&self`); the steady-state path is
+    /// atomics only — GCRA quota charge, CAS slot claim on the home
+    /// shard's ring. The batch is charged against the tenant's quota
+    /// **before** touching the ring: an over-quota batch is rejected
+    /// whole with a retry hint and consumes no shared capacity. An
+    /// admitted batch spins/naps only when its home ring is full (global
+    /// backpressure), with the wait recorded in the
+    /// `backpressure_wait_ns` histogram and slot-claim retries in
+    /// `handoff_retries`.
     ///
     /// Returns the number of values accepted (0 for an empty batch).
     pub fn ingest(
@@ -833,46 +1240,121 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         }
         self.check_quota(tenant, n)?;
         let shard = shard_for(hash_pair(tenant, key), self.shards.len());
-        let (waited_ns, depth) = self.shards[shard].queue.push(KeyedBatch {
-            tenant: tenant.to_string(),
-            key: key.to_string(),
-            values,
-        });
+        let report = self.shards[shard].ring.push(
+            KeyedBatch {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+                values,
+            },
+            n,
+        );
+        if report.dropped {
+            return Ok(0);
+        }
         self.events.fetch_add(n, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.engine.events.add(n);
             m.engine.batches.inc();
-            m.engine.queue_depth[shard].set(depth as u64);
-            if waited_ns > 0 {
-                m.engine.backpressure_wait_ns.record(waited_ns);
+            m.engine.queue_depth[shard].set(report.depth as u64);
+            if report.retries > 0 {
+                m.engine.handoff_retries.add(report.retries);
+            }
+            if report.waited_ns > 0 {
+                m.engine.backpressure_wait_ns.record(report.waited_ns);
             }
         }
         Ok(n)
     }
 
-    /// Block until every enqueued batch has been fully inserted.
+    /// Block until every enqueued batch has been fully inserted **and**
+    /// every shard has published a snapshot covering it — after `drain`,
+    /// [`query`](Self::query) is exact.
     pub fn drain(&self) {
         for shard in &self.shards {
-            shard.queue.wait_drained();
+            shard.ring.wait_drained();
+        }
+        self.sync_snapshots();
+    }
+
+    /// Ask every worker to publish a fresh epoch and wait for the acks
+    /// (workers service the mailbox between batches and on their ≤1 ms
+    /// idle wakeups).
+    fn sync_snapshots(&self) {
+        let tickets: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let ticket = shard.epoch_req.request();
+                if let Some(worker) = &shard.worker {
+                    worker.thread().unpark();
+                }
+                ticket
+            })
+            .collect();
+        for (shard, ticket) in self.shards.iter().zip(tickets) {
+            let ring = Arc::clone(&shard.ring);
+            shard.epoch_req.wait(ticket, move || ring.is_dead());
         }
     }
 
-    /// Point-in-time clone of one key's sketch (`None` if the pair has
-    /// never been ingested). Touches exactly one shard's registry lock.
-    pub fn snapshot(&self, tenant: &str, key: &str) -> Option<S> {
+    /// Wait-free point query: one key's latest published snapshot as a
+    /// [`SnapshotHandle`] (quantiles/count/bounds answered zero-copy
+    /// from the published bytes). Never blocks ingestion and never waits
+    /// for it — the answer is at most one epoch behind the worker; call
+    /// [`drain`](Self::drain) first for an exact barrier.
+    pub fn query(&self, tenant: &str, key: &str) -> Result<SnapshotHandle<S>, KeyedEngineError> {
         let shard = shard_for(hash_pair(tenant, key), self.shards.len());
-        self.shards[shard]
-            .registry
-            .lock()
-            .expect("keyed registry poisoned")
-            .get(&(tenant.to_string(), key.to_string()))
-            .cloned()
+        let map = self.shards[shard].cell.load();
+        match map.get(&(tenant.to_string(), key.to_string())) {
+            Some(part) => Ok(SnapshotHandle::from_parts(vec![Arc::clone(part)])),
+            None => Err(KeyedEngineError::UnknownKey {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+            }),
+        }
+    }
+
+    /// Wait-free cross-key query: a [`SnapshotHandle`] over **every key
+    /// of `tenant` whose key starts with `prefix`** (empty prefix = all
+    /// of the tenant's keys), in sorted key order so the lazy merge is
+    /// deterministic. Zero matching keys is not an error — the handle
+    /// just answers `count() == 0` / `merged() == Ok(None)`.
+    pub fn query_prefix(&self, tenant: &str, prefix: &str) -> SnapshotHandle<S> {
+        let mut matches: Vec<(String, Arc<ShardSnapshot>)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.cell.load();
+            for ((t, k), part) in map.iter() {
+                if t == tenant && k.starts_with(prefix) {
+                    matches.push((k.clone(), Arc::clone(part)));
+                }
+            }
+        }
+        matches.sort_by(|a, b| a.0.cmp(&b.0));
+        SnapshotHandle::from_parts(matches.into_iter().map(|(_, part)| part).collect())
+    }
+
+    /// Decode one key's latest published snapshot (`None` if unknown).
+    fn snapshot_inner(&self, tenant: &str, key: &str) -> Option<S> {
+        let shard = shard_for(hash_pair(tenant, key), self.shards.len());
+        let map = self.shards[shard].cell.load();
+        map.get(&(tenant.to_string(), key.to_string()))
+            .map(|part| S::decode(&part.bytes).expect("engine-published snapshot must decode"))
+    }
+
+    /// Point-in-time clone of one key's sketch (`None` if the pair has
+    /// never been ingested).
+    #[deprecated(since = "0.9.0", note = "use `query` and the returned `SnapshotHandle`")]
+    pub fn snapshot(&self, tenant: &str, key: &str) -> Option<S> {
+        self.sync_snapshots();
+        self.snapshot_inner(tenant, key)
     }
 
     /// Estimate the `q`-quantile of one key's stream.
+    #[deprecated(since = "0.9.0", note = "use `query(..)?.quantile(q)`")]
     pub fn quantile(&self, tenant: &str, key: &str, q: f64) -> Result<f64, KeyedEngineError> {
+        self.sync_snapshots();
         let snap = self
-            .snapshot(tenant, key)
+            .snapshot_inner(tenant, key)
             .ok_or_else(|| KeyedEngineError::UnknownKey {
                 tenant: tenant.to_string(),
                 key: key.to_string(),
@@ -881,32 +1363,53 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             .map_err(|e| KeyedEngineError::Sketch(SketchError::Query(e)))
     }
 
-    /// Merge a snapshot of **every key of `tenant` whose key starts with
-    /// `prefix`** (empty prefix = all of the tenant's keys) through a
-    /// binary merge tree. `Ok(None)` when no key matches. The fold runs
-    /// on clones, so ingestion never blocks on it; its latency lands in
-    /// the `merge_ns` histogram when instrumented.
-    pub fn merged_prefix(
-        &self,
-        tenant: &str,
-        prefix: &str,
-    ) -> Result<Option<S>, KeyedEngineError> {
+    /// Merge a snapshot of every key of `tenant` whose key starts with
+    /// `prefix` (empty prefix = all of the tenant's keys). `Ok(None)`
+    /// when no key matches.
+    #[deprecated(since = "0.9.0", note = "use `query_prefix(..).merged()`")]
+    pub fn merged_prefix(&self, tenant: &str, prefix: &str) -> Result<Option<S>, KeyedEngineError> {
+        self.sync_snapshots();
         let start = Instant::now();
-        let mut snapshots = Vec::new();
-        for shard in &self.shards {
-            let registry = shard.registry.lock().expect("keyed registry poisoned");
-            for ((t, k), sketch) in registry.iter() {
-                if t == tenant && k.starts_with(prefix) {
-                    snapshots.push(sketch.clone());
-                }
-            }
-        }
-        let merged = merge_tree(snapshots)
-            .map_err(|e| KeyedEngineError::Sketch(SketchError::Merge(e)))?;
+        let merged = self.query_prefix(tenant, prefix).merged()?;
         if let Some(m) = &self.metrics {
             m.engine.merge_ns.record(start.elapsed().as_nanos() as u64);
         }
         Ok(merged)
+    }
+
+    /// Write every shard's registry checkpoint **now**: drain (so the
+    /// cut covers every acknowledged batch), then ask each worker to
+    /// encode and atomically write its registry — the worker is the only
+    /// thread that can see a consistent registry, so the request travels
+    /// through the same mailbox protocol as snapshot syncs. This is the
+    /// durable-cut primitive behind the server's `Checkpoint` op and its
+    /// graceful shutdown.
+    pub fn checkpoint_now(&self) -> Result<(), KeyedEngineError> {
+        if self.plan.is_none() {
+            return Err(KeyedEngineError::CheckpointingDisabled);
+        }
+        self.drain();
+        let tickets: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                *shard.ckpt_result.lock().expect("ckpt result poisoned") = None;
+                let ticket = shard.ckpt_req.request();
+                if let Some(worker) = &shard.worker {
+                    worker.thread().unpark();
+                }
+                ticket
+            })
+            .collect();
+        for (shard, ticket) in self.shards.iter().zip(tickets) {
+            let ring = Arc::clone(&shard.ring);
+            shard.ckpt_req.wait(ticket, move || ring.is_dead());
+            if let Some(Err(e)) = shard.ckpt_result.lock().expect("ckpt result poisoned").take()
+            {
+                return Err(KeyedEngineError::Io(e));
+            }
+        }
+        Ok(())
     }
 
     /// Range-query one key's rollup store over `[t0, t1)` in the
@@ -914,12 +1417,11 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
     /// `[i·window_values, (i+1)·window_values)` in ingest order, at
     /// slot starts `i × tiers[0].width`).
     ///
-    /// Point-in-time like [`snapshot`](Self::snapshot): only windows
-    /// already closed *and processed by the shard worker* are visible —
-    /// call [`drain`](Self::drain) first for a barrier. When the key
-    /// has never been touched by this process but has a spill
-    /// directory, the store is lazily recovered from disk, so a fresh
-    /// process answers range queries for keys it never ingested.
+    /// Only windows already closed *and processed by the shard worker*
+    /// are visible — call [`drain`](Self::drain) first for a barrier.
+    /// When the key has never been touched by this process but has a
+    /// spill directory, the store is lazily recovered from disk, so a
+    /// fresh process answers range queries for keys it never ingested.
     ///
     /// Fails with [`KeyedEngineError::RollupDisabled`] when the engine
     /// was spawned without [`RollupOptions`], and with
@@ -1011,14 +1513,16 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             .and_then(|rt| rt.error.lock().expect("rollup error poisoned").clone())
     }
 
-    /// Every key currently registered for `tenant`, sorted.
+    /// Every key of `tenant` in the shards' published maps, sorted.
+    /// Wait-free (reads the published epochs, like
+    /// [`query`](Self::query)); call [`drain`](Self::drain) first to see
+    /// keys whose first batch is still in flight.
     pub fn keys(&self, tenant: &str) -> Vec<String> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let registry = shard.registry.lock().expect("keyed registry poisoned");
+            let map = shard.cell.load();
             out.extend(
-                registry
-                    .keys()
+                map.keys()
                     .filter(|(t, _)| t == tenant)
                     .map(|(_, k)| k.clone()),
             );
@@ -1027,13 +1531,14 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         out
     }
 
-    /// Operational stats (the server's `Stats` op). Registry sizes are
-    /// read behind the shard locks; counts are point-in-time.
+    /// Operational stats (the server's `Stats` op). Key counts come
+    /// from the published epochs, so they are point-in-time and
+    /// wait-free.
     pub fn stats(&self) -> KeyedEngineStats {
         let keys = self
             .shards
             .iter()
-            .map(|s| s.registry.lock().expect("keyed registry poisoned").len() as u64)
+            .map(|s| s.cell.load().len() as u64)
             .sum();
         if let Some(m) = &self.metrics {
             m.keys.set(keys);
@@ -1064,7 +1569,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             .collect()
     }
 
-    /// Drain, close the queues, and join the workers (graceful
+    /// Drain, close the rings, and join the workers (graceful
     /// shutdown). Call [`checkpoint_now`](Self::checkpoint_now) first
     /// for a durable final cut.
     pub fn finish(mut self) {
@@ -1073,160 +1578,14 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
 
     fn shutdown(&mut self) {
         for shard in &self.shards {
-            shard.queue.close();
+            shard.ring.close();
         }
         for shard in &mut self.shards {
             if let Some(worker) = shard.worker.take() {
+                worker.thread().unpark();
                 let _ = worker.join();
             }
         }
-    }
-}
-
-impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<S> {
-    /// [`spawn`](Self::spawn) with checkpointing resolved from
-    /// `config.checkpoint`: workers write their registry every
-    /// `interval_values` inserted values, and
-    /// [`checkpoint_now`](Self::checkpoint_now) /
-    /// [`recover`](Self::recover) become available. Fails with
-    /// [`KeyedEngineError::CheckpointingDisabled`] if the config has no
-    /// checkpoint section.
-    pub fn spawn_with_checkpoints<F>(
-        config: KeyedEngineConfig,
-        factory: F,
-    ) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        Self::spawn_with_checkpoints_impl(config, factory, None, None)
-    }
-
-    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
-    /// engine metrics under `prefix` in `registry`.
-    pub fn spawn_with_checkpoints_instrumented<F>(
-        config: KeyedEngineConfig,
-        factory: F,
-        registry: &qsketch_core::metrics::MetricsRegistry,
-        prefix: &str,
-    ) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        let metrics = KeyedEngineMetrics::register(registry, prefix, config.shards);
-        let rollup_metrics = config.rollup.as_ref().map(|r| {
-            RollupMetrics::register(registry, &format!("{prefix}.rollup"), r.tiers.len())
-        });
-        Self::spawn_with_checkpoints_impl(config, factory, Some(metrics), rollup_metrics)
-    }
-
-    fn spawn_with_checkpoints_impl<F>(
-        config: KeyedEngineConfig,
-        factory: F,
-        metrics: Option<KeyedEngineMetrics>,
-        rollup_metrics: Option<RollupMetrics>,
-    ) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        let plan = Self::make_plan(&config)?;
-        Self::spawn_impl(config, factory, Vec::new(), metrics, Some(plan), rollup_metrics)
-    }
-
-    /// Write every shard's registry checkpoint **now**, synchronously,
-    /// from the calling thread: drain first (so the cut covers every
-    /// acknowledged batch), then encode each registry under its lock and
-    /// write atomically. This is the durable-cut primitive behind the
-    /// server's `Checkpoint` op and its graceful shutdown.
-    pub fn checkpoint_now(&self) -> Result<(), KeyedEngineError> {
-        let plan = self
-            .plan
-            .as_ref()
-            .ok_or(KeyedEngineError::CheckpointingDisabled)?;
-        self.drain();
-        for (i, shard) in self.shards.iter().enumerate() {
-            let bytes = {
-                let registry = shard.registry.lock().expect("keyed registry poisoned");
-                plan.encode_registry(i, &registry, shard.values_done.load(Ordering::Relaxed))
-            };
-            write_atomic(&plan.config.registry_path(i), &bytes)
-                .map_err(|e| KeyedEngineError::Io(e.to_string()))?;
-            if let Some(m) = &self.metrics {
-                m.engine.checkpoints.inc();
-                m.engine.checkpoint_bytes.record(bytes.len() as u64);
-            }
-        }
-        Ok(())
-    }
-
-    /// Rebuild an engine from the registry checkpoints in
-    /// `config.checkpoint.dir`. Shards without a file start empty.
-    /// State is restored **as of the checkpoint** (there is no stream to
-    /// replay); every restored sketch answers queries bit-identically to
-    /// the instant the checkpoint was cut, because the wire payloads
-    /// carry full state (including the randomized sketches' coin-flipper
-    /// state).
-    ///
-    /// Fails with [`KeyedEngineError::TopologyMismatch`] if a checkpoint
-    /// was taken under a different shard count or holds a key that does
-    /// not hash to its shard (hash routing is part of the persisted
-    /// contract), and with [`KeyedEngineError::Sketch`] on a corrupt
-    /// file.
-    pub fn recover<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        let plan = Self::make_plan(&config)?;
-        let mut preload = Vec::with_capacity(config.shards);
-        for i in 0..config.shards {
-            match read_registry(&plan.config, i).map_err(|e| KeyedEngineError::Io(e.to_string()))?
-            {
-                Some(decoded) => {
-                    let envelope =
-                        decoded.map_err(|e| KeyedEngineError::Sketch(SketchError::Decode(e)))?;
-                    if envelope.num_shards != config.shards {
-                        return Err(KeyedEngineError::TopologyMismatch(format!(
-                            "registry checkpoint for shard {i} was taken with {} shards, \
-                             recovering with {}",
-                            envelope.num_shards, config.shards,
-                        )));
-                    }
-                    let mut map = HashMap::with_capacity(envelope.entries.len());
-                    for entry in &envelope.entries {
-                        let home = shard_for(hash_pair(&entry.tenant, &entry.key), config.shards);
-                        if home != i {
-                            return Err(KeyedEngineError::TopologyMismatch(format!(
-                                "key ({}, {}) in shard {i}'s checkpoint hashes to shard {home}",
-                                entry.tenant, entry.key,
-                            )));
-                        }
-                        let sketch = S::decode(&entry.payload)
-                            .map_err(|e| KeyedEngineError::Sketch(SketchError::Decode(e)))?;
-                        map.insert((entry.tenant.clone(), entry.key.clone()), sketch);
-                    }
-                    preload.push((map, envelope.values_done));
-                }
-                None => preload.push((HashMap::new(), 0)),
-            }
-        }
-        Self::spawn_impl(config, factory, preload, None, Some(plan), None)
-    }
-
-    fn make_plan(
-        config: &KeyedEngineConfig,
-    ) -> Result<Arc<KeyedCheckpointPlan<S>>, KeyedEngineError> {
-        let ckpt = config
-            .checkpoint
-            .clone()
-            .ok_or(KeyedEngineError::CheckpointingDisabled)?;
-        std::fs::create_dir_all(&ckpt.dir).map_err(|e| KeyedEngineError::Io(e.to_string()))?;
-        if config.shards == 0 {
-            return Err(KeyedEngineError::NoShards);
-        }
-        Ok(Arc::new(KeyedCheckpointPlan {
-            num_shards: config.shards,
-            encode: S::encode,
-            config: ckpt,
-        }))
     }
 }
 
@@ -1272,10 +1631,11 @@ impl<S> Drop for KeyedEngine<S> {
         // Everything already enqueued is still inserted before the
         // workers see the close; `finish` is the explicit form.
         for shard in &self.shards {
-            shard.queue.close();
+            shard.ring.close();
         }
         for shard in &mut self.shards {
             if let Some(worker) = shard.worker.take() {
+                worker.thread().unpark();
                 let _ = worker.join();
             }
         }
@@ -1285,6 +1645,7 @@ impl<S> Drop for KeyedEngine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::EngineBuilder;
     use qsketch_core::metrics::MetricsRegistry;
     use qsketch_core::QuantileSketch;
     use qsketch_ddsketch::DdSketch;
@@ -1305,7 +1666,7 @@ mod tests {
 
     #[test]
     fn per_key_streams_stay_separate() {
-        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(3), dds()).unwrap();
+        let engine = EngineBuilder::keyed(3).spawn(dds()).unwrap();
         for i in 1..=2_000u64 {
             engine.ingest("acme", "fast", vec![10.0 + (i % 5) as f64]).unwrap();
             engine.ingest("acme", "slow", vec![1_000.0 + (i % 7) as f64]).unwrap();
@@ -1313,12 +1674,12 @@ mod tests {
         }
         engine.drain();
         assert_eq!(engine.events_ingested(), 6_000);
-        let fast = engine.quantile("acme", "fast", 0.5).unwrap();
-        let slow = engine.quantile("acme", "slow", 0.5).unwrap();
+        let fast = engine.query("acme", "fast").unwrap().quantile(0.5).unwrap();
+        let slow = engine.query("acme", "slow").unwrap().quantile(0.5).unwrap();
         assert!(fast < 20.0, "fast p50 {fast}");
         assert!(slow > 900.0, "slow p50 {slow}");
         // Same key name under another tenant is a different stream.
-        let other = engine.quantile("globex", "fast", 0.5).unwrap();
+        let other = engine.query("globex", "fast").unwrap().quantile(0.5).unwrap();
         assert!((other - 50.0).abs() / 50.0 <= 0.01, "globex fast p50 {other}");
         assert_eq!(
             engine.keys("acme"),
@@ -1329,15 +1690,15 @@ mod tests {
 
     #[test]
     fn unknown_key_is_a_typed_error() {
-        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(1), dds()).unwrap();
-        let err = engine.quantile("nobody", "nothing", 0.5).unwrap_err();
+        let engine = EngineBuilder::keyed(1).spawn(dds()).unwrap();
+        let err = engine.query("nobody", "nothing").unwrap_err();
         assert!(matches!(err, KeyedEngineError::UnknownKey { .. }));
         assert!(err.to_string().contains("nobody"));
     }
 
     #[test]
-    fn merged_prefix_folds_matching_keys() {
-        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(4), dds()).unwrap();
+    fn query_prefix_folds_matching_keys_lazily() {
+        let engine = EngineBuilder::keyed(4).spawn(dds()).unwrap();
         for i in 1..=500u64 {
             engine.ingest("t", "api.a", vec![i as f64]).unwrap();
             engine.ingest("t", "api.b", vec![i as f64 + 500.0]).unwrap();
@@ -1345,24 +1706,48 @@ mod tests {
             engine.ingest("other", "api.z", vec![1e6]).unwrap();
         }
         engine.drain();
-        let api = engine.merged_prefix("t", "api.").unwrap().unwrap();
-        assert_eq!(api.count(), 1_000);
-        let p99 = api.query(0.99).unwrap();
+        let api = engine.query_prefix("t", "api.");
+        assert_eq!(api.count().unwrap(), 1_000);
+        let p99 = api.quantile(0.99).unwrap();
         assert!(p99 < 1_100.0, "api p99 {p99} should exclude db.c and other tenant");
-        assert!(engine.merged_prefix("t", "nope.").unwrap().is_none());
+        let merged = api.merged().unwrap().unwrap();
+        assert_eq!(merged.count(), 1_000);
+        assert!(engine.query_prefix("t", "nope.").merged().unwrap().is_none());
+        assert_eq!(engine.query_prefix("t", "nope.").count().unwrap(), 0);
+        engine.finish();
+    }
+
+    #[test]
+    fn queries_are_wait_free_snapshots_not_barriers() {
+        // A query right after ingest (no drain) must return without
+        // blocking, answering from the last published epoch — at most
+        // epoch_interval values behind the ring's acknowledged count.
+        let engine = EngineBuilder::keyed(1)
+            .epoch_interval(100)
+            .spawn(dds())
+            .unwrap();
+        for i in 1..=1_000u64 {
+            engine.ingest("t", "k", vec![i as f64]).unwrap();
+        }
+        for shard in &engine.shards {
+            shard.ring.wait_drained(); // settle the ring, skip the sync
+        }
+        let handle = engine.query("t", "k").unwrap();
+        let seen = handle.count().unwrap();
+        assert!(seen >= 900, "published snapshot lags more than one epoch: {seen}");
+        assert!(handle.max_epoch() >= 9, "epoch {}", handle.max_epoch());
+        engine.drain();
+        assert_eq!(engine.query("t", "k").unwrap().count().unwrap(), 1_000);
         engine.finish();
     }
 
     #[test]
     fn quota_rejects_noisy_tenant_not_quiet_one() {
-        let engine = KeyedEngine::spawn_instrumented(
-            KeyedEngineConfig::new(2)
-                .with_tenant_quota("noisy", TenantQuota::per_sec(100.0).with_burst(100.0)),
-            dds(),
-            &MetricsRegistry::new(),
-            "keyed",
-        )
-        .unwrap();
+        let engine = EngineBuilder::keyed(2)
+            .tenant_quota("noisy", TenantQuota::per_sec(100.0).with_burst(100.0))
+            .metrics(&MetricsRegistry::new(), "keyed")
+            .spawn(dds())
+            .unwrap();
         // The noisy tenant burns its burst, then gets rejected.
         let mut rejected = 0;
         for _ in 0..100 {
@@ -1392,13 +1777,31 @@ mod tests {
     }
 
     #[test]
+    fn default_quota_buckets_are_per_tenant_after_warmup() {
+        // Two default-quota tenants must not share a budget: each gets
+        // its own lazily installed GCRA bucket.
+        let engine = EngineBuilder::keyed(1)
+            .default_quota(TenantQuota::per_sec(100.0).with_burst(100.0))
+            .spawn(dds())
+            .unwrap();
+        for _ in 0..10 {
+            engine.ingest("a", "k", vec![1.0; 10]).unwrap();
+        }
+        // Tenant a's budget is spent; tenant b's is untouched.
+        assert!(matches!(
+            engine.ingest("a", "k", vec![1.0; 10]),
+            Err(KeyedEngineError::QuotaExceeded { .. })
+        ));
+        engine.ingest("b", "k", vec![1.0; 10]).unwrap();
+        engine.finish();
+    }
+
+    #[test]
     fn oversized_batch_can_never_pass_and_says_so() {
-        let engine = KeyedEngine::spawn(
-            KeyedEngineConfig::new(1)
-                .with_default_quota(TenantQuota::per_sec(10.0).with_burst(10.0)),
-            dds(),
-        )
-        .unwrap();
+        let engine = EngineBuilder::keyed(1)
+            .default_quota(TenantQuota::per_sec(10.0).with_burst(10.0))
+            .spawn(dds())
+            .unwrap();
         let err = engine.ingest("t", "k", vec![1.0; 1_000]).unwrap_err();
         assert_eq!(
             err,
@@ -1414,9 +1817,10 @@ mod tests {
     fn checkpoint_now_then_recover_is_bit_identical() {
         let dir = ckpt_dir("recover");
         let factory = || KllSketch::with_seed(200, 0xC0FFEE);
-        let config = KeyedEngineConfig::new(3)
-            .with_checkpoint(CheckpointConfig::new(&dir, u64::MAX));
-        let engine = KeyedEngine::spawn_with_checkpoints(config.clone(), factory).unwrap();
+        let engine = EngineBuilder::keyed(3)
+            .checkpoints(CheckpointConfig::new(&dir, u64::MAX))
+            .spawn(factory)
+            .unwrap();
         for i in 0..10_000u64 {
             let key = format!("k{}", i % 7);
             let x = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64;
@@ -1425,18 +1829,18 @@ mod tests {
         engine.checkpoint_now().unwrap();
         let mut expected = Vec::new();
         for k in 0..7 {
-            let snap = engine.snapshot("acme", &format!("k{k}")).unwrap();
-            expected.push(
-                [0.01, 0.5, 0.99, 1.0]
-                    .map(|q| snap.query(q).unwrap().to_bits()),
-            );
+            let handle = engine.query("acme", &format!("k{k}")).unwrap();
+            expected.push([0.01, 0.5, 0.99, 1.0].map(|q| handle.quantile(q).unwrap().to_bits()));
         }
         engine.finish();
 
-        let recovered = KeyedEngine::<KllSketch>::recover(config, factory).unwrap();
+        let recovered: KeyedEngine<KllSketch> = EngineBuilder::keyed(3)
+            .checkpoints(CheckpointConfig::new(&dir, u64::MAX))
+            .recover(factory)
+            .unwrap();
         for (k, want) in expected.iter().enumerate() {
-            let snap = recovered.snapshot("acme", &format!("k{k}")).unwrap();
-            let got = [0.01, 0.5, 0.99, 1.0].map(|q| snap.query(q).unwrap().to_bits());
+            let handle = recovered.query("acme", &format!("k{k}")).unwrap();
+            let got = [0.01, 0.5, 0.99, 1.0].map(|q| handle.quantile(q).unwrap().to_bits());
             assert_eq!(&got, want, "key k{k}");
         }
         recovered.finish();
@@ -1446,12 +1850,9 @@ mod tests {
     #[test]
     fn periodic_checkpoints_are_written_by_workers() {
         let dir = ckpt_dir("periodic");
-        let config = KeyedEngineConfig::new(2)
-            .with_checkpoint(CheckpointConfig::new(&dir, 500));
-        let engine =
-            KeyedEngine::spawn_with_checkpoints(config.clone(), || {
-                KllSketch::with_seed(200, 1)
-            })
+        let engine = EngineBuilder::keyed(2)
+            .checkpoints(CheckpointConfig::new(&dir, 500))
+            .spawn(|| KllSketch::with_seed(200, 1))
             .unwrap();
         for i in 0..4_000u64 {
             engine
@@ -1476,16 +1877,16 @@ mod tests {
     #[test]
     fn recover_rejects_wrong_topology() {
         let dir = ckpt_dir("topology");
-        let config = KeyedEngineConfig::new(2)
-            .with_checkpoint(CheckpointConfig::new(&dir, u64::MAX));
-        let engine =
-            KeyedEngine::spawn_with_checkpoints(config, || KllSketch::with_seed(200, 1)).unwrap();
+        let engine = EngineBuilder::keyed(2)
+            .checkpoints(CheckpointConfig::new(&dir, u64::MAX))
+            .spawn(|| KllSketch::with_seed(200, 1))
+            .unwrap();
         engine.ingest("t", "k", vec![1.0, 2.0, 3.0]).unwrap();
         engine.checkpoint_now().unwrap();
         engine.finish();
-        let bad = KeyedEngineConfig::new(3)
-            .with_checkpoint(CheckpointConfig::new(&dir, u64::MAX));
-        let err = KeyedEngine::<KllSketch>::recover(bad, || KllSketch::with_seed(200, 1))
+        let err = EngineBuilder::keyed(3)
+            .checkpoints(CheckpointConfig::new(&dir, u64::MAX))
+            .recover(|| KllSketch::with_seed(200, 1))
             .err()
             .expect("3-shard recovery must fail");
         assert!(matches!(err, KeyedEngineError::TopologyMismatch(_)), "{err:?}");
@@ -1494,14 +1895,19 @@ mod tests {
 
     #[test]
     fn checkpointing_disabled_is_a_typed_error() {
-        let engine = KeyedEngine::<KllSketch>::spawn(KeyedEngineConfig::new(1), || {
-            KllSketch::with_seed(200, 1)
-        })
-        .unwrap();
+        let engine = EngineBuilder::keyed(1)
+            .spawn(|| KllSketch::with_seed(200, 1))
+            .unwrap();
         assert_eq!(
             engine.checkpoint_now().unwrap_err(),
             KeyedEngineError::CheckpointingDisabled
         );
+        // Recovery without a checkpoint config is the same typed error.
+        let err = EngineBuilder::keyed(1)
+            .recover(|| KllSketch::with_seed(200, 1))
+            .err()
+            .expect("recover without checkpoints must fail");
+        assert_eq!(err, KeyedEngineError::CheckpointingDisabled);
         engine.finish();
     }
 
@@ -1516,9 +1922,10 @@ mod tests {
 
     #[test]
     fn rollup_windows_cascade_and_answer_range_queries() {
-        let config = KeyedEngineConfig::new(2)
-            .with_rollup(RollupOptions::new(100, window_tiers()));
-        let engine = KeyedEngine::spawn(config, dds()).unwrap();
+        let engine = EngineBuilder::keyed(2)
+            .rollup(RollupOptions::new(100, window_tiers()))
+            .spawn(dds())
+            .unwrap();
         // 32 full windows of 100 values, split across ragged batches,
         // plus 50 trailing values that never close a window.
         for i in 0..(3_250 / 13) {
@@ -1548,8 +1955,10 @@ mod tests {
         let options = RollupOptions::new(50, window_tiers())
             .with_spill_root(&root)
             .with_hot_slots(2);
-        let config = KeyedEngineConfig::new(2).with_rollup(options.clone());
-        let engine = KeyedEngine::spawn(config, dds()).unwrap();
+        let engine = EngineBuilder::keyed(2)
+            .rollup(options.clone())
+            .spawn(dds())
+            .unwrap();
         for i in 0..800u64 {
             engine.ingest("acme", "a/b c", vec![i as f64 + 1.0]).unwrap();
             engine.ingest("globex", "k", vec![2.0 * i as f64 + 1.0]).unwrap();
@@ -1570,11 +1979,7 @@ mod tests {
 
         // A fresh engine that never ingested the key lazily recovers
         // its store from disk on the first range query.
-        let fresh = KeyedEngine::spawn(
-            KeyedEngineConfig::new(2).with_rollup(options),
-            dds(),
-        )
-        .unwrap();
+        let fresh = EngineBuilder::keyed(2).rollup(options).spawn(dds()).unwrap();
         let got = fresh.range_query("acme", "a/b c", 0, 16).unwrap();
         assert_eq!(got.parts, want.parts);
         let got_bits = [0.1, 0.5, 0.9]
@@ -1591,7 +1996,7 @@ mod tests {
 
     #[test]
     fn range_query_without_rollup_is_a_typed_error() {
-        let engine = KeyedEngine::spawn(KeyedEngineConfig::new(1), dds()).unwrap();
+        let engine = EngineBuilder::keyed(1).spawn(dds()).unwrap();
         assert!(matches!(
             engine.range_query("t", "k", 0, 10),
             Err(KeyedEngineError::RollupDisabled)
@@ -1602,9 +2007,7 @@ mod tests {
 
     #[test]
     fn multi_producer_ingest_from_many_threads() {
-        let engine = Arc::new(
-            KeyedEngine::spawn(KeyedEngineConfig::new(2), dds()).unwrap(),
-        );
+        let engine = Arc::new(EngineBuilder::keyed(2).spawn(dds()).unwrap());
         let mut handles = Vec::new();
         for t in 0..4 {
             let e = Arc::clone(&engine);
@@ -1623,5 +2026,9 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.keys, 4);
         assert_eq!(stats.quota_rejected_batches, 0);
+        for t in 0..4 {
+            let handle = engine.query(&format!("tenant-{t}"), "k").unwrap();
+            assert_eq!(handle.count().unwrap(), 1_000);
+        }
     }
 }

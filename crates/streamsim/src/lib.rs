@@ -72,7 +72,9 @@
 //! }
 //! ```
 
+pub mod builder;
 pub mod checkpoint;
+pub mod concurrent;
 pub mod delay;
 pub mod engine;
 pub mod event;
@@ -88,7 +90,12 @@ pub mod sliding;
 pub mod source;
 pub mod window;
 
+pub use builder::EngineBuilder;
 pub use checkpoint::CheckpointConfig;
+pub use concurrent::{
+    EpochCell, HandoffRing, PopState, PushReport, ShardSnapshot, SnapshotHandle,
+    DEFAULT_EPOCH_INTERVAL,
+};
 pub use delay::NetworkDelay;
 pub use engine::{EngineConfig, EngineError, FaultInjection, ShardedEngine};
 pub use event::Event;

@@ -128,6 +128,9 @@ impl PartitionMetrics {
 /// | `<prefix>.partition.<i>.events` | counter | values a shard worker inserted |
 /// | `<prefix>.shard.<i>.queue_depth` | gauge | batches queued for shard `i` |
 /// | `<prefix>.backpressure_wait_ns` | histogram | producer blocking time per full-queue send |
+/// | `<prefix>.handoff_retries` | counter | failed ring-slot claim attempts (full ring) |
+/// | `<prefix>.epochs_published` | counter | shard snapshot epochs published |
+/// | `<prefix>.epoch_lag_values` | histogram | values routed but not yet in the loaded snapshot, per query per shard |
 /// | `<prefix>.merge_ns` | histogram | shard-snapshot merge-tree latency per query |
 /// | `<prefix>.checkpoints` | counter | shard checkpoints written |
 /// | `<prefix>.checkpoint_ns` | histogram | encode+write+rename latency per checkpoint |
@@ -147,6 +150,15 @@ pub struct EngineMetrics {
     /// Producer blocking time on a full shard queue, ns
     /// (`<prefix>.backpressure_wait_ns`).
     pub backpressure_wait_ns: LogHistogram,
+    /// Failed CAS claim attempts on full handoff rings
+    /// (`<prefix>.handoff_retries`).
+    pub handoff_retries: Counter,
+    /// Snapshot epochs published by shard workers
+    /// (`<prefix>.epochs_published`).
+    pub epochs_published: Counter,
+    /// Per-query, per-shard staleness of the wait-free snapshot, in
+    /// values (`<prefix>.epoch_lag_values`).
+    pub epoch_lag_values: LogHistogram,
     /// Merge-tree latency of snapshot queries, ns (`<prefix>.merge_ns`).
     pub merge_ns: LogHistogram,
     /// Shard checkpoints successfully written (`<prefix>.checkpoints`).
@@ -169,6 +181,9 @@ impl EngineMetrics {
                 .map(|i| registry.gauge(&name(&format!("shard.{i}.queue_depth"))))
                 .collect(),
             backpressure_wait_ns: registry.histogram(&name("backpressure_wait_ns")),
+            handoff_retries: registry.counter(&name("handoff_retries")),
+            epochs_published: registry.counter(&name("epochs_published")),
+            epoch_lag_values: registry.histogram(&name("epoch_lag_values")),
             merge_ns: registry.histogram(&name("merge_ns")),
             checkpoints: registry.counter(&name("checkpoints")),
             checkpoint_ns: registry.histogram(&name("checkpoint_ns")),

@@ -50,10 +50,13 @@
 //! [`flatwire`] flat layout: delta + prefix-varint compressed payloads
 //! that [`SketchView`] queries **zero-copy** — quantile/count/bounds
 //! straight off the borrowed bytes, bit-identical to decode-then-query
-//! — while every earlier payload generation still decodes. The sharded
-//! ingestion engine layers periodic per-shard checkpoints and
-//! deterministic crash recovery on top of it
-//! ([`ShardedEngine::recover`], [`CheckpointConfig`], plus the lazy
+//! — while every earlier payload generation still decodes. The
+//! lock-free sharded ingestion engine (built through
+//! [`EngineBuilder`]; queries return wait-free [`SnapshotHandle`]s
+//! over epoch-published bytes) layers periodic per-shard checkpoints
+//! and deterministic crash recovery on top of it
+//! (`EngineBuilder::sharded(n).checkpoints(ckpt).recover(f)`,
+//! [`CheckpointConfig`], plus the lazy
 //! `streamsim::checkpoint::LazyEngineRecovery` that serves queries
 //! from checkpoint bytes without rebuilding); `FORMATS.md` is the
 //! normative byte-level spec, `ARCHITECTURE.md` the recovery
@@ -72,9 +75,10 @@ pub use qsketch_core::metrics::{Instrumented, LogHistogram, MetricsRegistry, Met
 pub use qsketch_core::profile::Profile;
 pub use qsketch_core::quantiles;
 pub use qsketch_core::sketch::{
-    merge_tree, snapshot_merge, MergeError, MergeableSketch, QuantileSketch, QueryError,
-    SketchError,
+    merge_tree, MergeError, MergeableSketch, QuantileSketch, QueryError, SketchError,
 };
+#[allow(deprecated)]
+pub use qsketch_core::sketch::snapshot_merge;
 pub use qsketch_core::stats::{kurtosis, MomentsAccumulator};
 pub use qsketch_datagen::{
     paper_adaptability_stream, BinomialGen, DataSet, DriftingPareto, DriftingUniform,
@@ -85,10 +89,10 @@ pub use qsketch_kll::{KllPlusMinus, KllSketch};
 pub use qsketch_moments::MomentsSketch;
 pub use qsketch_req::{RankAccuracy, ReqSketch};
 pub use qsketch_streamsim::{
-    AccuracyConfig, CheckpointConfig, EngineConfig, EngineError, EngineMetrics, Event,
-    EventSource, FaultInjection, KeyedEvent, KeyedTumblingWindows, NetworkDelay,
-    PartitionMetrics, PartitionedWindow, PipelineMetrics, SessionWindows, ShardedEngine,
-    SlidingWindows, TumblingWindows,
+    AccuracyConfig, CheckpointConfig, EngineBuilder, EngineConfig, EngineError, EngineMetrics,
+    Event, EventSource, FaultInjection, KeyedEvent, KeyedTumblingWindows, NetworkDelay,
+    PartitionMetrics, PartitionedWindow, PipelineMetrics, SessionWindows, ShardSnapshot,
+    ShardedEngine, SlidingWindows, SnapshotHandle, TumblingWindows,
 };
 pub use qsketch_uddsketch::UddSketch;
 

@@ -5,8 +5,7 @@
 //! checkpoint barrier) on top of the sketch wire formats.
 
 use quantile_sketches::{
-    CheckpointConfig, DataSet, EngineConfig, EngineError, KllSketch, QuantileSketch,
-    ShardedEngine, ValueStream,
+    CheckpointConfig, DataSet, EngineBuilder, EngineError, KllSketch, QuantileSketch, ValueStream,
 };
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -34,10 +33,12 @@ fn paper_stream(n: usize) -> Vec<f64> {
 fn kill_one_shard_then_recover_bit_identical() {
     let n = 40_000;
     let input = paper_stream(n);
-    let config = EngineConfig::new(4).with_batch_size(128);
 
     // Uninterrupted reference run.
-    let mut reference = ShardedEngine::spawn(config.clone(), factory());
+    let mut reference = EngineBuilder::sharded(4)
+        .batch_size(128)
+        .spawn(factory())
+        .unwrap();
     reference.extend(input.iter().copied());
     let reference = reference.finish().unwrap();
     assert_eq!(reference.count(), n as u64);
@@ -45,12 +46,12 @@ fn kill_one_shard_then_recover_bit_identical() {
     // Checkpointing run in which shard 2 dies after 20 batches.
     let dir = temp_dir("kill-recover");
     let ckpt = CheckpointConfig::new(&dir, 2_000);
-    let mut crashed = ShardedEngine::spawn_with_checkpoints(
-        config.clone().with_fault_injection(2, 20),
-        factory(),
-        ckpt.clone(),
-    )
-    .unwrap();
+    let mut crashed = EngineBuilder::sharded(4)
+        .batch_size(128)
+        .fault_injection(2, 20)
+        .checkpoints(ckpt.clone())
+        .spawn(factory())
+        .unwrap();
     crashed.extend(input.iter().copied());
     crashed.drain();
     assert_eq!(crashed.failed_shards(), vec![2]);
@@ -58,7 +59,11 @@ fn kill_one_shard_then_recover_bit_identical() {
 
     // Recover from the surviving checkpoints and replay the input from
     // the start; the router skips everything each shard already counted.
-    let mut recovered = ShardedEngine::recover(config, factory(), ckpt).unwrap();
+    let mut recovered = EngineBuilder::sharded(4)
+        .batch_size(128)
+        .checkpoints(ckpt)
+        .recover(factory())
+        .unwrap();
     recovered.extend(input.iter().copied());
     let recovered = recovered.finish().unwrap();
 
@@ -77,23 +82,21 @@ fn kill_one_shard_then_recover_bit_identical() {
 fn recovery_refuses_a_resharded_topology() {
     let dir = temp_dir("reshard");
     let ckpt = CheckpointConfig::new(&dir, 500);
-    let mut engine = ShardedEngine::spawn_with_checkpoints(
-        EngineConfig::new(2).with_batch_size(64),
-        factory(),
-        ckpt.clone(),
-    )
-    .unwrap();
+    let mut engine = EngineBuilder::sharded(2)
+        .batch_size(64)
+        .checkpoints(ckpt.clone())
+        .spawn(factory())
+        .unwrap();
     engine.extend(paper_stream(5_000));
     engine.drain();
     drop(engine);
 
-    let err = ShardedEngine::<KllSketch>::recover(
-        EngineConfig::new(4).with_batch_size(64),
-        factory(),
-        ckpt,
-    )
-    .err()
-    .expect("resharded recovery must be refused");
+    let err = EngineBuilder::sharded(4)
+        .batch_size(64)
+        .checkpoints(ckpt)
+        .recover(factory())
+        .err()
+        .expect("resharded recovery must be refused");
     assert!(matches!(err, EngineError::TopologyMismatch(_)), "{err:?}");
     assert!(err.to_string().contains("shards"), "{err}");
     std::fs::remove_dir_all(&dir).unwrap();

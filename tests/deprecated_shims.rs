@@ -1,0 +1,89 @@
+//! The old constructor surface must keep *working* for one release —
+//! deprecation means warnings, not breakage. This file opts into the
+//! deprecated API wholesale and exercises every shim end-to-end; CI
+//! compiles it as part of the suite, so a shim that rots into a hard
+//! error fails the build here first.
+
+#![allow(deprecated)]
+
+use quantile_sketches::streamsim::keyed_engine::{KeyedEngine, KeyedEngineConfig, TenantQuota};
+use quantile_sketches::{
+    CheckpointConfig, EngineConfig, KllSketch, QuantileSketch, ShardedEngine,
+};
+
+fn kll() -> KllSketch {
+    KllSketch::with_seed(200, 42)
+}
+
+#[test]
+fn sharded_spawn_and_config_chain_still_work() {
+    let config = EngineConfig::new(2).with_batch_size(64).with_queue_capacity(4);
+    let mut engine = ShardedEngine::spawn(config, kll);
+    engine.extend((1..=1_000).map(f64::from));
+    let merged = engine.finish().unwrap();
+    assert_eq!(merged.count(), 1_000);
+}
+
+#[test]
+fn sharded_checkpoint_shims_still_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("qsketch-shim-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ckpt = CheckpointConfig::new(&dir, 100);
+
+    let mut engine =
+        ShardedEngine::spawn_with_checkpoints(EngineConfig::new(2), kll, ckpt.clone()).unwrap();
+    engine.extend((1..=2_000).map(f64::from));
+    engine.drain();
+    drop(engine);
+
+    let mut recovered = ShardedEngine::recover(EngineConfig::new(2), kll, ckpt).unwrap();
+    recovered.extend((1..=2_000).map(f64::from));
+    let merged = recovered.finish().unwrap();
+    assert_eq!(merged.count(), 2_000);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn keyed_spawn_quota_and_query_shims_still_work() {
+    let engine = KeyedEngine::spawn(
+        KeyedEngineConfig::new(2)
+            .with_queue_capacity(8)
+            .with_tenant_quota("noisy", TenantQuota::per_sec(10.0).with_burst(10.0)),
+        kll,
+    )
+    .unwrap();
+    engine.ingest("acme", "lat", (1..=500).map(f64::from).collect()).unwrap();
+    engine.ingest("acme", "err", (1..=500).map(f64::from).collect()).unwrap();
+    engine.drain();
+
+    // Old query surface: snapshot / quantile / merged_prefix.
+    let snap = engine.snapshot("acme", "lat").expect("known key");
+    assert_eq!(snap.count(), 500);
+    let q = engine.quantile("acme", "lat", 0.5).unwrap();
+    assert!((q - 250.0).abs() < 25.0, "{q}");
+    let merged = engine.merged_prefix("acme", "").unwrap().expect("keys exist");
+    assert_eq!(merged.count(), 1_000);
+    engine.finish();
+}
+
+#[test]
+fn deprecated_and_builder_paths_agree_bit_for_bit() {
+    use quantile_sketches::EngineBuilder;
+    let values: Vec<f64> = (1..=4_000).map(|i| f64::from(i).sqrt()).collect();
+
+    let mut old = ShardedEngine::spawn(EngineConfig::new(2), kll);
+    old.extend(values.iter().copied());
+    let old = old.finish().unwrap();
+
+    let mut new = EngineBuilder::sharded(2).spawn(kll).unwrap();
+    new.extend(values.iter().copied());
+    let new = new.finish().unwrap();
+
+    for q in [0.25, 0.5, 0.9, 1.0] {
+        assert_eq!(
+            old.query(q).unwrap().to_bits(),
+            new.query(q).unwrap().to_bits(),
+            "q={q}: shim and builder must drive the identical engine"
+        );
+    }
+}

@@ -7,11 +7,12 @@
 use std::time::{Duration, Instant};
 
 use qsketch_bench::SketchKind;
+use qsketch_core::codec::{DecodeError, SketchSerialize};
 use quantile_sketches::{
     DataSet, ExactQuantiles, MergeError, MergeableSketch, MetricsRegistry, QuantileSketch,
     QueryError, ValueStream,
 };
-use qsketch_streamsim::engine::{EngineConfig, ShardedEngine};
+use qsketch_streamsim::EngineBuilder;
 
 const N: usize = 40_000;
 const SHARDS: usize = 4;
@@ -65,10 +66,12 @@ fn sharded_engine_matches_single_sketch_error_regime() {
 
         // Sharded run over the same stream.
         let mut shard_seed = 200u64;
-        let mut engine = ShardedEngine::spawn(EngineConfig::new(SHARDS), || {
-            shard_seed += 1;
-            kind.build(shard_seed, true)
-        });
+        let mut engine = EngineBuilder::sharded(SHARDS)
+            .spawn(|| {
+                shard_seed += 1;
+                kind.build(shard_seed, true)
+            })
+            .unwrap();
         for &v in &values {
             engine.insert(v);
         }
@@ -92,28 +95,49 @@ fn sharded_engine_matches_single_sketch_error_regime() {
     }
 }
 
-/// Routing is a deterministic function of the input order (round-robin
-/// batches over SPSC queues), so two engines with the same seeds must
-/// produce bit-identical estimates regardless of thread scheduling.
+/// The per-shard determinism contract (ARCHITECTURE.md): routing is a
+/// deterministic function of the input order (round-robin batches over
+/// per-shard rings, each drained by a single worker in FIFO order), so
+/// two engines with the same seeds must hold bit-identical per-shard
+/// states — and therefore bit-identical merged estimates — regardless
+/// of thread scheduling. Concurrency only reorders work *between*
+/// shards, never within one.
 #[test]
 fn sharded_engine_is_deterministic() {
     let (values, _) = pareto_stream(11);
     for kind in SketchKind::PAPER_FIVE {
         let run = || {
             let mut shard_seed = 300u64;
-            let mut engine = ShardedEngine::spawn(EngineConfig::new(SHARDS), || {
-                shard_seed += 1;
-                kind.build(shard_seed, true)
-            });
+            let mut engine = EngineBuilder::sharded(SHARDS)
+                .spawn(|| {
+                    shard_seed += 1;
+                    kind.build(shard_seed, true)
+                })
+                .unwrap();
             for &v in &values {
                 engine.insert(v);
             }
+            // Per-shard contract: the published wire bytes of every
+            // shard must be bit-identical across runs, not just the
+            // merged estimates.
+            let handle = engine.query_fresh();
+            let mut shard_bytes: Vec<(usize, Vec<u8>)> = handle
+                .parts()
+                .iter()
+                .map(|p| (p.shard, p.bytes.clone()))
+                .collect();
+            shard_bytes.sort_by_key(|(shard, _)| *shard);
             let merged = engine.finish().unwrap();
-            QS.iter()
+            let estimates = QS
+                .iter()
                 .map(|&q| merged.query(q).unwrap())
-                .collect::<Vec<f64>>()
+                .collect::<Vec<f64>>();
+            (shard_bytes, estimates)
         };
-        assert_eq!(run(), run(), "{}: non-deterministic estimates", kind.label());
+        let (bytes_a, est_a) = run();
+        let (bytes_b, est_b) = run();
+        assert_eq!(bytes_a, bytes_b, "{}: per-shard bytes diverged", kind.label());
+        assert_eq!(est_a, est_b, "{}: non-deterministic estimates", kind.label());
     }
 }
 
@@ -160,19 +184,42 @@ impl MergeableSketch for SlowSketch {
     }
 }
 
+// The engine publishes shard snapshots in wire format, so even a test
+// sketch needs a codec: count then raw little-endian values.
+impl SketchSerialize for SlowSketch {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + self.values.len() * 8);
+        buf.extend_from_slice(&(self.values.len() as u64).to_le_bytes());
+        for v in &self.values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+    fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let head = bytes.get(..8).ok_or(DecodeError::UnexpectedEnd)?;
+        let n = u64::from_le_bytes(head.try_into().unwrap()) as usize;
+        let mut values = Vec::with_capacity(n.min(1 << 20));
+        for i in 0..n {
+            let off = 8 + i * 8;
+            let chunk = bytes.get(off..off + 8).ok_or(DecodeError::UnexpectedEnd)?;
+            values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(Self { values })
+    }
+}
+
 /// The ISSUE's backpressure test: with a 1-batch queue and a slow
 /// consumer the producer must block (non-empty backpressure histogram),
 /// nothing may be lost, and the run must complete (no deadlock).
 #[test]
 fn backpressure_blocks_producer_without_deadlock() {
     let registry = MetricsRegistry::new();
-    let mut engine = ShardedEngine::spawn_instrumented(
-        EngineConfig::new(2).with_batch_size(4).with_queue_capacity(1),
-        SlowSketch::default,
-        &registry,
-        "engine",
-    )
-    .unwrap();
+    let mut engine = EngineBuilder::sharded(2)
+        .batch_size(4)
+        .queue_capacity(1)
+        .metrics(&registry, "engine")
+        .spawn(SlowSketch::default)
+        .unwrap();
     let n = 400u64;
     for i in 1..=n {
         engine.insert(i as f64);
@@ -204,9 +251,9 @@ fn sharded_ddsketch_keeps_deterministic_guarantee() {
     let (values, _) = pareto_stream(13);
     let mut oracle = ExactQuantiles::with_capacity(N);
     oracle.extend(values.iter().copied());
-    let mut engine = ShardedEngine::spawn(EngineConfig::new(SHARDS), || {
-        SketchKind::Dds.build(1, false)
-    });
+    let mut engine = EngineBuilder::sharded(SHARDS)
+        .spawn(|| SketchKind::Dds.build(1, false))
+        .unwrap();
     for &v in &values {
         engine.insert(v);
     }
