@@ -8,6 +8,14 @@
 //! committed baseline).
 
 use qsketch_bench::cli::Scale;
+use qsketch_core::alloccount::CountingAlloc;
+
+// Counting is two relaxed increments per allocation — cheap enough to
+// leave on, and it is what makes the allocs/frame column a measurement
+// instead of a constant 0. The zero-alloc steady state means the hot
+// path never pays it at all.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args = qsketch_bench::cli::Args::parse();

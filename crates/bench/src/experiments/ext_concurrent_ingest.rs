@@ -262,7 +262,7 @@ fn measure_query_under_ingest(values: &[f64]) -> (usize, f64, f64, u64) {
     );
     // Seed the key so the very first query already resolves, then
     // publish it before the race starts.
-    engine.ingest("bench", "stream", values[..BATCH.min(values.len())].to_vec()).unwrap();
+    engine.ingest("bench", "stream", &values[..BATCH.min(values.len())]).unwrap();
     engine.drain();
 
     let producer = {
@@ -270,7 +270,7 @@ fn measure_query_under_ingest(values: &[f64]) -> (usize, f64, f64, u64) {
         let body: Vec<f64> = values[BATCH.min(values.len())..].to_vec();
         thread::spawn(move || {
             for chunk in body.chunks(BATCH) {
-                engine.ingest("bench", "stream", chunk.to_vec()).unwrap();
+                engine.ingest("bench", "stream", chunk).unwrap();
             }
         })
     };
@@ -319,7 +319,7 @@ fn measure_producers(values: &[f64], producers: usize) -> f64 {
             thread::spawn(move || {
                 let tenant = format!("t{p}");
                 for chunk in slice.chunks(BATCH) {
-                    engine.ingest(&tenant, "stream", chunk.to_vec()).unwrap();
+                    engine.ingest(&tenant, "stream", chunk).unwrap();
                 }
             })
         })

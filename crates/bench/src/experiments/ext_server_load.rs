@@ -8,6 +8,13 @@
 //!
 //! * **throughput** — total events/s across `C` concurrent client
 //!   connections, each streaming batches to its own tenant and keys,
+//! * **pipelined throughput** — the same workload with `pipeline_depth`
+//!   batches packed per v3 multi-op envelope (one read/decode/write
+//!   cycle, so the syscall and ack round-trip amortize across ops),
+//! * **allocs/frame** — percentiles of the server's per-frame heap
+//!   allocation count (`server.allocs_per_frame`), measured when the
+//!   binary installs the counting allocator; steady state must sit at
+//!   p50 = 0 (the committed budget — see `ci/check.sh`),
 //! * **ingest ack latency** — p50/p99/max time from sending an `Ingest`
 //!   frame to reading its `IngestOk` (the synchronous ack covers quota
 //!   check + route + enqueue, not insertion, which is asynchronous),
@@ -24,10 +31,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cli::{Args, Scale};
+use qsketch_core::alloccount;
+use qsketch_core::metrics::MetricsRegistry;
 use qsketch_kll::KllSketch;
 use qsketch_server::client::{Client, ClientError};
 use qsketch_server::config::{ServerConfig, SERVER_SKETCH_SEED};
-use qsketch_server::protocol::ErrorCode;
+use qsketch_server::protocol::{ErrorCode, F64s, RequestView, Response};
 use qsketch_server::server::{spawn_core, Server, ServerCore};
 
 /// Every scale-dependent knob of the experiment, resolved in exactly
@@ -51,6 +60,8 @@ pub struct LoadConfig {
     pub noisy_quota: f64,
     /// Quiet-tenant probes in the isolation phase.
     pub quiet_probes: usize,
+    /// Ingest ops per v3 batch envelope in the pipelined phase.
+    pub pipeline_depth: usize,
 }
 
 impl LoadConfig {
@@ -70,6 +81,7 @@ impl LoadConfig {
             },
             noisy_quota: 50_000.0,
             quiet_probes: 400,
+            pipeline_depth: 16,
         }
     }
 }
@@ -91,17 +103,45 @@ fn latency_stats(mut ns: Vec<u64>) -> LatencyStats {
     }
 }
 
-fn start_server(config: &ServerConfig) -> (Server, Arc<ServerCore<KllSketch>>) {
+fn start_server(config: &ServerConfig) -> (Server, Arc<ServerCore<KllSketch>>, MetricsRegistry) {
+    let registry = MetricsRegistry::new();
     let core = Arc::new(
         spawn_core(
             config.engine_config(),
             || KllSketch::with_seed(200, SERVER_SKETCH_SEED),
             false,
         )
-        .expect("server engine spawns"),
+        .expect("server engine spawns")
+        .instrument(&registry, "server"),
     );
     let server = Server::start("127.0.0.1:0", Arc::clone(&core)).expect("ephemeral bind");
-    (server, core)
+    (server, core, registry)
+}
+
+/// Per-frame allocation percentiles from the server's
+/// `server.allocs_per_frame` histogram. `None` when the counting
+/// allocator is not installed in this binary (the histogram would read
+/// all-zero regardless of what the data plane does, which is not a
+/// measurement). `bench_server_load` installs it; `run_all` does not.
+struct AllocStats {
+    p50: u64,
+    p99: u64,
+    max: u64,
+    frames: u64,
+}
+
+fn alloc_stats(registry: &MetricsRegistry) -> Option<AllocStats> {
+    if alloccount::total_allocs() == 0 {
+        return None;
+    }
+    let snapshot = registry.snapshot();
+    let h = snapshot.histogram("server.allocs_per_frame")?;
+    Some(AllocStats {
+        p50: h.p50,
+        p99: h.p99,
+        max: h.max,
+        frames: h.count,
+    })
 }
 
 struct ThroughputResult {
@@ -109,11 +149,13 @@ struct ThroughputResult {
     events_per_sec: f64,
     ack: LatencyStats,
     query_p50: f64,
+    allocs: Option<AllocStats>,
 }
 
 /// Phase 1: C connections stream batches as fast as the server acks.
 fn run_throughput(load: LoadConfig) -> ThroughputResult {
-    let (server, _core) = start_server(&ServerConfig::new("unused").with_shards(load.shards));
+    let (server, _core, registry) =
+        start_server(&ServerConfig::new("unused").with_shards(load.shards));
     let addr = server.local_addr();
     let per_conn = load.events_per_conn;
 
@@ -162,13 +204,80 @@ fn run_throughput(load: LoadConfig) -> ThroughputResult {
         .query("tenant-0", "api.endpoint.0", &[0.5])
         .expect("query");
 
+    let allocs = alloc_stats(&registry);
     drop(server);
     ThroughputResult {
         events,
         events_per_sec: events as f64 / elapsed,
         ack: latency_stats(all_lat),
         query_p50: values[0],
+        allocs,
     }
+}
+
+/// Phase 2: the same workload, but each connection packs
+/// `pipeline_depth` ingest batches into one v3 multi-op envelope — one
+/// read/decode/write cycle (two syscalls) serves the whole window.
+fn run_pipelined(load: LoadConfig) -> f64 {
+    let (server, _core, _registry) =
+        start_server(&ServerConfig::new("unused").with_shards(load.shards));
+    let addr = server.local_addr();
+    let per_conn = load.events_per_conn;
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for conn in 0..load.connections {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let tenant = format!("tenant-{conn}");
+            let keys: Vec<String> = (0..load.keys_per_conn)
+                .map(|k| format!("api.endpoint.{k}"))
+                .collect();
+            let window = load.batch * load.pipeline_depth;
+            let mut values: Vec<f64> = Vec::with_capacity(window);
+            let mut sent = 0usize;
+            let mut round = 0usize;
+            let mut value = conn as f64;
+            while sent < per_conn {
+                let n = window.min(per_conn - sent);
+                values.clear();
+                values.extend((0..n).map(|i| {
+                    value += 1.0;
+                    value + (i % 97) as f64
+                }));
+                let ops: Vec<RequestView<'_>> = values
+                    .chunks(load.batch)
+                    .enumerate()
+                    .map(|(i, chunk)| RequestView::Ingest {
+                        tenant: &tenant,
+                        key: &keys[(round + i) % keys.len()],
+                        values: F64s::Slice(chunk),
+                    })
+                    .collect();
+                round += ops.len();
+                for result in client.call_batch(&ops).expect("pipelined ingest") {
+                    match result.expect("pipelined op") {
+                        Response::IngestOk { .. } => {}
+                        other => panic!("unexpected pipelined response {other:?}"),
+                    }
+                }
+                sent += n;
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("pipelined load thread");
+    }
+    let events = (load.connections * per_conn) as u64;
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.flush().expect("flush");
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.events, events, "server lost pipelined events");
+
+    drop(server);
+    events as f64 / elapsed
 }
 
 struct IsolationResult {
@@ -184,7 +293,7 @@ fn run_isolation(load: LoadConfig) -> IsolationResult {
     let config = ServerConfig::new("unused")
         .with_shards(load.shards)
         .with_tenant_quota("noisy", load.noisy_quota);
-    let (server, _core) = start_server(&config);
+    let (server, _core, _registry) = start_server(&config);
     let addr = server.local_addr();
 
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -251,6 +360,7 @@ pub fn run(args: &Args) -> String {
 pub fn run_with_json(args: &Args) -> (String, String) {
     let load = LoadConfig::for_scale(args.scale);
     let throughput = run_throughput(load);
+    let pipelined_eps = run_pipelined(load);
     let isolation = run_isolation(load);
 
     let mut out = format!(
@@ -262,6 +372,17 @@ pub fn run_with_json(args: &Args) -> (String, String) {
     table.row(vec![
         "ingest throughput".into(),
         format!("{:.2} M events/s", throughput.events_per_sec / 1e6),
+    ]);
+    table.row(vec![
+        format!("pipelined throughput (depth {})", load.pipeline_depth),
+        format!("{:.2} M events/s", pipelined_eps / 1e6),
+    ]);
+    table.row(vec![
+        "allocs/frame p50 / p99 / max".into(),
+        match &throughput.allocs {
+            Some(a) => format!("{} / {} / {} ({} frames)", a.p50, a.p99, a.max, a.frames),
+            None => "n/a (counting allocator not installed)".into(),
+        },
     ]);
     table.row(vec![
         "ack latency p50".into(),
@@ -308,16 +429,28 @@ pub fn run_with_json(args: &Args) -> (String, String) {
         Scale::Quick => "quick",
         Scale::Full => "full",
     };
+    let allocs_json = match &throughput.allocs {
+        Some(a) => format!(
+            "{{\"counting\":true,\"budget_p50\":0,\"p50\":{},\"p99\":{},\
+             \"max\":{},\"frames\":{}}}",
+            a.p50, a.p99, a.max, a.frames
+        ),
+        None => "{\"counting\":false}".to_string(),
+    };
     let json = format!(
         "{{\"experiment\":\"ext_server_load\",\"scale\":\"{scale}\",\
          \"sketch\":\"kll:200\",\"shards\":{shards},\
          \"connections\":{connections},\"batch\":{batch},\
          \"events\":{events},\"events_per_sec\":{eps:.1},\
+         \"pipelined\":{{\"depth\":{depth},\"events_per_sec\":{peps:.1}}},\
+         \"allocs_per_frame\":{allocs_json},\
          \"ack_us\":{{\"p50\":{p50:.2},\"p99\":{p99:.2},\"max\":{max:.2}}},\
          \"isolation\":{{\"noisy_quota_events_per_sec\":{quota:.0},\
          \"noisy_rejected_batches\":{rej},\"noisy_admitted_events\":{adm},\
          \"max_retry_hint_ms\":{hint},\
          \"quiet_ack_us\":{{\"p50\":{qp50:.2},\"p99\":{qp99:.2},\"max\":{qmax:.2}}}}}}}",
+        depth = load.pipeline_depth,
+        peps = pipelined_eps,
         shards = load.shards,
         connections = load.connections,
         batch = load.batch,

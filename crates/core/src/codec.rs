@@ -91,6 +91,14 @@ impl Writer {
         self.buf
     }
 
+    /// Resume writing at the end of an existing buffer (no header is
+    /// written). This is how reusable encode buffers avoid a fresh
+    /// allocation per payload: `mem::take` the buffer in, append, and
+    /// [`finish`](Self::finish) it back out.
+    pub fn over(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
     /// Write one raw byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -251,13 +259,34 @@ impl<'a> Reader<'a> {
     /// [`Writer::bytes`]); `max_len` bounds allocation against hostile
     /// payloads.
     pub fn byte_vec(&mut self, max_len: u64) -> Result<Vec<u8>, DecodeError> {
+        Ok(self.byte_slice(max_len)?.to_vec())
+    }
+
+    /// Borrowed form of [`byte_vec`](Self::byte_vec): the same
+    /// length-prefixed byte string, returned as a slice of the payload
+    /// with no copy and no allocation.
+    pub fn byte_slice(&mut self, max_len: u64) -> Result<&'a [u8], DecodeError> {
         let len = self.varint()?;
         if len > max_len {
             return Err(DecodeError::Corrupt(format!(
                 "declared length {len} exceeds limit {max_len}"
             )));
         }
-        Ok(self.take(len as usize)?.to_vec())
+        self.take(len as usize)
+    }
+
+    /// Borrowed form of [`f64_vec`](Self::f64_vec): reads the same
+    /// length-prefixed `f64` run but returns the raw little-endian
+    /// bytes (8 per value) without decoding or allocating. `max_len`
+    /// bounds the declared *value count*.
+    pub fn f64_le_slice(&mut self, max_len: u64) -> Result<&'a [u8], DecodeError> {
+        let len = self.varint()?;
+        if len > max_len {
+            return Err(DecodeError::Corrupt(format!(
+                "declared length {len} exceeds limit {max_len}"
+            )));
+        }
+        self.take(len as usize * std::mem::size_of::<f64>())
     }
 
     /// The unread remainder of the payload (the inner payload of an

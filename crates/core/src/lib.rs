@@ -44,12 +44,14 @@
 
 #![deny(missing_docs)]
 
+pub mod alloccount;
 pub mod codec;
 pub mod error;
 pub mod exact;
 pub mod fastlog;
 pub mod flatwire;
 pub mod metrics;
+pub mod pool;
 pub mod profile;
 pub mod quantiles;
 pub mod rank;
@@ -63,10 +65,9 @@ pub use flatwire::SketchView;
 pub use fastlog::FastCeilIndexer;
 pub use exact::ExactQuantiles;
 pub use metrics::{Instrumented, MetricsRegistry, MetricsSnapshot};
+pub use pool::{BufferPool, Pooled, Recycle};
 pub use profile::Profile;
 pub use sketch::{
     merge_tree, merge_tree_counted, MergeError, MergeableSketch, QuantileSketch, QueryError,
     SketchError, SketchFactory,
 };
-#[allow(deprecated)]
-pub use sketch::snapshot_merge;

@@ -342,24 +342,6 @@ pub fn merge_tree_counted<S: MergeableSketch>(
     Ok(shards.pop().map(|s| (s, merges)))
 }
 
-/// Merge point-in-time *snapshots* of live shard sketches: clone each
-/// shard, then fold the clones through [`merge_tree`]. The shards are
-/// only read, so concurrent writers (behind their own locks) keep going
-/// while the query side folds an isolated copy.
-///
-/// This was the clone-behind-lock query path of the sharded ingestion
-/// engine; the engines now publish serialized epoch snapshots and
-/// answer through a `SnapshotHandle` (which folds multi-part handles
-/// through [`merge_tree`] itself), so nothing on the hot path calls
-/// this any more.
-#[deprecated(
-    since = "0.9.0",
-    note = "query through an engine SnapshotHandle, or fold owned sketches with merge_tree"
-)]
-pub fn snapshot_merge<S: MergeableSketch + Clone>(shards: &[S]) -> Result<Option<S>, MergeError> {
-    merge_tree(shards.to_vec())
-}
-
 /// Validate a quantile argument, shared by all implementations.
 ///
 /// The paper (§2.1) defines the `q`-quantile for `q ∈ (0, 1]` — zero is
@@ -505,17 +487,6 @@ mod tests {
     fn merge_tree_propagates_errors() {
         let shards = vec![Labelled::new("a"), Labelled::new("bad!")];
         assert!(merge_tree(shards).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn snapshot_merge_leaves_sources_untouched() {
-        let shards = vec![Labelled::new("a"), Labelled::new("b")];
-        let merged = snapshot_merge(&shards).unwrap().unwrap();
-        assert_eq!(merged.count(), 2);
-        // The originals were only cloned, never mutated.
-        assert_eq!(shards[0].label, "a");
-        assert_eq!(shards[0].merges_absorbed, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::process::ExitCode;
 
 use qsketch_server::client::Client;
+use qsketch_server::protocol::{F64s, RequestView, Response};
 
 const USAGE: &str = "\
 qsketch_client — CLI for the qsketch server
@@ -76,15 +77,34 @@ fn run() -> Result<(), String> {
             }
             let start: i64 = rest[2].parse().map_err(|_| "bad START")?;
             let count: u64 = rest[3].parse().map_err(|_| "bad COUNT")?;
+            // Pipeline up to 16 ingest batches per round trip through the
+            // v3 multi-op envelope; one reusable value buffer, borrowed
+            // into the ops — no per-batch allocation.
+            const BATCH: usize = 4096;
+            const PIPELINE: usize = 16;
             let mut sent = 0u64;
-            let mut batch = Vec::with_capacity(4096);
-            for i in 0..count {
-                batch.push((start + i as i64) as f64);
-                if batch.len() == 4096 || i + 1 == count {
-                    sent += client
-                        .ingest(&rest[0], &rest[1], &batch)
-                        .map_err(|e| e.to_string())?;
-                    batch.clear();
+            let mut values: Vec<f64> = Vec::with_capacity(BATCH * PIPELINE);
+            let mut next = start;
+            let mut remaining = count;
+            while remaining > 0 {
+                let n = remaining.min((BATCH * PIPELINE) as u64);
+                values.clear();
+                values.extend((0..n).map(|i| (next + i as i64) as f64));
+                next += n as i64;
+                remaining -= n;
+                let ops: Vec<RequestView<'_>> = values
+                    .chunks(BATCH)
+                    .map(|chunk| RequestView::Ingest {
+                        tenant: &rest[0],
+                        key: &rest[1],
+                        values: F64s::Slice(chunk),
+                    })
+                    .collect();
+                for result in client.call_batch(&ops).map_err(|e| e.to_string())? {
+                    match result.map_err(|e| e.to_string())? {
+                        Response::IngestOk { accepted } => sent += accepted,
+                        other => return Err(format!("unexpected response {other:?}")),
+                    }
                 }
             }
             println!("accepted={sent}");

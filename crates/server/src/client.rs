@@ -14,13 +14,16 @@
 //! ```
 
 use std::fmt;
-use std::io;
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use qsketch_core::codec::DecodeError;
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, ServerStats};
+use crate::protocol::{
+    batch_header_into, begin_frame, end_frame, read_frame_into, BatchView, ErrorCode, F64s,
+    Request, RequestView, Response, ServerStats,
+};
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
@@ -81,8 +84,17 @@ impl From<DecodeError> for ClientError {
 }
 
 /// A blocking connection to a qsketch server.
+///
+/// The client reuses its encode and read buffers across calls, and the
+/// slice-taking methods ([`ingest`](Self::ingest), [`query`](Self::query),
+/// …) encode through the borrowed [`RequestView`] — a call copies the
+/// caller's values exactly once, onto the wire.
 pub struct Client {
     stream: TcpStream,
+    /// Reusable encode buffer (request frames).
+    wire: Vec<u8>,
+    /// Reusable read buffer (response frame payloads).
+    frame: Vec<u8>,
 }
 
 impl Client {
@@ -90,7 +102,11 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            wire: Vec::new(),
+            frame: Vec::new(),
+        })
     }
 
     /// Connect with a timeout on establishing the connection.
@@ -101,19 +117,23 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            wire: Vec::new(),
+            frame: Vec::new(),
+        })
     }
 
-    /// One request/response exchange.
-    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            ClientError::Io(io::Error::new(
+    /// Read one response frame into the reusable buffer and decode it,
+    /// mapping `Error` responses to [`ClientError::Server`].
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        if !read_frame_into(&mut self.stream, &mut self.frame)? {
+            return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ))
-        })?;
-        let response = Response::decode(&payload)?;
+            )));
+        }
+        let response = Response::decode(&self.frame)?;
         if let Response::Error {
             code,
             retry_after_ms,
@@ -127,6 +147,94 @@ impl Client {
             });
         }
         Ok(response)
+    }
+
+    /// One request/response exchange through the borrowed encoder.
+    pub fn call_view(&mut self, request: &RequestView<'_>) -> Result<Response, ClientError> {
+        self.wire.clear();
+        let at = begin_frame(&mut self.wire);
+        request.encode_into(&mut self.wire);
+        end_frame(&mut self.wire, at);
+        self.stream.write_all(&self.wire)?;
+        self.read_response()
+    }
+
+    /// One request/response exchange.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.call_view(&request.view())
+    }
+
+    /// Pipelined exchange: send every request in **one v3 batch
+    /// envelope** (one frame, one syscall) and collect the per-op
+    /// results in order. Op-level failures arrive as
+    /// `Err(ClientError::Server{..})` entries without poisoning their
+    /// neighbours; the outer `Result` fails only on transport or
+    /// envelope-level errors. Requires a v3 server; `Shutdown` is not
+    /// allowed in a batch.
+    pub fn call_batch(
+        &mut self,
+        requests: &[RequestView<'_>],
+    ) -> Result<Vec<Result<Response, ClientError>>, ClientError> {
+        self.wire.clear();
+        let at = begin_frame(&mut self.wire);
+        batch_header_into(requests.len(), false, &mut self.wire);
+        let mut scratch = Vec::new();
+        for request in requests {
+            scratch.clear();
+            request.encode_into(&mut scratch);
+            crate::protocol::push_batch_op(&scratch, &mut self.wire);
+        }
+        end_frame(&mut self.wire, at);
+        self.stream.write_all(&self.wire)?;
+        if !read_frame_into(&mut self.stream, &mut self.frame)? {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let batch = match BatchView::decode_response(&self.frame) {
+            Ok(batch) => batch,
+            // A pre-v3 server (or an envelope-level rejection) answers
+            // with a single plain response frame.
+            Err(_) => {
+                let response = Response::decode(&self.frame)?;
+                if let Response::Error {
+                    code,
+                    retry_after_ms,
+                    message,
+                } = response
+                {
+                    return Err(ClientError::Server {
+                        code,
+                        retry_after_ms,
+                        message,
+                    });
+                }
+                return Err(ClientError::UnexpectedResponse(format!(
+                    "expected a batch envelope, got {response:?}"
+                )));
+            }
+        };
+        let results = batch
+            .ops()
+            .map(|inner| {
+                let response = Response::decode(inner)?;
+                if let Response::Error {
+                    code,
+                    retry_after_ms,
+                    message,
+                } = response
+                {
+                    return Err(ClientError::Server {
+                        code,
+                        retry_after_ms,
+                        message,
+                    });
+                }
+                Ok(response)
+            })
+            .collect();
+        Ok(results)
     }
 
     /// Negotiate the protocol version; returns the agreed version.
@@ -147,10 +255,10 @@ impl Client {
         key: &str,
         values: &[f64],
     ) -> Result<u64, ClientError> {
-        match self.call(&Request::Ingest {
-            tenant: tenant.into(),
-            key: key.into(),
-            values: values.to_vec(),
+        match self.call_view(&RequestView::Ingest {
+            tenant,
+            key,
+            values: F64s::Slice(values),
         })? {
             Response::IngestOk { accepted } => Ok(accepted),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
@@ -164,10 +272,10 @@ impl Client {
         key: &str,
         qs: &[f64],
     ) -> Result<(Vec<f64>, u64), ClientError> {
-        match self.call(&Request::Query {
-            tenant: tenant.into(),
-            key: key.into(),
-            qs: qs.to_vec(),
+        match self.call_view(&RequestView::Query {
+            tenant,
+            key,
+            qs: F64s::Slice(qs),
         })? {
             Response::QueryOk { values, count } => Ok((values, count)),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
@@ -201,10 +309,10 @@ impl Client {
         prefix: &str,
         qs: &[f64],
     ) -> Result<(Vec<f64>, u64, u64), ClientError> {
-        match self.call(&Request::MergedQuery {
-            tenant: tenant.into(),
-            prefix: prefix.into(),
-            qs: qs.to_vec(),
+        match self.call_view(&RequestView::MergedQuery {
+            tenant,
+            prefix,
+            qs: F64s::Slice(qs),
         })? {
             Response::MergedOk {
                 values,
@@ -227,12 +335,12 @@ impl Client {
         t1: u64,
         qs: &[f64],
     ) -> Result<(Vec<f64>, u64, u64), ClientError> {
-        match self.call(&Request::RangeQuery {
-            tenant: tenant.into(),
-            key: key.into(),
+        match self.call_view(&RequestView::RangeQuery {
+            tenant,
+            key,
             t0,
             t1,
-            qs: qs.to_vec(),
+            qs: F64s::Slice(qs),
         })? {
             Response::RangeOk {
                 values,

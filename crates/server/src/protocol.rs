@@ -21,6 +21,24 @@
 //! Responses echo their request's opcode with the high bit set
 //! ([`response_opcode`]); errors use the dedicated [`OP_ERROR`] opcode
 //! with a machine-readable [`ErrorCode`] plus a human-readable message.
+//!
+//! # Borrowed decode
+//!
+//! [`RequestView`] is the allocation-free twin of [`Request`]: it
+//! parses the same bytes but borrows identifiers as `&str` and value
+//! runs as [`F64s`] (the raw little-endian bytes, read in place), so
+//! the server's ingest hot path never materializes an owned `Vec<f64>`
+//! per frame. The owned [`Request`] decoder is a thin wrapper over the
+//! view (`RequestView::decode(..)?.to_owned()`), and the owned encoder
+//! delegates to the view encoder — the two can never drift apart.
+//!
+//! # Pipelining (protocol v3)
+//!
+//! A version-3 [`op::BATCH`] frame carries up to [`MAX_BATCH_OPS`]
+//! complete request payloads, length-prefixed back to back; the server
+//! answers with one `BATCH | 0x80` frame carrying the responses in
+//! request order. [`BatchView`] walks an envelope without copying it.
+//! Per-opcode version stamping keeps every v1/v2 frame byte-identical.
 
 use qsketch_core::codec::{DecodeError, Reader, Writer};
 use std::io::{self, Read, Write};
@@ -29,14 +47,15 @@ use std::io::{self, Read, Write};
 pub const FRAME_MAGIC: u8 = 0x51;
 
 /// Highest protocol version this build speaks. Version 1 is the initial
-/// protocol; version 2 adds [`op::RANGE_QUERY`]. See `PROTOCOL.md`
-/// § Versioning for the negotiation rules.
+/// protocol; version 2 adds [`op::RANGE_QUERY`]; version 3 adds the
+/// [`op::BATCH`] multi-op envelope. See `PROTOCOL.md` § Versioning for
+/// the negotiation rules.
 ///
 /// Every frame carries the *lowest* version that defines its opcode
 /// ([`min_version_for`]), not this constant — so every version-1
 /// operation stays byte-identical on the wire and a version-1 peer
 /// keeps decoding it.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Hard ceiling on a frame's payload length (16 MiB). A frame header
 /// declaring more is rejected before any allocation.
@@ -60,7 +79,10 @@ pub const MAX_ERROR_MESSAGE: u64 = 1024;
 /// Most per-tenant rows a stats response may carry.
 pub const MAX_STATS_TENANTS: u64 = 1 << 16;
 
-/// Request opcodes (`0x01..=0x0B`).
+/// Most inner operations one [`op::BATCH`] envelope may carry.
+pub const MAX_BATCH_OPS: u64 = 256;
+
+/// Request opcodes (`0x01..=0x0C`).
 pub mod op {
     /// Version negotiation; must not change meaning across versions.
     pub const HELLO: u8 = 0x01;
@@ -85,6 +107,12 @@ pub mod op {
     /// Rollup range query over one `(tenant, key)`'s tiered store
     /// (protocol version ≥ 2).
     pub const RANGE_QUERY: u8 = 0x0B;
+    /// Pipelined multi-op envelope: up to
+    /// [`MAX_BATCH_OPS`](super::MAX_BATCH_OPS) length-prefixed complete
+    /// request payloads served in one read/decode/write cycle
+    /// (protocol version ≥ 3). Envelopes must not nest, and
+    /// [`SHUTDOWN`] is not allowed inside one.
+    pub const BATCH: u8 = 0x0C;
 }
 
 /// Error responses use this opcode instead of `request | 0x80`.
@@ -100,6 +128,7 @@ pub const fn min_version_for(opcode: u8) -> u8 {
     }
     match opcode & 0x7F {
         op::RANGE_QUERY => 2,
+        op::BATCH => 3,
         _ => 1,
     }
 }
@@ -328,10 +357,23 @@ fn read_str(r: &mut Reader<'_>, max_len: u64) -> Result<String, DecodeError> {
     String::from_utf8(bytes).map_err(|_| DecodeError::Corrupt("identifier is not UTF-8".into()))
 }
 
-fn header(opcode: u8) -> Writer {
-    let mut w = Writer::with_header(FRAME_MAGIC, min_version_for(opcode));
-    w.u8(opcode);
-    w
+fn read_str_view<'a>(r: &mut Reader<'a>, max_len: u64) -> Result<&'a str, DecodeError> {
+    std::str::from_utf8(r.byte_slice(max_len)?)
+        .map_err(|_| DecodeError::Corrupt("identifier is not UTF-8".into()))
+}
+
+fn write_f64s(w: &mut Writer, values: &F64s<'_>) {
+    w.varint(values.len() as u64);
+    match *values {
+        // The wire layout *is* little-endian f64s back to back, so the
+        // borrowed form appends without a decode/re-encode round trip.
+        F64s::Le(bytes) => w.raw(bytes),
+        F64s::Slice(slice) => {
+            for &v in slice {
+                w.f64(v);
+            }
+        }
+    }
 }
 
 fn open(payload: &[u8]) -> Result<(Reader<'_>, u8), DecodeError> {
@@ -365,32 +407,301 @@ impl Request {
         }
     }
 
-    /// Serialise the payload (without the frame length prefix).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = header(self.opcode());
+    /// The borrowed view of this request (values as [`F64s::Slice`]).
+    /// Owned encode goes through this, so the two forms cannot drift.
+    pub fn view(&self) -> RequestView<'_> {
         match self {
             Request::Hello {
+                min_version,
+                max_version,
+            } => RequestView::Hello {
+                min_version: *min_version,
+                max_version: *max_version,
+            },
+            Request::Ingest {
+                tenant,
+                key,
+                values,
+            } => RequestView::Ingest {
+                tenant,
+                key,
+                values: F64s::Slice(values),
+            },
+            Request::Query { tenant, key, qs } => RequestView::Query {
+                tenant,
+                key,
+                qs: F64s::Slice(qs),
+            },
+            Request::Cdf {
+                tenant,
+                key,
+                points,
+            } => RequestView::Cdf {
+                tenant,
+                key,
+                points: *points,
+            },
+            Request::MergedQuery { tenant, prefix, qs } => RequestView::MergedQuery {
+                tenant,
+                prefix,
+                qs: F64s::Slice(qs),
+            },
+            Request::Flush => RequestView::Flush,
+            Request::Checkpoint => RequestView::Checkpoint,
+            Request::Stats => RequestView::Stats,
+            Request::Ping => RequestView::Ping,
+            Request::Shutdown => RequestView::Shutdown,
+            Request::RangeQuery {
+                tenant,
+                key,
+                t0,
+                t1,
+                qs,
+            } => RequestView::RangeQuery {
+                tenant,
+                key,
+                t0: *t0,
+                t1: *t1,
+                qs: F64s::Slice(qs),
+            },
+        }
+    }
+
+    /// Serialise the payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.view().encode_into(&mut out);
+        out
+    }
+
+    /// Parse a request payload, validating header, opcode, bounds, and
+    /// UTF-8. Returns a typed [`DecodeError`] on any hostile input.
+    ///
+    /// This is `RequestView::decode(..)?.to_owned()` — the borrowed
+    /// decoder is the single parsing path.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        RequestView::decode(payload).map(|v| v.to_owned())
+    }
+}
+
+/// A borrowed run of `f64` values: either raw little-endian wire bytes
+/// (8 per value, decoded in place — what [`RequestView::decode`]
+/// yields) or an in-memory slice (what clients encode from). The wire
+/// layout is exactly the `Le` form, so encoding it is a straight copy
+/// and decoding it is free.
+#[derive(Debug, Clone, Copy)]
+pub enum F64s<'a> {
+    /// Raw little-endian bytes, 8 per value (length divisible by 8).
+    Le(&'a [u8]),
+    /// An in-memory slice.
+    Slice(&'a [f64]),
+}
+
+impl<'a> F64s<'a> {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match *self {
+            F64s::Le(bytes) => bytes.len() / std::mem::size_of::<f64>(),
+            F64s::Slice(slice) => slice.len(),
+        }
+    }
+
+    /// True when there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th value, if in range.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        match *self {
+            F64s::Le(bytes) => bytes
+                .get(i * 8..i * 8 + 8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))),
+            F64s::Slice(slice) => slice.get(i).copied(),
+        }
+    }
+
+    /// Iterate the values, decoding lazily for the wire form.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        let (le, slice) = match *self {
+            F64s::Le(bytes) => (Some(bytes), None),
+            F64s::Slice(s) => (None, Some(s)),
+        };
+        le.into_iter()
+            .flat_map(|b| b.chunks_exact(8))
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .chain(slice.into_iter().flatten().copied())
+    }
+
+    /// Append every value to `out` in one pass (no intermediate
+    /// allocation beyond `out`'s own growth).
+    pub fn extend_into(&self, out: &mut Vec<f64>) {
+        match *self {
+            F64s::Le(bytes) => {
+                out.reserve(bytes.len() / 8);
+                for c in bytes.chunks_exact(8) {
+                    out.push(f64::from_le_bytes(c.try_into().expect("8 bytes")));
+                }
+            }
+            F64s::Slice(slice) => out.extend_from_slice(slice),
+        }
+    }
+
+    /// Collect into an owned vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.extend_into(&mut out);
+        out
+    }
+
+    /// True when every value is finite (no NaN or ±infinity).
+    pub fn all_finite(&self) -> bool {
+        self.iter().all(f64::is_finite)
+    }
+}
+
+impl PartialEq for F64s<'_> {
+    /// Bit-level equality (NaN payloads compare equal to themselves),
+    /// regardless of representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.iter().map(f64::to_bits).eq(other.iter().map(f64::to_bits))
+    }
+}
+
+impl<'a> From<&'a [f64]> for F64s<'a> {
+    fn from(slice: &'a [f64]) -> Self {
+        F64s::Slice(slice)
+    }
+}
+
+/// The allocation-free twin of [`Request`]: the same opcodes and the
+/// same validation, but identifiers borrow from the frame as `&str`
+/// and value runs stay as raw wire bytes ([`F64s`]). Decoding one
+/// performs **zero heap allocations** — the basis of the server's
+/// zero-alloc ingest path (see the repo's `alloc_gate` test).
+///
+/// Batch envelopes ([`op::BATCH`]) are not requests and are rejected
+/// here; walk them with [`BatchView`] instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestView<'a> {
+    /// See [`Request::Hello`].
+    Hello {
+        /// Lowest version the client speaks.
+        min_version: u8,
+        /// Highest version the client speaks.
+        max_version: u8,
+    },
+    /// See [`Request::Ingest`].
+    Ingest {
+        /// Tenant identifier.
+        tenant: &'a str,
+        /// Metric-key identifier.
+        key: &'a str,
+        /// The batch, borrowed (1..=[`MAX_BATCH`] values).
+        values: F64s<'a>,
+    },
+    /// See [`Request::Query`].
+    Query {
+        /// Tenant identifier.
+        tenant: &'a str,
+        /// Metric-key identifier.
+        key: &'a str,
+        /// Quantiles in `(0, 1]`.
+        qs: F64s<'a>,
+    },
+    /// See [`Request::Cdf`].
+    Cdf {
+        /// Tenant identifier.
+        tenant: &'a str,
+        /// Metric-key identifier.
+        key: &'a str,
+        /// Grid size (1..=[`MAX_CDF_POINTS`]).
+        points: u32,
+    },
+    /// See [`Request::MergedQuery`].
+    MergedQuery {
+        /// Tenant identifier.
+        tenant: &'a str,
+        /// Key prefix (empty allowed).
+        prefix: &'a str,
+        /// Quantiles in `(0, 1]`.
+        qs: F64s<'a>,
+    },
+    /// See [`Request::Flush`].
+    Flush,
+    /// See [`Request::Checkpoint`].
+    Checkpoint,
+    /// See [`Request::Stats`].
+    Stats,
+    /// See [`Request::Ping`].
+    Ping,
+    /// See [`Request::Shutdown`].
+    Shutdown,
+    /// See [`Request::RangeQuery`].
+    RangeQuery {
+        /// Tenant identifier.
+        tenant: &'a str,
+        /// Metric-key identifier.
+        key: &'a str,
+        /// Inclusive range start, in rollup time units.
+        t0: u64,
+        /// Exclusive range end.
+        t1: u64,
+        /// Quantiles in `(0, 1]`.
+        qs: F64s<'a>,
+    },
+}
+
+impl<'a> RequestView<'a> {
+    /// This request's opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            RequestView::Hello { .. } => op::HELLO,
+            RequestView::Ingest { .. } => op::INGEST,
+            RequestView::Query { .. } => op::QUERY,
+            RequestView::Cdf { .. } => op::CDF,
+            RequestView::MergedQuery { .. } => op::MERGED_QUERY,
+            RequestView::Flush => op::FLUSH,
+            RequestView::Checkpoint => op::CHECKPOINT,
+            RequestView::Stats => op::STATS,
+            RequestView::Ping => op::PING,
+            RequestView::Shutdown => op::SHUTDOWN,
+            RequestView::RangeQuery { .. } => op::RANGE_QUERY,
+        }
+    }
+
+    /// Append the payload bytes to `out` (byte-identical to
+    /// [`Request::encode`], which delegates here). Reuse `out` across
+    /// calls to amortize its allocation away.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::over(std::mem::take(out));
+        w.u8(FRAME_MAGIC);
+        w.u8(min_version_for(self.opcode()));
+        w.u8(self.opcode());
+        match self {
+            RequestView::Hello {
                 min_version,
                 max_version,
             } => {
                 w.u8(*min_version);
                 w.u8(*max_version);
             }
-            Request::Ingest {
+            RequestView::Ingest {
                 tenant,
                 key,
                 values,
             } => {
                 write_str(&mut w, tenant);
                 write_str(&mut w, key);
-                w.f64_slice(values);
+                write_f64s(&mut w, values);
             }
-            Request::Query { tenant, key, qs } => {
+            RequestView::Query { tenant, key, qs } => {
                 write_str(&mut w, tenant);
                 write_str(&mut w, key);
-                w.f64_slice(qs);
+                write_f64s(&mut w, qs);
             }
-            Request::Cdf {
+            RequestView::Cdf {
                 tenant,
                 key,
                 points,
@@ -399,12 +710,12 @@ impl Request {
                 write_str(&mut w, key);
                 w.varint(u64::from(*points));
             }
-            Request::MergedQuery { tenant, prefix, qs } => {
+            RequestView::MergedQuery { tenant, prefix, qs } => {
                 write_str(&mut w, tenant);
                 write_str(&mut w, prefix);
-                w.f64_slice(qs);
+                write_f64s(&mut w, qs);
             }
-            Request::RangeQuery {
+            RequestView::RangeQuery {
                 tenant,
                 key,
                 t0,
@@ -415,57 +726,65 @@ impl Request {
                 write_str(&mut w, key);
                 w.varint(*t0);
                 w.varint(*t1);
-                w.f64_slice(qs);
+                write_f64s(&mut w, qs);
             }
-            Request::Flush
-            | Request::Checkpoint
-            | Request::Stats
-            | Request::Ping
-            | Request::Shutdown => {}
+            RequestView::Flush
+            | RequestView::Checkpoint
+            | RequestView::Stats
+            | RequestView::Ping
+            | RequestView::Shutdown => {}
         }
-        w.finish()
+        *out = w.finish();
     }
 
-    /// Parse a request payload, validating header, opcode, bounds, and
-    /// UTF-8. Returns a typed [`DecodeError`] on any hostile input.
-    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+    /// Serialise to a fresh payload vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Parse a request payload in place: no copies, no allocations,
+    /// same validation and same [`DecodeError`]s as the owned decoder
+    /// (which delegates here).
+    pub fn decode(payload: &'a [u8]) -> Result<Self, DecodeError> {
         let (mut r, opcode) = open(payload)?;
         let req = match opcode {
-            op::HELLO => Request::Hello {
+            op::HELLO => RequestView::Hello {
                 min_version: r.u8()?,
                 max_version: r.u8()?,
             },
             op::INGEST => {
-                let tenant = read_str(&mut r, MAX_IDENT)?;
-                let key = read_str(&mut r, MAX_IDENT)?;
-                let values = r.f64_vec(MAX_BATCH)?;
+                let tenant = read_str_view(&mut r, MAX_IDENT)?;
+                let key = read_str_view(&mut r, MAX_IDENT)?;
+                let values = F64s::Le(r.f64_le_slice(MAX_BATCH)?);
                 if tenant.is_empty() || key.is_empty() {
                     return Err(DecodeError::Corrupt("empty identifier".into()));
                 }
                 if values.is_empty() {
                     return Err(DecodeError::Corrupt("empty ingest batch".into()));
                 }
-                Request::Ingest {
+                RequestView::Ingest {
                     tenant,
                     key,
                     values,
                 }
             }
             op::QUERY => {
-                let tenant = read_str(&mut r, MAX_IDENT)?;
-                let key = read_str(&mut r, MAX_IDENT)?;
-                let qs = r.f64_vec(MAX_QUANTILES)?;
+                let tenant = read_str_view(&mut r, MAX_IDENT)?;
+                let key = read_str_view(&mut r, MAX_IDENT)?;
+                let qs = F64s::Le(r.f64_le_slice(MAX_QUANTILES)?);
                 if tenant.is_empty() || key.is_empty() {
                     return Err(DecodeError::Corrupt("empty identifier".into()));
                 }
                 if qs.is_empty() {
                     return Err(DecodeError::Corrupt("no quantiles requested".into()));
                 }
-                Request::Query { tenant, key, qs }
+                RequestView::Query { tenant, key, qs }
             }
             op::CDF => {
-                let tenant = read_str(&mut r, MAX_IDENT)?;
-                let key = read_str(&mut r, MAX_IDENT)?;
+                let tenant = read_str_view(&mut r, MAX_IDENT)?;
+                let key = read_str_view(&mut r, MAX_IDENT)?;
                 let points = r.varint()?;
                 if tenant.is_empty() || key.is_empty() {
                     return Err(DecodeError::Corrupt("empty identifier".into()));
@@ -475,30 +794,30 @@ impl Request {
                         "cdf points {points} outside 1..={MAX_CDF_POINTS}"
                     )));
                 }
-                Request::Cdf {
+                RequestView::Cdf {
                     tenant,
                     key,
                     points: points as u32,
                 }
             }
             op::MERGED_QUERY => {
-                let tenant = read_str(&mut r, MAX_IDENT)?;
-                let prefix = read_str(&mut r, MAX_IDENT)?;
-                let qs = r.f64_vec(MAX_QUANTILES)?;
+                let tenant = read_str_view(&mut r, MAX_IDENT)?;
+                let prefix = read_str_view(&mut r, MAX_IDENT)?;
+                let qs = F64s::Le(r.f64_le_slice(MAX_QUANTILES)?);
                 if tenant.is_empty() {
                     return Err(DecodeError::Corrupt("empty identifier".into()));
                 }
                 if qs.is_empty() {
                     return Err(DecodeError::Corrupt("no quantiles requested".into()));
                 }
-                Request::MergedQuery { tenant, prefix, qs }
+                RequestView::MergedQuery { tenant, prefix, qs }
             }
             op::RANGE_QUERY => {
-                let tenant = read_str(&mut r, MAX_IDENT)?;
-                let key = read_str(&mut r, MAX_IDENT)?;
+                let tenant = read_str_view(&mut r, MAX_IDENT)?;
+                let key = read_str_view(&mut r, MAX_IDENT)?;
                 let t0 = r.varint()?;
                 let t1 = r.varint()?;
-                let qs = r.f64_vec(MAX_QUANTILES)?;
+                let qs = F64s::Le(r.f64_le_slice(MAX_QUANTILES)?);
                 if tenant.is_empty() || key.is_empty() {
                     return Err(DecodeError::Corrupt("empty identifier".into()));
                 }
@@ -510,7 +829,7 @@ impl Request {
                 if qs.is_empty() {
                     return Err(DecodeError::Corrupt("no quantiles requested".into()));
                 }
-                Request::RangeQuery {
+                RequestView::RangeQuery {
                     tenant,
                     key,
                     t0,
@@ -518,11 +837,16 @@ impl Request {
                     qs,
                 }
             }
-            op::FLUSH => Request::Flush,
-            op::CHECKPOINT => Request::Checkpoint,
-            op::STATS => Request::Stats,
-            op::PING => Request::Ping,
-            op::SHUTDOWN => Request::Shutdown,
+            op::FLUSH => RequestView::Flush,
+            op::CHECKPOINT => RequestView::Checkpoint,
+            op::STATS => RequestView::Stats,
+            op::PING => RequestView::Ping,
+            op::SHUTDOWN => RequestView::Shutdown,
+            op::BATCH => {
+                return Err(DecodeError::Corrupt(
+                    "batch envelope is not a single request (use BatchView)".into(),
+                ))
+            }
             other => {
                 return Err(DecodeError::Corrupt(format!(
                     "unknown request opcode {other:#04x}"
@@ -532,6 +856,239 @@ impl Request {
         r.expect_exhausted()?;
         Ok(req)
     }
+
+    /// Materialize the owned [`Request`] (allocates — control-plane
+    /// only; the ingest hot path stays on the view).
+    pub fn to_owned(&self) -> Request {
+        match *self {
+            RequestView::Hello {
+                min_version,
+                max_version,
+            } => Request::Hello {
+                min_version,
+                max_version,
+            },
+            RequestView::Ingest {
+                tenant,
+                key,
+                values,
+            } => Request::Ingest {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+                values: values.to_vec(),
+            },
+            RequestView::Query { tenant, key, qs } => Request::Query {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+                qs: qs.to_vec(),
+            },
+            RequestView::Cdf {
+                tenant,
+                key,
+                points,
+            } => Request::Cdf {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+                points,
+            },
+            RequestView::MergedQuery { tenant, prefix, qs } => Request::MergedQuery {
+                tenant: tenant.to_string(),
+                prefix: prefix.to_string(),
+                qs: qs.to_vec(),
+            },
+            RequestView::Flush => Request::Flush,
+            RequestView::Checkpoint => Request::Checkpoint,
+            RequestView::Stats => Request::Stats,
+            RequestView::Ping => Request::Ping,
+            RequestView::Shutdown => Request::Shutdown,
+            RequestView::RangeQuery {
+                tenant,
+                key,
+                t0,
+                t1,
+                qs,
+            } => Request::RangeQuery {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+                t0,
+                t1,
+                qs: qs.to_vec(),
+            },
+        }
+    }
+}
+
+/// Read one LEB128 varint length prefix and split off that many bytes.
+fn split_prefixed(bytes: &[u8]) -> Result<(&[u8], &[u8]), DecodeError> {
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    let mut i = 0usize;
+    loop {
+        let Some(&b) = bytes.get(i) else {
+            return Err(DecodeError::UnexpectedEnd);
+        };
+        i += 1;
+        if shift >= 64 {
+            return Err(DecodeError::Corrupt("varint overflow".into()));
+        }
+        len |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len > MAX_FRAME as u64 {
+        return Err(DecodeError::Corrupt(format!(
+            "batch op declares {len} bytes (limit {MAX_FRAME})"
+        )));
+    }
+    let rest = &bytes[i..];
+    if rest.len() < len as usize {
+        return Err(DecodeError::UnexpectedEnd);
+    }
+    Ok(rest.split_at(len as usize))
+}
+
+/// A borrowed, validated view over a version-3 multi-op envelope
+/// (request or response form): `count` length-prefixed complete
+/// payloads back to back. Decoding walks the whole envelope once to
+/// validate framing — count bound, slice bounds, no nested envelopes,
+/// no trailing bytes — **without copying or allocating**; the inner
+/// payloads are handed out as borrowed slices by [`ops`](Self::ops)
+/// and decoded lazily by the consumer.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchView<'a> {
+    count: usize,
+    body: &'a [u8],
+}
+
+impl<'a> BatchView<'a> {
+    fn decode_as(payload: &'a [u8], want: u8) -> Result<Self, DecodeError> {
+        let (mut r, opcode) = open(payload)?;
+        if opcode != want {
+            return Err(DecodeError::Corrupt(format!(
+                "expected batch opcode {want:#04x}, found {opcode:#04x}"
+            )));
+        }
+        let count = r.varint()?;
+        if count == 0 || count > MAX_BATCH_OPS {
+            return Err(DecodeError::Corrupt(format!(
+                "batch declares {count} ops (limit 1..={MAX_BATCH_OPS})"
+            )));
+        }
+        let body = r.rest();
+        let mut walk = body;
+        for _ in 0..count {
+            let (inner, rest) = split_prefixed(walk)?;
+            if inner.len() < 3 {
+                return Err(DecodeError::Corrupt("batch op too short".into()));
+            }
+            if inner[2] & 0x7F == op::BATCH {
+                return Err(DecodeError::Corrupt("nested batch envelope".into()));
+            }
+            walk = rest;
+        }
+        if !walk.is_empty() {
+            return Err(DecodeError::Corrupt(format!(
+                "{} trailing bytes after batch ops",
+                walk.len()
+            )));
+        }
+        Ok(Self {
+            count: count as usize,
+            body,
+        })
+    }
+
+    /// Parse a request envelope (opcode [`op::BATCH`]).
+    pub fn decode_request(payload: &'a [u8]) -> Result<Self, DecodeError> {
+        Self::decode_as(payload, op::BATCH)
+    }
+
+    /// Parse a response envelope (opcode `BATCH | 0x80`).
+    pub fn decode_response(payload: &'a [u8]) -> Result<Self, DecodeError> {
+        Self::decode_as(payload, response_opcode(op::BATCH))
+    }
+
+    /// Number of inner operations (1..=[`MAX_BATCH_OPS`]).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Always false — an envelope must carry at least one op.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate the inner payloads as borrowed slices, in wire order.
+    pub fn ops(&self) -> BatchOps<'a> {
+        BatchOps {
+            remaining: self.count,
+            walk: self.body,
+        }
+    }
+}
+
+/// Iterator over a [`BatchView`]'s inner payload slices.
+#[derive(Debug, Clone)]
+pub struct BatchOps<'a> {
+    remaining: usize,
+    walk: &'a [u8],
+}
+
+impl<'a> Iterator for BatchOps<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Framing was validated by BatchView::decode_as; a failure here
+        // is unreachable, but degrade to end-of-iteration over panicking.
+        let (inner, rest) = split_prefixed(self.walk).ok()?;
+        self.walk = rest;
+        Some(inner)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BatchOps<'_> {}
+
+/// Cheap shape test: does `payload` look like a batch request envelope?
+/// (Magic and opcode bytes only — full validation happens in
+/// [`BatchView::decode_request`].)
+pub fn is_batch_request(payload: &[u8]) -> bool {
+    payload.first() == Some(&FRAME_MAGIC) && payload.get(2) == Some(&op::BATCH)
+}
+
+/// Append a batch envelope header (request form when `response` is
+/// false) declaring `count` ops; follow with `count` calls to
+/// [`push_batch_op`].
+pub fn batch_header_into(count: usize, response: bool, out: &mut Vec<u8>) {
+    debug_assert!(count as u64 >= 1 && count as u64 <= MAX_BATCH_OPS);
+    let opcode = if response {
+        response_opcode(op::BATCH)
+    } else {
+        op::BATCH
+    };
+    let mut w = Writer::over(std::mem::take(out));
+    w.u8(FRAME_MAGIC);
+    w.u8(min_version_for(opcode));
+    w.u8(opcode);
+    w.varint(count as u64);
+    *out = w.finish();
+}
+
+/// Append one length-prefixed inner payload to a batch envelope begun
+/// with [`batch_header_into`].
+pub fn push_batch_op(inner: &[u8], out: &mut Vec<u8>) {
+    let mut w = Writer::over(std::mem::take(out));
+    w.bytes(inner);
+    *out = w.finish();
 }
 
 impl Response {
@@ -555,7 +1112,20 @@ impl Response {
 
     /// Serialise the payload (without the frame length prefix).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = header(self.opcode());
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the payload bytes to `out` (byte-identical to
+    /// [`encode`](Self::encode)). The server's reply path reuses one
+    /// buffer per connection through this, so steady-state responses
+    /// allocate nothing.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::over(std::mem::take(out));
+        w.u8(FRAME_MAGIC);
+        w.u8(min_version_for(self.opcode()));
+        w.u8(self.opcode());
         match self {
             Response::HelloOk { version, server } => {
                 w.u8(*version);
@@ -614,7 +1184,7 @@ impl Response {
                 write_str(&mut w, message);
             }
         }
-        w.finish()
+        *out = w.finish();
     }
 
     /// Parse a response payload with the same hostile-input contract as
@@ -707,18 +1277,46 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Begin a corked frame in `out`: append a 4-byte length placeholder
+/// and return its position. Append the payload, then call
+/// [`end_frame`] with the returned position to patch the length in.
+/// Multiple frames corked into one buffer go out in a single
+/// `write_all` — the syscall-amortization half of the zero-alloc data
+/// plane.
+pub fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    at
+}
+
+/// Patch the length of a frame begun with [`begin_frame`] at `at`.
+pub fn end_frame(out: &mut [u8], at: usize) {
+    let len = out.len() - at - 4;
+    debug_assert!(len <= MAX_FRAME);
+    out[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
 /// Read one frame's payload. `Ok(None)` on clean EOF at a frame
 /// boundary; `InvalidData` when the header declares more than
 /// [`MAX_FRAME`] bytes (nothing is allocated in that case);
 /// `UnexpectedEof` when the stream dies mid-frame.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.then_some(payload))
+}
+
+/// Like [`read_frame`], but reads the payload into `buf` (cleared and
+/// resized) instead of allocating a fresh vector — after the first
+/// frame sized at a connection's high-water mark, reading allocates
+/// nothing. `Ok(false)` on clean EOF at a frame boundary.
+pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
     let mut header = [0u8; 4];
     let mut filled = 0;
     while filled < header.len() {
         let n = r.read(&mut header[filled..])?;
         if n == 0 {
             if filled == 0 {
-                return Ok(None);
+                return Ok(false);
             }
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -734,9 +1332,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             format!("frame declares {len} bytes (limit {MAX_FRAME})"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -1014,6 +1613,186 @@ mod tests {
         let mut cursor = io::Cursor::new(&partial);
         let err = read_frame(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn view_decode_equals_owned_decode_for_every_opcode() {
+        // The owned decoder delegates to the view, so this can only
+        // fail if to_owned() diverges — keep it as the tripwire.
+        for req in sample_requests() {
+            let enc = req.encode();
+            let view = RequestView::decode(&enc).unwrap();
+            assert_eq!(view.to_owned(), req, "{req:?}");
+            assert_eq!(view, req.view(), "{req:?}");
+            assert_eq!(view.opcode(), req.opcode());
+            // Re-encoding the borrowed view is byte-identical too.
+            assert_eq!(view.encode(), enc, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn view_ingest_values_are_borrowed_wire_bytes() {
+        let req = Request::Ingest {
+            tenant: "acme".into(),
+            key: "k".into(),
+            values: vec![1.5, -2.5, f64::NAN, 0.0],
+        };
+        let enc = req.encode();
+        let RequestView::Ingest { values, .. } = RequestView::decode(&enc).unwrap() else {
+            panic!("wrong variant");
+        };
+        let F64s::Le(bytes) = values else {
+            panic!("decode must yield the wire form");
+        };
+        assert_eq!(bytes.len(), 4 * 8);
+        // In-place reads agree with the owned decode bit-for-bit.
+        assert_eq!(values.len(), 4);
+        assert_eq!(values.get(0), Some(1.5));
+        assert!(values.get(2).unwrap().is_nan());
+        assert_eq!(values.get(4), None);
+        assert!(!values.all_finite());
+        let owned: Vec<u64> = values.iter().map(f64::to_bits).collect();
+        let expect: Vec<u64> = [1.5, -2.5, f64::NAN, 0.0].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(owned, expect);
+    }
+
+    #[test]
+    fn f64s_forms_compare_bitwise() {
+        let vals = [1.5, -0.0, f64::INFINITY];
+        let le: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(F64s::Le(&le), F64s::Slice(&vals));
+        assert_eq!(F64s::Slice(&vals).to_vec(), vals.to_vec());
+        assert!(F64s::Slice(&vals[..2]).all_finite());
+        assert!(!F64s::Slice(&vals).all_finite());
+    }
+
+    fn encode_batch(inners: &[Vec<u8>], response: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        batch_header_into(inners.len(), response, &mut out);
+        for inner in inners {
+            push_batch_op(inner, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn batch_envelope_round_trips() {
+        let inners = vec![
+            Request::Ping.encode(),
+            Request::Ingest {
+                tenant: "t".into(),
+                key: "k".into(),
+                values: vec![1.0, 2.0],
+            }
+            .encode(),
+            Request::Flush.encode(),
+        ];
+        let enc = encode_batch(&inners, false);
+        assert_eq!(enc[1], 3, "batch frames declare protocol version 3");
+        assert_eq!(enc[2], op::BATCH);
+        assert!(is_batch_request(&enc));
+        let batch = BatchView::decode_request(&enc).unwrap();
+        assert_eq!(batch.len(), 3);
+        let got: Vec<&[u8]> = batch.ops().collect();
+        assert_eq!(got.len(), 3);
+        for (inner, want) in got.iter().zip(&inners) {
+            assert_eq!(*inner, want.as_slice());
+            assert!(Request::decode(inner).is_ok());
+        }
+
+        let resp_inners = vec![Response::Pong.encode(), Response::FlushOk.encode()];
+        let enc = encode_batch(&resp_inners, true);
+        assert_eq!(enc[2], response_opcode(op::BATCH));
+        let batch = BatchView::decode_response(&enc).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (inner, want) in batch.ops().zip(&resp_inners) {
+            assert_eq!(inner, want.as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_envelope_rejects_hostile_shapes() {
+        let ping = Request::Ping.encode();
+
+        // Nested envelopes.
+        let nested = encode_batch(
+            std::slice::from_ref(&encode_batch(std::slice::from_ref(&ping), false)),
+            false,
+        );
+        assert!(matches!(
+            BatchView::decode_request(&nested),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Zero ops.
+        let mut w = Writer::with_header(FRAME_MAGIC, 3);
+        w.u8(op::BATCH);
+        w.varint(0);
+        assert!(BatchView::decode_request(&w.finish()).is_err());
+
+        // Declared count above the limit.
+        let mut w = Writer::with_header(FRAME_MAGIC, 3);
+        w.u8(op::BATCH);
+        w.varint(MAX_BATCH_OPS + 1);
+        assert!(BatchView::decode_request(&w.finish()).is_err());
+
+        // Count says 2, body carries 1.
+        let mut short = Vec::new();
+        batch_header_into(2, false, &mut short);
+        push_batch_op(&ping, &mut short);
+        assert!(BatchView::decode_request(&short).is_err());
+
+        // Trailing bytes after the declared ops.
+        let mut trailing = encode_batch(std::slice::from_ref(&ping), false);
+        trailing.push(0);
+        assert!(BatchView::decode_request(&trailing).is_err());
+
+        // Inner length overrunning the envelope.
+        let mut overrun = Vec::new();
+        batch_header_into(1, false, &mut overrun);
+        overrun.push(0x7F); // declares 127 bytes, none follow
+        assert!(matches!(
+            BatchView::decode_request(&overrun),
+            Err(DecodeError::UnexpectedEnd)
+        ));
+
+        // Every truncation of a valid envelope fails.
+        let enc = encode_batch(&[ping.clone(), ping], false);
+        for cut in 0..enc.len() {
+            assert!(BatchView::decode_request(&enc[..cut]).is_err(), "cut={cut}");
+        }
+
+        // A batch frame is not a single request, and a v1/v2 frame
+        // cannot smuggle the batch opcode.
+        let enc = encode_batch(&[Request::Ping.encode()], false);
+        assert!(matches!(RequestView::decode(&enc), Err(DecodeError::Corrupt(_))));
+        let mut downgraded = enc;
+        downgraded[1] = 2;
+        assert!(BatchView::decode_request(&downgraded).is_err());
+    }
+
+    #[test]
+    fn corked_frames_match_write_frame() {
+        let payload = Request::Ping.encode();
+        let mut corked = Vec::new();
+        let at = begin_frame(&mut corked);
+        corked.extend_from_slice(&payload);
+        end_frame(&mut corked, at);
+        let mut classic = Vec::new();
+        write_frame(&mut classic, &payload).unwrap();
+        assert_eq!(corked, classic);
+
+        // Two frames corked back to back read out as two frames.
+        let at = begin_frame(&mut corked);
+        corked.extend_from_slice(&payload);
+        end_frame(&mut corked, at);
+        let mut cursor = io::Cursor::new(&corked);
+        let mut buf = Vec::new();
+        assert!(read_frame_into(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, payload);
+        assert!(read_frame_into(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, payload);
+        assert!(!read_frame_into(&mut cursor, &mut buf).unwrap());
     }
 
     #[test]

@@ -3,14 +3,36 @@
 //! ([`Server`]) that frames it.
 //!
 //! The split is deliberate: every protocol decision (validation, error
-//! mapping, version negotiation) lives in `ServerCore::handle`, which
-//! takes a [`Request`] and returns a [`Response`] with no IO at all —
-//! directly unit-testable. The TCP layer only moves frames:
+//! mapping, version negotiation) lives in [`ServerCore::serve_frame`],
+//! which takes a raw frame payload and appends the encoded response
+//! frame(s) to a caller-owned buffer with no IO at all — directly
+//! unit-testable. The TCP layer only moves bytes:
 //!
 //! ```text
 //! accept loop ──▶ one thread per connection
-//!                   loop { read_frame → Request::decode → core.handle → write_frame }
+//!                   loop { read_frame_into → core.serve_frame → write_all }
 //! ```
+//!
+//! # Zero-allocation data plane
+//!
+//! The steady-state ingest path performs **no heap allocation per
+//! frame** (proved by `tests/alloc_gate.rs`):
+//!
+//! * the connection reuses one payload buffer across frames
+//!   ([`read_frame_into`](crate::protocol::read_frame_into)) and one
+//!   response buffer per write cycle,
+//! * requests are decoded **borrowed**
+//!   ([`RequestView`]): ingest values
+//!   stay raw little-endian wire bytes and feed
+//!   [`KeyedEngine::ingest_le`] directly,
+//! * the engine carries batches in recycled
+//!   [`BufferPool`](qsketch_core::pool::BufferPool) buffers that return
+//!   to the pool when the shard worker drains them.
+//!
+//! Responses are *corked*: `serve_frame` appends complete frames to the
+//! output buffer and the connection thread issues one `write_all` per
+//! read frame — for a v3 [`Batch`](crate::protocol::op::BATCH)
+//! envelope, all inner responses leave in a single syscall.
 //!
 //! Queries run on the connection thread against the engine's wait-free
 //! epoch snapshots ([`KeyedEngine::query`] /
@@ -25,22 +47,25 @@
 //! threads notice within their read-timeout tick, and the binary then
 //! drains the engine and writes a final checkpoint before exiting.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use qsketch_core::alloccount;
 use qsketch_core::codec::SketchSerialize;
 use qsketch_core::flatwire::SketchView;
+use qsketch_core::metrics::{LogHistogram, MetricsRegistry};
 use qsketch_core::sketch::{MergeableSketch, SketchFactory};
 use qsketch_core::SketchError;
 use qsketch_streamsim::builder::KeyedEngineBuilder;
 use qsketch_streamsim::keyed_engine::{KeyedEngine, KeyedEngineError};
 
 use crate::protocol::{
-    write_frame, ErrorCode, Request, Response, ServerStats, PROTOCOL_VERSION,
+    batch_header_into, begin_frame, end_frame, is_batch_request, push_batch_op, write_frame,
+    BatchView, ErrorCode, F64s, Request, RequestView, Response, ServerStats, PROTOCOL_VERSION,
 };
 
 /// Server software identifier sent in `HelloOk`.
@@ -49,11 +74,25 @@ pub const SERVER_NAME: &str = concat!("qsketch-server/", env!("CARGO_PKG_VERSION
 /// How often an idle connection thread checks the shutdown flag.
 const READ_TICK: Duration = Duration::from_millis(200);
 
-/// The protocol brain: maps every [`Request`] to a [`Response`] against
-/// a [`KeyedEngine`]. No IO; fully unit-testable.
+/// What [`ServerCore::serve_frame`] tells the connection loop to do
+/// after the corked response bytes are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// Keep reading frames from this connection.
+    Continue,
+    /// The frame was a `Shutdown` op: write the response, then stop the
+    /// server.
+    Shutdown,
+}
+
+/// The protocol brain: maps every frame to its response frame(s)
+/// against a [`KeyedEngine`]. No IO; fully unit-testable.
 pub struct ServerCore<S> {
     engine: KeyedEngine<S>,
     checkpointing: bool,
+    /// Heap allocations observed per served frame (only meaningful when
+    /// the counting test allocator is installed; records 0 otherwise).
+    allocs_per_frame: Option<LogHistogram>,
 }
 
 impl<S> ServerCore<S>
@@ -67,7 +106,20 @@ where
         Self {
             engine,
             checkpointing,
+            allocs_per_frame: None,
         }
+    }
+
+    /// Register the server-side data-plane metrics under `prefix`:
+    /// `{prefix}.allocs_per_frame` (histogram of heap allocations per
+    /// served frame, counted by
+    /// [`alloccount`] when its test allocator
+    /// is installed — 0 in production builds). The engine's pool
+    /// metrics (`{engine_prefix}.batch.pool_miss` / `.bytes_pooled`)
+    /// are registered by the engine builder's `metrics(..)` call.
+    pub fn instrument(mut self, registry: &MetricsRegistry, prefix: &str) -> Self {
+        self.allocs_per_frame = Some(registry.histogram(&format!("{prefix}.allocs_per_frame")));
+        self
     }
 
     /// The engine behind this core (for stats and tests).
@@ -120,26 +172,7 @@ where
                 tenant,
                 key,
                 values,
-            } => {
-                if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
-                    return Self::err(
-                        ErrorCode::BadRequest,
-                        format!("non-finite value {bad} in ingest batch"),
-                    );
-                }
-                match self.engine.ingest(&tenant, &key, values) {
-                    Ok(accepted) => Response::IngestOk { accepted },
-                    Err(KeyedEngineError::QuotaExceeded {
-                        tenant,
-                        retry_after_ms,
-                    }) => Response::Error {
-                        code: ErrorCode::QuotaExceeded,
-                        retry_after_ms,
-                        message: format!("tenant {tenant} exceeded its ingest quota"),
-                    },
-                    Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
-                }
-            }
+            } => self.ingest_response(&tenant, &key, &F64s::Slice(&values)),
             Request::Query { tenant, key, qs } => match self.engine.query(&tenant, &key) {
                 Err(KeyedEngineError::UnknownKey { tenant, key }) => Self::err(
                     ErrorCode::UnknownKey,
@@ -251,6 +284,130 @@ where
                 ),
                 Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
             },
+        }
+    }
+
+    /// Shared ingest mapping for the owned and borrowed decode paths.
+    /// With [`F64s::Le`] values, the wire bytes feed
+    /// [`KeyedEngine::ingest_le`] directly — no intermediate `Vec`.
+    fn ingest_response(&self, tenant: &str, key: &str, values: &F64s<'_>) -> Response {
+        if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+            return Self::err(
+                ErrorCode::BadRequest,
+                format!("non-finite value {bad} in ingest batch"),
+            );
+        }
+        let result = match values {
+            F64s::Le(bytes) => self.engine.ingest_le(tenant, key, bytes),
+            F64s::Slice(slice) => self.engine.ingest(tenant, key, slice),
+        };
+        match result {
+            Ok(accepted) => Response::IngestOk { accepted },
+            Err(KeyedEngineError::QuotaExceeded {
+                tenant,
+                retry_after_ms,
+            }) => Response::Error {
+                code: ErrorCode::QuotaExceeded,
+                retry_after_ms,
+                message: format!("tenant {tenant} exceeded its ingest quota"),
+            },
+            Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+        }
+    }
+
+    /// Handle a borrowed request. Ingest is served straight off the
+    /// wire bytes (the zero-allocation fast path); every other op —
+    /// control plane and queries, which allocate for their answers
+    /// anyway — converts to the owned [`Request`] and goes through
+    /// [`handle`](Self::handle).
+    fn handle_view(&self, view: &RequestView<'_>) -> Response {
+        match view {
+            RequestView::Ingest {
+                tenant,
+                key,
+                values,
+            } => self.ingest_response(tenant, key, values),
+            other => self.handle(other.to_owned()),
+        }
+    }
+
+    /// Serve one raw frame payload: decode (borrowed), dispatch, and
+    /// append the complete, length-prefixed response frame(s) to `out`
+    /// — the caller writes `out` with a single `write_all` (corked
+    /// responses). `scratch` is a reusable buffer for encoding the
+    /// inner responses of a v3 batch envelope; both buffers only grow,
+    /// so a warmed connection serves ingest frames with zero heap
+    /// allocations.
+    ///
+    /// A v3 batch envelope is answered by one response frame holding a
+    /// batch envelope with one inner response per inner request, in
+    /// order. `Shutdown` is only honoured as a standalone frame; inside
+    /// a batch it maps to a `BadRequest` error response (a pipelined op
+    /// must not kill the ops queued behind it).
+    pub fn serve_frame(
+        &self,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+    ) -> FrameOutcome {
+        if is_batch_request(payload) {
+            return self.serve_batch(payload, out, scratch);
+        }
+        let at = begin_frame(out);
+        let outcome = match RequestView::decode(payload) {
+            Ok(RequestView::Shutdown) => {
+                Response::ShutdownOk.encode_into(out);
+                FrameOutcome::Shutdown
+            }
+            Ok(view) => {
+                self.handle_view(&view).encode_into(out);
+                FrameOutcome::Continue
+            }
+            Err(e) => {
+                Self::err(ErrorCode::BadRequest, e.to_string()).encode_into(out);
+                FrameOutcome::Continue
+            }
+        };
+        end_frame(out, at);
+        outcome
+    }
+
+    /// Serve a v3 multi-op envelope (see [`serve_frame`](Self::serve_frame)).
+    fn serve_batch(&self, payload: &[u8], out: &mut Vec<u8>, scratch: &mut Vec<u8>) -> FrameOutcome {
+        let at = begin_frame(out);
+        match BatchView::decode_request(payload) {
+            Err(e) => {
+                Self::err(ErrorCode::BadRequest, e.to_string()).encode_into(out);
+            }
+            Ok(batch) => {
+                batch_header_into(batch.len(), true, out);
+                for inner in batch.ops() {
+                    scratch.clear();
+                    // The envelope walk already validated each inner
+                    // payload's header shape; per-op decode failures
+                    // poison only that op's slot.
+                    let response = match RequestView::decode(inner) {
+                        Ok(RequestView::Shutdown) => Self::err(
+                            ErrorCode::BadRequest,
+                            "shutdown is not allowed inside a batch",
+                        ),
+                        Ok(view) => self.handle_view(&view),
+                        Err(e) => Self::err(ErrorCode::BadRequest, e.to_string()),
+                    };
+                    response.encode_into(scratch);
+                    push_batch_op(scratch, out);
+                }
+            }
+        }
+        end_frame(out, at);
+        FrameOutcome::Continue
+    }
+
+    /// Record one served frame's allocation delta (no-op when
+    /// uninstrumented).
+    fn note_frame_allocs(&self, allocs: u64) {
+        if let Some(h) = &self.allocs_per_frame {
+            h.record(allocs);
         }
     }
 }
@@ -396,6 +553,12 @@ fn handle_connection<S>(
 {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
+    // Per-connection reusable buffers: after a few frames these reach
+    // their high-water capacity and the read → serve → write cycle
+    // stops allocating entirely.
+    let mut payload: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
     loop {
         // Frame header (interruptible so idle connections see shutdown).
         let mut header = [0u8; 4];
@@ -418,32 +581,26 @@ fn handle_connection<S>(
             let _ = write_frame(&mut stream, &resp.encode());
             break;
         }
-        let mut payload = vec![0u8; len];
+        payload.clear();
+        payload.resize(len, 0);
         match read_exact_interruptible(&mut stream, &mut payload, &shutdown, true) {
             Ok(true) => {}
             Ok(false) | Err(_) => break,
         }
         // Framing is intact from here on, so a payload that fails to
         // decode only poisons this request, not the connection.
-        let response = match Request::decode(&payload) {
-            Ok(request) => {
-                let is_shutdown = matches!(request, Request::Shutdown);
-                let response = core.handle(request);
-                if is_shutdown {
-                    let _ = write_frame(&mut stream, &response.encode());
-                    shutdown.store(true, Ordering::SeqCst);
-                    wake_accept(wake_addr);
-                    break;
-                }
-                response
-            }
-            Err(e) => Response::Error {
-                code: ErrorCode::BadRequest,
-                retry_after_ms: 0,
-                message: e.to_string(),
-            },
-        };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        out.clear();
+        let allocs_before = alloccount::thread_allocs();
+        let outcome = core.serve_frame(&payload, &mut out, &mut scratch);
+        core.note_frame_allocs(alloccount::thread_allocs() - allocs_before);
+        // Corked write: every response frame this cycle produced leaves
+        // in one syscall.
+        if stream.write_all(&out).is_err() {
+            break;
+        }
+        if outcome == FrameOutcome::Shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            wake_accept(wake_addr);
             break;
         }
     }

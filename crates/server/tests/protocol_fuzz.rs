@@ -3,7 +3,9 @@
 //! panic, never allocate unboundedly. Mirrors the `DecodeError`
 //! contract the sketch codecs uphold.
 
-use qsketch_server::protocol::{Request, Response, MAX_FRAME};
+use qsketch_server::protocol::{
+    batch_header_into, push_batch_op, BatchView, Request, RequestView, Response, MAX_FRAME,
+};
 
 /// SplitMix64 — tiny deterministic generator for mutation fuzzing.
 struct SplitMix(u64);
@@ -74,18 +76,56 @@ fn corpus() -> Vec<Vec<u8>> {
             rejected_by_tenant: vec![("a".into(), 1), ("b".into(), 8)],
         }),
     ];
+    // v3 batch envelopes (request- and response-side) join the corpus so
+    // the mutation passes also chew on the envelope framing.
+    let mut batch_req = Vec::new();
+    batch_header_into(3, false, &mut batch_req);
+    for request in requests.iter().take(3) {
+        push_batch_op(&request.encode(), &mut batch_req);
+    }
+    let mut batch_resp = Vec::new();
+    batch_header_into(responses.len(), true, &mut batch_resp);
+    for response in &responses {
+        push_batch_op(&response.encode(), &mut batch_resp);
+    }
     requests
         .iter()
         .map(Request::encode)
         .chain(responses.iter().map(Response::encode))
+        .chain([batch_req, batch_resp])
         .collect()
 }
 
 /// Decoding must be total: typed error or valid value, never a panic.
-/// (The call itself is the assertion — a panic fails the test.)
+/// (The call itself is the assertion — a panic fails the test.) Both
+/// decoders — owned and borrowed — plus the batch-envelope walkers get
+/// the same bytes, and wherever the borrowed decoder succeeds it must
+/// agree with the owned one (they share one grammar by construction;
+/// this pins it).
 fn assert_total(bytes: &[u8]) {
-    let _ = Request::decode(bytes);
+    let owned = Request::decode(bytes);
+    let view = RequestView::decode(bytes);
+    match (owned, view) {
+        // Compare via re-encode: fuzzed frames can carry NaN values,
+        // which break `==` while still being the same bits on the wire.
+        (Ok(owned), Ok(view)) => assert_eq!(owned.encode(), view.to_owned().encode()),
+        (Err(_), Err(_)) => {}
+        (owned, view) => panic!(
+            "owned/borrowed decoders disagree on {} bytes: owned={owned:?} view={view:?}",
+            bytes.len()
+        ),
+    }
     let _ = Response::decode(bytes);
+    if let Ok(batch) = BatchView::decode_request(bytes) {
+        for inner in batch.ops() {
+            let _ = RequestView::decode(inner);
+        }
+    }
+    if let Ok(batch) = BatchView::decode_response(bytes) {
+        for inner in batch.ops() {
+            let _ = Response::decode(inner);
+        }
+    }
 }
 
 #[test]
@@ -142,6 +182,45 @@ fn random_splices_never_panic() {
         let mut spliced = a[..cut_a].to_vec();
         spliced.extend_from_slice(&b[cut_b..]);
         assert_total(&spliced);
+    }
+}
+
+#[test]
+fn borrowed_and_owned_views_are_equivalent_on_valid_frames() {
+    // On every valid corpus payload the two decoders agree, and the
+    // borrowed encoder reproduces the owned encoder's bytes exactly.
+    for payload in corpus() {
+        if let Ok(request) = Request::decode(&payload) {
+            let view = RequestView::decode(&payload).expect("owned decoded, view must too");
+            assert_eq!(request, view.to_owned());
+            let mut re = Vec::new();
+            view.encode_into(&mut re);
+            assert_eq!(re, payload, "borrowed re-encode must be byte-identical");
+            assert_eq!(request.view().to_owned(), request);
+        }
+    }
+}
+
+#[test]
+fn batch_envelopes_round_trip_through_the_walker() {
+    let mut envelope = Vec::new();
+    let ops = [
+        Request::Ping,
+        Request::Ingest {
+            tenant: "t".into(),
+            key: "k".into(),
+            values: vec![1.0, 2.0, 3.0],
+        },
+        Request::Flush,
+    ];
+    batch_header_into(ops.len(), false, &mut envelope);
+    for op in &ops {
+        push_batch_op(&op.encode(), &mut envelope);
+    }
+    let batch = BatchView::decode_request(&envelope).expect("valid envelope");
+    assert_eq!(batch.len(), ops.len());
+    for (inner, expected) in batch.ops().zip(&ops) {
+        assert_eq!(&Request::decode(inner).expect("inner decodes"), expected);
     }
 }
 

@@ -10,7 +10,8 @@
 //! (multi-tenant per-key registries, quotas, rollups). The type encodes
 //! which options exist: batch size and fault injection are sharded-only,
 //! quotas and rollups keyed-only; checkpoints and metrics exist on both.
-//! The old constructors remain as `#[deprecated]` shims for one release.
+//! The builder is the only construction path — the old constructors and
+//! `with_*` config chains are gone.
 //!
 //! ```
 //! use qsketch_core::QuantileSketch;
@@ -32,7 +33,7 @@
 //!     .default_quota(TenantQuota::per_sec(1_000_000.0))
 //!     .spawn(|| DdSketch::unbounded(0.01))
 //!     .unwrap();
-//! engine.ingest("acme", "latency", vec![1.0, 2.0, 3.0]).unwrap();
+//! engine.ingest("acme", "latency", &[1.0, 2.0, 3.0]).unwrap();
 //! engine.drain();
 //! assert_eq!(engine.query("acme", "latency").unwrap().count().unwrap(), 3);
 //! engine.finish();

@@ -19,7 +19,7 @@
 //! had inserted when the checkpoint was cut; on recovery the engine skips
 //! exactly that many values destined for the shard while the caller
 //! replays the input stream from the start (see
-//! [`ShardedEngine::recover`](crate::engine::ShardedEngine::recover)).
+//! [`ShardedEngineBuilder::recover`](crate::builder::ShardedEngineBuilder::recover)).
 //!
 //! Like every wire format in the suite, decoding rejects corrupt,
 //! truncated, or foreign payloads with a typed

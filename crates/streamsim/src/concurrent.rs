@@ -572,6 +572,22 @@ impl<T> Drop for EpochCell<T> {
     }
 }
 
+/// Scope guard held by a shard worker for its whole run: if the worker
+/// *unwinds* (a panic in a sketch insert, checkpoint write, or metrics
+/// hook), the ring is marked dead on the way out, so producers drop
+/// their batches and `wait_drained` returns instead of blocking forever
+/// on a consumer that no longer exists. A normal (`Closed`) exit leaves
+/// the ring untouched — this is strictly the panic path.
+pub struct DeadOnPanic<T>(pub Arc<HandoffRing<T>>);
+
+impl<T> Drop for DeadOnPanic<T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.mark_dead();
+        }
+    }
+}
+
 /// Publish request/acknowledgement pair: queries that need
 /// read-your-writes freshness (`drain`, `checkpoint_now`, the
 /// deprecated exact-snapshot shims) bump `req` and wait for the worker
@@ -806,6 +822,24 @@ mod tests {
         assert!(ring.try_pop().is_none());
         assert_eq!(ring.sent_values(), 5);
         assert_eq!(ring.done_values(), 5);
+    }
+
+    #[test]
+    fn worker_panic_marks_the_ring_dead() {
+        let ring = Arc::new(HandoffRing::<u64>::new(1));
+        let r = Arc::clone(&ring);
+        let worker = std::thread::spawn(move || {
+            let _dead_on_panic = DeadOnPanic(Arc::clone(&r));
+            let _ = r.pop_wait();
+            panic!("injected worker death");
+        });
+        ring.push(1, 1);
+        assert!(worker.join().is_err(), "worker must have panicked");
+        assert!(ring.is_dead(), "guard must flip the dead flag on unwind");
+        // Producers must not block on the dead shard: the push degrades
+        // to a drop instead of napping forever on a full ring.
+        assert!(ring.push(2, 1).dropped);
+        ring.wait_drained();
     }
 
     #[test]

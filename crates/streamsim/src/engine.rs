@@ -79,11 +79,12 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use qsketch_core::codec::{DecodeError, SketchSerialize};
+use qsketch_core::pool::{BufferPool, Pooled};
 use qsketch_core::sketch::{merge_tree, MergeError, MergeableSketch, SketchError};
 
 use crate::checkpoint::{self, CheckpointConfig, ShardCheckpoint};
 use crate::concurrent::{
-    EpochCell, EpochRequest, HandoffRing, PopState, ShardSnapshot, SnapshotHandle,
+    DeadOnPanic, EpochCell, EpochRequest, HandoffRing, PopState, ShardSnapshot, SnapshotHandle,
     DEFAULT_EPOCH_INTERVAL,
 };
 use crate::metrics::EngineMetrics;
@@ -115,8 +116,7 @@ pub struct FaultInjection {
 }
 
 /// Configuration for a [`ShardedEngine`]. Construct through
-/// [`EngineBuilder`](crate::builder::EngineBuilder); the `with_*`
-/// methods are deprecated shims kept for one release.
+/// [`EngineBuilder`](crate::builder::EngineBuilder).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of shard worker threads (and shard sketches).
@@ -148,36 +148,6 @@ impl EngineConfig {
         }
     }
 
-    /// Override the number of values per routed batch (min 1).
-    #[deprecated(since = "0.9.0", note = "use EngineBuilder::sharded(..).batch_size(..)")]
-    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        self.batch_size = batch_size.max(1);
-        self
-    }
-
-    /// Override the per-shard ring capacity in batches (min 1).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use EngineBuilder::sharded(..).queue_capacity(..)"
-    )]
-    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
-        self.queue_capacity = queue_capacity.max(1);
-        self
-    }
-
-    /// Kill `shard`'s worker after it processes `after_batches` batches
-    /// (see [`FaultInjection`]).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use EngineBuilder::sharded(..).fault_injection(..)"
-    )]
-    pub fn with_fault_injection(mut self, shard: usize, after_batches: u64) -> Self {
-        self.fault = Some(FaultInjection {
-            shard,
-            after_batches,
-        });
-        self
-    }
 }
 
 /// Error constructing, querying, or recovering a [`ShardedEngine`].
@@ -251,7 +221,7 @@ struct CheckpointPlan<S> {
 /// disk). The sketch itself lives *inside* the worker thread; nothing
 /// here locks it.
 struct Shard<S> {
-    ring: Arc<HandoffRing<Vec<f64>>>,
+    ring: Arc<HandoffRing<Pooled<Vec<f64>>>>,
     cell: Arc<EpochCell<ShardSnapshot>>,
     epoch_req: Arc<EpochRequest>,
     final_sketch: Arc<Mutex<Option<S>>>,
@@ -278,13 +248,17 @@ struct ShardInit<S> {
 /// unflushed partial batch).
 pub struct ShardedEngine<S> {
     shards: Vec<Shard<S>>,
+    /// Recycled batch buffers: shipping a batch swaps in a buffer from
+    /// this pool, and the shard worker's drop returns the shipped one —
+    /// the steady-state routing path never allocates.
+    batch_pool: BufferPool<Vec<f64>>,
     /// Values accepted but not yet shipped as a batch (unkeyed path).
-    pending: Vec<f64>,
+    pending: Pooled<Vec<f64>>,
     /// Per-shard pending batches for the keyed path
     /// ([`insert_keyed`](Self::insert_keyed)): hash routing fixes each
     /// value's shard at insert time, so the batches accumulate per
     /// destination instead of per rotation slot.
-    keyed_pending: Vec<Vec<f64>>,
+    keyed_pending: Vec<Pooled<Vec<f64>>>,
     /// Routing policy for unkeyed batches (round-robin rotation).
     router: Router,
     batch_size: usize,
@@ -298,110 +272,14 @@ pub struct ShardedEngine<S> {
 }
 
 impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngine<S> {
-    /// Spawn `config.shards` worker threads, each owning one sketch from
-    /// `factory` (called once per shard, in shard order — seed per-shard
-    /// randomness from a captured counter if the sketch needs it).
+    /// The one real constructor —
+    /// [`EngineBuilder`](crate::builder::EngineBuilder) funnels here.
     ///
-    /// # Panics
-    /// If `config.shards == 0`; use [`try_spawn`](Self::try_spawn) for a
-    /// `Result`.
-    #[deprecated(since = "0.9.0", note = "use EngineBuilder::sharded(..).spawn(..)")]
-    pub fn spawn(config: EngineConfig, factory: impl FnMut() -> S) -> Self {
-        Self::build(config, factory, None, None, false).expect("engine needs at least one shard")
-    }
-
-    /// [`spawn`](Self::spawn), returning an error instead of panicking on
-    /// a zero-shard config.
-    #[deprecated(since = "0.9.0", note = "use EngineBuilder::sharded(..).spawn(..)")]
-    pub fn try_spawn(
-        config: EngineConfig,
-        factory: impl FnMut() -> S,
-    ) -> Result<Self, EngineError> {
-        Self::build(config, factory, None, None, false)
-    }
-
-    /// Spawn with observability: engine metrics registered under `prefix`
-    /// in `registry` (see [`EngineMetrics`] for the metric names).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use EngineBuilder::sharded(..).metrics(..).spawn(..)"
-    )]
-    pub fn spawn_instrumented(
-        config: EngineConfig,
-        factory: impl FnMut() -> S,
-        registry: &qsketch_core::metrics::MetricsRegistry,
-        prefix: &str,
-    ) -> Result<Self, EngineError> {
-        let metrics = EngineMetrics::register(registry, prefix, config.shards);
-        Self::build(config, factory, Some(metrics), None, false)
-    }
-
-    /// [`spawn`](Self::spawn) with periodic per-shard checkpointing: each
-    /// worker serialises its sketch every
-    /// [`ckpt.interval_values`](CheckpointConfig::interval_values)
-    /// inserted values and atomically replaces `shard-<i>.ckpt` in
-    /// [`ckpt.dir`](CheckpointConfig::dir) (created if absent).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use EngineBuilder::sharded(..).checkpoints(..).spawn(..)"
-    )]
-    pub fn spawn_with_checkpoints(
-        config: EngineConfig,
-        factory: impl FnMut() -> S,
-        ckpt: CheckpointConfig,
-    ) -> Result<Self, EngineError> {
-        Self::build(config, factory, None, Some(ckpt), false)
-    }
-
-    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
-    /// engine metrics under `prefix` in `registry`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use EngineBuilder::sharded(..).checkpoints(..).metrics(..).spawn(..)"
-    )]
-    pub fn spawn_with_checkpoints_instrumented(
-        config: EngineConfig,
-        factory: impl FnMut() -> S,
-        ckpt: CheckpointConfig,
-        registry: &qsketch_core::metrics::MetricsRegistry,
-        prefix: &str,
-    ) -> Result<Self, EngineError> {
-        let metrics = EngineMetrics::register(registry, prefix, config.shards);
-        Self::build(config, factory, Some(metrics), Some(ckpt), false)
-    }
-
-    /// Rebuild an engine from the checkpoints in
-    /// [`ckpt.dir`](CheckpointConfig::dir), then let the caller **replay
-    /// the input stream from the start**: each shard restored from a
-    /// checkpoint already holds its first `values_done` values, and the
-    /// router skips exactly that many values destined for it, so nothing
-    /// already counted is inserted twice. Shards without a checkpoint
-    /// file start fresh from `factory` (which must produce the same
-    /// sketches — parameters *and* seeds — as the original spawn).
-    ///
-    /// Because the round-robin batching is deterministic and the KLL/REQ
-    /// wire formats carry their compaction-coin state, the recovered
-    /// engine's final state is bit-identical to an uninterrupted run over
-    /// the same input. Checkpointing stays enabled with the same plan.
-    ///
-    /// Fails with [`EngineError::TopologyMismatch`] if a checkpoint was
-    /// taken under a different shard count or batch size, and with
-    /// [`EngineError::Sketch`] if a checkpoint file is corrupt.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use EngineBuilder::sharded(..).checkpoints(..).recover(..)"
-    )]
-    pub fn recover(
-        config: EngineConfig,
-        factory: impl FnMut() -> S,
-        ckpt: CheckpointConfig,
-    ) -> Result<Self, EngineError> {
-        Self::build(config, factory, None, Some(ckpt), true)
-    }
-
-    /// The one real constructor — every public spawn/recover entry
-    /// point (and [`EngineBuilder`](crate::builder::EngineBuilder))
-    /// funnels here.
+    /// On recovery, each shard restored from a checkpoint already holds
+    /// its first `values_done` values, and the router skips exactly that
+    /// many values destined for it during the caller's replay — the
+    /// recovered engine's final state is bit-identical to an
+    /// uninterrupted run over the same input.
     pub(crate) fn build(
         config: EngineConfig,
         mut factory: impl FnMut() -> S,
@@ -486,7 +364,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
             .into_iter()
             .enumerate()
             .map(|(i, init)| {
-                let ring = Arc::new(HandoffRing::<Vec<f64>>::new(capacity));
+                let ring = Arc::new(HandoffRing::<Pooled<Vec<f64>>>::new(capacity));
                 // Publish the starting state (empty or recovered) before
                 // the worker even runs, so queries always find a value.
                 let cell = Arc::new(EpochCell::new(Arc::new(ShardSnapshot {
@@ -511,6 +389,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
                 let worker = std::thread::Builder::new()
                     .name(format!("qsketch-shard-{i}"))
                     .spawn(move || {
+                        let _dead_on_panic = DeadOnPanic(Arc::clone(&w_ring));
                         let mut values_done = start_values;
                         let mut last_ckpt = start_values;
                         let mut last_pub = start_values;
@@ -542,8 +421,9 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
                                     // scalar loop, so recovery replay and
                                     // the per-shard determinism contract
                                     // are unaffected.
+                                    let n = batch.len() as u64;
                                     sketch.insert_batch(&batch);
-                                    values_done += batch.len() as u64;
+                                    values_done += n;
                                     if let Some(plan) = &w_plan {
                                         if values_done - last_ckpt >= plan.config.interval_values
                                         {
@@ -576,7 +456,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
                                         }
                                     }
                                     if let Some(m) = &w_metrics {
-                                        m.shard_events.record_many(i, batch.len() as u64);
+                                        m.shard_events.record_many(i, n);
                                         m.queue_depth[i].set(depth as u64);
                                     }
                                     batches_done += 1;
@@ -584,6 +464,10 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
                                         publish(&sketch, values_done);
                                         last_pub = values_done;
                                     }
+                                    // Recycle the buffer before
+                                    // acknowledging: a producer unblocked
+                                    // by `mark_done` finds it in the pool.
+                                    drop(batch);
                                     // Die *before* marking the fatal batch
                                     // done: if the kill lands on the
                                     // shard's last queued batch, `drain`
@@ -599,11 +483,11 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
                                                 .lock()
                                                 .expect("final sketch poisoned") = Some(sketch);
                                             w_ring.mark_dead();
-                                            w_ring.mark_done(batch.len() as u64);
+                                            w_ring.mark_done(n);
                                             return;
                                         }
                                     }
-                                    w_ring.mark_done(batch.len() as u64);
+                                    w_ring.mark_done(n);
                                 }
                                 PopState::Idle => {}
                                 PopState::Closed => {
@@ -631,10 +515,18 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
             })
             .collect();
         let num_shards = config.shards;
+        // Enough idle buffers for every ring slot plus the router's
+        // working set; beyond that, returned buffers are dropped.
+        let batch_pool: BufferPool<Vec<f64>> =
+            BufferPool::new((num_shards * capacity + num_shards + 8).min(8192));
+        let mut pending = batch_pool.get();
+        pending.reserve(batch_size);
+        let keyed_pending = (0..num_shards).map(|_| batch_pool.get()).collect();
         Ok(Self {
             shards,
-            pending: Vec::with_capacity(batch_size),
-            keyed_pending: vec![Vec::new(); num_shards],
+            batch_pool,
+            pending,
+            keyed_pending,
             router: Router::new(RoutingPolicy::RoundRobin, num_shards),
             batch_size,
             metrics,
@@ -691,7 +583,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
         self.keyed_pending[shard].push(value);
         self.routed += 1;
         if self.keyed_pending[shard].len() >= self.batch_size {
-            let batch = std::mem::take(&mut self.keyed_pending[shard]);
+            let batch = std::mem::replace(&mut self.keyed_pending[shard], self.batch_pool.get());
             self.ship_to(shard, batch);
         }
     }
@@ -703,19 +595,20 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
         }
         for shard in 0..self.keyed_pending.len() {
             if !self.keyed_pending[shard].is_empty() {
-                let batch = std::mem::take(&mut self.keyed_pending[shard]);
+                let batch =
+                    std::mem::replace(&mut self.keyed_pending[shard], self.batch_pool.get());
                 self.ship_to(shard, batch);
             }
         }
     }
 
     fn ship_pending(&mut self) {
-        let batch = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_size));
+        let batch = std::mem::replace(&mut self.pending, self.batch_pool.get());
         let shard = self.router.route(None);
         self.ship_to(shard, batch);
     }
 
-    fn ship_to(&mut self, shard: usize, mut batch: Vec<f64>) {
+    fn ship_to(&mut self, shard: usize, mut batch: Pooled<Vec<f64>>) {
         // Recovery replay: this shard's restored sketch already holds the
         // stream prefix routed to it — drop whole batches (and trim the
         // one straddling batch) until the skip budget is spent. The
@@ -847,23 +740,6 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> ShardedEngin
                 S::decode(&part.bytes).expect("engine-published snapshot must decode")
             })
             .collect()
-    }
-
-    /// Snapshot every shard and fold the snapshots through a binary merge
-    /// tree. Records the fold latency in the engine's `merge_ns`
-    /// histogram when instrumented.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use query().merged() (or query() and answer zero-copy from the handle)"
-    )]
-    pub fn snapshot_merged(&self) -> Result<Option<S>, EngineError> {
-        self.sync_snapshots();
-        let start = Instant::now();
-        let merged = self.query().merged()?;
-        if let Some(m) = &self.metrics {
-            m.merge_ns.record(start.elapsed().as_nanos() as u64);
-        }
-        Ok(merged)
     }
 
     /// Drain, stop the workers, and return the shard sketches.

@@ -76,8 +76,8 @@
 //!     .spawn(|| DdSketch::unbounded(0.01))
 //!     .unwrap();
 //! for i in 1..=1_000 {
-//!     engine.ingest("acme", "checkout.latency", vec![i as f64]).unwrap();
-//!     engine.ingest("acme", "search.latency", vec![(i % 10) as f64 + 1.0]).unwrap();
+//!     engine.ingest("acme", "checkout.latency", &[i as f64]).unwrap();
+//!     engine.ingest("acme", "search.latency", &[(i % 10) as f64 + 1.0]).unwrap();
 //! }
 //! engine.drain();
 //! let p50 = engine.query("acme", "checkout.latency").unwrap().quantile(0.5).unwrap();
@@ -97,13 +97,14 @@ use std::time::Instant;
 
 use qsketch_core::codec::SketchSerialize;
 use qsketch_core::metrics::MetricsRegistry;
+use qsketch_core::pool::{BufferPool, Pooled, Recycle};
 use qsketch_core::sketch::{MergeableSketch, SketchError, SketchFactory};
 
 use crate::checkpoint::{
     read_registry, write_atomic, CheckpointConfig, RegistryCheckpoint, RegistryEntry,
 };
 use crate::concurrent::{
-    EpochCell, EpochRequest, HandoffRing, PopState, ShardSnapshot, SnapshotHandle,
+    DeadOnPanic, EpochCell, EpochRequest, HandoffRing, PopState, ShardSnapshot, SnapshotHandle,
     DEFAULT_EPOCH_INTERVAL,
 };
 use crate::metrics::{KeyedEngineMetrics, RollupMetrics};
@@ -399,42 +400,6 @@ impl KeyedEngineConfig {
         }
     }
 
-    /// Override the per-shard ring capacity in batches (min 1).
-    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).queue_capacity(..)`")]
-    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
-        self.queue_capacity = queue_capacity.max(1);
-        self
-    }
-
-    /// Set `tenant`'s ingest quota (replacing an earlier entry).
-    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).tenant_quota(..)`")]
-    pub fn with_tenant_quota(mut self, tenant: &str, quota: TenantQuota) -> Self {
-        self.quotas.retain(|(t, _)| t != tenant);
-        self.quotas.push((tenant.to_string(), quota));
-        self
-    }
-
-    /// Apply `quota` to every tenant without an explicit entry.
-    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).default_quota(..)`")]
-    pub fn with_default_quota(mut self, quota: TenantQuota) -> Self {
-        self.default_quota = Some(quota);
-        self
-    }
-
-    /// Enable periodic registry checkpoints (and recovery) in
-    /// `ckpt.dir`, every `ckpt.interval_values` values per shard.
-    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).checkpoints(..)`")]
-    pub fn with_checkpoint(mut self, ckpt: CheckpointConfig) -> Self {
-        self.checkpoint = Some(ckpt);
-        self
-    }
-
-    /// Enable per-key hierarchical rollups (see [`RollupOptions`]).
-    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).rollup(..)`")]
-    pub fn with_rollup(mut self, rollup: RollupOptions) -> Self {
-        self.rollup = Some(rollup);
-        self
-    }
 }
 
 /// Error from constructing, feeding, querying, or recovering a
@@ -516,12 +481,82 @@ impl From<SketchError> for KeyedEngineError {
 }
 
 /// One routed ingest batch: a run of values for a single
-/// `(tenant, key)` pair.
+/// `(tenant, key)` pair. Batches are pooled ([`BufferPool`]) and ride
+/// the ring as [`Pooled<KeyedBatch>`]: the worker's drop returns the
+/// buffer — strings and value vec with their capacity intact — to the
+/// router, so the steady-state ingest path allocates nothing.
+#[derive(Default)]
 struct KeyedBatch {
     tenant: String,
     key: String,
     values: Vec<f64>,
 }
+
+impl Recycle for KeyedBatch {
+    fn reset(&mut self) {
+        self.tenant.clear();
+        self.key.clear();
+        self.values.clear();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tenant.capacity()
+            + self.key.capacity()
+            + self.values.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Borrowed-lookup key for the worker's `(String, String)`-keyed maps:
+/// the classic `Borrow<dyn Trait>` idiom lets `registry.get_mut`,
+/// `dirty.contains`, and the rollup-state probe take `(&str, &str)`
+/// straight off the batch in the ring — the owned pair is cloned only
+/// the first time a key is seen, never per batch.
+trait KeyPair {
+    fn tenant(&self) -> &str;
+    fn key(&self) -> &str;
+}
+
+impl KeyPair for (String, String) {
+    fn tenant(&self) -> &str {
+        &self.0
+    }
+    fn key(&self) -> &str {
+        &self.1
+    }
+}
+
+impl KeyPair for (&str, &str) {
+    fn tenant(&self) -> &str {
+        self.0
+    }
+    fn key(&self) -> &str {
+        self.1
+    }
+}
+
+impl<'a> std::borrow::Borrow<dyn KeyPair + 'a> for (String, String) {
+    fn borrow(&self) -> &(dyn KeyPair + 'a) {
+        self
+    }
+}
+
+// Must produce the same hashes/equalities as `(String, String)` itself:
+// the derived tuple hash feeds each `str` to the hasher in order, which
+// is exactly what these do.
+impl std::hash::Hash for dyn KeyPair + '_ {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tenant().hash(state);
+        self.key().hash(state);
+    }
+}
+
+impl PartialEq for dyn KeyPair + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.tenant() == other.tenant() && self.key() == other.key()
+    }
+}
+
+impl Eq for dyn KeyPair + '_ {}
 
 /// One shard's keyed registry: `(tenant, key) → sketch`. Owned by the
 /// shard worker; nothing else ever sees it.
@@ -709,7 +744,7 @@ type SharedRollups<S> = Arc<Mutex<HashMap<(String, String), RollupState<S>>>>;
 /// mailboxes its worker services, the rollup stores, the worker handle,
 /// and the last checkpoint-write error.
 struct KeyedShard<S> {
-    ring: Arc<HandoffRing<KeyedBatch>>,
+    ring: Arc<HandoffRing<Pooled<KeyedBatch>>>,
     cell: Arc<EpochCell<KeyMap>>,
     epoch_req: Arc<EpochRequest>,
     ckpt_req: Arc<EpochRequest>,
@@ -742,6 +777,10 @@ pub struct KeyedEngineStats {
 /// the architecture.
 pub struct KeyedEngine<S> {
     shards: Vec<KeyedShard<S>>,
+    /// Recycled [`KeyedBatch`] buffers: the router fills one per ingest
+    /// call, the shard worker's drop returns it. Capped so idle memory
+    /// stays bounded; misses mint a fresh (empty) batch.
+    batch_pool: BufferPool<KeyedBatch>,
     quotas: QuotaTable,
     rejected: Mutex<HashMap<String, u64>>,
     rejected_total: AtomicU64,
@@ -768,14 +807,19 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         if config.shards == 0 {
             return Err(KeyedEngineError::NoShards);
         }
-        let (metrics, rollup_metrics) = match metrics {
+        // Enough idle buffers for every ring slot plus a round of
+        // in-flight producers; beyond that, returned buffers are dropped
+        // rather than hoarded.
+        let max_idle = (config.shards * config.queue_capacity.max(1) + 64).min(8192);
+        let (batch_pool, metrics, rollup_metrics) = match metrics {
             Some((registry, prefix)) => (
+                BufferPool::with_metrics(max_idle, registry, &format!("{prefix}.batch")),
                 Some(KeyedEngineMetrics::register(registry, prefix, config.shards)),
                 config.rollup.as_ref().map(|r| {
                     RollupMetrics::register(registry, &format!("{prefix}.rollup"), r.tiers.len())
                 }),
             ),
-            None => (None, None),
+            None => (BufferPool::new(max_idle), None, None),
         };
         let plan = match &config.checkpoint {
             Some(_) => Some(Self::make_plan(&config)?),
@@ -822,13 +866,14 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         } else {
             Vec::new()
         };
-        Self::spawn_impl(config, factory, preload, metrics, plan, rollup_metrics)
+        Self::spawn_impl(config, factory, preload, batch_pool, metrics, plan, rollup_metrics)
     }
 
     fn spawn_impl<F>(
         config: KeyedEngineConfig,
         factory: F,
         preload: Vec<ShardInit<S>>,
+        batch_pool: BufferPool<KeyedBatch>,
         metrics: Option<KeyedEngineMetrics>,
         plan: Option<Arc<KeyedCheckpointPlan<S>>>,
         rollup_metrics: Option<RollupMetrics>,
@@ -861,7 +906,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             .into_iter()
             .enumerate()
             .map(|(i, (registry, done))| {
-                let ring = Arc::new(HandoffRing::<KeyedBatch>::new(capacity));
+                let ring = Arc::new(HandoffRing::<Pooled<KeyedBatch>>::new(capacity));
                 // The initial publish happens here, on the spawner
                 // thread, so a recovered engine answers queries for its
                 // preloaded keys before the worker runs at all.
@@ -900,6 +945,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
                 let worker = std::thread::Builder::new()
                     .name(format!("qsketch-keyed-{i}"))
                     .spawn(move || {
+                        let _dead_on_panic = DeadOnPanic(Arc::clone(&w_ring));
                         let mut registry = registry;
                         let mut published = initial;
                         let mut dirty: HashSet<(String, String)> = HashSet::new();
@@ -944,19 +990,29 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
                             }
                             match w_ring.pop_wait() {
                                 PopState::Item(batch, depth) => {
-                                    let KeyedBatch {
-                                        tenant,
-                                        key,
-                                        values,
-                                    } = batch;
-                                    let n = values.len() as u64;
-                                    let id = (tenant, key);
-                                    registry
-                                        .entry(id.clone())
-                                        .or_insert_with(|| w_factory.make())
-                                        .insert_batch(&values);
+                                    let n = batch.values.len() as u64;
+                                    // Probe every map with the borrowed
+                                    // pair (see [`KeyPair`]): owned keys
+                                    // are cloned only on first sight of
+                                    // a `(tenant, key)`, or once per
+                                    // key per epoch for the dirty set —
+                                    // never per batch.
+                                    let probe: (&str, &str) = (&batch.tenant, &batch.key);
+                                    match registry.get_mut(&probe as &dyn KeyPair) {
+                                        Some(sketch) => sketch.insert_batch(&batch.values),
+                                        None => {
+                                            let mut sketch = w_factory.make();
+                                            sketch.insert_batch(&batch.values);
+                                            registry.insert(
+                                                (batch.tenant.clone(), batch.key.clone()),
+                                                sketch,
+                                            );
+                                        }
+                                    }
                                     values_done += n;
-                                    dirty.insert(id.clone());
+                                    if !dirty.contains(&probe as &dyn KeyPair) {
+                                        dirty.insert((batch.tenant.clone(), batch.key.clone()));
+                                    }
                                     if let Some(plan) = &w_plan {
                                         if values_done - last_ckpt >= interval {
                                             if let Err(e) = write_registry_ckpt(
@@ -980,25 +1036,32 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
                                         let mut states = w_rollup_states
                                             .lock()
                                             .expect("rollup states poisoned");
-                                        let result = match states.entry(id.clone()) {
-                                            std::collections::hash_map::Entry::Occupied(e) => {
-                                                Ok(e.into_mut())
-                                            }
-                                            std::collections::hash_map::Entry::Vacant(e) => {
-                                                open_rollup_store(rt, &e.key().0, &e.key().1)
+                                        let opened =
+                                            if states.contains_key(&probe as &dyn KeyPair) {
+                                                Ok(())
+                                            } else {
+                                                open_rollup_store(rt, &batch.tenant, &batch.key)
                                                     .map(|store| {
-                                                        e.insert(RollupState {
-                                                            window: None,
-                                                            filled: 0,
-                                                            store,
-                                                        })
+                                                        states.insert(
+                                                            (
+                                                                batch.tenant.clone(),
+                                                                batch.key.clone(),
+                                                            ),
+                                                            RollupState {
+                                                                window: None,
+                                                                filled: 0,
+                                                                store,
+                                                            },
+                                                        );
                                                     })
-                                            }
-                                        }
-                                        .and_then(|state| {
+                                            };
+                                        let result = opened.and_then(|()| {
+                                            let state = states
+                                                .get_mut(&probe as &dyn KeyPair)
+                                                .expect("rollup state just ensured");
                                             feed_rollup(
                                                 state,
-                                                &values,
+                                                &batch.values,
                                                 rt.options.window_values,
                                                 &w_factory,
                                             )
@@ -1024,6 +1087,11 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
                                         );
                                         last_pub = values_done;
                                     }
+                                    // Recycle the batch buffer before
+                                    // acknowledging, so a producer
+                                    // unblocked by `mark_done` finds it
+                                    // in the pool.
+                                    drop(batch);
                                     w_ring.mark_done(n);
                                 }
                                 PopState::Idle => {}
@@ -1075,6 +1143,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             .collect();
         Ok(Self {
             shards,
+            batch_pool,
             quotas: QuotaTable::new(&config.quotas, config.default_quota),
             rejected: Mutex::new(HashMap::new()),
             rejected_total: AtomicU64::new(0),
@@ -1096,85 +1165,6 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
             encode: S::encode,
             config: ckpt,
         }))
-    }
-
-    /// Spawn `config.shards` workers, each owning an empty keyed
-    /// registry.
-    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).spawn(..)`")]
-    pub fn spawn<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        Self::build(config, factory, None, false)
-    }
-
-    /// [`spawn`](Self::spawn) with engine metrics registered under
-    /// `prefix` in `registry`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `EngineBuilder::keyed(..).metrics(..).spawn(..)`"
-    )]
-    pub fn spawn_instrumented<F>(
-        config: KeyedEngineConfig,
-        factory: F,
-        registry: &MetricsRegistry,
-        prefix: &str,
-    ) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        Self::build(config, factory, Some((registry, prefix)), false)
-    }
-
-    /// [`spawn`](Self::spawn) requiring `config.checkpoint` to be set
-    /// (checkpointing is otherwise enabled whenever the config carries a
-    /// checkpoint section).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `EngineBuilder::keyed(..).checkpoints(..).spawn(..)`"
-    )]
-    pub fn spawn_with_checkpoints<F>(
-        config: KeyedEngineConfig,
-        factory: F,
-    ) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        if config.checkpoint.is_none() {
-            return Err(KeyedEngineError::CheckpointingDisabled);
-        }
-        Self::build(config, factory, None, false)
-    }
-
-    /// [`spawn_with_checkpoints`](Self::spawn_with_checkpoints) plus
-    /// engine metrics under `prefix` in `registry`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `EngineBuilder::keyed(..).checkpoints(..).metrics(..).spawn(..)`"
-    )]
-    pub fn spawn_with_checkpoints_instrumented<F>(
-        config: KeyedEngineConfig,
-        factory: F,
-        registry: &MetricsRegistry,
-        prefix: &str,
-    ) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        if config.checkpoint.is_none() {
-            return Err(KeyedEngineError::CheckpointingDisabled);
-        }
-        Self::build(config, factory, Some((registry, prefix)), false)
-    }
-
-    /// Rebuild an engine from the registry checkpoints in
-    /// `config.checkpoint.dir`.
-    #[deprecated(since = "0.9.0", note = "use `EngineBuilder::keyed(..).recover(..)`")]
-    pub fn recover<F>(config: KeyedEngineConfig, factory: F) -> Result<Self, KeyedEngineError>
-    where
-        F: SketchFactory<Sketch = S> + Clone + Send + 'static,
-    {
-        Self::build(config, factory, None, true)
     }
 
     /// Number of shard workers.
@@ -1228,26 +1218,59 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
     /// `handoff_retries`.
     ///
     /// Returns the number of values accepted (0 for an empty batch).
-    pub fn ingest(
+    ///
+    /// At steady state this allocates nothing: the batch rides the ring
+    /// in a recycled [`BufferPool`] buffer whose strings and value vec
+    /// keep their capacity across trips.
+    pub fn ingest(&self, tenant: &str, key: &str, values: &[f64]) -> Result<u64, KeyedEngineError> {
+        self.ingest_fill(tenant, key, values.len() as u64, |buf| {
+            buf.extend_from_slice(values)
+        })
+    }
+
+    /// [`ingest`](Self::ingest) from raw **little-endian f64 wire
+    /// bytes** — the server's borrowed-decode fast path. The values are
+    /// decoded chunk-by-chunk straight into the pooled batch buffer, so
+    /// a network frame reaches the sketch with exactly one copy and no
+    /// intermediate `Vec`. `values_le.len()` must be a multiple of 8
+    /// (trailing partial chunks are ignored, matching
+    /// `chunks_exact(8)`).
+    pub fn ingest_le(
         &self,
         tenant: &str,
         key: &str,
-        values: Vec<f64>,
+        values_le: &[u8],
     ) -> Result<u64, KeyedEngineError> {
-        let n = values.len() as u64;
+        debug_assert_eq!(values_le.len() % 8, 0, "LE f64 payload must be 8-byte aligned");
+        let n = (values_le.len() / 8) as u64;
+        self.ingest_fill(tenant, key, n, |buf| {
+            buf.reserve(values_le.len() / 8);
+            for chunk in values_le.chunks_exact(8) {
+                buf.push(f64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            }
+        })
+    }
+
+    /// Shared admission + handoff path: charge quota, fill a pooled
+    /// batch via `fill`, push it to the home shard's ring.
+    fn ingest_fill(
+        &self,
+        tenant: &str,
+        key: &str,
+        n: u64,
+        fill: impl FnOnce(&mut Vec<f64>),
+    ) -> Result<u64, KeyedEngineError> {
         if n == 0 {
             return Ok(0);
         }
         self.check_quota(tenant, n)?;
         let shard = shard_for(hash_pair(tenant, key), self.shards.len());
-        let report = self.shards[shard].ring.push(
-            KeyedBatch {
-                tenant: tenant.to_string(),
-                key: key.to_string(),
-                values,
-            },
-            n,
-        );
+        let mut batch = self.batch_pool.get();
+        batch.tenant.push_str(tenant);
+        batch.key.push_str(key);
+        fill(&mut batch.values);
+        debug_assert_eq!(batch.values.len() as u64, n);
+        let report = self.shards[shard].ring.push(batch, n);
         if report.dropped {
             return Ok(0);
         }
@@ -1305,7 +1328,7 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
     pub fn query(&self, tenant: &str, key: &str) -> Result<SnapshotHandle<S>, KeyedEngineError> {
         let shard = shard_for(hash_pair(tenant, key), self.shards.len());
         let map = self.shards[shard].cell.load();
-        match map.get(&(tenant.to_string(), key.to_string())) {
+        match map.get(&(tenant, key) as &dyn KeyPair) {
             Some(part) => Ok(SnapshotHandle::from_parts(vec![Arc::clone(part)])),
             None => Err(KeyedEngineError::UnknownKey {
                 tenant: tenant.to_string(),
@@ -1331,50 +1354,6 @@ impl<S: MergeableSketch + SketchSerialize + Clone + Send + 'static> KeyedEngine<
         }
         matches.sort_by(|a, b| a.0.cmp(&b.0));
         SnapshotHandle::from_parts(matches.into_iter().map(|(_, part)| part).collect())
-    }
-
-    /// Decode one key's latest published snapshot (`None` if unknown).
-    fn snapshot_inner(&self, tenant: &str, key: &str) -> Option<S> {
-        let shard = shard_for(hash_pair(tenant, key), self.shards.len());
-        let map = self.shards[shard].cell.load();
-        map.get(&(tenant.to_string(), key.to_string()))
-            .map(|part| S::decode(&part.bytes).expect("engine-published snapshot must decode"))
-    }
-
-    /// Point-in-time clone of one key's sketch (`None` if the pair has
-    /// never been ingested).
-    #[deprecated(since = "0.9.0", note = "use `query` and the returned `SnapshotHandle`")]
-    pub fn snapshot(&self, tenant: &str, key: &str) -> Option<S> {
-        self.sync_snapshots();
-        self.snapshot_inner(tenant, key)
-    }
-
-    /// Estimate the `q`-quantile of one key's stream.
-    #[deprecated(since = "0.9.0", note = "use `query(..)?.quantile(q)`")]
-    pub fn quantile(&self, tenant: &str, key: &str, q: f64) -> Result<f64, KeyedEngineError> {
-        self.sync_snapshots();
-        let snap = self
-            .snapshot_inner(tenant, key)
-            .ok_or_else(|| KeyedEngineError::UnknownKey {
-                tenant: tenant.to_string(),
-                key: key.to_string(),
-            })?;
-        snap.query(q)
-            .map_err(|e| KeyedEngineError::Sketch(SketchError::Query(e)))
-    }
-
-    /// Merge a snapshot of every key of `tenant` whose key starts with
-    /// `prefix` (empty prefix = all of the tenant's keys). `Ok(None)`
-    /// when no key matches.
-    #[deprecated(since = "0.9.0", note = "use `query_prefix(..).merged()`")]
-    pub fn merged_prefix(&self, tenant: &str, prefix: &str) -> Result<Option<S>, KeyedEngineError> {
-        self.sync_snapshots();
-        let start = Instant::now();
-        let merged = self.query_prefix(tenant, prefix).merged()?;
-        if let Some(m) = &self.metrics {
-            m.engine.merge_ns.record(start.elapsed().as_nanos() as u64);
-        }
-        Ok(merged)
     }
 
     /// Write every shard's registry checkpoint **now**: drain (so the
@@ -1668,9 +1647,9 @@ mod tests {
     fn per_key_streams_stay_separate() {
         let engine = EngineBuilder::keyed(3).spawn(dds()).unwrap();
         for i in 1..=2_000u64 {
-            engine.ingest("acme", "fast", vec![10.0 + (i % 5) as f64]).unwrap();
-            engine.ingest("acme", "slow", vec![1_000.0 + (i % 7) as f64]).unwrap();
-            engine.ingest("globex", "fast", vec![50.0]).unwrap();
+            engine.ingest("acme", "fast", &[10.0 + (i % 5) as f64]).unwrap();
+            engine.ingest("acme", "slow", &[1_000.0 + (i % 7) as f64]).unwrap();
+            engine.ingest("globex", "fast", &[50.0]).unwrap();
         }
         engine.drain();
         assert_eq!(engine.events_ingested(), 6_000);
@@ -1700,10 +1679,10 @@ mod tests {
     fn query_prefix_folds_matching_keys_lazily() {
         let engine = EngineBuilder::keyed(4).spawn(dds()).unwrap();
         for i in 1..=500u64 {
-            engine.ingest("t", "api.a", vec![i as f64]).unwrap();
-            engine.ingest("t", "api.b", vec![i as f64 + 500.0]).unwrap();
-            engine.ingest("t", "db.c", vec![1e6]).unwrap();
-            engine.ingest("other", "api.z", vec![1e6]).unwrap();
+            engine.ingest("t", "api.a", &[i as f64]).unwrap();
+            engine.ingest("t", "api.b", &[i as f64 + 500.0]).unwrap();
+            engine.ingest("t", "db.c", &[1e6]).unwrap();
+            engine.ingest("other", "api.z", &[1e6]).unwrap();
         }
         engine.drain();
         let api = engine.query_prefix("t", "api.");
@@ -1727,7 +1706,7 @@ mod tests {
             .spawn(dds())
             .unwrap();
         for i in 1..=1_000u64 {
-            engine.ingest("t", "k", vec![i as f64]).unwrap();
+            engine.ingest("t", "k", &[i as f64]).unwrap();
         }
         for shard in &engine.shards {
             shard.ring.wait_drained(); // settle the ring, skip the sync
@@ -1751,7 +1730,7 @@ mod tests {
         // The noisy tenant burns its burst, then gets rejected.
         let mut rejected = 0;
         for _ in 0..100 {
-            match engine.ingest("noisy", "k", vec![1.0; 10]) {
+            match engine.ingest("noisy", "k", &[1.0; 10]) {
                 Ok(_) => {}
                 Err(KeyedEngineError::QuotaExceeded {
                     tenant,
@@ -1767,7 +1746,7 @@ mod tests {
         assert!(rejected >= 80, "rejected {rejected}/100");
         // The quiet tenant is untouched.
         for _ in 0..100 {
-            engine.ingest("quiet", "k", vec![1.0; 10]).unwrap();
+            engine.ingest("quiet", "k", &[1.0; 10]).unwrap();
         }
         let stats = engine.stats();
         assert_eq!(stats.quota_rejected_batches, rejected);
@@ -1785,14 +1764,14 @@ mod tests {
             .spawn(dds())
             .unwrap();
         for _ in 0..10 {
-            engine.ingest("a", "k", vec![1.0; 10]).unwrap();
+            engine.ingest("a", "k", &[1.0; 10]).unwrap();
         }
         // Tenant a's budget is spent; tenant b's is untouched.
         assert!(matches!(
-            engine.ingest("a", "k", vec![1.0; 10]),
+            engine.ingest("a", "k", &[1.0; 10]),
             Err(KeyedEngineError::QuotaExceeded { .. })
         ));
-        engine.ingest("b", "k", vec![1.0; 10]).unwrap();
+        engine.ingest("b", "k", &[1.0; 10]).unwrap();
         engine.finish();
     }
 
@@ -1802,7 +1781,7 @@ mod tests {
             .default_quota(TenantQuota::per_sec(10.0).with_burst(10.0))
             .spawn(dds())
             .unwrap();
-        let err = engine.ingest("t", "k", vec![1.0; 1_000]).unwrap_err();
+        let err = engine.ingest("t", "k", &[1.0; 1_000]).unwrap_err();
         assert_eq!(
             err,
             KeyedEngineError::QuotaExceeded {
@@ -1824,7 +1803,7 @@ mod tests {
         for i in 0..10_000u64 {
             let key = format!("k{}", i % 7);
             let x = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64;
-            engine.ingest("acme", &key, vec![x + 1e-9]).unwrap();
+            engine.ingest("acme", &key, &[x + 1e-9]).unwrap();
         }
         engine.checkpoint_now().unwrap();
         let mut expected = Vec::new();
@@ -1856,7 +1835,7 @@ mod tests {
             .unwrap();
         for i in 0..4_000u64 {
             engine
-                .ingest("t", &format!("k{}", i % 4), vec![i as f64 + 1.0])
+                .ingest("t", &format!("k{}", i % 4), &[i as f64 + 1.0])
                 .unwrap();
         }
         engine.drain();
@@ -1881,7 +1860,7 @@ mod tests {
             .checkpoints(CheckpointConfig::new(&dir, u64::MAX))
             .spawn(|| KllSketch::with_seed(200, 1))
             .unwrap();
-        engine.ingest("t", "k", vec![1.0, 2.0, 3.0]).unwrap();
+        engine.ingest("t", "k", &[1.0, 2.0, 3.0]).unwrap();
         engine.checkpoint_now().unwrap();
         engine.finish();
         let err = EngineBuilder::keyed(3)
@@ -1930,10 +1909,14 @@ mod tests {
         // plus 50 trailing values that never close a window.
         for i in 0..(3_250 / 13) {
             engine
-                .ingest("acme", "lat", (0..13).map(|j| (i * 13 + j) as f64 + 1.0).collect())
+                .ingest(
+                    "acme",
+                    "lat",
+                    &(0..13).map(|j| (i * 13 + j) as f64 + 1.0).collect::<Vec<f64>>(),
+                )
                 .unwrap();
         }
-        engine.ingest("acme", "lat", vec![1.0; 3_250 - 13 * (3_250 / 13)]).unwrap();
+        engine.ingest("acme", "lat", &[1.0; 3_250 - 13 * (3_250 / 13)]).unwrap();
         engine.drain();
         assert_eq!(engine.rollup_error(), None);
         assert_eq!(engine.rollup_frontier("acme", "lat"), Some(32));
@@ -1960,8 +1943,8 @@ mod tests {
             .spawn(dds())
             .unwrap();
         for i in 0..800u64 {
-            engine.ingest("acme", "a/b c", vec![i as f64 + 1.0]).unwrap();
-            engine.ingest("globex", "k", vec![2.0 * i as f64 + 1.0]).unwrap();
+            engine.ingest("acme", "a/b c", &[i as f64 + 1.0]).unwrap();
+            engine.ingest("globex", "k", &[2.0 * i as f64 + 1.0]).unwrap();
         }
         engine.drain();
         assert_eq!(engine.rollup_error(), None);
@@ -2013,7 +1996,7 @@ mod tests {
             let e = Arc::clone(&engine);
             handles.push(std::thread::spawn(move || {
                 for i in 0..1_000u64 {
-                    e.ingest(&format!("tenant-{t}"), "k", vec![i as f64 + 1.0])
+                    e.ingest(&format!("tenant-{t}"), "k", &[i as f64 + 1.0])
                         .unwrap();
                 }
             }));

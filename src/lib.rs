@@ -74,11 +74,10 @@ pub use qsketch_core::exact::{ExactQuantiles, ExactSketch};
 pub use qsketch_core::metrics::{Instrumented, LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use qsketch_core::profile::Profile;
 pub use qsketch_core::quantiles;
+pub use qsketch_core::pool::{BufferPool, Pooled, Recycle};
 pub use qsketch_core::sketch::{
     merge_tree, MergeError, MergeableSketch, QuantileSketch, QueryError, SketchError,
 };
-#[allow(deprecated)]
-pub use qsketch_core::sketch::snapshot_merge;
 pub use qsketch_core::stats::{kurtosis, MomentsAccumulator};
 pub use qsketch_datagen::{
     paper_adaptability_stream, BinomialGen, DataSet, DriftingPareto, DriftingUniform,

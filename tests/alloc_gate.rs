@@ -1,0 +1,154 @@
+//! The zero-allocation gate: proves the server data plane's steady-state
+//! claim with a counting `#[global_allocator]` instead of asserting it in
+//! prose.
+//!
+//! This binary installs [`CountingAlloc`] and drives
+//! [`ServerCore::serve_frame`] directly on the test thread. After a
+//! warmup pass (which grows the reusable buffers and fills the engine's
+//! batch pool), every served ingest frame — single-op and pipelined
+//! batch envelope — must perform **zero** heap allocations on the
+//! serving thread. `ci/check.sh` runs this test on every change; a new
+//! allocation on the hot path fails it with the exact frame index.
+//!
+//! The engine is drained between measured frames so each pooled batch
+//! has returned to the free list before the next `serve_frame` asks for
+//! one (workers drop their batch *before* `mark_done`, so a completed
+//! drain implies the pool got its buffers back).
+
+use qsketch_core::alloccount::{self, CountingAlloc};
+use qsketch_ddsketch::DdSketch;
+use qsketch_server::protocol::{batch_header_into, push_batch_op, F64s, RequestView};
+use qsketch_server::server::{FrameOutcome, ServerCore};
+use qsketch_streamsim::builder::EngineBuilder;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WARMUP_FRAMES: usize = 32;
+const MEASURED_FRAMES: usize = 64;
+const BATCH_VALUES: usize = 512;
+
+fn core() -> ServerCore<DdSketch> {
+    let engine = EngineBuilder::keyed(2)
+        .spawn(|| DdSketch::unbounded(0.01))
+        .expect("spawn keyed engine");
+    ServerCore::new(engine, false)
+}
+
+fn ingest_payload(tenant: &str, key: &str, values: &[f64]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    RequestView::Ingest {
+        tenant,
+        key,
+        values: F64s::Slice(values),
+    }
+    .encode_into(&mut payload);
+    payload
+}
+
+/// Single-op ingest frames allocate nothing after warmup.
+#[test]
+fn ingest_frame_is_zero_alloc_after_warmup() {
+    let core = core();
+    let values: Vec<f64> = (0..BATCH_VALUES).map(|i| i as f64).collect();
+    let payload = ingest_payload("acme", "checkout.latency", &values);
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+
+    for _ in 0..WARMUP_FRAMES {
+        out.clear();
+        assert_eq!(
+            core.serve_frame(&payload, &mut out, &mut scratch),
+            FrameOutcome::Continue
+        );
+        core.engine().drain();
+    }
+
+    for frame in 0..MEASURED_FRAMES {
+        out.clear();
+        let before = alloccount::thread_allocs();
+        let outcome = core.serve_frame(&payload, &mut out, &mut scratch);
+        let allocs = alloccount::thread_allocs() - before;
+        assert_eq!(outcome, FrameOutcome::Continue);
+        assert_eq!(
+            allocs, 0,
+            "steady-state ingest frame {frame} performed {allocs} heap \
+             allocation(s); the data plane must serve warmed ingest frames \
+             without touching the allocator"
+        );
+        assert!(!out.is_empty(), "frame {frame} produced no response bytes");
+        core.engine().drain();
+    }
+}
+
+/// A pipelined batch envelope of ingest ops allocates nothing after
+/// warmup either — the per-op scratch buffer and the response envelope
+/// reuse their capacity.
+#[test]
+fn batch_envelope_is_zero_alloc_after_warmup() {
+    const OPS: usize = 8;
+    let core = core();
+    let values: Vec<f64> = (0..BATCH_VALUES).map(|i| i as f64 * 0.5).collect();
+
+    let mut inner = Vec::new();
+    RequestView::Ingest {
+        tenant: "acme",
+        key: "checkout.latency",
+        values: F64s::Slice(&values),
+    }
+    .encode_into(&mut inner);
+    let mut payload = Vec::new();
+    batch_header_into(OPS, false, &mut payload);
+    for _ in 0..OPS {
+        push_batch_op(&inner, &mut payload);
+    }
+
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    for _ in 0..WARMUP_FRAMES {
+        out.clear();
+        assert_eq!(
+            core.serve_frame(&payload, &mut out, &mut scratch),
+            FrameOutcome::Continue
+        );
+        core.engine().drain();
+    }
+
+    for frame in 0..MEASURED_FRAMES {
+        out.clear();
+        let before = alloccount::thread_allocs();
+        let outcome = core.serve_frame(&payload, &mut out, &mut scratch);
+        let allocs = alloccount::thread_allocs() - before;
+        assert_eq!(outcome, FrameOutcome::Continue);
+        assert_eq!(
+            allocs, 0,
+            "steady-state batch envelope frame {frame} ({OPS} ingest ops) \
+             performed {allocs} heap allocation(s)"
+        );
+        core.engine().drain();
+    }
+}
+
+/// Control-plane sanity: a warmed `Ping` frame is also allocation-free
+/// (unit request, unit response), so the cork/encode plumbing itself is
+/// clean.
+#[test]
+fn ping_frame_is_zero_alloc_after_warmup() {
+    let core = core();
+    let mut payload = Vec::new();
+    RequestView::Ping.encode_into(&mut payload);
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+
+    for _ in 0..WARMUP_FRAMES {
+        out.clear();
+        core.serve_frame(&payload, &mut out, &mut scratch);
+    }
+    for frame in 0..MEASURED_FRAMES {
+        out.clear();
+        let before = alloccount::thread_allocs();
+        core.serve_frame(&payload, &mut out, &mut scratch);
+        let allocs = alloccount::thread_allocs() - before;
+        assert_eq!(allocs, 0, "warmed ping frame {frame} allocated");
+    }
+}

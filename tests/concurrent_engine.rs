@@ -209,7 +209,7 @@ fn keyed_tiny_ring_two_producers_no_deadlock_no_loss() {
                 for chunk in 0..PER_PRODUCER / 50 {
                     let values: Vec<f64> =
                         (0..50).map(|i| (chunk * 50 + i) as f64 + 1.0).collect();
-                    assert_eq!(engine.ingest(&tenant, "metric", values).unwrap(), 50);
+                    assert_eq!(engine.ingest(&tenant, "metric", &values).unwrap(), 50);
                 }
             })
         })
@@ -252,7 +252,7 @@ fn per_key_determinism_holds_under_two_producers() {
                             let values: Vec<f64> = (0..100)
                                 .map(|i| ((chunk * 100 + i) as f64).sin() * 1e3)
                                 .collect();
-                            engine.ingest("t", &key, values).unwrap();
+                            engine.ingest("t", &key, &values).unwrap();
                         }
                     }
                 })
